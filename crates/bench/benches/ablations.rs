@@ -1,0 +1,138 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out:
+//!
+//! 1. **early forwarding** from the wait buffer on/off (Section V-C2),
+//! 2. **hybrid components**: greedy-only vs loop-only vs the hybrid
+//!    chooser (Section V-D),
+//! 3. **greedy history window** *m* sweep (predictor-level),
+//! 4. **DRAM predictions**: allow (revert to delay) vs clamp to L3
+//!    (force a fail + squash) (Section VI-B).
+//!
+//! Each ablation prints its comparison table, then Criterion times one
+//! representative configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdo_bench::quick_suite;
+use sdo_core::predictor::{GreedyPredictor, LocationPredictor};
+use sdo_harness::SimConfig;
+use sdo_mem::{CacheLevel, MemorySystem};
+use sdo_uarch::{AttackModel, Core, PredictorKind, Protection, SdoConfig, SecurityConfig};
+use sdo_workloads::kernels::Workload;
+
+/// Runs one workload under a custom SDO configuration (beyond Table II).
+fn run_custom(w: &Workload, sdo: SdoConfig, attack: AttackModel) -> u64 {
+    let cfg = SimConfig::table_i();
+    let mut mem = MemorySystem::new(cfg.mem, 1);
+    mem.load_image(w.program().data());
+    for &(start, bytes, level) in w.prewarm_ranges() {
+        mem.prewarm(0, start, bytes, level);
+    }
+    let sec = SecurityConfig { protection: Protection::Sdo(sdo), attack };
+    let mut core = Core::new(0, cfg.core, sec, w.program().clone());
+    core.run(&mut mem, cfg.max_cycles).expect("kernel completes");
+    core.now()
+}
+
+fn ablation_early_forward(kernels: &[Workload]) {
+    println!("\nABLATION: early forwarding from the wait buffer (Section V-C2)");
+    println!("{:14} {:>12} {:>12} {:>8}", "kernel", "early-fwd on", "off", "delta");
+    for name in ["hash_lookup", "phase_shift", "stream"] {
+        let w = kernels.iter().find(|w| w.name() == name).expect("kernel");
+        let mut sdo = SdoConfig::with_predictor(PredictorKind::Static(CacheLevel::L3));
+        sdo.early_forward = true;
+        let on = run_custom(w, sdo, AttackModel::Spectre);
+        sdo.early_forward = false;
+        let off = run_custom(w, sdo, AttackModel::Spectre);
+        println!(
+            "{:14} {:>12} {:>12} {:>7.1}%",
+            name,
+            on,
+            off,
+            100.0 * (off as f64 - on as f64) / on as f64
+        );
+    }
+}
+
+fn ablation_hybrid_parts(kernels: &[Workload]) {
+    println!("\nABLATION: hybrid predictor components (Section V-D)");
+    println!("{:14} {:>10} {:>10} {:>10} {:>10}", "kernel", "greedy", "loop", "hybrid", "pattern");
+    for name in ["stream", "phase_shift", "hash_lookup"] {
+        let w = kernels.iter().find(|w| w.name() == name).expect("kernel");
+        let mut row = format!("{name:14}");
+        for kind in [
+            PredictorKind::Greedy,
+            PredictorKind::Loop,
+            PredictorKind::Hybrid,
+            PredictorKind::Pattern,
+        ] {
+            let cycles =
+                run_custom(w, SdoConfig::with_predictor(kind), AttackModel::Spectre);
+            row.push_str(&format!(" {cycles:>10}"));
+        }
+        println!("{row}");
+    }
+}
+
+fn ablation_greedy_window() {
+    println!("\nABLATION: greedy history window m (predictor-level)");
+    // Strided pattern: 7×L1 then one L2, the loop predictor's home turf —
+    // larger windows make greedy more accurate but less precise.
+    println!("{:>4} {:>10} {:>10}", "m", "precision", "accuracy");
+    for m in [1usize, 2, 4, 8, 16] {
+        let mut p = GreedyPredictor::new(512, m);
+        let pc = 0x40;
+        let (mut precise, mut accurate, mut total) = (0u32, 0u32, 0u32);
+        for i in 0..4000u32 {
+            let actual = if i % 8 == 7 { CacheLevel::L2 } else { CacheLevel::L1 };
+            let pred = p.predict(pc, actual);
+            total += 1;
+            precise += u32::from(pred == actual);
+            accurate += u32::from(pred.depth() >= actual.depth());
+            p.update(pc, actual);
+        }
+        println!(
+            "{m:>4} {:>9.1}% {:>9.1}%",
+            100.0 * f64::from(precise) / f64::from(total),
+            100.0 * f64::from(accurate) / f64::from(total)
+        );
+    }
+}
+
+fn ablation_dram_prediction(kernels: &[Workload]) {
+    println!("\nABLATION: DRAM predictions — delay (paper) vs clamp-to-L3 (Section VI-B)");
+    println!("{:14} {:>12} {:>12}", "kernel", "delay", "clamp-to-L3");
+    for name in ["hash_lookup", "ptr_chase"] {
+        // Strip the warm-start hints: DRAM-resident data is the point here.
+        let cold = kernels
+            .iter()
+            .find(|w| w.name() == name)
+            .map(|w| Workload::new(w.name(), w.program().clone()))
+            .expect("kernel");
+        let mut sdo = SdoConfig::with_predictor(PredictorKind::Hybrid);
+        sdo.allow_dram_prediction = true;
+        let delay = run_custom(&cold, sdo, AttackModel::Futuristic);
+        sdo.allow_dram_prediction = false;
+        let clamp = run_custom(&cold, sdo, AttackModel::Futuristic);
+        println!("{name:14} {delay:>12} {clamp:>12}");
+    }
+}
+
+fn ablations(c: &mut Criterion) {
+    let kernels = quick_suite();
+    ablation_early_forward(&kernels);
+    ablation_hybrid_parts(&kernels);
+    ablation_greedy_window();
+    ablation_dram_prediction(&kernels);
+
+    let hash = kernels.iter().find(|w| w.name() == "hash_lookup").expect("kernel");
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("hash_lookup/hybrid-no-early-forward", |b| {
+        let mut sdo = SdoConfig::with_predictor(PredictorKind::Hybrid);
+        sdo.early_forward = false;
+        b.iter(|| run_custom(hash, sdo, AttackModel::Spectre));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench target for **Figure 6**: prints the normalized-execution-time
+//! table (quick-suite sizes), then times representative simulations of
+//! each Table II variant with Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdo_bench::{quick_results, quick_suite, simulate_one};
+use sdo_harness::experiments::fig6_report;
+use sdo_harness::Variant;
+use sdo_uarch::AttackModel;
+
+fn fig6(c: &mut Criterion) {
+    // Regenerate the figure once (quick sizes) so `cargo bench` emits the
+    // same rows/series the paper reports.
+    let results = quick_results();
+    println!("\n{}", fig6_report(&results));
+
+    let kernels = quick_suite();
+    let hash = kernels.iter().find(|w| w.name() == "hash_lookup").expect("kernel exists");
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    for variant in [Variant::Unsafe, Variant::SttLd, Variant::StaticL2, Variant::Hybrid] {
+        group.bench_function(format!("hash_lookup/{variant}"), |b| {
+            b.iter(|| simulate_one(hash, variant, AttackModel::Spectre));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench target for **Table III**: prints predictor precision/accuracy,
+//! then times the hybrid predictor's two extreme workloads (strided loop
+//! pattern vs coarse phase pattern).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdo_bench::{quick_results, quick_suite, simulate_one};
+use sdo_harness::experiments::table3_report;
+use sdo_harness::Variant;
+use sdo_uarch::AttackModel;
+
+fn table3(c: &mut Criterion) {
+    let results = quick_results();
+    println!("\n{}", table3_report(&results));
+
+    let kernels = quick_suite();
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    for name in ["stream", "phase_shift"] {
+        let w = kernels.iter().find(|w| w.name() == name).expect("kernel exists");
+        group.bench_function(format!("{name}/Hybrid"), |b| {
+            b.iter(|| simulate_one(w, Variant::Hybrid, AttackModel::Spectre));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table3);
+criterion_main!(benches);

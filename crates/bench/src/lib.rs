@@ -1,0 +1,91 @@
+//! # sdo-bench — benchmark support for the SDO reproduction
+//!
+//! Shared helpers for the Criterion bench targets. Each bench target
+//! regenerates one of the paper's evaluation artifacts (the same rows and
+//! series, printed before measurement) and then times representative
+//! simulations with Criterion:
+//!
+//! * `fig6` — normalized execution time per kernel/variant,
+//! * `fig7` — overhead breakdown,
+//! * `fig8` — squashes vs execution time,
+//! * `table3` — predictor precision/accuracy,
+//! * `ablations` — early-forwarding, hybrid components, greedy window and
+//!   DRAM-prediction design-choice sweeps (DESIGN.md §6).
+//!
+//! Bench runs use [`quick_suite`] — the same kernels at reduced trip
+//! counts — so `cargo bench` completes in minutes; the `sdo-harness`
+//! binaries run the full-size versions.
+
+#![warn(missing_docs)]
+
+use sdo_harness::sim::RunResult;
+use sdo_harness::{SimConfig, Simulator, Variant};
+use sdo_mem::CacheLevel;
+use sdo_uarch::AttackModel;
+use sdo_workloads::kernels::{
+    fp_subnormal, hash_lookup, l1_resident, matmul_blocked, mix_branchy, phase_shift, ptr_chase,
+    stencil, stream, stride, Workload,
+};
+
+/// The evaluation suite at reduced trip counts (same kernels, same
+/// warm-start hints, faster runs).
+#[must_use]
+pub fn quick_suite() -> Vec<Workload> {
+    vec![
+        Workload::new("ptr_chase", ptr_chase(1 << 18, 800, 1)).warmed(0x10_0000, 1 << 18, CacheLevel::L3),
+        Workload::new("stream", stream(2048, 1, 2)).warmed(0x20_0000, 2048 * 8, CacheLevel::L3),
+        Workload::new("stride", stride(512, 3, 2, 3)).warmed(0x40_0000, 512 * 64, CacheLevel::L3),
+        Workload::new("mix_branchy", mix_branchy(1 << 13, 800, 4))
+            .warmed(0x30_0000, (1 << 13) * 8, CacheLevel::L2),
+        Workload::new("hash_lookup", hash_lookup(1 << 14, 800, 5))
+            .warmed(0x80_0000, (1 << 14) * 8, CacheLevel::L3),
+        Workload::new("stencil", stencil(1024, 2, 6)).warmed(0x50_0000, 1024 * 8 + 16, CacheLevel::L2),
+        Workload::new("matmul_blocked", matmul_blocked(10, 7)),
+        Workload::new("fp_subnormal", fp_subnormal(800, 16, 8)),
+        Workload::new("phase_shift", phase_shift(200, 3, 9))
+            .warmed(0xB0_0000, (1 << 16) * 8, CacheLevel::L3),
+        Workload::new("l1_resident", l1_resident(1500, 10)),
+    ]
+}
+
+/// Runs the quick suite over all variants/attacks, mirroring
+/// `sdo_harness::experiments::run_suite` but on [`quick_suite`].
+#[must_use]
+pub fn quick_results() -> sdo_harness::experiments::SuiteResults {
+    let sim = Simulator::new(SimConfig::table_i());
+    let kernels = quick_suite();
+    let workloads: Vec<String> = kernels.iter().map(|w| w.name().to_string()).collect();
+    let mut runs = Vec::new();
+    for attack in AttackModel::ALL {
+        let mut per_workload: Vec<Vec<RunResult>> = Vec::new();
+        for w in &kernels {
+            per_workload.push(
+                sim.run_workload_all_variants(w, attack).expect("quick suite completes"),
+            );
+        }
+        runs.push((attack, per_workload));
+    }
+    sdo_harness::experiments::SuiteResults { runs, workloads }
+}
+
+/// Simulates one quick-suite kernel under one variant (the unit of work
+/// Criterion times).
+#[must_use]
+pub fn simulate_one(workload: &Workload, variant: Variant, attack: AttackModel) -> u64 {
+    let sim = Simulator::new(SimConfig::table_i());
+    sim.run_workload(workload, variant, attack).expect("kernel completes").cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_is_complete_and_fast() {
+        let q = quick_suite();
+        assert_eq!(q.len(), 10);
+        // A representative run stays well under the full-size cost.
+        let cycles = simulate_one(&q[9], Variant::Unsafe, AttackModel::Spectre);
+        assert!(cycles > 0);
+    }
+}

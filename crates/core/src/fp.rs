@@ -1,0 +1,128 @@
+//! The floating-point SDO operation (Section I-A of the paper).
+//!
+//! FP multiply/divide/sqrt have operand-dependent latency on real
+//! hardware: subnormal operands take a slow (often microcoded) path. That
+//! latency difference is a covert channel, so `STT{ld+fp}` delays tainted
+//! FP transmit ops. The SDO alternative: one DO variant covering the
+//! *fast* class (normal operands), and a static predictor that always
+//! predicts "normal". A subnormal input makes the variant `fail`; the
+//! squash happens when the operands untaint, exactly like a failed Obl-Ld.
+
+use crate::framework::DoResult;
+use sdo_isa::FpuOp;
+
+/// Execution equivalence class of an FP operation's inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpClass {
+    /// All operands normal (or zero/inf/NaN): the fast hardware path.
+    Normal,
+    /// Some operand subnormal: the slow path (no DO variant; must squash
+    /// and re-execute once safe).
+    Subnormal,
+}
+
+/// Classifies the inputs of an FP transmit op.
+///
+/// Only `is_subnormal` operands select the slow path in this model
+/// (zero, infinities and NaNs take the fast path, as on most hardware).
+///
+/// ```rust
+/// use sdo_core::fp::{classify, FpClass};
+/// assert_eq!(classify(1.0, 2.0), FpClass::Normal);
+/// assert_eq!(classify(f64::MIN_POSITIVE / 4.0, 2.0), FpClass::Subnormal);
+/// assert_eq!(classify(0.0, f64::INFINITY), FpClass::Normal);
+/// ```
+#[must_use]
+pub fn classify(a: f64, b: f64) -> FpClass {
+    if a.is_subnormal() || b.is_subnormal() {
+        FpClass::Subnormal
+    } else {
+        FpClass::Normal
+    }
+}
+
+/// Executes the single DO variant of an FP transmit op (the fast, normal-
+/// operand class).
+///
+/// Returns [`DoResult::success`] with the computed value when both inputs
+/// are in the fast class, [`DoResult::fail`] otherwise — the pipeline
+/// forwards the (tainted) result either way and squashes at the untaint
+/// point on fail, per Figure 2.
+///
+/// For [`FpuOp::Sqrt`] only `a` is an input (`b` is ignored for
+/// classification).
+///
+/// ```rust
+/// use sdo_core::fp::fp_do_execute;
+/// use sdo_isa::FpuOp;
+/// let r = fp_do_execute(FpuOp::Mul, 3.0, 4.0);
+/// assert_eq!(r.presult, Some(12.0));
+/// let r = fp_do_execute(FpuOp::Mul, f64::MIN_POSITIVE / 2.0, 4.0);
+/// assert!(!r.success);
+/// ```
+#[must_use]
+pub fn fp_do_execute(op: FpuOp, a: f64, b: f64) -> DoResult<f64> {
+    let class = if op == FpuOp::Sqrt { classify(a, 1.0) } else { classify(a, b) };
+    match class {
+        FpClass::Normal => DoResult::success(op.eval(a, b)),
+        FpClass::Subnormal => DoResult::fail(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SUB: f64 = f64::MIN_POSITIVE / 8.0;
+
+    #[test]
+    fn classify_normals_and_specials() {
+        assert_eq!(classify(1.5, -2.5), FpClass::Normal);
+        assert_eq!(classify(0.0, 0.0), FpClass::Normal);
+        assert_eq!(classify(f64::INFINITY, f64::NAN), FpClass::Normal);
+        assert_eq!(classify(f64::MAX, f64::MIN_POSITIVE), FpClass::Normal);
+    }
+
+    #[test]
+    fn classify_subnormals() {
+        assert!(SUB.is_subnormal());
+        assert_eq!(classify(SUB, 1.0), FpClass::Subnormal);
+        assert_eq!(classify(1.0, SUB), FpClass::Subnormal);
+        assert_eq!(classify(SUB, SUB), FpClass::Subnormal);
+    }
+
+    #[test]
+    fn fast_variant_computes_all_ops() {
+        assert_eq!(fp_do_execute(FpuOp::Mul, 6.0, 7.0).presult, Some(42.0));
+        assert_eq!(fp_do_execute(FpuOp::Div, 1.0, 4.0).presult, Some(0.25));
+        assert_eq!(fp_do_execute(FpuOp::Sqrt, 64.0, 0.0).presult, Some(8.0));
+    }
+
+    #[test]
+    fn subnormal_input_fails() {
+        let r = fp_do_execute(FpuOp::Div, SUB, 2.0);
+        assert_eq!(r, DoResult::fail());
+        let r = fp_do_execute(FpuOp::Mul, 2.0, SUB);
+        assert!(!r.success);
+    }
+
+    #[test]
+    fn sqrt_ignores_second_operand_class() {
+        // b is subnormal but sqrt has a single input: still fast.
+        let r = fp_do_execute(FpuOp::Sqrt, 9.0, SUB);
+        assert_eq!(r.presult, Some(3.0));
+    }
+
+    #[test]
+    fn functional_correctness_on_success_matches_reference() {
+        // Definition 1: success ⇒ presult == f(args).
+        for (a, b) in [(1.0, 2.0), (-3.5, 0.25), (1e300, 1e-300), (0.0, 5.0)] {
+            for op in [FpuOp::Mul, FpuOp::Div] {
+                let r = fp_do_execute(op, a, b);
+                if r.success {
+                    assert_eq!(r.presult.unwrap().to_bits(), op.eval(a, b).to_bits());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,734 @@
+//! The Obl-Ld operation: wait buffer and per-load event state machine
+//! (Sections V-B and V-C of the paper).
+//!
+//! Four events govern an Obl-Ld's life (Section V-C2):
+//!
+//! * **A** — the load is ready but unsafe (tainted address), so it issues
+//!   as an Obl-Ld (constructing an [`OblLdFsm`] is event A);
+//! * **B** — all per-level responses have reached the wait buffer
+//!   ([`OblEvent::Response`], last one);
+//! * **C** — the load becomes safe: its address untaints
+//!   ([`OblEvent::Safe`]);
+//! * **D** — the validation access completes
+//!   ([`OblEvent::ValidationDone`]).
+//!
+//! `A ≺ B` and `C ≺ D` always hold, giving exactly three orderings:
+//! `A≺B≺C≺D`, `A≺C≺B≺D` and `A≺C≺D≺B` — all covered here and by tests.
+//! The FSM returns the [`OblAction`]s the pipeline must perform; it holds
+//! no references into the pipeline, which keeps the paper's logic (Figure
+//! 4) independently testable.
+
+use sdo_mem::CacheLevel;
+
+/// Directives returned by the FSM for the pipeline to execute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OblAction {
+    /// Write `value` back and wake dependent instructions. Pre-safe this
+    /// value is tainted (it may be ⊥ = 0 on a concealed fail).
+    Forward {
+        /// The word to forward.
+        value: u64,
+    },
+    /// Squash all instructions younger than the load (its own value is
+    /// re-produced by the validation).
+    Squash,
+    /// Send a validation access for the load's address.
+    IssueValidation,
+    /// Send an exposure access for the load's address.
+    IssueExposure,
+    /// Train the location predictor with the actual level.
+    UpdatePredictor {
+        /// The level the data was actually found in.
+        level: CacheLevel,
+    },
+    /// The load is architecturally complete and may retire.
+    Complete,
+}
+
+/// The wait buffer: receives in-order per-level responses of one Obl-Ld
+/// (Section V-B). Levels respond closest-first, so the first `hit`
+/// response is the authoritative result (paper footnote 2).
+#[derive(Debug, Clone)]
+pub struct WaitBuffer {
+    expected: usize,
+    received: usize,
+    first_success: Option<(CacheLevel, u64)>,
+}
+
+impl WaitBuffer {
+    /// Creates a wait buffer expecting `expected` responses (= predicted
+    /// depth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected` is 0.
+    #[must_use]
+    pub fn new(expected: usize) -> Self {
+        assert!(expected > 0, "an Obl-Ld probes at least the L1");
+        WaitBuffer { expected, received: 0, first_success: None }
+    }
+
+    /// Records the next (in-order) response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `expected` responses arrive.
+    pub fn record(&mut self, level: CacheLevel, hit: bool, value: Option<u64>) {
+        assert!(self.received < self.expected, "wait buffer overflow");
+        self.received += 1;
+        if hit && self.first_success.is_none() {
+            let v = value.expect("a hit response carries data");
+            self.first_success = Some((level, v));
+        }
+    }
+
+    /// Whether every expected response has arrived (event **B**).
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.received == self.expected
+    }
+
+    /// The first (closest-level) success so far, if any. Because
+    /// responses arrive in order, a success is final as soon as it is
+    /// seen — the basis of the early-forwarding optimization.
+    #[must_use]
+    pub fn first_success(&self) -> Option<(CacheLevel, u64)> {
+        self.first_success
+    }
+
+    /// Responses still outstanding.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.expected - self.received
+    }
+}
+
+/// Events delivered to the FSM by the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OblEvent {
+    /// A per-level response reached the wait buffer (in order, L1 first).
+    Response {
+        /// Responding level.
+        level: CacheLevel,
+        /// Whether the tag check hit.
+        hit: bool,
+        /// Data word if `hit`.
+        value: Option<u64>,
+    },
+    /// The load's address became untainted (event **C**).
+    Safe,
+    /// The validation access completed (event **D**).
+    ValidationDone {
+        /// The up-to-date word read by the validation.
+        value: u64,
+        /// Whether it matches the value the Obl-Ld forwarded.
+        matches: bool,
+        /// Level the validation found the data in (trains the predictor
+        /// after a fail, Section V-C3).
+        level: CacheLevel,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Issued; waiting for responses; unsafe.
+    Unsafe,
+    /// All responses in, result forwarded; still unsafe (end of case-1 B).
+    ForwardedUnsafe,
+    /// Safe before B (cases 2/3); validation in flight; awaiting B and/or D.
+    SafeAwaiting,
+    /// Safe after B with success; validation in flight (case 1, D pending).
+    Validating,
+    /// Safe after B with fail; squashed; validation re-produces the value.
+    Reissuing,
+    /// Architecturally complete.
+    Done,
+}
+
+/// Per-load Obl-Ld state machine implementing Figure 4.
+///
+/// Construct at issue (event **A**), feed events, execute the returned
+/// actions. See the case tests in this module for full walkthroughs of
+/// all three orderings.
+///
+/// # Examples
+///
+/// Case `A≺B≺C≺D` with a successful L1 hit and exposure:
+///
+/// ```rust
+/// use sdo_core::oblld::{OblAction, OblEvent, OblLdFsm};
+/// use sdo_mem::CacheLevel;
+///
+/// let mut fsm = OblLdFsm::new(0x40, CacheLevel::L1, false, true);
+/// let acts = fsm.on_event(OblEvent::Response {
+///     level: CacheLevel::L1, hit: true, value: Some(7),
+/// });
+/// assert_eq!(acts, vec![OblAction::Forward { value: 7 }]); // B: forward (tainted)
+/// let acts = fsm.on_event(OblEvent::Safe); // C: success + L1 hit ⇒ expose
+/// assert!(acts.contains(&OblAction::IssueExposure));
+/// assert!(acts.contains(&OblAction::Complete));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OblLdFsm {
+    pc: u64,
+    predicted: CacheLevel,
+    exposure_eligible: bool,
+    early_forward: bool,
+    wait: WaitBuffer,
+    phase: Phase,
+    l1_hit: Option<bool>,
+    forwarded_value: Option<u64>,
+    squashed: bool,
+    issued_exposure: bool,
+}
+
+impl OblLdFsm {
+    /// Event **A**: the tainted load issues as an Obl-Ld.
+    ///
+    /// * `predicted` — the location predictor's output (must be a cache
+    ///   level; a DRAM prediction never issues an Obl-Ld).
+    /// * `exposure_eligible` — the InvisiSpec exposure condition held at
+    ///   issue.
+    /// * `early_forward` — enable the early-forwarding optimization
+    ///   (Section V-C2; toggled off for the ablation bench).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predicted` is [`CacheLevel::Dram`].
+    #[must_use]
+    pub fn new(pc: u64, predicted: CacheLevel, exposure_eligible: bool, early_forward: bool) -> Self {
+        assert!(predicted.is_cache(), "DRAM predictions revert to delayed execution");
+        OblLdFsm {
+            pc,
+            predicted,
+            exposure_eligible,
+            early_forward,
+            wait: WaitBuffer::new(predicted.depth() as usize),
+            phase: Phase::Unsafe,
+            l1_hit: None,
+            forwarded_value: None,
+            squashed: false,
+            issued_exposure: false,
+        }
+    }
+
+    /// The load's PC (the predictor's public input).
+    #[must_use]
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// The predicted level.
+    #[must_use]
+    pub fn predicted(&self) -> CacheLevel {
+        self.predicted
+    }
+
+    /// Whether the load has architecturally completed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// Whether younger instructions were squashed by this load.
+    #[must_use]
+    pub fn squashed(&self) -> bool {
+        self.squashed
+    }
+
+    /// The value forwarded to dependents so far (for validation compare).
+    #[must_use]
+    pub fn forwarded_value(&self) -> Option<u64> {
+        self.forwarded_value
+    }
+
+    /// Whether this load still needs a validation result to finish.
+    #[must_use]
+    pub fn awaiting_validation(&self) -> bool {
+        matches!(self.phase, Phase::SafeAwaiting | Phase::Validating | Phase::Reissuing)
+    }
+
+    fn validation_kind(&self) -> OblAction {
+        // Section VI-A field (3): expose iff exposure-eligible at issue or
+        // the L1 lookup succeeded.
+        if self.exposure_eligible || self.l1_hit == Some(true) {
+            OblAction::IssueExposure
+        } else {
+            OblAction::IssueValidation
+        }
+    }
+
+    /// Delivers an event; returns the actions the pipeline must execute,
+    /// in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol violations (e.g. responses after completion
+    /// of the wait buffer, `Safe` twice) — these indicate pipeline bugs.
+    pub fn on_event(&mut self, event: OblEvent) -> Vec<OblAction> {
+        match event {
+            OblEvent::Response { level, hit, value } => self.on_response(level, hit, value),
+            OblEvent::Safe => self.on_safe(),
+            OblEvent::ValidationDone { value, matches, level } => {
+                self.on_validation(value, matches, level)
+            }
+        }
+    }
+
+    fn on_response(&mut self, level: CacheLevel, hit: bool, value: Option<u64>) -> Vec<OblAction> {
+        if self.phase == Phase::Done {
+            // Case 3: the validation completed the load; B is ignored.
+            return Vec::new();
+        }
+        self.wait.record(level, hit, value);
+        if level == CacheLevel::L1 {
+            self.l1_hit = Some(hit);
+        }
+        let mut actions = Vec::new();
+
+        match self.phase {
+            Phase::Unsafe => {
+                // Pre-C: forwarding must wait for *all* responses so that
+                // timing does not reveal which level hit.
+                if self.wait.complete() {
+                    let value = self.wait.first_success().map_or(0, |(_, v)| v);
+                    self.forwarded_value = Some(value);
+                    actions.push(OblAction::Forward { value });
+                    self.phase = Phase::ForwardedUnsafe;
+                }
+            }
+            Phase::SafeAwaiting => {
+                // Post-C (case 2): success/fail is safe to reveal.
+                let early = self.early_forward && self.wait.first_success().is_some();
+                if early || self.wait.complete() {
+                    match self.wait.first_success() {
+                        Some((lvl, v)) => {
+                            if self.forwarded_value.is_none() {
+                                self.forwarded_value = Some(v);
+                                actions.push(OblAction::Forward { value: v });
+                                actions.push(OblAction::UpdatePredictor { level: lvl });
+                            }
+                            if self.issued_exposure {
+                                // Exposure does not gate retirement: a
+                                // revealed success completes the load now.
+                                actions.push(OblAction::Complete);
+                                self.phase = Phase::Done;
+                            }
+                            // Otherwise stay in SafeAwaiting for D.
+                        }
+                        None if self.wait.complete()
+                            // Fail revealed without having forwarded: drop
+                            // the result; the value must come from a
+                            // validation. If only an exposure was sent at
+                            // C, convert to a validation now. No squash.
+                            && self.issued_exposure => {
+                                self.issued_exposure = false;
+                                actions.push(OblAction::IssueValidation);
+                            }
+                        None => {}
+                    }
+                }
+            }
+            Phase::ForwardedUnsafe | Phase::Validating | Phase::Reissuing | Phase::Done => {
+                // ForwardedUnsafe cannot receive responses (B passed), and
+                // post-B phases receive none either.
+                unreachable!("response in phase {:?}", self.phase);
+            }
+        }
+        actions
+    }
+
+    fn on_safe(&mut self) -> Vec<OblAction> {
+        let mut actions = Vec::new();
+        match self.phase {
+            Phase::Unsafe => {
+                // Cases 2/3: C before B. Issue the consistency access now.
+                let kind = self.validation_kind();
+                self.issued_exposure = kind == OblAction::IssueExposure;
+                actions.push(kind);
+                self.phase = Phase::SafeAwaiting;
+                // Early forwarding: a success may already be sitting in
+                // the wait buffer.
+                if self.early_forward {
+                    if let Some((lvl, v)) = self.wait.first_success() {
+                        self.forwarded_value = Some(v);
+                        actions.push(OblAction::Forward { value: v });
+                        actions.push(OblAction::UpdatePredictor { level: lvl });
+                    }
+                }
+            }
+            Phase::ForwardedUnsafe => {
+                // Case 1: C after B.
+                match self.wait.first_success() {
+                    Some((lvl, _)) => {
+                        actions.push(OblAction::UpdatePredictor { level: lvl });
+                        let kind = self.validation_kind();
+                        actions.push(kind);
+                        if kind == OblAction::IssueExposure {
+                            // Exposure does not delay retirement.
+                            actions.push(OblAction::Complete);
+                            self.phase = Phase::Done;
+                        } else {
+                            self.phase = Phase::Validating;
+                        }
+                    }
+                    None => {
+                        // Fail was concealed and garbage was forwarded:
+                        // the only squash-producing path (Section V-C2).
+                        self.squashed = true;
+                        actions.push(OblAction::Squash);
+                        actions.push(OblAction::IssueValidation);
+                        self.phase = Phase::Reissuing;
+                    }
+                }
+            }
+            _ => unreachable!("Safe delivered twice (phase {:?})", self.phase),
+        }
+        actions
+    }
+
+    fn on_validation(&mut self, value: u64, matches: bool, level: CacheLevel) -> Vec<OblAction> {
+        let mut actions = Vec::new();
+        // The authoritative comparison is against what was actually
+        // forwarded (validation may have been issued before an early
+        // forward); `matches` reflects the memory system's view and is
+        // kept for statistics.
+        let _ = matches;
+        match self.phase {
+            Phase::Validating => {
+                // Case 1/2 success path: compare.
+                if Some(value) == self.forwarded_value {
+                    actions.push(OblAction::Complete);
+                } else {
+                    // Possible consistency violation: squash younger,
+                    // forward the fresh value.
+                    self.squashed = true;
+                    actions.push(OblAction::Squash);
+                    actions.push(OblAction::Forward { value });
+                    actions.push(OblAction::Complete);
+                }
+                self.phase = Phase::Done;
+            }
+            Phase::Reissuing => {
+                // Case 1 fail: younger already squashed at C; the
+                // validation is the re-issued load.
+                actions.push(OblAction::Forward { value });
+                actions.push(OblAction::UpdatePredictor { level });
+                actions.push(OblAction::Complete);
+                self.phase = Phase::Done;
+            }
+            Phase::SafeAwaiting => {
+                if let Some(fwd) = self.forwarded_value {
+                    // Case 2 with (early-)forwarded success: D compares.
+                    if value == fwd {
+                        actions.push(OblAction::Complete);
+                    } else {
+                        self.squashed = true;
+                        actions.push(OblAction::Squash);
+                        actions.push(OblAction::Forward { value });
+                        actions.push(OblAction::Complete);
+                    }
+                } else {
+                    // Case 3 (D before B), or case 2 fail: the validation
+                    // result completes the load directly — a "guaranteed
+                    // success".
+                    self.forwarded_value = Some(value);
+                    actions.push(OblAction::Forward { value });
+                    actions.push(OblAction::UpdatePredictor { level });
+                    actions.push(OblAction::Complete);
+                }
+                self.phase = Phase::Done;
+            }
+            _ => unreachable!("validation completed in phase {:?}", self.phase),
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(level: CacheLevel, hit: bool, value: u64) -> OblEvent {
+        OblEvent::Response { level, hit, value: hit.then_some(value) }
+    }
+
+    // ------------------------------------------------------------------
+    // Wait buffer
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn wait_buffer_completes_after_expected() {
+        let mut wb = WaitBuffer::new(2);
+        assert_eq!(wb.outstanding(), 2);
+        wb.record(CacheLevel::L1, false, None);
+        assert!(!wb.complete());
+        wb.record(CacheLevel::L2, true, Some(9));
+        assert!(wb.complete());
+        assert_eq!(wb.first_success(), Some((CacheLevel::L2, 9)));
+    }
+
+    #[test]
+    fn wait_buffer_keeps_first_success() {
+        let mut wb = WaitBuffer::new(3);
+        wb.record(CacheLevel::L1, true, Some(1));
+        wb.record(CacheLevel::L2, true, Some(2));
+        wb.record(CacheLevel::L3, true, Some(3));
+        assert_eq!(wb.first_success(), Some((CacheLevel::L1, 1)), "closest level wins");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn wait_buffer_overflow_panics() {
+        let mut wb = WaitBuffer::new(1);
+        wb.record(CacheLevel::L1, false, None);
+        wb.record(CacheLevel::L2, false, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the L1")]
+    fn wait_buffer_zero_panics() {
+        let _ = WaitBuffer::new(0);
+    }
+
+    // ------------------------------------------------------------------
+    // Case 1: A ≺ B ≺ C ≺ D
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn case1_success_with_validation() {
+        // Predicted L2, hit in L2 (not L1 ⇒ validation, not exposure).
+        let mut fsm = OblLdFsm::new(0, CacheLevel::L2, false, true);
+        assert!(fsm.on_event(resp(CacheLevel::L1, false, 0)).is_empty());
+        let b = fsm.on_event(resp(CacheLevel::L2, true, 42));
+        assert_eq!(b, vec![OblAction::Forward { value: 42 }], "B: forward tainted result");
+        let c = fsm.on_event(OblEvent::Safe);
+        assert_eq!(
+            c,
+            vec![
+                OblAction::UpdatePredictor { level: CacheLevel::L2 },
+                OblAction::IssueValidation
+            ]
+        );
+        assert!(fsm.awaiting_validation());
+        let d = fsm.on_event(OblEvent::ValidationDone { value: 42, matches: true, level: CacheLevel::L2 });
+        assert_eq!(d, vec![OblAction::Complete]);
+        assert!(fsm.is_done());
+        assert!(!fsm.squashed());
+    }
+
+    #[test]
+    fn case1_success_from_l1_uses_exposure() {
+        let mut fsm = OblLdFsm::new(0, CacheLevel::L1, false, true);
+        let b = fsm.on_event(resp(CacheLevel::L1, true, 5));
+        assert_eq!(b, vec![OblAction::Forward { value: 5 }]);
+        let c = fsm.on_event(OblEvent::Safe);
+        assert_eq!(
+            c,
+            vec![
+                OblAction::UpdatePredictor { level: CacheLevel::L1 },
+                OblAction::IssueExposure,
+                OblAction::Complete
+            ],
+            "L1 hit ⇒ exposure, retirement not delayed"
+        );
+        assert!(fsm.is_done());
+    }
+
+    #[test]
+    fn case1_exposure_eligible_at_issue() {
+        // Hit deeper than L1, but the InvisiSpec condition held at issue.
+        let mut fsm = OblLdFsm::new(0, CacheLevel::L2, true, true);
+        fsm.on_event(resp(CacheLevel::L1, false, 0));
+        fsm.on_event(resp(CacheLevel::L2, true, 8));
+        let c = fsm.on_event(OblEvent::Safe);
+        assert!(c.contains(&OblAction::IssueExposure));
+        assert!(c.contains(&OblAction::Complete));
+    }
+
+    #[test]
+    fn case1_fail_squashes_at_safe() {
+        // The ONLY squash-producing ordering (Section V-C2).
+        let mut fsm = OblLdFsm::new(0, CacheLevel::L2, false, true);
+        fsm.on_event(resp(CacheLevel::L1, false, 0));
+        let b = fsm.on_event(resp(CacheLevel::L2, false, 0));
+        assert_eq!(b, vec![OblAction::Forward { value: 0 }], "fail concealed: forward ⊥");
+        let c = fsm.on_event(OblEvent::Safe);
+        assert_eq!(c, vec![OblAction::Squash, OblAction::IssueValidation]);
+        assert!(fsm.squashed());
+        let d = fsm.on_event(OblEvent::ValidationDone { value: 77, matches: false, level: CacheLevel::Dram });
+        assert_eq!(
+            d,
+            vec![
+                OblAction::Forward { value: 77 },
+                OblAction::UpdatePredictor { level: CacheLevel::Dram },
+                OblAction::Complete
+            ],
+            "validation re-produces the value and trains the predictor"
+        );
+        assert!(fsm.is_done());
+    }
+
+    #[test]
+    fn case1_validation_mismatch_is_consistency_squash() {
+        let mut fsm = OblLdFsm::new(0, CacheLevel::L2, false, true);
+        fsm.on_event(resp(CacheLevel::L1, false, 0));
+        fsm.on_event(resp(CacheLevel::L2, true, 10));
+        fsm.on_event(OblEvent::Safe);
+        let d = fsm.on_event(OblEvent::ValidationDone { value: 11, matches: false, level: CacheLevel::L1 });
+        assert_eq!(
+            d,
+            vec![OblAction::Squash, OblAction::Forward { value: 11 }, OblAction::Complete]
+        );
+        assert!(fsm.squashed());
+    }
+
+    // ------------------------------------------------------------------
+    // Case 2: A ≺ C ≺ B ≺ D
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn case2_success_forwards_at_b() {
+        let mut fsm = OblLdFsm::new(0, CacheLevel::L2, false, false); // no early fwd
+        let c = fsm.on_event(OblEvent::Safe);
+        assert_eq!(c, vec![OblAction::IssueValidation], "C before B issues validation now");
+        assert!(fsm.on_event(resp(CacheLevel::L1, false, 0)).is_empty());
+        let b = fsm.on_event(resp(CacheLevel::L2, true, 21));
+        assert_eq!(
+            b,
+            vec![
+                OblAction::Forward { value: 21 },
+                OblAction::UpdatePredictor { level: CacheLevel::L2 }
+            ]
+        );
+        let d = fsm.on_event(OblEvent::ValidationDone { value: 21, matches: true, level: CacheLevel::L2 });
+        assert_eq!(d, vec![OblAction::Complete]);
+        assert!(!fsm.squashed());
+    }
+
+    #[test]
+    fn case2_early_forward_on_first_success() {
+        let mut fsm = OblLdFsm::new(0, CacheLevel::L3, false, true);
+        fsm.on_event(OblEvent::Safe);
+        // L1 hit arrives: with early forwarding the value goes out NOW,
+        // before L2/L3 responses.
+        let r1 = fsm.on_event(resp(CacheLevel::L1, true, 3));
+        assert_eq!(
+            r1,
+            vec![
+                OblAction::Forward { value: 3 },
+                OblAction::UpdatePredictor { level: CacheLevel::L1 }
+            ]
+        );
+        // Remaining responses produce nothing new.
+        assert!(fsm.on_event(resp(CacheLevel::L2, true, 3)).is_empty());
+        assert!(fsm.on_event(resp(CacheLevel::L3, true, 3)).is_empty());
+        let d = fsm.on_event(OblEvent::ValidationDone { value: 3, matches: true, level: CacheLevel::L1 });
+        assert_eq!(d, vec![OblAction::Complete]);
+    }
+
+    #[test]
+    fn case2_fail_drops_without_squash() {
+        let mut fsm = OblLdFsm::new(0, CacheLevel::L1, false, true);
+        fsm.on_event(OblEvent::Safe);
+        let b = fsm.on_event(resp(CacheLevel::L1, false, 0));
+        assert!(b.is_empty(), "fail is safe to reveal: drop, no forward, no squash");
+        assert!(!fsm.squashed());
+        let d = fsm.on_event(OblEvent::ValidationDone { value: 9, matches: false, level: CacheLevel::L3 });
+        assert_eq!(
+            d,
+            vec![
+                OblAction::Forward { value: 9 },
+                OblAction::UpdatePredictor { level: CacheLevel::L3 },
+                OblAction::Complete
+            ]
+        );
+        assert!(!fsm.squashed(), "case 2 fail never squashes");
+    }
+
+    #[test]
+    fn case2_race_store_between_forward_and_validation() {
+        let mut fsm = OblLdFsm::new(0, CacheLevel::L1, false, true);
+        fsm.on_event(OblEvent::Safe);
+        fsm.on_event(resp(CacheLevel::L1, true, 5));
+        // Another core changed the value before validation.
+        let d = fsm.on_event(OblEvent::ValidationDone { value: 6, matches: false, level: CacheLevel::L1 });
+        assert_eq!(
+            d,
+            vec![OblAction::Squash, OblAction::Forward { value: 6 }, OblAction::Complete]
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Case 3: A ≺ C ≺ D ≺ B
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn case3_validation_completes_load_first() {
+        let mut fsm = OblLdFsm::new(0, CacheLevel::L3, false, false);
+        let c = fsm.on_event(OblEvent::Safe);
+        assert_eq!(c, vec![OblAction::IssueValidation]);
+        // D arrives before any/all responses.
+        let d = fsm.on_event(OblEvent::ValidationDone { value: 30, matches: true, level: CacheLevel::L2 });
+        assert_eq!(
+            d,
+            vec![
+                OblAction::Forward { value: 30 },
+                OblAction::UpdatePredictor { level: CacheLevel::L2 },
+                OblAction::Complete
+            ],
+            "validation result is a guaranteed success"
+        );
+        assert!(fsm.is_done());
+        // Late Obl-Ld responses are ignored.
+        assert!(fsm.on_event(resp(CacheLevel::L1, true, 30)).is_empty());
+        assert!(fsm.on_event(resp(CacheLevel::L2, true, 30)).is_empty());
+        assert!(fsm.on_event(resp(CacheLevel::L3, true, 30)).is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // Construction and accessors
+    // ------------------------------------------------------------------
+
+    #[test]
+    #[should_panic(expected = "DRAM predictions")]
+    fn dram_prediction_rejected() {
+        let _ = OblLdFsm::new(0, CacheLevel::Dram, false, true);
+    }
+
+    #[test]
+    fn accessors_report_state() {
+        let fsm = OblLdFsm::new(0x77, CacheLevel::L2, false, true);
+        assert_eq!(fsm.pc(), 0x77);
+        assert_eq!(fsm.predicted(), CacheLevel::L2);
+        assert!(!fsm.is_done());
+        assert_eq!(fsm.forwarded_value(), None);
+        assert!(!fsm.awaiting_validation());
+    }
+
+    #[test]
+    fn prediction_depth_sets_expected_responses() {
+        let mut fsm = OblLdFsm::new(0, CacheLevel::L3, false, true);
+        // Three responses required before the unsafe forward.
+        assert!(fsm.on_event(resp(CacheLevel::L1, false, 0)).is_empty());
+        assert!(fsm.on_event(resp(CacheLevel::L2, false, 0)).is_empty());
+        let b = fsm.on_event(resp(CacheLevel::L3, true, 1));
+        assert_eq!(b, vec![OblAction::Forward { value: 1 }]);
+    }
+
+    #[test]
+    fn no_early_forward_when_disabled() {
+        let mut fsm = OblLdFsm::new(0, CacheLevel::L2, false, false);
+        fsm.on_event(OblEvent::Safe);
+        let r1 = fsm.on_event(resp(CacheLevel::L1, true, 4));
+        assert!(r1.is_empty(), "ablation: wait for all responses even when safe");
+        let b = fsm.on_event(resp(CacheLevel::L2, false, 0));
+        assert_eq!(
+            b,
+            vec![
+                OblAction::Forward { value: 4 },
+                OblAction::UpdatePredictor { level: CacheLevel::L1 }
+            ]
+        );
+    }
+}

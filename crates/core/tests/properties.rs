@@ -1,0 +1,201 @@
+//! Property-based tests for the SDO framework: the Obl-Ld state machine
+//! must behave sanely under *every* legal event interleaving, and the
+//! location predictors must uphold their structural invariants.
+
+use proptest::prelude::*;
+use sdo_core::oblld::{OblAction, OblEvent, OblLdFsm};
+use sdo_core::predictor::{
+    GreedyPredictor, HybridPredictor, LocationPredictor, LoopPredictor, PerfectPredictor,
+    StaticPredictor,
+};
+use sdo_mem::CacheLevel;
+
+fn level_of(depth: u8) -> CacheLevel {
+    CacheLevel::from_depth_clamped(depth)
+}
+
+/// Drives an FSM through one complete life at a given interleaving and
+/// returns every action it emitted.
+///
+/// `safe_after` selects when the Safe event fires relative to the
+/// responses; the validation (if one was requested) completes after
+/// `val_after` further responses (clamped).
+fn drive_fsm(
+    predicted_depth: u8,
+    hit_at: Option<u8>,
+    exposure_eligible: bool,
+    early_forward: bool,
+    safe_after: usize,
+    val_delay: usize,
+    val_value: u64,
+) -> (OblLdFsm, Vec<OblAction>) {
+    let predicted = level_of(predicted_depth);
+    let mut fsm = OblLdFsm::new(0x10, predicted, exposure_eligible, early_forward);
+    let mut actions = Vec::new();
+
+    let responses: Vec<OblEvent> = (1..=predicted_depth)
+        .map(|d| {
+            let hit = hit_at == Some(d);
+            OblEvent::Response {
+                level: level_of(d),
+                hit,
+                value: hit.then_some(42),
+            }
+        })
+        .collect();
+
+    // A tiny event scheduler: responses arrive one per step, Safe fires
+    // at `safe_after`, and any IssueValidation action (whichever event
+    // produced it) schedules a ValidationDone `val_delay` steps later.
+    let mut pending_validation: Option<usize> = None;
+    let mut fired_safe = false;
+    let mut resp_iter = responses.into_iter();
+
+    for step in 0..32usize {
+        if fsm.is_done() {
+            break;
+        }
+        let mut batch: Vec<OblAction> = Vec::new();
+        if pending_validation.is_some_and(|due| step >= due) {
+            pending_validation = None;
+            batch.extend(fsm.on_event(OblEvent::ValidationDone {
+                value: val_value,
+                matches: Some(val_value) == fsm.forwarded_value(),
+                level: CacheLevel::L2,
+            }));
+        } else if !fired_safe && step >= safe_after {
+            fired_safe = true;
+            batch.extend(fsm.on_event(OblEvent::Safe));
+        } else if let Some(r) = resp_iter.next() {
+            batch.extend(fsm.on_event(r));
+        } else if !fired_safe {
+            fired_safe = true;
+            batch.extend(fsm.on_event(OblEvent::Safe));
+        }
+        if batch.iter().any(|a| matches!(a, OblAction::IssueValidation)) {
+            pending_validation = Some(step + 1 + val_delay);
+        }
+        actions.extend(batch);
+    }
+    // Post-completion responses must be ignored, not crash.
+    for r in resp_iter {
+        if fsm.is_done() {
+            actions.extend(fsm.on_event(r));
+        }
+    }
+    (fsm, actions)
+}
+
+proptest! {
+    /// Under every interleaving the load eventually completes exactly
+    /// once, and a value is forwarded before (or with) completion.
+    #[test]
+    fn fsm_always_completes_exactly_once(
+        predicted in 1u8..=3,
+        hit in prop::option::of(1u8..=3),
+        exposure in any::<bool>(),
+        early in any::<bool>(),
+        safe_after in 0usize..6,
+        val_delay in 0usize..5,
+        val_value in any::<u64>(),
+    ) {
+        let hit_at = hit.filter(|h| *h <= predicted);
+        let (fsm, actions) =
+            drive_fsm(predicted, hit_at, exposure, early, safe_after, val_delay, val_value);
+        let completes = actions.iter().filter(|a| matches!(a, OblAction::Complete)).count();
+        prop_assert!(fsm.is_done(), "FSM must reach Done; actions: {actions:?}");
+        prop_assert_eq!(completes, 1, "exactly one Complete; actions: {:?}", actions);
+        prop_assert!(fsm.forwarded_value().is_some(), "a value must reach dependents");
+    }
+
+    /// A squash can only happen when the lookup failed after forwarding
+    /// pre-safe (case 1) or when the validation value mismatched — never
+    /// on a clean success.
+    #[test]
+    fn fsm_squashes_only_when_paper_says_so(
+        predicted in 1u8..=3,
+        hit in 1u8..=3,
+        exposure in any::<bool>(),
+        early in any::<bool>(),
+        safe_after in 0usize..6,
+        val_delay in 0usize..5,
+    ) {
+        prop_assume!(hit <= predicted);
+        // Success with a matching validation value: no squash allowed.
+        let (fsm, actions) =
+            drive_fsm(predicted, Some(hit), exposure, early, safe_after, val_delay, 42);
+        prop_assert!(
+            !fsm.squashed(),
+            "clean success must not squash; actions: {actions:?}"
+        );
+    }
+
+    /// All-miss lookups whose fail is revealed only pre-safe (case 1)
+    /// must squash; fails revealed post-safe (case 2/3) must not.
+    #[test]
+    fn fsm_fail_squash_matches_case(
+        predicted in 1u8..=3,
+        exposure in any::<bool>(),
+        early in any::<bool>(),
+        val_delay in 0usize..5,
+        val_value in any::<u64>(),
+    ) {
+        // safe_after beyond all responses => case 1 (B before C).
+        let (fsm1, _) = drive_fsm(
+            predicted, None, exposure, early, predicted as usize + 1, val_delay, val_value,
+        );
+        prop_assert!(fsm1.squashed(), "case-1 fail must squash");
+        // safe first => case 2/3, no squash.
+        let (fsm2, _) = drive_fsm(predicted, None, exposure, early, 0, val_delay, val_value);
+        prop_assert!(!fsm2.squashed(), "case-2/3 fail must not squash");
+    }
+
+    /// Predictors always answer with a legal level, never panic, for any
+    /// update stream.
+    #[test]
+    fn predictors_total_over_random_histories(
+        history in prop::collection::vec((0u64..64, 1u8..=4), 0..300),
+        pc in 0u64..1_000,
+    ) {
+        let mut predictors: Vec<Box<dyn LocationPredictor>> = vec![
+            Box::new(StaticPredictor::new(CacheLevel::L1)),
+            Box::new(StaticPredictor::new(CacheLevel::L2)),
+            Box::new(StaticPredictor::new(CacheLevel::L3)),
+            Box::new(GreedyPredictor::default()),
+            Box::new(LoopPredictor::default()),
+            Box::new(HybridPredictor::default()),
+            Box::new(PerfectPredictor),
+        ];
+        for p in &mut predictors {
+            for &(hpc, depth) in &history {
+                p.update(hpc, level_of(depth));
+            }
+            let pred = p.predict(pc, CacheLevel::L2);
+            prop_assert!(pred.depth() >= 1 && pred.depth() <= 4);
+        }
+    }
+
+    /// Greedy invariant: its prediction covers (is at least as deep as)
+    /// every level seen in the last `m` updates for that pc.
+    #[test]
+    fn greedy_covers_its_window(
+        depths in prop::collection::vec(1u8..=4, 1..40),
+        window in 1usize..12,
+    ) {
+        let mut p = GreedyPredictor::new(64, window);
+        let pc = 7;
+        for &d in &depths {
+            p.update(pc, level_of(d));
+        }
+        let pred = p.predict(pc, CacheLevel::L1);
+        let recent_max = depths.iter().rev().take(window).copied().max().unwrap();
+        prop_assert_eq!(pred.depth(), recent_max, "greedy = max of window");
+    }
+
+    /// The perfect predictor echoes the oracle for every residency.
+    #[test]
+    fn perfect_echoes_oracle(depth in 1u8..=4, pc in any::<u64>()) {
+        let mut p = PerfectPredictor;
+        prop_assert_eq!(p.predict(pc, level_of(depth)), level_of(depth));
+    }
+}

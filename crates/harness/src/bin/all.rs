@@ -1,0 +1,7 @@
+//! Runs every experiment and prints the full evaluation report.
+use sdo_harness::experiments::full_report;
+use sdo_harness::SimConfig;
+
+fn main() {
+    println!("{}", full_report(SimConfig::table_i()).expect("experiments complete"));
+}

@@ -1,0 +1,88 @@
+//! `compare` — side-by-side statistics for two Table II variants on one
+//! suite kernel, highlighting exactly where the protection overhead (or
+//! the SDO recovery) comes from.
+//!
+//! ```text
+//! cargo run --release -p sdo-harness --bin compare -- \
+//!     [kernel] [variant-a] [variant-b] [spectre|futuristic]
+//! ```
+//!
+//! Defaults: `hash_lookup STT{ld} Hybrid spectre`.
+
+use sdo_harness::sim::RunResult;
+use sdo_harness::table::TextTable;
+use sdo_harness::{SimConfig, Simulator, Variant};
+use sdo_uarch::AttackModel;
+use sdo_workloads::suite;
+use std::process::exit;
+
+fn find_variant(name: &str) -> Variant {
+    match Variant::ALL.iter().find(|v| v.name().eq_ignore_ascii_case(name)) {
+        Some(v) => *v,
+        None => {
+            eprintln!(
+                "unknown variant '{name}'; options: {}",
+                Variant::ALL.map(|v| v.name()).join(", ")
+            );
+            exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kernel = args.first().map_or("hash_lookup", String::as_str);
+    let va = find_variant(args.get(1).map_or("STT{ld}", String::as_str));
+    let vb = find_variant(args.get(2).map_or("Hybrid", String::as_str));
+    let attack = match args.get(3).map(String::as_str) {
+        None | Some("spectre") => AttackModel::Spectre,
+        Some("futuristic") => AttackModel::Futuristic,
+        Some(other) => {
+            eprintln!("unknown attack model '{other}'");
+            exit(2);
+        }
+    };
+
+    let kernels = suite();
+    let Some(w) = kernels.iter().find(|w| w.name() == kernel) else {
+        eprintln!(
+            "unknown kernel '{kernel}'; options: {}",
+            kernels.iter().map(|w| w.name()).collect::<Vec<_>>().join(", ")
+        );
+        exit(2);
+    };
+
+    let sim = Simulator::new(SimConfig::table_i());
+    let base = sim.run_workload(w, Variant::Unsafe, attack).expect("baseline runs");
+    let a = sim.run_workload(w, va, attack).expect("variant A runs");
+    let b = sim.run_workload(w, vb, attack).expect("variant B runs");
+
+    let row = |name: &str, f: &dyn Fn(&RunResult) -> String| {
+        vec![name.to_string(), f(&a), f(&b)]
+    };
+    let mut t = TextTable::new(vec![
+        format!("{kernel} / {attack}"),
+        va.name().to_string(),
+        vb.name().to_string(),
+    ]);
+    t.row(row("cycles", &|r| r.cycles.to_string()));
+    t.row(row("normalized to Unsafe", &|r| format!("{:.3}", r.normalized_to(&base))));
+    t.row(row("IPC", &|r| format!("{:.2}", r.core.ipc())));
+    t.row(row("delayed loads", &|r| r.core.delayed_loads.to_string()));
+    t.row(row("delay cycles", &|r| r.core.delay_cycles.to_string()));
+    t.row(row("Obl-Ld issued", &|r| r.core.obl.issued.to_string()));
+    t.row(row("Obl-Ld success/fail", &|r| {
+        format!("{}/{}", r.core.obl.success, r.core.obl.fail)
+    }));
+    t.row(row("DRAM predictions", &|r| r.core.obl.dram_predictions.to_string()));
+    t.row(row("validations/exposures", &|r| {
+        format!("{}/{}", r.core.obl.validations, r.core.obl.exposures)
+    }));
+    t.row(row("validation stall cycles", &|r| r.core.obl.validation_stall_cycles.to_string()));
+    t.row(row("squashes (SDO-related)", &|r| r.core.squashes.sdo_related().to_string()));
+    t.row(row("squashes (branch)", &|r| r.core.squashes.branch.to_string()));
+    t.row(row("predictor precision", &|r| format!("{:.1}%", 100.0 * r.core.obl.precision())));
+    t.row(row("predictor accuracy", &|r| format!("{:.1}%", 100.0 * r.core.obl.accuracy())));
+    println!("{}", t.render());
+    println!("(Unsafe baseline: {} cycles)", base.cycles);
+}

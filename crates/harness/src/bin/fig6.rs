@@ -1,0 +1,18 @@
+//! Regenerates Figure 6: normalized execution time per kernel/variant.
+//!
+//! Pass `--csv` to emit machine-readable output (the full per-run dump
+//! with `--csv=runs`).
+use sdo_harness::experiments::{fig6_report, run_suite};
+use sdo_harness::export::{fig6_csv, runs_csv};
+use sdo_harness::{SimConfig, Simulator};
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let sim = Simulator::new(SimConfig::table_i());
+    let results = run_suite(&sim).expect("suite completes");
+    match mode.as_str() {
+        "--csv" => print!("{}", fig6_csv(&results)),
+        "--csv=runs" => print!("{}", runs_csv(&results)),
+        _ => println!("{}", fig6_report(&results)),
+    }
+}

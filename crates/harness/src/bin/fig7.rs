@@ -1,0 +1,9 @@
+//! Regenerates Figure 7: overhead breakdown for the SDO variants.
+use sdo_harness::experiments::{fig7_report, run_suite};
+use sdo_harness::{SimConfig, Simulator};
+
+fn main() {
+    let sim = Simulator::new(SimConfig::table_i());
+    let results = run_suite(&sim).expect("suite completes");
+    println!("{}", fig7_report(&results));
+}

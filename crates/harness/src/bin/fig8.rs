@@ -1,0 +1,9 @@
+//! Regenerates Figure 8: squashes vs normalized execution time.
+use sdo_harness::experiments::{fig8_report, run_suite};
+use sdo_harness::{SimConfig, Simulator};
+
+fn main() {
+    let sim = Simulator::new(SimConfig::table_i());
+    let results = run_suite(&sim).expect("suite completes");
+    println!("{}", fig8_report(&results));
+}

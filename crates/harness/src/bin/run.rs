@@ -1,0 +1,138 @@
+//! `run` — assemble a text program and simulate it on the Table I machine.
+//!
+//! ```text
+//! cargo run --release -p sdo-harness --bin run -- prog.s [options]
+//!
+//! options:
+//!   --variant <name>   Unsafe | STT{ld} | STT{ld+fp} | "Static L1" |
+//!                      "Static L2" | "Static L3" | Hybrid | Perfect
+//!                      (default: Unsafe)
+//!   --attack <model>   spectre | futuristic   (default: spectre)
+//!   --all              run every Table II variant and tabulate
+//!   --disasm           print the disassembly before running
+//! ```
+
+use sdo_harness::table::TextTable;
+use sdo_harness::{SimConfig, Simulator, Variant};
+use sdo_isa::parse_asm;
+use sdo_uarch::AttackModel;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: run <file.s> [--variant <name>] [--attack spectre|futuristic] [--all] [--disasm]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut file = None;
+    let mut variant = Variant::Unsafe;
+    let mut attack = AttackModel::Spectre;
+    let mut all = false;
+    let mut disasm = false;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--variant" => {
+                let Some(name) = args.next() else { usage() };
+                variant = match Variant::ALL.iter().find(|v| v.name().eq_ignore_ascii_case(&name))
+                {
+                    Some(v) => *v,
+                    None => {
+                        eprintln!("unknown variant '{name}'");
+                        exit(2);
+                    }
+                };
+            }
+            "--attack" => {
+                let Some(name) = args.next() else { usage() };
+                attack = match name.to_ascii_lowercase().as_str() {
+                    "spectre" => AttackModel::Spectre,
+                    "futuristic" => AttackModel::Futuristic,
+                    _ => {
+                        eprintln!("unknown attack model '{name}'");
+                        exit(2);
+                    }
+                };
+            }
+            "--all" => all = true,
+            "--disasm" => disasm = true,
+            "--help" | "-h" => usage(),
+            other if file.is_none() => file = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                usage();
+            }
+        }
+    }
+    let Some(file) = file else { usage() };
+
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            exit(1);
+        }
+    };
+    let program = match parse_asm(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            exit(1);
+        }
+    };
+    if disasm {
+        println!("{}", program.disassemble());
+    }
+
+    let sim = Simulator::new(SimConfig::table_i());
+    if all {
+        let mut t = TextTable::new(vec![
+            "variant".into(),
+            "cycles".into(),
+            "norm".into(),
+            "IPC".into(),
+            "delayed".into(),
+            "obl".into(),
+            "squashes".into(),
+        ]);
+        let base = match sim.run(&program, Variant::Unsafe, attack) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                exit(1);
+            }
+        };
+        for v in Variant::ALL {
+            match sim.run(&program, v, attack) {
+                Ok(r) => t.row(vec![
+                    v.name().to_string(),
+                    r.cycles.to_string(),
+                    format!("{:.3}", r.normalized_to(&base)),
+                    format!("{:.2}", r.core.ipc()),
+                    r.core.delayed_loads.to_string(),
+                    r.core.obl.issued.to_string(),
+                    r.core.squashes.total().to_string(),
+                ]),
+                Err(e) => {
+                    eprintln!("{e}");
+                    exit(1);
+                }
+            }
+        }
+        println!("{} under the {attack} model:\n{}", program.name(), t.render());
+    } else {
+        match sim.run(&program, variant, attack) {
+            Ok(r) => {
+                println!("{} under {} / {attack}:", program.name(), variant.name());
+                println!("{}", r.core);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                exit(1);
+            }
+        }
+    }
+}

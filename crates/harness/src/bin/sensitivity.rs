@@ -1,0 +1,9 @@
+//! Sweeps microarchitecture parameters (ROB depth, MSHR count) and shows
+//! how STT's and STT+SDO's overheads move — the abstract's "depending on
+//! the microarchitecture" claim, quantified.
+use sdo_harness::experiments::sensitivity_report;
+use sdo_harness::SimConfig;
+
+fn main() {
+    println!("{}", sensitivity_report(SimConfig::table_i()).expect("sweep completes"));
+}

@@ -1,0 +1,6 @@
+//! Prints Table I (simulated architecture parameters).
+use sdo_harness::SimConfig;
+
+fn main() {
+    println!("{}", SimConfig::table_i().render_table_i());
+}

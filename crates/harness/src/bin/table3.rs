@@ -1,0 +1,9 @@
+//! Regenerates Table III: predictor precision and accuracy.
+use sdo_harness::experiments::{run_suite, table3_report};
+use sdo_harness::{SimConfig, Simulator};
+
+fn main() {
+    let sim = Simulator::new(SimConfig::table_i());
+    let results = run_suite(&sim).expect("suite completes");
+    println!("{}", table3_report(&results));
+}

@@ -1,0 +1,238 @@
+//! Simulation configuration: Table I parameters and the Table II design
+//! variants.
+
+use sdo_mem::{CacheLevel, MemConfig};
+use sdo_uarch::{
+    AttackModel, CoreConfig, PredictorKind, Protection, SdoConfig, SecurityConfig,
+};
+use std::fmt;
+
+/// Complete machine configuration (core + memory hierarchy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Pipeline parameters (Table I, pipeline row).
+    pub core: CoreConfig,
+    /// Memory-hierarchy parameters (Table I, remaining rows).
+    pub mem: MemConfig,
+    /// Cycle budget per simulation before declaring a hang.
+    pub max_cycles: u64,
+}
+
+impl SimConfig {
+    /// The paper's Table I machine.
+    #[must_use]
+    pub fn table_i() -> Self {
+        SimConfig { core: CoreConfig::table_i(), mem: MemConfig::table_i(), max_cycles: 200_000_000 }
+    }
+
+    /// A small machine for fast unit tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        SimConfig { core: CoreConfig::tiny(), mem: MemConfig::tiny(), max_cycles: 50_000_000 }
+    }
+
+    /// Renders Table I.
+    #[must_use]
+    pub fn render_table_i(&self) -> String {
+        let c = &self.core;
+        let m = &self.mem;
+        format!(
+            "TABLE I: Simulated architecture parameters\n\
+             Pipeline   | {}-wide fetch/decode/issue/commit, {}/{} SQ/LQ, {} ROB, {} MSHRs,\n\
+             \x20          | tournament branch predictor, {}-cycle frontend\n\
+             L1 D-Cache | {} KB, 64B line, {}-way, {}-cycle latency\n\
+             L2 Cache   | {} KB, 64B line, {}-way, {}-cycle latency\n\
+             L3 Cache   | {} MB (sliced), 64B line, {}-way, {}-cycle latency\n\
+             Network    | {}x{} mesh, {}-cycle hops\n\
+             DRAM       | {}~{} cycles (row hit~miss), {} banks\n\
+             TLB        | {} entries, {}-cycle walk",
+            c.width,
+            c.sq_entries,
+            c.lq_entries,
+            c.rob_entries,
+            m.l1.mshrs,
+            c.frontend_latency,
+            m.l1.size_bytes / 1024,
+            m.l1.ways,
+            m.l1.latency,
+            m.l2.size_bytes / 1024,
+            m.l2.ways,
+            m.l2.latency,
+            m.l3.size_bytes / (1024 * 1024),
+            m.l3.ways,
+            m.l3.latency,
+            m.mesh_cols,
+            m.mesh_rows,
+            m.hop_latency,
+            m.dram.row_hit_latency,
+            m.dram.row_miss_latency,
+            m.dram.banks,
+            m.tlb.entries,
+            m.tlb.walk_latency,
+        )
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::table_i()
+    }
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Unmodified insecure processor.
+    Unsafe,
+    /// STT delaying unsafe loads only.
+    SttLd,
+    /// STT delaying unsafe loads and FP transmit micro-ops.
+    SttLdFp,
+    /// SDO always predicting L1.
+    StaticL1,
+    /// SDO always predicting L2.
+    StaticL2,
+    /// SDO always predicting L3.
+    StaticL3,
+    /// SDO with the hybrid location predictor.
+    Hybrid,
+    /// SDO with the oracle predictor.
+    Perfect,
+}
+
+impl Variant {
+    /// All variants in Table II order.
+    pub const ALL: [Variant; 8] = [
+        Variant::Unsafe,
+        Variant::SttLd,
+        Variant::SttLdFp,
+        Variant::StaticL1,
+        Variant::StaticL2,
+        Variant::StaticL3,
+        Variant::Hybrid,
+        Variant::Perfect,
+    ];
+
+    /// The SDO variants only.
+    pub const SDO: [Variant; 5] =
+        [Variant::StaticL1, Variant::StaticL2, Variant::StaticL3, Variant::Hybrid, Variant::Perfect];
+
+    /// The variant's display name (column label in the figures).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Unsafe => "Unsafe",
+            Variant::SttLd => "STT{ld}",
+            Variant::SttLdFp => "STT{ld+fp}",
+            Variant::StaticL1 => "Static L1",
+            Variant::StaticL2 => "Static L2",
+            Variant::StaticL3 => "Static L3",
+            Variant::Hybrid => "Hybrid",
+            Variant::Perfect => "Perfect",
+        }
+    }
+
+    /// Whether this is an STT+SDO configuration.
+    #[must_use]
+    pub fn is_sdo(self) -> bool {
+        matches!(
+            self,
+            Variant::StaticL1 | Variant::StaticL2 | Variant::StaticL3 | Variant::Hybrid | Variant::Perfect
+        )
+    }
+
+    /// The security configuration this variant runs under, for a given
+    /// attack model.
+    #[must_use]
+    pub fn security(self, attack: AttackModel) -> SecurityConfig {
+        let protection = match self {
+            Variant::Unsafe => Protection::Unsafe,
+            Variant::SttLd => Protection::Stt { fp_transmitters: false },
+            Variant::SttLdFp => Protection::Stt { fp_transmitters: true },
+            Variant::StaticL1 => {
+                Protection::Sdo(SdoConfig::with_predictor(PredictorKind::Static(CacheLevel::L1)))
+            }
+            Variant::StaticL2 => {
+                Protection::Sdo(SdoConfig::with_predictor(PredictorKind::Static(CacheLevel::L2)))
+            }
+            Variant::StaticL3 => {
+                Protection::Sdo(SdoConfig::with_predictor(PredictorKind::Static(CacheLevel::L3)))
+            }
+            Variant::Hybrid => Protection::Sdo(SdoConfig::with_predictor(PredictorKind::Hybrid)),
+            Variant::Perfect => Protection::Sdo(SdoConfig::with_predictor(PredictorKind::Perfect)),
+        };
+        SecurityConfig { protection, attack }
+    }
+
+    /// Renders Table II.
+    #[must_use]
+    pub fn render_table_ii() -> String {
+        let mut out = String::from("TABLE II: Evaluated design variants\n");
+        for v in Variant::ALL {
+            let desc = match v {
+                Variant::Unsafe => "An unmodified insecure processor",
+                Variant::SttLd => "STT, delaying the execution of unsafe loads only",
+                Variant::SttLdFp => "STT, delaying unsafe loads and fmult/div/fsqrt micro-ops",
+                Variant::StaticL1 => "SDO with predictor always predicting L1 D-Cache",
+                Variant::StaticL2 => "SDO with predictor always predicting L2",
+                Variant::StaticL3 => "SDO with predictor always predicting L3",
+                Variant::Hybrid => "SDO with proposed hybrid location predictor",
+                Variant::Perfect => "SDO with oracle predictor always predicting correct level",
+            };
+            out.push_str(&format!("{:12} | {desc}\n", v.name()));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_build_security_configs() {
+        for v in Variant::ALL {
+            for attack in AttackModel::ALL {
+                let sec = v.security(attack);
+                assert_eq!(sec.attack, attack);
+                if v == Variant::Unsafe {
+                    assert_eq!(sec.protection, Protection::Unsafe);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sdo_subset_is_consistent() {
+        for v in Variant::SDO {
+            assert!(v.is_sdo());
+            assert!(matches!(v.security(AttackModel::Spectre).protection, Protection::Sdo(_)));
+        }
+        assert!(!Variant::Unsafe.is_sdo());
+        assert!(!Variant::SttLd.is_sdo());
+    }
+
+    #[test]
+    fn tables_render() {
+        let t1 = SimConfig::table_i().render_table_i();
+        assert!(t1.contains("192 ROB"));
+        assert!(t1.contains("32 KB"));
+        let t2 = Variant::render_table_ii();
+        assert!(t2.contains("STT{ld+fp}"));
+        assert!(t2.contains("hybrid"));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Variant::ALL.iter().map(|v| v.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+}

@@ -1,0 +1,155 @@
+//! CSV export of sweep results, for plotting outside the simulator
+//! (the figures in the paper are bar/scatter charts of exactly these
+//! columns).
+
+use crate::config::Variant;
+use crate::experiments::SuiteResults;
+use crate::sim::RunResult;
+
+/// Header of the per-run CSV produced by [`runs_csv`].
+pub const RUNS_CSV_HEADER: &str = "attack,workload,variant,cycles,normalized,committed,ipc,\
+     delayed_loads,delay_cycles,obl_issued,obl_success,obl_fail,dram_predictions,\
+     mshr_retries,validations,exposures,validation_stall_cycles,imprecision_cycles,\
+     squash_branch,squash_obl_fail,squash_validation,squash_consistency,squash_fp,\
+     predictions,precise,accurate,l1_hits,l1_misses,l2_hits,l3_hits,l3_misses";
+
+fn run_row(r: &RunResult, baseline: &RunResult) -> String {
+    format!(
+        "{},{},{},{},{:.6},{},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        r.attack,
+        r.workload,
+        r.variant.name().replace(' ', "_"),
+        r.cycles,
+        r.normalized_to(baseline),
+        r.core.committed,
+        r.core.ipc(),
+        r.core.delayed_loads,
+        r.core.delay_cycles,
+        r.core.obl.issued,
+        r.core.obl.success,
+        r.core.obl.fail,
+        r.core.obl.dram_predictions,
+        r.core.obl.mshr_retries,
+        r.core.obl.validations,
+        r.core.obl.exposures,
+        r.core.obl.validation_stall_cycles,
+        r.core.obl.imprecision_cycles,
+        r.core.squashes.branch,
+        r.core.squashes.obl_fail,
+        r.core.squashes.validation,
+        r.core.squashes.consistency,
+        r.core.squashes.fp_fail,
+        r.core.obl.predictions,
+        r.core.obl.precise,
+        r.core.obl.accurate,
+        r.mem.l1_hits,
+        r.mem.l1_misses,
+        r.mem.l2_hits,
+        r.mem.l3_hits,
+        r.mem.l3_misses,
+    )
+}
+
+/// Serializes every run of a sweep as CSV (one row per
+/// attack × workload × variant), normalized against each workload's
+/// `Unsafe` run.
+#[must_use]
+pub fn runs_csv(results: &SuiteResults) -> String {
+    let mut out = String::from(RUNS_CSV_HEADER);
+    out.push('\n');
+    for (_, per_workload) in &results.runs {
+        for runs in per_workload {
+            let baseline = &runs[0];
+            for r in runs {
+                out.push_str(&run_row(r, baseline));
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Serializes the Figure 6 matrix (normalized execution times) as CSV:
+/// one row per workload per attack model, one column per non-baseline
+/// variant.
+#[must_use]
+pub fn fig6_csv(results: &SuiteResults) -> String {
+    let mut out = String::from("attack,workload");
+    for v in Variant::ALL.iter().skip(1) {
+        out.push(',');
+        out.push_str(&v.name().replace(' ', "_"));
+    }
+    out.push('\n');
+    for (attack, per_workload) in &results.runs {
+        for (w, runs) in results.workloads.iter().zip(per_workload) {
+            out.push_str(&format!("{attack},{w}"));
+            for r in runs.iter().skip(1) {
+                out.push_str(&format!(",{:.6}", r.normalized_to(&runs[0])));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::sim::Simulator;
+    use sdo_uarch::AttackModel;
+
+    fn tiny_results() -> SuiteResults {
+        let sim = Simulator::new(SimConfig::tiny());
+        let prog = sdo_workloads::kernels::l1_resident(200, 1);
+        let runs = AttackModel::ALL
+            .into_iter()
+            .map(|a| (a, vec![sim.run_all_variants(&prog, a).unwrap()]))
+            .collect();
+        SuiteResults { runs, workloads: vec!["l1_resident".into()] }
+    }
+
+    #[test]
+    fn runs_csv_has_one_row_per_run_plus_header() {
+        let r = tiny_results();
+        let csv = runs_csv(&r);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 2 * Variant::ALL.len());
+        assert_eq!(lines[0].split(',').count(), RUNS_CSV_HEADER.split(',').count());
+        for row in &lines[1..] {
+            assert_eq!(
+                row.split(',').count(),
+                lines[0].split(',').count(),
+                "ragged row: {row}"
+            );
+        }
+        assert!(csv.contains("Static_L2"));
+    }
+
+    #[test]
+    fn fig6_csv_is_a_matrix() {
+        let r = tiny_results();
+        let csv = fig6_csv(&r);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3); // header + one workload × two models
+        assert!(lines[0].starts_with("attack,workload,STT{ld}"));
+        // The Unsafe column is the implicit 1.0 baseline and is omitted.
+        assert!(!lines[0].contains("Unsafe"));
+    }
+
+    #[test]
+    fn csv_values_parse_back_as_numbers() {
+        let r = tiny_results();
+        let csv = runs_csv(&r);
+        for row in csv.lines().skip(1) {
+            for (i, field) in row.split(',').enumerate() {
+                if i >= 3 {
+                    assert!(
+                        field.parse::<f64>().is_ok(),
+                        "field {i} ('{field}') is not numeric in: {row}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # sdo-harness — experiment harness for the SDO reproduction
+//!
+//! Drives the simulator across the configurations of Table II and
+//! regenerates every evaluation artifact of the paper:
+//!
+//! | artifact | entry point | binary |
+//! |---|---|---|
+//! | Table I (architecture) | [`config::SimConfig::table_i`] | `table1` |
+//! | Table II (variants) | [`config::Variant`] | printed everywhere |
+//! | Figure 6 (normalized execution time) | [`experiments::fig6_report`] | `fig6` |
+//! | Figure 7 (overhead breakdown) | [`experiments::fig7_report`] | `fig7` |
+//! | Figure 8 (squashes vs time) | [`experiments::fig8_report`] | `fig8` |
+//! | Table III (precision/accuracy) | [`experiments::table3_report`] | `table3` |
+//! | Penetration test (§VIII-A) | [`experiments::pentest`] | `pentest` |
+//!
+//! ## Example
+//!
+//! ```rust
+//! use sdo_harness::{SimConfig, Simulator, Variant};
+//! use sdo_uarch::AttackModel;
+//! use sdo_workloads::kernels::l1_resident;
+//!
+//! let sim = Simulator::new(SimConfig::table_i());
+//! let prog = l1_resident(200, 1);
+//! let base = sim.run(&prog, Variant::Unsafe, AttackModel::Spectre).unwrap();
+//! let stt = sim.run(&prog, Variant::SttLd, AttackModel::Spectre).unwrap();
+//! assert!(stt.cycles >= base.cycles);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod experiments;
+pub mod export;
+pub mod sim;
+pub mod table;
+
+pub use config::{SimConfig, Variant};
+pub use sim::{RunResult, SimError, Simulator};

@@ -1,0 +1,305 @@
+//! The simulation driver: one program × one Table II variant × one attack
+//! model → statistics.
+
+use crate::config::{SimConfig, Variant};
+use sdo_isa::Program;
+use sdo_mem::{MemStats, MemorySystem};
+use sdo_uarch::{AttackModel, Core, CoreStats};
+use std::error::Error;
+use std::fmt;
+
+/// Error from a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The program exceeded the configured cycle budget.
+    Hang {
+        /// The exhausted budget.
+        max_cycles: u64,
+        /// The workload's name.
+        workload: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Hang { max_cycles, workload } => {
+                write!(f, "workload '{workload}' did not halt within {max_cycles} cycles")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// The variant simulated.
+    pub variant: Variant,
+    /// Attack model.
+    pub attack: AttackModel,
+    /// Total cycles to halt.
+    pub cycles: u64,
+    /// Core-side statistics.
+    pub core: CoreStats,
+    /// Memory-side statistics.
+    pub mem: MemStats,
+}
+
+impl RunResult {
+    /// Execution time normalized to a baseline run (usually `Unsafe`).
+    #[must_use]
+    pub fn normalized_to(&self, baseline: &RunResult) -> f64 {
+        self.cycles as f64 / baseline.cycles as f64
+    }
+}
+
+/// Reusable simulation driver for a fixed machine configuration.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a driver for the given machine.
+    #[must_use]
+    pub fn new(cfg: SimConfig) -> Self {
+        Simulator { cfg }
+    }
+
+    /// The machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Runs `program` to completion under `variant`/`attack`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Hang`] if the program exceeds the cycle budget.
+    pub fn run(
+        &self,
+        program: &Program,
+        variant: Variant,
+        attack: AttackModel,
+    ) -> Result<RunResult, SimError> {
+        let (result, _mem) = self.run_with_memory(program, variant, attack)?;
+        Ok(result)
+    }
+
+    /// Like [`Simulator::run`] but also returns the final memory system —
+    /// needed by the penetration test's covert-channel receiver, which
+    /// inspects cache residency after the victim finishes.
+    pub fn run_with_memory(
+        &self,
+        program: &Program,
+        variant: Variant,
+        attack: AttackModel,
+    ) -> Result<(RunResult, MemorySystem), SimError> {
+        self.run_prewarmed(program, &[], variant, attack)
+    }
+
+    /// Runs a full [`Workload`](sdo_workloads::Workload), applying its
+    /// cache warm-start hints first (the SimPoint-checkpoint substitute;
+    /// DESIGN.md §5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Hang`] if the program exceeds the cycle budget.
+    pub fn run_workload(
+        &self,
+        workload: &sdo_workloads::Workload,
+        variant: Variant,
+        attack: AttackModel,
+    ) -> Result<RunResult, SimError> {
+        self.run_prewarmed(workload.program(), workload.prewarm_ranges(), variant, attack)
+            .map(|(r, _)| r)
+    }
+
+    /// Runs all Table II variants on a workload (with warm-start hints).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] encountered.
+    pub fn run_workload_all_variants(
+        &self,
+        workload: &sdo_workloads::Workload,
+        attack: AttackModel,
+    ) -> Result<Vec<RunResult>, SimError> {
+        Variant::ALL.iter().map(|&v| self.run_workload(workload, v, attack)).collect()
+    }
+
+    fn run_prewarmed(
+        &self,
+        program: &Program,
+        prewarm: &[(u64, u64, sdo_mem::CacheLevel)],
+        variant: Variant,
+        attack: AttackModel,
+    ) -> Result<(RunResult, MemorySystem), SimError> {
+        let mut mem = MemorySystem::new(self.cfg.mem, 1);
+        mem.load_image(program.data());
+        for &(start, bytes, level) in prewarm {
+            mem.prewarm(0, start, bytes, level);
+        }
+        let mut core = Core::new(0, self.cfg.core, variant.security(attack), program.clone());
+        core.run(&mut mem, self.cfg.max_cycles).map_err(|_| SimError::Hang {
+            max_cycles: self.cfg.max_cycles,
+            workload: program.name().to_string(),
+        })?;
+        let result = RunResult {
+            workload: program.name().to_string(),
+            variant,
+            attack,
+            cycles: core.now(),
+            core: *core.stats(),
+            mem: *mem.stats(),
+        };
+        Ok((result, mem))
+    }
+
+    /// Runs one program per core on a shared memory hierarchy (cores are
+    /// ticked round-robin each cycle) and returns per-core results plus
+    /// the final memory system. All cores use the same variant/attack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Hang`] if any core exceeds the cycle budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` is empty or exceeds the mesh tile count.
+    pub fn run_multi(
+        &self,
+        programs: &[Program],
+        variant: Variant,
+        attack: AttackModel,
+    ) -> Result<(Vec<RunResult>, MemorySystem), SimError> {
+        assert!(!programs.is_empty(), "need at least one program");
+        let mut mem = MemorySystem::new(self.cfg.mem, programs.len());
+        for p in programs {
+            mem.load_image(p.data());
+        }
+        let sec = variant.security(attack);
+        let mut cores: Vec<Core> = programs
+            .iter()
+            .enumerate()
+            .map(|(id, p)| Core::new(id, self.cfg.core, sec, p.clone()))
+            .collect();
+        let mut elapsed = 0u64;
+        while cores.iter().any(|c| !c.halted()) {
+            if elapsed >= self.cfg.max_cycles {
+                let stuck = cores.iter().position(|c| !c.halted()).expect("someone is stuck");
+                return Err(SimError::Hang {
+                    max_cycles: self.cfg.max_cycles,
+                    workload: programs[stuck].name().to_string(),
+                });
+            }
+            for core in &mut cores {
+                core.tick(&mut mem);
+            }
+            elapsed += 1;
+        }
+        let results = cores
+            .iter()
+            .zip(programs)
+            .map(|(core, p)| RunResult {
+                workload: p.name().to_string(),
+                variant,
+                attack,
+                cycles: core.now(),
+                core: *core.stats(),
+                mem: *mem.stats(),
+            })
+            .collect();
+        Ok((results, mem))
+    }
+
+    /// Runs every Table II variant on `program` under one attack model.
+    /// Results are in [`Variant::ALL`] order (`Unsafe` first).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] encountered.
+    pub fn run_all_variants(
+        &self,
+        program: &Program,
+        attack: AttackModel,
+    ) -> Result<Vec<RunResult>, SimError> {
+        Variant::ALL.iter().map(|&v| self.run(program, v, attack)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdo_workloads::kernels::l1_resident;
+
+    #[test]
+    fn run_produces_stats() {
+        let sim = Simulator::new(SimConfig::tiny());
+        let prog = l1_resident(300, 1);
+        let r = sim.run(&prog, Variant::Unsafe, AttackModel::Spectre).unwrap();
+        assert!(r.cycles > 0);
+        assert!(r.core.committed > 1000);
+        assert!(r.mem.loads() > 0);
+        assert_eq!(r.workload, "l1_resident");
+    }
+
+    #[test]
+    fn normalization_is_relative() {
+        let sim = Simulator::new(SimConfig::tiny());
+        let prog = l1_resident(300, 1);
+        let base = sim.run(&prog, Variant::Unsafe, AttackModel::Spectre).unwrap();
+        let stt = sim.run(&prog, Variant::SttLd, AttackModel::Spectre).unwrap();
+        assert!(stt.normalized_to(&base) >= 1.0);
+        assert!((base.normalized_to(&base) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hang_is_reported() {
+        let mut asm = sdo_isa::Assembler::named("spin");
+        let top = asm.here();
+        asm.j(top);
+        let prog = asm.finish().unwrap();
+        let mut cfg = SimConfig::tiny();
+        cfg.max_cycles = 1000;
+        let sim = Simulator::new(cfg);
+        let err = sim.run(&prog, Variant::Unsafe, AttackModel::Spectre).unwrap_err();
+        assert!(matches!(err, SimError::Hang { max_cycles: 1000, .. }));
+        assert!(err.to_string().contains("spin"));
+    }
+
+    #[test]
+    fn run_multi_shares_one_hierarchy() {
+        let sim = Simulator::new(SimConfig::tiny());
+        let a = l1_resident(150, 1);
+        let b = l1_resident(150, 2);
+        let (results, mem) =
+            sim.run_multi(&[a, b], Variant::Hybrid, AttackModel::Spectre).unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.core.committed > 500));
+        // Both cores' traffic landed in one shared memory system.
+        assert!(mem.stats().loads() > 0);
+        assert_eq!(mem.cores(), 2);
+    }
+
+    #[test]
+    fn all_variants_complete_on_a_small_kernel() {
+        let sim = Simulator::new(SimConfig::tiny());
+        let prog = l1_resident(200, 2);
+        for attack in AttackModel::ALL {
+            let results = sim.run_all_variants(&prog, attack).unwrap();
+            assert_eq!(results.len(), Variant::ALL.len());
+            // Committed instruction counts are identical across variants:
+            // protection changes timing, never function.
+            let committed = results[0].core.committed;
+            for r in &results {
+                assert_eq!(r.core.committed, committed, "{} commits differ", r.variant);
+            }
+        }
+    }
+}

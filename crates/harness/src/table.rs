@@ -1,0 +1,218 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```rust
+/// use sdo_harness::table::TextTable;
+/// let mut t = TextTable::new(vec!["kernel".into(), "cycles".into()]);
+/// t.row(vec!["ptr_chase".into(), "123".into()]);
+/// let s = t.render();
+/// assert!(s.contains("ptr_chase"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: Vec<String>) -> Self {
+        TextTable { header, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}", w = widths[i]));
+                } else {
+                    line.push_str(&format!("{cell:>w$}", w = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A horizontal ASCII bar chart — the terminal rendering of the paper's
+/// bar figures (Figure 6) and scatter plots (Figure 8).
+///
+/// # Examples
+///
+/// ```rust
+/// use sdo_harness::table::BarChart;
+/// let mut c = BarChart::new("normalized time", 40);
+/// c.bar("Unsafe", 1.0);
+/// c.bar("STT{ld}", 1.6);
+/// let s = c.render();
+/// assert!(s.contains("STT{ld}"));
+/// assert!(s.contains('█'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    width: usize,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Creates a chart whose longest bar spans `width` characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn new(title: impl Into<String>, width: usize) -> Self {
+        assert!(width > 0, "chart width must be positive");
+        BarChart { title: title.into(), width, bars: Vec::new() }
+    }
+
+    /// Appends one labelled bar. Negative values are clamped to zero.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) {
+        self.bars.push((label.into(), value.max(0.0)));
+    }
+
+    /// Renders the chart with proportional bar lengths and the numeric
+    /// value at each bar's end.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let max = self.bars.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max);
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let mut out = format!("{}\n", self.title);
+        for (label, value) in &self.bars {
+            let len = if max > 0.0 {
+                ((value / max) * self.width as f64).round() as usize
+            } else {
+                0
+            };
+            out.push_str(&format!(
+                "{label:<label_w$} {} {value:.3}\n",
+                "█".repeat(len.max(if *value > 0.0 { 1 } else { 0 }))
+            ));
+        }
+        out
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal, e.g. `4.2%`.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a normalized execution time, e.g. `1.042`.
+#[must_use]
+pub fn norm(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(vec!["a".into(), "value".into()]);
+        t.row(vec!["long-name".into(), "1".into()]);
+        t.row(vec!["x".into(), "12345".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1].chars().filter(|&c| c == '-').count(), lines[1].len());
+        assert!(lines[2].starts_with("long-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let mut c = BarChart::new("t", 10);
+        c.bar("a", 2.0);
+        c.bar("bb", 1.0);
+        c.bar("c", 0.0);
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let count = |l: &str| l.chars().filter(|&c| c == '█').count();
+        assert_eq!(count(lines[1]), 10, "max value spans full width");
+        assert_eq!(count(lines[2]), 5, "half value spans half width");
+        assert_eq!(count(lines[3]), 0, "zero value draws nothing");
+        assert!(lines[2].starts_with("bb "));
+    }
+
+    #[test]
+    fn bar_chart_handles_all_zero() {
+        let mut c = BarChart::new("empty", 10);
+        c.bar("x", 0.0);
+        assert!(c.render().contains("0.000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _ = BarChart::new("t", 0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.0419), "4.2%");
+        assert_eq!(norm(1.0419), "1.042");
+        assert!(TextTable::new(vec!["h".into()]).is_empty());
+    }
+}

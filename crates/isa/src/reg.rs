@@ -1,0 +1,200 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// Number of architectural integer registers.
+pub const NUM_REGS: usize = 32;
+/// Number of architectural floating-point registers.
+pub const NUM_FREGS: usize = 32;
+
+/// An architectural integer register, `r0`–`r31`.
+///
+/// `r0` is hardwired to zero: writes to it are discarded and reads always
+/// return 0 (see [`Reg::ZERO`]). This mirrors RISC-style ISAs and gives
+/// workload generators a free constant-zero source.
+///
+/// # Examples
+///
+/// ```rust
+/// use sdo_isa::Reg;
+/// let r5 = Reg::new(5);
+/// assert_eq!(r5.index(), 5);
+/// assert_eq!(format!("{r5}"), "r5");
+/// assert!(Reg::ZERO.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_REGS,
+            "integer register index {index} out of range (0..{NUM_REGS})"
+        );
+        Reg(index)
+    }
+
+    /// Creates a register name if `index` is in range.
+    #[must_use]
+    pub fn try_new(index: u8) -> Option<Self> {
+        ((index as usize) < NUM_REGS).then_some(Reg(index))
+    }
+
+    /// The register's index in `0..32`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired zero register `r0`.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all integer registers, `r0` first.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.index()
+    }
+}
+
+/// An architectural floating-point register, `f0`–`f31`.
+///
+/// FP registers carry IEEE-754 binary64 values, stored bit-exactly in 64-bit
+/// physical registers by the simulator. Unlike [`Reg`], `f0` is a normal
+/// register (not hardwired).
+///
+/// # Examples
+///
+/// ```rust
+/// use sdo_isa::FReg;
+/// let f3 = FReg::new(3);
+/// assert_eq!(format!("{f3}"), "f3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Creates an FP register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_FREGS,
+            "fp register index {index} out of range (0..{NUM_FREGS})"
+        );
+        FReg(index)
+    }
+
+    /// Creates an FP register name if `index` is in range.
+    #[must_use]
+    pub fn try_new(index: u8) -> Option<Self> {
+        ((index as usize) < NUM_FREGS).then_some(FReg(index))
+    }
+
+    /// The register's index in `0..32`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over all FP registers, `f0` first.
+    pub fn all() -> impl Iterator<Item = FReg> {
+        (0..NUM_FREGS as u8).map(FReg)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl From<FReg> for usize {
+    fn from(r: FReg) -> usize {
+        r.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip() {
+        for i in 0..NUM_REGS as u8 {
+            let r = Reg::new(i);
+            assert_eq!(r.index(), i as usize);
+            assert_eq!(Reg::try_new(i), Some(r));
+        }
+    }
+
+    #[test]
+    fn reg_zero_is_r0() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::new(1).is_zero());
+        assert_eq!(Reg::ZERO, Reg::new(0));
+    }
+
+    #[test]
+    fn reg_out_of_range_is_none() {
+        assert_eq!(Reg::try_new(32), None);
+        assert_eq!(FReg::try_new(32), None);
+        assert_eq!(Reg::try_new(255), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_new_panics_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn freg_new_panics_out_of_range() {
+        let _ = FReg::new(40);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::new(17).to_string(), "r17");
+        assert_eq!(FReg::new(9).to_string(), "f9");
+    }
+
+    #[test]
+    fn all_iterators_cover_every_register() {
+        assert_eq!(Reg::all().count(), NUM_REGS);
+        assert_eq!(FReg::all().count(), NUM_FREGS);
+        assert_eq!(Reg::all().next(), Some(Reg::ZERO));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Reg::new(1) < Reg::new(2));
+        assert!(FReg::new(30) > FReg::new(3));
+    }
+}

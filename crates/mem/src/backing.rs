@@ -1,0 +1,147 @@
+//! Sparse backing store: the architectural contents of memory.
+
+use crate::config::Addr;
+use sdo_isa::DataImage;
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+
+/// Sparse, paged byte store holding the simulated machine's memory
+/// contents.
+///
+/// Caches in this crate are a pure timing model; this store is the single
+/// source of truth for values. Unwritten memory reads as zero.
+///
+/// # Examples
+///
+/// ```rust
+/// use sdo_mem::BackingStore;
+/// let mut m = BackingStore::new();
+/// m.write_word(0x100, 0xfeed);
+/// assert_eq!(m.read_word(0x100), 0xfeed);
+/// assert_eq!(m.read_byte(0x100), 0xed);
+/// assert_eq!(m.read_word(0x9999), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BackingStore {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl BackingStore {
+    /// Creates an empty (all-zero) store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a store seeded from a program's initial data image.
+    #[must_use]
+    pub fn from_image(image: &DataImage) -> Self {
+        let mut store = Self::new();
+        store.load_image(image);
+        store
+    }
+
+    /// Copies a data image into the store (overwrites overlapping bytes).
+    pub fn load_image(&mut self, image: &DataImage) {
+        for (addr, byte) in image.iter() {
+            self.write_byte(addr, byte);
+        }
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_byte(&self, addr: Addr) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr as usize) & (PAGE_BYTES - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, allocating the page on demand.
+    pub fn write_byte(&mut self, addr: Addr, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+        page[(addr as usize) & (PAGE_BYTES - 1)] = value;
+    }
+
+    /// Reads `n` bytes (`n <= 8`) little-endian into a word.
+    #[must_use]
+    pub fn read_bytes(&self, addr: Addr, n: u64) -> u64 {
+        debug_assert!(n <= 8);
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= u64::from(self.read_byte(addr.wrapping_add(i))) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `n` bytes (`n <= 8`) of `value` little-endian.
+    pub fn write_bytes(&mut self, addr: Addr, value: u64, n: u64) {
+        debug_assert!(n <= 8);
+        for i in 0..n {
+            self.write_byte(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a 64-bit little-endian word.
+    #[must_use]
+    pub fn read_word(&self, addr: Addr) -> u64 {
+        self.read_bytes(addr, 8)
+    }
+
+    /// Writes a 64-bit little-endian word.
+    pub fn write_word(&mut self, addr: Addr, value: u64) {
+        self.write_bytes(addr, value, 8);
+    }
+
+    /// Number of 4 KiB pages currently materialized.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_before_write() {
+        let m = BackingStore::new();
+        assert_eq!(m.read_word(12345), 0);
+        assert_eq!(m.page_count(), 0);
+    }
+
+    #[test]
+    fn word_roundtrip_cross_page() {
+        let mut m = BackingStore::new();
+        // Straddles the page boundary at 4096.
+        m.write_word(4092, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_word(4092), 0x1122_3344_5566_7788);
+        assert_eq!(m.page_count(), 2);
+    }
+
+    #[test]
+    fn partial_width_writes() {
+        let mut m = BackingStore::new();
+        m.write_word(0, u64::MAX);
+        m.write_bytes(0, 0, 1);
+        assert_eq!(m.read_word(0), 0xffff_ffff_ffff_ff00);
+        assert_eq!(m.read_bytes(0, 1), 0);
+        assert_eq!(m.read_bytes(1, 1), 0xff);
+    }
+
+    #[test]
+    fn from_image_seeds_contents() {
+        let mut img = DataImage::new();
+        img.set_word(0x2000, 7);
+        img.set_byte(0x2008, 9);
+        let m = BackingStore::from_image(&img);
+        assert_eq!(m.read_word(0x2000), 7);
+        assert_eq!(m.read_byte(0x2008), 9);
+    }
+}

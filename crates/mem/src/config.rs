@@ -1,0 +1,310 @@
+//! Memory-hierarchy configuration (Table I of the paper).
+
+use std::fmt;
+
+/// A simulation cycle count.
+pub type Cycle = u64;
+
+/// A byte address in the simulated physical address space.
+pub type Addr = u64;
+
+/// A level of the on-chip cache hierarchy.
+///
+/// The location predictor of Section V-D predicts one of these (or
+/// [`CacheLevel::Dram`], which under the paper's recommended design reverts
+/// to STT-style delay rather than a DO variant — Section VI-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CacheLevel {
+    /// Private level-1 data cache.
+    L1,
+    /// Private level-2 cache.
+    L2,
+    /// Shared, sliced last-level cache.
+    L3,
+    /// Off-chip memory (no DO variant; prediction ⇒ delay).
+    Dram,
+}
+
+impl CacheLevel {
+    /// All levels, closest to the core first.
+    pub const ALL: [CacheLevel; 4] = [CacheLevel::L1, CacheLevel::L2, CacheLevel::L3, CacheLevel::Dram];
+
+    /// The on-chip cache levels only (valid Obl-Ld lookup depths).
+    pub const CACHES: [CacheLevel; 3] = [CacheLevel::L1, CacheLevel::L2, CacheLevel::L3];
+
+    /// 1-based depth (L1 = 1 … Dram = 4); matches the paper's
+    /// "predict level *j*" indexing.
+    #[must_use]
+    pub fn depth(self) -> u8 {
+        match self {
+            CacheLevel::L1 => 1,
+            CacheLevel::L2 => 2,
+            CacheLevel::L3 => 3,
+            CacheLevel::Dram => 4,
+        }
+    }
+
+    /// Builds a level from a 1-based depth, clamping into range.
+    #[must_use]
+    pub fn from_depth_clamped(depth: u8) -> Self {
+        match depth {
+            0 | 1 => CacheLevel::L1,
+            2 => CacheLevel::L2,
+            3 => CacheLevel::L3,
+            _ => CacheLevel::Dram,
+        }
+    }
+
+    /// The next level further from the core, if any.
+    #[must_use]
+    pub fn next(self) -> Option<CacheLevel> {
+        match self {
+            CacheLevel::L1 => Some(CacheLevel::L2),
+            CacheLevel::L2 => Some(CacheLevel::L3),
+            CacheLevel::L3 => Some(CacheLevel::Dram),
+            CacheLevel::Dram => None,
+        }
+    }
+
+    /// Whether this level is an on-chip cache (has a DO variant).
+    #[must_use]
+    pub fn is_cache(self) -> bool {
+        self != CacheLevel::Dram
+    }
+}
+
+impl fmt::Display for CacheLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CacheLevel::L1 => "L1",
+            CacheLevel::L2 => "L2",
+            CacheLevel::L3 => "L3",
+            CacheLevel::Dram => "DRAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Access latency in cycles (tag + data).
+    pub latency: Cycle,
+    /// Number of data-array banks.
+    pub banks: u32,
+    /// MSHR entries available for misses at this level.
+    pub mshrs: u32,
+}
+
+impl CacheParams {
+    /// Number of sets implied by size/ways/line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not an exact power-of-two set count.
+    #[must_use]
+    pub fn num_sets(&self) -> u64 {
+        let sets = self.size_bytes / (u64::from(self.ways) * crate::LINE_BYTES);
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        sets
+    }
+}
+
+/// DRAM timing parameters (open-page policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramParams {
+    /// Number of independently-timed DRAM banks.
+    pub banks: u32,
+    /// Bytes per row (row-buffer reach).
+    pub row_bytes: u64,
+    /// Latency when the access hits the open row.
+    pub row_hit_latency: Cycle,
+    /// Latency when the row must be opened (precharge + activate + CAS).
+    pub row_miss_latency: Cycle,
+}
+
+/// L1 TLB parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbParams {
+    /// Number of fully-associative entries.
+    pub entries: u32,
+    /// Page size in bytes (power of two).
+    pub page_bytes: u64,
+    /// L1 TLB hit latency (usually folded into the cache access).
+    pub hit_latency: Cycle,
+    /// Full page-walk latency charged on a (safe) TLB miss.
+    pub walk_latency: Cycle,
+}
+
+/// Full memory-hierarchy configuration.
+///
+/// [`MemConfig::table_i`] reproduces Table I of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Private L1 instruction cache (Table I: 32 KB, 4-way, 2-cycle).
+    pub l1i: CacheParams,
+    /// Private L1 data cache.
+    pub l1: CacheParams,
+    /// Private L2 cache.
+    pub l2: CacheParams,
+    /// Shared L3; `size_bytes` is the *total* across slices.
+    pub l3: CacheParams,
+    /// DRAM timing.
+    pub dram: DramParams,
+    /// L1 TLB.
+    pub tlb: TlbParams,
+    /// Mesh columns (Table I: 4×2 mesh).
+    pub mesh_cols: u32,
+    /// Mesh rows.
+    pub mesh_rows: u32,
+    /// Per-hop link latency in cycles.
+    pub hop_latency: Cycle,
+    /// Cycles an access occupies its cache bank (serialization delay).
+    pub bank_occupancy: Cycle,
+}
+
+impl MemConfig {
+    /// The configuration of Table I:
+    /// 32 KB 8-way 2-cycle L1D, 256 KB 8-way 12-cycle L2, 2 MB 8-way
+    /// 40-cycle L3, 16 MSHRs, 4×2 mesh with 1-cycle hops, and ~100-cycle
+    /// DRAM (50 ns at 2 GHz) beyond the L3.
+    #[must_use]
+    pub fn table_i() -> Self {
+        MemConfig {
+            l1i: CacheParams { size_bytes: 32 * 1024, ways: 4, latency: 2, banks: 4, mshrs: 8 },
+            l1: CacheParams { size_bytes: 32 * 1024, ways: 8, latency: 2, banks: 8, mshrs: 16 },
+            l2: CacheParams { size_bytes: 256 * 1024, ways: 8, latency: 12, banks: 8, mshrs: 16 },
+            l3: CacheParams {
+                size_bytes: 2 * 1024 * 1024,
+                ways: 8,
+                latency: 40,
+                banks: 8,
+                mshrs: 16,
+            },
+            dram: DramParams {
+                banks: 8,
+                row_bytes: 8 * 1024,
+                row_hit_latency: 80,
+                row_miss_latency: 120,
+            },
+            // Effective TLB reach (L1 + L2 TLB combined — only the L1 miss
+            // path is modeled, so the entry count reflects total reach).
+            tlb: TlbParams { entries: 512, page_bytes: 4096, hit_latency: 1, walk_latency: 60 },
+            mesh_cols: 4,
+            mesh_rows: 2,
+            hop_latency: 1,
+            bank_occupancy: 2,
+        }
+    }
+
+    /// A tiny configuration for unit tests: small caches so evictions and
+    /// misses are easy to provoke, short latencies so tests stay readable.
+    #[must_use]
+    pub fn tiny() -> Self {
+        MemConfig {
+            l1i: CacheParams { size_bytes: 512, ways: 2, latency: 2, banks: 2, mshrs: 4 },
+            l1: CacheParams { size_bytes: 512, ways: 2, latency: 2, banks: 2, mshrs: 4 },
+            l2: CacheParams { size_bytes: 2048, ways: 2, latency: 10, banks: 2, mshrs: 4 },
+            l3: CacheParams { size_bytes: 8192, ways: 4, latency: 30, banks: 2, mshrs: 4 },
+            dram: DramParams {
+                banks: 2,
+                row_bytes: 1024,
+                row_hit_latency: 60,
+                row_miss_latency: 100,
+            },
+            tlb: TlbParams { entries: 4, page_bytes: 4096, hit_latency: 1, walk_latency: 50 },
+            mesh_cols: 2,
+            mesh_rows: 1,
+            hop_latency: 1,
+            bank_occupancy: 2,
+        }
+    }
+
+    /// Cache parameters for an on-chip level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is [`CacheLevel::Dram`].
+    #[must_use]
+    pub fn cache(&self, level: CacheLevel) -> &CacheParams {
+        match level {
+            CacheLevel::L1 => &self.l1,
+            CacheLevel::L2 => &self.l2,
+            CacheLevel::L3 => &self.l3,
+            CacheLevel::Dram => panic!("DRAM has no cache parameters"),
+        }
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        Self::table_i()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_matches_paper_sizes() {
+        let c = MemConfig::table_i();
+        assert_eq!(c.l1.size_bytes, 32 * 1024);
+        assert_eq!(c.l2.size_bytes, 256 * 1024);
+        assert_eq!(c.l3.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.l1.latency, 2);
+        assert_eq!(c.l2.latency, 12);
+        assert_eq!(c.l3.latency, 40);
+        assert_eq!(c.l1.mshrs, 16);
+        assert_eq!(c.mesh_cols * c.mesh_rows, 8);
+    }
+
+    #[test]
+    fn set_counts_are_powers_of_two() {
+        let c = MemConfig::table_i();
+        assert_eq!(c.l1.num_sets(), 64);
+        assert_eq!(c.l2.num_sets(), 512);
+        assert_eq!(c.l3.num_sets(), 4096);
+        let t = MemConfig::tiny();
+        assert_eq!(t.l1.num_sets(), 4);
+    }
+
+    #[test]
+    fn level_depth_ordering_and_next() {
+        assert!(CacheLevel::L1 < CacheLevel::L2);
+        assert!(CacheLevel::L3 < CacheLevel::Dram);
+        assert_eq!(CacheLevel::L1.depth(), 1);
+        assert_eq!(CacheLevel::Dram.depth(), 4);
+        assert_eq!(CacheLevel::L2.next(), Some(CacheLevel::L3));
+        assert_eq!(CacheLevel::Dram.next(), None);
+    }
+
+    #[test]
+    fn level_from_depth_clamps() {
+        assert_eq!(CacheLevel::from_depth_clamped(0), CacheLevel::L1);
+        assert_eq!(CacheLevel::from_depth_clamped(1), CacheLevel::L1);
+        assert_eq!(CacheLevel::from_depth_clamped(3), CacheLevel::L3);
+        assert_eq!(CacheLevel::from_depth_clamped(9), CacheLevel::Dram);
+    }
+
+    #[test]
+    fn level_display_and_is_cache() {
+        assert_eq!(CacheLevel::L3.to_string(), "L3");
+        assert_eq!(CacheLevel::Dram.to_string(), "DRAM");
+        assert!(CacheLevel::L1.is_cache());
+        assert!(!CacheLevel::Dram.is_cache());
+        assert_eq!(CacheLevel::CACHES.len(), 3);
+    }
+
+    #[test]
+    fn cache_accessor_panics_for_dram() {
+        let c = MemConfig::tiny();
+        assert_eq!(c.cache(CacheLevel::L2).latency, 10);
+        let r = std::panic::catch_unwind(|| c.cache(CacheLevel::Dram).latency);
+        assert!(r.is_err());
+    }
+}

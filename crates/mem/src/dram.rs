@@ -1,0 +1,138 @@
+//! DRAM timing model with per-bank open rows (row buffers).
+
+use crate::config::{Addr, Cycle, DramParams};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: Cycle,
+}
+
+/// Open-page DRAM: each bank keeps one row open; an access to the open row
+/// is fast (CAS only), a different row pays precharge + activate + CAS.
+///
+/// This operand-dependent latency is precisely why the paper does *not*
+/// build a DO variant for DRAM ("an Obl-Ld cannot directly fetch data from
+/// the row buffer, which has shorter access latency", Section VI-B) — the
+/// location predictor instead falls back to STT delay for DRAM-bound loads.
+///
+/// # Examples
+///
+/// ```rust
+/// use sdo_mem::{Dram, DramParams};
+/// let params = DramParams { banks: 2, row_bytes: 1024, row_hit_latency: 60, row_miss_latency: 100 };
+/// let mut dram = Dram::new(&params);
+/// let (done1, hit1) = dram.access(0x0, 0);
+/// assert!(!hit1);                       // cold row
+/// let (done2, hit2) = dram.access(0x40, done1);
+/// assert!(hit2);                        // same row, now open
+/// assert!(done2 - done1 < done1 - 0);   // row hit is faster
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dram {
+    banks: Vec<Bank>,
+    params: DramParams,
+}
+
+impl Dram {
+    /// Creates a DRAM model with all rows closed.
+    #[must_use]
+    pub fn new(params: &DramParams) -> Self {
+        Dram { banks: vec![Bank::default(); params.banks as usize], params: *params }
+    }
+
+    fn bank_of(&self, addr: Addr) -> usize {
+        // Interleave banks at row granularity so streaming accesses rotate.
+        ((addr / self.params.row_bytes) % self.banks.len() as u64) as usize
+    }
+
+    fn row_of(&self, addr: Addr) -> u64 {
+        addr / self.params.row_bytes / self.banks.len() as u64
+    }
+
+    /// Performs a DRAM access arriving at `arrive`. Returns
+    /// `(complete_at, row_hit)` and leaves the accessed row open.
+    pub fn access(&mut self, addr: Addr, arrive: Cycle) -> (Cycle, bool) {
+        let bank_idx = self.bank_of(addr);
+        let row = self.row_of(addr);
+        let bank = &mut self.banks[bank_idx];
+        let start = arrive.max(bank.busy_until);
+        let hit = bank.open_row == Some(row);
+        let latency = if hit { self.params.row_hit_latency } else { self.params.row_miss_latency };
+        bank.open_row = Some(row);
+        bank.busy_until = start + latency;
+        (start + latency, hit)
+    }
+
+    /// Latency the access *would* have (row hit or miss), without changing
+    /// state; used by tests.
+    #[must_use]
+    pub fn peek_latency(&self, addr: Addr) -> Cycle {
+        let bank = &self.banks[self.bank_of(addr)];
+        if bank.open_row == Some(self.row_of(addr)) {
+            self.params.row_hit_latency
+        } else {
+            self.params.row_miss_latency
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(&DramParams { banks: 2, row_bytes: 1024, row_hit_latency: 60, row_miss_latency: 100 })
+    }
+
+    #[test]
+    fn first_access_misses_row() {
+        let mut d = dram();
+        let (done, hit) = d.access(0, 0);
+        assert!(!hit);
+        assert_eq!(done, 100);
+    }
+
+    #[test]
+    fn same_row_hits() {
+        let mut d = dram();
+        d.access(0, 0);
+        let (done, hit) = d.access(512, 100);
+        assert!(hit);
+        assert_eq!(done, 160);
+    }
+
+    #[test]
+    fn different_row_same_bank_misses_again() {
+        let mut d = dram();
+        d.access(0, 0); // bank 0, row 0
+        let (_, hit) = d.access(2048, 100); // bank 0, row 1
+        assert!(!hit);
+    }
+
+    #[test]
+    fn banks_overlap_in_time() {
+        let mut d = dram();
+        let (a, _) = d.access(0, 0); // bank 0
+        let (b, _) = d.access(1024, 0); // bank 1
+        assert_eq!(a, b, "parallel banks complete together");
+    }
+
+    #[test]
+    fn busy_bank_queues() {
+        let mut d = dram();
+        let (first, _) = d.access(0, 0);
+        let (second, hit) = d.access(0, 0); // immediately again, same bank
+        assert!(hit);
+        assert_eq!(second, first + 60);
+    }
+
+    #[test]
+    fn peek_latency_is_pure() {
+        let mut d = dram();
+        assert_eq!(d.peek_latency(0), 100);
+        d.access(0, 0);
+        assert_eq!(d.peek_latency(0), 60);
+        assert_eq!(d.peek_latency(2048), 100);
+    }
+}

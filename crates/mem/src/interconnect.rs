@@ -1,0 +1,131 @@
+//! Mesh interconnect hop-latency model (Table I: 4×2 mesh, 1 cycle/hop).
+
+use crate::config::{Addr, Cycle};
+use crate::LINE_BYTES;
+
+/// A `cols × rows` mesh of tiles. Each core and its co-located L3 slice
+/// occupy one tile; the latency between a core and a slice is the Manhattan
+/// hop distance times the per-hop link latency, each way.
+///
+/// # Examples
+///
+/// ```rust
+/// use sdo_mem::Mesh;
+/// let mesh = Mesh::new(4, 2, 1);
+/// assert_eq!(mesh.tiles(), 8);
+/// assert_eq!(mesh.hops(0, 0), 0);
+/// assert_eq!(mesh.hops(0, 7), 4); // corner to corner on 4x2
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh {
+    cols: u32,
+    rows: u32,
+    hop_latency: Cycle,
+}
+
+impl Mesh {
+    /// Creates a mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(cols: u32, rows: u32, hop_latency: Cycle) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh dimensions must be non-zero");
+        Mesh { cols, rows, hop_latency }
+    }
+
+    /// Number of tiles (== number of L3 slices).
+    #[must_use]
+    pub fn tiles(&self) -> usize {
+        (self.cols * self.rows) as usize
+    }
+
+    fn coords(&self, tile: usize) -> (u32, u32) {
+        let t = tile as u32 % (self.cols * self.rows);
+        (t % self.cols, t / self.cols)
+    }
+
+    /// Manhattan hop distance between two tiles.
+    #[must_use]
+    pub fn hops(&self, from: usize, to: usize) -> u32 {
+        let (fx, fy) = self.coords(from);
+        let (tx, ty) = self.coords(to);
+        fx.abs_diff(tx) + fy.abs_diff(ty)
+    }
+
+    /// One-way latency between two tiles.
+    #[must_use]
+    pub fn latency(&self, from: usize, to: usize) -> Cycle {
+        Cycle::from(self.hops(from, to)) * self.hop_latency
+    }
+
+    /// One-way latency from `from` to the *farthest* tile — the broadcast
+    /// arrival bound used by the all-slice Obl-Ld L3 lookup (Section VI-B:
+    /// the L2–L3 MSHR "is de-allocated when all responses arrive").
+    #[must_use]
+    pub fn worst_case_latency(&self, from: usize) -> Cycle {
+        (0..self.tiles()).map(|t| self.latency(from, t)).max().unwrap_or(0)
+    }
+
+    /// The home L3 slice of a line address (design-time hash; the paper's
+    /// "hash function set at design time").
+    #[must_use]
+    pub fn slice_of(&self, addr: Addr) -> usize {
+        let line = addr / LINE_BYTES;
+        // Simple xor-fold hash so consecutive lines spread over slices.
+        let h = line ^ (line >> 7) ^ (line >> 17);
+        (h % self.tiles() as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_distance_is_manhattan() {
+        let m = Mesh::new(4, 2, 1);
+        assert_eq!(m.hops(0, 3), 3);
+        assert_eq!(m.hops(0, 4), 1);
+        assert_eq!(m.hops(3, 4), 4);
+        assert_eq!(m.hops(5, 5), 0);
+    }
+
+    #[test]
+    fn latency_scales_with_hop_cost() {
+        let m = Mesh::new(4, 2, 3);
+        assert_eq!(m.latency(0, 7), 12);
+    }
+
+    #[test]
+    fn worst_case_from_corner_and_center() {
+        let m = Mesh::new(4, 2, 1);
+        assert_eq!(m.worst_case_latency(0), 4);
+        assert_eq!(m.worst_case_latency(1), 3);
+    }
+
+    #[test]
+    fn slice_hash_in_range_and_spreads() {
+        let m = Mesh::new(4, 2, 1);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..256u64 {
+            let s = m.slice_of(i * 64);
+            assert!(s < m.tiles());
+            seen.insert(s);
+        }
+        assert_eq!(seen.len(), m.tiles(), "all slices used by a line sweep");
+    }
+
+    #[test]
+    fn slice_is_stable_within_a_line() {
+        let m = Mesh::new(4, 2, 1);
+        assert_eq!(m.slice_of(0x1000), m.slice_of(0x103f));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        let _ = Mesh::new(0, 2, 1);
+    }
+}

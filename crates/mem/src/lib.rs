@@ -1,0 +1,107 @@
+//! # sdo-mem — memory subsystem substrate for the SDO simulator
+//!
+//! A timing + functional model of the memory hierarchy described in
+//! Section VI-B of the SDO paper (ISCA 2020):
+//!
+//! * per-core private, banked, set-associative **L1D and L2** caches with
+//!   LRU replacement and per-bank busy tracking,
+//! * a **shared, sliced, inclusive L3** (one slice per core, address-hash
+//!   slice selection) kept coherent with a directory-based MESI protocol,
+//! * **MSHR files** bounding outstanding misses at each level,
+//! * a **mesh interconnect** hop-latency model between cores and L3 slices,
+//! * **DRAM** with per-bank open-row (row-buffer) timing,
+//! * an **L1 TLB** with probe (no-fill) and access (fill) paths,
+//! * a sparse **backing store** holding architectural memory contents.
+//!
+//! On top of the ordinary access path the system implements the paper's
+//! **data-oblivious lookup** ([`MemorySystem::obl_lookup`]): a tag probe of
+//! cache levels L1..=N that makes *no address-dependent state change* —
+//! no fills, no LRU updates, full-bank occupancy instead of one bank,
+//! address-independent (first-free) MSHR allocation, and an all-slice
+//! broadcast for the L3 — plus the *validation* and *exposure* accesses of
+//! InvisiSpec that SDO reuses (Section V-C1).
+//!
+//! ## Design note: timing vs. function
+//!
+//! Caches model *timing and occupancy* only; every committed byte lives in
+//! the [`BackingStore`]. A load's value is read from the backing store when
+//! the access is performed, and validation re-reads and compares — exactly
+//! the value-based consistency check the paper adopts from InvisiSpec.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use sdo_mem::{MemConfig, MemorySystem, ServedBy};
+//!
+//! let mut mem = MemorySystem::new(MemConfig::table_i(), 1);
+//! mem.backing_mut().write_word(0x1000, 42);
+//!
+//! // Cold access: served by DRAM; the line is filled on the way back.
+//! let first = mem.load(0, 0x1000, 0);
+//! assert_eq!(first.value, 42);
+//! assert_eq!(first.served_by, ServedBy::Dram);
+//!
+//! // Hot access: now an L1 hit.
+//! let second = mem.load(0, 0x1000, first.complete_at);
+//! assert_eq!(second.served_by, ServedBy::L1);
+//! assert!(second.latency() < first.latency());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod backing;
+mod cache;
+mod config;
+mod dram;
+mod interconnect;
+mod mshr;
+mod stats;
+mod system;
+mod tlb;
+
+pub use backing::BackingStore;
+pub use cache::{CacheArray, EvictedLine, Mesi};
+pub use config::{Addr, CacheLevel, CacheParams, Cycle, DramParams, MemConfig, TlbParams};
+pub use dram::Dram;
+pub use interconnect::Mesh;
+pub use mshr::MshrFile;
+pub use stats::MemStats;
+pub use system::{
+    AccessResult, MemorySystem, OblLookup, OblReject, OblResponse, ServedBy, StoreResult,
+};
+pub use tlb::Tlb;
+
+/// Number of bytes in a cache line (fixed at 64 throughout, per Table I).
+pub const LINE_BYTES: u64 = 64;
+
+/// The cache-line address (line-aligned) containing `addr`.
+#[must_use]
+pub fn line_of(addr: Addr) -> Addr {
+    addr & !(LINE_BYTES - 1)
+}
+
+/// Whether two byte addresses fall in the same cache line.
+#[must_use]
+pub fn same_line(a: Addr, b: Addr) -> bool {
+    line_of(a) == line_of(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_masks_low_bits() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 64);
+        assert_eq!(line_of(0x12345), 0x12340);
+    }
+
+    #[test]
+    fn same_line_detects_boundaries() {
+        assert!(same_line(0, 63));
+        assert!(!same_line(63, 64));
+    }
+}

@@ -1,0 +1,235 @@
+//! Miss status holding registers (MSHRs).
+
+use crate::config::{Addr, Cycle};
+use crate::line_of;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    line: Addr,
+    free_at: Cycle,
+    /// Obl-Ld entries are private: they never merge with other requests
+    /// (Section VI-B, "every Obl-Ld must allocate an MSHR; it cannot share
+    /// an MSHR with any other request").
+    private: bool,
+    /// Depth of the level that serves the miss (for merged requesters to
+    /// learn where their data came from). 0 when unknown.
+    fill_depth: u8,
+}
+
+/// A bounded file of miss status holding registers for one cache.
+///
+/// Normal misses to the same line *merge* into an existing entry; the
+/// data-oblivious allocation path ([`MshrFile::alloc_private`]) instead
+/// takes the first free entry regardless of address, so occupancy is a
+/// function of public information only.
+///
+/// # Examples
+///
+/// ```rust
+/// use sdo_mem::MshrFile;
+/// let mut m = MshrFile::new(2);
+/// assert!(m.alloc_or_merge(0x40, 0, 100).is_some());
+/// // Same line merges — still one entry used.
+/// assert!(m.alloc_or_merge(0x40, 1, 90).is_some());
+/// assert_eq!(m.in_use(1), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<Option<Entry>>,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers.
+    #[must_use]
+    pub fn new(capacity: u32) -> Self {
+        MshrFile { entries: vec![None; capacity as usize] }
+    }
+
+    /// Total number of registers.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Registers still occupied at cycle `now`.
+    #[must_use]
+    pub fn in_use(&self, now: Cycle) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e, Some(e) if e.free_at > now))
+            .count()
+    }
+
+    fn reap(&mut self, now: Cycle) {
+        for e in &mut self.entries {
+            if matches!(e, Some(entry) if entry.free_at <= now) {
+                *e = None;
+            }
+        }
+    }
+
+    /// Allocates an entry for a normal miss on `addr`'s line, or merges
+    /// with an outstanding miss to the same line. Returns the cycle the
+    /// (possibly pre-existing) miss completes, or `None` if the file is
+    /// full.
+    ///
+    /// On a merge, the returned completion is the *existing* miss's
+    /// completion (the merged request rides along).
+    pub fn alloc_or_merge(&mut self, addr: Addr, now: Cycle, complete_at: Cycle) -> Option<Cycle> {
+        if let Some((done, _)) = self.outstanding(addr, now) {
+            return Some(done);
+        }
+        self.reap(now);
+        let line = line_of(addr);
+        let slot = self.entries.iter_mut().find(|e| e.is_none())?;
+        *slot = Some(Entry { line, free_at: complete_at, private: false, fill_depth: 0 });
+        Some(complete_at)
+    }
+
+    /// If a non-private miss to `addr`'s line is outstanding at `now`,
+    /// returns its `(completion, fill_depth)` so the new request can merge.
+    #[must_use]
+    pub fn outstanding(&self, addr: Addr, now: Cycle) -> Option<(Cycle, u8)> {
+        let line = line_of(addr);
+        self.entries
+            .iter()
+            .flatten()
+            .find(|e| !e.private && e.line == line && e.free_at > now)
+            .map(|e| (e.free_at, e.fill_depth))
+    }
+
+    /// Earliest cycle `>= arrive` at which a register is available.
+    #[must_use]
+    pub fn earliest_slot(&self, arrive: Cycle) -> Cycle {
+        if self
+            .entries
+            .iter()
+            .any(|e| !matches!(e, Some(e) if e.free_at > arrive))
+        {
+            return arrive;
+        }
+        self.entries
+            .iter()
+            .flatten()
+            .map(|e| e.free_at)
+            .min()
+            .unwrap_or(arrive)
+            .max(arrive)
+    }
+
+    /// Allocates unconditionally at `now` (the caller must have waited
+    /// until [`MshrFile::earliest_slot`]); records which level will fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if no register is actually free at `now`.
+    pub fn force_alloc(&mut self, addr: Addr, now: Cycle, free_at: Cycle, fill_depth: u8) {
+        self.reap(now);
+        let slot = self.entries.iter_mut().find(|e| e.is_none());
+        debug_assert!(slot.is_some(), "force_alloc without a free MSHR");
+        if let Some(slot) = slot {
+            *slot = Some(Entry { line: line_of(addr), free_at, private: false, fill_depth });
+        }
+    }
+
+    /// Allocates a private entry for a data-oblivious lookup, choosing the
+    /// first free register (address-independent). Returns `false` if the
+    /// file is full, in which case the Obl-Ld must retry — a stall that
+    /// reveals only occupancy, which is public.
+    pub fn alloc_private(&mut self, addr: Addr, now: Cycle, free_at: Cycle) -> bool {
+        self.reap(now);
+        match self.entries.iter_mut().find(|e| e.is_none()) {
+            Some(slot) => {
+                *slot = Some(Entry { line: line_of(addr), free_at, private: true, fill_depth: 0 });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether at least one register is free at `now`.
+    #[must_use]
+    pub fn has_free(&self, now: Cycle) -> bool {
+        self.entries
+            .iter()
+            .any(|e| !matches!(e, Some(e) if e.free_at > now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_up_and_rejects() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.alloc_or_merge(0x00, 0, 50), Some(50));
+        assert_eq!(m.alloc_or_merge(0x40, 0, 60), Some(60));
+        assert_eq!(m.alloc_or_merge(0x80, 0, 70), None, "file full");
+        assert_eq!(m.in_use(0), 2);
+        assert!(!m.has_free(0));
+    }
+
+    #[test]
+    fn same_line_merges_and_returns_existing_completion() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.alloc_or_merge(0x100, 0, 80), Some(80));
+        // A second miss to the same line merges even though the file is full.
+        assert_eq!(m.alloc_or_merge(0x108, 5, 120), Some(80));
+        assert_eq!(m.in_use(5), 1);
+    }
+
+    #[test]
+    fn entries_expire() {
+        let mut m = MshrFile::new(1);
+        m.alloc_or_merge(0x00, 0, 10).unwrap();
+        assert!(!m.has_free(5));
+        assert!(m.has_free(10));
+        assert_eq!(m.alloc_or_merge(0x40, 10, 30), Some(30));
+    }
+
+    #[test]
+    fn private_entries_never_merge() {
+        let mut m = MshrFile::new(2);
+        assert!(m.alloc_private(0x200, 0, 100));
+        // A normal miss to the same line must NOT merge with the private
+        // (Obl-Ld) entry; it takes its own slot.
+        assert_eq!(m.alloc_or_merge(0x200, 0, 90), Some(90));
+        assert_eq!(m.in_use(0), 2);
+        // And a further private alloc fails: file is full.
+        assert!(!m.alloc_private(0x300, 0, 100));
+    }
+
+    #[test]
+    fn private_alloc_is_first_free_slot() {
+        let mut m = MshrFile::new(3);
+        m.alloc_or_merge(0x00, 0, 100).unwrap();
+        assert!(m.alloc_private(0xff40, 0, 50));
+        assert_eq!(m.in_use(0), 2);
+        // After the private entry expires its slot is reusable.
+        assert!(m.alloc_private(0x40, 60, 90));
+        assert_eq!(m.in_use(60), 2);
+    }
+
+    #[test]
+    fn capacity_reported() {
+        assert_eq!(MshrFile::new(16).capacity(), 16);
+    }
+
+    #[test]
+    fn outstanding_and_earliest_slot() {
+        let mut m = MshrFile::new(1);
+        m.alloc_or_merge(0x80, 0, 40).unwrap();
+        assert_eq!(m.outstanding(0xa0, 10), Some((40, 0)));
+        assert_eq!(m.outstanding(0x140, 10), None);
+        assert_eq!(m.earliest_slot(10), 40, "full file frees at 40");
+        assert_eq!(m.earliest_slot(41), 41);
+    }
+
+    #[test]
+    fn force_alloc_records_fill_depth() {
+        let mut m = MshrFile::new(2);
+        m.force_alloc(0x40, 0, 99, 3);
+        assert_eq!(m.outstanding(0x40, 1), Some((99, 3)));
+    }
+}

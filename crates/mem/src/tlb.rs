@@ -1,0 +1,151 @@
+//! L1 TLB model with probe (no-fill) and access (fill) paths.
+
+use crate::config::{Addr, Cycle, TlbParams};
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    vpn: u64,
+    last_use: u64,
+}
+
+/// A fully-associative L1 TLB with LRU replacement.
+///
+/// Translation is identity (physical == virtual) in this simulator; the
+/// TLB exists purely as a *timing and leakage* model, because TLB hits and
+/// misses can leak addresses (Section V-B, citing TLBleed). Two paths:
+///
+/// * [`Tlb::access`] — a normal translation: fills on miss, charges the
+///   page-walk latency.
+/// * [`Tlb::probe`] — the data-oblivious path used by Obl-Ld: checks for a
+///   hit without fill or LRU update. On a miss, the Obl-Ld proceeds with ⊥
+///   translation and will `fail` (the paper's simplified strategy: "we do
+///   not consult the L2 TLB until the address becomes untainted").
+///
+/// # Examples
+///
+/// ```rust
+/// use sdo_mem::{Tlb, TlbParams};
+/// let params = TlbParams { entries: 2, page_bytes: 4096, hit_latency: 1, walk_latency: 50 };
+/// let mut tlb = Tlb::new(&params);
+/// assert!(!tlb.probe(0x1000));
+/// let latency = tlb.access(0x1000);
+/// assert_eq!(latency, 50);         // cold: page walk
+/// assert_eq!(tlb.access(0x1fff), 1); // same page: hit
+/// assert!(tlb.probe(0x1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<Entry>,
+    params: TlbParams,
+    use_tick: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is not a power of two.
+    #[must_use]
+    pub fn new(params: &TlbParams) -> Self {
+        assert!(params.page_bytes.is_power_of_two(), "page size must be a power of two");
+        Tlb { entries: Vec::with_capacity(params.entries as usize), params: *params, use_tick: 0 }
+    }
+
+    fn vpn(&self, addr: Addr) -> u64 {
+        addr / self.params.page_bytes
+    }
+
+    /// Data-oblivious probe: `true` iff the page is resident. No fill, no
+    /// replacement update.
+    #[must_use]
+    pub fn probe(&self, addr: Addr) -> bool {
+        let vpn = self.vpn(addr);
+        self.entries.iter().any(|e| e.vpn == vpn)
+    }
+
+    /// Normal translation: returns the latency charged (hit latency, or the
+    /// page-walk latency on a miss) and fills the entry.
+    pub fn access(&mut self, addr: Addr) -> Cycle {
+        let vpn = self.vpn(addr);
+        self.use_tick += 1;
+        let tick = self.use_tick;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.vpn == vpn) {
+            e.last_use = tick;
+            return self.params.hit_latency;
+        }
+        if self.entries.len() < self.params.entries as usize {
+            self.entries.push(Entry { vpn, last_use: tick });
+        } else {
+            let lru = self
+                .entries
+                .iter_mut()
+                .min_by_key(|e| e.last_use)
+                .expect("tlb with capacity > 0");
+            *lru = Entry { vpn, last_use: tick };
+        }
+        self.params.walk_latency
+    }
+
+    /// Number of resident entries.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tlb(entries: u32) -> Tlb {
+        Tlb::new(&TlbParams { entries, page_bytes: 4096, hit_latency: 1, walk_latency: 50 })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = tlb(4);
+        assert_eq!(t.access(0), 50);
+        assert_eq!(t.access(4095), 1);
+        assert_eq!(t.access(4096), 50, "next page is a separate entry");
+    }
+
+    #[test]
+    fn probe_has_no_side_effects() {
+        let mut t = tlb(2);
+        assert!(!t.probe(0));
+        assert_eq!(t.resident(), 0);
+        t.access(0);
+        assert!(t.probe(63));
+        assert_eq!(t.resident(), 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = tlb(2);
+        t.access(0); // page 0
+        t.access(4096); // page 1
+        t.access(0); // touch page 0 so page 1 is LRU
+        t.access(2 * 4096); // evicts page 1
+        assert!(t.probe(0));
+        assert!(!t.probe(4096));
+        assert!(t.probe(2 * 4096));
+    }
+
+    #[test]
+    fn probe_does_not_refresh_lru() {
+        let mut t = tlb(2);
+        t.access(0);
+        t.access(4096);
+        assert!(t.probe(0)); // oblivious: must not protect page 0
+        t.access(2 * 4096); // evicts page 0 (the true LRU)
+        assert!(!t.probe(0));
+        assert!(t.probe(4096));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_page_panics() {
+        let _ = Tlb::new(&TlbParams { entries: 1, page_bytes: 1000, hit_latency: 1, walk_latency: 2 });
+    }
+}

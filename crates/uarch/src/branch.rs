@@ -1,0 +1,247 @@
+//! Branch prediction: tournament (local/global/chooser) direction
+//! predictor, branch target buffer, and return address stack (Table I).
+
+/// A 2-bit saturating counter.
+#[derive(Debug, Clone, Copy, Default)]
+struct Counter2(u8);
+
+impl Counter2 {
+    fn taken(self) -> bool {
+        self.0 >= 2
+    }
+    fn train(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+const LOCAL_ENTRIES: usize = 1024;
+const LOCAL_HIST_BITS: usize = 10;
+const GLOBAL_BITS: usize = 12;
+
+/// Tournament direction predictor: a local-history component, a global-
+/// history component, and a chooser trained toward whichever was right.
+///
+/// STT keeps this structure safe by never letting tainted data reach it:
+/// the pipeline defers `train`/`resolve` calls until the branch's
+/// predicate is untainted (Section III-B). The predictor itself is
+/// oblivious to that policy.
+#[derive(Debug, Clone)]
+pub struct TournamentPredictor {
+    local_hist: Vec<u16>,
+    local_pht: Vec<Counter2>,
+    global_pht: Vec<Counter2>,
+    chooser: Vec<Counter2>,
+    global_hist: u64,
+}
+
+impl Default for TournamentPredictor {
+    fn default() -> Self {
+        TournamentPredictor {
+            local_hist: vec![0; LOCAL_ENTRIES],
+            local_pht: vec![Counter2::default(); 1 << LOCAL_HIST_BITS],
+            global_pht: vec![Counter2::default(); 1 << GLOBAL_BITS],
+            chooser: vec![Counter2::default(); 1 << GLOBAL_BITS],
+            global_hist: 0,
+        }
+    }
+}
+
+impl TournamentPredictor {
+    /// Creates a predictor with default table sizes.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn local_index(&self, pc: u64) -> usize {
+        (pc as usize) & (LOCAL_ENTRIES - 1)
+    }
+
+    fn global_index(&self) -> usize {
+        (self.global_hist as usize) & ((1 << GLOBAL_BITS) - 1)
+    }
+
+    /// Predicts the direction of the branch at `pc` (speculatively updates
+    /// global history; corrected on `resolve` if wrong).
+    pub fn predict(&mut self, pc: u64) -> bool {
+        let l_idx = self.local_index(pc);
+        let local = self.local_pht[self.local_hist[l_idx] as usize % self.local_pht.len()].taken();
+        let global = self.global_pht[self.global_index()].taken();
+        let use_global = self.chooser[self.global_index()].taken();
+        let taken = if use_global { global } else { local };
+        self.global_hist = (self.global_hist << 1) | u64::from(taken);
+        taken
+    }
+
+    /// Trains with the resolved outcome. Called only once the branch's
+    /// predicate is untainted.
+    pub fn resolve(&mut self, pc: u64, taken: bool, predicted: bool) {
+        // Repair speculative global history on a misprediction.
+        if taken != predicted {
+            self.global_hist = (self.global_hist & !1) | u64::from(taken);
+        }
+        let hist_before = self.global_hist >> 1;
+        let g_idx = (hist_before as usize) & ((1 << GLOBAL_BITS) - 1);
+        let l_idx = self.local_index(pc);
+        let lp_idx = self.local_hist[l_idx] as usize % self.local_pht.len();
+
+        let local_correct = self.local_pht[lp_idx].taken() == taken;
+        let global_correct = self.global_pht[g_idx].taken() == taken;
+        if global_correct != local_correct {
+            self.chooser[g_idx].train(global_correct);
+        }
+        self.local_pht[lp_idx].train(taken);
+        self.global_pht[g_idx].train(taken);
+        self.local_hist[l_idx] =
+            ((self.local_hist[l_idx] << 1) | u16::from(taken)) & ((1 << LOCAL_HIST_BITS) - 1);
+    }
+}
+
+/// Direct-mapped branch target buffer.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<Option<(u64, u64)>>,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` slots (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    #[must_use]
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "BTB size must be a power of two");
+        Btb { entries: vec![None; entries] }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (pc as usize) & (self.entries.len() - 1)
+    }
+
+    /// Predicted target for the control instruction at `pc`, if cached.
+    #[must_use]
+    pub fn lookup(&self, pc: u64) -> Option<u64> {
+        match self.entries[self.index(pc)] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Installs/updates the target for `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let idx = self.index(pc);
+        self.entries[idx] = Some((pc, target));
+    }
+}
+
+/// Return address stack (circular, overwrite-on-overflow).
+#[derive(Debug, Clone)]
+pub struct Ras {
+    stack: Vec<u64>,
+    cap: usize,
+}
+
+impl Ras {
+    /// Creates a RAS with `cap` entries.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        Ras { stack: Vec::with_capacity(cap), cap }
+    }
+
+    /// Pushes a return address (drops the oldest on overflow).
+    pub fn push(&mut self, addr: u64) {
+        if self.stack.len() == self.cap {
+            self.stack.remove(0);
+        }
+        self.stack.push(addr);
+    }
+
+    /// Pops the predicted return address.
+    pub fn pop(&mut self) -> Option<u64> {
+        self.stack.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tournament_learns_always_taken() {
+        // Needs enough iterations to saturate the history registers and
+        // train the pattern tables they index.
+        let mut p = TournamentPredictor::new();
+        let pc = 0x10;
+        for _ in 0..64 {
+            let pred = p.predict(pc);
+            p.resolve(pc, true, pred);
+        }
+        assert!(p.predict(pc));
+    }
+
+    #[test]
+    fn tournament_learns_never_taken() {
+        let mut p = TournamentPredictor::new();
+        let pc = 0x20;
+        for _ in 0..64 {
+            let pred = p.predict(pc);
+            p.resolve(pc, false, pred);
+        }
+        assert!(!p.predict(pc));
+    }
+
+    #[test]
+    fn tournament_learns_alternating_via_history() {
+        let mut p = TournamentPredictor::new();
+        let pc = 0x30;
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..200u32 {
+            let taken = i % 2 == 0;
+            let pred = p.predict(pc);
+            if i >= 100 {
+                total += 1;
+                correct += u32::from(pred == taken);
+            }
+            p.resolve(pc, taken, pred);
+        }
+        assert!(
+            correct * 10 >= total * 9,
+            "alternating pattern should be >90% predictable, got {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn btb_roundtrip_and_alias() {
+        let mut b = Btb::new(16);
+        assert_eq!(b.lookup(5), None);
+        b.update(5, 100);
+        assert_eq!(b.lookup(5), Some(100));
+        // Aliasing pc (5 + 16) evicts.
+        b.update(21, 200);
+        assert_eq!(b.lookup(5), None);
+        assert_eq!(b.lookup(21), Some(200));
+    }
+
+    #[test]
+    fn ras_lifo_and_overflow() {
+        let mut r = Ras::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // drops 1
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn btb_non_pow2_panics() {
+        let _ = Btb::new(10);
+    }
+}

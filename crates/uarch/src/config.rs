@@ -1,0 +1,300 @@
+//! Core and protection configuration (Tables I and II of the paper).
+
+use sdo_mem::CacheLevel;
+
+/// Attack model determining when speculatively-accessed data untaints
+/// (Section III, "Taint/Untaint Tracking").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackModel {
+    /// Control-flow speculation only: an access instruction untaints when
+    /// all older control-flow instructions have resolved.
+    Spectre,
+    /// All forms of speculation: an access instruction untaints when it
+    /// can no longer be squashed.
+    Futuristic,
+}
+
+impl AttackModel {
+    /// Both models, Spectre first (Fig. 6 upper/lower halves).
+    pub const ALL: [AttackModel; 2] = [AttackModel::Spectre, AttackModel::Futuristic];
+}
+
+impl std::fmt::Display for AttackModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttackModel::Spectre => f.write_str("Spectre"),
+            AttackModel::Futuristic => f.write_str("Futuristic"),
+        }
+    }
+}
+
+/// Which location predictor an SDO configuration uses (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictorKind {
+    /// Always predict a fixed cache level.
+    Static(CacheLevel),
+    /// Greedy component alone (ablation).
+    Greedy,
+    /// Loop component alone (ablation).
+    Loop,
+    /// The paper's hybrid greedy/loop chooser.
+    Hybrid,
+    /// Two-level pattern predictor (extension beyond the paper;
+    /// DESIGN.md §6).
+    Pattern,
+    /// Oracle residency (upper bound).
+    Perfect,
+}
+
+impl std::fmt::Display for PredictorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictorKind::Static(l) => write!(f, "Static {l}"),
+            PredictorKind::Greedy => f.write_str("Greedy"),
+            PredictorKind::Loop => f.write_str("Loop"),
+            PredictorKind::Hybrid => f.write_str("Hybrid"),
+            PredictorKind::Pattern => f.write_str("Pattern"),
+            PredictorKind::Perfect => f.write_str("Perfect"),
+        }
+    }
+}
+
+/// SDO-specific knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdoConfig {
+    /// Location predictor choice.
+    pub predictor: PredictorKind,
+    /// Early forwarding from the wait buffer once safe (Section V-C2
+    /// optimization; off for the ablation bench).
+    pub early_forward: bool,
+    /// Allow the dynamic predictors to predict DRAM, reverting those loads
+    /// to STT-style delay (Section VI-B). When `false`, DRAM predictions
+    /// are clamped to L3 (ablation: forces a fail + squash for DRAM data).
+    pub allow_dram_prediction: bool,
+}
+
+impl SdoConfig {
+    /// The paper's default SDO settings with the given predictor.
+    #[must_use]
+    pub fn with_predictor(predictor: PredictorKind) -> Self {
+        SdoConfig { predictor, early_forward: true, allow_dram_prediction: true }
+    }
+}
+
+/// The protection scheme in force — one row of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protection {
+    /// Unmodified insecure processor.
+    Unsafe,
+    /// STT: delay execution of tainted transmitters.
+    Stt {
+        /// Also treat `fmul`/`fdiv`/`fsqrt` as transmitters
+        /// (`STT{ld+fp}` vs `STT{ld}`).
+        fp_transmitters: bool,
+    },
+    /// STT + SDO: tainted loads issue as Obl-Ld, tainted FP transmit ops
+    /// execute the predict-normal DO variant. (All SDO configurations
+    /// protect FP, per Section VIII-A.)
+    Sdo(SdoConfig),
+}
+
+impl Protection {
+    /// Whether tainted FP transmit ops need protection under this scheme.
+    #[must_use]
+    pub fn protects_fp(&self) -> bool {
+        match self {
+            Protection::Unsafe => false,
+            Protection::Stt { fp_transmitters } => *fp_transmitters,
+            Protection::Sdo(_) => true,
+        }
+    }
+}
+
+/// Security configuration: protection scheme × attack model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecurityConfig {
+    /// The protection scheme.
+    pub protection: Protection,
+    /// The attack model (untaint timing). Ignored by `Unsafe`.
+    pub attack: AttackModel,
+}
+
+impl SecurityConfig {
+    /// The insecure baseline.
+    #[must_use]
+    pub fn unsafe_baseline() -> Self {
+        SecurityConfig { protection: Protection::Unsafe, attack: AttackModel::Spectre }
+    }
+}
+
+/// Functional-unit pool sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuPool {
+    /// Simple integer ALUs (also execute branches and moves).
+    pub int_alu: u32,
+    /// Integer multiply/divide units.
+    pub int_muldiv: u32,
+    /// FP units.
+    pub fp: u32,
+    /// Memory ports (load issue + store address generation).
+    pub mem_ports: u32,
+}
+
+/// Operation latencies in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latencies {
+    /// Integer ALU.
+    pub int_alu: u64,
+    /// Integer multiply.
+    pub int_mul: u64,
+    /// Integer divide.
+    pub int_div: u64,
+    /// FP add/sub.
+    pub fp_add: u64,
+    /// FP multiply, fast (normal-operand) path.
+    pub fp_mul: u64,
+    /// FP divide, fast path.
+    pub fp_div: u64,
+    /// FP square root, fast path.
+    pub fp_sqrt: u64,
+    /// Extra cycles for the subnormal slow path of FP transmit ops — the
+    /// operand-dependent timing that makes them transmitters.
+    pub fp_subnormal_penalty: u64,
+}
+
+/// Core (pipeline) configuration. [`CoreConfig::table_i`] reproduces the
+/// paper's Table I pipeline row: 8-wide fetch/decode/issue/commit, 32/32
+/// SQ/LQ entries, 192 ROB, tournament branch predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Fetch/decode/issue/commit width.
+    pub width: usize,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Load-queue entries.
+    pub lq_entries: usize,
+    /// Store-queue entries.
+    pub sq_entries: usize,
+    /// Issue-queue (scheduler) entries.
+    pub iq_entries: usize,
+    /// Physical integer registers.
+    pub phys_int_regs: usize,
+    /// Physical FP registers.
+    pub phys_fp_regs: usize,
+    /// Fetch-to-dispatch depth in cycles (mispredict penalty floor).
+    pub frontend_latency: u64,
+    /// Functional units.
+    pub fus: FuPool,
+    /// Latencies.
+    pub lat: Latencies,
+    /// Branch-target-buffer entries (direct-mapped).
+    pub btb_entries: usize,
+    /// Return-address-stack depth.
+    pub ras_entries: usize,
+}
+
+impl CoreConfig {
+    /// The Table I pipeline.
+    #[must_use]
+    pub fn table_i() -> Self {
+        CoreConfig {
+            width: 8,
+            rob_entries: 192,
+            lq_entries: 32,
+            sq_entries: 32,
+            iq_entries: 64,
+            phys_int_regs: 256,
+            phys_fp_regs: 256,
+            frontend_latency: 5,
+            fus: FuPool { int_alu: 4, int_muldiv: 1, fp: 2, mem_ports: 2 },
+            lat: Latencies {
+                int_alu: 1,
+                int_mul: 3,
+                int_div: 20,
+                fp_add: 3,
+                fp_mul: 4,
+                fp_div: 12,
+                fp_sqrt: 20,
+                fp_subnormal_penalty: 40,
+            },
+            btb_entries: 512,
+            ras_entries: 16,
+        }
+    }
+
+    /// A narrow configuration for unit tests (small structures so hazards
+    /// are easy to provoke, same latency ratios).
+    #[must_use]
+    pub fn tiny() -> Self {
+        CoreConfig {
+            width: 2,
+            rob_entries: 16,
+            lq_entries: 4,
+            sq_entries: 4,
+            iq_entries: 8,
+            phys_int_regs: 64,
+            phys_fp_regs: 64,
+            frontend_latency: 2,
+            fus: FuPool { int_alu: 2, int_muldiv: 1, fp: 1, mem_ports: 1 },
+            lat: Latencies {
+                int_alu: 1,
+                int_mul: 3,
+                int_div: 20,
+                fp_add: 3,
+                fp_mul: 4,
+                fp_div: 12,
+                fp_sqrt: 20,
+                fp_subnormal_penalty: 40,
+            },
+            btb_entries: 32,
+            ras_entries: 4,
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::table_i()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_matches_paper() {
+        let c = CoreConfig::table_i();
+        assert_eq!(c.width, 8);
+        assert_eq!(c.rob_entries, 192);
+        assert_eq!(c.lq_entries, 32);
+        assert_eq!(c.sq_entries, 32);
+    }
+
+    #[test]
+    fn protection_fp_flag() {
+        assert!(!Protection::Unsafe.protects_fp());
+        assert!(!Protection::Stt { fp_transmitters: false }.protects_fp());
+        assert!(Protection::Stt { fp_transmitters: true }.protects_fp());
+        assert!(Protection::Sdo(SdoConfig::with_predictor(PredictorKind::Hybrid)).protects_fp());
+    }
+
+    #[test]
+    fn sdo_defaults() {
+        let s = SdoConfig::with_predictor(PredictorKind::Static(CacheLevel::L2));
+        assert!(s.early_forward);
+        assert!(s.allow_dram_prediction);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AttackModel::Spectre.to_string(), "Spectre");
+        assert_eq!(PredictorKind::Static(CacheLevel::L1).to_string(), "Static L1");
+        assert_eq!(PredictorKind::Hybrid.to_string(), "Hybrid");
+    }
+
+    #[test]
+    fn attack_model_all() {
+        assert_eq!(AttackModel::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,2260 @@
+//! The speculative out-of-order core with STT taint tracking and SDO.
+//!
+//! A cycle-level model of the Table I pipeline: 8-wide fetch through
+//! commit, 192-entry ROB, 32/32 load/store queues, register renaming with
+//! RAT checkpoints, a tournament branch predictor, and an issue queue
+//! feeding a functional-unit pool. On top of the baseline:
+//!
+//! * **STT** (Section III): every physical register carries a YRoT (see
+//!   [`crate::regfile`]); tainted transmitters — loads, and FP
+//!   mul/div/sqrt under `STT{ld+fp}` — are delay-executed until their
+//!   operands untaint; branch *resolution* (squash + predictor update) is
+//!   deferred until the predicate untaints; consistency squashes are
+//!   deferred until the load's address untaints.
+//! * **SDO** (Sections IV–VI): under [`Protection::Sdo`], tainted loads
+//!   consult the location predictor and issue as Obl-Ld operations driven
+//!   by the [`sdo_core::oblld::OblLdFsm`]; tainted FP transmit ops execute
+//!   the predict-normal DO variant and squash at untaint on subnormal
+//!   inputs; DRAM predictions revert to STT delay.
+
+use crate::branch::{Btb, Ras, TournamentPredictor};
+use crate::config::{AttackModel, CoreConfig, PredictorKind, Protection, SecurityConfig};
+use crate::regfile::{PhysReg, RatSnapshot, RegClass, RegFile};
+use crate::stats::CoreStats;
+use crate::trace::PipelineTrace;
+use sdo_core::oblld::{OblAction, OblEvent, OblLdFsm};
+use sdo_core::predictor::{
+    GreedyPredictor, HybridPredictor, LocationPredictor, LoopPredictor, PatternPredictor,
+    PerfectPredictor, StaticPredictor,
+};
+use sdo_core::{fp_do_execute, DoResult};
+use sdo_isa::{FpuOp, Instruction, OpClass, Program, Reg};
+use sdo_mem::{line_of, CacheLevel, Cycle, MemorySystem, OblReject, ServedBy};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Base of the instruction-text address space: instruction index `pc`
+/// occupies bytes `[ITEXT_BASE + pc * 8, ITEXT_BASE + pc * 8 + 8)`.
+/// Keeping text far above any data address lets instructions share the
+/// unified L2/L3 without colliding with workload data.
+pub const ITEXT_BASE: u64 = 1 << 40;
+
+/// Error from [`Core::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// The program did not halt within the cycle budget.
+    CycleLimit {
+        /// The exhausted budget.
+        max_cycles: u64,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::CycleLimit { max_cycles } => {
+                write!(f, "program did not halt within {max_cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Waiting,
+    Executing,
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fetched {
+    pc: u64,
+    inst: Instruction,
+    pred_taken: bool,
+    pred_target: u64,
+    ready_at: Cycle,
+}
+
+#[derive(Debug)]
+struct DynInst {
+    seq: u64,
+    pc: u64,
+    inst: Instruction,
+    status: Status,
+    done: bool,
+    safe: bool,
+    rat_snap: RatSnapshot,
+    pdst: Option<PhysReg>,
+    old_pdst: Option<PhysReg>,
+    psrcs: [Option<PhysReg>; 4],
+    // Control flow.
+    pred_taken: bool,
+    pred_target: u64,
+    outcome: Option<(bool, u64)>, // (taken, next pc)
+    resolution_applied: bool,
+    // Memory.
+    addr: Option<u64>,
+    store_data: Option<u64>,
+    width_bytes: u64,
+    // Protection state.
+    delayed_since: Option<Cycle>,
+    delay_counted: bool,
+    obl: Option<OblLdFsm>,
+    obl_safe_sent: bool,
+    obl_first_hit_at: Option<Cycle>,
+    sq_forwarded: bool,
+    pending_squash: bool,
+    fp_failed: bool,
+}
+
+impl DynInst {
+    fn is_blocker_ctrl(&self) -> bool {
+        (self.inst.is_cond_branch() || self.inst.is_indirect()) && !self.resolution_applied
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvKind {
+    /// Functional-unit completion; write `value` (if any) to the dest.
+    Exec { value: Option<u64> },
+    /// Normal load completion.
+    LoadDone { value: u64 },
+    /// One Obl-Ld per-level response.
+    OblResp { level: CacheLevel, hit: bool, value: Option<u64> },
+    /// Validation access completion.
+    ValidationDone { value: u64, matches: bool, level: CacheLevel },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    at: Cycle,
+    order: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.order).cmp(&(other.at, other.order))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FuBudget {
+    alu: u32,
+    muldiv: u32,
+    fp: u32,
+    mem: u32,
+}
+
+/// One simulated out-of-order core.
+///
+/// Create with [`Core::new`], then either step cycle-by-cycle with
+/// [`Core::tick`] against a shared [`MemorySystem`], or drive to
+/// completion with [`Core::run`].
+///
+/// # Examples
+///
+/// ```rust
+/// use sdo_isa::{Assembler, Reg};
+/// use sdo_mem::{MemConfig, MemorySystem};
+/// use sdo_uarch::{Core, CoreConfig, SecurityConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut asm = Assembler::new();
+/// asm.li(Reg::new(1), 20);
+/// asm.muli(Reg::new(2), Reg::new(1), 2);
+/// asm.halt();
+/// let prog = asm.finish()?;
+///
+/// let mut mem = MemorySystem::new(MemConfig::table_i(), 1);
+/// mem.load_image(prog.data());
+/// let mut core = Core::new(0, CoreConfig::table_i(), SecurityConfig::unsafe_baseline(), prog);
+/// core.run(&mut mem, 100_000)?;
+/// assert_eq!(core.arch_int()[2], 40);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Core {
+    id: usize,
+    cfg: CoreConfig,
+    sec: SecurityConfig,
+    program: Program,
+    now: Cycle,
+    next_seq: u64,
+    next_event_order: u64,
+    fetch_pc: u64,
+    fetch_halted: bool,
+    fetch_q: VecDeque<Fetched>,
+    rob: VecDeque<DynInst>,
+    iq: Vec<u64>,
+    lq: Vec<u64>,
+    sq: Vec<u64>,
+    regs: RegFile,
+    events: BinaryHeap<Reverse<Event>>,
+    bp: TournamentPredictor,
+    btb: Btb,
+    ras: Ras,
+    predictor: Box<dyn LocationPredictor>,
+    stats: CoreStats,
+    halted: bool,
+    commit_pcs: Option<Vec<u64>>,
+    trace: Option<PipelineTrace>,
+    fetch_stall_until: Cycle,
+    last_fetch_line: Option<u64>,
+    /// Non-pipelined unit occupancy: one slot per integer mul/div unit
+    /// and per FP unit. A long-latency op (divide, sqrt, subnormal slow
+    /// path) holds its unit until completion — this structural contention
+    /// is precisely the FP covert channel of Section I-A.
+    muldiv_busy: Vec<Cycle>,
+    fp_busy: Vec<Cycle>,
+}
+
+fn build_predictor(kind: PredictorKind) -> Box<dyn LocationPredictor> {
+    match kind {
+        PredictorKind::Static(level) => Box::new(StaticPredictor::new(level)),
+        PredictorKind::Greedy => Box::new(GreedyPredictor::default()),
+        PredictorKind::Loop => Box::new(LoopPredictor::default()),
+        PredictorKind::Hybrid => Box::new(HybridPredictor::default()),
+        PredictorKind::Pattern => Box::new(PatternPredictor::default()),
+        PredictorKind::Perfect => Box::new(PerfectPredictor),
+    }
+}
+
+impl Core {
+    /// Builds a core with its own branch predictor, register file and (for
+    /// SDO configurations) location predictor. `id` selects the core's
+    /// tile in the shared memory system.
+    #[must_use]
+    pub fn new(id: usize, cfg: CoreConfig, sec: SecurityConfig, program: Program) -> Self {
+        let kind = match sec.protection {
+            Protection::Sdo(s) => s.predictor,
+            // Unused, but keeps the field total.
+            _ => PredictorKind::Static(CacheLevel::L1),
+        };
+        Core {
+            id,
+            cfg,
+            sec,
+            program,
+            now: 0,
+            next_seq: 0,
+            next_event_order: 0,
+            fetch_pc: 0,
+            fetch_halted: false,
+            fetch_q: VecDeque::new(),
+            rob: VecDeque::new(),
+            iq: Vec::new(),
+            lq: Vec::new(),
+            sq: Vec::new(),
+            regs: RegFile::new(cfg.phys_int_regs, cfg.phys_fp_regs),
+            events: BinaryHeap::new(),
+            bp: TournamentPredictor::new(),
+            btb: Btb::new(cfg.btb_entries),
+            ras: Ras::new(cfg.ras_entries),
+            predictor: build_predictor(kind),
+            stats: CoreStats::default(),
+            halted: false,
+            commit_pcs: None,
+            trace: None,
+            fetch_stall_until: 0,
+            last_fetch_line: None,
+            muldiv_busy: vec![0; cfg.fus.int_muldiv as usize],
+            fp_busy: vec![0; cfg.fus.fp as usize],
+        }
+    }
+
+    /// Enables recording of committed PCs (for differential testing).
+    pub fn record_commits(&mut self) {
+        self.commit_pcs = Some(Vec::new());
+    }
+
+    /// Enables pipeline tracing for the first `capacity` dispatched
+    /// instructions (see [`PipelineTrace`]).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(PipelineTrace::new(capacity));
+    }
+
+    /// The recorded pipeline trace, if tracing was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&PipelineTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Committed PCs, if recording was enabled.
+    #[must_use]
+    pub fn commit_pcs(&self) -> Option<&[u64]> {
+        self.commit_pcs.as_deref()
+    }
+
+    /// Whether a `Halt` has committed.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Committed architectural integer state.
+    #[must_use]
+    pub fn arch_int(&self) -> [u64; 32] {
+        self.regs.arch_int()
+    }
+
+    /// Committed architectural FP state (bit patterns).
+    #[must_use]
+    pub fn arch_fp(&self) -> [u64; 32] {
+        self.regs.arch_fp()
+    }
+
+    /// Renders a short diagnostic description of the oldest ROB entries
+    /// (pipeline state at a glance; intended for debugging stuck runs).
+    #[must_use]
+    pub fn debug_head(&self, n: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "cycle {} rob {} iq {} lq {} sq {} fetch_q {} events {} next_ev {:?}",
+            self.now, self.rob.len(), self.iq.len(), self.lq.len(), self.sq.len(), self.fetch_q.len(),
+            self.events.len(), self.events.peek().map(|e| (e.0.at, e.0.seq, e.0.kind)));
+        for e in self.rob.iter().take(n) {
+            let _ = writeln!(
+                out,
+                "  seq {} pc {} {:?} st {:?} done {} safe {} res_applied {} obl {:?} fsm_done {:?} safe_sent {} pend_sq {}",
+                e.seq, e.pc, e.inst.class(), e.status, e.done, e.safe, e.resolution_applied,
+                e.obl.as_ref().map(|f| f.predicted()),
+                e.obl.as_ref().map(|f| f.is_done()),
+                e.obl_safe_sent, e.pending_squash,
+            );
+            let _ = writeln!(
+                out,
+                "      awaiting_validation {:?} fwd {:?}",
+                e.obl.as_ref().map(|f| f.awaiting_validation()),
+                e.obl.as_ref().map(|f| f.forwarded_value()),
+            );
+        }
+        out
+    }
+
+    /// Runs until halt or `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::CycleLimit`] if the program does not halt in
+    /// time.
+    pub fn run(&mut self, mem: &mut MemorySystem, max_cycles: u64) -> Result<(), RunError> {
+        while !self.halted {
+            if self.now >= max_cycles {
+                return Err(RunError::CycleLimit { max_cycles });
+            }
+            self.tick(mem);
+        }
+        Ok(())
+    }
+
+    /// Advances the core by one cycle.
+    ///
+    /// Stage order within a cycle (oldest effects first):
+    ///
+    /// 1. **deliver events** — functional-unit completions, load data,
+    ///    Obl-Ld responses and validation results scheduled for this
+    ///    cycle write back and wake dependents;
+    /// 2. **invalidation intake** — coherence invalidations mark
+    ///    completed-but-unretired loads for (deferred) consistency
+    ///    squashes;
+    /// 3. **resolve** — visibility points advance (untaint), branch
+    ///    resolutions whose predicates untainted apply (squash +
+    ///    predictor update), Obl-Ld `Safe` events fire, failed FP-SDO ops
+    ///    re-execute, deferred consistency squashes apply;
+    /// 4. **commit** — up to `width` completed instructions retire in
+    ///    order; stores perform;
+    /// 5. **issue** — ready instructions leave the issue queue for
+    ///    functional units or the memory system, subject to STT/SDO
+    ///    transmitter rules;
+    /// 6. **dispatch** — fetched instructions rename into the ROB/queues;
+    /// 7. **fetch** — the frontend follows branch predictions, gated by
+    ///    the instruction cache.
+    pub fn tick(&mut self, mem: &mut MemorySystem) {
+        if self.halted {
+            return;
+        }
+        self.now += 1;
+        self.stats.cycles = self.now;
+        self.deliver_events(mem);
+        self.intake_invalidations(mem);
+        self.resolve_stage(mem);
+        self.commit_stage(mem);
+        self.issue_stage(mem);
+        self.dispatch_stage();
+        self.fetch_stage(mem);
+    }
+
+    // ------------------------------------------------------------------
+    // ROB helpers
+    // ------------------------------------------------------------------
+
+    fn rob_index(&self, seq: u64) -> Option<usize> {
+        // The ROB is seq-sorted but not contiguous: squashes leave gaps in
+        // the sequence-number space (seqs are never reused).
+        self.rob.binary_search_by_key(&seq, |e| e.seq).ok()
+    }
+
+    fn ent(&self, seq: u64) -> Option<&DynInst> {
+        self.rob_index(seq).map(|i| &self.rob[i])
+    }
+
+    fn ent_mut(&mut self, seq: u64) -> Option<&mut DynInst> {
+        self.rob_index(seq).map(move |i| &mut self.rob[i])
+    }
+
+    /// Whether a YRoT still denotes tainted data: true iff the rooted load
+    /// is in flight and has not reached its visibility point.
+    fn taint_active(&self, yrot: Option<u64>) -> bool {
+        match yrot {
+            None => false,
+            Some(seq) => self.ent(seq).is_some_and(|e| !e.safe),
+        }
+    }
+
+    fn srcs_tainted(&self, seq: u64) -> bool {
+        let e = self.ent(seq).expect("live instruction");
+        e.psrcs
+            .iter()
+            .flatten()
+            .any(|p| self.taint_active(self.regs.yrot(*p)))
+    }
+
+    fn addr_operand_tainted(&self, seq: u64) -> bool {
+        // For loads the address operand is the (single) integer source.
+        self.srcs_tainted(seq)
+    }
+
+    fn schedule(&mut self, at: Cycle, seq: u64, kind: EvKind) {
+        self.next_event_order += 1;
+        let order = self.next_event_order;
+        self.events.push(Reverse(Event { at: at.max(self.now + 1), order, seq, kind }));
+    }
+
+    // ------------------------------------------------------------------
+    // Event delivery
+    // ------------------------------------------------------------------
+
+    fn deliver_events(&mut self, mem: &mut MemorySystem) {
+        while let Some(Reverse(ev)) = self.events.peek().copied() {
+            if ev.at > self.now {
+                break;
+            }
+            self.events.pop();
+            if self.ent(ev.seq).is_none() {
+                continue; // squashed
+            }
+            match ev.kind {
+                EvKind::Exec { value } => self.on_exec_done(ev.seq, value),
+                EvKind::LoadDone { value } => self.on_load_done(ev.seq, value),
+                EvKind::OblResp { level, hit, value } => {
+                    self.on_fsm_event(mem, ev.seq, OblEvent::Response { level, hit, value });
+                }
+                EvKind::ValidationDone { value, matches, level } => {
+                    self.on_fsm_event(mem, ev.seq, OblEvent::ValidationDone { value, matches, level });
+                }
+            }
+        }
+    }
+
+    fn on_exec_done(&mut self, seq: u64, value: Option<u64>) {
+        let e = self.ent_mut(seq).expect("live");
+        if let (Some(v), Some(p)) = (value, e.pdst) {
+            self.regs.write(p, v);
+        }
+        let e = self.ent_mut(seq).expect("live");
+        e.status = Status::Done;
+        // Control instructions whose resolution is still pending (squash +
+        // predictor update may be deferred by STT until the predicate
+        // untaints) become `done` only when the resolution applies.
+        e.done = e.resolution_applied;
+        if let Some(t) = self.trace.as_mut() {
+            t.complete(seq, self.now);
+        }
+    }
+
+    fn load_value_for_width(word: u64, width: u64) -> u64 {
+        match width {
+            1 => word & 0xff,
+            _ => word,
+        }
+    }
+
+    fn on_load_done(&mut self, seq: u64, value: u64) {
+        let e = self.ent_mut(seq).expect("live");
+        let v = Self::load_value_for_width(value, e.width_bytes);
+        if let Some(p) = e.pdst {
+            self.regs.write(p, v);
+        }
+        let e = self.ent_mut(seq).expect("live");
+        e.status = Status::Done;
+        e.done = true;
+        if let Some(t) = self.trace.as_mut() {
+            t.complete(seq, self.now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Obl-Ld FSM action plumbing
+    // ------------------------------------------------------------------
+
+    fn on_fsm_event(&mut self, mem: &mut MemorySystem, seq: u64, event: OblEvent) {
+        let now = self.now;
+        let Some(e) = self.ent_mut(seq) else { return };
+        // Track imprecision: remember when the first success arrived.
+        if let OblEvent::Response { hit: true, .. } = event {
+            if e.obl_first_hit_at.is_none() {
+                e.obl_first_hit_at = Some(now);
+            }
+        }
+        let Some(fsm) = e.obl.as_mut() else { return };
+        let actions = fsm.on_event(event);
+        let from_validation = matches!(event, OblEvent::ValidationDone { .. });
+        self.apply_obl_actions(mem, seq, &actions, from_validation);
+    }
+
+    fn apply_obl_actions(
+        &mut self,
+        mem: &mut MemorySystem,
+        seq: u64,
+        actions: &[OblAction],
+        from_validation: bool,
+    ) {
+        for action in actions {
+            match *action {
+                OblAction::Forward { value } => {
+                    let e = self.ent_mut(seq).expect("live");
+                    // Store-queue forwarding overrides the memory value
+                    // (Section V-C3): the Obl-Ld executed for timing, the
+                    // data comes from the SQ. (Handled before FSM creation
+                    // in this implementation; kept for defense in depth.)
+                    let v = Self::load_value_for_width(value, e.width_bytes);
+                    if let Some(p) = e.pdst {
+                        self.regs.write(p, v);
+                    }
+                    // Imprecision accounting: cycles between the first
+                    // success response and this forward.
+                    let e = self.ent(seq).expect("live");
+                    if !from_validation {
+                        if let Some(first) = e.obl_first_hit_at {
+                            self.stats.obl.imprecision_cycles += self.now.saturating_sub(first);
+                        }
+                    }
+                }
+                OblAction::Squash => {
+                    if from_validation {
+                        self.stats.squashes.validation += 1;
+                    } else {
+                        self.stats.squashes.obl_fail += 1;
+                    }
+                    let e = self.ent(seq).expect("live");
+                    let redirect = e.pc + 1;
+                    if let Some(p) = e.pdst {
+                        self.regs.unwrite(p);
+                    }
+                    self.squash_after(seq);
+                    // Re-fetch the (squashed) dependents of the load.
+                    self.fetch_pc = redirect;
+                }
+                OblAction::IssueValidation => {
+                    let e = self.ent(seq).expect("live");
+                    let addr = e.addr.expect("issued load has an address");
+                    let expected = e.obl.as_ref().and_then(OblLdFsm::forwarded_value).unwrap_or(0);
+                    self.stats.obl.validations += 1;
+                    let (res, matches) = mem.validate(self.id, addr, expected, self.now);
+                    self.schedule(
+                        res.complete_at,
+                        seq,
+                        EvKind::ValidationDone {
+                            value: res.value,
+                            matches,
+                            level: res.served_by.level(),
+                        },
+                    );
+                }
+                OblAction::IssueExposure => {
+                    let e = self.ent(seq).expect("live");
+                    let addr = e.addr.expect("issued load has an address");
+                    self.stats.obl.exposures += 1;
+                    mem.expose(self.id, addr, self.now);
+                }
+                OblAction::UpdatePredictor { level } => {
+                    let e = self.ent(seq).expect("live");
+                    let pc = e.pc;
+                    let predicted = e.obl.as_ref().expect("obl load").predicted();
+                    self.predictor.update(pc, level);
+                    self.stats.record_prediction(predicted.depth(), level.depth());
+                }
+                OblAction::Complete => {
+                    let e = self.ent_mut(seq).expect("live");
+                    e.status = Status::Done;
+                    e.done = true;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.complete(seq, self.now);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Invalidation intake (memory consistency, Section V-C1)
+    // ------------------------------------------------------------------
+
+    fn intake_invalidations(&mut self, mem: &mut MemorySystem) {
+        let invals = mem.take_invalidations(self.id);
+        if invals.is_empty() {
+            return;
+        }
+        for line in invals {
+            // Completed-but-unretired loads to this line may violate
+            // consistency; mark them. The squash itself is deferred until
+            // the load's address is untainted (STT's implicit-channel rule
+            // applied to the consistency check).
+            for lq_seq in self.lq.clone() {
+                let Some(e) = self.ent_mut(lq_seq) else { continue };
+                if e.pending_squash || !e.done {
+                    continue;
+                }
+                if e.sq_forwarded {
+                    continue; // data came from our own store queue
+                }
+                if e.addr.is_some_and(|a| line_of(a) == line) {
+                    e.pending_squash = true;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Resolve stage: visibility, untaint-gated actions
+    // ------------------------------------------------------------------
+
+    fn update_visibility(&mut self) {
+        let futuristic =
+            self.sec.attack == AttackModel::Futuristic && self.sec.protection != Protection::Unsafe;
+        let mut blocked = false;
+        for e in &mut self.rob {
+            if !e.safe && !blocked {
+                e.safe = true;
+            }
+            if e.is_blocker_ctrl() {
+                blocked = true;
+            }
+            if futuristic && !blocked {
+                // A load stops blocking younger visibility once its result
+                // is *performed* (value received/forwarded). An Obl-Ld
+                // still awaiting its validation no longer blocks: per the
+                // paper's footnote 4, reaching the visibility point in the
+                // Futuristic model implies a consistency violation can no
+                // longer occur — the rare validation-mismatch squash after
+                // this point is a documented approximation (it cannot
+                // happen at all in single-core runs).
+                let load_unperformed = e.inst.is_load()
+                    && match &e.obl {
+                        Some(fsm) => fsm.forwarded_value().is_none(),
+                        None => !e.done,
+                    };
+                if load_unperformed || e.pending_squash || e.fp_failed {
+                    blocked = true;
+                }
+            }
+        }
+    }
+
+    fn resolve_stage(&mut self, mem: &mut MemorySystem) {
+        self.update_visibility();
+
+        let protected = self.sec.protection != Protection::Unsafe;
+
+        // 1. Branch resolutions (executed) whose predicate is untainted.
+        let candidates: Vec<u64> = self
+            .rob
+            .iter()
+            .filter(|e| e.outcome.is_some() && e.status == Status::Done && !e.resolution_applied)
+            .map(|e| e.seq)
+            .collect();
+        for seq in candidates {
+            if self.ent(seq).is_none() {
+                break; // a prior resolution squashed the rest
+            }
+            if protected && self.srcs_tainted(seq) {
+                continue; // STT: delay resolution until untainted
+            }
+            if self.apply_resolution(seq) {
+                break; // squash: younger candidates are gone
+            }
+        }
+
+        // 2. Obl-Ld loads whose address operand just untainted: event C.
+        let obl_candidates: Vec<u64> = self
+            .rob
+            .iter()
+            .filter(|e| e.obl.is_some() && !e.obl_safe_sent)
+            .map(|e| e.seq)
+            .collect();
+        for seq in obl_candidates {
+            if self.ent(seq).is_none() {
+                break;
+            }
+            if self.addr_operand_tainted(seq) {
+                continue;
+            }
+            let e = self.ent_mut(seq).expect("live");
+            e.obl_safe_sent = true;
+            self.on_fsm_event(mem, seq, OblEvent::Safe);
+            if self.ent(seq).is_some_and(|e| e.obl.as_ref().is_some_and(OblLdFsm::squashed)) {
+                break;
+            }
+        }
+
+        // 3. FP SDO fails whose operands untainted: squash + re-execute.
+        let fp_candidates: Vec<u64> =
+            self.rob.iter().filter(|e| e.fp_failed && e.status == Status::Done).map(|e| e.seq).collect();
+        for seq in fp_candidates {
+            if self.ent(seq).is_none() {
+                break;
+            }
+            if self.srcs_tainted(seq) {
+                continue;
+            }
+            self.stats.squashes.fp_fail += 1;
+            let e = self.ent(seq).expect("live");
+            let redirect = e.pc + 1;
+            if let Some(p) = e.pdst {
+                self.regs.unwrite(p);
+            }
+            self.squash_after(seq);
+            self.fetch_pc = redirect;
+            // Re-execute on the slow path with the true result.
+            let e = self.ent_mut(seq).expect("live");
+            e.fp_failed = false;
+            e.status = Status::Executing;
+            e.done = false;
+            let (value, lat) = self.exec_fp(seq, true);
+            // The re-executed slow path occupies an FP unit (structural
+            // contention is safe to reveal: the operands are untainted).
+            let slot = self.fp_busy.iter_mut().min().expect("fp units exist");
+            *slot = (*slot).max(self.now) + lat;
+            self.schedule(self.now + lat, seq, EvKind::Exec { value: Some(value) });
+            break;
+        }
+
+        // 4. Deferred consistency squashes whose address untainted.
+        let pending: Vec<u64> =
+            self.rob.iter().filter(|e| e.pending_squash).map(|e| e.seq).collect();
+        for seq in pending {
+            if self.ent(seq).is_none() {
+                break;
+            }
+            if protected && self.addr_operand_tainted(seq) {
+                continue;
+            }
+            self.stats.squashes.consistency += 1;
+            let pc = self.ent(seq).expect("live").pc;
+            self.squash_from(seq);
+            self.fetch_pc = pc;
+            break;
+        }
+    }
+
+    /// Applies a computed branch/jump resolution. Returns `true` if it
+    /// squashed.
+    fn apply_resolution(&mut self, seq: u64) -> bool {
+        let e = self.ent(seq).expect("live");
+        let (taken, next_pc) = e.outcome.expect("resolved");
+        let pc = e.pc;
+        let pred_taken = e.pred_taken;
+        let pred_target = e.pred_target;
+        let is_cond = e.inst.is_cond_branch();
+        let is_indirect = e.inst.is_indirect();
+
+        if is_cond {
+            self.stats.branches += 1;
+            self.bp.resolve(pc, taken, pred_taken);
+        }
+        if is_indirect {
+            self.btb.update(pc, next_pc);
+        }
+        let e = self.ent_mut(seq).expect("live");
+        e.resolution_applied = true;
+        e.done = e.status == Status::Done;
+
+        if next_pc != pred_target {
+            self.stats.mispredicts += 1;
+            self.stats.squashes.branch += 1;
+            self.squash_after(seq);
+            self.fetch_pc = next_pc;
+            true
+        } else {
+            false
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Squash machinery
+    // ------------------------------------------------------------------
+
+    /// Squashes every instruction strictly younger than `seq`.
+    fn squash_after(&mut self, seq: u64) {
+        self.squash_killing_from(seq + 1);
+    }
+
+    /// Squashes `seq` and everything younger (re-fetch from its pc).
+    fn squash_from(&mut self, seq: u64) {
+        self.squash_killing_from(seq);
+    }
+
+    fn squash_killing_from(&mut self, first_killed: u64) {
+        let mut snap: Option<RatSnapshot> = None;
+        while let Some(back) = self.rob.back() {
+            if back.seq < first_killed {
+                break;
+            }
+            let e = self.rob.pop_back().expect("non-empty");
+            self.stats.squashed_insts += 1;
+            if let Some(t) = self.trace.as_mut() {
+                t.squash(e.seq, self.now);
+            }
+            if e.seq == first_killed {
+                snap = Some(e.rat_snap);
+            }
+            if let Some(p) = e.pdst {
+                self.regs.release(p);
+            }
+        }
+        if let Some(snap) = snap {
+            self.regs.restore(&snap);
+        }
+        self.iq.retain(|&s| s < first_killed);
+        self.lq.retain(|&s| s < first_killed);
+        self.sq.retain(|&s| s < first_killed);
+        self.fetch_q.clear();
+        self.fetch_halted = false;
+    }
+
+    // ------------------------------------------------------------------
+    // Commit stage
+    // ------------------------------------------------------------------
+
+    fn commit_stage(&mut self, mem: &mut MemorySystem) {
+        for _ in 0..self.cfg.width {
+            let Some(head) = self.rob.front() else { break };
+            // An entry can be `done` yet still owe a deferred action that
+            // must run in `resolve_stage` first (same-cycle multi-commit
+            // could otherwise retire it together with its taint producer).
+            if head.fp_failed || head.pending_squash {
+                break;
+            }
+            if !head.done {
+                // Figure 7 accounting: head blocked awaiting validation.
+                if head.obl.as_ref().is_some_and(OblLdFsm::awaiting_validation) {
+                    self.stats.obl.validation_stall_cycles += 1;
+                }
+                break;
+            }
+            let head = self.rob.pop_front().expect("non-empty");
+            self.stats.committed += 1;
+            if let Some(log) = self.commit_pcs.as_mut() {
+                log.push(head.pc);
+            }
+            if let Some(t) = self.trace.as_mut() {
+                t.commit(head.seq, self.now);
+            }
+            match head.inst.class() {
+                OpClass::Halt => {
+                    self.halted = true;
+                    return;
+                }
+                OpClass::Store => {
+                    self.stats.committed_stores += 1;
+                    let addr = head.addr.expect("store address computed");
+                    let data = head.store_data.expect("store data computed");
+                    mem.store(self.id, addr, data, head.width_bytes, self.now);
+                    self.sq.retain(|&s| s != head.seq);
+                }
+                OpClass::Load => {
+                    self.stats.committed_loads += 1;
+                    self.lq.retain(|&s| s != head.seq);
+                }
+                _ => {}
+            }
+            if let Some(old) = head.old_pdst {
+                self.regs.release(old);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue stage
+    // ------------------------------------------------------------------
+
+    fn fu_for(class: OpClass) -> fn(&mut FuBudget) -> &mut u32 {
+        match class {
+            OpClass::IntAlu | OpClass::Branch | OpClass::Jump => |b| &mut b.alu,
+            OpClass::IntMul | OpClass::IntDiv => |b| &mut b.muldiv,
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt => |b| &mut b.fp,
+            OpClass::Load | OpClass::Store => |b| &mut b.mem,
+            OpClass::Nop | OpClass::Halt => |b| &mut b.alu,
+        }
+    }
+
+    /// Claims a non-pipelined unit for `latency` cycles; `true` iff one
+    /// was free this cycle.
+    fn claim_unit(busy: &mut [Cycle], now: Cycle, latency: Cycle) -> bool {
+        match busy.iter_mut().find(|b| **b <= now) {
+            Some(slot) => {
+                *slot = now + latency;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn issue_stage(&mut self, mem: &mut MemorySystem) {
+        let mut budget = FuBudget {
+            alu: self.cfg.fus.int_alu,
+            muldiv: self.cfg.fus.int_muldiv,
+            fp: self.cfg.fus.fp,
+            mem: self.cfg.fus.mem_ports,
+        };
+        let mut issued_count = 0usize;
+        let mut issued: Vec<u64> = Vec::new();
+        let iq_snapshot = self.iq.clone();
+
+        for seq in iq_snapshot {
+            if issued_count >= self.cfg.width {
+                break;
+            }
+            let Some(e) = self.ent(seq) else {
+                issued.push(seq); // squashed stragglers
+                continue;
+            };
+            if e.status != Status::Waiting {
+                issued.push(seq);
+                continue;
+            }
+            // Source readiness.
+            let ready = e.psrcs.iter().flatten().all(|p| self.regs.is_ready(*p));
+            if !ready {
+                continue;
+            }
+            let class = e.inst.class();
+            let fu = Self::fu_for(class);
+            if *fu(&mut budget) == 0 {
+                continue;
+            }
+            let ok = match class {
+                OpClass::Load => self.try_issue_load(mem, seq),
+                OpClass::Store => {
+                    self.issue_store(seq);
+                    true
+                }
+                OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt => self.try_issue_fp_transmit(seq),
+                _ => self.issue_simple(seq),
+            };
+            if ok {
+                *fu(&mut budget) -= 1;
+                issued_count += 1;
+                issued.push(seq);
+                if let Some(t) = self.trace.as_mut() {
+                    t.issue(seq, self.now);
+                }
+            }
+        }
+        self.iq.retain(|s| !issued.contains(s));
+    }
+
+    fn src_value(&self, e: &DynInst, slot: usize) -> u64 {
+        e.psrcs[slot].map_or(0, |p| self.regs.value(p))
+    }
+
+    fn issue_simple(&mut self, seq: u64) -> bool {
+        let e = self.ent(seq).expect("live");
+        let pc = e.pc;
+        let inst = e.inst;
+        let s0 = self.src_value(e, 0);
+        let s1 = self.src_value(e, 1);
+        let f0 = f64::from_bits(self.src_value(e, 2));
+        let f1 = f64::from_bits(self.src_value(e, 3));
+        let lat = &self.cfg.lat;
+
+        let (value, latency, outcome) = match inst {
+            Instruction::Alu { op, .. } => (Some(op.eval(s0, s1)), self.alu_latency(op), None),
+            Instruction::AluImm { op, imm, .. } => {
+                (Some(op.eval(s0, imm as u64)), self.alu_latency(op), None)
+            }
+            Instruction::Li { imm, .. } => (Some(imm as u64), lat.int_alu, None),
+            Instruction::Branch { cond, target, .. } => {
+                let taken = cond.eval(s0, s1);
+                let next = if taken { target } else { pc + 1 };
+                (None, lat.int_alu, Some((taken, next)))
+            }
+            Instruction::Jal { target, .. } => (Some(pc + 1), lat.int_alu, Some((true, target))),
+            Instruction::Jalr { offset, .. } => {
+                (Some(pc + 1), lat.int_alu, Some((true, s0.wrapping_add(offset as u64))))
+            }
+            Instruction::Fpu { op, .. } => {
+                // Non-transmit FP (add/sub) — always data-oblivious timing.
+                (Some(op.eval(f0, f1).to_bits()), lat.fp_add, None)
+            }
+            Instruction::FMvToInt { .. } => (Some(self.src_value(e, 2)), lat.int_alu, None),
+            Instruction::FMvFromInt { .. } => (Some(s0), lat.int_alu, None),
+            Instruction::Nop | Instruction::Halt => (None, lat.int_alu, None),
+            Instruction::Load { .. }
+            | Instruction::Store { .. }
+            | Instruction::FLoad { .. }
+            | Instruction::FStore { .. } => unreachable!("memory ops use their own paths"),
+        };
+
+        // Long-latency integer ops occupy their (non-pipelined) unit.
+        if matches!(inst.class(), OpClass::IntMul | OpClass::IntDiv)
+            && !Self::claim_unit(&mut self.muldiv_busy, self.now, latency)
+        {
+            return false; // unit busy: stay in the issue queue, retry
+        }
+        let e = self.ent_mut(seq).expect("live");
+        e.status = Status::Executing;
+        e.outcome = outcome;
+        self.schedule(self.now + latency, seq, EvKind::Exec { value });
+        true
+    }
+
+    fn alu_latency(&self, op: sdo_isa::AluOp) -> Cycle {
+        if op.is_mul() {
+            self.cfg.lat.int_mul
+        } else if op.is_div() {
+            self.cfg.lat.int_div
+        } else {
+            self.cfg.lat.int_alu
+        }
+    }
+
+    /// Whether the op ties up its FP unit for its whole latency: divides
+    /// and square roots always; multiplies only on the (subnormal) slow
+    /// microcoded path. Adds and fast multiplies are fully pipelined.
+    fn fp_unit_nonpipelined(&self, op: FpuOp, slow: bool) -> bool {
+        matches!(op, FpuOp::Div | FpuOp::Sqrt) || slow
+    }
+
+    fn fp_latency(&self, op: FpuOp, slow: bool) -> Cycle {
+        let base = match op {
+            FpuOp::Add | FpuOp::Sub => self.cfg.lat.fp_add,
+            FpuOp::Mul => self.cfg.lat.fp_mul,
+            FpuOp::Div => self.cfg.lat.fp_div,
+            FpuOp::Sqrt => self.cfg.lat.fp_sqrt,
+        };
+        if slow {
+            base + self.cfg.lat.fp_subnormal_penalty
+        } else {
+            base
+        }
+    }
+
+    /// Computes an FP transmit op's true value and (class-dependent)
+    /// latency; `force_slow` charges the subnormal path.
+    fn exec_fp(&mut self, seq: u64, force_slow: bool) -> (u64, Cycle) {
+        let e = self.ent(seq).expect("live");
+        let Instruction::Fpu { op, .. } = e.inst else { unreachable!("fp transmit") };
+        let a = f64::from_bits(self.src_value(e, 2));
+        let b = f64::from_bits(self.src_value(e, 3));
+        let slow = force_slow
+            || a.is_subnormal()
+            || (op != FpuOp::Sqrt && b.is_subnormal());
+        (op.eval(a, b).to_bits(), self.fp_latency(op, slow))
+    }
+
+    fn try_issue_fp_transmit(&mut self, seq: u64) -> bool {
+        let tainted = self.srcs_tainted(seq);
+        let protect = self.sec.protection.protects_fp();
+        match (self.sec.protection, tainted && protect) {
+            (Protection::Sdo(_), true) => {
+                // FP SDO: execute the predict-normal DO variant (fast
+                // latency and fast-path unit occupancy regardless of
+                // operands — data-oblivious).
+                let e = self.ent(seq).expect("live");
+                let Instruction::Fpu { op, .. } = e.inst else { unreachable!() };
+                let a = f64::from_bits(self.src_value(e, 2));
+                let b = f64::from_bits(self.src_value(e, 3));
+                let lat = self.fp_latency(op, false);
+                if self.fp_unit_nonpipelined(op, false)
+                    && !Self::claim_unit(&mut self.fp_busy, self.now, lat)
+                {
+                    return false;
+                }
+                let r: DoResult<f64> = fp_do_execute(op, a, b);
+                self.stats.fp_sdo_issued += 1;
+                let (value, failed) = match r.presult {
+                    Some(v) => (v.to_bits(), false),
+                    None => (0u64, true),
+                };
+                let e = self.ent_mut(seq).expect("live");
+                e.status = Status::Executing;
+                e.fp_failed = failed;
+                self.schedule(self.now + lat, seq, EvKind::Exec { value: Some(value) });
+                true
+            }
+            (Protection::Stt { .. }, true) => {
+                // Delay until operands untaint.
+                let e = self.ent_mut(seq).expect("live");
+                if !e.delay_counted {
+                    e.delay_counted = true;
+                    self.stats.delayed_fp += 1;
+                }
+                false
+            }
+            _ => {
+                // Unsafe, STT{ld}, or untainted operands: execute with the
+                // operand-dependent latency AND unit occupancy (the
+                // covert channel the configurations above close).
+                let e = self.ent(seq).expect("live");
+                let Instruction::Fpu { op, .. } = e.inst else { unreachable!() };
+                let a = f64::from_bits(self.src_value(e, 2));
+                let slow = a.is_subnormal()
+                    || (op != FpuOp::Sqrt && f64::from_bits(self.src_value(e, 3)).is_subnormal());
+                let (value, lat) = self.exec_fp(seq, false);
+                if self.fp_unit_nonpipelined(op, slow)
+                    && !Self::claim_unit(&mut self.fp_busy, self.now, lat)
+                {
+                    return false;
+                }
+                let e = self.ent_mut(seq).expect("live");
+                e.status = Status::Executing;
+                self.schedule(self.now + lat, seq, EvKind::Exec { value: Some(value) });
+                true
+            }
+        }
+    }
+
+    fn issue_store(&mut self, seq: u64) {
+        let e = self.ent(seq).expect("live");
+        let (base, offset, width) = e.inst.mem_operands().expect("store");
+        let _ = base;
+        let addr = self.src_value(e, if e.inst.int_srcs()[1].is_some() { 1 } else { 0 })
+            .wrapping_add(offset as u64);
+        // Data: integer stores read src slot 0; FP stores read fp slot 2.
+        let data = match e.inst {
+            Instruction::Store { .. } => self.src_value(e, 0),
+            Instruction::FStore { .. } => self.src_value(e, 2),
+            _ => unreachable!(),
+        };
+        let e = self.ent_mut(seq).expect("live");
+        e.addr = Some(addr);
+        e.store_data = Some(data);
+        e.width_bytes = width.bytes();
+        e.status = Status::Executing;
+        self.schedule(self.now + 1, seq, EvKind::Exec { value: None });
+    }
+
+    /// Store-queue search for an older store overlapping `addr`.
+    /// `Ok(Some(value))`: full-cover forward. `Ok(None)`: no overlap.
+    /// `Err(())`: must wait (unknown older address or partial overlap).
+    fn sq_lookup(&self, seq: u64, addr: u64, width: u64) -> Result<Option<u64>, ()> {
+        for &s_seq in self.sq.iter().rev() {
+            if s_seq >= seq {
+                continue;
+            }
+            let Some(s) = self.ent(s_seq) else { continue };
+            let Some(s_addr) = s.addr else { return Err(()) };
+            let s_width = s.width_bytes;
+            let overlap = addr < s_addr + s_width && s_addr < addr + width;
+            if !overlap {
+                continue;
+            }
+            let covers = s_addr <= addr && addr + width <= s_addr + s_width;
+            if !covers || s.store_data.is_none() {
+                return Err(());
+            }
+            let shift = 8 * (addr - s_addr);
+            let data = s.store_data.expect("checked") >> shift;
+            return Ok(Some(data));
+        }
+        // Any older store with an unknown address blocks (conservative
+        // memory-dependence policy, see DESIGN.md).
+        for &s_seq in &self.sq {
+            if s_seq < seq && self.ent(s_seq).is_some_and(|s| s.addr.is_none()) {
+                return Err(());
+            }
+        }
+        Ok(None)
+    }
+
+    fn try_issue_load(&mut self, mem: &mut MemorySystem, seq: u64) -> bool {
+        let e = self.ent(seq).expect("live");
+        let (_, offset, width) = e.inst.mem_operands().expect("load");
+        let addr = self.src_value(e, 0).wrapping_add(offset as u64);
+        let width_bytes = width.bytes();
+        {
+            let e = self.ent_mut(seq).expect("live");
+            e.addr = Some(addr);
+            e.width_bytes = width_bytes;
+        }
+
+        // Memory ordering / store-to-load forwarding.
+        let forwarded = match self.sq_lookup(seq, addr, width_bytes) {
+            Err(()) => return false, // retry next cycle
+            Ok(f) => f,
+        };
+
+        let tainted = self.addr_operand_tainted(seq);
+        match self.sec.protection {
+            Protection::Unsafe => {
+                self.issue_normal_load(mem, seq, addr, forwarded);
+                true
+            }
+            Protection::Stt { .. } => {
+                if tainted {
+                    self.note_delayed(seq);
+                    false
+                } else {
+                    self.finish_delay_accounting(seq);
+                    self.issue_normal_load(mem, seq, addr, forwarded);
+                    true
+                }
+            }
+            Protection::Sdo(sdo) => {
+                if !tainted {
+                    self.finish_delay_accounting(seq);
+                    self.issue_normal_load(mem, seq, addr, forwarded);
+                    return true;
+                }
+                // Predict a level from the (public) PC.
+                let oracle = mem.residency(self.id, addr);
+                let mut level = self.predictor.predict(self.ent(seq).expect("live").pc, oracle);
+                if level == CacheLevel::Dram && !sdo.allow_dram_prediction {
+                    level = CacheLevel::L3;
+                }
+                if level == CacheLevel::Dram {
+                    // Revert to STT delay (Section VI-B).
+                    let now = self.now;
+                    let e = self.ent_mut(seq).expect("live");
+                    let newly = !e.delay_counted;
+                    e.delay_counted = true;
+                    if e.delayed_since.is_none() {
+                        e.delayed_since = Some(now);
+                    }
+                    if newly {
+                        self.stats.obl.dram_predictions += 1;
+                        self.stats.delayed_loads += 1;
+                    }
+                    return false;
+                }
+                match mem.obl_lookup(self.id, addr, level, self.now) {
+                    Err(OblReject::MshrFull) => {
+                        self.stats.obl.mshr_retries += 1;
+                        false
+                    }
+                    Ok(lookup) => {
+                        self.stats.obl.issued += 1;
+                        if lookup.success() {
+                            self.stats.obl.success += 1;
+                        } else {
+                            self.stats.obl.fail += 1;
+                            if !lookup.tlb_hit {
+                                self.stats.obl.tlb_probe_fails += 1;
+                            }
+                        }
+                        if let Some(fwd) = forwarded {
+                            // SQ forwarding: the lookup ran for timing; the
+                            // load completes from the SQ at B, no
+                            // validation needed (Section V-C3).
+                            self.stats.obl.sq_forwarded += 1;
+                            let e = self.ent_mut(seq).expect("live");
+                            e.sq_forwarded = true;
+                            e.status = Status::Executing;
+                            self.schedule(lookup.complete_at, seq, EvKind::LoadDone { value: fwd });
+                            return true;
+                        }
+                        let pc = self.ent(seq).expect("live").pc;
+                        let exposure_eligible = self.exposure_condition(seq);
+                        let fsm = OblLdFsm::new(pc, level, exposure_eligible, sdo.early_forward);
+                        let e = self.ent_mut(seq).expect("live");
+                        e.obl = Some(fsm);
+                        e.status = Status::Executing;
+                        for r in &lookup.responses {
+                            self.schedule(
+                                r.at,
+                                seq,
+                                EvKind::OblResp {
+                                    level: r.level,
+                                    hit: r.hit,
+                                    value: r.hit.then(|| lookup.value.expect("hit has data")),
+                                },
+                            );
+                        }
+                        true
+                    }
+                }
+            }
+        }
+    }
+
+    /// Approximation of InvisiSpec's exposure condition: the load cannot
+    /// be reordered with older memory operations if none are in flight.
+    fn exposure_condition(&self, seq: u64) -> bool {
+        let older_store = self.sq.iter().any(|&s| s < seq);
+        let older_load_incomplete = self
+            .lq
+            .iter()
+            .filter(|&&l| l < seq)
+            .any(|&l| self.ent(l).is_some_and(|e| !e.done));
+        !older_store && !older_load_incomplete
+    }
+
+    fn note_delayed(&mut self, seq: u64) {
+        let now = self.now;
+        let e = self.ent_mut(seq).expect("live");
+        let newly = !e.delay_counted;
+        e.delay_counted = true;
+        if e.delayed_since.is_none() {
+            e.delayed_since = Some(now);
+        }
+        if newly {
+            self.stats.delayed_loads += 1;
+        }
+    }
+
+    fn finish_delay_accounting(&mut self, seq: u64) {
+        let e = self.ent_mut(seq).expect("live");
+        if let Some(since) = e.delayed_since.take() {
+            self.stats.delay_cycles += self.now - since;
+        }
+    }
+
+    fn issue_normal_load(&mut self, mem: &mut MemorySystem, seq: u64, addr: u64, forwarded: Option<u64>) {
+        let e = self.ent_mut(seq).expect("live");
+        e.status = Status::Executing;
+        let was_dram_predicted = e.delay_counted && matches!(self.sec.protection, Protection::Sdo(_));
+        if let Some(value) = forwarded {
+            let e = self.ent_mut(seq).expect("live");
+            e.sq_forwarded = true;
+            // Store-to-load forwarding latency ≈ L1 hit.
+            let at = self.now + self.cfg.lat.int_alu + 1;
+            self.schedule(at, seq, EvKind::LoadDone { value });
+            return;
+        }
+        let res = mem.load(self.id, addr, self.now);
+        self.schedule(res.complete_at, seq, EvKind::LoadDone { value: res.value });
+        if was_dram_predicted {
+            // The location predictor said DRAM and the load reverted to
+            // delayed execution; it is untainted now, so training with the
+            // observed level is safe — and necessary, or the predictor
+            // would never escape a DRAM rut once the data becomes
+            // cache-resident.
+            let pc = self.ent(seq).expect("live").pc;
+            self.predictor.update(pc, res.served_by.level());
+            self.stats.record_prediction(CacheLevel::Dram.depth(), res.served_by.level().depth());
+        }
+        let _: ServedBy = res.served_by;
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch (rename) stage
+    // ------------------------------------------------------------------
+
+    fn dispatch_stage(&mut self) {
+        for _ in 0..self.cfg.width {
+            let Some(front) = self.fetch_q.front() else { break };
+            if front.ready_at > self.now {
+                break;
+            }
+            if self.rob.len() >= self.cfg.rob_entries || self.iq.len() >= self.cfg.iq_entries {
+                break;
+            }
+            let inst = front.inst;
+            if inst.is_load() && self.lq.len() >= self.cfg.lq_entries {
+                break;
+            }
+            if inst.is_store() && self.sq.len() >= self.cfg.sq_entries {
+                break;
+            }
+            let needs_int = inst.int_dst().is_some();
+            let needs_fp = inst.fp_dst().is_some();
+            if (needs_int && self.regs.free_count(RegClass::Int) == 0)
+                || (needs_fp && self.regs.free_count(RegClass::Fp) == 0)
+            {
+                break;
+            }
+
+            let f = self.fetch_q.pop_front().expect("non-empty");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let rat_snap = self.regs.snapshot();
+
+            // Rename sources: integer in slots 0-1, FP in slots 2-3.
+            let mut psrcs = [None; 4];
+            let int_srcs = inst.int_srcs();
+            for (i, r) in int_srcs.iter().enumerate() {
+                psrcs[i] = r.map(|r| self.regs.lookup_int(r));
+            }
+            let fp_srcs = inst.fp_srcs();
+            for (i, r) in fp_srcs.iter().enumerate() {
+                psrcs[2 + i] = r.map(|r| self.regs.lookup_fp(r));
+            }
+
+            // YRoT: max over sources, plus self for loads.
+            let mut yrot: Option<u64> =
+                psrcs.iter().flatten().filter_map(|p| self.regs.yrot(*p)).max();
+            if inst.is_load() {
+                yrot = Some(yrot.map_or(seq, |y| y.max(seq)));
+            }
+
+            // Rename destination.
+            let (pdst, old_pdst) = if let Some(d) = inst.int_dst() {
+                let (n, o) = self.regs.alloc(RegClass::Int, d.index()).expect("checked free");
+                (Some(n), Some(o))
+            } else if let Some(d) = inst.fp_dst() {
+                let (n, o) = self.regs.alloc(RegClass::Fp, d.index()).expect("checked free");
+                (Some(n), Some(o))
+            } else {
+                (None, None)
+            };
+            if let Some(p) = pdst {
+                self.regs.set_yrot(p, yrot);
+            }
+
+            let class = inst.class();
+            let trivially_done = matches!(class, OpClass::Nop | OpClass::Halt);
+            let entry = DynInst {
+                seq,
+                pc: f.pc,
+                inst,
+                status: if trivially_done { Status::Done } else { Status::Waiting },
+                done: trivially_done,
+                safe: false,
+                rat_snap,
+                pdst,
+                old_pdst,
+                psrcs,
+                pred_taken: f.pred_taken,
+                pred_target: f.pred_target,
+                outcome: None,
+                resolution_applied: !(inst.is_cond_branch() || inst.is_indirect()),
+                addr: None,
+                store_data: None,
+                width_bytes: 8,
+                delayed_since: None,
+                delay_counted: false,
+                obl: None,
+                obl_safe_sent: false,
+                obl_first_hit_at: None,
+                sq_forwarded: false,
+                pending_squash: false,
+                fp_failed: false,
+            };
+            if let Some(t) = self.trace.as_mut() {
+                t.dispatch(seq, entry.pc, entry.inst, self.now);
+            }
+            self.rob.push_back(entry);
+            if !trivially_done {
+                self.iq.push(seq);
+            }
+            if inst.is_load() {
+                self.lq.push(seq);
+            }
+            if inst.is_store() {
+                self.sq.push(seq);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch stage
+    // ------------------------------------------------------------------
+
+    fn fetch_stage(&mut self, mem: &mut MemorySystem) {
+        if self.fetch_halted || self.now < self.fetch_stall_until {
+            return;
+        }
+        let cap = self.cfg.width * (self.cfg.frontend_latency as usize + 2);
+        for _ in 0..self.cfg.width {
+            if self.fetch_q.len() >= cap {
+                break;
+            }
+            let pc = self.fetch_pc;
+            // Instruction-cache timing: one check per text line (8
+            // instructions); a miss stalls fetch until the line arrives.
+            let text_line = sdo_mem::line_of(ITEXT_BASE + pc * 8);
+            if self.last_fetch_line != Some(text_line) {
+                let ready = mem.ifetch(self.id, text_line, self.now);
+                self.last_fetch_line = Some(text_line);
+                if ready > self.now {
+                    self.fetch_stall_until = ready;
+                    break;
+                }
+            }
+            let inst = self.program.fetch(pc);
+            self.stats.fetched += 1;
+            let ready_at = self.now + self.cfg.frontend_latency;
+            let mut pred_taken = false;
+            let mut pred_target = pc + 1;
+            let mut redirect = false;
+
+            match inst {
+                Instruction::Branch { target, .. } => {
+                    pred_taken = self.bp.predict(pc);
+                    if pred_taken {
+                        pred_target = target;
+                        redirect = true;
+                    }
+                }
+                Instruction::Jal { dst, target } => {
+                    pred_target = target;
+                    pred_taken = true;
+                    redirect = true;
+                    if !dst.is_zero() {
+                        self.ras.push(pc + 1);
+                    }
+                }
+                Instruction::Jalr { dst, base, .. } => {
+                    pred_taken = true;
+                    redirect = true;
+                    let is_return = dst.is_zero() && base == Reg::new(31);
+                    pred_target = if is_return {
+                        self.ras.pop().or_else(|| self.btb.lookup(pc)).unwrap_or(pc + 1)
+                    } else {
+                        self.btb.lookup(pc).unwrap_or(pc + 1)
+                    };
+                    if !dst.is_zero() {
+                        self.ras.push(pc + 1);
+                    }
+                }
+                Instruction::Halt => {
+                    self.fetch_q.push_back(Fetched {
+                        pc,
+                        inst,
+                        pred_taken: false,
+                        pred_target: pc + 1,
+                        ready_at,
+                    });
+                    self.fetch_halted = true;
+                    return;
+                }
+                _ => {}
+            }
+
+            self.fetch_q.push_back(Fetched { pc, inst, pred_taken, pred_target, ready_at });
+            self.fetch_pc = pred_target;
+            if redirect {
+                break; // one taken control transfer per fetch cycle
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SdoConfig;
+    use sdo_isa::{Assembler, FReg, Interpreter, Reg};
+    use sdo_mem::MemConfig;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+    fn fr(i: u8) -> FReg {
+        FReg::new(i)
+    }
+
+    fn all_configs() -> Vec<SecurityConfig> {
+        let mut v = vec![SecurityConfig::unsafe_baseline()];
+        for attack in AttackModel::ALL {
+            for fp in [false, true] {
+                v.push(SecurityConfig { protection: Protection::Stt { fp_transmitters: fp }, attack });
+            }
+            for kind in [
+                PredictorKind::Static(CacheLevel::L1),
+                PredictorKind::Static(CacheLevel::L2),
+                PredictorKind::Static(CacheLevel::L3),
+                PredictorKind::Hybrid,
+                PredictorKind::Perfect,
+            ] {
+                v.push(SecurityConfig {
+                    protection: Protection::Sdo(SdoConfig::with_predictor(kind)),
+                    attack,
+                });
+            }
+        }
+        v
+    }
+
+    /// Runs `prog` under `sec` and returns the core (halted).
+    fn run_with(prog: &Program, sec: SecurityConfig) -> (Core, MemorySystem) {
+        let mut mem = MemorySystem::new(MemConfig::table_i(), 1);
+        mem.load_image(prog.data());
+        let mut core = Core::new(0, CoreConfig::table_i(), sec, prog.clone());
+        core.run(&mut mem, 2_000_000).expect("program should halt");
+        (core, mem)
+    }
+
+    /// Differentially checks committed state against the golden model for
+    /// every protection configuration.
+    fn check_all_configs(prog: &Program) {
+        let mut golden = Interpreter::new(prog);
+        golden.run(5_000_000).expect("golden halts");
+        for sec in all_configs() {
+            let (core, mem) = run_with(prog, sec);
+            assert_eq!(
+                core.arch_int(),
+                golden.int_regs(),
+                "int state mismatch under {sec:?} for {}",
+                prog.name()
+            );
+            assert_eq!(
+                core.arch_fp(),
+                golden.fp_regs(),
+                "fp state mismatch under {sec:?} for {}",
+                prog.name()
+            );
+            for (addr, byte) in golden.mem_snapshot() {
+                assert_eq!(
+                    mem.backing().read_byte(addr),
+                    byte,
+                    "memory mismatch at {addr:#x} under {sec:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alu_loop_matches_golden_everywhere() {
+        let mut asm = Assembler::named("alu_loop");
+        let (n, acc) = (r(1), r(2));
+        asm.li(n, 50);
+        let top = asm.here();
+        asm.add(acc, acc, n);
+        asm.muli(r(3), r(2), 3);
+        asm.xor(r(4), r(3), n);
+        asm.addi(n, n, -1);
+        asm.bne(n, Reg::ZERO, top);
+        asm.halt();
+        check_all_configs(&asm.finish().unwrap());
+    }
+
+    #[test]
+    fn load_store_program_matches_golden_everywhere() {
+        let mut asm = Assembler::named("ldst");
+        let base = r(1);
+        asm.li(base, 0x1000);
+        // Write then read back a small table, summing.
+        let i = r(2);
+        let sum = r(3);
+        let tmp = r(4);
+        asm.li(i, 8);
+        let top = asm.here();
+        asm.slli(tmp, i, 3);
+        asm.add(tmp, tmp, base);
+        asm.st(i, tmp, 0);
+        asm.ld(r(5), tmp, 0);
+        asm.add(sum, sum, r(5));
+        asm.addi(i, i, -1);
+        asm.bne(i, Reg::ZERO, top);
+        asm.halt();
+        check_all_configs(&asm.finish().unwrap());
+    }
+
+    /// The classic Spectre-shaped loop: every iteration loads a *bound*
+    /// from a large, cache-hostile array and branches on it; while that
+    /// slow branch is unresolved, a fast speculative access-load and a
+    /// dependent transmit-load execute in its shadow. The access-load's
+    /// output is tainted (it is speculative), so the dependent load has a
+    /// tainted address and must delay (STT) or issue as an Obl-Ld (SDO).
+    fn spec_window_program() -> Program {
+        let mut asm = Assembler::named("spec_window");
+        // Bounds array: one line per iteration, too large for the L1.
+        let bounds = 0x10_0000u64;
+        let iters = 150u64;
+        // (values are all zero == bound check always passes)
+        // Pointer ring, L1-resident after the first lap.
+        let ring_base = 0x2000u64;
+        let ring = 8u64;
+        for k in 0..ring {
+            asm.data_mut().set_word(ring_base + k * 64, ring_base + ((k + 1) % ring) * 64);
+        }
+        let (ptr, val, bptr, bound) = (r(1), r(2), r(3), r(4));
+        asm.li(ptr, ring_base as i64);
+        asm.li(bptr, bounds as i64);
+        let iter = r(10);
+        asm.li(iter, iters as i64);
+        let top = asm.here();
+        asm.ld(bound, bptr, 0); // slow: streams through 150 lines
+        let skip = asm.label();
+        asm.bne(bound, Reg::ZERO, skip); // unresolved while bound in flight
+        asm.ld(val, ptr, 0); // access: output tainted while speculative
+        asm.ld(ptr, val, 0); // transmitter: tainted address
+        asm.add(r(7), r(7), val);
+        asm.bind(skip);
+        asm.addi(bptr, bptr, 512); // next bound line (stride 8 lines)
+        asm.addi(iter, iter, -1);
+        asm.bne(iter, Reg::ZERO, top);
+        asm.halt();
+        asm.finish().unwrap()
+    }
+
+    #[test]
+    fn spec_window_matches_golden_everywhere() {
+        check_all_configs(&spec_window_program());
+    }
+
+    #[test]
+    fn stt_delays_tainted_loads_and_costs_cycles() {
+        let prog = spec_window_program();
+        let (unsafe_core, _) = run_with(&prog, SecurityConfig::unsafe_baseline());
+        let (stt_core, _) = run_with(
+            &prog,
+            SecurityConfig {
+                protection: Protection::Stt { fp_transmitters: false },
+                attack: AttackModel::Spectre,
+            },
+        );
+        assert!(stt_core.stats().delayed_loads > 0, "tainted loads must be delayed");
+        assert_eq!(unsafe_core.stats().delayed_loads, 0);
+        assert!(
+            stt_core.stats().cycles > unsafe_core.stats().cycles,
+            "STT ({}) should be slower than Unsafe ({})",
+            stt_core.stats().cycles,
+            unsafe_core.stats().cycles
+        );
+    }
+
+    #[test]
+    fn sdo_issues_obl_loads_and_beats_stt() {
+        let prog = spec_window_program();
+        let (stt_core, _) = run_with(
+            &prog,
+            SecurityConfig {
+                protection: Protection::Stt { fp_transmitters: false },
+                attack: AttackModel::Spectre,
+            },
+        );
+        let (sdo_core, _) = run_with(
+            &prog,
+            SecurityConfig {
+                protection: Protection::Sdo(SdoConfig::with_predictor(PredictorKind::Perfect)),
+                attack: AttackModel::Spectre,
+            },
+        );
+        assert!(sdo_core.stats().obl.issued > 0, "SDO must issue Obl-Lds");
+        assert!(
+            sdo_core.stats().cycles <= stt_core.stats().cycles,
+            "SDO+Perfect ({}) should not be slower than STT ({})",
+            sdo_core.stats().cycles,
+            stt_core.stats().cycles
+        );
+    }
+
+    #[test]
+    fn static_l1_mispredictions_squash() {
+        // Footprint larger than L1 so Static L1 predictions fail for the
+        // tainted loads; fails surface as obl_fail squashes.
+        let mut asm = Assembler::named("l1_hostile");
+        let table = 0x10_0000u64;
+        let n = 512u64; // 512 lines x 64B = 32KB+ footprint with stride 64
+        for k in 0..n {
+            asm.data_mut().set_word(table + k * 64, (k + 1) % n * 64 + table);
+        }
+        let (ptr, bptr, bound) = (r(1), r(3), r(4));
+        asm.li(ptr, table as i64);
+        asm.li(bptr, 0x40_0000);
+        let iter = r(10);
+        asm.li(iter, 600);
+        let top = asm.here();
+        asm.ld(bound, bptr, 0); // slow bound load opens the window
+        let skip = asm.label();
+        asm.bne(bound, Reg::ZERO, skip); // never taken
+        asm.ld(r(6), ptr, 0); // access: output tainted while speculative
+        asm.ld(r(7), r(6), 0); // tainted transmitter over a >L1 footprint
+        asm.bind(skip);
+        asm.ld(ptr, ptr, 0); // untainted ring walk (next line)
+        asm.addi(bptr, bptr, 512);
+        asm.addi(iter, iter, -1);
+        asm.bne(iter, Reg::ZERO, top);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let (core, _) = run_with(
+            &prog,
+            SecurityConfig {
+                protection: Protection::Sdo(SdoConfig::with_predictor(PredictorKind::Static(
+                    CacheLevel::L1,
+                ))),
+                attack: AttackModel::Futuristic,
+            },
+        );
+        assert!(core.stats().obl.fail > 0, "cold L1 predictions must fail");
+        assert!(
+            core.stats().squashes.obl_fail > 0,
+            "futuristic model: fails discovered after forward squash"
+        );
+    }
+
+    fn fp_program(subnormal: bool) -> Program {
+        let mut asm = Assembler::named("fp_chain");
+        let x = if subnormal { f64::MIN_POSITIVE / 16.0 } else { 1.5 };
+        asm.data_mut().set_f64(0x100, x);
+        asm.data_mut().set_f64(0x108, 2.0);
+        let (bptr, bound) = (r(1), r(2));
+        let bounds = 0x10_0000u64;
+        asm.li(bptr, bounds as i64);
+        asm.li(r(8), 0x100);
+        let iter = r(10);
+        asm.li(iter, 40);
+        let top = asm.here();
+        asm.ld(bound, bptr, 0); // slow bound load opens the window
+        let skip = asm.label();
+        asm.bne(bound, Reg::ZERO, skip); // never taken
+        // FP loads execute speculatively in the branch shadow: their
+        // outputs taint and the fmul is a tainted FP transmitter.
+        asm.fld(fr(1), r(8), 0);
+        asm.fld(fr(2), r(8), 8);
+        asm.fmul(fr(3), fr(1), fr(2));
+        asm.fst(fr(3), r(8), 16);
+        asm.bind(skip);
+        asm.addi(bptr, bptr, 512);
+        asm.addi(iter, iter, -1);
+        asm.bne(iter, Reg::ZERO, top);
+        asm.halt();
+        asm.finish().unwrap()
+    }
+
+    #[test]
+    fn fp_programs_match_golden_everywhere() {
+        check_all_configs(&fp_program(false));
+        check_all_configs(&fp_program(true));
+    }
+
+    #[test]
+    fn fp_sdo_fails_on_subnormal_and_recovers() {
+        let sec = SecurityConfig {
+            protection: Protection::Sdo(SdoConfig::with_predictor(PredictorKind::Perfect)),
+            attack: AttackModel::Spectre,
+        };
+        let (normal_core, _) = run_with(&fp_program(false), sec);
+        assert!(normal_core.stats().fp_sdo_issued > 0);
+        assert_eq!(normal_core.stats().squashes.fp_fail, 0);
+
+        let (sub_core, sub_mem) = run_with(&fp_program(true), sec);
+        assert!(sub_core.stats().squashes.fp_fail > 0, "subnormal inputs must squash");
+        // Result still functionally correct.
+        let expected = (f64::MIN_POSITIVE / 16.0) * 2.0;
+        assert_eq!(f64::from_bits(sub_mem.backing().read_word(0x110)), expected);
+    }
+
+    #[test]
+    fn stt_fp_delays_fp_transmitters() {
+        let (core, _) = run_with(
+            &fp_program(false),
+            SecurityConfig {
+                protection: Protection::Stt { fp_transmitters: true },
+                attack: AttackModel::Spectre,
+            },
+        );
+        assert!(core.stats().delayed_fp > 0, "tainted fmul must be delayed under STT{{ld+fp}}");
+    }
+
+    #[test]
+    fn futuristic_is_not_cheaper_than_spectre_for_stt() {
+        let prog = spec_window_program();
+        let (spectre, _) = run_with(
+            &prog,
+            SecurityConfig {
+                protection: Protection::Stt { fp_transmitters: false },
+                attack: AttackModel::Spectre,
+            },
+        );
+        let (fut, _) = run_with(
+            &prog,
+            SecurityConfig {
+                protection: Protection::Stt { fp_transmitters: false },
+                attack: AttackModel::Futuristic,
+            },
+        );
+        assert!(
+            fut.stats().cycles >= spectre.stats().cycles,
+            "futuristic ({}) must be at least as slow as spectre ({})",
+            fut.stats().cycles,
+            spectre.stats().cycles
+        );
+    }
+
+    #[test]
+    fn branch_mispredicts_recover() {
+        // Data-dependent unpredictable branches.
+        let mut asm = Assembler::named("branchy");
+        for k in 0..64u64 {
+            asm.data_mut().set_word(0x400 + k * 8, (k * 2654435761) >> 7 & 1);
+        }
+        let (i, base, acc) = (r(1), r(2), r(3));
+        asm.li(base, 0x400);
+        asm.li(i, 64);
+        let top = asm.here();
+        asm.slli(r(4), i, 3);
+        asm.add(r(4), r(4), base);
+        asm.ld(r(5), r(4), -8);
+        let odd = asm.label();
+        let join = asm.label();
+        asm.bne(r(5), Reg::ZERO, odd);
+        asm.addi(acc, acc, 1);
+        asm.j(join);
+        asm.bind(odd);
+        asm.addi(acc, acc, 100);
+        asm.bind(join);
+        asm.addi(i, i, -1);
+        asm.bne(i, Reg::ZERO, top);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        check_all_configs(&prog);
+        let (core, _) = run_with(&prog, SecurityConfig::unsafe_baseline());
+        assert!(core.stats().mispredicts > 0, "pattern should produce some mispredicts");
+        assert!(core.stats().squashes.branch > 0);
+    }
+
+    #[test]
+    fn function_calls_via_ras() {
+        let mut asm = Assembler::named("calls");
+        let ra = r(31);
+        let func = asm.label();
+        let iter = r(10);
+        asm.li(iter, 20);
+        let top = asm.here();
+        asm.jal(ra, func);
+        asm.addi(iter, iter, -1);
+        asm.bne(iter, Reg::ZERO, top);
+        asm.halt();
+        asm.bind(func);
+        asm.addi(r(1), r(1), 5);
+        asm.jr(ra);
+        check_all_configs(&asm.finish().unwrap());
+    }
+
+    #[test]
+    fn store_to_load_forwarding_works() {
+        let mut asm = Assembler::named("fwd");
+        asm.li(r(1), 0x800);
+        asm.li(r(2), 4242);
+        asm.st(r(2), r(1), 0);
+        asm.ld(r(3), r(1), 0); // forwarded from SQ
+        asm.addi(r(3), r(3), 1);
+        asm.halt();
+        check_all_configs(&asm.finish().unwrap());
+    }
+
+    #[test]
+    fn byte_accesses_match_golden() {
+        let mut asm = Assembler::named("bytes");
+        asm.data_mut().set_word(0x900, 0x1122_3344_5566_7788);
+        asm.li(r(1), 0x900);
+        asm.ldb(r(2), r(1), 0);
+        asm.ldb(r(3), r(1), 7);
+        asm.stb(r(3), r(1), 9);
+        asm.ldb(r(4), r(1), 9);
+        asm.halt();
+        check_all_configs(&asm.finish().unwrap());
+    }
+
+    #[test]
+    fn commit_trace_matches_golden_order() {
+        let prog = spec_window_program();
+        let mut golden = Interpreter::new(&prog);
+        let trace = golden.run_trace(1_000_000).unwrap();
+        let golden_pcs: Vec<u64> = trace.iter().map(|e| e.pc).collect();
+
+        let mut mem = MemorySystem::new(MemConfig::table_i(), 1);
+        mem.load_image(prog.data());
+        let mut core = Core::new(
+            0,
+            CoreConfig::table_i(),
+            SecurityConfig {
+                protection: Protection::Sdo(SdoConfig::with_predictor(PredictorKind::Hybrid)),
+                attack: AttackModel::Futuristic,
+            },
+            prog.clone(),
+        );
+        core.record_commits();
+        core.run(&mut mem, 2_000_000).unwrap();
+        let got = core.commit_pcs().unwrap();
+        // The final Halt commits in the core; the golden trace stops
+        // before recording it.
+        assert_eq!(&got[..got.len() - 1], &golden_pcs[..]);
+    }
+
+    #[test]
+    fn cycle_limit_reported() {
+        let mut asm = Assembler::new();
+        let top = asm.here();
+        asm.j(top);
+        let prog = asm.finish().unwrap();
+        let mut mem = MemorySystem::new(MemConfig::table_i(), 1);
+        let mut core =
+            Core::new(0, CoreConfig::table_i(), SecurityConfig::unsafe_baseline(), prog);
+        let err = core.run(&mut mem, 1000).unwrap_err();
+        assert_eq!(err, RunError::CycleLimit { max_cycles: 1000 });
+    }
+
+    #[test]
+    fn tainted_branch_resolution_is_delayed_under_stt() {
+        // A mispredicted branch whose predicate is a speculatively-loaded
+        // value: STT must defer the squash until the producer untaints,
+        // so the mispredicted branch commits later than under Unsafe.
+        let mut asm = Assembler::named("tainted_branch");
+        // Slow bound load opens a window; the shadowed load feeds a
+        // 50/50-ish branch that WILL mispredict sometimes.
+        asm.data_mut().set_word(0x2000, 1); // branch predicate source
+        let (bptr, bound, val) = (r(1), r(2), r(3));
+        asm.li(bptr, 0x40_0000);
+        asm.li(r(9), 0x2000);
+        let iter = r(10);
+        asm.li(iter, 40);
+        let esc = asm.label();
+        let top = asm.here();
+        asm.ld(bound, bptr, 0);
+        asm.bne(bound, Reg::ZERO, esc); // never taken, slow predicate
+        asm.ld(val, r(9), 0); // speculative access: output tainted
+        let flip = asm.label();
+        let join = asm.label();
+        // Alternate the predicate source so the branch mispredicts.
+        asm.andi(r(4), iter, 1);
+        asm.st(r(4), r(9), 0);
+        asm.beq(val, Reg::ZERO, flip); // tainted predicate, alternating
+        asm.addi(r(7), r(7), 1);
+        asm.j(join);
+        asm.bind(flip);
+        asm.addi(r(7), r(7), 2);
+        asm.bind(join);
+        asm.addi(bptr, bptr, 512);
+        asm.addi(iter, iter, -1);
+        asm.bne(iter, Reg::ZERO, top);
+        asm.bind(esc);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+
+        check_all_configs(&prog); // functional equivalence first
+        let (unsafe_core, _) = run_with(&prog, SecurityConfig::unsafe_baseline());
+        let (stt_core, _) = run_with(
+            &prog,
+            SecurityConfig {
+                protection: Protection::Stt { fp_transmitters: false },
+                attack: AttackModel::Spectre,
+            },
+        );
+        assert!(unsafe_core.stats().mispredicts > 5, "the pattern must mispredict");
+        assert!(stt_core.stats().mispredicts > 5);
+        assert!(
+            stt_core.stats().cycles > unsafe_core.stats().cycles,
+            "deferred resolutions (and delayed dependents) must cost cycles: {} vs {}",
+            stt_core.stats().cycles,
+            unsafe_core.stats().cycles
+        );
+    }
+
+    #[test]
+    fn obl_exposures_happen_for_l1_hits() {
+        // A hot pointer ring: Obl-Ld L1 hits choose exposure over
+        // validation (Section VI-A, field 3).
+        let prog = spec_window_program();
+        let (core, _) = run_with(
+            &prog,
+            SecurityConfig {
+                protection: Protection::Sdo(SdoConfig::with_predictor(PredictorKind::Perfect)),
+                attack: AttackModel::Spectre,
+            },
+        );
+        assert!(core.stats().obl.exposures > 0, "L1-hit Obl-Lds must expose, not validate");
+    }
+
+    #[test]
+    fn partial_store_overlap_stalls_but_completes() {
+        // A byte store under a word load to the same line: the load must
+        // wait (no partial forwarding), and the final value is correct.
+        let mut asm = Assembler::named("partial_overlap");
+        asm.li(r(1), 0x800);
+        asm.li(r(2), 0x1111_1111);
+        asm.st(r(2), r(1), 0);
+        asm.li(r(3), 0xff);
+        asm.stb(r(3), r(1), 1); // overlaps the word
+        asm.ld(r(4), r(1), 0); // partial overlap: waits for the store
+        asm.halt();
+        check_all_configs(&asm.finish().unwrap());
+    }
+
+    #[test]
+    fn lq_capacity_limits_inflight_loads() {
+        // More independent loads than LQ entries on the tiny config (4):
+        // dispatch must stall but everything completes correctly.
+        let mut asm = Assembler::named("lq_pressure");
+        for k in 0..12u8 {
+            asm.data_mut().set_word(0x1000 + u64::from(k) * 8, u64::from(k) + 1);
+        }
+        asm.li(r(1), 0x1000);
+        for k in 0..12u8 {
+            asm.ld(r(2 + k % 8), r(1), i64::from(k) * 8);
+        }
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let mut golden = Interpreter::new(&prog);
+        golden.run(100_000).unwrap();
+        let golden_regs = golden.int_regs();
+        let mut mem = MemorySystem::new(MemConfig::tiny(), 1);
+        mem.load_image(prog.data());
+        let mut core = Core::new(0, CoreConfig::tiny(), SecurityConfig::unsafe_baseline(), prog);
+        core.run(&mut mem, 100_000).unwrap();
+        assert_eq!(core.arch_int(), golden_regs);
+    }
+
+    #[test]
+    fn tainted_fp_and_byte_loads_take_the_obl_path_correctly() {
+        // FP-destination and byte-width loads with *tainted addresses*:
+        // both must round through the Obl-Ld machinery (value widths,
+        // FP register writeback) without corrupting state.
+        let mut asm = Assembler::named("tainted_widths");
+        asm.data_mut().set_word(0x2000, 0x3000); // pointer to data block
+        asm.data_mut().set_f64(0x3000, 6.25);
+        asm.data_mut().set_word(0x3008, 0xAB);
+        let (bptr, bound, p) = (r(1), r(2), r(3));
+        asm.li(bptr, 0x40_0000);
+        asm.li(r(9), 0x2000);
+        let iter = r(10);
+        asm.li(iter, 25);
+        let esc = asm.label();
+        let top = asm.here();
+        asm.ld(bound, bptr, 0); // slow window opener
+        asm.bne(bound, Reg::ZERO, esc);
+        asm.ld(p, r(9), 0); // access: p is tainted
+        asm.fld(fr(1), p, 0); // tainted-address FP load (Obl-Ld, fp dest)
+        asm.ldb(r(4), p, 8); // tainted-address byte load
+        asm.fadd(fr(2), fr(2), fr(1));
+        asm.add(r(7), r(7), r(4));
+        asm.bind(esc);
+        asm.addi(bptr, bptr, 512);
+        asm.addi(iter, iter, -1);
+        asm.bne(iter, Reg::ZERO, top);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        check_all_configs(&prog);
+        // And the Obl path really was exercised.
+        let (core, _) = run_with(
+            &prog,
+            SecurityConfig {
+                protection: Protection::Sdo(SdoConfig::with_predictor(PredictorKind::Perfect)),
+                attack: AttackModel::Spectre,
+            },
+        );
+        assert!(core.stats().obl.issued > 10, "tainted fld/ldb must issue as Obl-Lds");
+    }
+
+    #[test]
+    fn icache_misses_are_charged_for_large_code_footprints() {
+        // A straight-line program spanning many text lines: the frontend
+        // must stall on I-cache misses at least once per line.
+        let mut asm = Assembler::named("big_code");
+        for k in 0..512 {
+            asm.addi(r(1), r(1), k % 7);
+        }
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let mut mem = MemorySystem::new(MemConfig::table_i(), 1);
+        mem.load_image(prog.data());
+        let mut core =
+            Core::new(0, CoreConfig::table_i(), SecurityConfig::unsafe_baseline(), prog);
+        core.run(&mut mem, 1_000_000).unwrap();
+        // 513 instructions / 8 per line = ~65 lines, each a cold miss.
+        assert!(mem.stats().icache_misses >= 60, "got {}", mem.stats().icache_misses);
+
+        // A hot loop spanning two text lines re-crosses the line boundary
+        // every iteration: warm fetches must be L1I hits.
+        let mut asm = Assembler::named("hot_loop");
+        let iter = r(10);
+        asm.li(iter, 300);
+        let top = asm.here();
+        for _ in 0..9 {
+            asm.nop(); // push the back-edge onto a second line
+        }
+        asm.addi(iter, iter, -1);
+        asm.bne(iter, Reg::ZERO, top);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let mut mem = MemorySystem::new(MemConfig::table_i(), 1);
+        let mut core =
+            Core::new(0, CoreConfig::table_i(), SecurityConfig::unsafe_baseline(), prog);
+        core.run(&mut mem, 1_000_000).unwrap();
+        assert!(
+            mem.stats().icache_hits > 100,
+            "looping code must hit the warm L1I, got {}",
+            mem.stats().icache_hits
+        );
+    }
+
+    #[test]
+    fn pipeline_trace_records_ordered_lifecycles() {
+        let prog = spec_window_program();
+        let mut mem = MemorySystem::new(MemConfig::table_i(), 1);
+        mem.load_image(prog.data());
+        let mut core = Core::new(
+            0,
+            CoreConfig::table_i(),
+            SecurityConfig {
+                protection: Protection::Stt { fp_transmitters: false },
+                attack: AttackModel::Spectre,
+            },
+            prog,
+        );
+        core.enable_trace(400);
+        core.run(&mut mem, 2_000_000).unwrap();
+        let trace = core.trace().unwrap();
+        assert_eq!(trace.len(), 400);
+        let mut saw_committed = 0;
+        for e in trace.entries() {
+            assert!(e.issued.is_none() || e.issued.unwrap() >= e.dispatched);
+            if let (Some(i), Some(c)) = (e.issued, e.completed) {
+                assert!(c >= i, "complete before issue: {e:?}");
+            }
+            if let Some(commit) = e.committed {
+                saw_committed += 1;
+                assert!(e.squashed.is_none(), "committed and squashed: {e:?}");
+                assert!(commit >= e.completed.unwrap_or(e.dispatched));
+            }
+        }
+        assert!(saw_committed > 100, "most traced instructions commit");
+        // STT shows up in the trace: some load has a big dispatch→issue gap.
+        let delayed = trace.entries().any(|e| {
+            e.inst.is_load() && e.issued.is_some_and(|i| i > e.dispatched + 20)
+        });
+        assert!(delayed, "STT delay must be visible in the trace");
+        assert!(!trace.to_string().is_empty());
+    }
+
+    #[test]
+    fn tiny_config_also_works() {
+        let prog = spec_window_program();
+        let mut golden = Interpreter::new(&prog);
+        golden.run(5_000_000).unwrap();
+        for sec in all_configs() {
+            let mut mem = MemorySystem::new(MemConfig::tiny(), 1);
+            mem.load_image(prog.data());
+            let mut core = Core::new(0, CoreConfig::tiny(), sec, prog.clone());
+            core.run(&mut mem, 5_000_000).expect("halts");
+            assert_eq!(core.arch_int(), golden.int_regs(), "tiny mismatch under {sec:?}");
+        }
+    }
+}

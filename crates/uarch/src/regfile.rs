@@ -1,0 +1,320 @@
+//! Physical register file, register alias tables and free lists — plus
+//! the per-register *youngest root of taint* (YRoT) that implements STT's
+//! taint tracking.
+//!
+//! ## YRoT taint tracking
+//!
+//! Following the STT formal report, each physical register carries the
+//! sequence number of the *youngest* speculative access instruction (load)
+//! its value transitively depends on. Because visibility points are
+//! monotone in program order for both attack models (if a younger load has
+//! reached its visibility point, every older one has too), a register is
+//! tainted **iff** its YRoT load has not yet reached its visibility point.
+//! This gives O(1) taint checks and single-cycle "untaint" for free: when
+//! the frontier advances past a load, everything rooted at it untaints
+//! simultaneously.
+
+use sdo_isa::{FReg, Reg, NUM_FREGS, NUM_REGS};
+
+/// Register class of a physical register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegClass {
+    /// 64-bit integer.
+    Int,
+    /// IEEE-754 binary64 (stored as bits).
+    Fp,
+}
+
+/// A physical register name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PhysReg {
+    /// Register class.
+    pub class: RegClass,
+    /// Index within the class's file.
+    pub idx: u16,
+}
+
+/// A register-alias-table snapshot taken at rename, used to recover from
+/// squashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RatSnapshot {
+    int: [u16; NUM_REGS],
+    fp: [u16; NUM_FREGS],
+}
+
+#[derive(Debug, Clone)]
+struct Bank {
+    val: Vec<u64>,
+    ready: Vec<bool>,
+    yrot: Vec<Option<u64>>,
+    free: Vec<u16>,
+    rat: [u16; NUM_REGS],
+}
+
+impl Bank {
+    fn new(phys: usize) -> Self {
+        assert!(phys >= 2 * NUM_REGS, "need at least {} physical registers", 2 * NUM_REGS);
+        let mut rat = [0u16; NUM_REGS];
+        for (i, r) in rat.iter_mut().enumerate() {
+            *r = i as u16;
+        }
+        Bank {
+            val: vec![0; phys],
+            ready: {
+                let mut v = vec![false; phys];
+                v[..NUM_REGS].fill(true);
+                v
+            },
+            yrot: vec![None; phys],
+            free: (NUM_REGS as u16..phys as u16).rev().collect(),
+            rat,
+        }
+    }
+}
+
+/// The rename + physical-register state for one core.
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    int: Bank,
+    fp: Bank,
+}
+
+impl RegFile {
+    /// Creates a file with the given physical register counts.
+    ///
+    /// Architectural registers initially map to physical 0..32 per class,
+    /// all ready with value 0 and no taint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is below 64 (32 architectural + headroom).
+    #[must_use]
+    pub fn new(phys_int: usize, phys_fp: usize) -> Self {
+        RegFile { int: Bank::new(phys_int), fp: Bank::new(phys_fp) }
+    }
+
+    fn bank(&self, class: RegClass) -> &Bank {
+        match class {
+            RegClass::Int => &self.int,
+            RegClass::Fp => &self.fp,
+        }
+    }
+
+    fn bank_mut(&mut self, class: RegClass) -> &mut Bank {
+        match class {
+            RegClass::Int => &mut self.int,
+            RegClass::Fp => &mut self.fp,
+        }
+    }
+
+    /// Current physical mapping of an architectural integer register.
+    #[must_use]
+    pub fn lookup_int(&self, r: Reg) -> PhysReg {
+        PhysReg { class: RegClass::Int, idx: self.int.rat[r.index()] }
+    }
+
+    /// Current physical mapping of an architectural FP register.
+    #[must_use]
+    pub fn lookup_fp(&self, r: FReg) -> PhysReg {
+        PhysReg { class: RegClass::Fp, idx: self.fp.rat[r.index()] }
+    }
+
+    /// Renames a destination: allocates a fresh physical register, updates
+    /// the RAT, and returns `(new, previous)` — the previous mapping is
+    /// freed when the instruction commits. Returns `None` when the free
+    /// list is empty (dispatch must stall).
+    pub fn alloc(&mut self, class: RegClass, arch: usize) -> Option<(PhysReg, PhysReg)> {
+        let bank = self.bank_mut(class);
+        let idx = bank.free.pop()?;
+        let old = bank.rat[arch];
+        bank.rat[arch] = idx;
+        bank.ready[idx as usize] = false;
+        bank.yrot[idx as usize] = None;
+        Some((PhysReg { class, idx }, PhysReg { class, idx: old }))
+    }
+
+    /// Returns a physical register to the free list.
+    pub fn release(&mut self, p: PhysReg) {
+        let bank = self.bank_mut(p.class);
+        debug_assert!(!bank.free.contains(&p.idx), "double free of {p:?}");
+        bank.free.push(p.idx);
+    }
+
+    /// Free physical registers remaining in a class.
+    #[must_use]
+    pub fn free_count(&self, class: RegClass) -> usize {
+        self.bank(class).free.len()
+    }
+
+    /// Whether the register's value has been produced.
+    #[must_use]
+    pub fn is_ready(&self, p: PhysReg) -> bool {
+        self.bank(p.class).ready[p.idx as usize]
+    }
+
+    /// The register's value.
+    ///
+    /// Reading a not-ready register returns the stale value; callers must
+    /// gate on [`RegFile::is_ready`].
+    #[must_use]
+    pub fn value(&self, p: PhysReg) -> u64 {
+        self.bank(p.class).val[p.idx as usize]
+    }
+
+    /// The register's YRoT: sequence number of the youngest speculative
+    /// load its value depends on, if any.
+    #[must_use]
+    pub fn yrot(&self, p: PhysReg) -> Option<u64> {
+        self.bank(p.class).yrot[p.idx as usize]
+    }
+
+    /// Sets the YRoT at rename time (before the value is produced).
+    pub fn set_yrot(&mut self, p: PhysReg, yrot: Option<u64>) {
+        self.bank_mut(p.class).yrot[p.idx as usize] = yrot;
+    }
+
+    /// Produces the register's value (writeback), waking dependents.
+    pub fn write(&mut self, p: PhysReg, value: u64) {
+        let bank = self.bank_mut(p.class);
+        bank.val[p.idx as usize] = value;
+        bank.ready[p.idx as usize] = true;
+    }
+
+    /// Marks a register not-ready again (a squashed producer will
+    /// re-execute; used when re-issuing a load after a failed Obl-Ld).
+    pub fn unwrite(&mut self, p: PhysReg) {
+        self.bank_mut(p.class).ready[p.idx as usize] = false;
+    }
+
+    /// Snapshot of both RATs (taken at every rename for squash recovery).
+    #[must_use]
+    pub fn snapshot(&self) -> RatSnapshot {
+        RatSnapshot { int: self.int.rat, fp: self.fp.rat }
+    }
+
+    /// Restores both RATs from a snapshot.
+    pub fn restore(&mut self, snap: &RatSnapshot) {
+        self.int.rat = snap.int;
+        self.fp.rat = snap.fp;
+    }
+
+    /// Reads the committed architectural integer state (for differential
+    /// testing against the golden model).
+    #[must_use]
+    pub fn arch_int(&self) -> [u64; NUM_REGS] {
+        let mut out = [0u64; NUM_REGS];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.int.val[self.int.rat[i] as usize];
+        }
+        out
+    }
+
+    /// Reads the committed architectural FP state (bit patterns).
+    #[must_use]
+    pub fn arch_fp(&self) -> [u64; NUM_FREGS] {
+        let mut out = [0u64; NUM_FREGS];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.fp.val[self.fp.rat[i] as usize];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_mapping_is_identity_and_ready() {
+        let rf = RegFile::new(64, 64);
+        let p = rf.lookup_int(Reg::new(5));
+        assert_eq!(p.idx, 5);
+        assert!(rf.is_ready(p));
+        assert_eq!(rf.value(p), 0);
+        assert_eq!(rf.yrot(p), None);
+        assert_eq!(rf.free_count(RegClass::Int), 32);
+    }
+
+    #[test]
+    fn alloc_renames_and_write_readies() {
+        let mut rf = RegFile::new(64, 64);
+        let (new, old) = rf.alloc(RegClass::Int, 3).unwrap();
+        assert_eq!(old.idx, 3);
+        assert_eq!(rf.lookup_int(Reg::new(3)), new);
+        assert!(!rf.is_ready(new));
+        rf.write(new, 77);
+        assert!(rf.is_ready(new));
+        assert_eq!(rf.value(new), 77);
+    }
+
+    #[test]
+    fn free_list_exhaustion_returns_none() {
+        let mut rf = RegFile::new(64, 64);
+        for _ in 0..32 {
+            assert!(rf.alloc(RegClass::Int, 1).is_some());
+        }
+        assert!(rf.alloc(RegClass::Int, 1).is_none());
+        assert_eq!(rf.free_count(RegClass::Int), 0);
+    }
+
+    #[test]
+    fn release_recycles() {
+        let mut rf = RegFile::new(64, 64);
+        let (new, old) = rf.alloc(RegClass::Int, 2).unwrap();
+        rf.release(old);
+        assert_eq!(rf.free_count(RegClass::Int), 32);
+        let _ = new;
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut rf = RegFile::new(64, 64);
+        let before = rf.snapshot();
+        let (_, _) = rf.alloc(RegClass::Int, 7).unwrap();
+        let (_, _) = rf.alloc(RegClass::Fp, 3).unwrap();
+        assert_ne!(rf.lookup_int(Reg::new(7)).idx, 7);
+        rf.restore(&before);
+        assert_eq!(rf.lookup_int(Reg::new(7)).idx, 7);
+        assert_eq!(rf.lookup_fp(FReg::new(3)).idx, 3);
+    }
+
+    #[test]
+    fn yrot_set_and_cleared_on_alloc() {
+        let mut rf = RegFile::new(64, 64);
+        let (p, _) = rf.alloc(RegClass::Int, 1).unwrap();
+        rf.set_yrot(p, Some(42));
+        assert_eq!(rf.yrot(p), Some(42));
+        // A new allocation of the same slot must not inherit taint.
+        rf.release(p);
+        let (p2, _) = rf.alloc(RegClass::Int, 2).unwrap();
+        if p2.idx == p.idx {
+            assert_eq!(rf.yrot(p2), None);
+        }
+    }
+
+    #[test]
+    fn arch_state_reads_through_rat() {
+        let mut rf = RegFile::new(64, 64);
+        let (p, _) = rf.alloc(RegClass::Int, 4).unwrap();
+        rf.write(p, 99);
+        assert_eq!(rf.arch_int()[4], 99);
+        let (pf, _) = rf.alloc(RegClass::Fp, 0).unwrap();
+        rf.write(pf, 2.5f64.to_bits());
+        assert_eq!(f64::from_bits(rf.arch_fp()[0]), 2.5);
+    }
+
+    #[test]
+    fn unwrite_makes_not_ready() {
+        let mut rf = RegFile::new(64, 64);
+        let (p, _) = rf.alloc(RegClass::Int, 1).unwrap();
+        rf.write(p, 5);
+        rf.unwrite(p);
+        assert!(!rf.is_ready(p));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn too_few_physical_registers_panics() {
+        let _ = RegFile::new(32, 64);
+    }
+}

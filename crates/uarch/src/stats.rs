@@ -1,0 +1,223 @@
+//! Per-core statistics, sufficient to regenerate every evaluation artifact
+//! (Figures 6–8, Table III) of the paper.
+
+use std::fmt;
+
+/// Squash counts by cause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SquashCounts {
+    /// Branch/jump mispredictions.
+    pub branch: u64,
+    /// Obl-Ld returned `fail` and had forwarded before turning safe
+    /// (the paper's Figure 8 x-axis counts these).
+    pub obl_fail: u64,
+    /// Validation value mismatch (possible consistency violation).
+    pub validation: u64,
+    /// Invalidation-triggered consistency squash.
+    pub consistency: u64,
+    /// FP SDO predicted-normal but the operand was subnormal.
+    pub fp_fail: u64,
+}
+
+impl SquashCounts {
+    /// Total squashes of all causes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.branch + self.obl_fail + self.validation + self.consistency + self.fp_fail
+    }
+
+    /// SDO-attributable squashes (everything except branch mispredicts).
+    #[must_use]
+    pub fn sdo_related(&self) -> u64 {
+        self.total() - self.branch
+    }
+}
+
+/// Obl-Ld and location-predictor statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OblStats {
+    /// Obl-Ld operations issued.
+    pub issued: u64,
+    /// Issue attempts bounced by a full MSHR (retried).
+    pub mshr_retries: u64,
+    /// Obl-Lds that returned success.
+    pub success: u64,
+    /// Obl-Lds that returned fail.
+    pub fail: u64,
+    /// Tainted loads whose predictor said DRAM: reverted to delay.
+    pub dram_predictions: u64,
+    /// Obl-Lds satisfied by store-queue forwarding.
+    pub sq_forwarded: u64,
+    /// Resolved predictions (denominator for precision/accuracy).
+    pub predictions: u64,
+    /// Predictions with `predicted == actual` (Table III "Precision").
+    pub precise: u64,
+    /// Predictions with `predicted >= actual` (Table III "Accuracy").
+    pub accurate: u64,
+    /// Cycles wasted waiting for deeper-than-needed responses
+    /// (imprecision cost, Figure 7).
+    pub imprecision_cycles: u64,
+    /// Cycles the ROB head stalled waiting for a validation (Figure 7).
+    pub validation_stall_cycles: u64,
+    /// Validation accesses issued.
+    pub validations: u64,
+    /// Exposure accesses issued.
+    pub exposures: u64,
+    /// Obl-Lds that failed because the L1 TLB probe missed.
+    pub tlb_probe_fails: u64,
+}
+
+impl OblStats {
+    /// Table III precision: fraction of resolved predictions with
+    /// `predicted == actual`.
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.precise as f64 / self.predictions as f64
+        }
+    }
+
+    /// Table III accuracy: fraction with `predicted >= actual`.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.accurate as f64 / self.predictions as f64
+        }
+    }
+}
+
+/// Full per-core statistics block.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoreStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Committed (retired) instructions.
+    pub committed: u64,
+    /// Committed loads.
+    pub committed_loads: u64,
+    /// Committed stores.
+    pub committed_stores: u64,
+    /// Instructions fetched (including wrong-path).
+    pub fetched: u64,
+    /// Instructions squashed.
+    pub squashed_insts: u64,
+    /// Squash causes.
+    pub squashes: SquashCounts,
+    /// Conditional branches resolved.
+    pub branches: u64,
+    /// Mispredicted conditional branches/jump targets.
+    pub mispredicts: u64,
+    /// Loads delayed by STT (or DRAM prediction) awaiting untaint.
+    pub delayed_loads: u64,
+    /// Total cycles tainted loads spent delayed before issue.
+    pub delay_cycles: u64,
+    /// FP SDO operations issued on tainted operands.
+    pub fp_sdo_issued: u64,
+    /// FP transmit ops delayed by STT{ld+fp}.
+    pub delayed_fp: u64,
+    /// Obl-Ld statistics.
+    pub obl: OblStats,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Records a resolved location prediction (depths are
+    /// [`sdo_mem::CacheLevel::depth`] values).
+    pub fn record_prediction(&mut self, predicted_depth: u8, actual_depth: u8) {
+        self.obl.predictions += 1;
+        if predicted_depth == actual_depth {
+            self.obl.precise += 1;
+        }
+        if predicted_depth >= actual_depth {
+            self.obl.accurate += 1;
+        }
+    }
+}
+
+impl fmt::Display for CoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles {} | committed {} (IPC {:.2}) | loads {} stores {}",
+            self.cycles,
+            self.committed,
+            self.ipc(),
+            self.committed_loads,
+            self.committed_stores
+        )?;
+        writeln!(
+            f,
+            "squashes: branch {} oblFail {} validation {} consistency {} fp {}",
+            self.squashes.branch,
+            self.squashes.obl_fail,
+            self.squashes.validation,
+            self.squashes.consistency,
+            self.squashes.fp_fail
+        )?;
+        write!(
+            f,
+            "obl: {} issued ({} ok / {} fail), precision {:.1}% accuracy {:.1}%, {} delayed loads",
+            self.obl.issued,
+            self.obl.success,
+            self.obl.fail,
+            100.0 * self.obl.precision(),
+            100.0 * self.obl.accuracy(),
+            self.delayed_loads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_zero_cycles() {
+        assert_eq!(CoreStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn prediction_accounting() {
+        let mut s = CoreStats::default();
+        s.record_prediction(2, 2); // precise + accurate
+        s.record_prediction(3, 1); // accurate only
+        s.record_prediction(1, 3); // neither
+        assert_eq!(s.obl.predictions, 3);
+        assert_eq!(s.obl.precise, 1);
+        assert_eq!(s.obl.accurate, 2);
+        assert!((s.obl.precision() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.obl.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squash_totals() {
+        let s = SquashCounts { branch: 5, obl_fail: 3, validation: 1, consistency: 2, fp_fail: 4 };
+        assert_eq!(s.total(), 15);
+        assert_eq!(s.sdo_related(), 10);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!CoreStats::default().to_string().is_empty());
+    }
+
+    #[test]
+    fn rates_with_no_predictions() {
+        let o = OblStats::default();
+        assert_eq!(o.precision(), 0.0);
+        assert_eq!(o.accuracy(), 0.0);
+    }
+}

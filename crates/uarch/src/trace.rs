@@ -1,0 +1,191 @@
+//! Pipeline tracing: per-instruction lifecycle timestamps.
+//!
+//! Enable with [`Core::enable_trace`](crate::Core::enable_trace) to record
+//! when each dynamic instruction was dispatched, issued, completed and
+//! committed (or squashed). Useful for debugging protection behaviour —
+//! an STT-delayed load shows up as a large dispatch→issue gap, an Obl-Ld
+//! squash as a `squashed` stamp on its dependents.
+
+use sdo_isa::Instruction;
+use sdo_mem::Cycle;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Lifecycle of one dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// Dynamic sequence number.
+    pub seq: u64,
+    /// Program counter.
+    pub pc: u64,
+    /// The instruction.
+    pub inst: Instruction,
+    /// Cycle the instruction entered the ROB.
+    pub dispatched: Cycle,
+    /// Cycle it left the issue queue for a functional unit / memory.
+    pub issued: Option<Cycle>,
+    /// Cycle its result was produced (writeback / load done / resolved).
+    pub completed: Option<Cycle>,
+    /// Cycle it retired.
+    pub committed: Option<Cycle>,
+    /// Cycle it was squashed, if it never retired.
+    pub squashed: Option<Cycle>,
+}
+
+/// A bounded recording of instruction lifecycles.
+///
+/// Recording stops silently once `capacity` instructions have been
+/// dispatched (old entries are kept — the interesting window is usually
+/// the beginning of a run or around a bug reproduced early).
+#[derive(Debug, Clone)]
+pub struct PipelineTrace {
+    entries: BTreeMap<u64, TraceEntry>,
+    capacity: usize,
+}
+
+impl PipelineTrace {
+    /// Creates a trace that records up to `capacity` instructions.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        PipelineTrace { entries: BTreeMap::new(), capacity }
+    }
+
+    pub(crate) fn dispatch(&mut self, seq: u64, pc: u64, inst: Instruction, now: Cycle) {
+        if self.entries.len() >= self.capacity {
+            return;
+        }
+        self.entries.insert(
+            seq,
+            TraceEntry {
+                seq,
+                pc,
+                inst,
+                dispatched: now,
+                issued: None,
+                completed: None,
+                committed: None,
+                squashed: None,
+            },
+        );
+    }
+
+    pub(crate) fn issue(&mut self, seq: u64, now: Cycle) {
+        if let Some(e) = self.entries.get_mut(&seq) {
+            // Re-issues (after an Obl-Ld fail) keep the first issue stamp.
+            e.issued.get_or_insert(now);
+        }
+    }
+
+    pub(crate) fn complete(&mut self, seq: u64, now: Cycle) {
+        if let Some(e) = self.entries.get_mut(&seq) {
+            e.completed = Some(now);
+        }
+    }
+
+    pub(crate) fn commit(&mut self, seq: u64, now: Cycle) {
+        if let Some(e) = self.entries.get_mut(&seq) {
+            e.committed = Some(now);
+        }
+    }
+
+    pub(crate) fn squash(&mut self, seq: u64, now: Cycle) {
+        if let Some(e) = self.entries.get_mut(&seq) {
+            e.squashed = Some(now);
+        }
+    }
+
+    /// All recorded entries in sequence order.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.values()
+    }
+
+    /// Number of recorded instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for PipelineTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>6} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9}  inst",
+            "seq", "pc", "dispatch", "issue", "complete", "commit", "squash"
+        )?;
+        let opt = |c: Option<Cycle>| c.map_or("-".to_string(), |v| v.to_string());
+        for e in self.entries.values() {
+            writeln!(
+                f,
+                "{:>6} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9}  {}",
+                e.seq,
+                e.pc,
+                e.dispatched,
+                opt(e.issued),
+                opt(e.completed),
+                opt(e.committed),
+                opt(e.squashed),
+                e.inst
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdo_isa::Instruction;
+
+    #[test]
+    fn records_lifecycle_in_order() {
+        let mut t = PipelineTrace::new(4);
+        t.dispatch(0, 0, Instruction::Nop, 1);
+        t.issue(0, 2);
+        t.complete(0, 5);
+        t.commit(0, 6);
+        let e = *t.entries().next().unwrap();
+        assert_eq!(e.dispatched, 1);
+        assert_eq!(e.issued, Some(2));
+        assert_eq!(e.completed, Some(5));
+        assert_eq!(e.committed, Some(6));
+        assert_eq!(e.squashed, None);
+    }
+
+    #[test]
+    fn first_issue_stamp_is_kept_on_reissue() {
+        let mut t = PipelineTrace::new(4);
+        t.dispatch(3, 9, Instruction::Nop, 1);
+        t.issue(3, 2);
+        t.issue(3, 40);
+        assert_eq!(t.entries().next().unwrap().issued, Some(2));
+    }
+
+    #[test]
+    fn capacity_bounds_recording() {
+        let mut t = PipelineTrace::new(2);
+        for seq in 0..5 {
+            t.dispatch(seq, seq, Instruction::Nop, seq);
+        }
+        assert_eq!(t.len(), 2);
+        // Updates to unrecorded seqs are silently dropped.
+        t.commit(4, 10);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let mut t = PipelineTrace::new(4);
+        t.dispatch(0, 0, Instruction::Halt, 1);
+        t.squash(0, 7);
+        let s = t.to_string();
+        assert!(s.contains("halt"));
+        assert!(s.contains('7'));
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,302 @@
+//! The Spectre V1 attack program used by the penetration test
+//! (Section VIII-A: "we confirmed that all SDO design variants block the
+//! Spectre V1 attack, to which the Unsafe baseline is vulnerable").
+//!
+//! The program is the paper's Figure 1 made concrete:
+//!
+//! 1. a *training* phase runs the bounds-checked access with in-bounds
+//!    indices so the branch predictor learns "in bounds";
+//! 2. the *attack* iteration supplies an out-of-bounds index pointing at
+//!    the secret. The bound used by the check is produced by a chain of
+//!    long-latency divides, so the mispredicted branch stays unresolved
+//!    for tens of cycles — a speculative window in which the secret is
+//!    read and *transmitted* by a dependent load into the probe array;
+//! 3. the branch finally resolves, the wrong path squashes, and the
+//!    architectural state is clean — but on an unprotected core the probe
+//!    array's cache state now encodes the secret.
+//!
+//! The receiver half (a flush+reload-style residency probe over the probe
+//! array) lives in the harness, which has access to the simulated memory
+//! system.
+
+use sdo_isa::{Assembler, Program, Reg};
+
+/// Everything the harness needs to run the attack and read out the
+/// covert channel.
+#[derive(Debug, Clone)]
+pub struct SpectreScenario {
+    /// The victim+attacker program.
+    pub program: Program,
+    /// Base address of the 256-line probe array (one line per byte
+    /// value).
+    pub probe_base: u64,
+    /// The secret byte planted out of bounds.
+    pub secret: u8,
+    /// Byte value the in-bounds (training) elements hold; its probe line
+    /// is legitimately warmed during training and must be ignored by the
+    /// receiver.
+    pub trained_byte: u8,
+}
+
+impl SpectreScenario {
+    /// Address of the probe line that encodes `byte`.
+    #[must_use]
+    pub fn probe_addr(&self, byte: u8) -> u64 {
+        self.probe_base + u64::from(byte) * 64
+    }
+}
+
+/// Builds the Spectre V1 scenario.
+///
+/// Array layout: `A` is a 10-byte bounds-checked array of zeros; the
+/// secret byte sits at `A + 200` (out of bounds but in the same address
+/// space); the probe array starts at a distant, initially-cold address.
+#[must_use]
+pub fn spectre_v1_victim() -> SpectreScenario {
+    let a_base = 0x4000u64;
+    let probe_base = 0x100_0000u64;
+    let secret: u8 = 0x2A;
+    let secret_offset = 200i64;
+
+    let mut asm = Assembler::named("spectre_v1");
+    // A[0..10] = 0; the "secret" out of bounds.
+    for k in 0..10 {
+        asm.data_mut().set_byte(a_base + k, 0);
+    }
+    asm.data_mut().set_byte(a_base + secret_offset as u64, secret);
+
+    let r = Reg::new;
+    let (abase, pbase, idx, val, off) = (r(1), r(2), r(3), r(4), r(5));
+    let (big, div, bound) = (r(6), r(7), r(8));
+    asm.li(abase, a_base as i64);
+    asm.li(pbase, probe_base as i64);
+    // bound = 10 after twelve *dependent* divides: the check resolves
+    // ~240 cycles after the call, a window long enough to cover even a
+    // DRAM fetch of the secret.
+    asm.li(big, 10_000_000_000_000); // 10 * 10^12
+    asm.li(div, 10);
+
+    // victim(idx): bounds check against a slowly-computed bound, then the
+    // speculative access + transmit.
+    let do_access = asm.label();
+    let skip = asm.label();
+    let victim = asm.label();
+    let ra = r(31);
+
+    // Main: train with idx in 0..10, then attack with the secret offset.
+    let train_i = r(10);
+    asm.li(train_i, 64);
+    let train_top = asm.here();
+    asm.andi(idx, train_i, 0x7); // in bounds (0..8)
+    asm.jal(ra, victim);
+    asm.addi(train_i, train_i, -1);
+    asm.bne(train_i, Reg::ZERO, train_top);
+    // Attack iteration.
+    asm.li(idx, secret_offset);
+    asm.jal(ra, victim);
+    asm.halt();
+
+    asm.bind(victim);
+    // bound = big / div^12 = 10, as a dependent divide chain.
+    asm.divu(bound, big, div);
+    for _ in 0..11 {
+        asm.divu(bound, bound, div);
+    }
+    asm.blt(idx, bound, do_access);
+    asm.j(skip);
+    asm.bind(do_access);
+    asm.add(val, abase, idx);
+    asm.ldb(val, val, 0); // the access: reads the secret when OOB
+    asm.slli(off, val, 6); // one probe line per byte value
+    asm.add(off, off, pbase);
+    asm.ld(Reg::ZERO, off, 0); // the transmit: fills probe[val]
+    asm.bind(skip);
+    asm.jr(ra);
+
+    SpectreScenario {
+        program: asm.finish().expect("spectre assembles"),
+        probe_base,
+        secret,
+        trained_byte: 0,
+    }
+}
+
+
+/// Builds the **FP-timing Spectre** variant (the paper's Section I-A
+/// motivation, NetSpectre-style): the speculatively-read secret is moved
+/// into an FP register — non-zero secrets form *subnormal* bit patterns —
+/// and multiplied. On an unprotected core the subnormal slow path ties up
+/// an FP unit, delaying the victim's own (architectural) FP work, so
+/// **total runtime** encodes the secret. No cache line is touched: this
+/// channel defeats cache-only defenses and `STT{ld}`, and is closed only
+/// by `STT{ld+fp}` and by the SDO configurations (whose predict-normal DO
+/// variant executes the tainted multiply with operand-independent
+/// latency and occupancy).
+///
+/// The receiver is runtime comparison across secrets — see
+/// `tests/fp_channel.rs`.
+#[must_use]
+pub fn spectre_fp_victim(secret: u8) -> Program {
+    let a_base = 0x4000u64;
+    // The secret shares A's cache line (offset 48 > bound 10, < line 64):
+    // it is architecturally out of bounds yet cache-hot after training —
+    // the common case of a secret the victim recently used itself.
+    let secret_offset = 48i64;
+    let bounds_base = 0x20_0000u64;
+
+    let mut asm = Assembler::named("spectre_fp");
+    for k in 0..10 {
+        asm.data_mut().set_byte(a_base + k, 0);
+    }
+    asm.data_mut().set_byte(a_base + secret_offset as u64, secret);
+    // One cold bound line per victim call (the window opener), plus the
+    // attack call's displaced line (see below).
+    for k in 0..200u64 {
+        asm.data_mut().set_word(bounds_base + k * 512, 10);
+    }
+    // FP constants for the victim's legitimate FP work.
+    asm.data_mut().set_f64(0x5000, 3.5);
+    asm.data_mut().set_f64(0x5008, 1.25);
+
+    let r = Reg::new;
+    let f = sdo_isa::FReg::new;
+    let (abase, idx, val, bptr, bound) = (r(1), r(3), r(4), r(5), r(8));
+    asm.li(abase, a_base as i64);
+    asm.li(bptr, bounds_base as i64);
+    asm.li(r(9), 0x5000);
+    asm.fld(f(1), r(9), 0);
+    asm.fld(f(2), r(9), 8);
+
+    let do_access = asm.label();
+    let skip = asm.label();
+    let victim = asm.label();
+    let ra = r(31);
+
+    let train_i = r(10);
+    asm.li(train_i, 64);
+    let train_top = asm.here();
+    asm.andi(idx, train_i, 0x7);
+    asm.jal(ra, victim);
+    asm.addi(train_i, train_i, -1);
+    asm.bne(train_i, Reg::ZERO, train_top);
+    // Drain: a long dependent divide chain that gates the attack call's
+    // bound pointer, so every training instruction has retired and the
+    // attack's timing is not hidden behind the commit backlog.
+    let (d, one) = (r(20), r(21));
+    asm.li(d, 1_000_000_000);
+    asm.li(one, 1);
+    for _ in 0..40 {
+        asm.divu(d, d, one);
+    }
+    asm.andi(d, d, 0); // d = 0, but only once the chain finishes
+    asm.add(bptr, bptr, d);
+    // Displace the attack's bound line into territory the wrong path of
+    // the training loop's exit cannot reach (its phantom 65th iteration
+    // would otherwise prefetch the attack's line and close the window).
+    asm.addi(bptr, bptr, 0x8000);
+    // Gate the attack index on the drain as well, so the doomed FP work
+    // cannot start (and finish) during the drain itself.
+    asm.li(idx, secret_offset);
+    asm.add(idx, idx, d);
+    asm.jal(ra, victim);
+    asm.halt();
+
+    asm.bind(victim);
+    // Window opener: the bound comes from a cold (DRAM) line, so the
+    // check stays unresolved for a couple hundred cycles.
+    asm.ld(bound, bptr, 0);
+    asm.addi(bptr, bptr, 512);
+    asm.blt(idx, bound, do_access);
+    asm.j(skip);
+    asm.bind(do_access);
+    asm.add(val, abase, idx);
+    asm.ldb(val, val, 0); // the access: reads the (hot) secret when OOB
+    asm.fmv_from_int(f(3), val); // non-zero secret => subnormal bits
+    // The transmit: two dependent subnormal multiply chains, one per FP
+    // unit. A subnormal times a modest normal stays subnormal, so every
+    // link takes the slow microcoded path — the units are still occupied
+    // when the mispredicted branch finally squashes.
+    asm.fmul(f(10), f(3), f(1));
+    for k in 11..=16 {
+        asm.fmul(f(k), f(k - 1), f(1));
+    }
+    // Stagger the second chain by ~half a slow-multiply latency (a chain
+    // of single-cycle adds) so that, whatever phase the squash lands on,
+    // one of the two units is still mid-link when the correct path
+    // re-issues its FP work.
+    let stag = r(22);
+    asm.addi(stag, val, 0);
+    for _ in 0..21 {
+        asm.addi(stag, stag, 0);
+    }
+    asm.fmv_from_int(f(19), stag);
+    asm.fmul(f(20), f(19), f(2));
+    for k in 21..=26 {
+        asm.fmul(f(k), f(k - 1), f(2));
+    }
+    asm.bind(skip);
+    // The victim's own FP work: two *independent* divides that want both
+    // FP units at once — delayed iff a doomed subnormal chain still
+    // occupies one of them.
+    asm.fdiv(f(5), f(1), f(2));
+    asm.fdiv(f(6), f(2), f(1));
+    asm.jr(ra);
+
+    asm.finish().expect("spectre_fp assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdo_isa::Interpreter;
+
+    #[test]
+    fn victim_halts_and_never_architecturally_reads_oob() {
+        let s = spectre_v1_victim();
+        let mut interp = Interpreter::new(&s.program);
+        interp.run(100_000).expect("halts");
+        // Architecturally, the out-of-bounds access never commits: the
+        // bound is 10 and the attack index 200 takes the skip path, so
+        // r4 last holds an in-bounds (zero) value.
+        assert_eq!(interp.reg(Reg::new(4)), 0);
+    }
+
+    #[test]
+    fn scenario_probe_addresses_are_distinct_lines() {
+        let s = spectre_v1_victim();
+        assert_eq!(s.probe_addr(1) - s.probe_addr(0), 64);
+        assert_ne!(s.secret, s.trained_byte, "receiver must be able to distinguish");
+    }
+
+    #[test]
+    fn fp_victim_halts_for_any_secret() {
+        for secret in [0u8, 1, 42, 255] {
+            let prog = spectre_fp_victim(secret);
+            let mut interp = Interpreter::new(&prog);
+            interp.run(200_000).expect("halts");
+        }
+    }
+
+    #[test]
+    fn fp_victim_architectural_state_is_secret_independent() {
+        // The out-of-bounds read never commits, so final registers match.
+        let run = |secret: u8| {
+            let prog = spectre_fp_victim(secret);
+            let mut i = Interpreter::new(&prog);
+            i.run(200_000).unwrap();
+            i.int_regs()
+        };
+        let a = run(0);
+        let b = run(42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn secret_is_planted_out_of_bounds() {
+        let s = spectre_v1_victim();
+        assert_eq!(s.program.data().byte(0x4000 + 200), s.secret);
+        for k in 0..10 {
+            assert_eq!(s.program.data().byte(0x4000 + k), 0);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Disassemble → parse round trips: `sdo_isa::parse_asm` accepts the
+//! listings `Program::disassemble` produces (absolute `@N` targets
+//! included), and the reparsed program is instruction-identical.
+
+use proptest::prelude::*;
+use sdo_isa::parse_asm;
+use sdo_workloads::random::random_program;
+use sdo_workloads::suite;
+
+#[test]
+fn suite_kernels_roundtrip_through_disassembly() {
+    for w in suite() {
+        let listing = w.program().disassemble();
+        let reparsed = parse_asm(&listing)
+            .unwrap_or_else(|e| panic!("{} disassembly failed to reparse: {e}", w.name()));
+        assert_eq!(
+            reparsed.instructions(),
+            w.program().instructions(),
+            "{}: reparse changed the instruction stream",
+            w.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn random_programs_roundtrip_through_disassembly(seed in 0u64..100_000) {
+        let prog = random_program(seed, 8);
+        let listing = prog.disassemble();
+        let reparsed = parse_asm(&listing).expect("disassembly reparses");
+        prop_assert_eq!(reparsed.instructions(), prog.instructions());
+    }
+}

@@ -1,0 +1,46 @@
+; The paper's Figure 1, in sdo-sim text assembly: a bounds-checked array
+; access whose misprediction window lets a transmit load leak `val`.
+;
+;   cargo run --release -p sdo-harness --bin run -- examples/programs/figure1.s --all
+;
+.name figure1
+.byte 0x4000 0 0 0 0 0 0 0 0 0 0     ; uint8 A[10] = {0}
+.byte 0x40c8 42                       ; the "secret", out of bounds
+.word 0x5000 0                        ; attacker-controlled addr cell
+
+    li   r1, 0x4000        ; &A
+    li   r2, 0x1000000     ; probe array (transmit target)
+    li   r6, 10000000000000
+    li   r7, 10
+    li   r10, 64           ; training iterations
+train:
+    andi r3, r10, 0x7      ; in-bounds index
+    jal  r31, victim
+    addi r10, r10, -1
+    bne  r10, r0, train
+    li   r3, 200           ; out-of-bounds: &secret - &A
+    jal  r31, victim
+    halt
+
+victim:                    ; if (addr < bound) transmit(A[addr])
+    divu r8, r6, r7        ; slowly recompute bound = 10
+    divu r8, r8, r7
+    divu r8, r8, r7
+    divu r8, r8, r7
+    divu r8, r8, r7
+    divu r8, r8, r7
+    divu r8, r8, r7
+    divu r8, r8, r7
+    divu r8, r8, r7
+    divu r8, r8, r7
+    divu r8, r8, r7
+    divu r8, r8, r7
+    blt  r3, r8, access
+    jr   r31
+access:
+    add  r4, r1, r3
+    ldb  r4, 0(r4)         ; the access: reads the secret when OOB
+    slli r5, r4, 6         ; one probe line per byte value
+    add  r5, r5, r2
+    ld   r0, 0(r5)         ; the transmit: fills probe[val]
+    jr   r31

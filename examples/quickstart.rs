@@ -1,0 +1,64 @@
+//! Quickstart: write a tiny program with the assembler, run it on the
+//! out-of-order core under the insecure baseline and under STT+SDO, and
+//! compare the timing and statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sdo_sim::harness::{SimConfig, Simulator, Variant};
+use sdo_sim::isa::{Assembler, Interpreter, Reg};
+use sdo_sim::uarch::AttackModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A bounds-checked indirect sum — the Figure-1 shape from the paper:
+    // each iteration loads an index, checks it against a loaded bound and
+    // (speculatively) uses it to index a second table.
+    let mut asm = Assembler::named("quickstart");
+    let table = 0x8000u64;
+    for i in 0..64u64 {
+        asm.data_mut().set_word(table + i * 8, (i * 37) % 64);
+    }
+    let r = Reg::new;
+    let (base, idx, val, acc) = (r(1), r(2), r(3), r(7));
+    asm.li(base, table as i64);
+    let iter = r(10);
+    asm.li(iter, 500);
+    let esc = asm.label();
+    let top = asm.here();
+    asm.andi(idx, iter, 0x1f8);
+    asm.add(idx, idx, base);
+    asm.ld(val, idx, 0); // access instruction
+    asm.blt(val, Reg::ZERO, esc); // bounds check on the loaded value
+    asm.slli(r(4), val, 3);
+    asm.add(r(4), r(4), base);
+    asm.ld(r(5), r(4), 0); // transmit instruction (tainted address)
+    asm.add(acc, acc, r(5));
+    asm.addi(iter, iter, -1);
+    asm.bne(iter, Reg::ZERO, top);
+    asm.bind(esc);
+    asm.halt();
+    let program = asm.finish()?;
+
+    // Golden model: the architectural answer.
+    let mut interp = Interpreter::new(&program);
+    interp.run(1_000_000)?;
+    println!("architectural result: acc = {}", interp.reg(acc));
+
+    // Simulate under three Table II variants.
+    let sim = Simulator::new(SimConfig::table_i());
+    for variant in [Variant::Unsafe, Variant::SttLd, Variant::Hybrid] {
+        let res = sim.run(&program, variant, AttackModel::Spectre)?;
+        println!(
+            "{:10} {:>7} cycles | IPC {:.2} | delayed loads {:>3} | Obl-Ld {:>3} | squashes {}",
+            variant.name(),
+            res.cycles,
+            res.core.ipc(),
+            res.core.delayed_loads,
+            res.core.obl.issued,
+            res.core.squashes.total(),
+        );
+    }
+    println!("\nProtection never changes the answer — only the timing.");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Sweeps one benchmark kernel across every Table II variant and both
+//! attack models — a single-kernel slice of Figure 6 with the full
+//! statistics behind it.
+//!
+//! ```text
+//! cargo run --release --example workload_sweep [kernel]
+//! ```
+//!
+//! `kernel` defaults to `hash_lookup`; pass any suite kernel name
+//! (`ptr_chase`, `stream`, `stride`, `mix_branchy`, `hash_lookup`,
+//! `stencil`, `matmul_blocked`, `fp_subnormal`, `phase_shift`,
+//! `l1_resident`).
+
+use sdo_sim::harness::{SimConfig, Simulator, Variant};
+use sdo_sim::uarch::AttackModel;
+use sdo_sim::workloads::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "hash_lookup".to_string());
+    let kernels = suite();
+    let Some(workload) = kernels.iter().find(|w| w.name() == wanted) else {
+        eprintln!(
+            "unknown kernel '{wanted}'; available: {}",
+            kernels.iter().map(|w| w.name()).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(1);
+    };
+
+    let sim = Simulator::new(SimConfig::table_i());
+    for attack in AttackModel::ALL {
+        println!("== {} under the {attack} model ==", workload.name());
+        println!(
+            "{:11} {:>9} {:>6} {:>8} {:>7} {:>6} {:>8} {:>9} {:>8}",
+            "variant", "cycles", "norm", "IPC", "delayed", "obl", "obl-fail", "squashes", "val-stall"
+        );
+        let base = sim.run_workload(workload, Variant::Unsafe, attack)?;
+        for variant in Variant::ALL {
+            let r = sim.run_workload(workload, variant, attack)?;
+            println!(
+                "{:11} {:>9} {:>6.3} {:>8.2} {:>7} {:>6} {:>8} {:>9} {:>8}",
+                variant.name(),
+                r.cycles,
+                r.normalized_to(&base),
+                r.core.ipc(),
+                r.core.delayed_loads,
+                r.core.obl.issued,
+                r.core.obl.fail,
+                r.core.squashes.total(),
+                r.core.obl.validation_stall_cycles,
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

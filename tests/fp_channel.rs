@@ -1,0 +1,61 @@
+//! The FP-timing covert channel (paper Section I-A / NetSpectre): a
+//! doomed speculative multiply on a subnormal secret ties up an FP unit
+//! and delays the victim's own FP work — **total runtime** leaks the
+//! secret without touching a single cache line.
+//!
+//! Expected outcomes (exactly the paper's Table II story):
+//!
+//! * `Unsafe` — leaks (runtime depends on the secret);
+//! * `STT{ld}` — still leaks: loads are protected, FP transmitters are
+//!   not, which is precisely why the paper evaluates `STT{ld+fp}`;
+//! * `STT{ld+fp}` — blocked (tainted fmul delayed until squashed);
+//! * SDO variants — blocked (predict-normal DO variant: fixed latency
+//!   and fixed occupancy regardless of operands).
+
+use sdo_sim::harness::{SimConfig, Simulator, Variant};
+use sdo_sim::uarch::AttackModel;
+use sdo_sim::workloads::spectre_fp_victim;
+
+fn runtime(variant: Variant, secret: u8) -> u64 {
+    let sim = Simulator::new(SimConfig::table_i());
+    sim.run(&spectre_fp_victim(secret), variant, AttackModel::Spectre)
+        .expect("victim runs")
+        .cycles
+}
+
+#[test]
+fn fp_timing_leaks_on_unsafe() {
+    let zero = runtime(Variant::Unsafe, 0);
+    let secret = runtime(Variant::Unsafe, 42);
+    assert_ne!(zero, secret, "subnormal slow path must be visible in total runtime");
+}
+
+#[test]
+fn fp_timing_still_leaks_under_stt_ld() {
+    // STT{ld} protects loads only: the tainted fmul executes with
+    // operand-dependent latency — the motivation for STT{ld+fp}.
+    let zero = runtime(Variant::SttLd, 0);
+    let secret = runtime(Variant::SttLd, 42);
+    assert_ne!(zero, secret, "STT{{ld}} does not close the FP channel");
+}
+
+#[test]
+fn fp_timing_blocked_by_stt_ld_fp_and_all_sdo_variants() {
+    for variant in [
+        Variant::SttLdFp,
+        Variant::StaticL1,
+        Variant::StaticL2,
+        Variant::StaticL3,
+        Variant::Hybrid,
+        Variant::Perfect,
+    ] {
+        let mut cycles = Vec::new();
+        for secret in [0u8, 1, 42, 255] {
+            cycles.push(runtime(variant, secret));
+        }
+        assert!(
+            cycles.windows(2).all(|w| w[0] == w[1]),
+            "{variant}: runtime must be secret-independent, got {cycles:?}"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Multi-core integration: two out-of-order cores sharing the memory
+//! hierarchy, exercising the MESI directory, invalidation delivery and
+//! the deferred consistency-squash path (Section V-C1).
+
+use sdo_sim::harness::{SimConfig, Variant};
+use sdo_sim::isa::{Assembler, Program, Reg};
+use sdo_sim::mem::MemorySystem;
+use sdo_sim::uarch::{AttackModel, Core};
+
+fn writer_program(region: u64, iters: i64) -> Program {
+    let mut asm = Assembler::named("writer");
+    let r = Reg::new;
+    let (base, i, v) = (r(1), r(10), r(2));
+    asm.li(base, region as i64);
+    asm.li(i, iters);
+    let top = asm.here();
+    // Rotate writes over 8 lines.
+    asm.andi(r(3), i, 0x7);
+    asm.slli(r(3), r(3), 6);
+    asm.add(r(3), r(3), base);
+    asm.addi(v, v, 3);
+    asm.st(v, r(3), 0);
+    asm.addi(i, i, -1);
+    asm.bne(i, Reg::ZERO, top);
+    asm.halt();
+    asm.finish().expect("writer assembles")
+}
+
+fn reader_program(region: u64, iters: i64) -> Program {
+    let mut asm = Assembler::named("reader");
+    let r = Reg::new;
+    let (base, i, acc) = (r(1), r(10), r(7));
+    asm.li(base, region as i64);
+    asm.li(i, iters);
+    let top = asm.here();
+    asm.andi(r(3), i, 0x7);
+    asm.slli(r(3), r(3), 6);
+    asm.add(r(3), r(3), base);
+    asm.ld(r(4), r(3), 0); // races with the writer's stores
+    let skip = asm.label();
+    asm.blt(r(4), Reg::ZERO, skip); // never taken (values non-negative)
+    asm.ld(r(5), base, 0x100); // dependent load in the shadow
+    asm.add(acc, acc, r(4));
+    asm.bind(skip);
+    asm.addi(i, i, -1);
+    asm.bne(i, Reg::ZERO, top);
+    asm.halt();
+    asm.finish().expect("reader assembles")
+}
+
+fn run_pair(variant: Variant, attack: AttackModel) -> (Core, Core, MemorySystem) {
+    let cfg = SimConfig::table_i();
+    let region = 0x9000u64;
+    let writer = writer_program(region, 400);
+    let reader = reader_program(region, 400);
+    let mut mem = MemorySystem::new(cfg.mem, 2);
+    mem.load_image(writer.data());
+    let sec = variant.security(attack);
+    let mut c0 = Core::new(0, cfg.core, sec, writer);
+    let mut c1 = Core::new(1, cfg.core, sec, reader);
+    for _ in 0..2_000_000u64 {
+        if c0.halted() && c1.halted() {
+            break;
+        }
+        c0.tick(&mut mem);
+        c1.tick(&mut mem);
+    }
+    (c0, c1, mem)
+}
+
+#[test]
+fn two_cores_share_memory_and_finish() {
+    for variant in [Variant::Unsafe, Variant::SttLd, Variant::Hybrid] {
+        let (c0, c1, mem) = run_pair(variant, AttackModel::Spectre);
+        assert!(c0.halted(), "writer must halt under {variant}");
+        assert!(c1.halted(), "reader must halt under {variant}");
+        // The writer's last value landed in memory.
+        assert!(mem.peek_word(0x9000 + 0x40) > 0);
+        assert!(c0.stats().committed_stores >= 400);
+        assert!(c1.stats().committed_loads >= 400);
+    }
+}
+
+#[test]
+fn coherence_traffic_flows_between_cores() {
+    let (_c0, _c1, mem) = run_pair(Variant::Unsafe, AttackModel::Spectre);
+    let stats = mem.stats();
+    assert!(
+        stats.invalidations_sent > 0,
+        "writer upgrades must invalidate the reader's copies"
+    );
+    assert!(stats.remote_hits > 0, "reader must hit dirty lines in the writer's cache");
+}
+
+#[test]
+fn consistency_squashes_are_possible_and_recovered() {
+    // With racing stores and speculative loads the reader may observe
+    // invalidation-driven consistency squashes; whatever happens, both
+    // cores must converge and the reader's accumulator must be a sum of
+    // values the writer actually produced (divisible by 3, since every
+    // written value is).
+    let (c0, c1, _mem) = run_pair(Variant::Hybrid, AttackModel::Futuristic);
+    assert!(c0.halted() && c1.halted());
+    let acc = c1.arch_int()[7];
+    assert_eq!(acc % 3, 0, "reader accumulated a torn/stale value: {acc}");
+}

@@ -1,0 +1,135 @@
+//! Shape tests: the relative performance relations the paper's
+//! evaluation establishes must hold in the reproduction (Section VIII-B).
+//! Absolute numbers differ — the substrate is a from-scratch simulator —
+//! but who wins, and why, must match.
+
+use sdo_sim::harness::{SimConfig, Simulator, Variant};
+use sdo_sim::mem::CacheLevel;
+use sdo_sim::uarch::AttackModel;
+use sdo_sim::workloads::kernels::{hash_lookup, l1_resident, Workload};
+
+/// A reduced hash_lookup: the suite's highest-overhead kernel.
+fn probe_kernel() -> Workload {
+    Workload::new("hash_lookup", hash_lookup(1 << 14, 1200, 5))
+        .warmed(0x80_0000, (1 << 14) * 8, CacheLevel::L3)
+}
+
+#[test]
+fn stt_pays_and_sdo_recovers() {
+    let sim = Simulator::new(SimConfig::table_i());
+    let w = probe_kernel();
+    for attack in AttackModel::ALL {
+        let unsafe_ = sim.run_workload(&w, Variant::Unsafe, attack).unwrap();
+        let stt = sim.run_workload(&w, Variant::SttLd, attack).unwrap();
+        let hybrid = sim.run_workload(&w, Variant::Hybrid, attack).unwrap();
+        let perfect = sim.run_workload(&w, Variant::Perfect, attack).unwrap();
+        assert!(
+            stt.cycles as f64 > 1.5 * unsafe_.cycles as f64,
+            "{attack}: STT must pay heavily on the MLP-killer kernel \
+             (got {} vs {})",
+            stt.cycles,
+            unsafe_.cycles
+        );
+        assert!(
+            hybrid.cycles < stt.cycles,
+            "{attack}: STT+SDO (Hybrid) must outperform STT ({} vs {})",
+            hybrid.cycles,
+            stt.cycles
+        );
+        assert!(
+            perfect.cycles <= hybrid.cycles * 101 / 100,
+            "{attack}: Perfect bounds the achievable performance"
+        );
+        assert!(
+            perfect.cycles > unsafe_.cycles,
+            "{attack}: even Perfect keeps some overhead (Section VIII-B)"
+        );
+    }
+}
+
+#[test]
+fn static_l1_squashes_most() {
+    // Paper: "Static L1 has the highest overhead of any SDO variant ...
+    // it also incurs more frequent squashes".
+    let sim = Simulator::new(SimConfig::table_i());
+    let w = probe_kernel();
+    let l1 = sim.run_workload(&w, Variant::StaticL1, AttackModel::Futuristic).unwrap();
+    let l3 = sim.run_workload(&w, Variant::StaticL3, AttackModel::Futuristic).unwrap();
+    assert!(
+        l1.core.squashes.obl_fail > l3.core.squashes.obl_fail,
+        "L1 predictions on an L3-resident table must fail more ({} vs {})",
+        l1.core.squashes.obl_fail,
+        l3.core.squashes.obl_fail
+    );
+    assert!(l1.cycles > l3.cycles, "squashes cost time ({} vs {})", l1.cycles, l3.cycles);
+}
+
+#[test]
+fn accuracy_orders_static_predictors() {
+    // Paper Table III: deeper static predictions are more accurate, less
+    // precise.
+    let sim = Simulator::new(SimConfig::table_i());
+    let w = probe_kernel();
+    let mut accuracies = Vec::new();
+    let mut precisions = Vec::new();
+    for v in [Variant::StaticL1, Variant::StaticL2, Variant::StaticL3] {
+        let r = sim.run_workload(&w, v, AttackModel::Spectre).unwrap();
+        accuracies.push(r.core.obl.accuracy());
+        precisions.push(r.core.obl.precision());
+    }
+    assert!(
+        accuracies.windows(2).all(|w| w[0] <= w[1] + 1e-9),
+        "accuracy must grow with predicted depth: {accuracies:?}"
+    );
+    // Precision can never exceed accuracy (precise ⊂ accurate), and a
+    // static predictor's precision is the fraction of loads resident at
+    // exactly its level — bounded well below 1 on this mixed-residency
+    // kernel.
+    for (p, a) in precisions.iter().zip(&accuracies) {
+        assert!(p <= a, "precision {p} cannot exceed accuracy {a}");
+        assert!(*p < 0.9, "no static level covers a mixed-residency kernel: {precisions:?}");
+    }
+}
+
+#[test]
+fn perfect_predictor_never_fails_cache_predictions() {
+    let sim = Simulator::new(SimConfig::table_i());
+    let w = probe_kernel();
+    let r = sim.run_workload(&w, Variant::Perfect, AttackModel::Spectre).unwrap();
+    assert_eq!(
+        r.core.obl.fail, 0,
+        "the oracle predictor must never produce a failing Obl-Ld"
+    );
+    assert_eq!(r.core.squashes.obl_fail, 0);
+}
+
+#[test]
+fn protection_is_nearly_free_on_l1_resident_code() {
+    // Paper Figure 6: compute-bound, L1-resident kernels see ~no
+    // overhead under any variant.
+    let sim = Simulator::new(SimConfig::table_i());
+    let w = Workload::new("l1_resident", l1_resident(2000, 10));
+    let base = sim.run_workload(&w, Variant::Unsafe, AttackModel::Futuristic).unwrap();
+    for variant in Variant::ALL {
+        let r = sim.run_workload(&w, variant, AttackModel::Futuristic).unwrap();
+        let norm = r.cycles as f64 / base.cycles as f64;
+        assert!(
+            norm < 1.05,
+            "{variant}: L1-resident kernel should be ~free, got {norm:.3}"
+        );
+    }
+}
+
+#[test]
+fn futuristic_is_at_least_as_expensive_as_spectre_for_stt() {
+    let sim = Simulator::new(SimConfig::table_i());
+    let w = probe_kernel();
+    let spectre = sim.run_workload(&w, Variant::SttLd, AttackModel::Spectre).unwrap();
+    let futuristic = sim.run_workload(&w, Variant::SttLd, AttackModel::Futuristic).unwrap();
+    assert!(
+        futuristic.cycles >= spectre.cycles,
+        "the Futuristic model delays longer ({} vs {})",
+        futuristic.cycles,
+        spectre.cycles
+    );
+}
