@@ -7,12 +7,13 @@
 //! 4. **DRAM predictions**: allow (revert to delay) vs clamp to L3
 //!    (force a fail + squash) (Section VI-B).
 //!
-//! Each ablation prints its comparison table, then Criterion times one
-//! representative configuration.
+//! Each ablation prints its comparison table, then the main times one
+//! representative configuration. The pairwise ablation runs honor
+//! `--jobs N` / `SDO_JOBS` via the shared worker pool.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use sdo_bench::quick_suite;
+use sdo_bench::{bench_case, quick_suite};
 use sdo_core::predictor::{GreedyPredictor, LocationPredictor};
+use sdo_harness::engine::JobPool;
 use sdo_harness::SimConfig;
 use sdo_mem::{CacheLevel, MemorySystem};
 use sdo_uarch::{AttackModel, Core, PredictorKind, Protection, SdoConfig, SecurityConfig};
@@ -32,16 +33,22 @@ fn run_custom(w: &Workload, sdo: SdoConfig, attack: AttackModel) -> u64 {
     core.now()
 }
 
-fn ablation_early_forward(kernels: &[Workload]) {
+fn ablation_early_forward(kernels: &[Workload], pool: &JobPool) {
     println!("\nABLATION: early forwarding from the wait buffer (Section V-C2)");
     println!("{:14} {:>12} {:>12} {:>8}", "kernel", "early-fwd on", "off", "delta");
-    for name in ["hash_lookup", "phase_shift", "stream"] {
-        let w = kernels.iter().find(|w| w.name() == name).expect("kernel");
+    let names = ["hash_lookup", "phase_shift", "stream"];
+    let jobs: Vec<(&Workload, bool)> = names
+        .iter()
+        .map(|name| kernels.iter().find(|w| w.name() == *name).expect("kernel"))
+        .flat_map(|w| [(w, true), (w, false)])
+        .collect();
+    let cycles = pool.run(&jobs, |_, &(w, early)| {
         let mut sdo = SdoConfig::with_predictor(PredictorKind::Static(CacheLevel::L3));
-        sdo.early_forward = true;
-        let on = run_custom(w, sdo, AttackModel::Spectre);
-        sdo.early_forward = false;
-        let off = run_custom(w, sdo, AttackModel::Spectre);
+        sdo.early_forward = early;
+        run_custom(w, sdo, AttackModel::Spectre)
+    });
+    for (pair, name) in cycles.chunks(2).zip(names) {
+        let (on, off) = (pair[0], pair[1]);
         println!(
             "{:14} {:>12} {:>12} {:>7.1}%",
             name,
@@ -52,23 +59,26 @@ fn ablation_early_forward(kernels: &[Workload]) {
     }
 }
 
-fn ablation_hybrid_parts(kernels: &[Workload]) {
+fn ablation_hybrid_parts(kernels: &[Workload], pool: &JobPool) {
     println!("\nABLATION: hybrid predictor components (Section V-D)");
     println!("{:14} {:>10} {:>10} {:>10} {:>10}", "kernel", "greedy", "loop", "hybrid", "pattern");
-    for name in ["stream", "phase_shift", "hash_lookup"] {
-        let w = kernels.iter().find(|w| w.name() == name).expect("kernel");
-        let mut row = format!("{name:14}");
-        for kind in [
-            PredictorKind::Greedy,
-            PredictorKind::Loop,
-            PredictorKind::Hybrid,
-            PredictorKind::Pattern,
-        ] {
-            let cycles =
-                run_custom(w, SdoConfig::with_predictor(kind), AttackModel::Spectre);
-            row.push_str(&format!(" {cycles:>10}"));
+    const KINDS: [PredictorKind; 4] =
+        [PredictorKind::Greedy, PredictorKind::Loop, PredictorKind::Hybrid, PredictorKind::Pattern];
+    let names = ["stream", "phase_shift", "hash_lookup"];
+    let jobs: Vec<(&Workload, PredictorKind)> = names
+        .iter()
+        .map(|name| kernels.iter().find(|w| w.name() == *name).expect("kernel"))
+        .flat_map(|w| KINDS.map(|kind| (w, kind)))
+        .collect();
+    let cycles = pool.run(&jobs, |_, &(w, kind)| {
+        run_custom(w, SdoConfig::with_predictor(kind), AttackModel::Spectre)
+    });
+    for (row, name) in cycles.chunks(KINDS.len()).zip(names) {
+        let mut line = format!("{name:14}");
+        for c in row {
+            line.push_str(&format!(" {c:>10}"));
         }
-        println!("{row}");
+        println!("{line}");
     }
 }
 
@@ -97,42 +107,46 @@ fn ablation_greedy_window() {
     }
 }
 
-fn ablation_dram_prediction(kernels: &[Workload]) {
+fn ablation_dram_prediction(kernels: &[Workload], pool: &JobPool) {
     println!("\nABLATION: DRAM predictions — delay (paper) vs clamp-to-L3 (Section VI-B)");
     println!("{:14} {:>12} {:>12}", "kernel", "delay", "clamp-to-L3");
-    for name in ["hash_lookup", "ptr_chase"] {
-        // Strip the warm-start hints: DRAM-resident data is the point here.
-        let cold = kernels
-            .iter()
-            .find(|w| w.name() == name)
-            .map(|w| Workload::new(w.name(), w.program().clone()))
-            .expect("kernel");
+    let names = ["hash_lookup", "ptr_chase"];
+    // Strip the warm-start hints: DRAM-resident data is the point here.
+    let cold: Vec<Workload> = names
+        .iter()
+        .map(|name| {
+            kernels
+                .iter()
+                .find(|w| w.name() == *name)
+                .map(|w| Workload::new(w.name(), w.program().clone()))
+                .expect("kernel")
+        })
+        .collect();
+    let jobs: Vec<(&Workload, bool)> =
+        cold.iter().flat_map(|w| [(w, true), (w, false)]).collect();
+    let cycles = pool.run(&jobs, |_, &(w, allow)| {
         let mut sdo = SdoConfig::with_predictor(PredictorKind::Hybrid);
-        sdo.allow_dram_prediction = true;
-        let delay = run_custom(&cold, sdo, AttackModel::Futuristic);
-        sdo.allow_dram_prediction = false;
-        let clamp = run_custom(&cold, sdo, AttackModel::Futuristic);
-        println!("{name:14} {delay:>12} {clamp:>12}");
+        sdo.allow_dram_prediction = allow;
+        run_custom(w, sdo, AttackModel::Futuristic)
+    });
+    for (pair, name) in cycles.chunks(2).zip(names) {
+        println!("{name:14} {:>12} {:>12}", pair[0], pair[1]);
     }
 }
 
-fn ablations(c: &mut Criterion) {
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let pool = JobPool::from_args(&mut args);
     let kernels = quick_suite();
-    ablation_early_forward(&kernels);
-    ablation_hybrid_parts(&kernels);
+    ablation_early_forward(&kernels, &pool);
+    ablation_hybrid_parts(&kernels, &pool);
     ablation_greedy_window();
-    ablation_dram_prediction(&kernels);
+    ablation_dram_prediction(&kernels, &pool);
 
     let hash = kernels.iter().find(|w| w.name() == "hash_lookup").expect("kernel");
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
-    group.bench_function("hash_lookup/hybrid-no-early-forward", |b| {
+    bench_case("ablations/hash_lookup/hybrid-no-early-forward", 10, || {
         let mut sdo = SdoConfig::with_predictor(PredictorKind::Hybrid);
         sdo.early_forward = false;
-        b.iter(|| run_custom(hash, sdo, AttackModel::Spectre));
+        run_custom(hash, sdo, AttackModel::Spectre)
     });
-    group.finish();
 }
-
-criterion_group!(benches, ablations);
-criterion_main!(benches);

@@ -1,30 +1,28 @@
 //! Bench target for **Figure 6**: prints the normalized-execution-time
 //! table (quick-suite sizes), then times representative simulations of
-//! each Table II variant with Criterion.
+//! each Table II variant. Honors `--jobs N` / `SDO_JOBS` for the figure
+//! regeneration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use sdo_bench::{quick_results, quick_suite, simulate_one};
+use sdo_bench::{bench_case, quick_results_with, quick_suite, simulate_one};
+use sdo_harness::engine::JobPool;
 use sdo_harness::experiments::fig6_report;
 use sdo_harness::Variant;
 use sdo_uarch::AttackModel;
 
-fn fig6(c: &mut Criterion) {
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let pool = JobPool::from_args(&mut args);
+
     // Regenerate the figure once (quick sizes) so `cargo bench` emits the
     // same rows/series the paper reports.
-    let results = quick_results();
+    let results = quick_results_with(&pool);
     println!("\n{}", fig6_report(&results));
 
     let kernels = quick_suite();
     let hash = kernels.iter().find(|w| w.name() == "hash_lookup").expect("kernel exists");
-    let mut group = c.benchmark_group("fig6");
-    group.sample_size(10);
     for variant in [Variant::Unsafe, Variant::SttLd, Variant::StaticL2, Variant::Hybrid] {
-        group.bench_function(format!("hash_lookup/{variant}"), |b| {
-            b.iter(|| simulate_one(hash, variant, AttackModel::Spectre));
+        bench_case(&format!("fig6/hash_lookup/{variant}"), 10, || {
+            simulate_one(hash, variant, AttackModel::Spectre)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, fig6);
-criterion_main!(benches);

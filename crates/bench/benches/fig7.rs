@@ -1,29 +1,27 @@
 //! Bench target for **Figure 7**: prints the overhead breakdown for the
-//! SDO variants, then times the breakdown computation pipeline.
+//! SDO variants, then times the breakdown computation pipeline. Honors
+//! `--jobs N` / `SDO_JOBS` for the figure regeneration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use sdo_bench::{quick_results, quick_suite, simulate_one};
+use sdo_bench::{bench_case, quick_results_with, quick_suite, simulate_one};
+use sdo_harness::engine::JobPool;
 use sdo_harness::experiments::fig7_report;
 use sdo_harness::Variant;
 use sdo_uarch::AttackModel;
 
-fn fig7(c: &mut Criterion) {
-    let results = quick_results();
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let pool = JobPool::from_args(&mut args);
+
+    let results = quick_results_with(&pool);
     println!("\n{}", fig7_report(&results));
 
     // The dominant cost in regenerating Figure 7 is the SDO simulations;
     // time one imprecision-heavy and one squash-heavy configuration.
     let kernels = quick_suite();
     let phase = kernels.iter().find(|w| w.name() == "phase_shift").expect("kernel exists");
-    let mut group = c.benchmark_group("fig7");
-    group.sample_size(10);
     for variant in [Variant::StaticL1, Variant::StaticL3] {
-        group.bench_function(format!("phase_shift/{variant}"), |b| {
-            b.iter(|| simulate_one(phase, variant, AttackModel::Futuristic));
+        bench_case(&format!("fig7/phase_shift/{variant}"), 10, || {
+            simulate_one(phase, variant, AttackModel::Futuristic)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, fig7);
-criterion_main!(benches);

@@ -1,29 +1,26 @@
 //! Bench target for **Figure 8**: prints the squashes-vs-time relation
 //! for every SDO variant, then times the squash-heaviest configuration
 //! (Static L1, whose mispredictions drive the correlation the paper
-//! reports).
+//! reports). Honors `--jobs N` / `SDO_JOBS` for the figure regeneration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use sdo_bench::{quick_results, quick_suite, simulate_one};
+use sdo_bench::{bench_case, quick_results_with, quick_suite, simulate_one};
+use sdo_harness::engine::JobPool;
 use sdo_harness::experiments::fig8_report;
 use sdo_harness::Variant;
 use sdo_uarch::AttackModel;
 
-fn fig8(c: &mut Criterion) {
-    let results = quick_results();
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let pool = JobPool::from_args(&mut args);
+
+    let results = quick_results_with(&pool);
     println!("\n{}", fig8_report(&results));
 
     let kernels = quick_suite();
     let hash = kernels.iter().find(|w| w.name() == "hash_lookup").expect("kernel exists");
-    let mut group = c.benchmark_group("fig8");
-    group.sample_size(10);
     for attack in AttackModel::ALL {
-        group.bench_function(format!("hash_lookup/StaticL1/{attack}"), |b| {
-            b.iter(|| simulate_one(hash, Variant::StaticL1, attack));
+        bench_case(&format!("fig8/hash_lookup/StaticL1/{attack}"), 10, || {
+            simulate_one(hash, Variant::StaticL1, attack)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, fig8);
-criterion_main!(benches);

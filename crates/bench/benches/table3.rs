@@ -1,28 +1,26 @@
 //! Bench target for **Table III**: prints predictor precision/accuracy,
 //! then times the hybrid predictor's two extreme workloads (strided loop
-//! pattern vs coarse phase pattern).
+//! pattern vs coarse phase pattern). Honors `--jobs N` / `SDO_JOBS` for
+//! the table regeneration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use sdo_bench::{quick_results, quick_suite, simulate_one};
+use sdo_bench::{bench_case, quick_results_with, quick_suite, simulate_one};
+use sdo_harness::engine::JobPool;
 use sdo_harness::experiments::table3_report;
 use sdo_harness::Variant;
 use sdo_uarch::AttackModel;
 
-fn table3(c: &mut Criterion) {
-    let results = quick_results();
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let pool = JobPool::from_args(&mut args);
+
+    let results = quick_results_with(&pool);
     println!("\n{}", table3_report(&results));
 
     let kernels = quick_suite();
-    let mut group = c.benchmark_group("table3");
-    group.sample_size(10);
     for name in ["stream", "phase_shift"] {
         let w = kernels.iter().find(|w| w.name() == name).expect("kernel exists");
-        group.bench_function(format!("{name}/Hybrid"), |b| {
-            b.iter(|| simulate_one(w, Variant::Hybrid, AttackModel::Spectre));
+        bench_case(&format!("table3/{name}/Hybrid"), 10, || {
+            simulate_one(w, Variant::Hybrid, AttackModel::Spectre)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, table3);
-criterion_main!(benches);

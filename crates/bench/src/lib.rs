@@ -1,9 +1,10 @@
 //! # sdo-bench — benchmark support for the SDO reproduction
 //!
-//! Shared helpers for the Criterion bench targets. Each bench target
-//! regenerates one of the paper's evaluation artifacts (the same rows and
-//! series, printed before measurement) and then times representative
-//! simulations with Criterion:
+//! Shared helpers for the bench targets (plain `harness = false` mains
+//! timed with [`std::time::Instant`] — the workspace builds offline, so
+//! no external bench framework). Each bench target regenerates one of
+//! the paper's evaluation artifacts (the same rows and series, printed
+//! before measurement) and then times representative simulations:
 //!
 //! * `fig6` — normalized execution time per kernel/variant,
 //! * `fig7` — overhead breakdown,
@@ -14,11 +15,12 @@
 //!
 //! Bench runs use [`quick_suite`] — the same kernels at reduced trip
 //! counts — so `cargo bench` completes in minutes; the `sdo-harness`
-//! binaries run the full-size versions.
+//! binaries run the full-size versions. All bench mains honor `--jobs N`
+//! / `SDO_JOBS` for the artifact-regeneration phase.
 
 #![warn(missing_docs)]
 
-use sdo_harness::sim::RunResult;
+use sdo_harness::engine::JobPool;
 use sdo_harness::{SimConfig, Simulator, Variant};
 use sdo_mem::CacheLevel;
 use sdo_uarch::AttackModel;
@@ -26,6 +28,7 @@ use sdo_workloads::kernels::{
     fp_subnormal, hash_lookup, l1_resident, matmul_blocked, mix_branchy, phase_shift, ptr_chase,
     stencil, stream, stride, Workload,
 };
+use std::time::Instant;
 
 /// The evaluation suite at reduced trip counts (same kernels, same
 /// warm-start hints, faster runs).
@@ -52,28 +55,47 @@ pub fn quick_suite() -> Vec<Workload> {
 /// `sdo_harness::experiments::run_suite` but on [`quick_suite`].
 #[must_use]
 pub fn quick_results() -> sdo_harness::experiments::SuiteResults {
+    quick_results_with(&JobPool::serial())
+}
+
+/// [`quick_results`] with the simulations fanned out through `pool`.
+/// Byte-identical to the serial path regardless of worker count.
+#[must_use]
+pub fn quick_results_with(pool: &JobPool) -> sdo_harness::experiments::SuiteResults {
     let sim = Simulator::new(SimConfig::table_i());
-    let kernels = quick_suite();
-    let workloads: Vec<String> = kernels.iter().map(|w| w.name().to_string()).collect();
-    let mut runs = Vec::new();
-    for attack in AttackModel::ALL {
-        let mut per_workload: Vec<Vec<RunResult>> = Vec::new();
-        for w in &kernels {
-            per_workload.push(
-                sim.run_workload_all_variants(w, attack).expect("quick suite completes"),
-            );
-        }
-        runs.push((attack, per_workload));
-    }
-    sdo_harness::experiments::SuiteResults { runs, workloads }
+    sdo_harness::experiments::run_suite_on(&sim, &quick_suite(), pool)
+        .expect("quick suite completes")
 }
 
 /// Simulates one quick-suite kernel under one variant (the unit of work
-/// Criterion times).
+/// the bench mains time).
 #[must_use]
 pub fn simulate_one(workload: &Workload, variant: Variant, attack: AttackModel) -> u64 {
     let sim = Simulator::new(SimConfig::table_i());
     sim.run_workload(workload, variant, attack).expect("kernel completes").cycles
+}
+
+/// Times `f` for `samples` iterations (after one untimed warmup run) and
+/// prints a `name: mean ± spread` line, mirroring the shape of the old
+/// Criterion output closely enough for eyeballing regressions.
+pub fn bench_case<T>(name: &str, samples: u32, mut f: impl FnMut() -> T) {
+    let samples = samples.max(1);
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let mean = times.iter().sum::<f64>() / f64::from(samples);
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = times.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "{name:44} {:>10.3} ms  [{:.3} .. {:.3}] x{samples}",
+        mean * 1e3,
+        min * 1e3,
+        max * 1e3
+    );
 }
 
 #[cfg(test)]

@@ -1,14 +1,17 @@
-//! Property-based tests for the SDO framework: the Obl-Ld state machine
-//! must behave sanely under *every* legal event interleaving, and the
-//! location predictors must uphold their structural invariants.
+//! Randomized property tests for the SDO framework: the Obl-Ld state
+//! machine must behave sanely under *every* legal event interleaving, and
+//! the location predictors must uphold their structural invariants.
+//!
+//! Cases are driven by the deterministic [`SdoRng`] stream, so every run
+//! explores the same interleavings and failures reproduce exactly.
 
-use proptest::prelude::*;
 use sdo_core::oblld::{OblAction, OblEvent, OblLdFsm};
 use sdo_core::predictor::{
     GreedyPredictor, HybridPredictor, LocationPredictor, LoopPredictor, PerfectPredictor,
     StaticPredictor,
 };
 use sdo_mem::CacheLevel;
+use sdo_rng::SdoRng;
 
 fn level_of(depth: u8) -> CacheLevel {
     CacheLevel::from_depth_clamped(depth)
@@ -86,77 +89,86 @@ fn drive_fsm(
     (fsm, actions)
 }
 
-proptest! {
-    /// Under every interleaving the load eventually completes exactly
-    /// once, and a value is forwarded before (or with) completion.
-    #[test]
-    fn fsm_always_completes_exactly_once(
-        predicted in 1u8..=3,
-        hit in prop::option::of(1u8..=3),
-        exposure in any::<bool>(),
-        early in any::<bool>(),
-        safe_after in 0usize..6,
-        val_delay in 0usize..5,
-        val_value in any::<u64>(),
-    ) {
+/// Under every interleaving the load eventually completes exactly once,
+/// and a value is forwarded before (or with) completion.
+#[test]
+fn fsm_always_completes_exactly_once() {
+    let mut rng = SdoRng::seed_from_u64(0x5d0_c0de);
+    for case in 0..512 {
+        let predicted = rng.gen_range(1u8..=3);
+        let hit = if rng.gen_bool(0.5) { Some(rng.gen_range(1u8..=3)) } else { None };
+        let exposure = rng.gen::<bool>();
+        let early = rng.gen::<bool>();
+        let safe_after = rng.gen_range(0usize..6);
+        let val_delay = rng.gen_range(0usize..5);
+        let val_value = rng.gen::<u64>();
         let hit_at = hit.filter(|h| *h <= predicted);
         let (fsm, actions) =
             drive_fsm(predicted, hit_at, exposure, early, safe_after, val_delay, val_value);
         let completes = actions.iter().filter(|a| matches!(a, OblAction::Complete)).count();
-        prop_assert!(fsm.is_done(), "FSM must reach Done; actions: {actions:?}");
-        prop_assert_eq!(completes, 1, "exactly one Complete; actions: {:?}", actions);
-        prop_assert!(fsm.forwarded_value().is_some(), "a value must reach dependents");
+        assert!(fsm.is_done(), "case {case}: FSM must reach Done; actions: {actions:?}");
+        assert_eq!(completes, 1, "case {case}: exactly one Complete; actions: {actions:?}");
+        assert!(fsm.forwarded_value().is_some(), "case {case}: a value must reach dependents");
     }
+}
 
-    /// A squash can only happen when the lookup failed after forwarding
-    /// pre-safe (case 1) or when the validation value mismatched — never
-    /// on a clean success.
-    #[test]
-    fn fsm_squashes_only_when_paper_says_so(
-        predicted in 1u8..=3,
-        hit in 1u8..=3,
-        exposure in any::<bool>(),
-        early in any::<bool>(),
-        safe_after in 0usize..6,
-        val_delay in 0usize..5,
-    ) {
-        prop_assume!(hit <= predicted);
+/// A squash can only happen when the lookup failed after forwarding
+/// pre-safe (case 1) or when the validation value mismatched — never on a
+/// clean success.
+#[test]
+fn fsm_squashes_only_when_paper_says_so() {
+    let mut rng = SdoRng::seed_from_u64(0x5d0_0001);
+    let mut checked = 0;
+    while checked < 256 {
+        let predicted = rng.gen_range(1u8..=3);
+        let hit = rng.gen_range(1u8..=3);
+        if hit > predicted {
+            continue;
+        }
+        checked += 1;
+        let exposure = rng.gen::<bool>();
+        let early = rng.gen::<bool>();
+        let safe_after = rng.gen_range(0usize..6);
+        let val_delay = rng.gen_range(0usize..5);
         // Success with a matching validation value: no squash allowed.
         let (fsm, actions) =
             drive_fsm(predicted, Some(hit), exposure, early, safe_after, val_delay, 42);
-        prop_assert!(
-            !fsm.squashed(),
-            "clean success must not squash; actions: {actions:?}"
-        );
+        assert!(!fsm.squashed(), "clean success must not squash; actions: {actions:?}");
     }
+}
 
-    /// All-miss lookups whose fail is revealed only pre-safe (case 1)
-    /// must squash; fails revealed post-safe (case 2/3) must not.
-    #[test]
-    fn fsm_fail_squash_matches_case(
-        predicted in 1u8..=3,
-        exposure in any::<bool>(),
-        early in any::<bool>(),
-        val_delay in 0usize..5,
-        val_value in any::<u64>(),
-    ) {
+/// All-miss lookups whose fail is revealed only pre-safe (case 1) must
+/// squash; fails revealed post-safe (case 2/3) must not.
+#[test]
+fn fsm_fail_squash_matches_case() {
+    let mut rng = SdoRng::seed_from_u64(0x5d0_0002);
+    for _ in 0..256 {
+        let predicted = rng.gen_range(1u8..=3);
+        let exposure = rng.gen::<bool>();
+        let early = rng.gen::<bool>();
+        let val_delay = rng.gen_range(0usize..5);
+        let val_value = rng.gen::<u64>();
         // safe_after beyond all responses => case 1 (B before C).
         let (fsm1, _) = drive_fsm(
             predicted, None, exposure, early, predicted as usize + 1, val_delay, val_value,
         );
-        prop_assert!(fsm1.squashed(), "case-1 fail must squash");
+        assert!(fsm1.squashed(), "case-1 fail must squash");
         // safe first => case 2/3, no squash.
         let (fsm2, _) = drive_fsm(predicted, None, exposure, early, 0, val_delay, val_value);
-        prop_assert!(!fsm2.squashed(), "case-2/3 fail must not squash");
+        assert!(!fsm2.squashed(), "case-2/3 fail must not squash");
     }
+}
 
-    /// Predictors always answer with a legal level, never panic, for any
-    /// update stream.
-    #[test]
-    fn predictors_total_over_random_histories(
-        history in prop::collection::vec((0u64..64, 1u8..=4), 0..300),
-        pc in 0u64..1_000,
-    ) {
+/// Predictors always answer with a legal level, never panic, for any
+/// update stream.
+#[test]
+fn predictors_total_over_random_histories() {
+    let mut rng = SdoRng::seed_from_u64(0x5d0_0003);
+    for _ in 0..64 {
+        let len = rng.gen_range(0usize..300);
+        let history: Vec<(u64, u8)> =
+            (0..len).map(|_| (rng.gen_range(0u64..64), rng.gen_range(1u8..=4))).collect();
+        let pc = rng.gen_range(0u64..1_000);
         let mut predictors: Vec<Box<dyn LocationPredictor>> = vec![
             Box::new(StaticPredictor::new(CacheLevel::L1)),
             Box::new(StaticPredictor::new(CacheLevel::L2)),
@@ -171,17 +183,20 @@ proptest! {
                 p.update(hpc, level_of(depth));
             }
             let pred = p.predict(pc, CacheLevel::L2);
-            prop_assert!(pred.depth() >= 1 && pred.depth() <= 4);
+            assert!(pred.depth() >= 1 && pred.depth() <= 4);
         }
     }
+}
 
-    /// Greedy invariant: its prediction covers (is at least as deep as)
-    /// every level seen in the last `m` updates for that pc.
-    #[test]
-    fn greedy_covers_its_window(
-        depths in prop::collection::vec(1u8..=4, 1..40),
-        window in 1usize..12,
-    ) {
+/// Greedy invariant: its prediction covers (is at least as deep as) every
+/// level seen in the last `m` updates for that pc.
+#[test]
+fn greedy_covers_its_window() {
+    let mut rng = SdoRng::seed_from_u64(0x5d0_0004);
+    for _ in 0..128 {
+        let len = rng.gen_range(1usize..40);
+        let depths: Vec<u8> = (0..len).map(|_| rng.gen_range(1u8..=4)).collect();
+        let window = rng.gen_range(1usize..12);
         let mut p = GreedyPredictor::new(64, window);
         let pc = 7;
         for &d in &depths {
@@ -189,13 +204,18 @@ proptest! {
         }
         let pred = p.predict(pc, CacheLevel::L1);
         let recent_max = depths.iter().rev().take(window).copied().max().unwrap();
-        prop_assert_eq!(pred.depth(), recent_max, "greedy = max of window");
+        assert_eq!(pred.depth(), recent_max, "greedy = max of window");
     }
+}
 
-    /// The perfect predictor echoes the oracle for every residency.
-    #[test]
-    fn perfect_echoes_oracle(depth in 1u8..=4, pc in any::<u64>()) {
+/// The perfect predictor echoes the oracle for every residency.
+#[test]
+fn perfect_echoes_oracle() {
+    let mut rng = SdoRng::seed_from_u64(0x5d0_0005);
+    for _ in 0..256 {
+        let depth = rng.gen_range(1u8..=4);
+        let pc = rng.gen::<u64>();
         let mut p = PerfectPredictor;
-        prop_assert_eq!(p.predict(pc, level_of(depth)), level_of(depth));
+        assert_eq!(p.predict(pc, level_of(depth)), level_of(depth));
     }
 }

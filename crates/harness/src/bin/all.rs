@@ -1,7 +1,91 @@
 //! Runs every experiment and prints the full evaluation report.
-use sdo_harness::experiments::full_report;
-use sdo_harness::SimConfig;
+//!
+//! `--jobs N` (or `SDO_JOBS`) fans the independent simulations out across
+//! worker threads. The binary also runs the suite once serially, checks
+//! the parallel results are byte-identical, and writes `BENCH_suite.json`
+//! (per-phase wall-clock, sims/sec and the serial→parallel speedup) so
+//! every PR leaves a performance trajectory baseline behind. Use
+//! `--bench-out <path>` to redirect the JSON (empty path disables it).
+use sdo_harness::engine::{timed, JobPool, Throughput};
+use sdo_harness::experiments::{
+    fig6_report, fig7_report, fig8_report, pentest_report, pentest_with, run_suite_with,
+    table3_report, SuiteResults,
+};
+use sdo_harness::export::bench_suite_json;
+use sdo_harness::{SimConfig, Simulator, Variant};
 
 fn main() {
-    println!("{}", full_report(SimConfig::table_i()).expect("experiments complete"));
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let pool = JobPool::from_args(&mut args);
+    let mut bench_out = String::from("BENCH_suite.json");
+    if let Some(i) = args.iter().position(|a| a == "--bench-out") {
+        assert!(i + 1 < args.len(), "--bench-out requires a path");
+        bench_out = args[i + 1].clone();
+        args.drain(i..i + 2);
+    }
+    assert!(args.is_empty(), "unexpected arguments: {args:?}");
+
+    let cfg = SimConfig::table_i();
+    let sim = Simulator::new(cfg);
+
+    // The suite, serially — the wall-clock baseline for the speedup.
+    let (serial_results, serial_tp) = timed(&JobPool::serial(), SuiteResults::counts, |p| {
+        run_suite_with(&sim, p).expect("suite completes")
+    });
+    // The suite again, through the pool. Byte-identical by construction;
+    // check it every run rather than asserting it in a comment.
+    let (results, parallel_tp) = timed(&pool, SuiteResults::counts, |p| {
+        run_suite_with(&sim, p).expect("suite completes")
+    });
+    assert_eq!(
+        fig6_report(&serial_results),
+        fig6_report(&results),
+        "parallel suite diverged from the serial baseline"
+    );
+
+    let (outcomes, pentest_tp) = timed(
+        &pool,
+        |o: &Vec<_>| (o.len() as u64, 0),
+        |p| pentest_with(&sim, p).expect("victim runs complete"),
+    );
+
+    let (report, render_tp) = timed(
+        &JobPool::serial(),
+        |_| (0, 0),
+        |_| {
+            let mut out = String::new();
+            out.push_str(&cfg.render_table_i());
+            out.push_str("\n\n");
+            out.push_str(&Variant::render_table_ii());
+            out.push('\n');
+            out.push_str(&fig6_report(&results));
+            out.push_str(&fig7_report(&results));
+            out.push_str(&fig8_report(&results));
+            out.push_str(&table3_report(&results));
+            out.push('\n');
+            out.push_str(&pentest_report(&outcomes));
+            out
+        },
+    );
+    println!("{report}");
+
+    let phases: Vec<(&str, Throughput)> = vec![
+        ("suite_serial", serial_tp),
+        ("suite_parallel", parallel_tp),
+        ("pentest", pentest_tp),
+        ("render", render_tp),
+    ];
+    let json = bench_suite_json(&phases, Some((serial_tp, parallel_tp)));
+    eprintln!("suite serial:   {}", serial_tp.report());
+    eprintln!("suite parallel: {}", parallel_tp.report());
+    eprintln!(
+        "speedup: {:.2}x at {} jobs",
+        serial_tp.wall.as_secs_f64() / parallel_tp.wall.as_secs_f64().max(1e-9),
+        pool.jobs()
+    );
+    if !bench_out.is_empty() {
+        std::fs::write(&bench_out, &json)
+            .unwrap_or_else(|e| panic!("cannot write {bench_out}: {e}"));
+        eprintln!("wrote {bench_out}");
+    }
 }

@@ -4,11 +4,12 @@
 //!
 //! ```text
 //! cargo run --release -p sdo-harness --bin compare -- \
-//!     [kernel] [variant-a] [variant-b] [spectre|futuristic]
+//!     [kernel] [variant-a] [variant-b] [spectre|futuristic] [--jobs N]
 //! ```
 //!
 //! Defaults: `hash_lookup STT{ld} Hybrid spectre`.
 
+use sdo_harness::engine::JobPool;
 use sdo_harness::sim::RunResult;
 use sdo_harness::table::TextTable;
 use sdo_harness::{SimConfig, Simulator, Variant};
@@ -30,7 +31,8 @@ fn find_variant(name: &str) -> Variant {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let pool = JobPool::from_args(&mut args);
     let kernel = args.first().map_or("hash_lookup", String::as_str);
     let va = find_variant(args.get(1).map_or("STT{ld}", String::as_str));
     let vb = find_variant(args.get(2).map_or("Hybrid", String::as_str));
@@ -53,9 +55,16 @@ fn main() {
     };
 
     let sim = Simulator::new(SimConfig::table_i());
-    let base = sim.run_workload(w, Variant::Unsafe, attack).expect("baseline runs");
-    let a = sim.run_workload(w, va, attack).expect("variant A runs");
-    let b = sim.run_workload(w, vb, attack).expect("variant B runs");
+    let variants = [Variant::Unsafe, va, vb];
+    let mut runs = pool
+        .try_run(&variants, |_, &v| sim.clone().run_workload(w, v, attack))
+        .expect("runs complete")
+        .into_iter();
+    let (base, a, b) = (
+        runs.next().expect("baseline run"),
+        runs.next().expect("variant A run"),
+        runs.next().expect("variant B run"),
+    );
 
     let row = |name: &str, f: &dyn Fn(&RunResult) -> String| {
         vec![name.to_string(), f(&a), f(&b)]

@@ -1,18 +1,26 @@
 //! Regenerates Figure 6: normalized execution time per kernel/variant.
 //!
 //! Pass `--csv` to emit machine-readable output (the full per-run dump
-//! with `--csv=runs`).
-use sdo_harness::experiments::{fig6_report, run_suite};
+//! with `--csv=runs`), and `--jobs N` (or `SDO_JOBS`) to fan the suite
+//! out across worker threads. The throughput summary goes to stderr so
+//! it never perturbs the figure or CSV stream.
+use sdo_harness::engine::{timed, JobPool};
+use sdo_harness::experiments::{fig6_report, run_suite_with, SuiteResults};
 use sdo_harness::export::{fig6_csv, runs_csv};
 use sdo_harness::{SimConfig, Simulator};
 
 fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_default();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let pool = JobPool::from_args(&mut args);
+    let mode = args.first().cloned().unwrap_or_default();
     let sim = Simulator::new(SimConfig::table_i());
-    let results = run_suite(&sim).expect("suite completes");
+    let (results, throughput) = timed(&pool, SuiteResults::counts, |pool| {
+        run_suite_with(&sim, pool).expect("suite completes")
+    });
     match mode.as_str() {
         "--csv" => print!("{}", fig6_csv(&results)),
         "--csv=runs" => print!("{}", runs_csv(&results)),
         _ => println!("{}", fig6_report(&results)),
     }
+    eprintln!("{}", throughput.report());
 }

@@ -1,9 +1,18 @@
 //! Regenerates Figure 8: squashes vs normalized execution time.
-use sdo_harness::experiments::{fig8_report, run_suite};
+//!
+//! `--jobs N` (or `SDO_JOBS`) fans the suite out across worker threads;
+//! the throughput summary goes to stderr.
+use sdo_harness::engine::{timed, JobPool};
+use sdo_harness::experiments::{fig8_report, run_suite_with, SuiteResults};
 use sdo_harness::{SimConfig, Simulator};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let pool = JobPool::from_args(&mut args);
     let sim = Simulator::new(SimConfig::table_i());
-    let results = run_suite(&sim).expect("suite completes");
+    let (results, throughput) = timed(&pool, SuiteResults::counts, |pool| {
+        run_suite_with(&sim, pool).expect("suite completes")
+    });
     println!("{}", fig8_report(&results));
+    eprintln!("{}", throughput.report());
 }

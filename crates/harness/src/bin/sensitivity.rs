@@ -1,9 +1,18 @@
 //! Sweeps microarchitecture parameters (ROB depth, MSHR count) and shows
 //! how STT's and STT+SDO's overheads move — the abstract's "depending on
 //! the microarchitecture" claim, quantified.
-use sdo_harness::experiments::sensitivity_report;
+//!
+//! `--jobs N` (or `SDO_JOBS`) fans the sweep points out across worker
+//! threads.
+use sdo_harness::engine::JobPool;
+use sdo_harness::experiments::sensitivity_report_with;
 use sdo_harness::SimConfig;
 
 fn main() {
-    println!("{}", sensitivity_report(SimConfig::table_i()).expect("sweep completes"));
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let pool = JobPool::from_args(&mut args);
+    println!(
+        "{}",
+        sensitivity_report_with(SimConfig::table_i(), &pool).expect("sweep completes")
+    );
 }

@@ -1,0 +1,319 @@
+//! Parallel experiment execution engine.
+//!
+//! Every paper artifact is built from the same kernel × variant × attack
+//! cross product — hundreds of completely independent, deterministic
+//! simulations. The *simulator* stays single-threaded (reproducibility by
+//! construction: each simulation owns its [`Simulator`] clone, core and
+//! memory system); the *harness* fans the independent runs out across a
+//! [`JobPool`] of `std::thread::scope` workers and merges the results in
+//! canonical submission order, so the merged output is byte-identical to
+//! the serial path at any worker count.
+//!
+//! The worker count comes from (highest priority first) an explicit
+//! `--jobs N` flag ([`JobPool::from_args`]), the `SDO_JOBS` environment
+//! variable, or [`std::thread::available_parallelism`].
+//!
+//! ```rust
+//! use sdo_harness::engine::JobPool;
+//!
+//! let pool = JobPool::new(4);
+//! let squares = pool.run(&[1u64, 2, 3, 4], |_idx, n| n * n);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Environment variable naming the default worker count.
+pub const JOBS_ENV: &str = "SDO_JOBS";
+
+/// A scoped worker pool that executes independent jobs and returns their
+/// results in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobPool {
+    jobs: usize,
+}
+
+impl JobPool {
+    /// A pool with exactly `jobs` workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        JobPool { jobs: jobs.max(1) }
+    }
+
+    /// The single-worker pool: runs every job inline on the caller's
+    /// thread, in order.
+    #[must_use]
+    pub fn serial() -> Self {
+        JobPool { jobs: 1 }
+    }
+
+    /// Worker count from `SDO_JOBS`, falling back to the machine's
+    /// available parallelism.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let jobs = std::env::var(JOBS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        JobPool::new(jobs)
+    }
+
+    /// Extracts `--jobs N` / `--jobs=N` from an argument list (removing
+    /// the consumed tokens), falling back to [`JobPool::from_env`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message if `--jobs` is present without a valid
+    /// positive integer.
+    #[must_use]
+    pub fn from_args(args: &mut Vec<String>) -> Self {
+        let mut explicit = None;
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(v) = args[i].strip_prefix("--jobs=") {
+                explicit = Some(parse_jobs(v));
+                args.remove(i);
+            } else if args[i] == "--jobs" {
+                assert!(i + 1 < args.len(), "--jobs requires a value");
+                explicit = Some(parse_jobs(&args[i + 1]));
+                args.drain(i..i + 2);
+            } else {
+                i += 1;
+            }
+        }
+        explicit.map_or_else(JobPool::from_env, JobPool::new)
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `f` over every item and returns the results in item order.
+    ///
+    /// Work is handed out through a shared atomic cursor, so early-
+    /// finishing workers steal remaining items (dynamic load balancing);
+    /// output order is still canonical because results land in their
+    /// item's slot.
+    pub fn run<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        self.try_run(items, |idx, item| Ok::<T, Never>(f(idx, item)))
+            .unwrap_or_else(|e| match e {})
+    }
+
+    /// Fallible variant of [`JobPool::run`]: returns all results in item
+    /// order, or the error of the *lowest-indexed* failing job.
+    ///
+    /// On a failure the pool stops handing out jobs whose index is higher
+    /// than the failing one (lower-indexed jobs still run, so the
+    /// reported error is the canonical first failure regardless of
+    /// scheduling), then joins every worker before returning — no orphans.
+    ///
+    /// # Errors
+    ///
+    /// The error produced by the canonically-first failing job.
+    pub fn try_run<I, T, E, F>(&self, items: &[I], f: F) -> Result<Vec<T>, E>
+    where
+        I: Sync,
+        T: Send,
+        E: Send,
+        F: Fn(usize, &I) -> Result<T, E> + Sync,
+    {
+        let workers = self.jobs.min(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        // Index of the lowest failure observed so far; jobs beyond it are
+        // skipped. usize::MAX means "no failure".
+        let first_err_idx = AtomicUsize::new(usize::MAX);
+        let slots: Vec<Mutex<Option<Result<T, E>>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= items.len() || idx > first_err_idx.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let result = f(idx, &items[idx]);
+                    if result.is_err() {
+                        first_err_idx.fetch_min(idx, Ordering::Release);
+                    }
+                    *slots[idx].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+
+        let mut out = Vec::with_capacity(items.len());
+        for slot in slots {
+            match slot.into_inner().expect("result slot poisoned") {
+                Some(Ok(v)) => out.push(v),
+                // The canonically-first error: every lower-indexed job ran
+                // to completion successfully (they are never skipped).
+                Some(Err(e)) => return Err(e),
+                // Skipped due to a (higher-priority) earlier failure; that
+                // failure was already returned above.
+                None => unreachable!("job skipped without a preceding error"),
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn parse_jobs(v: &str) -> usize {
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => panic!("--jobs expects a positive integer, got '{v}'"),
+    }
+}
+
+/// Uninhabited error type for the infallible [`JobPool::run`] path.
+enum Never {}
+
+// ----------------------------------------------------------------------
+// Throughput accounting
+// ----------------------------------------------------------------------
+
+/// Wall-clock throughput of a batch of simulations (the measured side of
+/// the "fast as the hardware allows" goal: speedups are reported, never
+/// asserted).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Worker count used.
+    pub jobs: usize,
+    /// Number of simulations completed.
+    pub sims: u64,
+    /// Total simulated cycles across all runs.
+    pub cycles: u64,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+}
+
+impl Throughput {
+    /// Simulations completed per wall-clock second.
+    #[must_use]
+    pub fn sims_per_sec(&self) -> f64 {
+        self.sims as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Simulated cycles per wall-clock second (aggregate over workers).
+    #[must_use]
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// One-line human-readable summary.
+    #[must_use]
+    pub fn report(&self) -> String {
+        format!(
+            "throughput: {} sims in {:.2}s with {} job(s) — {:.1} sims/s, {:.2}M cycles/s",
+            self.sims,
+            self.wall.as_secs_f64(),
+            self.jobs,
+            self.sims_per_sec(),
+            self.cycles_per_sec() / 1e6,
+        )
+    }
+}
+
+/// Times `f` and pairs its output with a [`Throughput`] derived from the
+/// returned `(sims, cycles)` extraction.
+pub fn timed<T>(
+    pool: &JobPool,
+    count: impl FnOnce(&T) -> (u64, u64),
+    f: impl FnOnce(&JobPool) -> T,
+) -> (T, Throughput) {
+    let start = Instant::now();
+    let value = f(pool);
+    let wall = start.elapsed();
+    let (sims, cycles) = count(&value);
+    (value, Throughput { jobs: pool.jobs(), sims, cycles, wall })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_preserves_order_at_any_worker_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|n| n * 3).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let pool = JobPool::new(jobs);
+            assert_eq!(pool.run(&items, |_, n| n * 3), expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn run_passes_item_indices() {
+        let items = vec!["a", "b", "c"];
+        let idxs = JobPool::new(2).run(&items, |i, _| i);
+        assert_eq!(idxs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn try_run_returns_lowest_indexed_error() {
+        let items: Vec<usize> = (0..50).collect();
+        for jobs in [1, 4, 16] {
+            let pool = JobPool::new(jobs);
+            let r: Result<Vec<usize>, String> = pool.try_run(&items, |_, &n| {
+                if n == 7 || n == 23 {
+                    Err(format!("job {n} failed"))
+                } else {
+                    Ok(n)
+                }
+            });
+            assert_eq!(r.unwrap_err(), "job 7 failed", "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn try_run_all_ok_matches_serial() {
+        let items: Vec<u32> = (0..31).collect();
+        let serial: Result<Vec<u32>, ()> = JobPool::serial().try_run(&items, |_, &n| Ok(n + 1));
+        let parallel = JobPool::new(6).try_run(&items, |_, &n| Ok(n + 1));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u8> = Vec::new();
+        assert!(JobPool::new(8).run(&items, |_, &b| b).is_empty());
+    }
+
+    #[test]
+    fn pool_never_has_zero_workers() {
+        assert_eq!(JobPool::new(0).jobs(), 1);
+    }
+
+    #[test]
+    fn from_args_consumes_the_flag() {
+        let mut args = vec!["--csv".to_string(), "--jobs".to_string(), "3".to_string()];
+        let pool = JobPool::from_args(&mut args);
+        assert_eq!(pool.jobs(), 3);
+        assert_eq!(args, vec!["--csv".to_string()]);
+
+        let mut args = vec!["--jobs=5".to_string()];
+        assert_eq!(JobPool::from_args(&mut args).jobs(), 5);
+        assert!(args.is_empty());
+    }
+
+    #[test]
+    fn throughput_math() {
+        let t = Throughput { jobs: 2, sims: 10, cycles: 5_000_000, wall: Duration::from_secs(2) };
+        assert!((t.sims_per_sec() - 5.0).abs() < 1e-9);
+        assert!((t.cycles_per_sec() - 2_500_000.0).abs() < 1e-3);
+        assert!(t.report().contains("2 job(s)"));
+    }
+}

@@ -6,11 +6,12 @@
 //! results, so a single sweep regenerates everything.
 
 use crate::config::{SimConfig, Variant};
+use crate::engine::JobPool;
 use crate::sim::{RunResult, SimError, Simulator};
 use crate::table::{norm, pct, BarChart, TextTable};
 use sdo_mem::CacheLevel;
 use sdo_uarch::AttackModel;
-use sdo_workloads::{spectre_v1_victim, suite};
+use sdo_workloads::{spectre_v1_victim, suite, Workload};
 
 /// Results of the full sweep: `runs[attack][workload][variant]`, with
 /// variants in [`Variant::ALL`] order.
@@ -59,6 +60,30 @@ impl SuiteResults {
         }
     }
 
+    /// Number of simulations in the sweep.
+    #[must_use]
+    pub fn sims(&self) -> u64 {
+        self.runs.iter().map(|(_, pw)| pw.iter().map(|rs| rs.len() as u64).sum::<u64>()).sum()
+    }
+
+    /// Total simulated cycles across every run of the sweep.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.runs
+            .iter()
+            .map(|(_, pw)| {
+                pw.iter().map(|rs| rs.iter().map(|r| r.cycles).sum::<u64>()).sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// `(sims, cycles)` counts for throughput accounting
+    /// ([`crate::engine::timed`]).
+    #[must_use]
+    pub fn counts(&self) -> (u64, u64) {
+        (self.sims(), self.total_cycles())
+    }
+
     /// Sums a per-run statistic over all workloads of one variant.
     fn sum_stat(&self, attack: AttackModel, variant: Variant, f: impl Fn(&RunResult) -> u64) -> u64 {
         let (_, per_workload) =
@@ -68,20 +93,61 @@ impl SuiteResults {
     }
 }
 
-/// Runs the full suite (10 kernels × 8 variants × 2 attack models).
+/// Runs the full suite (10 kernels × 8 variants × 2 attack models),
+/// serially.
 ///
 /// # Errors
 ///
 /// Returns the first simulation error (hang) encountered.
 pub fn run_suite(sim: &Simulator) -> Result<SuiteResults, SimError> {
-    let kernels = suite();
+    run_suite_with(sim, &JobPool::serial())
+}
+
+/// Runs the full suite across a [`JobPool`]. Results are byte-identical
+/// to [`run_suite`] at any worker count.
+///
+/// # Errors
+///
+/// Returns the canonically-first simulation error (hang) encountered.
+pub fn run_suite_with(sim: &Simulator, pool: &JobPool) -> Result<SuiteResults, SimError> {
+    run_suite_on(sim, &suite(), pool)
+}
+
+/// Runs `kernels` × [`Variant::ALL`] × [`AttackModel::ALL`] across a
+/// [`JobPool`], fanning out one job per `(workload, variant, attack)`
+/// triple and merging in canonical (attack-major, workload, variant)
+/// order. Each job owns a [`Simulator`] clone, core and memory system, so
+/// the merged output is byte-identical to the serial nested loop.
+///
+/// # Errors
+///
+/// Returns the canonically-first simulation error (hang) encountered.
+pub fn run_suite_on(
+    sim: &Simulator,
+    kernels: &[Workload],
+    pool: &JobPool,
+) -> Result<SuiteResults, SimError> {
     let workloads: Vec<String> = kernels.iter().map(|w| w.name().to_string()).collect();
-    let mut runs = Vec::new();
+    let mut jobs = Vec::with_capacity(AttackModel::ALL.len() * kernels.len() * Variant::ALL.len());
     for attack in AttackModel::ALL {
-        let mut per_workload = Vec::new();
-        for w in &kernels {
-            per_workload.push(sim.run_workload_all_variants(w, attack)?);
+        for w in kernels {
+            for &variant in &Variant::ALL {
+                jobs.push((attack, w, variant));
+            }
         }
+    }
+    let flat = pool.try_run(&jobs, |_, &(attack, w, variant)| {
+        let sim = sim.clone();
+        sim.run_workload(w, variant, attack)
+    })?;
+
+    let mut flat = flat.into_iter();
+    let mut runs = Vec::with_capacity(AttackModel::ALL.len());
+    for attack in AttackModel::ALL {
+        let per_workload: Vec<Vec<RunResult>> = kernels
+            .iter()
+            .map(|_| (&mut flat).take(Variant::ALL.len()).collect())
+            .collect();
         runs.push((attack, per_workload));
     }
     Ok(SuiteResults { runs, workloads })
@@ -324,12 +390,21 @@ pub fn table3_report(results: &SuiteResults) -> String {
 ///
 /// Returns the first simulation error encountered.
 pub fn sensitivity_report(base: SimConfig) -> Result<String, SimError> {
+    sensitivity_report_with(base, &JobPool::serial())
+}
+
+/// [`sensitivity_report`] with the sweep points fanned out across a
+/// [`JobPool`].
+///
+/// # Errors
+///
+/// Returns the canonically-first simulation error encountered.
+pub fn sensitivity_report_with(base: SimConfig, pool: &JobPool) -> Result<String, SimError> {
     use sdo_workloads::kernels::hash_lookup;
-    use sdo_workloads::Workload;
 
     let kernel = Workload::new("hash_lookup", hash_lookup(1 << 16, 2000, 5))
         .warmed(0x80_0000, (1 << 16) * 8, CacheLevel::L3);
-    sensitivity_report_for(base, &kernel)
+    sensitivity_report_for_with(base, &kernel, pool)
 }
 
 /// [`sensitivity_report`] over a caller-chosen kernel (lets tests and
@@ -342,13 +417,57 @@ pub fn sensitivity_report_for(
     base: SimConfig,
     kernel: &sdo_workloads::Workload,
 ) -> Result<String, SimError> {
+    sensitivity_report_for_with(base, kernel, &JobPool::serial())
+}
 
+/// The three variants each sensitivity sweep point simulates.
+const SENSITIVITY_VARIANTS: [Variant; 3] = [Variant::Unsafe, Variant::SttLd, Variant::Hybrid];
+
+/// [`sensitivity_report_for`] with every `(sweep point, variant)` pair
+/// fanned out across a [`JobPool`].
+///
+/// # Errors
+///
+/// Returns the canonically-first simulation error encountered.
+pub fn sensitivity_report_for_with(
+    base: SimConfig,
+    kernel: &sdo_workloads::Workload,
+    pool: &JobPool,
+) -> Result<String, SimError> {
     let mut out = String::from(
         "SENSITIVITY: protection overhead vs. microarchitecture
          (hash_lookup kernel, Spectre model; overhead = normalized time - 1)
 
 ",
     );
+
+    const ROBS: [usize; 4] = [64, 128, 192, 256];
+    const MSHRS: [u32; 4] = [4, 8, 16, 32];
+    let mut points: Vec<SimConfig> = Vec::new();
+    for rob in ROBS {
+        let mut cfg = base;
+        cfg.core.rob_entries = rob;
+        // Queues scale with the window as on real designs.
+        cfg.core.lq_entries = (rob / 6).max(8);
+        cfg.core.sq_entries = (rob / 6).max(8);
+        points.push(cfg);
+    }
+    for mshrs in MSHRS {
+        let mut cfg = base;
+        cfg.mem.l1.mshrs = mshrs;
+        cfg.mem.l2.mshrs = mshrs;
+        cfg.mem.l3.mshrs = mshrs;
+        points.push(cfg);
+    }
+
+    let jobs: Vec<(SimConfig, Variant)> = points
+        .iter()
+        .flat_map(|&cfg| SENSITIVITY_VARIANTS.iter().map(move |&v| (cfg, v)))
+        .collect();
+    let flat = pool.try_run(&jobs, |_, &(cfg, variant)| {
+        Simulator::new(cfg).run_workload(kernel, variant, AttackModel::Spectre)
+    })?;
+    let per_point: Vec<&[RunResult]> = flat.chunks(SENSITIVITY_VARIANTS.len()).collect();
 
     let mut rob_table = TextTable::new(vec![
         "ROB entries".into(),
@@ -357,18 +476,10 @@ pub fn sensitivity_report_for(
         "Hybrid ovh".into(),
         "recovered".into(),
     ]);
-    for rob in [64usize, 128, 192, 256] {
-        let mut cfg = base;
-        cfg.core.rob_entries = rob;
-        // Queues scale with the window as on real designs.
-        cfg.core.lq_entries = (rob / 6).max(8);
-        cfg.core.sq_entries = (rob / 6).max(8);
-        let sim = Simulator::new(cfg);
-        let unsafe_ = sim.run_workload(kernel, Variant::Unsafe, AttackModel::Spectre)?;
-        let stt = sim.run_workload(kernel, Variant::SttLd, AttackModel::Spectre)?;
-        let hyb = sim.run_workload(kernel, Variant::Hybrid, AttackModel::Spectre)?;
-        let stt_ovh = stt.normalized_to(&unsafe_) - 1.0;
-        let hyb_ovh = hyb.normalized_to(&unsafe_) - 1.0;
+    for (rob, runs) in ROBS.iter().zip(&per_point[..ROBS.len()]) {
+        let [unsafe_, stt, hyb] = runs else { unreachable!("three variants per point") };
+        let stt_ovh = stt.normalized_to(unsafe_) - 1.0;
+        let hyb_ovh = hyb.normalized_to(unsafe_) - 1.0;
         rob_table.row(vec![
             rob.to_string(),
             unsafe_.cycles.to_string(),
@@ -386,20 +497,13 @@ pub fn sensitivity_report_for(
         "STT{ld} ovh".into(),
         "Hybrid ovh".into(),
     ]);
-    for mshrs in [4u32, 8, 16, 32] {
-        let mut cfg = base;
-        cfg.mem.l1.mshrs = mshrs;
-        cfg.mem.l2.mshrs = mshrs;
-        cfg.mem.l3.mshrs = mshrs;
-        let sim = Simulator::new(cfg);
-        let unsafe_ = sim.run_workload(kernel, Variant::Unsafe, AttackModel::Spectre)?;
-        let stt = sim.run_workload(kernel, Variant::SttLd, AttackModel::Spectre)?;
-        let hyb = sim.run_workload(kernel, Variant::Hybrid, AttackModel::Spectre)?;
+    for (mshrs, runs) in MSHRS.iter().zip(&per_point[ROBS.len()..]) {
+        let [unsafe_, stt, hyb] = runs else { unreachable!("three variants per point") };
         mshr_table.row(vec![
             mshrs.to_string(),
             unsafe_.cycles.to_string(),
-            pct(stt.normalized_to(&unsafe_) - 1.0),
-            pct(hyb.normalized_to(&unsafe_) - 1.0),
+            pct(stt.normalized_to(unsafe_) - 1.0),
+            pct(hyb.normalized_to(unsafe_) - 1.0),
         ]);
     }
     out.push_str(&mshr_table.render());
@@ -431,29 +535,40 @@ pub struct PentestOutcome {
 ///
 /// Returns a [`SimError`] if any victim run hangs.
 pub fn pentest(sim: &Simulator) -> Result<Vec<PentestOutcome>, SimError> {
+    pentest_with(sim, &JobPool::serial())
+}
+
+/// [`pentest`] with each `(variant, attack)` victim run fanned out across
+/// a [`JobPool`].
+///
+/// # Errors
+///
+/// Returns the canonically-first [`SimError`] if any victim run hangs.
+pub fn pentest_with(sim: &Simulator, pool: &JobPool) -> Result<Vec<PentestOutcome>, SimError> {
     let scenario = spectre_v1_victim();
-    let mut outcomes = Vec::new();
+    let mut jobs = Vec::new();
     for attack in AttackModel::ALL {
         for &variant in &Variant::ALL {
             if variant == Variant::Unsafe && attack == AttackModel::Futuristic {
                 continue; // Unsafe has no attack model; test it once.
             }
-            let (_result, mem) =
-                sim.run_with_memory(&scenario.program, variant, attack)?;
-            let mut recovered = Vec::new();
-            for b in 0..=255u8 {
-                if b == scenario.trained_byte {
-                    continue;
-                }
-                if mem.residency(0, scenario.probe_addr(b)) != CacheLevel::Dram {
-                    recovered.push(b);
-                }
-            }
-            let leaked = recovered.contains(&scenario.secret);
-            outcomes.push(PentestOutcome { variant, attack, recovered, leaked });
+            jobs.push((variant, attack));
         }
     }
-    Ok(outcomes)
+    pool.try_run(&jobs, |_, &(variant, attack)| {
+        let (_result, mem) = sim.clone().run_with_memory(&scenario.program, variant, attack)?;
+        let mut recovered = Vec::new();
+        for b in 0..=255u8 {
+            if b == scenario.trained_byte {
+                continue;
+            }
+            if mem.residency(0, scenario.probe_addr(b)) != CacheLevel::Dram {
+                recovered.push(b);
+            }
+        }
+        let leaked = recovered.contains(&scenario.secret);
+        Ok(PentestOutcome { variant, attack, recovered, leaked })
+    })
 }
 
 /// Renders the penetration-test report.
@@ -489,8 +604,18 @@ pub fn pentest_report(outcomes: &[PentestOutcome]) -> String {
 ///
 /// Returns the first simulation error encountered.
 pub fn full_report(cfg: SimConfig) -> Result<String, SimError> {
+    full_report_with(cfg, &JobPool::serial())
+}
+
+/// [`full_report`] with the sweep and pentest fanned out across a
+/// [`JobPool`].
+///
+/// # Errors
+///
+/// Returns the canonically-first simulation error encountered.
+pub fn full_report_with(cfg: SimConfig, pool: &JobPool) -> Result<String, SimError> {
     let sim = Simulator::new(cfg);
-    let results = run_suite(&sim)?;
+    let results = run_suite_with(&sim, pool)?;
     let mut out = String::new();
     out.push_str(&cfg.render_table_i());
     out.push_str("\n\n");
@@ -501,7 +626,7 @@ pub fn full_report(cfg: SimConfig) -> Result<String, SimError> {
     out.push_str(&fig8_report(&results));
     out.push_str(&table3_report(&results));
     out.push('\n');
-    out.push_str(&pentest_report(&pentest(&sim)?));
+    out.push_str(&pentest_report(&pentest_with(&sim, pool)?));
     Ok(out)
 }
 

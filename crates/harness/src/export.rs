@@ -1,8 +1,9 @@
 //! CSV export of sweep results, for plotting outside the simulator
 //! (the figures in the paper are bar/scatter charts of exactly these
-//! columns).
+//! columns), plus JSON export of harness throughput measurements.
 
 use crate::config::Variant;
+use crate::engine::Throughput;
 use crate::experiments::SuiteResults;
 use crate::sim::RunResult;
 
@@ -92,12 +93,71 @@ pub fn fig6_csv(results: &SuiteResults) -> String {
     out
 }
 
+/// Serializes one [`Throughput`] as a JSON object (hand-rolled — the
+/// workspace has no serde and every field is a plain number).
+#[must_use]
+pub fn throughput_json(t: &Throughput) -> String {
+    format!(
+        "{{\"jobs\": {}, \"sims\": {}, \"cycles\": {}, \"wall_secs\": {:.6}, \
+         \"sims_per_sec\": {:.3}, \"cycles_per_sec\": {:.1}}}",
+        t.jobs,
+        t.sims,
+        t.cycles,
+        t.wall.as_secs_f64(),
+        t.sims_per_sec(),
+        t.cycles_per_sec(),
+    )
+}
+
+/// Serializes a benchmark session — named per-phase [`Throughput`]s plus
+/// an optional `--jobs 1` vs `--jobs N` suite speedup — as the
+/// `BENCH_suite.json` document the `all` binary emits.
+#[must_use]
+pub fn bench_suite_json(phases: &[(&str, Throughput)], speedup: Option<(Throughput, Throughput)>) -> String {
+    let total_wall: f64 = phases.iter().map(|(_, t)| t.wall.as_secs_f64()).sum();
+    let total_sims: u64 = phases.iter().map(|(_, t)| t.sims).sum();
+    let total_cycles: u64 = phases.iter().map(|(_, t)| t.cycles).sum();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"total_wall_secs\": {total_wall:.6},\n"));
+    out.push_str(&format!("  \"total_sims\": {total_sims},\n"));
+    out.push_str(&format!("  \"total_cycles\": {total_cycles},\n"));
+    out.push_str(&format!(
+        "  \"total_sims_per_sec\": {:.3},\n",
+        total_sims as f64 / total_wall.max(1e-9)
+    ));
+    // Recorded so a speedup number can be read against the hardware that
+    // produced it — 4 jobs on a 1-core host legitimately measure ~1.0x.
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    ));
+    out.push_str("  \"phases\": {\n");
+    for (i, (name, t)) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        out.push_str(&format!("    \"{name}\": {}{comma}\n", throughput_json(t)));
+    }
+    out.push_str("  }");
+    if let Some((serial, parallel)) = speedup {
+        out.push_str(",\n  \"suite_speedup\": {\n");
+        out.push_str(&format!("    \"serial\": {},\n", throughput_json(&serial)));
+        out.push_str(&format!("    \"parallel\": {},\n", throughput_json(&parallel)));
+        out.push_str(&format!(
+            "    \"speedup\": {:.3}\n",
+            serial.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9)
+        ));
+        out.push_str("  }");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::SimConfig;
     use crate::sim::Simulator;
     use sdo_uarch::AttackModel;
+    use std::time::Duration;
 
     fn tiny_results() -> SuiteResults {
         let sim = Simulator::new(SimConfig::tiny());
@@ -135,6 +195,37 @@ mod tests {
         assert!(lines[0].starts_with("attack,workload,STT{ld}"));
         // The Unsafe column is the implicit 1.0 baseline and is omitted.
         assert!(!lines[0].contains("Unsafe"));
+    }
+
+    #[test]
+    fn throughput_json_is_wellformed() {
+        let t = Throughput {
+            jobs: 4,
+            sims: 160,
+            cycles: 1_000_000,
+            wall: Duration::from_millis(500),
+        };
+        let j = throughput_json(&t);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"jobs\": 4"));
+        assert!(j.contains("\"sims\": 160"));
+        assert!(j.contains("\"sims_per_sec\": 320.000"));
+    }
+
+    #[test]
+    fn bench_suite_json_structure() {
+        let t1 = Throughput { jobs: 1, sims: 10, cycles: 100, wall: Duration::from_secs(4) };
+        let t4 = Throughput { jobs: 4, sims: 10, cycles: 100, wall: Duration::from_secs(1) };
+        let j = bench_suite_json(&[("suite", t4), ("pentest", t1)], Some((t1, t4)));
+        assert!(j.contains("\"phases\""));
+        assert!(j.contains("\"suite\""));
+        assert!(j.contains("\"pentest\""));
+        assert!(j.contains("\"suite_speedup\""));
+        assert!(j.contains("\"speedup\": 4.000"));
+        assert!(j.contains("\"total_sims\": 20"));
+        assert!(j.contains("\"host_cpus\""));
+        // Balanced braces: crude but effective well-formedness check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

@@ -31,10 +31,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod engine;
 pub mod experiments;
 pub mod export;
 pub mod sim;
 pub mod table;
 
 pub use config::{SimConfig, Variant};
+pub use engine::{JobPool, Throughput};
 pub use sim::{RunResult, SimError, Simulator};

@@ -33,7 +33,7 @@ impl fmt::Display for SimError {
 impl Error for SimError {}
 
 /// Results of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Workload name.
     pub workload: String,

@@ -1,0 +1,87 @@
+//! Regression tests for the parallel experiment engine: the pool must be
+//! a pure throughput device — byte-identical results at any worker count,
+//! canonical first-error-wins semantics, clean shutdown on failure.
+
+use sdo_harness::experiments::{fig6_report, run_suite_on};
+use sdo_harness::{JobPool, SimConfig, SimError, Simulator, Variant};
+use sdo_mem::CacheLevel;
+use sdo_uarch::AttackModel;
+use sdo_workloads::kernels::{hash_lookup, l1_resident, stream};
+use sdo_workloads::Workload;
+
+/// A small suite that exercises loads, branches and Obl-Lds but finishes
+/// in well under a second across the full variant × attack cross product.
+fn mini_suite() -> Vec<Workload> {
+    vec![
+        Workload::new("l1_resident", l1_resident(200, 10)),
+        Workload::new("stream", stream(512, 1, 2)).warmed(0x20_0000, 512 * 8, CacheLevel::L3),
+        Workload::new("hash_lookup", hash_lookup(1 << 10, 120, 5))
+            .warmed(0x80_0000, (1 << 10) * 8, CacheLevel::L3),
+    ]
+}
+
+#[test]
+fn parallel_suite_is_byte_identical_to_serial() {
+    let sim = Simulator::new(SimConfig::table_i());
+    let kernels = mini_suite();
+    let serial = run_suite_on(&sim, &kernels, &JobPool::new(1)).expect("serial suite completes");
+    for jobs in [2, 3, 8] {
+        let par =
+            run_suite_on(&sim, &kernels, &JobPool::new(jobs)).expect("parallel suite completes");
+        assert_eq!(serial.workloads, par.workloads, "workload order at {jobs} jobs");
+        // The merged RunResult stream must match field-for-field, in
+        // canonical (attack, workload, variant) order.
+        for ((a_ser, pw_ser), (a_par, pw_par)) in serial.runs.iter().zip(&par.runs) {
+            assert_eq!(a_ser, a_par);
+            for (runs_ser, runs_par) in pw_ser.iter().zip(pw_par) {
+                assert_eq!(runs_ser, runs_par, "RunResult stream diverged at {jobs} jobs");
+            }
+        }
+        // And the rendered artifact must be byte-identical.
+        assert_eq!(
+            fig6_report(&serial),
+            fig6_report(&par),
+            "fig6 text diverged at {jobs} jobs"
+        );
+    }
+}
+
+#[test]
+fn pool_reports_the_canonically_first_hang() {
+    // A budget small enough that every run of the first workload hangs,
+    // while later jobs may or may not complete — the returned error must
+    // still be the canonically-first job's, independent of scheduling.
+    let mut cfg = SimConfig::table_i();
+    cfg.max_cycles = 500;
+    let sim = Simulator::new(cfg);
+    let kernels = vec![
+        Workload::new("hog", hash_lookup(1 << 12, 4000, 7)),
+        Workload::new("small", l1_resident(50, 1)),
+    ];
+    let expected = SimError::Hang { max_cycles: 500, workload: "hash_lookup".to_string() };
+    for jobs in [1, 4] {
+        // Repeat to give nondeterministic scheduling a chance to slip up.
+        for _ in 0..3 {
+            let err = run_suite_on(&sim, &kernels, &JobPool::new(jobs))
+                .expect_err("the hog workload must exceed the budget");
+            assert_eq!(err, expected, "non-canonical error at {jobs} jobs");
+        }
+    }
+}
+
+#[test]
+fn pool_survives_an_error_and_runs_again() {
+    // After an Err the pool (a value type over std::thread::scope) must
+    // be reusable: no poisoned state, no leaked workers.
+    let pool = JobPool::new(4);
+    let mut cfg = SimConfig::table_i();
+    cfg.max_cycles = 500;
+    let failing = Simulator::new(cfg);
+    let kernels = vec![Workload::new("hog", hash_lookup(1 << 12, 4000, 7))];
+    assert!(run_suite_on(&failing, &kernels, &pool).is_err());
+
+    let ok_sim = Simulator::new(SimConfig::table_i());
+    let ok_kernels = vec![Workload::new("small", l1_resident(50, 1))];
+    let results = run_suite_on(&ok_sim, &ok_kernels, &pool).expect("pool reusable after error");
+    assert_eq!(results.sims(), (Variant::ALL.len() * AttackModel::ALL.len()) as u64);
+}

@@ -73,7 +73,11 @@ struct Slot {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CacheArray {
-    sets: Vec<Vec<Slot>>,
+    /// All ways of all sets in one flat allocation: set `i` owns
+    /// `slots[i * ways .. (i + 1) * ways]`. `Mesi::Invalid` marks an
+    /// empty way, so scans need no per-set length bookkeeping and the
+    /// whole structure is a single contiguous block.
+    slots: Vec<Slot>,
     ways: usize,
     num_sets: u64,
     bank_busy: Vec<Cycle>,
@@ -91,9 +95,13 @@ impl CacheArray {
     #[must_use]
     pub fn new(params: &CacheParams, bank_occupancy: Cycle) -> Self {
         let num_sets = params.num_sets();
+        let ways = params.ways as usize;
         CacheArray {
-            sets: vec![Vec::with_capacity(params.ways as usize); num_sets as usize],
-            ways: params.ways as usize,
+            slots: vec![
+                Slot { tag: 0, state: Mesi::Invalid, last_use: 0 };
+                num_sets as usize * ways
+            ],
+            ways,
             num_sets,
             bank_busy: vec![0; params.banks as usize],
             bank_occupancy,
@@ -101,8 +109,9 @@ impl CacheArray {
         }
     }
 
-    fn set_index(&self, line: Addr) -> usize {
-        ((line / LINE_BYTES) % self.num_sets) as usize
+    fn set_range(&self, line: Addr) -> std::ops::Range<usize> {
+        let idx = ((line / LINE_BYTES) % self.num_sets) as usize * self.ways;
+        idx..idx + self.ways
     }
 
     /// Probes for a line **without** updating replacement state
@@ -110,19 +119,20 @@ impl CacheArray {
     #[must_use]
     pub fn probe(&self, addr: Addr) -> Mesi {
         let line = line_of(addr);
-        let set = &self.sets[self.set_index(line)];
-        set.iter().find(|s| s.tag == line).map_or(Mesi::Invalid, |s| s.state)
+        self.slots[self.set_range(line)]
+            .iter()
+            .find(|s| s.state.is_valid() && s.tag == line)
+            .map_or(Mesi::Invalid, |s| s.state)
     }
 
     /// Looks up a line, updating LRU state on a hit.
     #[must_use]
     pub fn touch(&mut self, addr: Addr) -> Mesi {
         let line = line_of(addr);
-        let idx = self.set_index(line);
+        let range = self.set_range(line);
         self.use_tick += 1;
         let tick = self.use_tick;
-        let set = &mut self.sets[idx];
-        match set.iter_mut().find(|s| s.tag == line) {
+        match self.slots[range].iter_mut().find(|s| s.state.is_valid() && s.tag == line) {
             Some(slot) => {
                 slot.last_use = tick;
                 slot.state
@@ -135,11 +145,11 @@ impl CacheArray {
     /// the line is not present (caller must insert instead).
     pub fn set_state(&mut self, addr: Addr, state: Mesi) -> bool {
         let line = line_of(addr);
-        let idx = self.set_index(line);
         if state == Mesi::Invalid {
             return self.invalidate(addr).is_valid();
         }
-        match self.sets[idx].iter_mut().find(|s| s.tag == line) {
+        let range = self.set_range(line);
+        match self.slots[range].iter_mut().find(|s| s.state.is_valid() && s.tag == line) {
             Some(slot) => {
                 slot.state = state;
                 true
@@ -154,41 +164,46 @@ impl CacheArray {
     pub fn insert(&mut self, addr: Addr, state: Mesi) -> Option<EvictedLine> {
         assert!(state.is_valid(), "cannot insert a line in Invalid state");
         let line = line_of(addr);
-        let idx = self.set_index(line);
+        let range = self.set_range(line);
         self.use_tick += 1;
         let tick = self.use_tick;
-        let ways = self.ways;
-        let set = &mut self.sets[idx];
+        let set = &mut self.slots[range];
 
-        if let Some(slot) = set.iter_mut().find(|s| s.tag == line) {
-            slot.state = state;
-            slot.last_use = tick;
+        // One pass finds the matching way, a free way, and the LRU victim.
+        let mut free: Option<usize> = None;
+        let mut victim = 0usize;
+        let mut victim_use = u64::MAX;
+        for (i, s) in set.iter_mut().enumerate() {
+            if !s.state.is_valid() {
+                if free.is_none() {
+                    free = Some(i);
+                }
+            } else if s.tag == line {
+                s.state = state;
+                s.last_use = tick;
+                return None;
+            } else if s.last_use < victim_use {
+                victim_use = s.last_use;
+                victim = i;
+            }
+        }
+
+        if let Some(i) = free {
+            set[i] = Slot { tag: line, state, last_use: tick };
             return None;
         }
 
-        if set.len() < ways {
-            set.push(Slot { tag: line, state, last_use: tick });
-            return None;
-        }
-
-        let victim_idx = set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, s)| s.last_use)
-            .map(|(i, _)| i)
-            .expect("full set is non-empty");
-        let victim = set[victim_idx];
-        set[victim_idx] = Slot { tag: line, state, last_use: tick };
-        Some(EvictedLine { line: victim.tag, dirty: victim.state == Mesi::Modified })
+        let old = set[victim];
+        set[victim] = Slot { tag: line, state, last_use: tick };
+        Some(EvictedLine { line: old.tag, dirty: old.state == Mesi::Modified })
     }
 
     /// Removes a line; returns its previous state.
     pub fn invalidate(&mut self, addr: Addr) -> Mesi {
         let line = line_of(addr);
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        match set.iter().position(|s| s.tag == line) {
-            Some(pos) => set.swap_remove(pos).state,
+        let range = self.set_range(line);
+        match self.slots[range].iter_mut().find(|s| s.state.is_valid() && s.tag == line) {
+            Some(slot) => std::mem::replace(&mut slot.state, Mesi::Invalid),
             None => Mesi::Invalid,
         }
     }
@@ -202,12 +217,12 @@ impl CacheArray {
     /// Number of valid lines currently resident.
     #[must_use]
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.slots.iter().filter(|s| s.state.is_valid()).count()
     }
 
     /// All resident line addresses (unordered); for tests and debugging.
     pub fn lines(&self) -> impl Iterator<Item = (Addr, Mesi)> + '_ {
-        self.sets.iter().flatten().map(|s| (s.tag, s.state))
+        self.slots.iter().filter(|s| s.state.is_valid()).map(|s| (s.tag, s.state))
     }
 
     /// Bank index serving `addr`.

@@ -68,7 +68,7 @@ pub use interconnect::Mesh;
 pub use mshr::MshrFile;
 pub use stats::MemStats;
 pub use system::{
-    AccessResult, MemorySystem, OblLookup, OblReject, OblResponse, ServedBy, StoreResult,
+    AccessResult, MemorySystem, OblLookup, OblReject, OblResponse, OblResponses, ServedBy, StoreResult,
 };
 pub use tlb::Tlb;
 

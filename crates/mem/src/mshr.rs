@@ -35,14 +35,43 @@ struct Entry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MshrFile {
-    entries: Vec<Option<Entry>>,
+    /// Entry `i` is meaningful only when bit `i` of `occupied` is set.
+    entries: Vec<Entry>,
+    /// Occupancy bitmask — one bit per register. Lets every scan skip
+    /// straight to live entries (or the first free one) instead of
+    /// walking the whole file.
+    occupied: u64,
+}
+
+/// Iterates the indices of the set bits of `mask`, ascending.
+fn set_bits(mask: u64) -> impl Iterator<Item = usize> {
+    std::iter::successors(
+        (mask != 0).then_some(mask),
+        |m| {
+            let rest = m & (m - 1);
+            (rest != 0).then_some(rest)
+        },
+    )
+    .map(|m| m.trailing_zeros() as usize)
 }
 
 impl MshrFile {
     /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` exceeds 64 (the occupancy mask width; real
+    /// MSHR files are far smaller).
     #[must_use]
     pub fn new(capacity: u32) -> Self {
-        MshrFile { entries: vec![None; capacity as usize] }
+        assert!(capacity <= 64, "MSHR file capacity limited to 64 registers");
+        MshrFile {
+            entries: vec![
+                Entry { line: 0, free_at: 0, private: false, fill_depth: 0 };
+                capacity as usize
+            ],
+            occupied: 0,
+        }
     }
 
     /// Total number of registers.
@@ -51,21 +80,35 @@ impl MshrFile {
         self.entries.len()
     }
 
+    fn full_mask(&self) -> u64 {
+        match self.entries.len() {
+            64 => u64::MAX,
+            n => (1u64 << n) - 1,
+        }
+    }
+
     /// Registers still occupied at cycle `now`.
     #[must_use]
     pub fn in_use(&self, now: Cycle) -> usize {
-        self.entries
-            .iter()
-            .filter(|e| matches!(e, Some(e) if e.free_at > now))
-            .count()
+        set_bits(self.occupied).filter(|&i| self.entries[i].free_at > now).count()
     }
 
     fn reap(&mut self, now: Cycle) {
-        for e in &mut self.entries {
-            if matches!(e, Some(entry) if entry.free_at <= now) {
-                *e = None;
+        for i in set_bits(self.occupied) {
+            if self.entries[i].free_at <= now {
+                self.occupied &= !(1 << i);
             }
         }
+    }
+
+    fn first_free(&self) -> Option<usize> {
+        let free = !self.occupied & self.full_mask();
+        (free != 0).then(|| free.trailing_zeros() as usize)
+    }
+
+    fn fill(&mut self, i: usize, entry: Entry) {
+        self.entries[i] = entry;
+        self.occupied |= 1 << i;
     }
 
     /// Allocates an entry for a normal miss on `addr`'s line, or merges
@@ -81,8 +124,8 @@ impl MshrFile {
         }
         self.reap(now);
         let line = line_of(addr);
-        let slot = self.entries.iter_mut().find(|e| e.is_none())?;
-        *slot = Some(Entry { line, free_at: complete_at, private: false, fill_depth: 0 });
+        let i = self.first_free()?;
+        self.fill(i, Entry { line, free_at: complete_at, private: false, fill_depth: 0 });
         Some(complete_at)
     }
 
@@ -91,9 +134,8 @@ impl MshrFile {
     #[must_use]
     pub fn outstanding(&self, addr: Addr, now: Cycle) -> Option<(Cycle, u8)> {
         let line = line_of(addr);
-        self.entries
-            .iter()
-            .flatten()
+        set_bits(self.occupied)
+            .map(|i| &self.entries[i])
             .find(|e| !e.private && e.line == line && e.free_at > now)
             .map(|e| (e.free_at, e.fill_depth))
     }
@@ -101,17 +143,13 @@ impl MshrFile {
     /// Earliest cycle `>= arrive` at which a register is available.
     #[must_use]
     pub fn earliest_slot(&self, arrive: Cycle) -> Cycle {
-        if self
-            .entries
-            .iter()
-            .any(|e| !matches!(e, Some(e) if e.free_at > arrive))
+        if self.occupied != self.full_mask()
+            || set_bits(self.occupied).any(|i| self.entries[i].free_at <= arrive)
         {
             return arrive;
         }
-        self.entries
-            .iter()
-            .flatten()
-            .map(|e| e.free_at)
+        set_bits(self.occupied)
+            .map(|i| self.entries[i].free_at)
             .min()
             .unwrap_or(arrive)
             .max(arrive)
@@ -125,10 +163,10 @@ impl MshrFile {
     /// Panics (debug builds) if no register is actually free at `now`.
     pub fn force_alloc(&mut self, addr: Addr, now: Cycle, free_at: Cycle, fill_depth: u8) {
         self.reap(now);
-        let slot = self.entries.iter_mut().find(|e| e.is_none());
+        let slot = self.first_free();
         debug_assert!(slot.is_some(), "force_alloc without a free MSHR");
-        if let Some(slot) = slot {
-            *slot = Some(Entry { line: line_of(addr), free_at, private: false, fill_depth });
+        if let Some(i) = slot {
+            self.fill(i, Entry { line: line_of(addr), free_at, private: false, fill_depth });
         }
     }
 
@@ -138,9 +176,9 @@ impl MshrFile {
     /// reveals only occupancy, which is public.
     pub fn alloc_private(&mut self, addr: Addr, now: Cycle, free_at: Cycle) -> bool {
         self.reap(now);
-        match self.entries.iter_mut().find(|e| e.is_none()) {
-            Some(slot) => {
-                *slot = Some(Entry { line: line_of(addr), free_at, private: true, fill_depth: 0 });
+        match self.first_free() {
+            Some(i) => {
+                self.fill(i, Entry { line: line_of(addr), free_at, private: true, fill_depth: 0 });
                 true
             }
             None => false,
@@ -150,9 +188,8 @@ impl MshrFile {
     /// Whether at least one register is free at `now`.
     #[must_use]
     pub fn has_free(&self, now: Cycle) -> bool {
-        self.entries
-            .iter()
-            .any(|e| !matches!(e, Some(e) if e.free_at > now))
+        self.occupied != self.full_mask()
+            || set_bits(self.occupied).any(|i| self.entries[i].free_at <= now)
     }
 }
 

@@ -97,6 +97,43 @@ pub struct OblResponse {
     pub at: Cycle,
 }
 
+/// The per-level responses of one lookup, stored inline (at most one per
+/// cache level, so a fixed array beats a heap allocation on the hot
+/// path). Derefs to a slice — iterate and index it like a `Vec`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OblResponses {
+    buf: [OblResponse; 3],
+    len: u8,
+}
+
+impl OblResponses {
+    const EMPTY: OblResponse = OblResponse { level: CacheLevel::L1, hit: false, at: 0 };
+
+    fn new() -> Self {
+        OblResponses { buf: [Self::EMPTY; 3], len: 0 }
+    }
+
+    fn push(&mut self, r: OblResponse) {
+        self.buf[self.len as usize] = r;
+        self.len += 1;
+    }
+}
+
+impl std::ops::Deref for OblResponses {
+    type Target = [OblResponse];
+    fn deref(&self) -> &[OblResponse] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a OblResponses {
+    type Item = &'a OblResponse;
+    type IntoIter = std::slice::Iter<'a, OblResponse>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// Outcome of a data-oblivious load lookup (the memory-side half of an
 /// Obl-Ld operation).
 ///
@@ -106,7 +143,7 @@ pub struct OblResponse {
 #[derive(Debug, Clone, PartialEq)]
 pub struct OblLookup {
     /// One response per probed level, L1 outward.
-    pub responses: Vec<OblResponse>,
+    pub responses: OblResponses,
     /// Whether the L1 TLB probe hit.
     pub tlb_hit: bool,
     /// The loaded word, present iff some level hit (and the TLB probe
@@ -144,10 +181,22 @@ struct DirEntry {
 }
 
 impl DirEntry {
-    fn others(&self, core: usize) -> impl Iterator<Item = usize> + '_ {
-        let mask = self.sharers & !(1 << core);
-        (0..64).filter(move |c| mask & (1 << c) != 0)
+    /// Bitmask of sharers other than `core`.
+    fn others_mask(&self, core: usize) -> u64 {
+        self.sharers & !(1 << core)
     }
+}
+
+/// Iterates the core indices set in `mask`, ascending.
+fn cores_in(mask: u64) -> impl Iterator<Item = usize> {
+    std::iter::successors(
+        (mask != 0).then_some(mask),
+        |m| {
+            let rest = m & (m - 1);
+            (rest != 0).then_some(rest)
+        },
+    )
+    .map(|m| m.trailing_zeros() as usize)
 }
 
 /// The full memory hierarchy shared by all simulated cores.
@@ -521,17 +570,17 @@ impl MemorySystem {
             self.stats.l3_hits += 1;
             let entry = self.dir.entry(line).or_default();
             let owner = entry.owner;
-            let others: Vec<usize> = entry.others(core).collect();
+            let others = entry.others_mask(core);
 
             if rfo {
                 // Invalidate every other copy, grant M.
-                for o in &others {
-                    self.invalidate_private(*o, line);
+                for o in cores_in(others) {
+                    self.invalidate_private(o, line);
                 }
                 let e = self.dir.entry(line).or_default();
                 e.sharers = 1 << core;
                 e.owner = Some(core);
-                let penalty = if others.is_empty() { 0 } else { go };
+                let penalty = if others == 0 { 0 } else { go };
                 return (s3 + l3_lat + go + penalty, ServedBy::L3);
             }
 
@@ -674,9 +723,8 @@ impl MemorySystem {
             // Upgrade: invalidate other sharers through the home slice.
             let slice = self.mesh.slice_of(addr);
             let go = self.mesh.latency(core, slice);
-            let others: Vec<usize> =
-                self.dir.get(&line).map(|e| e.others(core).collect()).unwrap_or_default();
-            for o in others {
+            let others = self.dir.get(&line).map_or(0, |e| e.others_mask(core));
+            for o in cores_in(others) {
                 self.invalidate_private(o, line);
             }
             let e = self.dir.entry(line).or_default();
@@ -745,7 +793,7 @@ impl MemorySystem {
             self.stats.tlb_probe_misses += 1;
         }
 
-        let mut responses = Vec::with_capacity(max_level.depth() as usize);
+        let mut responses = OblResponses::new();
         let t0 = now + self.cfg.tlb.hit_latency;
 
         // L1: block all banks, tag-check only.

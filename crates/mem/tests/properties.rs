@@ -1,80 +1,105 @@
-//! Property-based tests for the memory substrate — including the central
-//! security property of the data-oblivious lookup (Definition 2).
+//! Randomized property tests for the memory substrate — including the
+//! central security property of the data-oblivious lookup (Definition 2).
+//!
+//! Cases are driven by the deterministic [`SdoRng`] stream, so every run
+//! explores the same access histories and failures reproduce exactly.
 
-use proptest::prelude::*;
-use sdo_mem::{
-    CacheArray, CacheLevel, CacheParams, MemConfig, MemorySystem, Mesi, MshrFile,
-};
+use sdo_mem::{CacheArray, CacheLevel, CacheParams, MemConfig, MemorySystem, Mesi, MshrFile};
+use sdo_rng::SdoRng;
 
 fn small_cache() -> CacheArray {
     let params = CacheParams { size_bytes: 1024, ways: 2, latency: 2, banks: 2, mshrs: 4 };
     CacheArray::new(&params, 2)
 }
 
-proptest! {
-    /// Residency never exceeds capacity, whatever the insertion sequence.
-    #[test]
-    fn cache_never_overfills(lines in prop::collection::vec(0u64..4096, 1..200)) {
+/// Residency never exceeds capacity, whatever the insertion sequence.
+#[test]
+fn cache_never_overfills() {
+    let mut rng = SdoRng::seed_from_u64(0x3e3_0000);
+    for _ in 0..64 {
         let mut c = small_cache();
-        for l in lines {
+        for _ in 0..rng.gen_range(1usize..200) {
+            let l = rng.gen_range(0u64..4096);
             let _ = c.insert(l * 64, Mesi::Exclusive);
-            prop_assert!(c.resident_lines() <= 16, "1 KiB / 64 B = 16 lines max");
+            assert!(c.resident_lines() <= 16, "1 KiB / 64 B = 16 lines max");
         }
     }
+}
 
-    /// Probe and touch agree on presence (they differ only in LRU effect).
-    #[test]
-    fn probe_and_touch_agree(lines in prop::collection::vec(0u64..512, 1..100)) {
+/// Probe and touch agree on presence (they differ only in LRU effect).
+#[test]
+fn probe_and_touch_agree() {
+    let mut rng = SdoRng::seed_from_u64(0x3e3_0001);
+    for _ in 0..64 {
         let mut c = small_cache();
-        for (i, l) in lines.iter().enumerate() {
+        for i in 0..rng.gen_range(1usize..100) {
+            let l = rng.gen_range(0u64..512);
             if i % 3 == 0 {
                 let _ = c.insert(l * 64, Mesi::Shared);
             }
             let probed = c.probe(l * 64);
             let touched = c.touch(l * 64);
-            prop_assert_eq!(probed, touched);
+            assert_eq!(probed, touched);
         }
     }
+}
 
-    /// Inserting a line makes exactly that line present; invalidating
-    /// removes exactly it.
-    #[test]
-    fn insert_invalidate_roundtrip(line in 0u64..100_000, other in 0u64..100_000) {
-        prop_assume!(line / 64 != other / 64);
+/// Inserting a line makes exactly that line present; invalidating removes
+/// exactly it.
+#[test]
+fn insert_invalidate_roundtrip() {
+    let mut rng = SdoRng::seed_from_u64(0x3e3_0002);
+    let mut checked = 0;
+    while checked < 256 {
+        let line = rng.gen_range(0u64..100_000);
+        let other = rng.gen_range(0u64..100_000);
+        if line / 64 == other / 64 {
+            continue;
+        }
+        checked += 1;
         let mut c = small_cache();
         c.insert(line, Mesi::Modified);
-        prop_assert!(c.contains(line));
-        prop_assert_eq!(c.invalidate(line), Mesi::Modified);
-        prop_assert!(!c.contains(line));
-        prop_assert_eq!(c.invalidate(other), Mesi::Invalid);
+        assert!(c.contains(line));
+        assert_eq!(c.invalidate(line), Mesi::Modified);
+        assert!(!c.contains(line));
+        assert_eq!(c.invalidate(other), Mesi::Invalid);
     }
+}
 
-    /// MSHR occupancy is bounded and frees over time.
-    #[test]
-    fn mshr_occupancy_bounded(reqs in prop::collection::vec((0u64..64, 1u64..100), 1..60)) {
+/// MSHR occupancy is bounded and frees over time.
+#[test]
+fn mshr_occupancy_bounded() {
+    let mut rng = SdoRng::seed_from_u64(0x3e3_0003);
+    for _ in 0..128 {
         let mut m = MshrFile::new(4);
         let mut now = 0;
-        for (line, dur) in reqs {
+        for _ in 0..rng.gen_range(1usize..60) {
+            let line = rng.gen_range(0u64..64);
+            let dur = rng.gen_range(1u64..100);
             now += 1;
             let _ = m.alloc_or_merge(line * 64, now, now + dur);
-            prop_assert!(m.in_use(now) <= 4);
+            assert!(m.in_use(now) <= 4);
         }
-        prop_assert_eq!(m.in_use(now + 100), 0, "all entries expire");
+        assert_eq!(m.in_use(now + 100), 0, "all entries expire");
     }
+}
 
-    /// **Definition 2 (data obliviousness):** for any prior access
-    /// history and any two probe addresses, an oblivious lookup to the
-    /// same predicted level produces identical per-level response times
-    /// and identical completion — timing is a function of the prediction
-    /// and public occupancy only, never of the address.
-    #[test]
-    fn obl_lookup_timing_is_address_independent(
-        warm in prop::collection::vec(0u64..256, 0..20),
-        addr_a in 0u64..1_000_000,
-        addr_b in 0u64..1_000_000,
-        depth in 1u8..=3,
-        start in 0u64..10_000,
-    ) {
+/// **Definition 2 (data obliviousness):** for any prior access history and
+/// any two probe addresses, an oblivious lookup to the same predicted
+/// level produces identical per-level response times and identical
+/// completion — timing is a function of the prediction and public
+/// occupancy only, never of the address.
+#[test]
+fn obl_lookup_timing_is_address_independent() {
+    let mut rng = SdoRng::seed_from_u64(0x3e3_0004);
+    for _ in 0..96 {
+        let warm_len = rng.gen_range(0usize..20);
+        let warm: Vec<u64> = (0..warm_len).map(|_| rng.gen_range(0u64..256)).collect();
+        let addr_a = rng.gen_range(0u64..1_000_000);
+        let addr_b = rng.gen_range(0u64..1_000_000);
+        let depth = rng.gen_range(1u8..=3);
+        let start = rng.gen_range(0u64..10_000);
+
         let level = CacheLevel::from_depth_clamped(depth);
         let mut m = MemorySystem::new(MemConfig::tiny(), 1);
         let mut t = 0;
@@ -88,68 +113,76 @@ proptest! {
         let b = m2.obl_lookup(0, addr_b, level, t0);
         match (a, b) {
             (Ok(a), Ok(b)) => {
-                prop_assert_eq!(a.complete_at, b.complete_at);
-                prop_assert_eq!(a.responses.len(), b.responses.len());
-                for (ra, rb) in a.responses.iter().zip(&b.responses) {
-                    prop_assert_eq!(ra.at, rb.at, "per-level response times must match");
-                    prop_assert_eq!(ra.level, rb.level);
+                assert_eq!(a.complete_at, b.complete_at);
+                assert_eq!(a.responses.len(), b.responses.len());
+                for (ra, rb) in a.responses.iter().zip(b.responses.iter()) {
+                    assert_eq!(ra.at, rb.at, "per-level response times must match");
+                    assert_eq!(ra.level, rb.level);
                 }
             }
-            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
-            (a, b) => prop_assert!(false, "reject decision differed: {a:?} vs {b:?}"),
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+            (a, b) => panic!("reject decision differed: {a:?} vs {b:?}"),
         }
     }
+}
 
-    /// Oblivious lookups never change residency (no fills, no evictions,
-    /// no LRU movement visible through subsequent evictions).
-    #[test]
-    fn obl_lookup_never_changes_residency(
-        warm in prop::collection::vec(0u64..64, 1..15),
-        probe in 0u64..100_000,
-        depth in 1u8..=3,
-    ) {
+/// Oblivious lookups never change residency (no fills, no evictions, no
+/// LRU movement visible through subsequent evictions).
+#[test]
+fn obl_lookup_never_changes_residency() {
+    let mut rng = SdoRng::seed_from_u64(0x3e3_0005);
+    for _ in 0..96 {
+        let warm_len = rng.gen_range(1usize..15);
+        let warm: Vec<u64> = (0..warm_len).map(|_| rng.gen_range(0u64..64)).collect();
+        let probe = rng.gen_range(0u64..100_000);
+        let depth = rng.gen_range(1u8..=3);
+
         let mut m = MemorySystem::new(MemConfig::tiny(), 1);
         let mut t = 0;
         for w in &warm {
             let r = m.load(0, w * 64, t);
             t = r.complete_at;
         }
-        let before: Vec<CacheLevel> =
-            warm.iter().map(|w| m.residency(0, w * 64)).collect();
+        let before: Vec<CacheLevel> = warm.iter().map(|w| m.residency(0, w * 64)).collect();
         let probe_before = m.residency(0, probe);
         let _ = m.obl_lookup(0, probe, CacheLevel::from_depth_clamped(depth), t + 1000);
-        let after: Vec<CacheLevel> =
-            warm.iter().map(|w| m.residency(0, w * 64)).collect();
-        prop_assert_eq!(before, after, "warm set must be untouched");
-        prop_assert_eq!(m.residency(0, probe), probe_before, "probed line must not fill");
+        let after: Vec<CacheLevel> = warm.iter().map(|w| m.residency(0, w * 64)).collect();
+        assert_eq!(before, after, "warm set must be untouched");
+        assert_eq!(m.residency(0, probe), probe_before, "probed line must not fill");
     }
+}
 
-    /// Functional correctness (Definition 1): when a lookup reports
-    /// success, its value equals architectural memory.
-    #[test]
-    fn obl_lookup_success_returns_true_value(
-        addr in 0u64..100_000,
-        value in any::<u64>(),
-    ) {
+/// Functional correctness (Definition 1): when a lookup reports success,
+/// its value equals architectural memory.
+#[test]
+fn obl_lookup_success_returns_true_value() {
+    let mut rng = SdoRng::seed_from_u64(0x3e3_0006);
+    for _ in 0..256 {
+        let addr = rng.gen_range(0u64..100_000);
+        let value = rng.gen::<u64>();
         let mut m = MemorySystem::new(MemConfig::tiny(), 1);
         m.backing_mut().write_word(addr, value);
         let r = m.load(0, addr, 0); // make it resident
         let look = m.obl_lookup(0, addr, CacheLevel::L3, r.complete_at + 10).unwrap();
         if look.success() {
-            prop_assert_eq!(look.value, Some(m.peek_word(addr)));
+            assert_eq!(look.value, Some(m.peek_word(addr)));
         }
     }
+}
 
-    /// Loads always return architectural values regardless of hierarchy
-    /// state (values live in the backing store; caches are timing-only).
-    #[test]
-    fn loads_always_return_backing_values(
-        ops in prop::collection::vec((0u64..128, any::<u64>(), prop::bool::ANY), 1..60)
-    ) {
+/// Loads always return architectural values regardless of hierarchy state
+/// (values live in the backing store; caches are timing-only).
+#[test]
+fn loads_always_return_backing_values() {
+    let mut rng = SdoRng::seed_from_u64(0x3e3_0007);
+    for _ in 0..96 {
         let mut m = MemorySystem::new(MemConfig::tiny(), 1);
         let mut shadow = std::collections::HashMap::new();
         let mut t = 0;
-        for (slot, value, is_store) in ops {
+        for _ in 0..rng.gen_range(1usize..60) {
+            let slot = rng.gen_range(0u64..128);
+            let value = rng.gen::<u64>();
+            let is_store = rng.gen::<bool>();
             let addr = slot * 8;
             if is_store {
                 m.store(0, addr, value, 8, t);
@@ -158,12 +191,14 @@ proptest! {
                 t += 1;
             } else {
                 let r = m.load(0, addr, t);
-                if slot % 8 == 0 {
+                if slot.is_multiple_of(8) {
                     // Aligned words don't overlap with neighbours at
                     // word-slot granularity times 8 — compare exactly.
                     if let Some(v) = shadow.get(&slot) {
-                        if !shadow.contains_key(&(slot + 1)) && (slot == 0 || !shadow.contains_key(&(slot - 1))) {
-                            prop_assert_eq!(r.value, *v);
+                        if !shadow.contains_key(&(slot + 1))
+                            && (slot == 0 || !shadow.contains_key(&(slot - 1)))
+                        {
+                            assert_eq!(r.value, *v);
                         }
                     }
                 }

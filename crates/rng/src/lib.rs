@@ -1,0 +1,326 @@
+//! # sdo-rng — deterministic pseudo-random numbers for the SDO simulator
+//!
+//! A self-contained xoshiro256\*\* generator (seeded through splitmix64)
+//! with the small surface the workload generators need: uniform integers
+//! over a range, uniform floats, Bernoulli draws and raw 64-bit words.
+//! The whole repository builds offline, so randomness lives here instead
+//! of an external crate.
+//!
+//! Determinism is a hard requirement: the same seed must produce the same
+//! stream on every platform and in every build profile. Everything below
+//! is pure integer/float arithmetic with no platform-dependent state.
+//!
+//! ```rust
+//! use sdo_rng::SdoRng;
+//!
+//! let mut a = SdoRng::seed_from_u64(7);
+//! let mut b = SdoRng::seed_from_u64(7);
+//! assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+//! let die = a.gen_range(1..=6u8);
+//! assert!((1..=6).contains(&die));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// A deterministic xoshiro256\*\* pseudo-random number generator.
+///
+/// Not cryptographically secure — it drives workload data generation and
+/// differential fuzzing, where speed and reproducibility are what matter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SdoRng {
+    s: [u64; 4],
+}
+
+/// Splitmix64 step: expands a 64-bit seed into well-mixed state words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SdoRng {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        SdoRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next raw 64-bit word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)` via Lemire's multiply-shift with
+    /// rejection (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bounded(0) is an empty range");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let m = u128::from(self.next_u64()) * u128::from(bound);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value from a range, e.g. `rng.gen_range(0..10)` or
+    /// `rng.gen_range(1..=6u8)` or `rng.gen_range(0.5f64..2.0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        self.unit_f64() < p
+    }
+
+    /// A uniform value of the whole type's domain (`[0, 1)` for floats).
+    pub fn gen<T: Fill>(&mut self) -> T {
+        T::fill(self)
+    }
+
+    /// Fisher–Yates shuffle of a slice (uniform over permutations).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.bounded(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Types [`SdoRng::gen`] can produce directly.
+pub trait Fill: Sized {
+    /// Draws one value.
+    fn fill(rng: &mut SdoRng) -> Self;
+}
+
+impl Fill for u64 {
+    fn fill(rng: &mut SdoRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Fill for u32 {
+    fn fill(rng: &mut SdoRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Fill for u16 {
+    fn fill(rng: &mut SdoRng) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Fill for u8 {
+    fn fill(rng: &mut SdoRng) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Fill for bool {
+    fn fill(rng: &mut SdoRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Fill for f64 {
+    fn fill(rng: &mut SdoRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// Ranges [`SdoRng::gen_range`] can sample from; the element type is the
+/// generic parameter so the expected type at the call site flows into
+/// unsuffixed literals (as with `rand`).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample(self, rng: &mut SdoRng) -> T;
+}
+
+/// Element types with a uniform sampler over half-open and inclusive
+/// ranges.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[start, end)`.
+    fn sample_exclusive(rng: &mut SdoRng, start: Self, end: Self) -> Self;
+    /// Uniform draw from `[start, end]`.
+    fn sample_inclusive(rng: &mut SdoRng, start: Self, end: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut SdoRng) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut SdoRng) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive(rng: &mut SdoRng, start: $t, end: $t) -> $t {
+                assert!(start < end, "empty range");
+                let span = end.wrapping_sub(start) as $u as u64;
+                start.wrapping_add(rng.bounded(span) as $t)
+            }
+            fn sample_inclusive(rng: &mut SdoRng, start: $t, end: $t) -> $t {
+                assert!(start <= end, "empty range");
+                let span = end.wrapping_sub(start) as $u as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(rng.bounded(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+impl SampleUniform for f64 {
+    fn sample_exclusive(rng: &mut SdoRng, start: f64, end: f64) -> f64 {
+        assert!(start < end, "empty range");
+        start + (end - start) * rng.unit_f64()
+    }
+    fn sample_inclusive(rng: &mut SdoRng, start: f64, end: f64) -> f64 {
+        assert!(start <= end, "empty range");
+        start + (end - start) * rng.unit_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SdoRng::seed_from_u64(42);
+        let mut b = SdoRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SdoRng::seed_from_u64(1);
+        let mut b = SdoRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn stream_is_stable_across_builds() {
+        // Golden values pin the algorithm: any change to seeding or the
+        // core permutation silently regenerates every workload, so make
+        // it loud instead.
+        let mut r = SdoRng::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 0x99ec_5f36_cb75_f2b4);
+        assert_eq!(r.next_u64(), 0xbf6e_1f78_4956_452a);
+        assert_eq!(r.next_u64(), 0x1a5f_849d_4933_e6e0);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SdoRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            assert!((0..10).contains(&r.gen_range(0..10)));
+            assert!((-50i64..50).contains(&r.gen_range(-50i64..50)));
+            assert!((1u8..=6).contains(&r.gen_range(1..=6u8)));
+            let f = r.gen_range(0.5f64..2.0);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut r = SdoRng::seed_from_u64(9);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[r.bounded(8) as usize] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "bucket count {c} far from 1000");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SdoRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_works() {
+        let mut r = SdoRng::seed_from_u64(3);
+        let _ = r.gen_range(u64::MIN..=u64::MAX);
+        let _ = r.gen_range(i64::MIN..=i64::MAX);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SdoRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle of 100 elements left them sorted");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = SdoRng::seed_from_u64(0);
+        let _ = r.gen_range(5..5);
+    }
+}

@@ -217,6 +217,10 @@ pub struct Core {
     /// is precisely the FP covert channel of Section I-A.
     muldiv_busy: Vec<Cycle>,
     fp_busy: Vec<Cycle>,
+    /// Reusable candidate-sequence buffer for the resolve stage, so the
+    /// per-cycle ROB sweeps never allocate once it reaches steady-state
+    /// capacity.
+    scratch_seqs: Vec<u64>,
 }
 
 fn build_predictor(kind: PredictorKind) -> Box<dyn LocationPredictor> {
@@ -270,6 +274,7 @@ impl Core {
             last_fetch_line: None,
             muldiv_busy: vec![0; cfg.fus.int_muldiv as usize],
             fp_busy: vec![0; cfg.fus.fp as usize],
+            scratch_seqs: Vec::new(),
         }
     }
 
@@ -632,8 +637,10 @@ impl Core {
             // Completed-but-unretired loads to this line may violate
             // consistency; mark them. The squash itself is deferred until
             // the load's address is untainted (STT's implicit-channel rule
-            // applied to the consistency check).
-            for lq_seq in self.lq.clone() {
+            // applied to the consistency check). Index iteration: nothing
+            // here mutates the load queue, so no snapshot clone is needed.
+            for i in 0..self.lq.len() {
+                let lq_seq = self.lq[i];
                 let Some(e) = self.ent_mut(lq_seq) else { continue };
                 if e.pending_squash || !e.done {
                     continue;
@@ -689,14 +696,20 @@ impl Core {
 
         let protected = self.sec.protection != Protection::Unsafe;
 
+        // Candidate sweeps reuse one scratch buffer (taken out of `self`
+        // so the loop bodies can borrow `self` mutably) — the resolve
+        // stage allocates nothing once the buffer reaches ROB capacity.
+        let mut candidates = std::mem::take(&mut self.scratch_seqs);
+
         // 1. Branch resolutions (executed) whose predicate is untainted.
-        let candidates: Vec<u64> = self
-            .rob
-            .iter()
-            .filter(|e| e.outcome.is_some() && e.status == Status::Done && !e.resolution_applied)
-            .map(|e| e.seq)
-            .collect();
-        for seq in candidates {
+        candidates.clear();
+        candidates.extend(
+            self.rob
+                .iter()
+                .filter(|e| e.outcome.is_some() && e.status == Status::Done && !e.resolution_applied)
+                .map(|e| e.seq),
+        );
+        for &seq in &candidates {
             if self.ent(seq).is_none() {
                 break; // a prior resolution squashed the rest
             }
@@ -709,13 +722,11 @@ impl Core {
         }
 
         // 2. Obl-Ld loads whose address operand just untainted: event C.
-        let obl_candidates: Vec<u64> = self
-            .rob
-            .iter()
-            .filter(|e| e.obl.is_some() && !e.obl_safe_sent)
-            .map(|e| e.seq)
-            .collect();
-        for seq in obl_candidates {
+        candidates.clear();
+        candidates.extend(
+            self.rob.iter().filter(|e| e.obl.is_some() && !e.obl_safe_sent).map(|e| e.seq),
+        );
+        for &seq in &candidates {
             if self.ent(seq).is_none() {
                 break;
             }
@@ -731,9 +742,11 @@ impl Core {
         }
 
         // 3. FP SDO fails whose operands untainted: squash + re-execute.
-        let fp_candidates: Vec<u64> =
-            self.rob.iter().filter(|e| e.fp_failed && e.status == Status::Done).map(|e| e.seq).collect();
-        for seq in fp_candidates {
+        candidates.clear();
+        candidates.extend(
+            self.rob.iter().filter(|e| e.fp_failed && e.status == Status::Done).map(|e| e.seq),
+        );
+        for &seq in &candidates {
             if self.ent(seq).is_none() {
                 break;
             }
@@ -763,9 +776,9 @@ impl Core {
         }
 
         // 4. Deferred consistency squashes whose address untainted.
-        let pending: Vec<u64> =
-            self.rob.iter().filter(|e| e.pending_squash).map(|e| e.seq).collect();
-        for seq in pending {
+        candidates.clear();
+        candidates.extend(self.rob.iter().filter(|e| e.pending_squash).map(|e| e.seq));
+        for &seq in &candidates {
             if self.ent(seq).is_none() {
                 break;
             }
@@ -778,6 +791,8 @@ impl Core {
             self.fetch_pc = pc;
             break;
         }
+
+        self.scratch_seqs = candidates;
     }
 
     /// Applies a computed branch/jump resolution. Returns `true` if it
@@ -941,50 +956,60 @@ impl Core {
             mem: self.cfg.fus.mem_ports,
         };
         let mut issued_count = 0usize;
-        let mut issued: Vec<u64> = Vec::new();
-        let iq_snapshot = self.iq.clone();
 
-        for seq in iq_snapshot {
+        // Walk the issue queue by index, compacting in place: `kept` is
+        // the write cursor for entries that stay queued. No snapshot
+        // clone, no issued-list membership scans.
+        let mut kept = 0usize;
+        let mut idx = 0usize;
+        while idx < self.iq.len() {
+            let seq = self.iq[idx];
+            idx += 1;
             if issued_count >= self.cfg.width {
-                break;
+                // Width exhausted: everything else stays queued.
+                self.iq[kept] = seq;
+                kept += 1;
+                continue;
             }
             let Some(e) = self.ent(seq) else {
-                issued.push(seq); // squashed stragglers
-                continue;
+                continue; // squashed stragglers leave the queue
             };
             if e.status != Status::Waiting {
-                issued.push(seq);
-                continue;
+                continue; // already executing/done: leave the queue
             }
             // Source readiness.
             let ready = e.psrcs.iter().flatten().all(|p| self.regs.is_ready(*p));
-            if !ready {
-                continue;
-            }
-            let class = e.inst.class();
-            let fu = Self::fu_for(class);
-            if *fu(&mut budget) == 0 {
-                continue;
-            }
-            let ok = match class {
-                OpClass::Load => self.try_issue_load(mem, seq),
-                OpClass::Store => {
-                    self.issue_store(seq);
-                    true
+            let mut issue_ok = false;
+            if ready {
+                let class = e.inst.class();
+                let fu = Self::fu_for(class);
+                if *fu(&mut budget) != 0 {
+                    issue_ok = match class {
+                        OpClass::Load => self.try_issue_load(mem, seq),
+                        OpClass::Store => {
+                            self.issue_store(seq);
+                            true
+                        }
+                        OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt => {
+                            self.try_issue_fp_transmit(seq)
+                        }
+                        _ => self.issue_simple(seq),
+                    };
+                    if issue_ok {
+                        *fu(&mut budget) -= 1;
+                        issued_count += 1;
+                        if let Some(t) = self.trace.as_mut() {
+                            t.issue(seq, self.now);
+                        }
+                    }
                 }
-                OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt => self.try_issue_fp_transmit(seq),
-                _ => self.issue_simple(seq),
-            };
-            if ok {
-                *fu(&mut budget) -= 1;
-                issued_count += 1;
-                issued.push(seq);
-                if let Some(t) = self.trace.as_mut() {
-                    t.issue(seq, self.now);
-                }
+            }
+            if !issue_ok {
+                self.iq[kept] = seq;
+                kept += 1;
             }
         }
-        self.iq.retain(|s| !issued.contains(s));
+        self.iq.truncate(kept);
     }
 
     fn src_value(&self, e: &DynInst, slot: usize) -> u64 {

@@ -6,8 +6,7 @@
 //! for caches and predictors to reach steady state while keeping the full
 //! Table II × kernel sweep fast.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sdo_rng::SdoRng;
 use sdo_isa::{Assembler, FReg, Program, Reg};
 use sdo_mem::CacheLevel;
 
@@ -74,7 +73,7 @@ fn fr(i: u8) -> FReg {
 /// Writes a Sattolo-cycle permutation of `lines` cache lines starting at
 /// `base` into the image: `mem[p]` holds the next pointer, forming a
 /// single cycle visiting every line.
-fn pointer_ring(asm: &mut Assembler, base: u64, lines: u64, rng: &mut StdRng) -> u64 {
+fn pointer_ring(asm: &mut Assembler, base: u64, lines: u64, rng: &mut SdoRng) -> u64 {
     let mut order: Vec<u64> = (0..lines).collect();
     // Sattolo's algorithm: a single n-cycle.
     for i in (1..order.len()).rev() {
@@ -97,7 +96,7 @@ fn pointer_ring(asm: &mut Assembler, base: u64, lines: u64, rng: &mut StdRng) ->
 /// chain lives mostly in the L3.
 #[must_use]
 pub fn ptr_chase(footprint: u64, iters: u64, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SdoRng::seed_from_u64(seed);
     let mut asm = Assembler::named("ptr_chase");
     let base = 0x10_0000;
     let start = pointer_ring(&mut asm, base, footprint / 64, &mut rng);
@@ -123,7 +122,7 @@ pub fn ptr_chase(footprint: u64, iters: u64, seed: u64) -> Program {
 /// bounds check on the streamed value.
 #[must_use]
 pub fn stream(words: u64, passes: u64, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SdoRng::seed_from_u64(seed);
     let mut asm = Assembler::named("stream");
     let a_base = 0x20_0000u64;
     let t_base = 0x1000u64; // 4 KiB hot table
@@ -164,7 +163,7 @@ pub fn stream(words: u64, passes: u64, seed: u64) -> Program {
 /// touches a new line, so the location pattern is uniform (all deep).
 #[must_use]
 pub fn stride(lines: u64, stride_lines: u64, passes: u64, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SdoRng::seed_from_u64(seed);
     let mut asm = Assembler::named("stride");
     let a_base = 0x40_0000u64;
     for i in 0..lines {
@@ -207,7 +206,7 @@ pub fn stride(lines: u64, stride_lines: u64, passes: u64, seed: u64) -> Program 
 /// protection overhead).
 #[must_use]
 pub fn mix_branchy(table_words: u64, iters: u64, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SdoRng::seed_from_u64(seed);
     let mut asm = Assembler::named("mix_branchy");
     let t_base = 0x30_0000u64;
     for i in 0..table_words {
@@ -255,7 +254,7 @@ pub fn mix_branchy(table_words: u64, iters: u64, seed: u64) -> Program {
 /// recovers by issuing the probes as Obl-Lds.
 #[must_use]
 pub fn hash_lookup(table_words: u64, iters: u64, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SdoRng::seed_from_u64(seed);
     let mut asm = Assembler::named("hash_lookup");
     let t_base = 0x80_0000u64;
     for i in 0..table_words {
@@ -295,7 +294,7 @@ pub fn hash_lookup(table_words: u64, iters: u64, seed: u64) -> Program {
 /// loaded center value; high spatial locality with periodic line misses.
 #[must_use]
 pub fn stencil(words: u64, passes: u64, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SdoRng::seed_from_u64(seed);
     let mut asm = Assembler::named("stencil");
     let a_base = 0x50_0000u64;
     let b_base = 0x60_0000u64;
@@ -337,7 +336,7 @@ pub fn stencil(words: u64, passes: u64, seed: u64) -> Program {
 /// transmit op under `STT{ld+fp}` and FP-SDO).
 #[must_use]
 pub fn matmul_blocked(n: u64, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SdoRng::seed_from_u64(seed);
     let mut asm = Assembler::named("matmul_blocked");
     let a_base = 0x70_0000u64;
     let b_base = a_base + n * n * 8;
@@ -397,7 +396,7 @@ pub fn matmul_blocked(n: u64, seed: u64) -> Program {
 /// tainted. Exercises the predict-normal FP DO variant and its squashes.
 #[must_use]
 pub fn fp_subnormal(elements: u64, sub_period: u64, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SdoRng::seed_from_u64(seed);
     let mut asm = Assembler::named("fp_subnormal");
     let x_base = 0x1000u64; // hot ring of FP inputs (4 KiB)
     let ring = 256u64;
@@ -446,7 +445,7 @@ pub fn fp_subnormal(elements: u64, sub_period: u64, seed: u64) -> Program {
 /// prediction changes at coarse granularity (Section V-D pattern 1).
 #[must_use]
 pub fn phase_shift(phase_len: u64, phases: u64, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SdoRng::seed_from_u64(seed);
     let mut asm = Assembler::named("phase_shift");
     let small_base = 0x2000u64;
     let small_words = 512u64; // 4 KiB
@@ -508,7 +507,7 @@ pub fn phase_shift(phase_len: u64, phases: u64, seed: u64) -> Program {
 /// prediction is trivially "L1", so protection overhead should be small.
 #[must_use]
 pub fn l1_resident(iters: u64, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SdoRng::seed_from_u64(seed);
     let mut asm = Assembler::named("l1_resident");
     let t_base = 0x2000u64;
     let t_words = 256u64;
@@ -547,7 +546,7 @@ pub fn l1_resident(iters: u64, seed: u64) -> Program {
 /// addresses.
 #[must_use]
 pub fn bst_search(nodes: u64, searches: u64, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SdoRng::seed_from_u64(seed);
     let mut asm = Assembler::named("bst_search");
     let base = 0xC0_0000u64;
     // Build a balanced BST over sorted keys 0, 2, 4, ... (even), so odd
@@ -623,7 +622,7 @@ pub fn bst_search(nodes: u64, searches: u64, seed: u64) -> Program {
 /// cousin of `hash_lookup`.
 #[must_use]
 pub fn sparse_matvec(rows: u64, nnz_per_row: u64, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SdoRng::seed_from_u64(seed);
     let mut asm = Assembler::named("sparse_matvec");
     let cols = rows;
     let col_base = 0xD0_0000u64; // column indices, row-major
@@ -737,7 +736,7 @@ mod tests {
     fn pointer_rings_are_single_cycles() {
         for seed in 0..5u64 {
             let mut asm = Assembler::new();
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SdoRng::seed_from_u64(seed);
             let lines = 64;
             let start = pointer_ring(&mut asm, 0x4000, lines, &mut rng);
             asm.halt();

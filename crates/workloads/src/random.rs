@@ -6,8 +6,7 @@
 //! counted-down loops, and every memory address is masked into a small
 //! scratch region before use.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sdo_rng::SdoRng;
 use sdo_isa::{Assembler, FReg, Program, Reg};
 
 /// Scratch data region base; all generated loads/stores land in
@@ -31,7 +30,7 @@ pub const SCRATCH_BASE: u64 = 0x8000;
 /// ```
 #[must_use]
 pub fn random_program(seed: u64, blocks: usize) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SdoRng::seed_from_u64(seed);
     let mut asm = Assembler::named(format!("random_{seed}"));
 
     // Seed some registers and scratch memory.
@@ -70,15 +69,15 @@ pub fn random_program(seed: u64, blocks: usize) -> Program {
     asm.finish().expect("generated programs always assemble")
 }
 
-fn gp(rng: &mut StdRng) -> Reg {
+fn gp(rng: &mut SdoRng) -> Reg {
     Reg::new(rng.gen_range(1..=12))
 }
 
-fn fpr(rng: &mut StdRng) -> FReg {
+fn fpr(rng: &mut SdoRng) -> FReg {
     FReg::new(rng.gen_range(1..=6))
 }
 
-fn emit_block(asm: &mut Assembler, rng: &mut StdRng) {
+fn emit_block(asm: &mut Assembler, rng: &mut SdoRng) {
     let base = Reg::new(13);
     let n = rng.gen_range(6..14);
     for _ in 0..n {

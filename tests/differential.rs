@@ -2,7 +2,7 @@
 //! exactly the golden model's architectural state under every protection
 //! configuration — protections change timing, never function.
 
-use proptest::prelude::*;
+use sdo_rng::SdoRng;
 use sdo_sim::harness::{SimConfig, Variant};
 use sdo_sim::isa::{Interpreter, Program};
 use sdo_sim::mem::MemorySystem;
@@ -62,14 +62,13 @@ fn random_programs_match_golden_on_tiny_machine() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
-
-    /// Property: any generated program commits identical architectural
-    /// state on the OoO core (with the strongest protection) and the
-    /// golden model.
-    #[test]
-    fn prop_sdo_hybrid_futuristic_is_functionally_transparent(seed in 0u64..10_000) {
+/// Property: any generated program commits identical architectural state
+/// on the OoO core (with the strongest protection) and the golden model.
+#[test]
+fn prop_sdo_hybrid_futuristic_is_functionally_transparent() {
+    let mut rng = SdoRng::seed_from_u64(0xd1f_0000);
+    for _ in 0..12 {
+        let seed = rng.gen_range(0u64..10_000);
         let prog = random_program(seed, 6);
         let mut golden = Interpreter::new(&prog);
         golden.run(20_000_000).expect("golden halts");
@@ -80,24 +79,29 @@ proptest! {
         mem.load_image(prog.data());
         let mut core = Core::new(0, cfg.core, sec, prog.clone());
         core.run(&mut mem, cfg.max_cycles).expect("halts");
-        prop_assert_eq!(core.arch_int(), golden.int_regs());
-        prop_assert_eq!(core.arch_fp(), golden.fp_regs());
+        assert_eq!(core.arch_int(), golden.int_regs(), "seed {seed}");
+        assert_eq!(core.arch_fp(), golden.fp_regs(), "seed {seed}");
     }
+}
 
-    /// Property: committed instruction counts are identical across all
-    /// variants (no instruction is lost or duplicated by protection).
-    #[test]
-    fn prop_commit_counts_invariant_across_variants(seed in 0u64..10_000) {
+/// Property: committed instruction counts are identical across all
+/// variants (no instruction is lost or duplicated by protection).
+#[test]
+fn prop_commit_counts_invariant_across_variants() {
+    let mut rng = SdoRng::seed_from_u64(0xd1f_0001);
+    for _ in 0..12 {
+        let seed = rng.gen_range(0u64..10_000);
         let prog = random_program(seed, 5);
         let cfg = SimConfig::tiny();
         let mut counts = Vec::new();
         for variant in [Variant::Unsafe, Variant::SttLdFp, Variant::StaticL1, Variant::Hybrid] {
             let mut mem = MemorySystem::new(cfg.mem, 1);
             mem.load_image(prog.data());
-            let mut core = Core::new(0, cfg.core, variant.security(AttackModel::Spectre), prog.clone());
+            let mut core =
+                Core::new(0, cfg.core, variant.security(AttackModel::Spectre), prog.clone());
             core.run(&mut mem, cfg.max_cycles).expect("halts");
             counts.push(core.stats().committed);
         }
-        prop_assert!(counts.windows(2).all(|w| w[0] == w[1]), "commit counts {counts:?}");
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "seed {seed}: commit counts {counts:?}");
     }
 }
