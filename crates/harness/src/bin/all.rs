@@ -5,37 +5,55 @@
 //! the parallel results are byte-identical, and writes `BENCH_suite.json`
 //! (per-phase wall-clock, sims/sec and the serial→parallel speedup) so
 //! every PR leaves a performance trajectory baseline behind. Use
-//! `--bench-out <path>` to redirect the JSON (empty path disables it).
+//! `--bench-out <path>` to redirect the JSON (empty path disables it),
+//! and `--metrics <path>` to dump the merged metric snapshot of the
+//! suite plus the penetration test.
+use sdo_harness::cli::{BinSpec, CommonArgs, CsvSupport};
 use sdo_harness::engine::{timed, JobPool, Throughput};
 use sdo_harness::experiments::{
-    fig6_report, fig7_report, fig8_report, pentest_report, pentest_with, run_suite_with,
-    table3_report, SuiteResults,
+    fig6_report, fig7_report, fig8_report, pentest_metrics, pentest_report, pentest_with,
+    run_suite_with, table3_report, SuiteResults,
 };
 use sdo_harness::export::bench_suite_json;
 use sdo_harness::{SimConfig, Simulator, Variant};
 
+const SPEC: BinSpec = BinSpec {
+    name: "all",
+    about: "Runs every experiment (suite, figures, tables, pentest) and prints the full report.",
+    usage_args: "[options]",
+    jobs: true,
+    csv: CsvSupport::None,
+    metrics: true,
+    extra_options: &[(
+        "--bench-out <path>",
+        "write BENCH_suite.json here (empty path disables; default: BENCH_suite.json)",
+    )],
+};
+
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let pool = JobPool::from_args(&mut args);
+    let mut args = CommonArgs::parse(&SPEC);
     let mut bench_out = String::from("BENCH_suite.json");
-    if let Some(i) = args.iter().position(|a| a == "--bench-out") {
-        assert!(i + 1 < args.len(), "--bench-out requires a path");
-        bench_out = args[i + 1].clone();
-        args.drain(i..i + 2);
+    if let Some(i) = args.rest.iter().position(|a| a == "--bench-out") {
+        if i + 1 >= args.rest.len() {
+            SPEC.usage_error("--bench-out requires a path");
+        }
+        bench_out = args.rest[i + 1].clone();
+        args.rest.drain(i..i + 2);
     }
-    assert!(args.is_empty(), "unexpected arguments: {args:?}");
+    args.reject_rest(&SPEC);
+    let pool = args.pool;
 
     let cfg = SimConfig::table_i();
     let sim = Simulator::new(cfg);
 
     // The suite, serially — the wall-clock baseline for the speedup.
     let (serial_results, serial_tp) = timed(&JobPool::serial(), SuiteResults::counts, |p| {
-        run_suite_with(&sim, p).expect("suite completes")
+        run_suite_with(&sim, p).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
     });
     // The suite again, through the pool. Byte-identical by construction;
     // check it every run rather than asserting it in a comment.
     let (results, parallel_tp) = timed(&pool, SuiteResults::counts, |p| {
-        run_suite_with(&sim, p).expect("suite completes")
+        run_suite_with(&sim, p).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
     });
     assert_eq!(
         fig6_report(&serial_results),
@@ -46,7 +64,7 @@ fn main() {
     let (outcomes, pentest_tp) = timed(
         &pool,
         |o: &Vec<_>| (o.len() as u64, 0),
-        |p| pentest_with(&sim, p).expect("victim runs complete"),
+        |p| pentest_with(&sim, p).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string())),
     );
 
     let (report, render_tp) = timed(
@@ -69,6 +87,10 @@ fn main() {
     );
     println!("{report}");
 
+    let mut metrics = results.metrics();
+    metrics.merge(&pentest_metrics(&outcomes));
+    args.write_metrics(&SPEC, &metrics);
+
     let phases: Vec<(&str, Throughput)> = vec![
         ("suite_serial", serial_tp),
         ("suite_parallel", parallel_tp),
@@ -84,8 +106,9 @@ fn main() {
         pool.jobs()
     );
     if !bench_out.is_empty() {
-        std::fs::write(&bench_out, &json)
-            .unwrap_or_else(|e| panic!("cannot write {bench_out}: {e}"));
+        if let Err(e) = std::fs::write(&bench_out, &json) {
+            SPEC.runtime_error(&format!("cannot write {bench_out}: {e}"));
+        }
         eprintln!("wrote {bench_out}");
     }
 }

@@ -4,61 +4,55 @@
 //!
 //! ```text
 //! cargo run --release -p sdo-harness --bin compare -- \
-//!     [kernel] [variant-a] [variant-b] [spectre|futuristic] [--jobs N]
+//!     [kernel] [variant-a] [variant-b] [spectre|futuristic] [options]
 //! ```
 //!
-//! Defaults: `hash_lookup STT{ld} Hybrid spectre`.
-
-use sdo_harness::engine::JobPool;
+//! Defaults: `hash_lookup STT{ld} Hybrid spectre`. Variant names accept
+//! hyphen/underscore spellings (`stt-ld`, `static_l2`, ...).
+use sdo_harness::cli::{parse_attack, parse_variant, BinSpec, CommonArgs, CsvSupport};
 use sdo_harness::sim::RunResult;
 use sdo_harness::table::TextTable;
 use sdo_harness::{SimConfig, Simulator, Variant};
-use sdo_uarch::AttackModel;
+use sdo_uarch::{AttackModel, MetricsSnapshot};
 use sdo_workloads::suite;
-use std::process::exit;
 
-fn find_variant(name: &str) -> Variant {
-    match Variant::ALL.iter().find(|v| v.name().eq_ignore_ascii_case(name)) {
-        Some(v) => *v,
-        None => {
-            eprintln!(
-                "unknown variant '{name}'; options: {}",
-                Variant::ALL.map(|v| v.name()).join(", ")
-            );
-            exit(2);
-        }
-    }
-}
+const SPEC: BinSpec = BinSpec {
+    name: "compare",
+    about: "Compares two Table II variants side by side on one suite kernel.",
+    usage_args: "[kernel] [variant-a] [variant-b] [spectre|futuristic] [options]",
+    jobs: true,
+    csv: CsvSupport::None,
+    metrics: true,
+    extra_options: &[],
+};
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let pool = JobPool::from_args(&mut args);
-    let kernel = args.first().map_or("hash_lookup", String::as_str);
-    let va = find_variant(args.get(1).map_or("STT{ld}", String::as_str));
-    let vb = find_variant(args.get(2).map_or("Hybrid", String::as_str));
-    let attack = match args.get(3).map(String::as_str) {
-        None | Some("spectre") => AttackModel::Spectre,
-        Some("futuristic") => AttackModel::Futuristic,
-        Some(other) => {
-            eprintln!("unknown attack model '{other}'");
-            exit(2);
-        }
-    };
+    let args = CommonArgs::parse(&SPEC);
+    if args.rest.len() > 4 {
+        SPEC.usage_error(&format!("unexpected argument '{}'", args.rest[4]));
+    }
+    let kernel = args.rest.first().map_or("hash_lookup", String::as_str);
+    let va = parse_variant(args.rest.get(1).map_or("STT{ld}", String::as_str))
+        .unwrap_or_else(|e| SPEC.usage_error(&e));
+    let vb = parse_variant(args.rest.get(2).map_or("Hybrid", String::as_str))
+        .unwrap_or_else(|e| SPEC.usage_error(&e));
+    let attack: AttackModel = parse_attack(args.rest.get(3).map_or("spectre", String::as_str))
+        .unwrap_or_else(|e| SPEC.usage_error(&e));
 
     let kernels = suite();
     let Some(w) = kernels.iter().find(|w| w.name() == kernel) else {
-        eprintln!(
+        SPEC.usage_error(&format!(
             "unknown kernel '{kernel}'; options: {}",
             kernels.iter().map(|w| w.name()).collect::<Vec<_>>().join(", ")
-        );
-        exit(2);
+        ));
     };
 
     let sim = Simulator::new(SimConfig::table_i());
     let variants = [Variant::Unsafe, va, vb];
-    let mut runs = pool
+    let mut runs = args
+        .pool
         .try_run(&variants, |_, &v| sim.clone().run_workload(w, v, attack))
-        .expect("runs complete")
+        .unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
         .into_iter();
     let (base, a, b) = (
         runs.next().expect("baseline run"),
@@ -94,4 +88,10 @@ fn main() {
     t.row(row("predictor accuracy", &|r| format!("{:.1}%", 100.0 * r.core.obl.accuracy())));
     println!("{}", t.render());
     println!("(Unsafe baseline: {} cycles)", base.cycles);
+
+    let mut metrics = MetricsSnapshot::new();
+    for r in [&base, &a, &b] {
+        metrics.merge(&r.metrics());
+    }
+    args.write_metrics(&SPEC, &metrics);
 }

@@ -1,26 +1,38 @@
 //! Regenerates Figure 6: normalized execution time per kernel/variant.
 //!
 //! Pass `--csv` to emit machine-readable output (the full per-run dump
-//! with `--csv=runs`), and `--jobs N` (or `SDO_JOBS`) to fan the suite
-//! out across worker threads. The throughput summary goes to stderr so
-//! it never perturbs the figure or CSV stream.
-use sdo_harness::engine::{timed, JobPool};
+//! with `--csv=runs`), `--metrics <path>` to dump the merged metric
+//! snapshot, and `--jobs N` (or `SDO_JOBS`) to fan the suite out across
+//! worker threads. The throughput summary goes to stderr so it never
+//! perturbs the figure or CSV stream.
+use sdo_harness::cli::{BinSpec, CommonArgs, CsvMode, CsvSupport};
+use sdo_harness::engine::timed;
 use sdo_harness::experiments::{fig6_report, run_suite_with, SuiteResults};
 use sdo_harness::export::{fig6_csv, runs_csv};
 use sdo_harness::{SimConfig, Simulator};
 
+const SPEC: BinSpec = BinSpec {
+    name: "fig6",
+    about: "Regenerates Figure 6: execution time normalized to Unsafe, per kernel and variant.",
+    usage_args: "[options]",
+    jobs: true,
+    csv: CsvSupport::FigureAndRuns,
+    metrics: true,
+    extra_options: &[],
+};
+
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let pool = JobPool::from_args(&mut args);
-    let mode = args.first().cloned().unwrap_or_default();
+    let args = CommonArgs::parse(&SPEC);
+    args.reject_rest(&SPEC);
     let sim = Simulator::new(SimConfig::table_i());
-    let (results, throughput) = timed(&pool, SuiteResults::counts, |pool| {
-        run_suite_with(&sim, pool).expect("suite completes")
+    let (results, throughput) = timed(&args.pool, SuiteResults::counts, |pool| {
+        run_suite_with(&sim, pool).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
     });
-    match mode.as_str() {
-        "--csv" => print!("{}", fig6_csv(&results)),
-        "--csv=runs" => print!("{}", runs_csv(&results)),
-        _ => println!("{}", fig6_report(&results)),
+    match args.csv {
+        Some(CsvMode::Figure) => print!("{}", fig6_csv(&results)),
+        Some(CsvMode::Runs) => print!("{}", runs_csv(&results)),
+        None => println!("{}", fig6_report(&results)),
     }
+    args.write_metrics(&SPEC, &results.metrics());
     eprintln!("{}", throughput.report());
 }

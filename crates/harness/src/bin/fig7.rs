@@ -1,18 +1,31 @@
 //! Regenerates Figure 7: overhead breakdown for the SDO variants.
 //!
 //! `--jobs N` (or `SDO_JOBS`) fans the suite out across worker threads;
-//! the throughput summary goes to stderr.
-use sdo_harness::engine::{timed, JobPool};
+//! `--metrics <path>` dumps the merged metric snapshot; the throughput
+//! summary goes to stderr.
+use sdo_harness::cli::{BinSpec, CommonArgs, CsvSupport};
+use sdo_harness::engine::timed;
 use sdo_harness::experiments::{fig7_report, run_suite_with, SuiteResults};
 use sdo_harness::{SimConfig, Simulator};
 
+const SPEC: BinSpec = BinSpec {
+    name: "fig7",
+    about: "Regenerates Figure 7: performance-overhead breakdown for the SDO variants.",
+    usage_args: "[options]",
+    jobs: true,
+    csv: CsvSupport::None,
+    metrics: true,
+    extra_options: &[],
+};
+
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let pool = JobPool::from_args(&mut args);
+    let args = CommonArgs::parse(&SPEC);
+    args.reject_rest(&SPEC);
     let sim = Simulator::new(SimConfig::table_i());
-    let (results, throughput) = timed(&pool, SuiteResults::counts, |pool| {
-        run_suite_with(&sim, pool).expect("suite completes")
+    let (results, throughput) = timed(&args.pool, SuiteResults::counts, |pool| {
+        run_suite_with(&sim, pool).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
     });
     println!("{}", fig7_report(&results));
+    args.write_metrics(&SPEC, &results.metrics());
     eprintln!("{}", throughput.report());
 }

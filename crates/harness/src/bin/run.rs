@@ -4,91 +4,88 @@
 //! cargo run --release -p sdo-harness --bin run -- prog.s [options]
 //!
 //! options:
-//!   --variant <name>   Unsafe | STT{ld} | STT{ld+fp} | "Static L1" |
-//!                      "Static L2" | "Static L3" | Hybrid | Perfect
-//!                      (default: Unsafe)
+//!   --variant <name>   Unsafe | STT{ld} | STT{ld+fp} | Static L1/L2/L3 |
+//!                      Hybrid | Perfect — hyphen/underscore spellings
+//!                      accepted (static-l1, stt_ld_fp, ...); default Unsafe
 //!   --attack <model>   spectre | futuristic   (default: spectre)
 //!   --all              run every Table II variant and tabulate
 //!   --disasm           print the disassembly before running
+//!   --metrics <path>   write the run's metric snapshot as JSON
 //! ```
 
+use sdo_harness::cli::{parse_attack, parse_variant, BinSpec, CommonArgs, CsvSupport};
 use sdo_harness::table::TextTable;
 use sdo_harness::{SimConfig, Simulator, Variant};
 use sdo_isa::parse_asm;
-use sdo_uarch::AttackModel;
-use std::process::exit;
+use sdo_uarch::{AttackModel, MetricsSnapshot};
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: run <file.s> [--variant <name>] [--attack spectre|futuristic] [--all] [--disasm]"
-    );
-    exit(2);
-}
+const SPEC: BinSpec = BinSpec {
+    name: "run",
+    about: "Assembles a text program and simulates it on the Table I machine.",
+    usage_args: "<file.s> [options]",
+    jobs: true,
+    csv: CsvSupport::None,
+    metrics: true,
+    extra_options: &[
+        ("--variant <name>", "Table II variant to simulate (default: Unsafe)"),
+        ("--attack <model>", "spectre | futuristic (default: spectre)"),
+        ("--all", "run every Table II variant and tabulate"),
+        ("--disasm", "print the disassembly before running"),
+    ],
+};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let args = CommonArgs::parse(&SPEC);
     let mut file = None;
     let mut variant = Variant::Unsafe;
     let mut attack = AttackModel::Spectre;
     let mut all = false;
     let mut disasm = false;
 
-    while let Some(arg) = args.next() {
+    let mut rest = args.rest.iter();
+    while let Some(arg) = rest.next() {
         match arg.as_str() {
             "--variant" => {
-                let Some(name) = args.next() else { usage() };
-                variant = match Variant::ALL.iter().find(|v| v.name().eq_ignore_ascii_case(&name))
-                {
-                    Some(v) => *v,
-                    None => {
-                        eprintln!("unknown variant '{name}'");
-                        exit(2);
-                    }
+                let Some(name) = rest.next() else {
+                    SPEC.usage_error("--variant requires a name");
                 };
+                variant = parse_variant(name).unwrap_or_else(|e| SPEC.usage_error(&e));
             }
             "--attack" => {
-                let Some(name) = args.next() else { usage() };
-                attack = match name.to_ascii_lowercase().as_str() {
-                    "spectre" => AttackModel::Spectre,
-                    "futuristic" => AttackModel::Futuristic,
-                    _ => {
-                        eprintln!("unknown attack model '{name}'");
-                        exit(2);
-                    }
+                let Some(name) = rest.next() else {
+                    SPEC.usage_error("--attack requires a model");
                 };
+                attack = parse_attack(name).unwrap_or_else(|e| SPEC.usage_error(&e));
             }
             "--all" => all = true,
             "--disasm" => disasm = true,
-            "--help" | "-h" => usage(),
-            other if file.is_none() => file = Some(other.to_string()),
-            other => {
-                eprintln!("unexpected argument '{other}'");
-                usage();
-            }
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            other => SPEC.usage_error(&format!("unexpected argument '{other}'")),
         }
     }
-    let Some(file) = file else { usage() };
+    let Some(file) = file else {
+        SPEC.usage_error("missing input file");
+    };
 
-    let source = match std::fs::read_to_string(&file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read {file}: {e}");
-            exit(1);
-        }
-    };
-    let program = match parse_asm(&source) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{file}: {e}");
-            exit(1);
-        }
-    };
+    let source = std::fs::read_to_string(&file)
+        .unwrap_or_else(|e| SPEC.runtime_error(&format!("cannot read {file}: {e}")));
+    let program =
+        parse_asm(&source).unwrap_or_else(|e| SPEC.runtime_error(&format!("{file}: {e}")));
     if disasm {
         println!("{}", program.disassemble());
     }
 
     let sim = Simulator::new(SimConfig::table_i());
+    let mut metrics = MetricsSnapshot::new();
     if all {
+        // One job per Table II variant; Variant::ALL starts with the
+        // Unsafe baseline, so the canonical first result normalizes the
+        // rest.
+        let runs = args
+            .pool
+            .try_run(&Variant::ALL, |_, &v| sim.run(&program, v, attack))
+            .unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()));
+        let base = &runs[0];
         let mut t = TextTable::new(vec![
             "variant".into(),
             "cycles".into(),
@@ -98,41 +95,26 @@ fn main() {
             "obl".into(),
             "squashes".into(),
         ]);
-        let base = match sim.run(&program, Variant::Unsafe, attack) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("{e}");
-                exit(1);
-            }
-        };
-        for v in Variant::ALL {
-            match sim.run(&program, v, attack) {
-                Ok(r) => t.row(vec![
-                    v.name().to_string(),
-                    r.cycles.to_string(),
-                    format!("{:.3}", r.normalized_to(&base)),
-                    format!("{:.2}", r.core.ipc()),
-                    r.core.delayed_loads.to_string(),
-                    r.core.obl.issued.to_string(),
-                    r.core.squashes.total().to_string(),
-                ]),
-                Err(e) => {
-                    eprintln!("{e}");
-                    exit(1);
-                }
-            }
+        for r in &runs {
+            t.row(vec![
+                r.variant.name().to_string(),
+                r.cycles.to_string(),
+                format!("{:.3}", r.normalized_to(base)),
+                format!("{:.2}", r.core.ipc()),
+                r.core.delayed_loads.to_string(),
+                r.core.obl.issued.to_string(),
+                r.core.squashes.total().to_string(),
+            ]);
+            metrics.merge(&r.metrics());
         }
         println!("{} under the {attack} model:\n{}", program.name(), t.render());
     } else {
-        match sim.run(&program, variant, attack) {
-            Ok(r) => {
-                println!("{} under {} / {attack}:", program.name(), variant.name());
-                println!("{}", r.core);
-            }
-            Err(e) => {
-                eprintln!("{e}");
-                exit(1);
-            }
-        }
+        let r = sim
+            .run(&program, variant, attack)
+            .unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()));
+        println!("{} under {} / {attack}:", program.name(), variant.name());
+        println!("{}", r.core);
+        metrics.merge(&r.metrics());
     }
+    args.write_metrics(&SPEC, &metrics);
 }

@@ -3,16 +3,26 @@
 //! the microarchitecture" claim, quantified.
 //!
 //! `--jobs N` (or `SDO_JOBS`) fans the sweep points out across worker
-//! threads.
-use sdo_harness::engine::JobPool;
-use sdo_harness::experiments::sensitivity_report_with;
+//! threads; `--metrics <path>` dumps the merged metric snapshot.
+use sdo_harness::cli::{BinSpec, CommonArgs, CsvSupport};
+use sdo_harness::experiments::sensitivity_with_metrics;
 use sdo_harness::SimConfig;
 
+const SPEC: BinSpec = BinSpec {
+    name: "sensitivity",
+    about: "Sweeps ROB depth and MSHR count; reports STT vs STT+SDO overhead at each point.",
+    usage_args: "[options]",
+    jobs: true,
+    csv: CsvSupport::None,
+    metrics: true,
+    extra_options: &[],
+};
+
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let pool = JobPool::from_args(&mut args);
-    println!(
-        "{}",
-        sensitivity_report_with(SimConfig::table_i(), &pool).expect("sweep completes")
-    );
+    let args = CommonArgs::parse(&SPEC);
+    args.reject_rest(&SPEC);
+    let (report, metrics) = sensitivity_with_metrics(SimConfig::table_i(), &args.pool)
+        .unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()));
+    println!("{report}");
+    args.write_metrics(&SPEC, &metrics);
 }

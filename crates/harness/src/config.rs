@@ -3,7 +3,7 @@
 
 use sdo_mem::{CacheLevel, MemConfig};
 use sdo_uarch::{
-    AttackModel, CoreConfig, PredictorKind, Protection, SdoConfig, SecurityConfig,
+    AttackModel, CoreConfig, ObsConfig, PredictorKind, Protection, SdoConfig, SecurityConfig,
 };
 use std::fmt;
 
@@ -16,19 +16,40 @@ pub struct SimConfig {
     pub mem: MemConfig,
     /// Cycle budget per simulation before declaring a hang.
     pub max_cycles: u64,
+    /// Observability: occupancy histograms / event tracing. Defaults to
+    /// fully off, which is the allocation-free path — and because the
+    /// probe is a pure observer, figures are byte-identical either way.
+    pub obs: ObsConfig,
 }
 
 impl SimConfig {
     /// The paper's Table I machine.
     #[must_use]
     pub fn table_i() -> Self {
-        SimConfig { core: CoreConfig::table_i(), mem: MemConfig::table_i(), max_cycles: 200_000_000 }
+        SimConfig {
+            core: CoreConfig::table_i(),
+            mem: MemConfig::table_i(),
+            max_cycles: 200_000_000,
+            obs: ObsConfig::OFF,
+        }
     }
 
     /// A small machine for fast unit tests.
     #[must_use]
     pub fn tiny() -> Self {
-        SimConfig { core: CoreConfig::tiny(), mem: MemConfig::tiny(), max_cycles: 50_000_000 }
+        SimConfig {
+            core: CoreConfig::tiny(),
+            mem: MemConfig::tiny(),
+            max_cycles: 50_000_000,
+            obs: ObsConfig::OFF,
+        }
+    }
+
+    /// The same machine with the given observability configuration.
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Renders Table I.
@@ -129,6 +150,22 @@ impl Variant {
             Variant::StaticL3 => "Static L3",
             Variant::Hybrid => "Hybrid",
             Variant::Perfect => "Perfect",
+        }
+    }
+
+    /// A lowercase `snake_case` identifier for the variant, used in
+    /// metric paths and accepted (among other spellings) by the CLI.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            Variant::Unsafe => "unsafe",
+            Variant::SttLd => "stt_ld",
+            Variant::SttLdFp => "stt_ld_fp",
+            Variant::StaticL1 => "static_l1",
+            Variant::StaticL2 => "static_l2",
+            Variant::StaticL3 => "static_l3",
+            Variant::Hybrid => "hybrid",
+            Variant::Perfect => "perfect",
         }
     }
 

@@ -3,7 +3,7 @@
 //! Every paper artifact is built from the same kernel × variant × attack
 //! cross product — hundreds of completely independent, deterministic
 //! simulations. The *simulator* stays single-threaded (reproducibility by
-//! construction: each simulation owns its [`Simulator`] clone, core and
+//! construction: each simulation owns its [`Simulator`](crate::Simulator) clone, core and
 //! memory system); the *harness* fans the independent runs out across a
 //! [`JobPool`] of `std::thread::scope` workers and merges the results in
 //! canonical submission order, so the merged output is byte-identical to

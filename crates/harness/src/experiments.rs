@@ -10,7 +10,7 @@ use crate::engine::JobPool;
 use crate::sim::{RunResult, SimError, Simulator};
 use crate::table::{norm, pct, BarChart, TextTable};
 use sdo_mem::CacheLevel;
-use sdo_uarch::AttackModel;
+use sdo_uarch::{AttackModel, MetricsSnapshot};
 use sdo_workloads::{spectre_v1_victim, suite, Workload};
 
 /// Results of the full sweep: `runs[attack][workload][variant]`, with
@@ -82,6 +82,23 @@ impl SuiteResults {
     #[must_use]
     pub fn counts(&self) -> (u64, u64) {
         (self.sims(), self.total_cycles())
+    }
+
+    /// Merges every run's metric snapshot ([`RunResult::metrics`]) in
+    /// canonical (attack-major, workload, variant) order. Counters sum
+    /// and histograms merge bucket-wise; both are commutative, so the
+    /// result is byte-identical at any `--jobs` count.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        for (_, per_workload) in &self.runs {
+            for runs in per_workload {
+                for r in runs {
+                    m.merge(&r.metrics());
+                }
+            }
+        }
+        m
     }
 
     /// Sums a per-run statistic over all workloads of one variant.
@@ -400,11 +417,24 @@ pub fn sensitivity_report(base: SimConfig) -> Result<String, SimError> {
 ///
 /// Returns the canonically-first simulation error encountered.
 pub fn sensitivity_report_with(base: SimConfig, pool: &JobPool) -> Result<String, SimError> {
+    Ok(sensitivity_with_metrics(base, pool)?.0)
+}
+
+/// [`sensitivity_report_with`] that also returns the merged metric
+/// snapshot of every sweep run (canonical order, `--jobs`-independent).
+///
+/// # Errors
+///
+/// Returns the canonically-first simulation error encountered.
+pub fn sensitivity_with_metrics(
+    base: SimConfig,
+    pool: &JobPool,
+) -> Result<(String, MetricsSnapshot), SimError> {
     use sdo_workloads::kernels::hash_lookup;
 
     let kernel = Workload::new("hash_lookup", hash_lookup(1 << 16, 2000, 5))
         .warmed(0x80_0000, (1 << 16) * 8, CacheLevel::L3);
-    sensitivity_report_for_with(base, &kernel, pool)
+    sensitivity_for_with_metrics(base, &kernel, pool)
 }
 
 /// [`sensitivity_report`] over a caller-chosen kernel (lets tests and
@@ -434,6 +464,20 @@ pub fn sensitivity_report_for_with(
     kernel: &sdo_workloads::Workload,
     pool: &JobPool,
 ) -> Result<String, SimError> {
+    Ok(sensitivity_for_with_metrics(base, kernel, pool)?.0)
+}
+
+/// [`sensitivity_report_for_with`] that also returns the merged metric
+/// snapshot of every sweep run.
+///
+/// # Errors
+///
+/// Returns the canonically-first simulation error encountered.
+pub fn sensitivity_for_with_metrics(
+    base: SimConfig,
+    kernel: &sdo_workloads::Workload,
+    pool: &JobPool,
+) -> Result<(String, MetricsSnapshot), SimError> {
     let mut out = String::from(
         "SENSITIVITY: protection overhead vs. microarchitecture
          (hash_lookup kernel, Spectre model; overhead = normalized time - 1)
@@ -467,6 +511,10 @@ pub fn sensitivity_report_for_with(
     let flat = pool.try_run(&jobs, |_, &(cfg, variant)| {
         Simulator::new(cfg).run_workload(kernel, variant, AttackModel::Spectre)
     })?;
+    let mut metrics = MetricsSnapshot::new();
+    for r in &flat {
+        metrics.merge(&r.metrics());
+    }
     let per_point: Vec<&[RunResult]> = flat.chunks(SENSITIVITY_VARIANTS.len()).collect();
 
     let mut rob_table = TextTable::new(vec![
@@ -507,7 +555,7 @@ pub fn sensitivity_report_for_with(
         ]);
     }
     out.push_str(&mshr_table.render());
-    Ok(out)
+    Ok((out, metrics))
 }
 
 // ----------------------------------------------------------------------
@@ -569,6 +617,26 @@ pub fn pentest_with(sim: &Simulator, pool: &JobPool) -> Result<Vec<PentestOutcom
         let leaked = recovered.contains(&scenario.secret);
         Ok(PentestOutcome { variant, attack, recovered, leaked })
     })
+}
+
+/// Summarizes penetration-test outcomes as a metric snapshot: per
+/// `(attack, variant)` pair, the number of covert-channel-visible bytes
+/// and whether the secret leaked, plus suite-level totals.
+#[must_use]
+pub fn pentest_metrics(outcomes: &[PentestOutcome]) -> MetricsSnapshot {
+    let mut m = MetricsSnapshot::new();
+    m.add("pentest.runs", outcomes.len() as u64);
+    m.add("pentest.leaks", outcomes.iter().filter(|o| o.leaked).count() as u64);
+    for o in outcomes {
+        let attack = match o.attack {
+            AttackModel::Spectre => "spectre",
+            AttackModel::Futuristic => "futuristic",
+        };
+        let prefix = format!("pentest.{attack}.{}", o.variant.slug());
+        m.add(&format!("{prefix}.visible_bytes"), o.recovered.len() as u64);
+        m.add(&format!("{prefix}.leaked"), u64::from(o.leaked));
+    }
+    m
 }
 
 /// Renders the penetration-test report.

@@ -7,48 +7,72 @@ use crate::engine::Throughput;
 use crate::experiments::SuiteResults;
 use crate::sim::RunResult;
 
-/// Header of the per-run CSV produced by [`runs_csv`].
-pub const RUNS_CSV_HEADER: &str = "attack,workload,variant,cycles,normalized,committed,ipc,\
-     delayed_loads,delay_cycles,obl_issued,obl_success,obl_fail,dram_predictions,\
-     mshr_retries,validations,exposures,validation_stall_cycles,imprecision_cycles,\
-     squash_branch,squash_obl_fail,squash_validation,squash_consistency,squash_fp,\
-     predictions,precise,accurate,l1_hits,l1_misses,l2_hits,l3_hits,l3_misses";
+/// One column of the per-run CSV: a stable name paired with the
+/// extractor that renders its cell, so the header and the rows are
+/// derived from the same table and can never drift apart.
+#[derive(Debug, Clone, Copy)]
+pub struct RunColumn {
+    /// Column name, exactly as it appears in the CSV header.
+    pub name: &'static str,
+    /// Renders the cell for one run; `baseline` is the same workload's
+    /// `Unsafe` run (used by derived columns like `normalized`).
+    pub extract: fn(r: &RunResult, baseline: &RunResult) -> String,
+}
+
+/// The per-run CSV schema, in column order. Adding a column here updates
+/// the header, every row, and the schema tests at once.
+pub const RUN_COLUMNS: &[RunColumn] = &[
+    RunColumn { name: "attack", extract: |r, _| r.attack.to_string() },
+    RunColumn { name: "workload", extract: |r, _| r.workload.clone() },
+    RunColumn { name: "variant", extract: |r, _| r.variant.name().replace(' ', "_") },
+    RunColumn { name: "cycles", extract: |r, _| r.cycles.to_string() },
+    RunColumn { name: "normalized", extract: |r, b| format!("{:.6}", r.normalized_to(b)) },
+    RunColumn { name: "committed", extract: |r, _| r.core.committed.to_string() },
+    RunColumn { name: "ipc", extract: |r, _| format!("{:.4}", r.core.ipc()) },
+    RunColumn { name: "delayed_loads", extract: |r, _| r.core.delayed_loads.to_string() },
+    RunColumn { name: "delay_cycles", extract: |r, _| r.core.delay_cycles.to_string() },
+    RunColumn { name: "obl_issued", extract: |r, _| r.core.obl.issued.to_string() },
+    RunColumn { name: "obl_success", extract: |r, _| r.core.obl.success.to_string() },
+    RunColumn { name: "obl_fail", extract: |r, _| r.core.obl.fail.to_string() },
+    RunColumn { name: "dram_predictions", extract: |r, _| r.core.obl.dram_predictions.to_string() },
+    RunColumn { name: "mshr_retries", extract: |r, _| r.core.obl.mshr_retries.to_string() },
+    RunColumn { name: "validations", extract: |r, _| r.core.obl.validations.to_string() },
+    RunColumn { name: "exposures", extract: |r, _| r.core.obl.exposures.to_string() },
+    RunColumn {
+        name: "validation_stall_cycles",
+        extract: |r, _| r.core.obl.validation_stall_cycles.to_string(),
+    },
+    RunColumn {
+        name: "imprecision_cycles",
+        extract: |r, _| r.core.obl.imprecision_cycles.to_string(),
+    },
+    RunColumn { name: "squash_branch", extract: |r, _| r.core.squashes.branch.to_string() },
+    RunColumn { name: "squash_obl_fail", extract: |r, _| r.core.squashes.obl_fail.to_string() },
+    RunColumn { name: "squash_validation", extract: |r, _| r.core.squashes.validation.to_string() },
+    RunColumn {
+        name: "squash_consistency",
+        extract: |r, _| r.core.squashes.consistency.to_string(),
+    },
+    RunColumn { name: "squash_fp", extract: |r, _| r.core.squashes.fp_fail.to_string() },
+    RunColumn { name: "predictions", extract: |r, _| r.core.obl.predictions.to_string() },
+    RunColumn { name: "precise", extract: |r, _| r.core.obl.precise.to_string() },
+    RunColumn { name: "accurate", extract: |r, _| r.core.obl.accurate.to_string() },
+    RunColumn { name: "l1_hits", extract: |r, _| r.mem.l1_hits.to_string() },
+    RunColumn { name: "l1_misses", extract: |r, _| r.mem.l1_misses.to_string() },
+    RunColumn { name: "l2_hits", extract: |r, _| r.mem.l2_hits.to_string() },
+    RunColumn { name: "l3_hits", extract: |r, _| r.mem.l3_hits.to_string() },
+    RunColumn { name: "l3_misses", extract: |r, _| r.mem.l3_misses.to_string() },
+];
+
+/// Header of the per-run CSV produced by [`runs_csv`]: the
+/// [`RUN_COLUMNS`] names, comma-joined.
+#[must_use]
+pub fn runs_csv_header() -> String {
+    RUN_COLUMNS.iter().map(|c| c.name).collect::<Vec<_>>().join(",")
+}
 
 fn run_row(r: &RunResult, baseline: &RunResult) -> String {
-    format!(
-        "{},{},{},{},{:.6},{},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-        r.attack,
-        r.workload,
-        r.variant.name().replace(' ', "_"),
-        r.cycles,
-        r.normalized_to(baseline),
-        r.core.committed,
-        r.core.ipc(),
-        r.core.delayed_loads,
-        r.core.delay_cycles,
-        r.core.obl.issued,
-        r.core.obl.success,
-        r.core.obl.fail,
-        r.core.obl.dram_predictions,
-        r.core.obl.mshr_retries,
-        r.core.obl.validations,
-        r.core.obl.exposures,
-        r.core.obl.validation_stall_cycles,
-        r.core.obl.imprecision_cycles,
-        r.core.squashes.branch,
-        r.core.squashes.obl_fail,
-        r.core.squashes.validation,
-        r.core.squashes.consistency,
-        r.core.squashes.fp_fail,
-        r.core.obl.predictions,
-        r.core.obl.precise,
-        r.core.obl.accurate,
-        r.mem.l1_hits,
-        r.mem.l1_misses,
-        r.mem.l2_hits,
-        r.mem.l3_hits,
-        r.mem.l3_misses,
-    )
+    RUN_COLUMNS.iter().map(|c| (c.extract)(r, baseline)).collect::<Vec<_>>().join(",")
 }
 
 /// Serializes every run of a sweep as CSV (one row per
@@ -56,7 +80,7 @@ fn run_row(r: &RunResult, baseline: &RunResult) -> String {
 /// `Unsafe` run.
 #[must_use]
 pub fn runs_csv(results: &SuiteResults) -> String {
-    let mut out = String::from(RUNS_CSV_HEADER);
+    let mut out = runs_csv_header();
     out.push('\n');
     for (_, per_workload) in &results.runs {
         for runs in per_workload {
@@ -175,7 +199,7 @@ mod tests {
         let csv = runs_csv(&r);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 1 + 2 * Variant::ALL.len());
-        assert_eq!(lines[0].split(',').count(), RUNS_CSV_HEADER.split(',').count());
+        assert_eq!(lines[0].split(',').count(), RUN_COLUMNS.len());
         for row in &lines[1..] {
             assert_eq!(
                 row.split(',').count(),
@@ -184,6 +208,24 @@ mod tests {
             );
         }
         assert!(csv.contains("Static_L2"));
+    }
+
+    /// Pins the schema: the descriptor-table header must stay
+    /// byte-identical to the historical format-string export.
+    #[test]
+    fn runs_csv_header_is_stable() {
+        assert_eq!(
+            runs_csv_header(),
+            "attack,workload,variant,cycles,normalized,committed,ipc,\
+             delayed_loads,delay_cycles,obl_issued,obl_success,obl_fail,dram_predictions,\
+             mshr_retries,validations,exposures,validation_stall_cycles,imprecision_cycles,\
+             squash_branch,squash_obl_fail,squash_validation,squash_consistency,squash_fp,\
+             predictions,precise,accurate,l1_hits,l1_misses,l2_hits,l3_hits,l3_misses"
+        );
+        let mut names: Vec<_> = RUN_COLUMNS.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), RUN_COLUMNS.len(), "duplicate column name");
     }
 
     #[test]

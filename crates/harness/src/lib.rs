@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cli;
 pub mod config;
 pub mod engine;
 pub mod experiments;

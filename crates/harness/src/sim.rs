@@ -4,7 +4,7 @@
 use crate::config::{SimConfig, Variant};
 use sdo_isa::Program;
 use sdo_mem::{MemStats, MemorySystem};
-use sdo_uarch::{AttackModel, Core, CoreStats};
+use sdo_uarch::{AttackModel, Core, CoreStats, MetricsSnapshot, PipelineObs};
 use std::error::Error;
 use std::fmt;
 
@@ -47,6 +47,10 @@ pub struct RunResult {
     pub core: CoreStats,
     /// Memory-side statistics.
     pub mem: MemStats,
+    /// Observability probe detached from the core after the run
+    /// (`None` when the machine's [`ObsConfig`](sdo_uarch::ObsConfig)
+    /// is off).
+    pub obs: Option<Box<PipelineObs>>,
 }
 
 impl RunResult {
@@ -54,6 +58,24 @@ impl RunResult {
     #[must_use]
     pub fn normalized_to(&self, baseline: &RunResult) -> f64 {
         self.cycles as f64 / baseline.cycles as f64
+    }
+
+    /// This run's metric snapshot: every core counter under `core.*`,
+    /// every memory counter under `mem.*`, occupancy histograms under
+    /// `pipeline.*` (when observability was enabled), plus `run.cycles`
+    /// and `run.sims`. Merging snapshots of several runs aggregates
+    /// them (counters sum, histograms pool).
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        m.add("run.sims", 1);
+        m.add("run.cycles", self.cycles);
+        self.core.export_metrics(&mut m, "core");
+        self.mem.export_metrics(&mut m, "mem");
+        if let Some(obs) = &self.obs {
+            obs.export(&mut m, "pipeline");
+        }
+        m
     }
 }
 
@@ -146,6 +168,7 @@ impl Simulator {
             mem.prewarm(0, start, bytes, level);
         }
         let mut core = Core::new(0, self.cfg.core, variant.security(attack), program.clone());
+        core.enable_obs(self.cfg.obs, self.cfg.mem.l1.mshrs as usize);
         core.run(&mut mem, self.cfg.max_cycles).map_err(|_| SimError::Hang {
             max_cycles: self.cfg.max_cycles,
             workload: program.name().to_string(),
@@ -157,6 +180,7 @@ impl Simulator {
             cycles: core.now(),
             core: *core.stats(),
             mem: *mem.stats(),
+            obs: core.take_obs(),
         };
         Ok((result, mem))
     }
@@ -187,7 +211,11 @@ impl Simulator {
         let mut cores: Vec<Core> = programs
             .iter()
             .enumerate()
-            .map(|(id, p)| Core::new(id, self.cfg.core, sec, p.clone()))
+            .map(|(id, p)| {
+                let mut c = Core::new(id, self.cfg.core, sec, p.clone());
+                c.enable_obs(self.cfg.obs, self.cfg.mem.l1.mshrs as usize);
+                c
+            })
             .collect();
         let mut elapsed = 0u64;
         while cores.iter().any(|c| !c.halted()) {
@@ -204,7 +232,7 @@ impl Simulator {
             elapsed += 1;
         }
         let results = cores
-            .iter()
+            .iter_mut()
             .zip(programs)
             .map(|(core, p)| RunResult {
                 workload: p.name().to_string(),
@@ -213,6 +241,7 @@ impl Simulator {
                 cycles: core.now(),
                 core: *core.stats(),
                 mem: *mem.stats(),
+                obs: core.take_obs(),
             })
             .collect();
         Ok((results, mem))
@@ -285,6 +314,43 @@ mod tests {
         // Both cores' traffic landed in one shared memory system.
         assert!(mem.stats().loads() > 0);
         assert_eq!(mem.cores(), 2);
+    }
+
+    #[test]
+    fn metrics_snapshot_mirrors_stats() {
+        let sim = Simulator::new(SimConfig::tiny());
+        let prog = l1_resident(300, 1);
+        let r = sim.run(&prog, Variant::Hybrid, AttackModel::Spectre).unwrap();
+        assert!(r.obs.is_none(), "default config records no probe");
+        let m = r.metrics();
+        assert_eq!(m.counter("run.sims"), Some(1));
+        assert_eq!(m.counter("run.cycles"), Some(r.cycles));
+        assert_eq!(m.counter("core.committed"), Some(r.core.committed));
+        assert_eq!(m.counter("core.obl.issued"), Some(r.core.obl.issued));
+        assert_eq!(m.counter("mem.l1.hits"), Some(r.mem.l1_hits));
+        assert!(m.histogram("pipeline.occupancy.rob").is_none());
+    }
+
+    #[test]
+    fn obs_enabled_run_is_identical_and_carries_histograms() {
+        use sdo_uarch::ObsConfig;
+        let prog = l1_resident(300, 1);
+        let plain = Simulator::new(SimConfig::tiny())
+            .run(&prog, Variant::Hybrid, AttackModel::Spectre)
+            .unwrap();
+        let observed = Simulator::new(SimConfig::tiny().with_obs(ObsConfig::occupancy()))
+            .run(&prog, Variant::Hybrid, AttackModel::Spectre)
+            .unwrap();
+        assert_eq!(observed.cycles, plain.cycles, "obs must not perturb timing");
+        assert_eq!(observed.core, plain.core);
+        assert_eq!(observed.mem, plain.mem);
+        let obs = observed.obs.as_ref().expect("probe recorded");
+        assert_eq!(obs.rob.count(), observed.cycles);
+        let m = observed.metrics();
+        assert_eq!(
+            m.histogram("pipeline.occupancy.rob").unwrap().count(),
+            observed.cycles
+        );
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Integration tests for the observability layer: the probe must be a
+//! pure observer (figures byte-identical with it on or off), metric
+//! snapshots must be deterministic at any worker count, and the event
+//! trace must survive a JSONL round trip from a real simulated run.
+
+use sdo_harness::experiments::{
+    fig6_report, fig7_report, fig8_report, run_suite_on, table3_report,
+};
+use sdo_harness::export::{fig6_csv, runs_csv, runs_csv_header, RUN_COLUMNS};
+use sdo_harness::{JobPool, SimConfig, Simulator, Variant};
+use sdo_mem::CacheLevel;
+use sdo_uarch::{AttackModel, EventTrace, ObsConfig};
+use sdo_workloads::kernels::{hash_lookup, l1_resident, stream};
+use sdo_workloads::Workload;
+
+/// The same fast three-kernel suite as `tests/parallel.rs`.
+fn mini_suite() -> Vec<Workload> {
+    vec![
+        Workload::new("l1_resident", l1_resident(200, 10)),
+        Workload::new("stream", stream(512, 1, 2)).warmed(0x20_0000, 512 * 8, CacheLevel::L3),
+        Workload::new("hash_lookup", hash_lookup(1 << 10, 120, 5))
+            .warmed(0x80_0000, (1 << 10) * 8, CacheLevel::L3),
+    ]
+}
+
+#[test]
+fn figures_are_byte_identical_with_obs_on() {
+    let kernels = mini_suite();
+    let pool = JobPool::new(2);
+    let off = Simulator::new(SimConfig::table_i());
+    // A small trace capacity keeps the retained per-run buffers tiny;
+    // dropped events don't perturb timing either.
+    let on = Simulator::new(SimConfig::table_i().with_obs(ObsConfig::full(4096)));
+    let r_off = run_suite_on(&off, &kernels, &pool).expect("suite completes");
+    let r_on = run_suite_on(&on, &kernels, &pool).expect("suite completes");
+
+    assert_eq!(fig6_report(&r_off), fig6_report(&r_on), "fig6 perturbed by obs");
+    assert_eq!(fig7_report(&r_off), fig7_report(&r_on), "fig7 perturbed by obs");
+    assert_eq!(fig8_report(&r_off), fig8_report(&r_on), "fig8 perturbed by obs");
+    assert_eq!(table3_report(&r_off), table3_report(&r_on), "table3 perturbed by obs");
+    assert_eq!(runs_csv(&r_off), runs_csv(&r_on), "runs CSV perturbed by obs");
+    assert_eq!(fig6_csv(&r_off), fig6_csv(&r_on), "fig6 CSV perturbed by obs");
+
+    // The probe actually rode along (and only when configured).
+    assert!(r_on.runs[0].1[0][0].obs.is_some(), "obs missing from enabled run");
+    assert!(r_off.runs[0].1[0][0].obs.is_none(), "obs attached to disabled run");
+}
+
+#[test]
+fn metrics_are_deterministic_across_worker_counts() {
+    let kernels = mini_suite();
+    let sim = Simulator::new(SimConfig::table_i().with_obs(ObsConfig::occupancy()));
+    let m1 = run_suite_on(&sim, &kernels, &JobPool::new(1)).expect("suite completes").metrics();
+    for jobs in [2, 4] {
+        let mj = run_suite_on(&sim, &kernels, &JobPool::new(jobs))
+            .expect("suite completes")
+            .metrics();
+        assert_eq!(m1.to_json(), mj.to_json(), "metric snapshot diverged at {jobs} jobs");
+    }
+    // Sanity: the snapshot carries suite counters, per-domain counters
+    // and merged occupancy histograms.
+    let sims = (kernels.len() * Variant::ALL.len() * AttackModel::ALL.len()) as u64;
+    assert_eq!(m1.counter("run.sims"), Some(sims));
+    assert!(m1.counter("core.committed").unwrap_or(0) > 0);
+    assert!(m1.counter("mem.l1.hits").unwrap_or(0) > 0);
+    let rob = m1.histogram("pipeline.occupancy.rob").expect("occupancy recorded");
+    assert_eq!(rob.count(), m1.counter("run.cycles").expect("cycles counted"));
+}
+
+#[test]
+fn event_trace_round_trips_through_a_real_run() {
+    let sim = Simulator::new(SimConfig::table_i().with_obs(ObsConfig::full(1 << 16)));
+    let w = Workload::new("hash_lookup", hash_lookup(1 << 10, 120, 5))
+        .warmed(0x80_0000, (1 << 10) * 8, CacheLevel::L3);
+    let r = sim
+        .run_workload(&w, Variant::Hybrid, AttackModel::Spectre)
+        .expect("run completes");
+    let obs = r.obs.expect("obs attached");
+    let trace = obs.trace().expect("tracing enabled");
+    assert!(!trace.events().is_empty(), "no events recorded");
+
+    let jsonl = trace.to_jsonl();
+    let parsed = EventTrace::parse_jsonl(&jsonl).expect("trace parses back");
+    assert_eq!(parsed.events(), trace.events(), "events changed across the round trip");
+    assert_eq!(parsed.to_jsonl(), jsonl, "re-serialization not byte-identical");
+}
+
+#[test]
+fn csv_exports_are_rectangular() {
+    let kernels = mini_suite();
+    let sim = Simulator::new(SimConfig::table_i());
+    let results = run_suite_on(&sim, &kernels, &JobPool::new(4)).expect("suite completes");
+    for (name, csv) in [("runs", runs_csv(&results)), ("fig6", fig6_csv(&results))] {
+        let mut lines = csv.lines();
+        let header = lines.next().expect("header line");
+        let cols = header.split(',').count();
+        let mut rows = 0;
+        for row in lines {
+            assert_eq!(row.split(',').count(), cols, "{name}: ragged row {row}");
+            rows += 1;
+        }
+        assert!(rows > 0, "{name}: no data rows");
+    }
+    assert_eq!(runs_csv_header().split(',').count(), RUN_COLUMNS.len());
+}

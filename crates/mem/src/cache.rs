@@ -220,6 +220,13 @@ impl CacheArray {
         self.slots.iter().filter(|s| s.state.is_valid()).count()
     }
 
+    /// Total line slots (sets × ways) — the denominator for a residency
+    /// ratio over [`CacheArray::resident_lines`].
+    #[must_use]
+    pub fn capacity_lines(&self) -> usize {
+        self.slots.len()
+    }
+
     /// All resident line addresses (unordered); for tests and debugging.
     pub fn lines(&self) -> impl Iterator<Item = (Addr, Mesi)> + '_ {
         self.slots.iter().filter(|s| s.state.is_valid()).map(|s| (s.tag, s.state))

@@ -64,6 +64,19 @@ impl Dram {
         (start + latency, hit)
     }
 
+    /// Number of modeled banks.
+    #[must_use]
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Number of banks currently holding a row open (observability: how
+    /// much row-buffer locality the run left behind).
+    #[must_use]
+    pub fn open_rows(&self) -> usize {
+        self.banks.iter().filter(|b| b.open_row.is_some()).count()
+    }
+
     /// Latency the access *would* have (row hit or miss), without changing
     /// state; used by tests.
     #[must_use]
@@ -134,5 +147,18 @@ mod tests {
         d.access(0, 0);
         assert_eq!(d.peek_latency(0), 60);
         assert_eq!(d.peek_latency(2048), 100);
+    }
+
+    #[test]
+    fn open_rows_counts_touched_banks() {
+        let mut d = dram();
+        assert_eq!(d.banks(), 2);
+        assert_eq!(d.open_rows(), 0);
+        d.access(0, 0);
+        assert_eq!(d.open_rows(), 1);
+        d.access(1024, 0);
+        assert_eq!(d.open_rows(), 2);
+        d.access(2048, 200); // same bank, different row: still one open row
+        assert_eq!(d.open_rows(), 2);
     }
 }

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use sdo_obs::MetricsSnapshot;
+
 /// Counters accumulated by the memory system; read by the experiment
 /// harness when attributing overhead (Figure 7) and by tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -129,6 +131,68 @@ impl MemStats {
         self.tlb_probe_hits += tlb_probe_hits;
         self.tlb_probe_misses += tlb_probe_misses;
     }
+
+    /// Registers every counter under `prefix` in `m` (hierarchical
+    /// paths, e.g. `mem.l1.hits`). Destructures `self` so adding a
+    /// field without exporting it is a compile error — the registry
+    /// cannot drift from the struct.
+    pub fn export_metrics(&self, m: &mut MetricsSnapshot, prefix: &str) {
+        let MemStats {
+            icache_hits,
+            icache_misses,
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            l3_hits,
+            l3_misses,
+            remote_hits,
+            dram_row_hits,
+            dram_row_misses,
+            obl_lookups,
+            obl_level_hits,
+            obl_all_miss,
+            obl_mshr_rejects,
+            validations,
+            validation_mismatches,
+            exposures,
+            stores,
+            invalidations_sent,
+            tlb_hits,
+            tlb_misses,
+            tlb_probe_hits,
+            tlb_probe_misses,
+        } = *self;
+        let add = |m: &mut MetricsSnapshot, name: &str, v: u64| {
+            m.add(&format!("{prefix}.{name}"), v);
+        };
+        add(m, "icache.hits", icache_hits);
+        add(m, "icache.misses", icache_misses);
+        add(m, "l1.hits", l1_hits);
+        add(m, "l1.misses", l1_misses);
+        add(m, "l2.hits", l2_hits);
+        add(m, "l2.misses", l2_misses);
+        add(m, "l3.hits", l3_hits);
+        add(m, "l3.misses", l3_misses);
+        add(m, "remote_hits", remote_hits);
+        add(m, "dram.row_hits", dram_row_hits);
+        add(m, "dram.row_misses", dram_row_misses);
+        add(m, "obl.lookups", obl_lookups);
+        add(m, "obl.l1_hits", obl_level_hits[0]);
+        add(m, "obl.l2_hits", obl_level_hits[1]);
+        add(m, "obl.l3_hits", obl_level_hits[2]);
+        add(m, "obl.all_miss", obl_all_miss);
+        add(m, "obl.mshr_rejects", obl_mshr_rejects);
+        add(m, "validations", validations);
+        add(m, "validation_mismatches", validation_mismatches);
+        add(m, "exposures", exposures);
+        add(m, "stores", stores);
+        add(m, "invalidations_sent", invalidations_sent);
+        add(m, "tlb.hits", tlb_hits);
+        add(m, "tlb.misses", tlb_misses);
+        add(m, "tlb.probe_hits", tlb_probe_hits);
+        add(m, "tlb.probe_misses", tlb_probe_misses);
+    }
 }
 
 impl fmt::Display for MemStats {
@@ -194,5 +258,19 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!MemStats::default().to_string().is_empty());
+    }
+
+    #[test]
+    fn export_covers_every_field() {
+        let s = MemStats { l1_hits: 7, obl_level_hits: [1, 2, 3], ..Default::default() };
+        let mut m = MetricsSnapshot::new();
+        s.export_metrics(&mut m, "mem");
+        // 24 scalar fields + obl_level_hits expanded to 3 paths.
+        assert_eq!(m.len(), 26);
+        assert_eq!(m.counter("mem.l1.hits"), Some(7));
+        assert_eq!(m.counter("mem.obl.l3_hits"), Some(3));
+        // Exporting twice accumulates, matching merge() semantics.
+        s.export_metrics(&mut m, "mem");
+        assert_eq!(m.counter("mem.l1.hits"), Some(14));
     }
 }

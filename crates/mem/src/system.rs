@@ -311,6 +311,20 @@ impl MemorySystem {
         self.stats = MemStats::default();
     }
 
+    /// L1 MSHR registers of `core` occupied at cycle `now` — the fill
+    /// level the core's observability probe samples each cycle. Cheap:
+    /// a popcount-style scan over the occupancy bitmask.
+    #[must_use]
+    pub fn mshr_in_use(&self, core: usize, now: Cycle) -> usize {
+        self.l1_mshr[core].in_use(now)
+    }
+
+    /// High-water mark of `core`'s L1 MSHR file over the run.
+    #[must_use]
+    pub fn mshr_peak(&self, core: usize) -> usize {
+        self.l1_mshr[core].peak_in_use()
+    }
+
     /// Drains the coherence invalidations delivered to `core` since the
     /// last call. The core checks these against its load queue to detect
     /// possible memory-consistency violations (Section V-C1).

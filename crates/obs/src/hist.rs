@@ -1,0 +1,233 @@
+//! Fixed-bound histograms for per-cycle occupancy sampling.
+//!
+//! A [`Histogram`] is a set of cumulative-style buckets over `u64`
+//! samples plus exact `count`/`sum`/`max` tracking, so mean occupancy is
+//! exact even though the distribution itself is bucketed. Bucket bounds
+//! are fixed at construction; two histograms merge only if their bounds
+//! are identical, which keeps parallel-merge deterministic (bucket
+//! counts are integers, so merge order cannot change the result).
+
+/// Number of linear buckets [`Histogram::occupancy`] carves a capacity
+/// into (plus one implicit overflow bucket).
+pub const OCCUPANCY_BUCKETS: usize = 8;
+
+/// A bucketed distribution of `u64` samples with exact count/sum/max.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    /// Inclusive upper bounds of each bucket, strictly increasing.
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` counts; the last is the overflow bucket
+    /// (samples greater than every bound).
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given inclusive upper bucket bounds.
+    ///
+    /// Bounds must be strictly increasing and non-empty.
+    #[must_use]
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// A histogram sized for occupancy samples of a structure holding at
+    /// most `capacity` entries: up to [`OCCUPANCY_BUCKETS`] linear
+    /// buckets ending exactly at `capacity`, so the last regular bucket
+    /// means "completely full".
+    #[must_use]
+    pub fn occupancy(capacity: usize) -> Self {
+        let cap = capacity.max(1) as u64;
+        let mut bounds = Vec::with_capacity(OCCUPANCY_BUCKETS);
+        for i in 1..=OCCUPANCY_BUCKETS as u64 {
+            let b = cap * i / OCCUPANCY_BUCKETS as u64;
+            if bounds.last() != Some(&b) && b > 0 {
+                bounds.push(b);
+            }
+        }
+        Histogram::with_bounds(&bounds)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`.
+    ///
+    /// # Panics
+    /// If the two histograms were built with different bucket bounds.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 if empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples (0.0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The bucket bounds this histogram was built with.
+    #[must_use]
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket sample counts (`bounds().len() + 1` entries; the last
+    /// is the overflow bucket).
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Renders the histogram as a single-line JSON object with stable
+    /// key order: `count`, `sum`, `max`, `mean`, then `buckets` as a
+    /// list of `{"le": bound, "count": n}` objects ending with the
+    /// overflow bucket (`"le": "inf"`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.4},\"buckets\":[",
+            self.count,
+            self.sum,
+            self.max,
+            self.mean()
+        );
+        for (i, b) in self.bounds.iter().enumerate() {
+            out.push_str(&format!("{{\"le\":{},\"count\":{}}},", b, self.counts[i]));
+        }
+        out.push_str(&format!(
+            "{{\"le\":\"inf\",\"count\":{}}}]}}",
+            self.counts[self.bounds.len()]
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_bounds_end_at_capacity() {
+        let h = Histogram::occupancy(192);
+        assert_eq!(h.bounds().last(), Some(&192));
+        assert_eq!(h.bounds().len(), OCCUPANCY_BUCKETS);
+        // Tiny capacities dedupe to fewer buckets but stay valid.
+        let t = Histogram::occupancy(3);
+        assert_eq!(t.bounds().last(), Some(&3));
+        assert!(t.bounds().len() <= 3);
+        let one = Histogram::occupancy(1);
+        assert_eq!(one.bounds(), &[1]);
+    }
+
+    #[test]
+    fn record_tracks_exact_moments() {
+        let mut h = Histogram::occupancy(8);
+        for v in [0, 1, 4, 8, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 21);
+        assert_eq!(h.max(), 8);
+        assert!((h.mean() - 4.2).abs() < 1e-9);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_out_of_range() {
+        let mut h = Histogram::with_bounds(&[2, 4]);
+        h.record(5);
+        h.record(100);
+        assert_eq!(h.bucket_counts(), &[0, 0, 2]);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = Histogram::occupancy(16);
+        let mut b = Histogram::occupancy(16);
+        for v in 0..10 {
+            a.record(v);
+        }
+        for v in 5..20 {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::occupancy(16);
+        a.merge(&Histogram::occupancy(32));
+    }
+
+    #[test]
+    fn json_is_balanced_and_ordered() {
+        let mut h = Histogram::occupancy(4);
+        h.record(2);
+        let j = h.to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.starts_with("{\"count\":1,\"sum\":2,\"max\":2,\"mean\":2.0000"));
+        assert!(j.contains("\"le\":\"inf\""));
+    }
+}

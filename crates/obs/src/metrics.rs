@@ -1,0 +1,239 @@
+//! The metrics registry: typed values keyed by hierarchical path.
+//!
+//! A [`MetricsSnapshot`] maps dotted paths (`core.squash.obl_fail`,
+//! `mem.l1.hits`, `pipeline.occupancy.rob`) to typed [`Metric`] values.
+//! Snapshots are built *after* a run from the simulator's stats structs
+//! — the hot path never touches this module — and merged across runs in
+//! canonical submission order, so the aggregate is identical no matter
+//! how many workers produced the per-run snapshots. The backing map is
+//! a `BTreeMap`, so iteration and JSON rendering are in stable
+//! lexicographic path order.
+
+use std::collections::BTreeMap;
+
+use crate::hist::Histogram;
+
+/// One typed metric value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Metric {
+    /// A monotonically accumulated count; merges by summation.
+    Counter(u64),
+    /// A bucketed distribution; merges bucket-wise (same bounds).
+    Histogram(Histogram),
+}
+
+impl Metric {
+    /// Renders the value as JSON (a bare integer or a histogram object).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            Metric::Counter(v) => v.to_string(),
+            Metric::Histogram(h) => h.to_json(),
+        }
+    }
+}
+
+/// A point-in-time collection of metrics keyed by hierarchical path.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    entries: BTreeMap<String, Metric>,
+}
+
+/// Asserts (debug builds only) that a metric path is well-formed:
+/// non-empty dotted segments of `[a-z0-9_]`.
+fn check_path(path: &str) {
+    debug_assert!(
+        !path.is_empty()
+            && path
+                .split('.')
+                .all(|seg| !seg.is_empty()
+                    && seg.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')),
+        "malformed metric path: {path:?}"
+    );
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Adds `v` to the counter at `path`, registering it at zero first
+    /// if absent.
+    ///
+    /// # Panics
+    /// If `path` is already registered as a histogram.
+    pub fn add(&mut self, path: &str, v: u64) {
+        check_path(path);
+        match self
+            .entries
+            .entry(path.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += v,
+            Metric::Histogram(_) => panic!("metric {path:?} is a histogram, not a counter"),
+        }
+    }
+
+    /// Merges histogram `h` into the histogram at `path`, registering a
+    /// clone of `h` if absent.
+    ///
+    /// # Panics
+    /// If `path` is already registered as a counter, or the existing
+    /// histogram has different bucket bounds.
+    pub fn add_histogram(&mut self, path: &str, h: &Histogram) {
+        check_path(path);
+        match self.entries.get_mut(path) {
+            None => {
+                self.entries.insert(path.to_string(), Metric::Histogram(h.clone()));
+            }
+            Some(Metric::Histogram(mine)) => mine.merge(h),
+            Some(Metric::Counter(_)) => panic!("metric {path:?} is a counter, not a histogram"),
+        }
+    }
+
+    /// Folds every metric of `other` into `self` (counters sum,
+    /// histograms merge bucket-wise).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (path, m) in &other.entries {
+            match m {
+                Metric::Counter(v) => self.add(path, *v),
+                Metric::Histogram(h) => self.add_histogram(path, h),
+            }
+        }
+    }
+
+    /// The counter at `path`, or `None` if absent or not a counter.
+    #[must_use]
+    pub fn counter(&self, path: &str) -> Option<u64> {
+        match self.entries.get(path) {
+            Some(Metric::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram at `path`, or `None` if absent or not a histogram.
+    #[must_use]
+    pub fn histogram(&self, path: &str) -> Option<&Histogram> {
+        match self.entries.get(path) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The metric at `path`, if any.
+    #[must_use]
+    pub fn get(&self, path: &str) -> Option<&Metric> {
+        self.entries.get(path)
+    }
+
+    /// Number of registered metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no metrics.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates metrics in stable lexicographic path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Renders the snapshot as a pretty-printed JSON object, one dotted
+    /// path per line, in stable lexicographic order. Paths never need
+    /// escaping (enforced by a path check in debug builds), so the
+    /// output is deterministic bytes for a deterministic snapshot.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut first = true;
+        for (path, m) in &self.entries {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!("  \"{}\": {}", path, m.to_json()));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsSnapshot::new();
+        m.add("core.committed", 10);
+        m.add("core.committed", 5);
+        assert_eq!(m.counter("core.committed"), Some(15));
+        assert_eq!(m.counter("missing"), None);
+    }
+
+    #[test]
+    fn histograms_merge_in_place() {
+        let mut m = MetricsSnapshot::new();
+        let mut h = Histogram::occupancy(8);
+        h.record(4);
+        m.add_histogram("pipeline.occupancy.rob", &h);
+        m.add_histogram("pipeline.occupancy.rob", &h);
+        assert_eq!(m.histogram("pipeline.occupancy.rob").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn merge_order_does_not_matter() {
+        let mk = |c: u64| {
+            let mut m = MetricsSnapshot::new();
+            m.add("a.x", c);
+            let mut h = Histogram::occupancy(4);
+            h.record(c % 5);
+            m.add_histogram("a.h", &h);
+            m
+        };
+        let parts: Vec<MetricsSnapshot> = (1..=4).map(mk).collect();
+        let mut fwd = MetricsSnapshot::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = MetricsSnapshot::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.to_json(), rev.to_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "is a histogram")]
+    fn kind_mismatch_panics() {
+        let mut m = MetricsSnapshot::new();
+        m.add_histogram("x", &Histogram::occupancy(2));
+        m.add("x", 1);
+    }
+
+    #[test]
+    fn json_is_sorted_and_balanced() {
+        let mut m = MetricsSnapshot::new();
+        m.add("b.second", 2);
+        m.add("a.first", 1);
+        let j = m.to_json();
+        assert!(j.find("a.first").unwrap() < j.find("b.second").unwrap());
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.ends_with("}\n"));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "malformed metric path")]
+    fn bad_paths_rejected_in_debug() {
+        MetricsSnapshot::new().add("Core.Committed", 1);
+    }
+}

@@ -1,0 +1,351 @@
+//! Structured pipeline event trace with bounded buffering and a JSONL
+//! wire format.
+//!
+//! Where `sdo_uarch::PipelineTrace` renders a human-readable per-seq
+//! table, [`EventTrace`] records machine-readable [`Event`]s — one JSON
+//! object per line — so external tooling can reconstruct the exact
+//! interleaving of dispatch, issue, oblivious probes, validations,
+//! exposures and squashes. The buffer is capacity-bounded: once full,
+//! further events are counted in [`EventTrace::dropped`] instead of
+//! allocated, keeping long runs memory-safe.
+//!
+//! The format round-trips: [`EventTrace::to_jsonl`] output parses back
+//! with [`EventTrace::parse_jsonl`] into equal events (no serde in the
+//! workspace, so both directions are hand-rolled against the same
+//! field set).
+
+/// Why a pipeline squash happened (mirrors
+/// `sdo_uarch::stats::SquashCounts` one-to-one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SquashCause {
+    /// Branch misprediction.
+    Branch,
+    /// SDO oblivious-load FSM failure (no level accepted the probe).
+    OblFail,
+    /// Validation mismatch (value changed between probe and commit).
+    Validation,
+    /// Memory consistency violation detected at resolve.
+    Consistency,
+    /// Floating-point SDO fallback failure.
+    FpFail,
+}
+
+impl SquashCause {
+    /// Stable wire name used in the JSONL `cause` field.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SquashCause::Branch => "branch",
+            SquashCause::OblFail => "obl_fail",
+            SquashCause::Validation => "validation",
+            SquashCause::Consistency => "consistency",
+            SquashCause::FpFail => "fp_fail",
+        }
+    }
+
+    fn parse(s: &str) -> Option<SquashCause> {
+        Some(match s {
+            "branch" => SquashCause::Branch,
+            "obl_fail" => SquashCause::OblFail,
+            "validation" => SquashCause::Validation,
+            "consistency" => SquashCause::Consistency,
+            "fp_fail" => SquashCause::FpFail,
+            _ => return None,
+        })
+    }
+}
+
+/// What happened to an instruction at a given cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Entered the ROB (and IQ / LQ / SQ as appropriate).
+    Dispatch,
+    /// Left the issue queue for a functional unit or the memory system.
+    Issue,
+    /// Retired architecturally.
+    Commit,
+    /// SDO oblivious lookup issued; `level` is the predicted cache
+    /// level (1–3) or 4 for DRAM.
+    OblProbe {
+        /// Predicted service level: 1 = L1, 2 = L2, 3 = L3, 4 = DRAM.
+        level: u8,
+    },
+    /// InvisiSpec-style validation access; `matched` is whether the
+    /// re-read value equalled the obliviously obtained one.
+    Validate {
+        /// Whether validation matched (mismatch forces a squash).
+        matched: bool,
+    },
+    /// Exposure access (safe re-execution that may update cache state).
+    Expose,
+    /// Pipeline squash with its root cause.
+    Squash {
+        /// Root cause recorded by the squash site.
+        cause: SquashCause,
+    },
+}
+
+impl EventKind {
+    /// Stable wire name used in the JSONL `event` field.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Dispatch => "dispatch",
+            EventKind::Issue => "issue",
+            EventKind::Commit => "commit",
+            EventKind::OblProbe { .. } => "obl_probe",
+            EventKind::Validate { .. } => "validate",
+            EventKind::Expose => "expose",
+            EventKind::Squash { .. } => "squash",
+        }
+    }
+}
+
+/// One traced pipeline event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Cycle at which the event happened.
+    pub cycle: u64,
+    /// Dynamic sequence number of the instruction involved.
+    pub seq: u64,
+    /// Program counter of the instruction involved.
+    pub pc: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Renders the event as one JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"cycle\":{},\"seq\":{},\"pc\":{},\"event\":\"{}\"",
+            self.cycle,
+            self.seq,
+            self.pc,
+            self.kind.name()
+        );
+        match self.kind {
+            EventKind::OblProbe { level } => out.push_str(&format!(",\"level\":{level}")),
+            EventKind::Validate { matched } => out.push_str(&format!(",\"matched\":{matched}")),
+            EventKind::Squash { cause } => {
+                out.push_str(&format!(",\"cause\":\"{}\"", cause.name()));
+            }
+            _ => {}
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSONL line produced by [`Event::to_json`].
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed or missing field.
+    pub fn parse(line: &str) -> Result<Event, String> {
+        let cycle = int_field(line, "cycle")?;
+        let seq = int_field(line, "seq")?;
+        let pc = int_field(line, "pc")?;
+        let kind = match str_field(line, "event")? {
+            "dispatch" => EventKind::Dispatch,
+            "issue" => EventKind::Issue,
+            "commit" => EventKind::Commit,
+            "obl_probe" => EventKind::OblProbe {
+                level: int_field(line, "level")? as u8,
+            },
+            "validate" => EventKind::Validate {
+                matched: match raw_field(line, "matched")? {
+                    "true" => true,
+                    "false" => false,
+                    other => return Err(format!("bad bool for 'matched': {other:?}")),
+                },
+            },
+            "expose" => EventKind::Expose,
+            "squash" => {
+                let c = str_field(line, "cause")?;
+                EventKind::Squash {
+                    cause: SquashCause::parse(c)
+                        .ok_or_else(|| format!("unknown squash cause {c:?}"))?,
+                }
+            }
+            other => return Err(format!("unknown event kind {other:?}")),
+        };
+        Ok(Event { cycle, seq, pc, kind })
+    }
+}
+
+/// The raw token following `"key":` in `line` (up to the next `,` or
+/// `}`), trimmed.
+fn raw_field<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    let pat = format!("\"{key}\":");
+    let start = line
+        .find(&pat)
+        .ok_or_else(|| format!("missing field {key:?} in {line:?}"))?
+        + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find([',', '}'])
+        .ok_or_else(|| format!("unterminated field {key:?} in {line:?}"))?;
+    Ok(rest[..end].trim())
+}
+
+fn int_field(line: &str, key: &str) -> Result<u64, String> {
+    raw_field(line, key)?
+        .parse()
+        .map_err(|e| format!("bad integer for {key:?}: {e}"))
+}
+
+fn str_field<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    let raw = raw_field(line, key)?;
+    raw.strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("field {key:?} is not a string: {raw:?}"))
+}
+
+/// A capacity-bounded buffer of [`Event`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EventTrace {
+    events: Vec<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventTrace {
+    /// An empty trace that keeps at most `capacity` events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventTrace {
+            // Defer the big allocation until the first event; harness
+            // configs often enable tracing they never exercise.
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records one event, or counts it as dropped once the buffer holds
+    /// `capacity` events.
+    #[inline]
+    pub fn record(&mut self, ev: Event) {
+        if self.events.len() < self.capacity {
+            if self.events.capacity() == 0 {
+                self.events.reserve_exact(self.capacity.min(4096));
+            }
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The buffered events, in record order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events rejected after the buffer filled.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Maximum number of buffered events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Serializes the trace as JSONL: one event object per line.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses JSONL produced by [`EventTrace::to_jsonl`] back into a
+    /// trace (capacity = number of parsed events, dropped = 0).
+    ///
+    /// # Errors
+    /// Returns the line number (1-based) and cause of the first parse
+    /// failure.
+    pub fn parse_jsonl(text: &str) -> Result<EventTrace, String> {
+        let mut events = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            events.push(Event::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+        }
+        Ok(EventTrace { capacity: events.len(), events, dropped: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event { cycle: 1, seq: 0, pc: 0, kind: EventKind::Dispatch },
+            Event { cycle: 2, seq: 0, pc: 0, kind: EventKind::Issue },
+            Event { cycle: 3, seq: 1, pc: 4, kind: EventKind::OblProbe { level: 2 } },
+            Event { cycle: 9, seq: 1, pc: 4, kind: EventKind::Validate { matched: true } },
+            Event { cycle: 9, seq: 2, pc: 8, kind: EventKind::Validate { matched: false } },
+            Event { cycle: 10, seq: 2, pc: 8, kind: EventKind::Squash { cause: SquashCause::Validation } },
+            Event { cycle: 11, seq: 3, pc: 12, kind: EventKind::Expose },
+            Event { cycle: 12, seq: 0, pc: 0, kind: EventKind::Commit },
+            Event { cycle: 13, seq: 4, pc: 16, kind: EventKind::Squash { cause: SquashCause::Branch } },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut t = EventTrace::with_capacity(64);
+        for ev in sample_events() {
+            t.record(ev);
+        }
+        let text = t.to_jsonl();
+        let back = EventTrace::parse_jsonl(&text).unwrap();
+        assert_eq!(back.events(), t.events());
+        // And the re-serialization is byte-identical.
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn bounded_buffer_counts_drops() {
+        let mut t = EventTrace::with_capacity(2);
+        for ev in sample_events() {
+            t.record(ev);
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 7);
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let err = EventTrace::parse_jsonl("{\"cycle\":1,\"seq\":0,\"pc\":0,\"event\":\"dispatch\"}\nnot json\n")
+            .unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_unknown_kind_and_cause() {
+        assert!(Event::parse("{\"cycle\":1,\"seq\":0,\"pc\":0,\"event\":\"nap\"}").is_err());
+        assert!(
+            Event::parse("{\"cycle\":1,\"seq\":0,\"pc\":0,\"event\":\"squash\",\"cause\":\"tuesday\"}")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn every_kind_names_distinctly() {
+        let t = sample_events();
+        let text: Vec<String> = t.iter().map(Event::to_json).collect();
+        assert!(text[2].contains("\"level\":2"));
+        assert!(text[3].contains("\"matched\":true"));
+        assert!(text[5].contains("\"cause\":\"validation\""));
+    }
+}

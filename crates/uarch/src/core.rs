@@ -29,6 +29,7 @@ use sdo_core::predictor::{
 };
 use sdo_core::{fp_do_execute, DoResult};
 use sdo_isa::{FpuOp, Instruction, OpClass, Program, Reg};
+use sdo_obs::{EventKind as ObsEvent, ObsConfig, PipelineObs, QueueCaps, SquashCause};
 use sdo_mem::{line_of, CacheLevel, Cycle, MemorySystem, OblReject, ServedBy};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -209,6 +210,10 @@ pub struct Core {
     halted: bool,
     commit_pcs: Option<Vec<u64>>,
     trace: Option<PipelineTrace>,
+    /// Structured observability probe (occupancy histograms + event
+    /// trace). `None` unless enabled — the disabled hot path is a single
+    /// `Option` check per cycle, with no allocation.
+    obs: Option<Box<PipelineObs>>,
     fetch_stall_until: Cycle,
     last_fetch_line: Option<u64>,
     /// Non-pipelined unit occupancy: one slot per integer mul/div unit
@@ -270,6 +275,7 @@ impl Core {
             halted: false,
             commit_pcs: None,
             trace: None,
+            obs: None,
             fetch_stall_until: 0,
             last_fetch_line: None,
             muldiv_busy: vec![0; cfg.fus.int_muldiv as usize],
@@ -293,6 +299,38 @@ impl Core {
     #[must_use]
     pub fn trace(&self) -> Option<&PipelineTrace> {
         self.trace.as_ref()
+    }
+
+    /// Enables structured observability per `cfg`: per-cycle occupancy
+    /// histograms sized from this core's queue capacities, and/or a
+    /// bounded event trace. `mshr_capacity` sizes the MSHR occupancy
+    /// histogram (the L1 MSHR file lives in the memory system). A
+    /// disabled `cfg` is a no-op, preserving the allocation-free path.
+    pub fn enable_obs(&mut self, cfg: ObsConfig, mshr_capacity: usize) {
+        if cfg.enabled() {
+            self.obs = Some(Box::new(PipelineObs::new(
+                cfg,
+                QueueCaps {
+                    rob: self.cfg.rob_entries,
+                    iq: self.cfg.iq_entries,
+                    lq: self.cfg.lq_entries,
+                    sq: self.cfg.sq_entries,
+                    mshr: mshr_capacity,
+                },
+            )));
+        }
+    }
+
+    /// The observability probe, if enabled.
+    #[must_use]
+    pub fn obs(&self) -> Option<&PipelineObs> {
+        self.obs.as_deref()
+    }
+
+    /// Detaches the observability probe (e.g. to fold into a run
+    /// result after the core is dropped).
+    pub fn take_obs(&mut self) -> Option<Box<PipelineObs>> {
+        self.obs.take()
     }
 
     /// Committed PCs, if recording was enabled.
@@ -410,6 +448,18 @@ impl Core {
         self.issue_stage(mem);
         self.dispatch_stage();
         self.fetch_stage(mem);
+        if let Some(obs) = self.obs.as_deref_mut() {
+            if obs.wants_occupancy() {
+                let mshr = mem.mshr_in_use(self.id, self.now) as u64;
+                obs.sample(
+                    self.rob.len() as u64,
+                    self.iq.len() as u64,
+                    self.lq.len() as u64,
+                    self.sq.len() as u64,
+                    mshr,
+                );
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -569,15 +619,21 @@ impl Core {
                     }
                 }
                 OblAction::Squash => {
-                    if from_validation {
+                    let cause = if from_validation {
                         self.stats.squashes.validation += 1;
+                        SquashCause::Validation
                     } else {
                         self.stats.squashes.obl_fail += 1;
-                    }
+                        SquashCause::OblFail
+                    };
                     let e = self.ent(seq).expect("live");
+                    let pc = e.pc;
                     let redirect = e.pc + 1;
                     if let Some(p) = e.pdst {
                         self.regs.unwrite(p);
+                    }
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.emit(self.now, seq, pc, ObsEvent::Squash { cause });
                     }
                     self.squash_after(seq);
                     // Re-fetch the (squashed) dependents of the load.
@@ -585,10 +641,14 @@ impl Core {
                 }
                 OblAction::IssueValidation => {
                     let e = self.ent(seq).expect("live");
+                    let pc = e.pc;
                     let addr = e.addr.expect("issued load has an address");
                     let expected = e.obl.as_ref().and_then(OblLdFsm::forwarded_value).unwrap_or(0);
                     self.stats.obl.validations += 1;
                     let (res, matches) = mem.validate(self.id, addr, expected, self.now);
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.emit(self.now, seq, pc, ObsEvent::Validate { matched: matches });
+                    }
                     self.schedule(
                         res.complete_at,
                         seq,
@@ -601,9 +661,13 @@ impl Core {
                 }
                 OblAction::IssueExposure => {
                     let e = self.ent(seq).expect("live");
+                    let pc = e.pc;
                     let addr = e.addr.expect("issued load has an address");
                     self.stats.obl.exposures += 1;
                     mem.expose(self.id, addr, self.now);
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.emit(self.now, seq, pc, ObsEvent::Expose);
+                    }
                 }
                 OblAction::UpdatePredictor { level } => {
                     let e = self.ent(seq).expect("live");
@@ -755,9 +819,13 @@ impl Core {
             }
             self.stats.squashes.fp_fail += 1;
             let e = self.ent(seq).expect("live");
+            let pc = e.pc;
             let redirect = e.pc + 1;
             if let Some(p) = e.pdst {
                 self.regs.unwrite(p);
+            }
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.emit(self.now, seq, pc, ObsEvent::Squash { cause: SquashCause::FpFail });
             }
             self.squash_after(seq);
             self.fetch_pc = redirect;
@@ -787,6 +855,9 @@ impl Core {
             }
             self.stats.squashes.consistency += 1;
             let pc = self.ent(seq).expect("live").pc;
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.emit(self.now, seq, pc, ObsEvent::Squash { cause: SquashCause::Consistency });
+            }
             self.squash_from(seq);
             self.fetch_pc = pc;
             break;
@@ -820,6 +891,9 @@ impl Core {
         if next_pc != pred_target {
             self.stats.mispredicts += 1;
             self.stats.squashes.branch += 1;
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.emit(self.now, seq, pc, ObsEvent::Squash { cause: SquashCause::Branch });
+            }
             self.squash_after(seq);
             self.fetch_pc = next_pc;
             true
@@ -897,6 +971,9 @@ impl Core {
             }
             if let Some(t) = self.trace.as_mut() {
                 t.commit(head.seq, self.now);
+            }
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.emit(self.now, head.seq, head.pc, ObsEvent::Commit);
             }
             match head.inst.class() {
                 OpClass::Halt => {
@@ -1000,6 +1077,12 @@ impl Core {
                         issued_count += 1;
                         if let Some(t) = self.trace.as_mut() {
                             t.issue(seq, self.now);
+                        }
+                        if self.obs.is_some() {
+                            let pc = self.ent(seq).map_or(0, |e| e.pc);
+                            if let Some(o) = self.obs.as_deref_mut() {
+                                o.emit(self.now, seq, pc, ObsEvent::Issue);
+                            }
                         }
                     }
                 }
@@ -1293,6 +1376,13 @@ impl Core {
                     }
                     Ok(lookup) => {
                         self.stats.obl.issued += 1;
+                        if self.obs.is_some() {
+                            let pc = self.ent(seq).expect("live").pc;
+                            let depth = level.depth();
+                            if let Some(o) = self.obs.as_deref_mut() {
+                                o.emit(self.now, seq, pc, ObsEvent::OblProbe { level: depth });
+                            }
+                        }
                         if lookup.success() {
                             self.stats.obl.success += 1;
                         } else {
@@ -1491,6 +1581,9 @@ impl Core {
             };
             if let Some(t) = self.trace.as_mut() {
                 t.dispatch(seq, entry.pc, entry.inst, self.now);
+            }
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.emit(self.now, seq, entry.pc, ObsEvent::Dispatch);
             }
             self.rob.push_back(entry);
             if !trivially_done {
@@ -2281,5 +2374,64 @@ mod tests {
             core.run(&mut mem, 5_000_000).expect("halts");
             assert_eq!(core.arch_int(), golden.int_regs(), "tiny mismatch under {sec:?}");
         }
+    }
+
+    /// Observability is a pure observer: timing and architectural state
+    /// are bit-identical with it on or off, and what it records is
+    /// consistent with the stats counters.
+    #[test]
+    fn obs_probe_observes_without_perturbing() {
+        let prog = spec_window_program();
+        let sec = SecurityConfig {
+            protection: Protection::Sdo(SdoConfig::with_predictor(PredictorKind::Hybrid)),
+            attack: AttackModel::Spectre,
+        };
+        let (plain_core, _) = run_with(&prog, sec);
+
+        let mut mem = MemorySystem::new(MemConfig::table_i(), 1);
+        mem.load_image(prog.data());
+        let mut core = Core::new(0, CoreConfig::table_i(), sec, prog.clone());
+        core.enable_obs(ObsConfig::full(1 << 20), MemConfig::table_i().l1.mshrs as usize);
+        core.run(&mut mem, 2_000_000).expect("halts");
+
+        assert_eq!(core.now(), plain_core.now(), "obs must not change timing");
+        assert_eq!(core.stats(), plain_core.stats());
+        assert_eq!(core.arch_int(), plain_core.arch_int());
+
+        let obs = core.obs().expect("enabled");
+        // One occupancy sample per cycle, in every histogram.
+        assert_eq!(obs.rob.count(), core.now());
+        assert_eq!(obs.mshr.count(), core.now());
+        assert!(obs.rob.max() <= CoreConfig::table_i().rob_entries as u64);
+        assert!(obs.rob.mean() > 0.0, "the window keeps the ROB non-empty");
+
+        let trace = obs.trace().expect("tracing enabled");
+        assert_eq!(trace.dropped(), 0, "capacity chosen to hold the whole run");
+        let count = |pred: fn(&sdo_obs::Event) -> bool| {
+            trace.events().iter().filter(|e| pred(e)).count() as u64
+        };
+        let stats = core.stats();
+        assert_eq!(count(|e| e.kind == ObsEvent::Commit), stats.committed);
+        assert_eq!(
+            count(|e| matches!(e.kind, ObsEvent::OblProbe { .. })),
+            stats.obl.issued
+        );
+        assert_eq!(
+            count(|e| matches!(e.kind, ObsEvent::Validate { .. })),
+            stats.obl.validations
+        );
+        assert_eq!(count(|e| e.kind == ObsEvent::Expose), stats.obl.exposures);
+        assert_eq!(
+            count(|e| matches!(e.kind, ObsEvent::Squash { .. })),
+            stats.squashes.total(),
+            "one squash event per counted squash"
+        );
+        // Events are emitted in nondecreasing cycle order.
+        assert!(trace.events().windows(2).all(|w| w[0].cycle <= w[1].cycle));
+
+        // take_obs detaches the probe.
+        let boxed = core.take_obs().expect("probe present");
+        assert!(core.obs().is_none());
+        assert_eq!(boxed.rob.count(), plain_core.now());
     }
 }

@@ -32,3 +32,9 @@ pub use config::{
 };
 pub use stats::{CoreStats, OblStats, SquashCounts};
 pub use trace::{PipelineTrace, TraceEntry};
+// Re-exported so downstream code can configure and consume the
+// observability probe without naming sdo-obs directly.
+pub use sdo_obs::{
+    Event as ObsEvent, EventKind as ObsEventKind, EventTrace, Histogram, Metric, MetricsSnapshot,
+    ObsConfig, PipelineObs, QueueCaps, SquashCause,
+};

@@ -3,6 +3,8 @@
 
 use std::fmt;
 
+use sdo_obs::MetricsSnapshot;
+
 /// Squash counts by cause.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SquashCounts {
@@ -145,6 +147,81 @@ impl CoreStats {
             self.obl.accurate += 1;
         }
     }
+
+    /// Registers every counter under `prefix` in `m` (hierarchical
+    /// paths, e.g. `core.squash.obl_fail`). Destructures `self` (and
+    /// its nested [`SquashCounts`]/[`OblStats`]) so adding a field
+    /// without exporting it is a compile error — the registry cannot
+    /// drift from the struct.
+    pub fn export_metrics(&self, m: &mut MetricsSnapshot, prefix: &str) {
+        let CoreStats {
+            cycles,
+            committed,
+            committed_loads,
+            committed_stores,
+            fetched,
+            squashed_insts,
+            squashes,
+            branches,
+            mispredicts,
+            delayed_loads,
+            delay_cycles,
+            fp_sdo_issued,
+            delayed_fp,
+            obl,
+        } = *self;
+        let SquashCounts { branch, obl_fail, validation, consistency, fp_fail } = squashes;
+        let OblStats {
+            issued,
+            mshr_retries,
+            success,
+            fail,
+            dram_predictions,
+            sq_forwarded,
+            predictions,
+            precise,
+            accurate,
+            imprecision_cycles,
+            validation_stall_cycles,
+            validations,
+            exposures,
+            tlb_probe_fails,
+        } = obl;
+        let add = |m: &mut MetricsSnapshot, name: &str, v: u64| {
+            m.add(&format!("{prefix}.{name}"), v);
+        };
+        add(m, "cycles", cycles);
+        add(m, "committed", committed);
+        add(m, "committed_loads", committed_loads);
+        add(m, "committed_stores", committed_stores);
+        add(m, "fetched", fetched);
+        add(m, "squashed_insts", squashed_insts);
+        add(m, "squash.branch", branch);
+        add(m, "squash.obl_fail", obl_fail);
+        add(m, "squash.validation", validation);
+        add(m, "squash.consistency", consistency);
+        add(m, "squash.fp_fail", fp_fail);
+        add(m, "branches", branches);
+        add(m, "mispredicts", mispredicts);
+        add(m, "delayed_loads", delayed_loads);
+        add(m, "delay_cycles", delay_cycles);
+        add(m, "fp_sdo_issued", fp_sdo_issued);
+        add(m, "delayed_fp", delayed_fp);
+        add(m, "obl.issued", issued);
+        add(m, "obl.mshr_retries", mshr_retries);
+        add(m, "obl.success", success);
+        add(m, "obl.fail", fail);
+        add(m, "obl.dram_predictions", dram_predictions);
+        add(m, "obl.sq_forwarded", sq_forwarded);
+        add(m, "obl.predictions", predictions);
+        add(m, "obl.precise", precise);
+        add(m, "obl.accurate", accurate);
+        add(m, "obl.imprecision_cycles", imprecision_cycles);
+        add(m, "obl.validation_stall_cycles", validation_stall_cycles);
+        add(m, "obl.validations", validations);
+        add(m, "obl.exposures", exposures);
+        add(m, "obl.tlb_probe_fails", tlb_probe_fails);
+    }
 }
 
 impl fmt::Display for CoreStats {
@@ -219,5 +296,22 @@ mod tests {
         let o = OblStats::default();
         assert_eq!(o.precision(), 0.0);
         assert_eq!(o.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn export_covers_every_field() {
+        let s = CoreStats {
+            committed: 9,
+            squashes: SquashCounts { obl_fail: 2, ..Default::default() },
+            ..Default::default()
+        };
+        let mut m = MetricsSnapshot::new();
+        s.export_metrics(&mut m, "core");
+        // 12 scalar fields + 5 squash causes + 14 obl fields.
+        assert_eq!(m.len(), 31);
+        assert_eq!(m.counter("core.committed"), Some(9));
+        assert_eq!(m.counter("core.squash.obl_fail"), Some(2));
+        s.export_metrics(&mut m, "core");
+        assert_eq!(m.counter("core.committed"), Some(18));
     }
 }
