@@ -67,12 +67,73 @@
 #[cfg(test)]
 mod tests {
     use crate::oblld::{OblAction, OblEvent, OblLdFsm};
-    use sdo_mem::CacheLevel;
+    use crate::predictor::{
+        GreedyPredictor, HybridPredictor, LocationPredictor, LoopPredictor, PatternPredictor,
+        StaticPredictor,
+    };
+    use sdo_mem::{CacheLevel, MemConfig, MemorySystem};
+
+    /// Claim 1, obligation 1 (Equation 2): every deployable predictor is
+    /// a pure function of the load's (public) PC and its own untainted
+    /// training history. Two copies fed the same PC/training stream but
+    /// *different* oracle residency must predict identically — i.e. the
+    /// oracle argument (address-derived, potentially tainted state) is
+    /// dead except in the evaluation-only `Perfect` predictor.
+    #[test]
+    fn claim1_ob1_predictions_are_functions_of_pc_only() {
+        let ctors: [fn() -> Box<dyn LocationPredictor>; 5] = [
+            || Box::new(StaticPredictor::new(CacheLevel::L2)),
+            || Box::new(GreedyPredictor::new(64, 8)),
+            || Box::new(LoopPredictor::new(64)),
+            || Box::new(HybridPredictor::new(64)),
+            || Box::new(PatternPredictor::new(64, 64)),
+        ];
+        for ctor in ctors {
+            let mut a = ctor();
+            let mut b = ctor();
+            for i in 0..256u64 {
+                let pc = (i * 37 % 16) * 4;
+                let pa = a.predict(pc, CacheLevel::L1);
+                let pb = b.predict(pc, CacheLevel::Dram);
+                assert_eq!(pa, pb, "{}: oracle residency influenced a prediction", a.name());
+                let actual = CacheLevel::from_depth_clamped((i % 3 + 1) as u8);
+                a.update(pc, actual);
+                b.update(pc, actual);
+            }
+        }
+    }
+
+    /// Claim 1, obligation 3 (Definition 2): the Obl-Ld lookup's timing
+    /// is operand-independent — the per-level response schedule and the
+    /// completion time depend only on the predicted slice, not on the
+    /// probed address or on which levels happen to hold the line.
+    #[test]
+    fn claim1_ob3_obl_lookup_timing_is_address_and_residency_independent() {
+        // (warm-load address, probe address): resident vs cold probes
+        // under different prior cache states.
+        let scenarios: [(u64, u64); 4] = [
+            (0x1000, 0x1000),     // probe hits L1
+            (0x1000, 0x9000),     // probe misses everywhere
+            (0x80_0000, 0x2000),  // different warm set, cold probe
+            (0x80_0000, 0x80_0000), // different warm set, resident probe
+        ];
+        let mut timings = Vec::new();
+        for (warm, probe) in scenarios {
+            let mut mem = MemorySystem::new(MemConfig::table_i(), 1);
+            let now = mem.load(0, warm, 0).complete_at;
+            let l = mem.obl_lookup(0, probe, CacheLevel::L3, now).expect("mshr free");
+            let ats: Vec<u64> = l.responses.iter().map(|r| r.at - now).collect();
+            timings.push((ats, l.complete_at - now));
+        }
+        for t in &timings[1..] {
+            assert_eq!(*t, timings[0], "Obl-Ld timing leaked address/residency");
+        }
+    }
 
     /// Claim 1, obligation 2: no predictor update and no squash can be
     /// emitted while the FSM is still pre-Safe, for any response pattern.
     #[test]
-    fn no_sensitive_actions_before_safe() {
+    fn claim1_ob2_no_sensitive_actions_before_safe() {
         for hit_level in [None, Some(1u8), Some(2), Some(3)] {
             for exposure in [false, true] {
                 for early in [false, true] {
@@ -99,7 +160,7 @@ mod tests {
     /// Claim 1, obligation 2 (converse): the squash of a concealed fail
     /// happens exactly at the Safe event, not earlier and not never.
     #[test]
-    fn concealed_fail_squashes_exactly_at_safe() {
+    fn claim1_ob2_concealed_fail_squashes_exactly_at_safe() {
         let mut fsm = OblLdFsm::new(0, CacheLevel::L1, false, true);
         let pre = fsm.on_event(OblEvent::Response { level: CacheLevel::L1, hit: false, value: None });
         assert!(!fsm.squashed(), "fail must stay concealed pre-Safe: {pre:?}");
@@ -108,10 +169,10 @@ mod tests {
         assert!(at_safe.contains(&OblAction::Squash));
     }
 
-    /// The ⊥ forwarded for a concealed fail is a constant (all-zero), not
-    /// a function of anything address-derived.
+    /// Claim 1, obligation 2: the ⊥ forwarded for a concealed fail is a
+    /// constant (all-zero), not a function of anything address-derived.
     #[test]
-    fn concealed_fail_forwards_constant_bottom() {
+    fn claim1_ob2_concealed_fail_forwards_constant_bottom() {
         for depth in 1..=3u8 {
             let mut fsm = OblLdFsm::new(0xabc, CacheLevel::from_depth_clamped(depth), false, true);
             let mut forwarded = None;

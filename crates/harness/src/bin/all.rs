@@ -24,6 +24,7 @@ const SPEC: BinSpec = BinSpec {
     jobs: true,
     csv: CsvSupport::None,
     metrics: true,
+    seed: false,
     extra_options: &[(
         "--bench-out <path>",
         "write BENCH_suite.json here (empty path disables; default: BENCH_suite.json)",

@@ -18,6 +18,7 @@ const SPEC: BinSpec = BinSpec {
     jobs: true,
     csv: CsvSupport::FigureAndRuns,
     metrics: true,
+    seed: false,
     extra_options: &[],
 };
 

@@ -15,6 +15,7 @@ const SPEC: BinSpec = BinSpec {
     jobs: true,
     csv: CsvSupport::None,
     metrics: true,
+    seed: false,
     extra_options: &[],
 };
 

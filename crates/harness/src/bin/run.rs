@@ -26,6 +26,7 @@ const SPEC: BinSpec = BinSpec {
     jobs: true,
     csv: CsvSupport::None,
     metrics: true,
+    seed: false,
     extra_options: &[
         ("--variant <name>", "Table II variant to simulate (default: Unsafe)"),
         ("--attack <model>", "spectre | futuristic (default: spectre)"),

@@ -9,6 +9,7 @@ const SPEC: BinSpec = BinSpec {
     jobs: false,
     csv: CsvSupport::None,
     metrics: false,
+    seed: false,
     extra_options: &[],
 };
 

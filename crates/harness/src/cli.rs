@@ -11,6 +11,9 @@
 //!   binary supports it;
 //! * `--metrics <path>` writes the merged [`MetricsSnapshot`] of every
 //!   simulation the binary ran, as JSON;
+//! * `--seed <N>` / `--seed=N` (or the `SDO_SEED` environment variable)
+//!   seeds randomized workloads and fuzz campaigns reproducibly, on
+//!   binaries that declare support;
 //! * `--help` prints a uniform usage page and exits 0;
 //! * usage errors exit 2, runtime errors (I/O, simulation hangs) exit 1.
 //!
@@ -21,6 +24,10 @@
 use crate::config::Variant;
 use crate::engine::{JobPool, JOBS_ENV};
 use sdo_uarch::{AttackModel, MetricsSnapshot};
+
+/// Environment variable consulted when `--seed` is absent (mirrors
+/// `SDO_JOBS` for `--jobs`).
+pub const SEED_ENV: &str = "SDO_SEED";
 
 /// Which CSV flags a binary accepts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +65,9 @@ pub struct BinSpec {
     pub csv: CsvSupport,
     /// Whether `--metrics <path>` is accepted.
     pub metrics: bool,
+    /// Whether `--seed <N>` is accepted (binaries with randomized
+    /// workloads or fuzz campaigns).
+    pub seed: bool,
     /// Binary-specific options as `(flag, help)` pairs, appended to the
     /// options table of `--help`.
     pub extra_options: &'static [(&'static str, &'static str)],
@@ -83,6 +93,12 @@ impl BinSpec {
             opts.push((
                 "--metrics <path>",
                 "write the merged metric snapshot as JSON".into(),
+            ));
+        }
+        if self.seed {
+            opts.push((
+                "--seed <N>",
+                format!("RNG seed for reproducible campaigns (default: ${SEED_ENV} or 0)"),
             ));
         }
         for &(flag, help) in self.extra_options {
@@ -121,6 +137,8 @@ pub struct CommonArgs {
     pub csv: Option<CsvMode>,
     /// `--metrics` output path, if requested.
     pub metrics: Option<String>,
+    /// RNG seed from `--seed` / `SDO_SEED`, if either was given.
+    pub seed: Option<u64>,
     /// Arguments the common layer did not consume.
     pub rest: Vec<String>,
 }
@@ -161,6 +179,7 @@ impl CommonArgs {
         let mut jobs: Option<usize> = None;
         let mut csv = None;
         let mut metrics = None;
+        let mut seed: Option<u64> = None;
         let mut rest = Vec::new();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -189,6 +208,12 @@ impl CommonArgs {
                         .ok_or_else(|| CliError::Usage("--metrics requires a path".into()))?;
                     metrics = Some(v);
                 }
+                "--seed" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::Usage("--seed requires a value".into()))?;
+                    seed = Some(parse_seed(spec, &v)?);
+                }
                 other => {
                     if let Some(v) = other.strip_prefix("--jobs=") {
                         jobs = Some(parse_jobs(spec, v)?);
@@ -199,6 +224,8 @@ impl CommonArgs {
                             ));
                         }
                         metrics = Some(v.to_string());
+                    } else if let Some(v) = other.strip_prefix("--seed=") {
+                        seed = Some(parse_seed(spec, v)?);
                     } else if let Some(v) = other.strip_prefix("--csv=") {
                         require_csv(spec)?;
                         return Err(CliError::Usage(format!(
@@ -211,7 +238,17 @@ impl CommonArgs {
             }
         }
         let pool = jobs.map_or_else(JobPool::from_env, JobPool::new);
-        Ok(CommonArgs { pool, csv, metrics, rest })
+        if seed.is_none() {
+            // Environment fallback, mirroring --jobs / SDO_JOBS.
+            seed = std::env::var(SEED_ENV).ok().and_then(|v| v.parse().ok());
+        }
+        Ok(CommonArgs { pool, csv, metrics, seed, rest })
+    }
+
+    /// The effective campaign seed: `--seed`, else `SDO_SEED`, else 0.
+    #[must_use]
+    pub fn seed_or_default(&self) -> u64 {
+        self.seed.unwrap_or(0)
     }
 
     /// Usage-errors (exit 2) if any unconsumed arguments remain — the
@@ -246,6 +283,14 @@ fn parse_jobs(_spec: &BinSpec, v: &str) -> Result<usize, CliError> {
         Ok(n) if n > 0 => Ok(n),
         _ => Err(CliError::Usage(format!("--jobs expects a positive integer, got '{v}'"))),
     }
+}
+
+fn parse_seed(spec: &BinSpec, v: &str) -> Result<u64, CliError> {
+    if !spec.seed {
+        return Err(CliError::Usage("--seed is not supported here".into()));
+    }
+    v.parse::<u64>()
+        .map_err(|_| CliError::Usage(format!("--seed expects an unsigned integer, got '{v}'")))
 }
 
 /// Normalization used for lenient name matching: lowercase with every
@@ -302,6 +347,7 @@ mod tests {
         jobs: true,
         csv: CsvSupport::FigureAndRuns,
         metrics: true,
+        seed: true,
         extra_options: &[],
     };
 
@@ -363,20 +409,40 @@ mod tests {
     }
 
     #[test]
+    fn seed_flag_parses_both_forms() {
+        let a = CommonArgs::try_parse(&SPEC, strings(&["--seed", "7"])).unwrap();
+        assert_eq!(a.seed, Some(7));
+        assert_eq!(a.seed_or_default(), 7);
+        let a = CommonArgs::try_parse(&SPEC, strings(&["--seed=99"])).unwrap();
+        assert_eq!(a.seed, Some(99));
+        assert!(matches!(
+            CommonArgs::try_parse(&SPEC, strings(&["--seed", "minus-one"])),
+            Err(CliError::Usage(_))
+        ));
+        let no_seed = BinSpec { seed: false, ..SPEC };
+        assert!(matches!(
+            CommonArgs::try_parse(&no_seed, strings(&["--seed", "7"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn usage_page_lists_supported_flags() {
         let u = SPEC.usage();
         assert!(u.starts_with("usage: testbin"));
-        for flag in ["--jobs", "--csv", "--csv=runs", "--metrics", "--help"] {
+        for flag in ["--jobs", "--csv", "--csv=runs", "--metrics", "--seed", "--help"] {
             assert!(u.contains(flag), "missing {flag} in:\n{u}");
         }
         let bare = BinSpec {
             jobs: false,
             csv: CsvSupport::None,
             metrics: false,
+            seed: false,
             ..SPEC
         };
         let u = bare.usage();
         assert!(!u.contains("--jobs") && !u.contains("--csv") && !u.contains("--metrics"));
+        assert!(!u.contains("--seed"));
         assert!(u.contains("--help"));
     }
 

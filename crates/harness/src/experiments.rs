@@ -574,6 +574,8 @@ pub struct PentestOutcome {
     pub recovered: Vec<u8>,
     /// Whether the secret byte was among them.
     pub leaked: bool,
+    /// The victim run itself (cycles, stats), for the typed CSV path.
+    pub result: RunResult,
 }
 
 /// Runs the Spectre V1 attack under every variant and reads out the
@@ -604,7 +606,7 @@ pub fn pentest_with(sim: &Simulator, pool: &JobPool) -> Result<Vec<PentestOutcom
         }
     }
     pool.try_run(&jobs, |_, &(variant, attack)| {
-        let (_result, mem) = sim.clone().run_with_memory(&scenario.program, variant, attack)?;
+        let (result, mem) = sim.clone().run_with_memory(&scenario.program, variant, attack)?;
         let mut recovered = Vec::new();
         for b in 0..=255u8 {
             if b == scenario.trained_byte {
@@ -615,7 +617,7 @@ pub fn pentest_with(sim: &Simulator, pool: &JobPool) -> Result<Vec<PentestOutcom
             }
         }
         let leaked = recovered.contains(&scenario.secret);
-        Ok(PentestOutcome { variant, attack, recovered, leaked })
+        Ok(PentestOutcome { variant, attack, recovered, leaked, result })
     })
 }
 

@@ -4,7 +4,7 @@
 
 use crate::config::Variant;
 use crate::engine::Throughput;
-use crate::experiments::SuiteResults;
+use crate::experiments::{PentestOutcome, SuiteResults};
 use crate::sim::RunResult;
 
 /// One column of the per-run CSV: a stable name paired with the
@@ -71,7 +71,10 @@ pub fn runs_csv_header() -> String {
     RUN_COLUMNS.iter().map(|c| c.name).collect::<Vec<_>>().join(",")
 }
 
-fn run_row(r: &RunResult, baseline: &RunResult) -> String {
+/// Renders one [`RUN_COLUMNS`] row; `baseline` is the `Unsafe` run the
+/// derived columns normalize against.
+#[must_use]
+pub fn run_row(r: &RunResult, baseline: &RunResult) -> String {
     RUN_COLUMNS.iter().map(|c| (c.extract)(r, baseline)).collect::<Vec<_>>().join(",")
 }
 
@@ -90,6 +93,47 @@ pub fn runs_csv(results: &SuiteResults) -> String {
                 out.push('\n');
             }
         }
+    }
+    out
+}
+
+/// One column of the pentest verdict CSV — same descriptor-table shape
+/// as [`RunColumn`], so header and rows derive from one schema.
+#[derive(Debug, Clone, Copy)]
+pub struct PentestColumn {
+    /// Column name, exactly as it appears in the CSV header.
+    pub name: &'static str,
+    /// Renders the cell for one per-variant pentest outcome.
+    pub extract: fn(o: &PentestOutcome) -> String,
+}
+
+/// The pentest verdict CSV schema, in column order: the per-variant
+/// covert-channel readout plus the victim run's headline numbers.
+pub const PENTEST_COLUMNS: &[PentestColumn] = &[
+    PentestColumn { name: "attack", extract: |o| o.attack.to_string() },
+    PentestColumn { name: "variant", extract: |o| o.variant.name().replace(' ', "_") },
+    PentestColumn { name: "leaked", extract: |o| u64::from(o.leaked).to_string() },
+    PentestColumn { name: "visible_bytes", extract: |o| o.recovered.len().to_string() },
+    PentestColumn { name: "cycles", extract: |o| o.result.cycles.to_string() },
+    PentestColumn { name: "committed", extract: |o| o.result.core.committed.to_string() },
+];
+
+/// Header of the pentest verdict CSV: the [`PENTEST_COLUMNS`] names,
+/// comma-joined.
+#[must_use]
+pub fn pentest_csv_header() -> String {
+    PENTEST_COLUMNS.iter().map(|c| c.name).collect::<Vec<_>>().join(",")
+}
+
+/// Serializes pentest outcomes as CSV, one row per (attack, variant).
+#[must_use]
+pub fn pentest_csv(outcomes: &[PentestOutcome]) -> String {
+    let mut out = pentest_csv_header();
+    out.push('\n');
+    for o in outcomes {
+        let row: Vec<String> = PENTEST_COLUMNS.iter().map(|c| (c.extract)(o)).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
     }
     out
 }
@@ -226,6 +270,31 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), RUN_COLUMNS.len(), "duplicate column name");
+    }
+
+    /// Pins the pentest verdict schema the same way.
+    #[test]
+    fn pentest_csv_header_is_stable() {
+        assert_eq!(pentest_csv_header(), "attack,variant,leaked,visible_bytes,cycles,committed");
+    }
+
+    #[test]
+    fn pentest_csv_rows_match_schema() {
+        let sim = Simulator::new(SimConfig::tiny());
+        let prog = sdo_workloads::kernels::l1_resident(200, 1);
+        let result = sim.run(&prog, Variant::Unsafe, AttackModel::Spectre).unwrap();
+        let outcome = PentestOutcome {
+            variant: Variant::Unsafe,
+            attack: AttackModel::Spectre,
+            recovered: vec![0x2A],
+            leaked: true,
+            result,
+        };
+        let csv = pentest_csv(&[outcome]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1].split(',').count(), PENTEST_COLUMNS.len());
+        assert!(lines[1].starts_with("Spectre,Unsafe,1,1,"));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! | Figure 7 (overhead breakdown) | [`experiments::fig7_report`] | `fig7` |
 //! | Figure 8 (squashes vs time) | [`experiments::fig8_report`] | `fig8` |
 //! | Table III (precision/accuracy) | [`experiments::table3_report`] | `table3` |
-//! | Penetration test (§VIII-A) | [`experiments::pentest`] | `pentest` |
+//! | Penetration test (§VIII-A) | [`experiments::pentest`] | `pentest` (in `sdo-verify`) |
 //!
 //! ## Example
 //!

@@ -23,10 +23,12 @@
 
 mod hist;
 mod metrics;
+mod observable;
 mod probe;
 mod trace;
 
 pub use hist::{Histogram, OCCUPANCY_BUCKETS};
 pub use metrics::{Metric, MetricsSnapshot};
+pub use observable::{is_observable, Divergence, ObservableTrace};
 pub use probe::{ObsConfig, PipelineObs, QueueCaps};
-pub use trace::{Event, EventKind, EventTrace, SquashCause};
+pub use trace::{Event, EventKind, EventTrace, MemOp, SquashCause};

@@ -1,0 +1,257 @@
+//! Attacker-observable projection of a run, for differential testing.
+//!
+//! The secret-swap checker in `sdo-verify` runs the same program twice
+//! with different secret values and asserts that what an attacker can
+//! measure is identical. "What an attacker can measure" is modelled
+//! here as an [`ObservableTrace`]: the total cycle count, a set of
+//! named end-of-run counters (cache hit/miss totals), and the ordered
+//! per-cycle sequence of *visible* events — architectural commits and
+//! cache-state-changing memory accesses ([`EventKind::Commit`] and
+//! [`EventKind::MemAccess`]). Everything else in the event stream
+//! (taint bookkeeping, FSM progress, oracle-only events) is projected
+//! away: those are checker inputs, not attacker observables.
+//!
+//! Two traces either match exactly or differ at a first point, which
+//! [`ObservableTrace::divergence`] reports as a structured
+//! [`Divergence`] so counterexample reports can say *what* leaked
+//! (timing, a counter, or a specific cache-line touch) rather than just
+//! "differs".
+
+use crate::trace::{Event, EventKind, EventTrace};
+
+/// The attacker-visible projection of one simulated run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservableTrace {
+    /// Total cycles the run took (the coarsest timing channel).
+    pub cycles: u64,
+    /// Named end-of-run counters (e.g. per-level cache hits/misses),
+    /// in a caller-chosen canonical order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Visible events (commits and memory accesses), in record order.
+    pub events: Vec<Event>,
+    /// Events the underlying bounded trace dropped. A sound comparison
+    /// requires 0 on both sides; [`ObservableTrace::divergence`]
+    /// reports any non-zero value as [`Divergence::Dropped`].
+    pub dropped: u64,
+}
+
+/// Whether an event kind survives the observable projection.
+#[must_use]
+pub fn is_observable(kind: EventKind) -> bool {
+    matches!(kind, EventKind::Commit | EventKind::MemAccess { .. })
+}
+
+impl ObservableTrace {
+    /// Projects a full [`EventTrace`] (plus run-level cycle count and
+    /// counters) down to the attacker-visible subset.
+    #[must_use]
+    pub fn project(cycles: u64, counters: Vec<(&'static str, u64)>, trace: &EventTrace) -> Self {
+        ObservableTrace {
+            cycles,
+            counters,
+            events: trace.events().iter().copied().filter(|e| is_observable(e.kind)).collect(),
+            dropped: trace.dropped(),
+        }
+    }
+
+    /// The first point at which `self` and `other` differ, or `None`
+    /// when the two runs are attacker-indistinguishable.
+    ///
+    /// Comparison order: dropped-event soundness check, total cycles,
+    /// counters, then the event streams position by position.
+    #[must_use]
+    pub fn divergence(&self, other: &ObservableTrace) -> Option<Divergence> {
+        if self.dropped != 0 || other.dropped != 0 {
+            return Some(Divergence::Dropped { a: self.dropped, b: other.dropped });
+        }
+        if self.cycles != other.cycles {
+            return Some(Divergence::Cycles { a: self.cycles, b: other.cycles });
+        }
+        for (&(name, a), &(bn, b)) in self.counters.iter().zip(&other.counters) {
+            if name != bn || a != b {
+                return Some(Divergence::Counter { name, a, b });
+            }
+        }
+        if self.counters.len() != other.counters.len() {
+            return Some(Divergence::Counter {
+                name: "counter_count",
+                a: self.counters.len() as u64,
+                b: other.counters.len() as u64,
+            });
+        }
+        for (i, (ea, eb)) in self.events.iter().zip(&other.events).enumerate() {
+            if ea != eb {
+                return Some(Divergence::Event { index: i, a: *ea, b: *eb });
+            }
+        }
+        if self.events.len() != other.events.len() {
+            return Some(Divergence::EventCount {
+                a: self.events.len() as u64,
+                b: other.events.len() as u64,
+            });
+        }
+        None
+    }
+}
+
+/// The first observable difference between two runs of the same
+/// program under swapped secrets — i.e. what leaked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Divergence {
+    /// One side's bounded event buffer overflowed: the comparison is
+    /// unsound, re-run with a larger trace capacity.
+    Dropped {
+        /// Dropped count on side A.
+        a: u64,
+        /// Dropped count on side B.
+        b: u64,
+    },
+    /// Total run length differs (end-to-end timing channel).
+    Cycles {
+        /// Cycles on side A.
+        a: u64,
+        /// Cycles on side B.
+        b: u64,
+    },
+    /// A named counter differs (e.g. an L1 miss count — a cache-state
+    /// difference an attacker can probe after the run).
+    Counter {
+        /// Counter name (from the canonical counter list).
+        name: &'static str,
+        /// Value on side A.
+        a: u64,
+        /// Value on side B.
+        b: u64,
+    },
+    /// The visible event streams differ at `index` (a commit happened
+    /// at a different cycle, or a different cache line was touched).
+    Event {
+        /// Position in the visible event stream.
+        index: usize,
+        /// Event on side A.
+        a: Event,
+        /// Event on side B.
+        b: Event,
+    },
+    /// One stream is a strict prefix of the other.
+    EventCount {
+        /// Visible events on side A.
+        a: u64,
+        /// Visible events on side B.
+        b: u64,
+    },
+}
+
+impl Divergence {
+    /// One-line human-readable description (used in reports).
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match *self {
+            Divergence::Dropped { a, b } => {
+                format!("trace overflow (dropped {a} vs {b} events): comparison unsound")
+            }
+            Divergence::Cycles { a, b } => format!("cycle count differs: {a} vs {b}"),
+            Divergence::Counter { name, a, b } => {
+                format!("counter {name} differs: {a} vs {b}")
+            }
+            Divergence::Event { index, a, b } => format!(
+                "visible event {index} differs: {} vs {}",
+                a.to_json(),
+                b.to_json()
+            ),
+            Divergence::EventCount { a, b } => {
+                format!("visible event count differs: {a} vs {b}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::MemOp;
+
+    fn ev(cycle: u64, kind: EventKind) -> Event {
+        Event { cycle, seq: cycle, pc: 4 * cycle, kind }
+    }
+
+    fn trace_with(kinds: &[(u64, EventKind)]) -> EventTrace {
+        let mut t = EventTrace::with_capacity(64);
+        for &(c, k) in kinds {
+            t.record(ev(c, k));
+        }
+        t
+    }
+
+    #[test]
+    fn projection_keeps_only_commits_and_mem_accesses() {
+        let t = trace_with(&[
+            (1, EventKind::Dispatch),
+            (2, EventKind::Issue),
+            (3, EventKind::MemAccess { line: 9, op: MemOp::Load, tainted: false }),
+            (4, EventKind::OblProbe { level: 2 }),
+            (5, EventKind::OblSafe),
+            (6, EventKind::Commit),
+            (7, EventKind::PredictorUpdate { tainted: true }),
+        ]);
+        let o = ObservableTrace::project(10, vec![("l1.hits", 3)], &t);
+        assert_eq!(o.events.len(), 2);
+        assert!(o.events.iter().all(|e| is_observable(e.kind)));
+    }
+
+    #[test]
+    fn identical_traces_have_no_divergence() {
+        let t = trace_with(&[(1, EventKind::Commit)]);
+        let a = ObservableTrace::project(5, vec![("l1.hits", 1)], &t);
+        assert_eq!(a.divergence(&a.clone()), None);
+    }
+
+    #[test]
+    fn divergence_ranks_cycles_before_counters_before_events() {
+        let t = trace_with(&[(1, EventKind::Commit)]);
+        let a = ObservableTrace::project(5, vec![("l1.hits", 1)], &t);
+        let mut b = a.clone();
+        b.cycles = 6;
+        b.counters[0].1 = 2;
+        assert!(matches!(a.divergence(&b), Some(Divergence::Cycles { a: 5, b: 6 })));
+        b.cycles = 5;
+        assert!(matches!(
+            a.divergence(&b),
+            Some(Divergence::Counter { name: "l1.hits", a: 1, b: 2 })
+        ));
+        b.counters[0].1 = 1;
+        b.events[0].cycle = 2;
+        assert!(matches!(a.divergence(&b), Some(Divergence::Event { index: 0, .. })));
+    }
+
+    #[test]
+    fn different_line_touch_is_a_divergence() {
+        let secret = |line| {
+            trace_with(&[(3, EventKind::MemAccess { line, op: MemOp::Load, tainted: false })])
+        };
+        let a = ObservableTrace::project(9, vec![], &secret(100));
+        let b = ObservableTrace::project(9, vec![], &secret(142));
+        let d = a.divergence(&b).unwrap();
+        assert!(matches!(d, Divergence::Event { index: 0, .. }), "{}", d.describe());
+    }
+
+    #[test]
+    fn dropped_events_make_comparison_unsound() {
+        let mut t = EventTrace::with_capacity(1);
+        t.record(ev(1, EventKind::Commit));
+        t.record(ev(2, EventKind::Commit));
+        let a = ObservableTrace::project(5, vec![], &t);
+        assert!(matches!(a.divergence(&a.clone()), Some(Divergence::Dropped { .. })));
+    }
+
+    #[test]
+    fn prefix_stream_reports_event_count() {
+        let a = ObservableTrace::project(5, vec![], &trace_with(&[(1, EventKind::Commit)]));
+        let b = ObservableTrace::project(
+            5,
+            vec![],
+            &trace_with(&[(1, EventKind::Commit), (2, EventKind::Commit)]),
+        );
+        assert!(matches!(a.divergence(&b), Some(Divergence::EventCount { a: 1, b: 2 })));
+    }
+}

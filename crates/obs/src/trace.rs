@@ -55,6 +55,45 @@ impl SquashCause {
     }
 }
 
+/// Which kind of cache-state-changing access a
+/// [`EventKind::MemAccess`] records. Oblivious probes are deliberately
+/// *not* in this set: they never fill or touch replacement state, so
+/// they are not part of the attacker-visible cache-touch sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// A demand load sent down the cache hierarchy (fills on miss).
+    Load,
+    /// A committed store.
+    Store,
+    /// An InvisiSpec-style validation re-read (a normal, filling load).
+    Validate,
+    /// An exposure access (safe re-execution that may fill).
+    Expose,
+}
+
+impl MemOp {
+    /// Stable wire name used in the JSONL `op` field.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MemOp::Load => "load",
+            MemOp::Store => "store",
+            MemOp::Validate => "validate",
+            MemOp::Expose => "expose",
+        }
+    }
+
+    fn parse(s: &str) -> Option<MemOp> {
+        Some(match s {
+            "load" => MemOp::Load,
+            "store" => MemOp::Store,
+            "validate" => MemOp::Validate,
+            "expose" => MemOp::Expose,
+            _ => return None,
+        })
+    }
+}
+
 /// What happened to an instruction at a given cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
@@ -83,6 +122,42 @@ pub enum EventKind {
         /// Root cause recorded by the squash site.
         cause: SquashCause,
     },
+    /// A cache-state-changing memory access: the attacker-visible
+    /// cache-touch sequence (demand loads, committed stores,
+    /// validations, exposures). `tainted` is the STT taint status of the
+    /// access's operands at the access — the invariant oracle's input.
+    MemAccess {
+        /// Cache line index touched (byte address / 64).
+        line: u64,
+        /// What kind of access.
+        op: MemOp,
+        /// Whether the operands were STT-tainted when the access issued.
+        tainted: bool,
+    },
+    /// A transmit-class FP op (mul/div/sqrt) left the issue queue.
+    FpTransmit {
+        /// Whether its operands were STT-tainted at issue.
+        tainted: bool,
+        /// Whether it executed as the data-oblivious (predict-normal)
+        /// variant rather than with operand-dependent latency/occupancy.
+        oblivious: bool,
+    },
+    /// A predictor (location / branch / BTB) was trained.
+    PredictorUpdate {
+        /// Whether the training input derived from tainted state.
+        tainted: bool,
+    },
+    /// A per-level Obl-Ld response arrived at the wait buffer: the
+    /// deepest level an oblivious load actually touched is the max of
+    /// these (the oracle checks it never exceeds the predicted slice).
+    OblTouch {
+        /// Responding level: 1 = L1, 2 = L2, 3 = L3, 4 = DRAM.
+        level: u8,
+    },
+    /// An Obl-Ld's address operand untainted (the FSM's Safe event) —
+    /// the point after which validations, exposures, SDO squashes and
+    /// predictor training become legal for that load.
+    OblSafe,
 }
 
 impl EventKind {
@@ -97,6 +172,11 @@ impl EventKind {
             EventKind::Validate { .. } => "validate",
             EventKind::Expose => "expose",
             EventKind::Squash { .. } => "squash",
+            EventKind::MemAccess { .. } => "mem",
+            EventKind::FpTransmit { .. } => "fp_transmit",
+            EventKind::PredictorUpdate { .. } => "pred_update",
+            EventKind::OblTouch { .. } => "obl_touch",
+            EventKind::OblSafe => "obl_safe",
         }
     }
 }
@@ -131,6 +211,19 @@ impl Event {
             EventKind::Squash { cause } => {
                 out.push_str(&format!(",\"cause\":\"{}\"", cause.name()));
             }
+            EventKind::MemAccess { line, op, tainted } => {
+                out.push_str(&format!(
+                    ",\"line\":{line},\"op\":\"{}\",\"tainted\":{tainted}",
+                    op.name()
+                ));
+            }
+            EventKind::FpTransmit { tainted, oblivious } => {
+                out.push_str(&format!(",\"tainted\":{tainted},\"oblivious\":{oblivious}"));
+            }
+            EventKind::PredictorUpdate { tainted } => {
+                out.push_str(&format!(",\"tainted\":{tainted}"));
+            }
+            EventKind::OblTouch { level } => out.push_str(&format!(",\"level\":{level}")),
             _ => {}
         }
         out.push('}');
@@ -152,13 +245,7 @@ impl Event {
             "obl_probe" => EventKind::OblProbe {
                 level: int_field(line, "level")? as u8,
             },
-            "validate" => EventKind::Validate {
-                matched: match raw_field(line, "matched")? {
-                    "true" => true,
-                    "false" => false,
-                    other => return Err(format!("bad bool for 'matched': {other:?}")),
-                },
-            },
+            "validate" => EventKind::Validate { matched: bool_field(line, "matched")? },
             "expose" => EventKind::Expose,
             "squash" => {
                 let c = str_field(line, "cause")?;
@@ -167,6 +254,21 @@ impl Event {
                         .ok_or_else(|| format!("unknown squash cause {c:?}"))?,
                 }
             }
+            "mem" => {
+                let o = str_field(line, "op")?;
+                EventKind::MemAccess {
+                    line: int_field(line, "line")?,
+                    op: MemOp::parse(o).ok_or_else(|| format!("unknown mem op {o:?}"))?,
+                    tainted: bool_field(line, "tainted")?,
+                }
+            }
+            "fp_transmit" => EventKind::FpTransmit {
+                tainted: bool_field(line, "tainted")?,
+                oblivious: bool_field(line, "oblivious")?,
+            },
+            "pred_update" => EventKind::PredictorUpdate { tainted: bool_field(line, "tainted")? },
+            "obl_touch" => EventKind::OblTouch { level: int_field(line, "level")? as u8 },
+            "obl_safe" => EventKind::OblSafe,
             other => return Err(format!("unknown event kind {other:?}")),
         };
         Ok(Event { cycle, seq, pc, kind })
@@ -192,6 +294,14 @@ fn int_field(line: &str, key: &str) -> Result<u64, String> {
     raw_field(line, key)?
         .parse()
         .map_err(|e| format!("bad integer for {key:?}: {e}"))
+}
+
+fn bool_field(line: &str, key: &str) -> Result<bool, String> {
+    match raw_field(line, key)? {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("bad bool for {key:?}: {other:?}")),
+    }
 }
 
 fn str_field<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
@@ -298,6 +408,27 @@ mod tests {
             Event { cycle: 11, seq: 3, pc: 12, kind: EventKind::Expose },
             Event { cycle: 12, seq: 0, pc: 0, kind: EventKind::Commit },
             Event { cycle: 13, seq: 4, pc: 16, kind: EventKind::Squash { cause: SquashCause::Branch } },
+            Event {
+                cycle: 14,
+                seq: 5,
+                pc: 20,
+                kind: EventKind::MemAccess { line: 0x4_0000, op: MemOp::Load, tainted: true },
+            },
+            Event {
+                cycle: 15,
+                seq: 6,
+                pc: 24,
+                kind: EventKind::MemAccess { line: 7, op: MemOp::Store, tainted: false },
+            },
+            Event {
+                cycle: 16,
+                seq: 7,
+                pc: 28,
+                kind: EventKind::FpTransmit { tainted: true, oblivious: true },
+            },
+            Event { cycle: 17, seq: 8, pc: 32, kind: EventKind::PredictorUpdate { tainted: false } },
+            Event { cycle: 18, seq: 1, pc: 4, kind: EventKind::OblTouch { level: 3 } },
+            Event { cycle: 19, seq: 1, pc: 4, kind: EventKind::OblSafe },
         ]
     }
 
@@ -321,7 +452,7 @@ mod tests {
             t.record(ev);
         }
         assert_eq!(t.events().len(), 2);
-        assert_eq!(t.dropped(), 7);
+        assert_eq!(t.dropped(), 13);
     }
 
     #[test]
@@ -347,5 +478,18 @@ mod tests {
         assert!(text[2].contains("\"level\":2"));
         assert!(text[3].contains("\"matched\":true"));
         assert!(text[5].contains("\"cause\":\"validation\""));
+        assert!(text[9].contains("\"op\":\"load\"") && text[9].contains("\"tainted\":true"));
+        assert!(text[10].contains("\"op\":\"store\"") && text[10].contains("\"tainted\":false"));
+        assert!(text[11].contains("\"oblivious\":true"));
+        assert!(text[13].contains("\"event\":\"obl_touch\"") && text[13].contains("\"level\":3"));
+        assert!(text[14].ends_with("\"event\":\"obl_safe\"}"));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_mem_op() {
+        assert!(Event::parse(
+            "{\"cycle\":1,\"seq\":0,\"pc\":0,\"event\":\"mem\",\"line\":4,\"op\":\"poke\",\"tainted\":false}"
+        )
+        .is_err());
     }
 }

@@ -29,7 +29,7 @@ use sdo_core::predictor::{
 };
 use sdo_core::{fp_do_execute, DoResult};
 use sdo_isa::{FpuOp, Instruction, OpClass, Program, Reg};
-use sdo_obs::{EventKind as ObsEvent, ObsConfig, PipelineObs, QueueCaps, SquashCause};
+use sdo_obs::{EventKind as ObsEvent, MemOp, ObsConfig, PipelineObs, QueueCaps, SquashCause};
 use sdo_mem::{line_of, CacheLevel, Cycle, MemorySystem, OblReject, ServedBy};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -525,6 +525,12 @@ impl Core {
                 EvKind::Exec { value } => self.on_exec_done(ev.seq, value),
                 EvKind::LoadDone { value } => self.on_load_done(ev.seq, value),
                 EvKind::OblResp { level, hit, value } => {
+                    if self.obs.is_some() {
+                        let pc = self.ent(ev.seq).expect("live").pc;
+                        if let Some(o) = self.obs.as_deref_mut() {
+                            o.emit(self.now, ev.seq, pc, ObsEvent::OblTouch { level: level.depth() });
+                        }
+                    }
                     self.on_fsm_event(mem, ev.seq, OblEvent::Response { level, hit, value });
                 }
                 EvKind::ValidationDone { value, matches, level } => {
@@ -646,8 +652,17 @@ impl Core {
                     let expected = e.obl.as_ref().and_then(OblLdFsm::forwarded_value).unwrap_or(0);
                     self.stats.obl.validations += 1;
                     let (res, matches) = mem.validate(self.id, addr, expected, self.now);
-                    if let Some(o) = self.obs.as_deref_mut() {
-                        o.emit(self.now, seq, pc, ObsEvent::Validate { matched: matches });
+                    if self.obs.is_some() {
+                        let tainted = self.addr_operand_tainted(seq);
+                        if let Some(o) = self.obs.as_deref_mut() {
+                            o.emit(self.now, seq, pc, ObsEvent::Validate { matched: matches });
+                            o.emit(
+                                self.now,
+                                seq,
+                                pc,
+                                ObsEvent::MemAccess { line: addr / 64, op: MemOp::Validate, tainted },
+                            );
+                        }
                     }
                     self.schedule(
                         res.complete_at,
@@ -665,14 +680,29 @@ impl Core {
                     let addr = e.addr.expect("issued load has an address");
                     self.stats.obl.exposures += 1;
                     mem.expose(self.id, addr, self.now);
-                    if let Some(o) = self.obs.as_deref_mut() {
-                        o.emit(self.now, seq, pc, ObsEvent::Expose);
+                    if self.obs.is_some() {
+                        let tainted = self.addr_operand_tainted(seq);
+                        if let Some(o) = self.obs.as_deref_mut() {
+                            o.emit(self.now, seq, pc, ObsEvent::Expose);
+                            o.emit(
+                                self.now,
+                                seq,
+                                pc,
+                                ObsEvent::MemAccess { line: addr / 64, op: MemOp::Expose, tainted },
+                            );
+                        }
                     }
                 }
                 OblAction::UpdatePredictor { level } => {
                     let e = self.ent(seq).expect("live");
                     let pc = e.pc;
                     let predicted = e.obl.as_ref().expect("obl load").predicted();
+                    if self.obs.is_some() {
+                        let tainted = self.addr_operand_tainted(seq);
+                        if let Some(o) = self.obs.as_deref_mut() {
+                            o.emit(self.now, seq, pc, ObsEvent::PredictorUpdate { tainted });
+                        }
+                    }
                     self.predictor.update(pc, level);
                     self.stats.record_prediction(predicted.depth(), level.depth());
                 }
@@ -799,6 +829,14 @@ impl Core {
             }
             let e = self.ent_mut(seq).expect("live");
             e.obl_safe_sent = true;
+            if self.obs.is_some() {
+                let pc = self.ent(seq).expect("live").pc;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    // Before the FSM consumes Safe, so that validations /
+                    // exposures / predictor training trace strictly after.
+                    o.emit(self.now, seq, pc, ObsEvent::OblSafe);
+                }
+            }
             self.on_fsm_event(mem, seq, OblEvent::Safe);
             if self.ent(seq).is_some_and(|e| e.obl.as_ref().is_some_and(OblLdFsm::squashed)) {
                 break;
@@ -835,6 +873,9 @@ impl Core {
             e.status = Status::Executing;
             e.done = false;
             let (value, lat) = self.exec_fp(seq, true);
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.emit(self.now, seq, pc, ObsEvent::FpTransmit { tainted: false, oblivious: false });
+            }
             // The re-executed slow path occupies an FP unit (structural
             // contention is safe to reveal: the operands are untainted).
             let slot = self.fp_busy.iter_mut().min().expect("fp units exist");
@@ -877,6 +918,12 @@ impl Core {
         let is_cond = e.inst.is_cond_branch();
         let is_indirect = e.inst.is_indirect();
 
+        if (is_cond || is_indirect) && self.obs.is_some() {
+            let tainted = self.srcs_tainted(seq);
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.emit(self.now, seq, pc, ObsEvent::PredictorUpdate { tainted });
+            }
+        }
         if is_cond {
             self.stats.branches += 1;
             self.bp.resolve(pc, taken, pred_taken);
@@ -985,6 +1032,14 @@ impl Core {
                     let addr = head.addr.expect("store address computed");
                     let data = head.store_data.expect("store data computed");
                     mem.store(self.id, addr, data, head.width_bytes, self.now);
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.emit(
+                            self.now,
+                            head.seq,
+                            head.pc,
+                            ObsEvent::MemAccess { line: addr / 64, op: MemOp::Store, tainted: false },
+                        );
+                    }
                     self.sq.retain(|&s| s != head.seq);
                 }
                 OpClass::Load => {
@@ -1218,6 +1273,10 @@ impl Core {
                     Some(v) => (v.to_bits(), false),
                     None => (0u64, true),
                 };
+                let pc = self.ent(seq).expect("live").pc;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.emit(self.now, seq, pc, ObsEvent::FpTransmit { tainted: true, oblivious: true });
+                }
                 let e = self.ent_mut(seq).expect("live");
                 e.status = Status::Executing;
                 e.fp_failed = failed;
@@ -1247,6 +1306,10 @@ impl Core {
                     && !Self::claim_unit(&mut self.fp_busy, self.now, lat)
                 {
                     return false;
+                }
+                let pc = self.ent(seq).expect("live").pc;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.emit(self.now, seq, pc, ObsEvent::FpTransmit { tainted, oblivious: false });
                 }
                 let e = self.ent_mut(seq).expect("live");
                 e.status = Status::Executing;
@@ -1471,6 +1534,18 @@ impl Core {
             return;
         }
         let res = mem.load(self.id, addr, self.now);
+        if self.obs.is_some() {
+            let pc = self.ent(seq).expect("live").pc;
+            let tainted = self.addr_operand_tainted(seq);
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.emit(
+                    self.now,
+                    seq,
+                    pc,
+                    ObsEvent::MemAccess { line: addr / 64, op: MemOp::Load, tainted },
+                );
+            }
+        }
         self.schedule(res.complete_at, seq, EvKind::LoadDone { value: res.value });
         if was_dram_predicted {
             // The location predictor said DRAM and the load reverted to
@@ -1479,6 +1554,12 @@ impl Core {
             // would never escape a DRAM rut once the data becomes
             // cache-resident.
             let pc = self.ent(seq).expect("live").pc;
+            if self.obs.is_some() {
+                let tainted = self.addr_operand_tainted(seq);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.emit(self.now, seq, pc, ObsEvent::PredictorUpdate { tainted });
+                }
+            }
             self.predictor.update(pc, res.served_by.level());
             self.stats.record_prediction(CacheLevel::Dram.depth(), res.served_by.level().depth());
         }

@@ -35,6 +35,6 @@ pub use trace::{PipelineTrace, TraceEntry};
 // Re-exported so downstream code can configure and consume the
 // observability probe without naming sdo-obs directly.
 pub use sdo_obs::{
-    Event as ObsEvent, EventKind as ObsEventKind, EventTrace, Histogram, Metric, MetricsSnapshot,
-    ObsConfig, PipelineObs, QueueCaps, SquashCause,
+    Divergence, Event as ObsEvent, EventKind as ObsEventKind, EventTrace, Histogram, MemOp, Metric,
+    MetricsSnapshot, ObsConfig, ObservableTrace, PipelineObs, QueueCaps, SquashCause,
 };

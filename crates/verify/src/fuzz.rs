@@ -1,0 +1,465 @@
+//! Seeded litmus-program fuzzer: randomized gadget compositions for the
+//! secret-swap checker, plus a greedy counterexample minimizer.
+//!
+//! A fuzzed program is a [`LitmusSpec`]: an ordered list of [`Gadget`]s
+//! assembled into one mini-ISA program with a secret byte planted out
+//! of bounds. Gadgets come in two families:
+//!
+//! * **noise** — ALU chains, public-array loads, FP arithmetic,
+//!   divide-chain contention. These perturb pipeline and cache state
+//!   but are secret-independent; any divergence they cause is a bug in
+//!   the simulator or the observable model.
+//! * **leaking** — branch-mispredict windows that speculatively read
+//!   the secret and transmit it through the cache
+//!   ([`Gadget::SpectreCache`], a guaranteed leak on the unsafe
+//!   baseline) or through secret-dependent FP latency
+//!   ([`Gadget::SpectreFp`], a best-effort leak: FP-occupancy
+//!   divergence depends on surrounding schedule pressure, so the
+//!   campaign only asserts its *absence* under protection).
+//!
+//! Generation is a pure function of the seed ([`LitmusSpec::generate`]
+//! via `sdo-rng`), so a counterexample's `(seed, gadgets)` header
+//! reproduces the exact program. [`minimize`] shrinks a failing spec by
+//! greedily deleting gadgets while the caller's failure predicate keeps
+//! holding — the returned spec still fails, by construction.
+
+use sdo_isa::{Assembler, FReg, Program, Reg};
+use sdo_rng::SdoRng;
+use sdo_workloads::Channel;
+
+/// Base address of the bounds-checked array; the secret byte sits at
+/// `A_BASE + SECRET_OFFSET` (out of bounds, as in the Spectre corpus).
+const A_BASE: u64 = 0x4000;
+/// Out-of-bounds offset of the planted secret.
+const SECRET_OFFSET: i64 = 200;
+/// FP constants used by FP gadgets.
+const FP_BASE: u64 = 0x5800;
+/// Public byte array the memory-noise gadget walks.
+const NOISE_BASE: u64 = 0x6000;
+/// First probe array; each cache-leak gadget instance gets its own,
+/// spaced far enough apart that their 256 lines never alias.
+const PROBE_BASE: u64 = 0x100_0000;
+/// Address spacing between per-instance probe arrays.
+const PROBE_STRIDE: u64 = 0x2_0000;
+
+/// One building block of a fuzzed litmus program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gadget {
+    /// Secret-independent ALU chain (`ops` add/shift/mask rounds).
+    AluNoise {
+        /// Number of add/shift/mask rounds.
+        ops: u8,
+    },
+    /// Loads over a public array: `count` loads `stride` bytes apart.
+    MemNoise {
+        /// Byte stride between consecutive loads.
+        stride: u8,
+        /// Number of loads.
+        count: u8,
+    },
+    /// Secret-independent FP multiply chain (`ops` links).
+    FpNoise {
+        /// Chain length.
+        ops: u8,
+    },
+    /// A dependent integer divide chain (`divs` links) hogging the
+    /// divider — schedule contention for whatever follows.
+    Contention {
+        /// Chain length.
+        divs: u8,
+    },
+    /// Branch-mispredict window transmitting the secret through the
+    /// cache (a self-contained Spectre V1 train+attack block).
+    SpectreCache,
+    /// Branch-mispredict window feeding the secret into an FP multiply
+    /// chain (secret-dependent subnormal latency).
+    SpectreFp,
+}
+
+impl Gadget {
+    /// Stable name used in counterexample reports (`gadgets` header
+    /// field); encodes the parameters, so the recipe alone rebuilds the
+    /// program.
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            Gadget::AluNoise { ops } => format!("alu_noise({ops})"),
+            Gadget::MemNoise { stride, count } => format!("mem_noise({stride}x{count})"),
+            Gadget::FpNoise { ops } => format!("fp_noise({ops})"),
+            Gadget::Contention { divs } => format!("contention({divs})"),
+            Gadget::SpectreCache => "spectre_cache".into(),
+            Gadget::SpectreFp => "spectre_fp".into(),
+        }
+    }
+
+    /// The channel this gadget can leak through, if any.
+    #[must_use]
+    pub fn leaks_via(self) -> Option<Channel> {
+        match self {
+            Gadget::SpectreCache => Some(Channel::Cache),
+            Gadget::SpectreFp => Some(Channel::FpTiming),
+            _ => None,
+        }
+    }
+}
+
+/// A fuzzed litmus program: seed plus gadget recipe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LitmusSpec {
+    /// Seed this spec was generated from (reproducibility header).
+    pub seed: u64,
+    /// Ordered gadget list.
+    pub gadgets: Vec<Gadget>,
+}
+
+impl LitmusSpec {
+    /// Generates a random spec (2–5 gadgets) as a pure function of
+    /// `seed`.
+    #[must_use]
+    pub fn generate(seed: u64) -> LitmusSpec {
+        let mut rng = SdoRng::seed_from_u64(seed);
+        let n = 2 + rng.bounded(4) as usize;
+        let gadgets = (0..n)
+            .map(|_| match rng.bounded(6) {
+                0 => Gadget::AluNoise { ops: 2 + rng.bounded(10) as u8 },
+                1 => Gadget::MemNoise {
+                    stride: [8u8, 64, 192][rng.bounded(3) as usize],
+                    count: 4 + rng.bounded(8) as u8,
+                },
+                2 => Gadget::FpNoise { ops: 2 + rng.bounded(6) as u8 },
+                3 => Gadget::Contention { divs: 2 + rng.bounded(8) as u8 },
+                4 => Gadget::SpectreCache,
+                _ => Gadget::SpectreFp,
+            })
+            .collect();
+        LitmusSpec { seed, gadgets }
+    }
+
+    /// The deterministic positive-control spec for a campaign seed: a
+    /// cache-leak gadget buried in noise. Guaranteed to diverge on the
+    /// unsafe baseline, so every campaign exercises the checker's
+    /// ability to see leaks *and* the minimizer's ability to strip the
+    /// noise back off.
+    #[must_use]
+    pub fn anchor(seed: u64) -> LitmusSpec {
+        LitmusSpec {
+            seed,
+            gadgets: vec![
+                Gadget::AluNoise { ops: 4 },
+                Gadget::SpectreCache,
+                Gadget::MemNoise { stride: 64, count: 8 },
+                Gadget::Contention { divs: 4 },
+            ],
+        }
+    }
+
+    /// Display name (used as the counterexample `case` field).
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!("fuzz_{:016x}", self.seed)
+    }
+
+    /// The gadget recipe as report strings.
+    #[must_use]
+    pub fn gadget_names(&self) -> Vec<String> {
+        self.gadgets.iter().map(|g| g.name()).collect()
+    }
+
+    /// Every channel some gadget of this spec can leak through
+    /// (deduplicated, [`Channel::Cache`] first).
+    #[must_use]
+    pub fn channels(&self) -> Vec<Channel> {
+        let mut out = Vec::new();
+        for ch in [Channel::Cache, Channel::FpTiming] {
+            if self.gadgets.iter().any(|g| g.leaks_via() == Some(ch)) {
+                out.push(ch);
+            }
+        }
+        out
+    }
+
+    /// The channel this spec leaks through on an unprotected core, if
+    /// any — the cache channel wins when both kinds of gadget are
+    /// present (it is the guaranteed one).
+    #[must_use]
+    pub fn leaks_via(&self) -> Option<Channel> {
+        self.channels().first().copied()
+    }
+
+    /// Whether the unsafe baseline is *guaranteed* to diverge on this
+    /// spec (it contains a cache-transmitting window; the FP window's
+    /// timing signal is best-effort, see the module docs).
+    #[must_use]
+    pub fn guaranteed_leak(&self) -> bool {
+        self.gadgets.contains(&Gadget::SpectreCache)
+    }
+
+    /// Assembles the spec into a program with `secret` planted at
+    /// `A_BASE + SECRET_OFFSET`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if assembly fails, which would be a generator bug — every
+    /// gadget emits well-formed code.
+    #[must_use]
+    pub fn build(&self, secret: u8) -> Program {
+        let mut asm = Assembler::named("fuzz");
+        // Shared data image: bounds-checked array, the out-of-bounds
+        // secret, FP constants, and the public noise array.
+        for k in 0..10 {
+            asm.data_mut().set_byte(A_BASE + k, 0);
+        }
+        asm.data_mut().set_byte(A_BASE + SECRET_OFFSET as u64, secret);
+        asm.data_mut().set_f64(FP_BASE, 3.5);
+        asm.data_mut().set_f64(FP_BASE + 8, 1.25);
+        for k in 0..0x900u64 {
+            asm.data_mut().set_byte(NOISE_BASE + k, (k * 7 % 13) as u8);
+        }
+        let mut leak_instances = 0u64;
+        for &g in &self.gadgets {
+            emit(&mut asm, g, &mut leak_instances);
+        }
+        asm.halt();
+        asm.finish().expect("fuzz spec assembles")
+    }
+}
+
+/// Emits one gadget's code. `leak_instances` counts emitted
+/// mispredict-window gadgets so each gets a disjoint probe array.
+fn emit(asm: &mut Assembler, g: Gadget, leak_instances: &mut u64) {
+    let r = Reg::new;
+    let f = FReg::new;
+    match g {
+        Gadget::AluNoise { ops } => {
+            let x = r(5);
+            asm.li(x, 0x55);
+            for _ in 0..ops {
+                asm.addi(x, x, 3);
+                asm.slli(x, x, 1);
+                asm.andi(x, x, 0xff);
+            }
+        }
+        Gadget::MemNoise { stride, count } => {
+            let (ptr, n, v) = (r(6), r(7), r(5));
+            asm.li(ptr, NOISE_BASE as i64);
+            asm.li(n, i64::from(count));
+            let top = asm.here();
+            asm.ldb(v, ptr, 0);
+            asm.addi(ptr, ptr, i64::from(stride));
+            asm.addi(n, n, -1);
+            asm.bne(n, Reg::ZERO, top);
+        }
+        Gadget::FpNoise { ops } => {
+            let base = r(9);
+            asm.li(base, FP_BASE as i64);
+            asm.fld(f(1), base, 0);
+            asm.fld(f(2), base, 8);
+            asm.fmul(f(3), f(1), f(2));
+            for _ in 1..ops {
+                asm.fmul(f(3), f(3), f(2));
+            }
+        }
+        Gadget::Contention { divs } => {
+            let (x, d) = (r(5), r(6));
+            asm.li(x, 1_000_000_007);
+            asm.li(d, 3);
+            for _ in 0..divs {
+                asm.divu(x, x, d);
+            }
+        }
+        Gadget::SpectreCache | Gadget::SpectreFp => {
+            emit_mispredict_window(asm, g == Gadget::SpectreFp, *leak_instances);
+            *leak_instances += 1;
+        }
+    }
+}
+
+/// Emits a self-contained Spectre train+attack block: a victim
+/// "function" with a slow divide-chain bound check, a training loop
+/// with in-bounds indices, then the out-of-bounds attack call. The
+/// speculative window either transmits through the cache (probe-array
+/// load indexed by the secret) or through FP latency (secret bits fed
+/// into a subnormal multiply chain).
+fn emit_mispredict_window(asm: &mut Assembler, fp_transmit: bool, instance: u64) {
+    let r = Reg::new;
+    let f = FReg::new;
+    let (abase, pbase, idx, val, off) = (r(1), r(2), r(3), r(4), r(5));
+    let (big, div, bound) = (r(6), r(7), r(8));
+    let (train_i, ra) = (r(10), r(31));
+
+    asm.li(abase, A_BASE as i64);
+    asm.li(pbase, (PROBE_BASE + instance * PROBE_STRIDE) as i64);
+    asm.li(big, 10_000_000_000_000);
+    asm.li(div, 10);
+    if fp_transmit {
+        let fbase = r(9);
+        asm.li(fbase, FP_BASE as i64);
+        asm.fld(f(1), fbase, 0);
+        asm.fld(f(2), fbase, 8);
+    }
+
+    let do_access = asm.label();
+    let skip = asm.label();
+    let victim = asm.label();
+    let after = asm.label();
+
+    asm.li(train_i, 64);
+    let train_top = asm.here();
+    asm.andi(idx, train_i, 0x7);
+    asm.jal(ra, victim);
+    asm.addi(train_i, train_i, -1);
+    asm.bne(train_i, Reg::ZERO, train_top);
+    asm.li(idx, SECRET_OFFSET);
+    asm.jal(ra, victim);
+    asm.j(after);
+
+    asm.bind(victim);
+    // bound = 10 after twelve dependent divides: a window long enough
+    // to fetch and transmit the secret before the check resolves.
+    asm.divu(bound, big, div);
+    for _ in 0..11 {
+        asm.divu(bound, bound, div);
+    }
+    asm.blt(idx, bound, do_access);
+    asm.j(skip);
+    asm.bind(do_access);
+    asm.add(val, abase, idx);
+    asm.ldb(val, val, 0); // reads the secret when out of bounds
+    if fp_transmit {
+        // Non-zero secrets form subnormal bit patterns: the chain's
+        // latency and FP-unit occupancy depend on the secret.
+        asm.fmv_from_int(f(3), val);
+        asm.fmul(f(10), f(3), f(1));
+        for k in 11..=16 {
+            asm.fmul(f(k), f(k - 1), f(1));
+        }
+    } else {
+        asm.slli(off, val, 6);
+        asm.add(off, off, pbase);
+        asm.ld(Reg::ZERO, off, 0); // fills probe[secret]
+    }
+    asm.bind(skip);
+    if fp_transmit {
+        // Architectural FP work that competes for the units the doomed
+        // chain may still occupy.
+        asm.fdiv(f(5), f(1), f(2));
+        asm.fdiv(f(6), f(2), f(1));
+    }
+    asm.jr(ra);
+    asm.bind(after);
+}
+
+/// Greedily shrinks a failing spec: repeatedly tries deleting one
+/// gadget at a time, keeping each deletion for which `fails` still
+/// holds, until no single deletion preserves the failure. The result
+/// fails whenever the input does (deletions are only committed under a
+/// passing `fails` check), and is 1-minimal: removing any single
+/// remaining gadget makes the failure disappear.
+pub fn minimize(spec: &LitmusSpec, mut fails: impl FnMut(&LitmusSpec) -> bool) -> LitmusSpec {
+    let mut cur = spec.clone();
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < cur.gadgets.len() && cur.gadgets.len() > 1 {
+            let mut cand = cur.clone();
+            cand.gadgets.remove(i);
+            if fails(&cand) {
+                cur = cand;
+                reduced = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !reduced {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdo_isa::Interpreter;
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let a = LitmusSpec::generate(1);
+        assert_eq!(a, LitmusSpec::generate(1));
+        assert!((2..=5).contains(&a.gadgets.len()));
+        // Different seeds must eventually differ.
+        assert!((0..20).any(|s| LitmusSpec::generate(s) != a));
+    }
+
+    #[test]
+    fn generated_programs_halt_and_are_architecturally_secret_independent() {
+        for seed in 0..8u64 {
+            let spec = LitmusSpec::generate(seed);
+            let run = |secret: u8| {
+                let prog = spec.build(secret);
+                let mut i = Interpreter::new(&prog);
+                i.run(2_000_000).unwrap_or_else(|e| panic!("seed {seed} halts: {e:?}"));
+                i.int_regs()
+            };
+            assert_eq!(run(0), run(42), "seed {seed}: committed state leaked the secret");
+        }
+    }
+
+    #[test]
+    fn anchor_contains_a_guaranteed_leak_in_noise() {
+        let a = LitmusSpec::anchor(9);
+        assert!(a.guaranteed_leak());
+        assert!(a.gadgets.len() > 1, "the minimizer needs something to strip");
+        assert_eq!(a.channels(), vec![Channel::Cache]);
+    }
+
+    #[test]
+    fn minimizer_preserves_failure_and_is_one_minimal() {
+        // Synthetic predicate: a spec "fails" iff it still contains the
+        // cache-leak gadget (the shape of the real unsafe-baseline
+        // check, without the simulator in the loop).
+        let fails = |s: &LitmusSpec| s.gadgets.contains(&Gadget::SpectreCache);
+        let spec = LitmusSpec::anchor(3);
+        assert!(fails(&spec));
+        let min = minimize(&spec, fails);
+        assert!(fails(&min), "minimization must preserve the failure");
+        assert_eq!(min.gadgets, vec![Gadget::SpectreCache], "noise gadgets stripped");
+        // 1-minimality: removing the last gadget is never attempted, and
+        // removing any gadget of the result un-fails it.
+        for i in 0..min.gadgets.len() {
+            let mut cand = min.clone();
+            cand.gadgets.remove(i);
+            assert!(!fails(&cand) || cand.gadgets.is_empty());
+        }
+    }
+
+    #[test]
+    fn minimizer_keeps_multiple_required_gadgets() {
+        // Failure requires BOTH leak gadgets: the minimizer must keep
+        // both while stripping everything else.
+        let fails = |s: &LitmusSpec| {
+            s.gadgets.contains(&Gadget::SpectreCache) && s.gadgets.contains(&Gadget::SpectreFp)
+        };
+        let spec = LitmusSpec {
+            seed: 0,
+            gadgets: vec![
+                Gadget::AluNoise { ops: 2 },
+                Gadget::SpectreCache,
+                Gadget::FpNoise { ops: 2 },
+                Gadget::SpectreFp,
+                Gadget::Contention { divs: 2 },
+            ],
+        };
+        let min = minimize(&spec, fails);
+        assert_eq!(min.gadgets, vec![Gadget::SpectreCache, Gadget::SpectreFp]);
+    }
+
+    #[test]
+    fn gadget_names_encode_parameters() {
+        assert_eq!(Gadget::AluNoise { ops: 3 }.name(), "alu_noise(3)");
+        assert_eq!(Gadget::MemNoise { stride: 64, count: 8 }.name(), "mem_noise(64x8)");
+        assert_eq!(Gadget::SpectreCache.name(), "spectre_cache");
+        let spec = LitmusSpec::anchor(5);
+        assert_eq!(spec.gadget_names().len(), spec.gadgets.len());
+        assert!(spec.name().starts_with("fuzz_"));
+    }
+}

@@ -1,0 +1,53 @@
+//! End-to-end tests of the verification subsystem against the real
+//! simulator: the checker sees the Spectre leak and its absence, and a
+//! small campaign is deterministic, jobs-independent, and minimizes its
+//! positive control.
+
+use sdo_harness::{JobPool, Variant};
+use sdo_uarch::AttackModel;
+use sdo_verify::{CampaignConfig, Checker};
+use sdo_workloads::litmus_case;
+
+#[test]
+fn checker_sees_the_spectre_leak_and_its_absence() {
+    let checker = Checker::new();
+    let case = litmus_case("spectre_v1").unwrap();
+
+    let unsafe_o = checker.check_case(case, Variant::Unsafe, AttackModel::Spectre).unwrap();
+    assert!(unsafe_o.expected_divergence);
+    assert!(unsafe_o.divergence.is_some(), "the positive control must leak");
+    assert!(unsafe_o.passed(), "{}", unsafe_o.describe());
+
+    let hybrid_o = checker.check_case(case, Variant::Hybrid, AttackModel::Spectre).unwrap();
+    assert!(!hybrid_o.expected_divergence);
+    assert!(hybrid_o.divergence.is_none(), "STT+SDO must be secret-swap indistinguishable");
+    assert!(hybrid_o.violations.is_empty(), "oracle must be clean: {}", hybrid_o.describe());
+    assert!(hybrid_o.passed());
+}
+
+#[test]
+fn campaign_is_deterministic_jobs_independent_and_minimizing() {
+    let mut cfg = CampaignConfig::quick(3);
+    cfg.fuzz_count = Some(1); // anchor only: keeps debug-mode runtime down
+    cfg.variants = Some(vec![Variant::Unsafe, Variant::Hybrid]);
+    let checker = Checker::new();
+
+    let serial = cfg.run(&checker, &JobPool::serial()).unwrap();
+    let parallel = cfg.run(&checker, &JobPool::new(4)).unwrap();
+
+    assert!(serial.passed(), "{}", serial.render());
+    assert_eq!(serial.render(), parallel.render(), "render must be jobs-independent");
+    let a: Vec<String> = serial.counterexamples.iter().map(|c| c.to_jsonl()).collect();
+    let b: Vec<String> = parallel.counterexamples.iter().map(|c| c.to_jsonl()).collect();
+    assert_eq!(a, b, "counterexamples must be byte-identical at any --jobs");
+
+    // The anchor's unsafe-baseline demonstration must exist and be
+    // minimized down to the one gadget that carries the leak.
+    let demo = serial
+        .counterexamples
+        .iter()
+        .find(|c| !c.kind.is_failure() && !c.gadgets.is_empty())
+        .expect("the anchor demonstrates the baseline leak");
+    assert_eq!(demo.gadgets, vec!["spectre_cache".to_string()], "minimizer strips the noise");
+    assert_eq!(demo.variant, Variant::Unsafe);
+}

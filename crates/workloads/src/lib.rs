@@ -42,8 +42,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod kernels;
+pub mod litmus;
 pub mod random;
 pub mod spectre;
 
 pub use kernels::{suite, Workload};
-pub use spectre::{spectre_fp_victim, spectre_v1_victim, SpectreScenario};
+pub use litmus::{litmus_case, Channel, LitmusCase, CORPUS};
+pub use spectre::{spectre_fp_victim, spectre_v1_victim, spectre_v1_with_secret, SpectreScenario};

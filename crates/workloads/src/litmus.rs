@@ -1,0 +1,201 @@
+//! Litmus corpus for the secret-swap differential checker.
+//!
+//! Each [`LitmusCase`] is a program builder parameterized by a secret
+//! byte, plus ground truth about *whether* and *how* that secret can
+//! reach an attacker on an unprotected core. The checker in
+//! `sdo-verify` runs each case twice with different secrets and
+//! compares attacker observables:
+//!
+//! * cases with `leaks_via: Some(_)` are **positive controls** — the
+//!   unsafe baseline (and, for the FP channel, `STT{ld}`) must show a
+//!   divergence, or the checker itself is broken;
+//! * cases with `leaks_via: None` are **negative controls** — if even
+//!   the unsafe baseline diverges, the program's observables depend on
+//!   the secret architecturally and the case (or the observable model)
+//!   is wrong.
+//!
+//! Which protection closes which channel is policy, not corpus — it
+//! lives with the checker (`sdo-verify`), next to the code that acts
+//! on it.
+
+use crate::spectre::{spectre_fp_victim, spectre_v1_with_secret};
+use sdo_isa::{Assembler, Program, Reg};
+
+/// The covert channel a litmus case transmits through on an
+/// unprotected core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Channel {
+    /// Cache state: a speculative load whose address depends on the
+    /// secret warms a secret-indexed line (Spectre V1, Figure 1).
+    Cache,
+    /// FP timing: a speculative FP op whose latency/occupancy depends
+    /// on the secret operand delays architectural work (Section I-A).
+    FpTiming,
+}
+
+/// One litmus program: a builder plus its expected leakage behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct LitmusCase {
+    /// Stable case name (used in reports and CLI filters).
+    pub name: &'static str,
+    /// The channel the secret leaks through on an unprotected core, or
+    /// `None` if the program's observables are secret-independent even
+    /// without protection (negative control).
+    pub leaks_via: Option<Channel>,
+    /// Builds the program with the given secret byte planted.
+    pub build: fn(u8) -> Program,
+}
+
+/// The fixed litmus corpus, in canonical order.
+pub const CORPUS: &[LitmusCase] = &[
+    LitmusCase { name: "spectre_v1", leaks_via: Some(Channel::Cache), build: build_spectre_v1 },
+    LitmusCase { name: "spectre_fp", leaks_via: Some(Channel::FpTiming), build: spectre_fp_victim },
+    LitmusCase { name: "spectre_v1_dead", leaks_via: None, build: build_spectre_v1_dead },
+    LitmusCase { name: "benign_branchy", leaks_via: None, build: build_benign_branchy },
+];
+
+/// Looks a case up by name.
+#[must_use]
+pub fn litmus_case(name: &str) -> Option<&'static LitmusCase> {
+    CORPUS.iter().find(|c| c.name == name)
+}
+
+fn build_spectre_v1(secret: u8) -> Program {
+    spectre_v1_with_secret(secret).program
+}
+
+/// Spectre V1 with the transmitter amputated: the secret is still read
+/// speculatively on the mispredicted path, but nothing depends on the
+/// loaded value, so no observable can encode it — even on the unsafe
+/// baseline. Distinguishes "speculatively accessed" from "leaked".
+fn build_spectre_v1_dead(secret: u8) -> Program {
+    let a_base = 0x4000u64;
+    let secret_offset = 200i64;
+
+    let mut asm = Assembler::named("spectre_v1_dead");
+    for k in 0..10 {
+        asm.data_mut().set_byte(a_base + k, 0);
+    }
+    asm.data_mut().set_byte(a_base + secret_offset as u64, secret);
+
+    let r = Reg::new;
+    let (abase, idx, val) = (r(1), r(3), r(4));
+    let (big, div, bound) = (r(6), r(7), r(8));
+    asm.li(abase, a_base as i64);
+    asm.li(big, 10_000_000_000_000);
+    asm.li(div, 10);
+
+    let do_access = asm.label();
+    let skip = asm.label();
+    let victim = asm.label();
+    let ra = r(31);
+
+    let train_i = r(10);
+    asm.li(train_i, 64);
+    let train_top = asm.here();
+    asm.andi(idx, train_i, 0x7);
+    asm.jal(ra, victim);
+    asm.addi(train_i, train_i, -1);
+    asm.bne(train_i, Reg::ZERO, train_top);
+    asm.li(idx, secret_offset);
+    asm.jal(ra, victim);
+    asm.halt();
+
+    asm.bind(victim);
+    // Same slow divide-chain bound as spectre_v1: the window is open,
+    // the secret is read — the transmit just isn't there.
+    asm.divu(bound, big, div);
+    for _ in 0..11 {
+        asm.divu(bound, bound, div);
+    }
+    asm.blt(idx, bound, do_access);
+    asm.j(skip);
+    asm.bind(do_access);
+    asm.add(val, abase, idx);
+    asm.ldb(val, val, 0); // reads the secret when OOB; dead afterwards
+    asm.bind(skip);
+    asm.jr(ra);
+
+    asm.finish().expect("spectre_v1_dead assembles")
+}
+
+/// A branchy loop over public data with the secret planted but never
+/// read (not even speculatively): the checker's baseline negative
+/// control. Any divergence here means the harness, not the core,
+/// depends on the secret.
+fn build_benign_branchy(secret: u8) -> Program {
+    let a_base = 0x6000u64;
+
+    let mut asm = Assembler::named("benign_branchy");
+    for k in 0..64u64 {
+        asm.data_mut().set_byte(a_base + k, (k * 7 % 13) as u8);
+    }
+    // Planted far from anything the program touches.
+    asm.data_mut().set_byte(a_base + 0x1000, secret);
+
+    let r = Reg::new;
+    let (abase, i, v, acc) = (r(1), r(2), r(3), r(4));
+    asm.li(abase, a_base as i64);
+    asm.li(i, 63);
+    asm.li(acc, 0);
+    let top = asm.here();
+    let even = asm.label();
+    let next = asm.label();
+    asm.add(v, abase, i);
+    asm.ldb(v, v, 0);
+    asm.andi(v, v, 1);
+    asm.bne(v, Reg::ZERO, even); // data-dependent (public) branch
+    asm.addi(acc, acc, 2);
+    asm.j(next);
+    asm.bind(even);
+    asm.addi(acc, acc, 5);
+    asm.bind(next);
+    asm.addi(i, i, -1);
+    asm.bne(i, Reg::ZERO, top);
+    asm.halt();
+
+    asm.finish().expect("benign_branchy assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdo_isa::Interpreter;
+
+    #[test]
+    fn corpus_cases_halt_for_any_secret() {
+        for case in CORPUS {
+            for secret in [0u8, 42, 255] {
+                let prog = (case.build)(secret);
+                let mut i = Interpreter::new(&prog);
+                i.run(500_000).unwrap_or_else(|e| panic!("{} halts: {e:?}", case.name));
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_architectural_state_is_secret_independent() {
+        // The planted secret must never architecturally escape: final
+        // integer registers are identical under any secret.
+        for case in CORPUS {
+            let run = |secret: u8| {
+                let prog = (case.build)(secret);
+                let mut i = Interpreter::new(&prog);
+                i.run(500_000).unwrap();
+                i.int_regs()
+            };
+            assert_eq!(run(0), run(42), "case {}", case.name);
+        }
+    }
+
+    #[test]
+    fn corpus_names_are_unique_and_resolvable() {
+        for (i, a) in CORPUS.iter().enumerate() {
+            assert!(litmus_case(a.name).is_some());
+            for b in &CORPUS[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+        assert!(litmus_case("nope").is_none());
+    }
+}

@@ -46,16 +46,24 @@ impl SpectreScenario {
     }
 }
 
-/// Builds the Spectre V1 scenario.
+/// Builds the Spectre V1 scenario with the canonical planted secret
+/// (`0x2A`). See [`spectre_v1_with_secret`].
+#[must_use]
+pub fn spectre_v1_victim() -> SpectreScenario {
+    spectre_v1_with_secret(0x2A)
+}
+
+/// Builds the Spectre V1 scenario with a caller-chosen secret byte —
+/// the parameterization the secret-swap differential checker needs
+/// (run twice with different secrets, diff the observables).
 ///
 /// Array layout: `A` is a 10-byte bounds-checked array of zeros; the
 /// secret byte sits at `A + 200` (out of bounds but in the same address
 /// space); the probe array starts at a distant, initially-cold address.
 #[must_use]
-pub fn spectre_v1_victim() -> SpectreScenario {
+pub fn spectre_v1_with_secret(secret: u8) -> SpectreScenario {
     let a_base = 0x4000u64;
     let probe_base = 0x100_0000u64;
-    let secret: u8 = 0x2A;
     let secret_offset = 200i64;
 
     let mut asm = Assembler::named("spectre_v1");

@@ -7,7 +7,9 @@
 //! * [`sdo`] — the SDO framework: DO variants, location predictors, Obl-Ld,
 //! * [`uarch`] — the speculative out-of-order core with STT and SDO,
 //! * [`workloads`] — SPEC17-like kernels and the Spectre V1 attack,
-//! * [`harness`] — experiment runners for the paper's tables and figures.
+//! * [`harness`] — experiment runners for the paper's tables and figures,
+//! * [`verify`] — automated leakage verification: secret-swap differential
+//!   testing, the dynamic invariant oracle, and the fuzzed litmus campaign.
 //!
 //! ## End-to-end example
 //!
@@ -55,4 +57,5 @@ pub use sdo_harness as harness;
 pub use sdo_isa as isa;
 pub use sdo_mem as mem;
 pub use sdo_uarch as uarch;
+pub use sdo_verify as verify;
 pub use sdo_workloads as workloads;
