@@ -13,6 +13,7 @@
 
 use sdo_bench::{bench_case, quick_suite};
 use sdo_core::predictor::{GreedyPredictor, LocationPredictor};
+use sdo_harness::cli::{BinSpec, CommonArgs, CsvSupport};
 use sdo_harness::engine::JobPool;
 use sdo_harness::SimConfig;
 use sdo_mem::{CacheLevel, MemorySystem};
@@ -134,9 +135,23 @@ fn ablation_dram_prediction(kernels: &[Workload], pool: &JobPool) {
     }
 }
 
+const SPEC: BinSpec = BinSpec {
+    name: "bench-ablations",
+    about: "Ablation benches for the DESIGN.md §6 design choices.",
+    usage_args: "[options]",
+    jobs: true,
+    csv: CsvSupport::None,
+    metrics: false,
+    seed: false,
+    no_skip: false,
+    extra_options: &[],
+};
+
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let pool = JobPool::from_args(&mut args);
+    // Cargo's bench runner appends its own flags (e.g. `--bench`); they
+    // land in `rest` and are deliberately ignored.
+    let args = CommonArgs::parse(&SPEC);
+    let pool = args.pool;
     let kernels = quick_suite();
     ablation_early_forward(&kernels, &pool);
     ablation_hybrid_parts(&kernels, &pool);

@@ -4,14 +4,28 @@
 //! regeneration.
 
 use sdo_bench::{bench_case, quick_results_with, quick_suite, simulate_one};
-use sdo_harness::engine::JobPool;
+use sdo_harness::cli::{BinSpec, CommonArgs, CsvSupport};
 use sdo_harness::experiments::fig6_report;
 use sdo_harness::Variant;
 use sdo_uarch::AttackModel;
 
+const SPEC: BinSpec = BinSpec {
+    name: "bench-fig6",
+    about: "Figure 6 bench: normalized-execution-time table plus representative variant simulations.",
+    usage_args: "[options]",
+    jobs: true,
+    csv: CsvSupport::None,
+    metrics: false,
+    seed: false,
+    no_skip: false,
+    extra_options: &[],
+};
+
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let pool = JobPool::from_args(&mut args);
+    // Cargo's bench runner appends its own flags (e.g. `--bench`); they
+    // land in `rest` and are deliberately ignored.
+    let args = CommonArgs::parse(&SPEC);
+    let pool = args.pool;
 
     // Regenerate the figure once (quick sizes) so `cargo bench` emits the
     // same rows/series the paper reports.

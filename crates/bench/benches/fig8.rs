@@ -4,14 +4,28 @@
 //! reports). Honors `--jobs N` / `SDO_JOBS` for the figure regeneration.
 
 use sdo_bench::{bench_case, quick_results_with, quick_suite, simulate_one};
-use sdo_harness::engine::JobPool;
+use sdo_harness::cli::{BinSpec, CommonArgs, CsvSupport};
 use sdo_harness::experiments::fig8_report;
 use sdo_harness::Variant;
 use sdo_uarch::AttackModel;
 
+const SPEC: BinSpec = BinSpec {
+    name: "bench-fig8",
+    about: "Figure 8 bench: squashes-vs-time relation plus the squash-heaviest configuration.",
+    usage_args: "[options]",
+    jobs: true,
+    csv: CsvSupport::None,
+    metrics: false,
+    seed: false,
+    no_skip: false,
+    extra_options: &[],
+};
+
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let pool = JobPool::from_args(&mut args);
+    // Cargo's bench runner appends its own flags (e.g. `--bench`); they
+    // land in `rest` and are deliberately ignored.
+    let args = CommonArgs::parse(&SPEC);
+    let pool = args.pool;
 
     let results = quick_results_with(&pool);
     println!("\n{}", fig8_report(&results));

@@ -4,14 +4,28 @@
 //! the table regeneration.
 
 use sdo_bench::{bench_case, quick_results_with, quick_suite, simulate_one};
-use sdo_harness::engine::JobPool;
+use sdo_harness::cli::{BinSpec, CommonArgs, CsvSupport};
 use sdo_harness::experiments::table3_report;
 use sdo_harness::Variant;
 use sdo_uarch::AttackModel;
 
+const SPEC: BinSpec = BinSpec {
+    name: "bench-table3",
+    about: "Table III bench: predictor precision/accuracy plus the hybrid predictor's extreme workloads.",
+    usage_args: "[options]",
+    jobs: true,
+    csv: CsvSupport::None,
+    metrics: false,
+    seed: false,
+    no_skip: false,
+    extra_options: &[],
+};
+
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let pool = JobPool::from_args(&mut args);
+    // Cargo's bench runner appends its own flags (e.g. `--bench`); they
+    // land in `rest` and are deliberately ignored.
+    let args = CommonArgs::parse(&SPEC);
+    let pool = args.pool;
 
     let results = quick_results_with(&pool);
     println!("\n{}", table3_report(&results));

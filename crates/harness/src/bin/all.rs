@@ -12,10 +12,11 @@ use sdo_harness::cli::{BinSpec, CommonArgs, CsvSupport};
 use sdo_harness::engine::{timed, JobPool, Throughput};
 use sdo_harness::experiments::{
     fig6_report, fig7_report, fig8_report, pentest_metrics, pentest_report, pentest_with,
-    run_suite_with, table3_report, SuiteResults,
+    run_suite_on, run_suite_with, table3_report, SuiteResults,
 };
-use sdo_harness::export::bench_suite_json;
+use sdo_harness::export::{bench_suite_json, runs_csv, FastForwardBench};
 use sdo_harness::{SimConfig, Simulator, Variant};
+use sdo_workloads::{suite, workload_class, Workload};
 
 const SPEC: BinSpec = BinSpec {
     name: "all",
@@ -25,6 +26,7 @@ const SPEC: BinSpec = BinSpec {
     csv: CsvSupport::None,
     metrics: true,
     seed: false,
+    no_skip: true,
     extra_options: &[(
         "--bench-out <path>",
         "write BENCH_suite.json here (empty path disables; default: BENCH_suite.json)",
@@ -44,7 +46,7 @@ fn main() {
     args.reject_rest(&SPEC);
     let pool = args.pool;
 
-    let cfg = SimConfig::table_i();
+    let cfg = args.sim_config(SimConfig::table_i());
     let sim = Simulator::new(cfg);
 
     // The suite, serially — the wall-clock baseline for the speedup.
@@ -52,8 +54,14 @@ fn main() {
         run_suite_with(&sim, p).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
     });
     // The suite again, through the pool. Byte-identical by construction;
-    // check it every run rather than asserting it in a comment.
-    let (results, parallel_tp) = timed(&pool, SuiteResults::counts, |p| {
+    // check it every run rather than asserting it in a comment. The
+    // *measured* pool is clamped to the host's parallelism: more workers
+    // than cores only measures scheduler noise (a 4-job run on a 1-CPU
+    // host once recorded a misleading 0.93x "speedup"), and host_cpus is
+    // recorded alongside so the number stays interpretable.
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let bench_pool = JobPool::new(pool.jobs().min(host_cpus));
+    let (results, parallel_tp) = timed(&bench_pool, SuiteResults::counts, |p| {
         run_suite_with(&sim, p).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
     });
     assert_eq!(
@@ -92,20 +100,55 @@ fn main() {
     metrics.merge(&pentest_metrics(&outcomes));
     args.write_metrics(&SPEC, &metrics);
 
+    // Fast-forward effectiveness: time the DRAM-bound class serially
+    // with skipping on and off. The two runs must agree byte-for-byte
+    // (the cycle-exactness invariant), so only the wall-clock differs.
+    let dram: Vec<Workload> =
+        suite().into_iter().filter(|w| workload_class(w.name()) == "dram_bound").collect();
+    let (skip_results, dram_skip_tp) = timed(&JobPool::serial(), SuiteResults::counts, |p| {
+        run_suite_on(&Simulator::new(SimConfig::table_i().with_fast_forward(true)), &dram, p)
+            .unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
+    });
+    let (noskip_results, dram_noskip_tp) = timed(&JobPool::serial(), SuiteResults::counts, |p| {
+        run_suite_on(&Simulator::new(SimConfig::table_i().with_fast_forward(false)), &dram, p)
+            .unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
+    });
+    assert_eq!(
+        runs_csv(&skip_results),
+        runs_csv(&noskip_results),
+        "fast-forward changed simulated results"
+    );
+    // Skip ratios come from the full-suite serial run, so every workload
+    // class has data (the timed comparison above covers dram_bound only).
+    let ff = FastForwardBench {
+        dram_skip: dram_skip_tp,
+        dram_noskip: dram_noskip_tp,
+        ratios: serial_results.skip_ratios(),
+    };
+
     let phases: Vec<(&str, Throughput)> = vec![
         ("suite_serial", serial_tp),
         ("suite_parallel", parallel_tp),
         ("pentest", pentest_tp),
         ("render", render_tp),
     ];
-    let json = bench_suite_json(&phases, Some((serial_tp, parallel_tp)));
+    let json = bench_suite_json(&phases, Some((serial_tp, parallel_tp)), Some(&ff));
     eprintln!("suite serial:   {}", serial_tp.report());
     eprintln!("suite parallel: {}", parallel_tp.report());
     eprintln!(
         "speedup: {:.2}x at {} jobs",
         serial_tp.wall.as_secs_f64() / parallel_tp.wall.as_secs_f64().max(1e-9),
-        pool.jobs()
+        bench_pool.jobs()
     );
+    eprintln!(
+        "fast-forward: dram-bound {:.2}x cycles/s (skip {:.2}M/s vs no-skip {:.2}M/s)",
+        dram_skip_tp.cycles_per_sec() / dram_noskip_tp.cycles_per_sec().max(1e-9),
+        dram_skip_tp.cycles_per_sec() / 1e6,
+        dram_noskip_tp.cycles_per_sec() / 1e6,
+    );
+    for r in &ff.ratios {
+        eprintln!("  skip ratio {:14} {:6.2}%", r.class, 100.0 * r.ratio());
+    }
     if !bench_out.is_empty() {
         if let Err(e) = std::fs::write(&bench_out, &json) {
             SPEC.runtime_error(&format!("cannot write {bench_out}: {e}"));

@@ -24,6 +24,7 @@ const SPEC: BinSpec = BinSpec {
     csv: CsvSupport::None,
     metrics: true,
     seed: false,
+    no_skip: true,
     extra_options: &[],
 };
 
@@ -48,7 +49,7 @@ fn main() {
         ));
     };
 
-    let sim = Simulator::new(SimConfig::table_i());
+    let sim = Simulator::new(args.sim_config(SimConfig::table_i()));
     let variants = [Variant::Unsafe, va, vb];
     let mut runs = args
         .pool

@@ -16,13 +16,14 @@ const SPEC: BinSpec = BinSpec {
     csv: CsvSupport::None,
     metrics: true,
     seed: false,
+    no_skip: true,
     extra_options: &[],
 };
 
 fn main() {
     let args = CommonArgs::parse(&SPEC);
     args.reject_rest(&SPEC);
-    let sim = Simulator::new(SimConfig::table_i());
+    let sim = Simulator::new(args.sim_config(SimConfig::table_i()));
     let (results, throughput) = timed(&args.pool, SuiteResults::counts, |pool| {
         run_suite_with(&sim, pool).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
     });

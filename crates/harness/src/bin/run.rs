@@ -27,6 +27,7 @@ const SPEC: BinSpec = BinSpec {
     csv: CsvSupport::None,
     metrics: true,
     seed: false,
+    no_skip: true,
     extra_options: &[
         ("--variant <name>", "Table II variant to simulate (default: Unsafe)"),
         ("--attack <model>", "spectre | futuristic (default: spectre)"),
@@ -76,7 +77,7 @@ fn main() {
         println!("{}", program.disassemble());
     }
 
-    let sim = Simulator::new(SimConfig::table_i());
+    let sim = Simulator::new(args.sim_config(SimConfig::table_i()));
     let mut metrics = MetricsSnapshot::new();
     if all {
         // One job per Table II variant; Variant::ALL starts with the

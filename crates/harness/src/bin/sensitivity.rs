@@ -16,13 +16,14 @@ const SPEC: BinSpec = BinSpec {
     csv: CsvSupport::None,
     metrics: true,
     seed: false,
+    no_skip: true,
     extra_options: &[],
 };
 
 fn main() {
     let args = CommonArgs::parse(&SPEC);
     args.reject_rest(&SPEC);
-    let (report, metrics) = sensitivity_with_metrics(SimConfig::table_i(), &args.pool)
+    let (report, metrics) = sensitivity_with_metrics(args.sim_config(SimConfig::table_i()), &args.pool)
         .unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()));
     println!("{report}");
     args.write_metrics(&SPEC, &metrics);

@@ -10,6 +10,7 @@ const SPEC: BinSpec = BinSpec {
     csv: CsvSupport::None,
     metrics: false,
     seed: false,
+    no_skip: false,
     extra_options: &[],
 };
 

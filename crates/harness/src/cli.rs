@@ -68,6 +68,10 @@ pub struct BinSpec {
     /// Whether `--seed <N>` is accepted (binaries with randomized
     /// workloads or fuzz campaigns).
     pub seed: bool,
+    /// Whether `--no-skip` is accepted (simulating binaries, where it
+    /// disables quiescence fast-forward; outputs are byte-identical
+    /// either way, so this is purely a verification escape hatch).
+    pub no_skip: bool,
     /// Binary-specific options as `(flag, help)` pairs, appended to the
     /// options table of `--help`.
     pub extra_options: &'static [(&'static str, &'static str)],
@@ -99,6 +103,12 @@ impl BinSpec {
             opts.push((
                 "--seed <N>",
                 format!("RNG seed for reproducible campaigns (default: ${SEED_ENV} or 0)"),
+            ));
+        }
+        if self.no_skip {
+            opts.push((
+                "--no-skip",
+                "disable quiescence fast-forward (byte-identical output, slower)".into(),
             ));
         }
         for &(flag, help) in self.extra_options {
@@ -139,6 +149,8 @@ pub struct CommonArgs {
     pub metrics: Option<String>,
     /// RNG seed from `--seed` / `SDO_SEED`, if either was given.
     pub seed: Option<u64>,
+    /// `--no-skip`: run with quiescence fast-forward disabled.
+    pub no_skip: bool,
     /// Arguments the common layer did not consume.
     pub rest: Vec<String>,
 }
@@ -180,6 +192,7 @@ impl CommonArgs {
         let mut csv = None;
         let mut metrics = None;
         let mut seed: Option<u64> = None;
+        let mut no_skip = false;
         let mut rest = Vec::new();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -214,6 +227,12 @@ impl CommonArgs {
                         .ok_or_else(|| CliError::Usage("--seed requires a value".into()))?;
                     seed = Some(parse_seed(spec, &v)?);
                 }
+                "--no-skip" => {
+                    if !spec.no_skip {
+                        return Err(CliError::Usage("--no-skip is not supported here".into()));
+                    }
+                    no_skip = true;
+                }
                 other => {
                     if let Some(v) = other.strip_prefix("--jobs=") {
                         jobs = Some(parse_jobs(spec, v)?);
@@ -242,7 +261,14 @@ impl CommonArgs {
             // Environment fallback, mirroring --jobs / SDO_JOBS.
             seed = std::env::var(SEED_ENV).ok().and_then(|v| v.parse().ok());
         }
-        Ok(CommonArgs { pool, csv, metrics, seed, rest })
+        Ok(CommonArgs { pool, csv, metrics, seed, no_skip, rest })
+    }
+
+    /// The machine configuration after applying `--no-skip`: `base` with
+    /// quiescence fast-forward disabled when the flag was given.
+    #[must_use]
+    pub fn sim_config(&self, base: crate::SimConfig) -> crate::SimConfig {
+        base.with_fast_forward(!self.no_skip)
     }
 
     /// The effective campaign seed: `--seed`, else `SDO_SEED`, else 0.
@@ -348,6 +374,7 @@ mod tests {
         csv: CsvSupport::FigureAndRuns,
         metrics: true,
         seed: true,
+        no_skip: true,
         extra_options: &[],
     };
 
@@ -430,7 +457,8 @@ mod tests {
     fn usage_page_lists_supported_flags() {
         let u = SPEC.usage();
         assert!(u.starts_with("usage: testbin"));
-        for flag in ["--jobs", "--csv", "--csv=runs", "--metrics", "--seed", "--help"] {
+        for flag in ["--jobs", "--csv", "--csv=runs", "--metrics", "--seed", "--no-skip", "--help"]
+        {
             assert!(u.contains(flag), "missing {flag} in:\n{u}");
         }
         let bare = BinSpec {
@@ -438,12 +466,29 @@ mod tests {
             csv: CsvSupport::None,
             metrics: false,
             seed: false,
+            no_skip: false,
             ..SPEC
         };
         let u = bare.usage();
         assert!(!u.contains("--jobs") && !u.contains("--csv") && !u.contains("--metrics"));
         assert!(!u.contains("--seed"));
+        assert!(!u.contains("--no-skip"));
         assert!(u.contains("--help"));
+    }
+
+    #[test]
+    fn no_skip_flag_parses_and_maps_to_sim_config() {
+        let a = CommonArgs::try_parse(&SPEC, strings(&[])).unwrap();
+        assert!(!a.no_skip);
+        assert!(a.sim_config(crate::SimConfig::tiny()).fast_forward);
+        let a = CommonArgs::try_parse(&SPEC, strings(&["--no-skip"])).unwrap();
+        assert!(a.no_skip);
+        assert!(!a.sim_config(crate::SimConfig::tiny()).fast_forward);
+        let unsupported = BinSpec { no_skip: false, ..SPEC };
+        assert!(matches!(
+            CommonArgs::try_parse(&unsupported, strings(&["--no-skip"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -20,6 +20,11 @@ pub struct SimConfig {
     /// fully off, which is the allocation-free path — and because the
     /// probe is a pure observer, figures are byte-identical either way.
     pub obs: ObsConfig,
+    /// Quiescence fast-forward for single-core runs: skip fully stalled
+    /// intervals in one cycle-exact jump. On by default — every output
+    /// is byte-identical with it off (the `--no-skip` escape hatch);
+    /// only wall-clock time changes. Multi-core lockstep runs ignore it.
+    pub fast_forward: bool,
 }
 
 impl SimConfig {
@@ -31,6 +36,7 @@ impl SimConfig {
             mem: MemConfig::table_i(),
             max_cycles: 200_000_000,
             obs: ObsConfig::OFF,
+            fast_forward: true,
         }
     }
 
@@ -42,6 +48,7 @@ impl SimConfig {
             mem: MemConfig::tiny(),
             max_cycles: 50_000_000,
             obs: ObsConfig::OFF,
+            fast_forward: true,
         }
     }
 
@@ -49,6 +56,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_obs(mut self, obs: ObsConfig) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// The same machine with quiescence fast-forward enabled/disabled.
+    #[must_use]
+    pub fn with_fast_forward(mut self, on: bool) -> Self {
+        self.fast_forward = on;
         self
     }
 

@@ -10,8 +10,9 @@
 //! the serial path at any worker count.
 //!
 //! The worker count comes from (highest priority first) an explicit
-//! `--jobs N` flag ([`JobPool::from_args`]), the `SDO_JOBS` environment
-//! variable, or [`std::thread::available_parallelism`].
+//! `--jobs N` flag (parsed by [`crate::cli`], which turns malformed
+//! values into a usage error rather than a panic), the `SDO_JOBS`
+//! environment variable, or [`std::thread::available_parallelism`].
 //!
 //! ```rust
 //! use sdo_harness::engine::JobPool;
@@ -21,6 +22,7 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -61,32 +63,6 @@ impl JobPool {
         JobPool::new(jobs)
     }
 
-    /// Extracts `--jobs N` / `--jobs=N` from an argument list (removing
-    /// the consumed tokens), falling back to [`JobPool::from_env`].
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message if `--jobs` is present without a valid
-    /// positive integer.
-    #[must_use]
-    pub fn from_args(args: &mut Vec<String>) -> Self {
-        let mut explicit = None;
-        let mut i = 0;
-        while i < args.len() {
-            if let Some(v) = args[i].strip_prefix("--jobs=") {
-                explicit = Some(parse_jobs(v));
-                args.remove(i);
-            } else if args[i] == "--jobs" {
-                assert!(i + 1 < args.len(), "--jobs requires a value");
-                explicit = Some(parse_jobs(&args[i + 1]));
-                args.drain(i..i + 2);
-            } else {
-                i += 1;
-            }
-        }
-        explicit.map_or_else(JobPool::from_env, JobPool::new)
-    }
-
     /// The worker count.
     #[must_use]
     pub fn jobs(&self) -> usize {
@@ -117,9 +93,21 @@ impl JobPool {
     /// reported error is the canonical first failure regardless of
     /// scheduling), then joins every worker before returning — no orphans.
     ///
+    /// A job that *panics* is treated exactly like a failing job for
+    /// scheduling purposes; once every worker has joined, the panic is
+    /// re-raised on the caller's thread with the job index and the
+    /// original panic message (instead of the old behaviour, where the
+    /// unwinding worker killed the whole scope and any in-flight slot
+    /// lock surfaced as an unrelated "result slot poisoned" panic).
+    ///
     /// # Errors
     ///
     /// The error produced by the canonically-first failing job.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the canonically-first job panic, labelled with its job
+    /// index.
     pub fn try_run<I, T, E, F>(&self, items: &[I], f: F) -> Result<Vec<T>, E>
     where
         I: Sync,
@@ -136,7 +124,7 @@ impl JobPool {
         // Index of the lowest failure observed so far; jobs beyond it are
         // skipped. usize::MAX means "no failure".
         let first_err_idx = AtomicUsize::new(usize::MAX);
-        let slots: Vec<Mutex<Option<Result<T, E>>>> =
+        let slots: Vec<Mutex<Option<JobOutcome<T, E>>>> =
             items.iter().map(|_| Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
@@ -146,22 +134,27 @@ impl JobPool {
                     if idx >= items.len() || idx > first_err_idx.load(Ordering::Acquire) {
                         break;
                     }
-                    let result = f(idx, &items[idx]);
-                    if result.is_err() {
+                    let outcome = match catch_unwind(AssertUnwindSafe(|| f(idx, &items[idx]))) {
+                        Ok(Ok(v)) => JobOutcome::Ok(v),
+                        Ok(Err(e)) => JobOutcome::Err(e),
+                        Err(payload) => JobOutcome::Panicked(panic_message(payload.as_ref())),
+                    };
+                    if !matches!(outcome, JobOutcome::Ok(_)) {
                         first_err_idx.fetch_min(idx, Ordering::Release);
                     }
-                    *slots[idx].lock().expect("result slot poisoned") = Some(result);
+                    *slots[idx].lock().expect("result slot poisoned") = Some(outcome);
                 });
             }
         });
 
         let mut out = Vec::with_capacity(items.len());
-        for slot in slots {
+        for (idx, slot) in slots.into_iter().enumerate() {
             match slot.into_inner().expect("result slot poisoned") {
-                Some(Ok(v)) => out.push(v),
-                // The canonically-first error: every lower-indexed job ran
-                // to completion successfully (they are never skipped).
-                Some(Err(e)) => return Err(e),
+                Some(JobOutcome::Ok(v)) => out.push(v),
+                // The canonically-first failure: every lower-indexed job
+                // ran to completion successfully (they are never skipped).
+                Some(JobOutcome::Err(e)) => return Err(e),
+                Some(JobOutcome::Panicked(msg)) => panic!("job {idx} panicked: {msg}"),
                 // Skipped due to a (higher-priority) earlier failure; that
                 // failure was already returned above.
                 None => unreachable!("job skipped without a preceding error"),
@@ -171,11 +164,23 @@ impl JobPool {
     }
 }
 
-fn parse_jobs(v: &str) -> usize {
-    match v.parse::<usize>() {
-        Ok(n) if n > 0 => n,
-        _ => panic!("--jobs expects a positive integer, got '{v}'"),
-    }
+/// What one job produced: a value, a domain error, or a caught panic
+/// (carrying the original message so the coordinator can re-raise it
+/// attributably).
+enum JobOutcome<T, E> {
+    Ok(T),
+    Err(E),
+    Panicked(String),
+}
+
+/// Extracts the human-readable message from a panic payload (`&str` and
+/// `String` cover everything `panic!` produces).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 /// Uninhabited error type for the infallible [`JobPool::run`] path.
@@ -298,15 +303,27 @@ mod tests {
     }
 
     #[test]
-    fn from_args_consumes_the_flag() {
-        let mut args = vec!["--csv".to_string(), "--jobs".to_string(), "3".to_string()];
-        let pool = JobPool::from_args(&mut args);
-        assert_eq!(pool.jobs(), 3);
-        assert_eq!(args, vec!["--csv".to_string()]);
+    fn panicking_job_reports_its_own_message() {
+        let items: Vec<usize> = (0..16).collect();
+        let caught = std::panic::catch_unwind(|| {
+            JobPool::new(4).run(&items, |_, &n| {
+                assert!(n != 5, "job body exploded on 5");
+                n
+            })
+        });
+        let msg = panic_message(caught.unwrap_err().as_ref());
+        assert!(msg.contains("job 5 panicked"), "got: {msg}");
+        assert!(msg.contains("job body exploded on 5"), "got: {msg}");
+    }
 
-        let mut args = vec!["--jobs=5".to_string()];
-        assert_eq!(JobPool::from_args(&mut args).jobs(), 5);
-        assert!(args.is_empty());
+    #[test]
+    fn earlier_error_wins_over_later_panic() {
+        let items: Vec<usize> = (0..32).collect();
+        let r: Result<Vec<usize>, String> = JobPool::new(4).try_run(&items, |_, &n| {
+            assert!(n != 20, "late panic");
+            if n == 3 { Err("job 3 failed".to_string()) } else { Ok(n) }
+        });
+        assert_eq!(r.unwrap_err(), "job 3 failed");
     }
 
     #[test]

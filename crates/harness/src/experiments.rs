@@ -101,6 +101,30 @@ impl SuiteResults {
         m
     }
 
+    /// Quiescence fast-forward effectiveness per workload class:
+    /// skipped and total simulated cycles, aggregated over every run,
+    /// in `WORKLOAD_CLASSES` order. All-zero `skipped` fields simply
+    /// mean the sweep ran with fast-forward off (`--no-skip`).
+    #[must_use]
+    pub fn skip_ratios(&self) -> Vec<crate::export::SkipRatio> {
+        let mut by_class: Vec<crate::export::SkipRatio> = sdo_workloads::WORKLOAD_CLASSES
+            .iter()
+            .map(|&class| crate::export::SkipRatio { class, skipped: 0, cycles: 0 })
+            .collect();
+        for (_, per_workload) in &self.runs {
+            for (name, runs) in self.workloads.iter().zip(per_workload) {
+                let class = sdo_workloads::workload_class(name);
+                let slot =
+                    by_class.iter_mut().find(|s| s.class == class).expect("class is canonical");
+                for r in runs {
+                    slot.skipped += r.skipped_cycles;
+                    slot.cycles += r.cycles;
+                }
+            }
+        }
+        by_class
+    }
+
     /// Sums a per-run statistic over all workloads of one variant.
     fn sum_stat(&self, attack: AttackModel, variant: Variant, f: impl Fn(&RunResult) -> u64) -> u64 {
         let (_, per_workload) =

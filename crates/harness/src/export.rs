@@ -177,11 +177,51 @@ pub fn throughput_json(t: &Throughput) -> String {
     )
 }
 
-/// Serializes a benchmark session — named per-phase [`Throughput`]s plus
-/// an optional `--jobs 1` vs `--jobs N` suite speedup — as the
-/// `BENCH_suite.json` document the `all` binary emits.
+/// Quiescence fast-forward effectiveness on one workload class:
+/// simulated cycles that were skipped (jumped over in one step) out of
+/// the class's total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipRatio {
+    /// Workload class name (one of `sdo_workloads::WORKLOAD_CLASSES`).
+    pub class: &'static str,
+    /// Cycles covered by fast-forward jumps.
+    pub skipped: u64,
+    /// Total simulated cycles of the class.
+    pub cycles: u64,
+}
+
+impl SkipRatio {
+    /// Skipped cycles as a fraction of the class total.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.skipped as f64 / (self.cycles as f64).max(1.0)
+    }
+}
+
+/// The fast-forward section of `BENCH_suite.json`: the DRAM-bound class
+/// timed with skipping on and off (same simulated cycles by the
+/// cycle-exactness invariant, so the `cycles_per_sec` ratio is the pure
+/// wall-clock win), plus the per-class skip ratios of the full suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastForwardBench {
+    /// DRAM-bound kernels with quiescence fast-forward on.
+    pub dram_skip: Throughput,
+    /// The same kernels with `--no-skip` semantics.
+    pub dram_noskip: Throughput,
+    /// Per-class skipped/total cycles from the skip-on suite run.
+    pub ratios: Vec<SkipRatio>,
+}
+
+/// Serializes a benchmark session — named per-phase [`Throughput`]s, an
+/// optional `--jobs 1` vs `--jobs N` suite speedup, and an optional
+/// fast-forward effectiveness section — as the `BENCH_suite.json`
+/// document the `all` binary emits.
 #[must_use]
-pub fn bench_suite_json(phases: &[(&str, Throughput)], speedup: Option<(Throughput, Throughput)>) -> String {
+pub fn bench_suite_json(
+    phases: &[(&str, Throughput)],
+    speedup: Option<(Throughput, Throughput)>,
+    fast_forward: Option<&FastForwardBench>,
+) -> String {
     let total_wall: f64 = phases.iter().map(|(_, t)| t.wall.as_secs_f64()).sum();
     let total_sims: u64 = phases.iter().map(|(_, t)| t.sims).sum();
     let total_cycles: u64 = phases.iter().map(|(_, t)| t.cycles).sum();
@@ -214,6 +254,33 @@ pub fn bench_suite_json(phases: &[(&str, Throughput)], speedup: Option<(Throughp
             serial.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9)
         ));
         out.push_str("  }");
+    }
+    if let Some(ff) = fast_forward {
+        out.push_str(",\n  \"fast_forward\": {\n");
+        out.push_str(&format!(
+            "    \"dram_bound_skip\": {},\n",
+            throughput_json(&ff.dram_skip)
+        ));
+        out.push_str(&format!(
+            "    \"dram_bound_noskip\": {},\n",
+            throughput_json(&ff.dram_noskip)
+        ));
+        out.push_str(&format!(
+            "    \"dram_cycles_per_sec_speedup\": {:.3},\n",
+            ff.dram_skip.cycles_per_sec() / ff.dram_noskip.cycles_per_sec().max(1e-9)
+        ));
+        out.push_str("    \"skip_ratio\": {\n");
+        for (i, r) in ff.ratios.iter().enumerate() {
+            let comma = if i + 1 < ff.ratios.len() { "," } else { "" };
+            out.push_str(&format!(
+                "      \"{}\": {{\"skipped\": {}, \"cycles\": {}, \"ratio\": {:.4}}}{comma}\n",
+                r.class,
+                r.skipped,
+                r.cycles,
+                r.ratio(),
+            ));
+        }
+        out.push_str("    }\n  }");
     }
     out.push_str("\n}\n");
     out
@@ -327,7 +394,7 @@ mod tests {
     fn bench_suite_json_structure() {
         let t1 = Throughput { jobs: 1, sims: 10, cycles: 100, wall: Duration::from_secs(4) };
         let t4 = Throughput { jobs: 4, sims: 10, cycles: 100, wall: Duration::from_secs(1) };
-        let j = bench_suite_json(&[("suite", t4), ("pentest", t1)], Some((t1, t4)));
+        let j = bench_suite_json(&[("suite", t4), ("pentest", t1)], Some((t1, t4)), None);
         assert!(j.contains("\"phases\""));
         assert!(j.contains("\"suite\""));
         assert!(j.contains("\"pentest\""));
@@ -335,7 +402,31 @@ mod tests {
         assert!(j.contains("\"speedup\": 4.000"));
         assert!(j.contains("\"total_sims\": 20"));
         assert!(j.contains("\"host_cpus\""));
+        assert!(!j.contains("\"fast_forward\""));
         // Balanced braces: crude but effective well-formedness check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn bench_suite_json_fast_forward_section() {
+        let t1 = Throughput { jobs: 1, sims: 10, cycles: 100, wall: Duration::from_secs(4) };
+        let skip = Throughput { jobs: 1, sims: 48, cycles: 600, wall: Duration::from_secs(1) };
+        let noskip = Throughput { jobs: 1, sims: 48, cycles: 600, wall: Duration::from_secs(3) };
+        let ff = FastForwardBench {
+            dram_skip: skip,
+            dram_noskip: noskip,
+            ratios: vec![
+                SkipRatio { class: "dram_bound", skipped: 75, cycles: 100 },
+                SkipRatio { class: "cache_resident", skipped: 0, cycles: 50 },
+            ],
+        };
+        let j = bench_suite_json(&[("suite", t1)], None, Some(&ff));
+        assert!(j.contains("\"fast_forward\""));
+        assert!(j.contains("\"dram_bound_skip\""));
+        assert!(j.contains("\"dram_bound_noskip\""));
+        assert!(j.contains("\"dram_cycles_per_sec_speedup\": 3.000"));
+        assert!(j.contains("\"dram_bound\": {\"skipped\": 75, \"cycles\": 100, \"ratio\": 0.7500}"));
+        assert!(j.contains("\"cache_resident\": {\"skipped\": 0, \"cycles\": 50, \"ratio\": 0.0000}"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 

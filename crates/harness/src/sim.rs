@@ -51,6 +51,12 @@ pub struct RunResult {
     /// (`None` when the machine's [`ObsConfig`](sdo_uarch::ObsConfig)
     /// is off).
     pub obs: Option<Box<PipelineObs>>,
+    /// Cycles elided by quiescence fast-forward (0 when disabled or for
+    /// multi-core runs). Deliberately excluded from [`RunResult::metrics`]
+    /// and the CSV export: it describes the host-side loop, not the
+    /// simulated machine, and metric/CSV output must stay byte-identical
+    /// with skipping on or off.
+    pub skipped_cycles: u64,
 }
 
 impl RunResult {
@@ -169,6 +175,7 @@ impl Simulator {
         }
         let mut core = Core::new(0, self.cfg.core, variant.security(attack), program.clone());
         core.enable_obs(self.cfg.obs, self.cfg.mem.l1.mshrs as usize);
+        core.set_fast_forward(self.cfg.fast_forward);
         core.run(&mut mem, self.cfg.max_cycles).map_err(|_| SimError::Hang {
             max_cycles: self.cfg.max_cycles,
             workload: program.name().to_string(),
@@ -181,6 +188,7 @@ impl Simulator {
             core: *core.stats(),
             mem: *mem.stats(),
             obs: core.take_obs(),
+            skipped_cycles: core.skipped_cycles(),
         };
         Ok((result, mem))
     }
@@ -242,6 +250,7 @@ impl Simulator {
                 core: *core.stats(),
                 mem: *mem.stats(),
                 obs: core.take_obs(),
+                skipped_cycles: 0,
             })
             .collect();
         Ok((results, mem))
@@ -351,6 +360,28 @@ mod tests {
             m.histogram("pipeline.occupancy.rob").unwrap().count(),
             observed.cycles
         );
+    }
+
+    #[test]
+    fn fast_forward_run_is_byte_identical_to_stepped_run() {
+        use sdo_uarch::ObsConfig;
+        let prog = sdo_workloads::kernels::ptr_chase(1 << 16, 400, 7);
+        let cfg = SimConfig::tiny().with_obs(ObsConfig::occupancy());
+        let skip = Simulator::new(cfg.with_fast_forward(true))
+            .run(&prog, Variant::Hybrid, AttackModel::Spectre)
+            .unwrap();
+        let step = Simulator::new(cfg.with_fast_forward(false))
+            .run(&prog, Variant::Hybrid, AttackModel::Spectre)
+            .unwrap();
+        assert_eq!(step.skipped_cycles, 0, "--no-skip must not skip");
+        assert!(skip.skipped_cycles > 0, "DRAM-bound kernel should quiesce");
+        // Cycle-exactness: everything the run reports except the host-side
+        // skip counter must be identical (DESIGN.md "Quiescence fast-forward").
+        assert_eq!(skip.cycles, step.cycles);
+        assert_eq!(skip.core, step.core);
+        assert_eq!(skip.mem, step.mem);
+        assert_eq!(skip.obs, step.obs);
+        assert_eq!(skip.metrics().to_json(), step.metrics().to_json());
     }
 
     #[test]

@@ -77,6 +77,13 @@ impl Dram {
         self.banks.iter().filter(|b| b.open_row.is_some()).count()
     }
 
+    /// Earliest cycle strictly after `now` at which a busy bank frees.
+    /// `None` when every bank is already idle at `now`.
+    #[must_use]
+    pub fn next_bank_release(&self, now: Cycle) -> Option<Cycle> {
+        self.banks.iter().map(|b| b.busy_until).filter(|&at| at > now).min()
+    }
+
     /// Latency the access *would* have (row hit or miss), without changing
     /// state; used by tests.
     #[must_use]
@@ -138,6 +145,18 @@ mod tests {
         let (second, hit) = d.access(0, 0); // immediately again, same bank
         assert!(hit);
         assert_eq!(second, first + 60);
+    }
+
+    #[test]
+    fn next_bank_release_reports_earliest_busy_bank() {
+        let mut d = dram();
+        assert_eq!(d.next_bank_release(0), None, "idle banks generate no event");
+        let (a, _) = d.access(0, 0); // bank 0, busy until 100
+        let (b, _) = d.access(1024, 50); // bank 1, busy until 150
+        assert_eq!(d.next_bank_release(0), Some(a));
+        // Strictly-after semantics at the release cycle itself.
+        assert_eq!(d.next_bank_release(a), Some(b));
+        assert_eq!(d.next_bank_release(b), None);
     }
 
     #[test]

@@ -200,6 +200,17 @@ impl MshrFile {
         }
     }
 
+    /// Earliest cycle strictly after `now` at which an occupied register
+    /// completes (frees its slot / fills its line). `None` when nothing
+    /// is outstanding — the file cannot generate a future event.
+    #[must_use]
+    pub fn next_completion(&self, now: Cycle) -> Option<Cycle> {
+        set_bits(self.occupied)
+            .map(|i| self.entries[i].free_at)
+            .filter(|&at| at > now)
+            .min()
+    }
+
     /// Whether at least one register is free at `now`.
     #[must_use]
     pub fn has_free(&self, now: Cycle) -> bool {
@@ -211,6 +222,21 @@ impl MshrFile {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn next_completion_tracks_earliest_in_flight_entry() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.next_completion(0), None, "empty file has no future event");
+        m.alloc_or_merge(0x00, 0, 50);
+        m.alloc_or_merge(0x40, 0, 30);
+        m.alloc_or_merge(0x80, 0, 90);
+        assert_eq!(m.next_completion(0), Some(30));
+        // Strictly-after semantics: an entry completing *at* `now` is no
+        // longer a future event.
+        assert_eq!(m.next_completion(30), Some(50));
+        assert_eq!(m.next_completion(89), Some(90));
+        assert_eq!(m.next_completion(90), None);
+    }
 
     #[test]
     fn fills_up_and_rejects() {

@@ -325,6 +325,33 @@ impl MemorySystem {
         self.l1_mshr[core].peak_in_use()
     }
 
+    /// Earliest cycle strictly after `now` at which the memory system's
+    /// timing state changes on its own: an in-flight miss completes in any
+    /// MSHR file (L1/L2 per core, L3 per tile) or a busy DRAM bank frees.
+    /// `None` when nothing is in flight — the hierarchy cannot generate a
+    /// future event. The mesh is a stateless latency calculator and the
+    /// cache bank reservations only advance when accessed, so neither
+    /// contributes events of its own. This is the memory half of the
+    /// core's quiescence event horizon.
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.l1_mshr
+            .iter()
+            .chain(&self.l2_mshr)
+            .chain(&self.l3_mshr)
+            .filter_map(|m| m.next_completion(now))
+            .chain(self.dram.next_bank_release(now))
+            .min()
+    }
+
+    /// Bulk-records `n` additional Obl-Ld MSHR-full rejects. The core's
+    /// quiescence fast-forward uses this: a bounced Obl-Ld retries (and is
+    /// re-rejected) every stalled cycle, so skipping `n` quiescent cycles
+    /// must account the same `n` rejects a stepped loop would have.
+    pub fn record_obl_mshr_rejects(&mut self, n: u64) {
+        self.stats.obl_mshr_rejects += n;
+    }
+
     /// Drains the coherence invalidations delivered to `core` since the
     /// last call. The core checks these against its load queue to detect
     /// possible memory-consistency violations (Section V-C1).
@@ -929,6 +956,32 @@ mod tests {
         // Second load to the same line while the miss is outstanding.
         let b = m.load(0, 0x2008, 1);
         assert_eq!(b.complete_at, a.complete_at);
+    }
+
+    #[test]
+    fn next_event_aggregates_mshrs_and_dram() {
+        let mut m = sys(1);
+        assert_eq!(m.next_event(0), None, "quiet memory system has no future event");
+        let a = m.load(0, 0x2000, 0); // cold miss: MSHRs in flight, DRAM bank busy
+        let ev = m.next_event(0).expect("in-flight miss generates events");
+        assert!(ev > 0 && ev <= a.complete_at, "ev={ev} complete_at={}", a.complete_at);
+        // Walking `now` forward never skips past the final completion...
+        let mut now = 0;
+        while let Some(next) = m.next_event(now) {
+            assert!(next > now);
+            now = next;
+        }
+        assert!(now >= a.complete_at, "horizon chain must reach the fill");
+        // ...and once everything has completed, the event stream is dry.
+        assert_eq!(m.next_event(a.complete_at + 1000), None);
+    }
+
+    #[test]
+    fn record_obl_mshr_rejects_bulk_adds() {
+        let mut m = sys(1);
+        let before = m.stats().obl_mshr_rejects;
+        m.record_obl_mshr_rejects(7);
+        assert_eq!(m.stats().obl_mshr_rejects, before + 7);
     }
 
     #[test]

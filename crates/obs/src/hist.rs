@@ -75,6 +75,28 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
+    /// Records `n` identical samples of value `v` in one step.
+    ///
+    /// Exactly equivalent to calling [`Histogram::record`]`(v)` `n`
+    /// times — same bucket counts, `count`, `sum`, and `max` — so bulk
+    /// recording a fast-forwarded quiescent interval stays merge- and
+    /// byte-compatible with a cycle-stepped run. `n == 0` is a no-op.
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += n;
+        self.count += n;
+        self.sum += v * n;
+        self.max = self.max.max(v);
+    }
+
     /// Folds `other` into `self`.
     ///
     /// # Panics
@@ -212,6 +234,42 @@ mod tests {
         ba.merge(&a);
         assert_eq!(ab, ba);
         assert_eq!(ab.count(), 25);
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        for (v, n) in [(0u64, 1u64), (3, 7), (8, 1000), (100, 2), (5, 0)] {
+            let mut bulk = Histogram::occupancy(8);
+            bulk.record_n(v, n);
+            let mut stepped = Histogram::occupancy(8);
+            for _ in 0..n {
+                stepped.record(v);
+            }
+            assert_eq!(bulk, stepped, "v={v} n={n}");
+            assert_eq!(bulk.to_json(), stepped.to_json(), "v={v} n={n}");
+        }
+    }
+
+    #[test]
+    fn record_n_stays_merge_compatible() {
+        // A bulk-recorded histogram merged with a stepped one must equal
+        // the all-stepped merge — the cycle-exactness requirement for
+        // fast-forwarded obs sampling.
+        let mut stepped = Histogram::occupancy(16);
+        let mut mixed = Histogram::occupancy(16);
+        for v in 0..10 {
+            stepped.record(v);
+            mixed.record(v);
+        }
+        let mut tail_stepped = Histogram::occupancy(16);
+        for _ in 0..50 {
+            tail_stepped.record(12);
+        }
+        let mut tail_bulk = Histogram::occupancy(16);
+        tail_bulk.record_n(12, 50);
+        stepped.merge(&tail_stepped);
+        mixed.merge(&tail_bulk);
+        assert_eq!(stepped, mixed);
     }
 
     #[test]

@@ -116,6 +116,22 @@ impl PipelineObs {
         }
     }
 
+    /// Records `n` identical cycles' fill levels in one step (no-op
+    /// unless [`ObsConfig::occupancy`] is set). Equivalent to calling
+    /// [`PipelineObs::sample`] with the same values `n` times — used by
+    /// the core's quiescence fast-forward, where fill levels are
+    /// provably constant over the skipped interval.
+    #[inline]
+    pub fn sample_n(&mut self, rob: u64, iq: u64, lq: u64, sq: u64, mshr: u64, n: u64) {
+        if self.cfg.occupancy {
+            self.rob.record_n(rob, n);
+            self.iq.record_n(iq, n);
+            self.lq.record_n(lq, n);
+            self.sq.record_n(sq, n);
+            self.mshr.record_n(mshr, n);
+        }
+    }
+
     /// Records one pipeline event (no-op unless an event trace was
     /// configured).
     #[inline]
@@ -182,6 +198,21 @@ mod tests {
         assert_eq!(on.rob.count(), 1);
         assert_eq!(on.mshr.sum(), 4);
         assert!(on.trace().is_none());
+    }
+
+    #[test]
+    fn sample_n_equals_repeated_sample() {
+        let mut bulk = PipelineObs::new(ObsConfig::occupancy(), CAPS);
+        bulk.sample_n(10, 1, 2, 3, 4, 25);
+        let mut stepped = PipelineObs::new(ObsConfig::occupancy(), CAPS);
+        for _ in 0..25 {
+            stepped.sample(10, 1, 2, 3, 4);
+        }
+        assert_eq!(bulk, stepped);
+
+        let mut off = PipelineObs::new(ObsConfig::OFF, CAPS);
+        off.sample_n(10, 1, 2, 3, 4, 25);
+        assert_eq!(off.rob.count(), 0);
     }
 
     #[test]

@@ -226,6 +226,24 @@ pub struct Core {
     /// per-cycle ROB sweeps never allocate once it reaches steady-state
     /// capacity.
     scratch_seqs: Vec<u64>,
+    /// Quiescence fast-forward: when a tick changes nothing, jump the
+    /// clock to the event horizon instead of stepping stalled cycles one
+    /// at a time. Cycle-exact (see DESIGN.md); off by default, opted in
+    /// by single-core drivers via [`Core::set_fast_forward`].
+    fast_forward: bool,
+    /// Hard ceiling for a fast-forward jump. [`Core::run`] keeps it at
+    /// its `max_cycles` so a hung program still stops at exactly the
+    /// cycle limit a stepped loop would reach.
+    skip_cap: Cycle,
+    /// Cycles elided by fast-forward jumps. They are still fully
+    /// accounted in `stats.cycles` (and every other per-cycle counter);
+    /// this only records how many the loop did not step individually.
+    /// Kept out of [`CoreStats`] so metric/CSV exports stay identical
+    /// with skipping on or off.
+    skipped_cycles: u64,
+    /// Whether any stage changed state during the current tick (the
+    /// fast-forward gate).
+    progressed: bool,
 }
 
 fn build_predictor(kind: PredictorKind) -> Box<dyn LocationPredictor> {
@@ -281,7 +299,30 @@ impl Core {
             muldiv_busy: vec![0; cfg.fus.int_muldiv as usize],
             fp_busy: vec![0; cfg.fus.fp as usize],
             scratch_seqs: Vec::new(),
+            fast_forward: false,
+            skip_cap: 0,
+            skipped_cycles: 0,
+            progressed: false,
         }
+    }
+
+    /// Enables (or disables) quiescence fast-forward for this core.
+    ///
+    /// Only meaningful for a core driven through [`Core::run`] as the
+    /// sole core on its memory system: the event horizon consults this
+    /// core's timers plus the shared memory system, so another core's
+    /// activity during a skipped interval would be missed. Multi-core
+    /// lockstep drivers must leave this off.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+    }
+
+    /// Cycles elided by quiescence fast-forward so far. Always 0 unless
+    /// [`Core::set_fast_forward`] enabled skipping; skipped cycles are
+    /// still fully accounted in [`Core::stats`].
+    #[must_use]
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
     }
 
     /// Enables recording of committed PCs (for differential testing).
@@ -404,6 +445,7 @@ impl Core {
     /// Returns [`RunError::CycleLimit`] if the program does not halt in
     /// time.
     pub fn run(&mut self, mem: &mut MemorySystem, max_cycles: u64) -> Result<(), RunError> {
+        self.skip_cap = max_cycles;
         while !self.halted {
             if self.now >= max_cycles {
                 return Err(RunError::CycleLimit { max_cycles });
@@ -441,6 +483,13 @@ impl Core {
         }
         self.now += 1;
         self.stats.cycles = self.now;
+        self.progressed = false;
+        // Per-cycle counters that repeat identically over a quiescent
+        // interval; their deltas this tick are replayed in bulk if the
+        // tick turns out to be skippable.
+        let stall0 = self.stats.obl.validation_stall_cycles;
+        let retry0 = self.stats.obl.mshr_retries;
+        let reject0 = mem.stats().obl_mshr_rejects;
         self.deliver_events(mem);
         self.intake_invalidations(mem);
         self.resolve_stage(mem);
@@ -457,6 +506,80 @@ impl Core {
                     self.lq.len() as u64,
                     self.sq.len() as u64,
                     mshr,
+                );
+            }
+        }
+        if self.fast_forward && !self.progressed && !self.halted && self.now < self.skip_cap {
+            self.quiesce_skip(mem, stall0, retry0, reject0);
+        }
+    }
+
+    /// Fast-forwards over a quiescent interval. Called after a tick in
+    /// which no stage changed any state: every future change must then
+    /// originate from an already-computed timer — a scheduled completion
+    /// event, the frontend stall/ready timers, a non-pipelined unit
+    /// release, or an in-flight miss in the memory system. The **event
+    /// horizon** is the earliest such cycle; the clock jumps to just
+    /// before it (clamped to `skip_cap`), and the skipped cycles' only
+    /// per-cycle effects — occupancy samples plus the stall/retry
+    /// counters this tick accrued, which repeat identically while
+    /// nothing changes — are applied in bulk. See DESIGN.md
+    /// ("Quiescence fast-forward") for the cycle-exactness argument.
+    fn quiesce_skip(&mut self, mem: &mut MemorySystem, stall0: u64, retry0: u64, reject0: u64) {
+        let now = self.now;
+        let mut horizon: Option<Cycle> = None;
+        {
+            let mut consider = |at: Cycle| {
+                if at > now {
+                    horizon = Some(horizon.map_or(at, |h| h.min(at)));
+                }
+            };
+            if let Some(Reverse(ev)) = self.events.peek() {
+                consider(ev.at);
+            }
+            if !self.fetch_halted {
+                consider(self.fetch_stall_until);
+            }
+            if let Some(f) = self.fetch_q.front() {
+                consider(f.ready_at);
+            }
+            for &busy in self.muldiv_busy.iter().chain(&self.fp_busy) {
+                consider(busy);
+            }
+            if let Some(at) = mem.next_event(now) {
+                consider(at);
+            }
+        }
+        // No wake source at all means nothing will ever change: jump
+        // straight to the cycle limit, exactly where a stepped loop
+        // would give up.
+        let target = horizon.map_or(self.skip_cap, |h| (h - 1).min(self.skip_cap));
+        if target <= now {
+            return;
+        }
+        let n = target - now;
+        self.now = target;
+        self.stats.cycles = target;
+        self.skipped_cycles += n;
+        let stall_delta = self.stats.obl.validation_stall_cycles - stall0;
+        let retry_delta = self.stats.obl.mshr_retries - retry0;
+        let reject_delta = mem.stats().obl_mshr_rejects - reject0;
+        self.stats.obl.validation_stall_cycles += stall_delta * n;
+        self.stats.obl.mshr_retries += retry_delta * n;
+        mem.record_obl_mshr_rejects(reject_delta * n);
+        if let Some(obs) = self.obs.as_deref_mut() {
+            if obs.wants_occupancy() {
+                // Queue fill levels are frozen during quiescence, and the
+                // horizon is clamped below every in-flight MSHR
+                // completion, so one bulk sample is exact.
+                let mshr = mem.mshr_in_use(self.id, target) as u64;
+                obs.sample_n(
+                    self.rob.len() as u64,
+                    self.iq.len() as u64,
+                    self.lq.len() as u64,
+                    self.sq.len() as u64,
+                    mshr,
+                    n,
                 );
             }
         }
@@ -518,6 +641,9 @@ impl Core {
                 break;
             }
             self.events.pop();
+            // Even a stale (squashed) delivery counts as progress: it
+            // changes the heap, and the horizon may have pointed here.
+            self.progressed = true;
             if self.ent(ev.seq).is_none() {
                 continue; // squashed
             }
@@ -727,6 +853,7 @@ impl Core {
         if invals.is_empty() {
             return;
         }
+        self.progressed = true;
         for line in invals {
             // Completed-but-unretired loads to this line may violate
             // consistency; mark them. The squash itself is deferred until
@@ -760,6 +887,10 @@ impl Core {
         for e in &mut self.rob {
             if !e.safe && !blocked {
                 e.safe = true;
+                // An untaint can enable issue/resolve actions later in
+                // this same tick — but flag it as progress regardless,
+                // so quiescence never hides a visibility advance.
+                self.progressed = true;
             }
             if e.is_blocker_ctrl() {
                 blocked = true;
@@ -829,6 +960,7 @@ impl Core {
             }
             let e = self.ent_mut(seq).expect("live");
             e.obl_safe_sent = true;
+            self.progressed = true;
             if self.obs.is_some() {
                 let pc = self.ent(seq).expect("live").pc;
                 if let Some(o) = self.obs.as_deref_mut() {
@@ -855,6 +987,7 @@ impl Core {
             if self.srcs_tainted(seq) {
                 continue;
             }
+            self.progressed = true;
             self.stats.squashes.fp_fail += 1;
             let e = self.ent(seq).expect("live");
             let pc = e.pc;
@@ -894,6 +1027,7 @@ impl Core {
             if protected && self.addr_operand_tainted(seq) {
                 continue;
             }
+            self.progressed = true;
             self.stats.squashes.consistency += 1;
             let pc = self.ent(seq).expect("live").pc;
             if let Some(o) = self.obs.as_deref_mut() {
@@ -910,6 +1044,7 @@ impl Core {
     /// Applies a computed branch/jump resolution. Returns `true` if it
     /// squashed.
     fn apply_resolution(&mut self, seq: u64) -> bool {
+        self.progressed = true;
         let e = self.ent(seq).expect("live");
         let (taken, next_pc) = e.outcome.expect("resolved");
         let pc = e.pc;
@@ -1012,6 +1147,7 @@ impl Core {
                 break;
             }
             let head = self.rob.pop_front().expect("non-empty");
+            self.progressed = true;
             self.stats.committed += 1;
             if let Some(log) = self.commit_pcs.as_mut() {
                 log.push(head.pc);
@@ -1088,6 +1224,7 @@ impl Core {
             mem: self.cfg.fus.mem_ports,
         };
         let mut issued_count = 0usize;
+        let iq_before = self.iq.len();
 
         // Walk the issue queue by index, compacting in place: `kept` is
         // the write cursor for entries that stay queued. No snapshot
@@ -1148,6 +1285,11 @@ impl Core {
             }
         }
         self.iq.truncate(kept);
+        // Every issue (and every straggler dropped) shrinks the queue;
+        // retries that stay queued do not.
+        if self.iq.len() != iq_before {
+            self.progressed = true;
+        }
     }
 
     fn src_value(&self, e: &DynInst, slot: usize) -> u64 {
@@ -1595,6 +1737,7 @@ impl Core {
             }
 
             let f = self.fetch_q.pop_front().expect("non-empty");
+            self.progressed = true;
             let seq = self.next_seq;
             self.next_seq += 1;
             let rat_snap = self.regs.snapshot();
@@ -1692,6 +1835,9 @@ impl Core {
             if self.fetch_q.len() >= cap {
                 break;
             }
+            // Every path below mutates: an icache probe/stall, a queue
+            // push, or the fetch-halt latch.
+            self.progressed = true;
             let pc = self.fetch_pc;
             // Instruction-cache timing: one check per text line (8
             // instructions); a miss stalls fetch until the line arrives.
@@ -1915,6 +2061,94 @@ mod tests {
     #[test]
     fn spec_window_matches_golden_everywhere() {
         check_all_configs(&spec_window_program());
+    }
+
+    /// Runs `prog` under `sec` with fast-forward toggled and occupancy
+    /// observability on, so the comparison covers the bulk-sampled
+    /// histograms too.
+    fn run_ff(prog: &Program, sec: SecurityConfig, ff: bool) -> (Core, MemorySystem) {
+        let mem_cfg = MemConfig::table_i();
+        let mut mem = MemorySystem::new(mem_cfg, 1);
+        mem.load_image(prog.data());
+        let mut core = Core::new(0, CoreConfig::table_i(), sec, prog.clone());
+        core.enable_obs(crate::ObsConfig::occupancy(), mem_cfg.l1.mshrs as usize);
+        core.set_fast_forward(ff);
+        core.run(&mut mem, 2_000_000).expect("program should halt");
+        (core, mem)
+    }
+
+    /// The cycle-exactness invariant (DESIGN.md "Quiescence
+    /// fast-forward"): with skipping on, every observable — final cycle,
+    /// core statistics, architectural state, memory statistics, and the
+    /// per-cycle occupancy histograms — must be identical to the
+    /// cycle-stepped run, under every protection configuration.
+    #[test]
+    fn fast_forward_is_cycle_exact_everywhere() {
+        let prog = spec_window_program();
+        let mut total_skipped = 0;
+        for sec in all_configs() {
+            let (skip, skip_mem) = run_ff(&prog, sec, true);
+            let (step, step_mem) = run_ff(&prog, sec, false);
+            assert_eq!(step.skipped_cycles(), 0, "stepped run must not skip");
+            assert_eq!(skip.now(), step.now(), "cycle count diverged under {sec:?}");
+            assert_eq!(skip.stats(), step.stats(), "core stats diverged under {sec:?}");
+            assert_eq!(skip.arch_int(), step.arch_int(), "int state diverged under {sec:?}");
+            assert_eq!(skip.arch_fp(), step.arch_fp(), "fp state diverged under {sec:?}");
+            assert_eq!(skip_mem.stats(), step_mem.stats(), "mem stats diverged under {sec:?}");
+            assert_eq!(skip.obs(), step.obs(), "occupancy histograms diverged under {sec:?}");
+            total_skipped += skip.skipped_cycles();
+        }
+        assert!(
+            total_skipped > 0,
+            "the spec-window program must exercise at least one quiescent skip"
+        );
+    }
+
+    /// Fast-forward must actually engage on a memory-bound program: the
+    /// spec-window kernel streams bound lines from DRAM, so a large
+    /// share of its cycles are quiescent stalls.
+    #[test]
+    fn fast_forward_skips_dram_stalls() {
+        let prog = spec_window_program();
+        let (core, _) = run_ff(&prog, SecurityConfig::unsafe_baseline(), true);
+        assert!(
+            core.skipped_cycles() * 4 >= core.now(),
+            "expected >=25% of cycles skipped on a DRAM-bound run, got {} of {}",
+            core.skipped_cycles(),
+            core.now()
+        );
+    }
+
+    /// Regression for the Futuristic visibility approximation documented
+    /// in `update_visibility`: once an Obl-Ld passes the visibility
+    /// point in a *single-core* run, its validation can no longer
+    /// mismatch — the value it forwarded is the value memory holds (own
+    /// stores are handled by SQ forwarding, and there is no other core
+    /// to race with). So no validation-mismatch squash may ever fire.
+    #[test]
+    fn futuristic_visibility_point_never_squashes_on_validation_single_core() {
+        let prog = spec_window_program();
+        let mut validations = 0;
+        for kind in [
+            PredictorKind::Static(CacheLevel::L1),
+            PredictorKind::Static(CacheLevel::L2),
+            PredictorKind::Static(CacheLevel::L3),
+            PredictorKind::Hybrid,
+            PredictorKind::Perfect,
+        ] {
+            let sec = SecurityConfig {
+                protection: Protection::Sdo(SdoConfig::with_predictor(kind)),
+                attack: AttackModel::Futuristic,
+            };
+            let (core, _) = run_with(&prog, sec);
+            validations += core.stats().obl.validations;
+            assert_eq!(
+                core.stats().squashes.validation,
+                0,
+                "validation-mismatch squash after the visibility point under {kind:?}"
+            );
+        }
+        assert!(validations > 0, "the kernel must actually exercise validations");
     }
 
     #[test]

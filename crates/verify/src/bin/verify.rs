@@ -12,6 +12,7 @@
 //! report byte for byte, at any `--jobs` count.
 
 use sdo_harness::cli::{parse_variant, BinSpec, CommonArgs, CsvSupport};
+use sdo_harness::SimConfig;
 use sdo_verify::{CampaignConfig, Checker};
 
 const SPEC: BinSpec = BinSpec {
@@ -22,6 +23,7 @@ const SPEC: BinSpec = BinSpec {
     csv: CsvSupport::None,
     metrics: false,
     seed: true,
+    no_skip: true,
     extra_options: &[
         ("--quick", "CI-sized campaign: fewer variants, Spectre only, two fuzz specs"),
         ("--fuzz <N>", "number of fuzz specs (first is the leak anchor; 0 disables fuzzing)"),
@@ -66,7 +68,7 @@ fn main() {
         cfg.variants = Some(variants);
     }
 
-    let checker = Checker::new();
+    let checker = Checker::with_config(args.sim_config(SimConfig::table_i()));
     let result = cfg
         .run(&checker, &args.pool)
         .unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()));

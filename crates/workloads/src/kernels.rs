@@ -668,6 +668,25 @@ pub fn sparse_matvec(rows: u64, nnz_per_row: u64, seed: u64) -> Program {
     asm.finish().expect("sparse_matvec assembles")
 }
 
+/// The coarse behavioural classes the suite kernels fall into, in
+/// reporting order (used to aggregate per-class measurements like the
+/// fast-forward skip ratio in `BENCH_suite.json`).
+pub const WORKLOAD_CLASSES: &[&str] = &["dram_bound", "cache_resident", "branchy", "fp"];
+
+/// The behavioural class of a suite kernel (one of
+/// [`WORKLOAD_CLASSES`]): `dram_bound` kernels spend most cycles
+/// stalled on memory beyond L2, `branchy` on mispredictions, `fp` on
+/// long-latency FP units, and the rest are `cache_resident`.
+#[must_use]
+pub fn workload_class(name: &str) -> &'static str {
+    match name {
+        "ptr_chase" | "hash_lookup" | "phase_shift" => "dram_bound",
+        "mix_branchy" => "branchy",
+        "fp_subnormal" => "fp",
+        _ => "cache_resident",
+    }
+}
+
 /// The full evaluation suite with default sizes (used by Figures 6–8 and
 /// Table III).
 #[must_use]
@@ -706,6 +725,20 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 10, "kernel names must be unique");
+    }
+
+    #[test]
+    fn every_suite_kernel_has_a_known_class() {
+        for w in suite() {
+            let class = workload_class(w.name());
+            assert!(WORKLOAD_CLASSES.contains(&class), "{}: unknown class {class}", w.name());
+        }
+        assert_eq!(workload_class("ptr_chase"), "dram_bound");
+        assert_eq!(workload_class("hash_lookup"), "dram_bound");
+        assert_eq!(workload_class("phase_shift"), "dram_bound");
+        assert_eq!(workload_class("l1_resident"), "cache_resident");
+        assert_eq!(workload_class("mix_branchy"), "branchy");
+        assert_eq!(workload_class("fp_subnormal"), "fp");
     }
 
     #[test]

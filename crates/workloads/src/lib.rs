@@ -46,6 +46,6 @@ pub mod litmus;
 pub mod random;
 pub mod spectre;
 
-pub use kernels::{suite, Workload};
+pub use kernels::{suite, workload_class, Workload, WORKLOAD_CLASSES};
 pub use litmus::{litmus_case, Channel, LitmusCase, CORPUS};
 pub use spectre::{spectre_fp_victim, spectre_v1_victim, spectre_v1_with_secret, SpectreScenario};
