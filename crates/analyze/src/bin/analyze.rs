@@ -1,0 +1,247 @@
+//! `analyze` — static STT taint analysis from the command line.
+//!
+//! With no positional arguments the default target set (the litmus
+//! corpus plus every workload kernel) is analyzed; `.s` files given on
+//! the command line are parsed with [`sdo_isa::parse_asm`] and analyzed
+//! instead. Per-variant findings go to stdout as a text table or (with
+//! `--csv`) as the typed findings CSV; `--report <dir>` additionally
+//! writes them as JSONL. `--differential <N>` cross-checks the
+//! analyzer's "clean" verdicts against the dynamic secret-swap checker
+//! over `N` fuzzed litmus specs.
+//!
+//! Exit status is 1 when the static view contradicts itself or the
+//! dynamic ground truth: a pinned corpus expectation mismatch, a gating
+//! finding on a channel the policy says the variant closes, or a
+//! static↔dynamic differential disagreement.
+
+use sdo_analyze::corpus::{analyze_all, default_targets, findings_under, Target, TargetReport};
+use sdo_analyze::differential;
+use sdo_analyze::findings::{closed_channel_findings, findings_csv};
+use sdo_analyze::Finding;
+use sdo_harness::cli::{parse_variant, BinSpec, CommonArgs, CsvSupport};
+use sdo_harness::table::TextTable;
+use sdo_harness::{SimConfig, Variant};
+use sdo_uarch::MetricsSnapshot;
+use sdo_verify::Checker;
+use sdo_workloads::Channel;
+
+const SPEC: BinSpec = BinSpec {
+    name: "analyze",
+    about: "static STT taint analysis: CFG + taint-lattice fixpoint per program, \
+            per-variant transmitter classification, and an optional static\u{2194}dynamic \
+            soundness differential",
+    usage_args: "[file.s ...] [options]",
+    jobs: true,
+    csv: CsvSupport::FigureOnly,
+    metrics: true,
+    seed: true,
+    no_skip: false,
+    extra_options: &[
+        ("--variant <name>", "classify under one variant (repeatable; default: all)"),
+        ("--report <dir>", "write findings (and counterexamples) as JSONL under <dir>"),
+        ("--differential <N>", "cross-check N fuzzed specs against the dynamic checker"),
+    ],
+};
+
+fn main() {
+    let args = CommonArgs::parse(&SPEC);
+    let mut variants: Vec<Variant> = Vec::new();
+    let mut report_dir: Option<String> = None;
+    let mut differential_count: Option<usize> = None;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut it = args.rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map_or_else(|| SPEC.usage_error(&format!("{flag} requires a value")), String::clone)
+        };
+        match arg.as_str() {
+            "--variant" => {
+                let v = value("--variant");
+                variants.push(parse_variant(&v).unwrap_or_else(|e| SPEC.usage_error(&e)));
+            }
+            "--report" => report_dir = Some(value("--report")),
+            "--differential" => {
+                let v = value("--differential");
+                differential_count =
+                    Some(v.parse().unwrap_or_else(|_| {
+                        SPEC.usage_error(&format!("--differential expects a count, got '{v}'"))
+                    }));
+            }
+            other => {
+                if let Some(v) = other.strip_prefix("--variant=") {
+                    variants.push(parse_variant(v).unwrap_or_else(|e| SPEC.usage_error(&e)));
+                } else if let Some(v) = other.strip_prefix("--report=") {
+                    report_dir = Some(v.to_string());
+                } else if let Some(v) = other.strip_prefix("--differential=") {
+                    differential_count = Some(v.parse().unwrap_or_else(|_| {
+                        SPEC.usage_error(&format!("--differential expects a count, got '{v}'"))
+                    }));
+                } else if other.starts_with('-') {
+                    SPEC.usage_error(&format!("unknown option '{other}'"));
+                } else {
+                    files.push(other.to_string());
+                }
+            }
+        }
+    }
+    if variants.is_empty() {
+        variants = Variant::ALL.to_vec();
+    }
+
+    let targets = if files.is_empty() { default_targets() } else { load_files(&files) };
+    let start = std::time::Instant::now();
+    let reports = analyze_all(&targets, &args.pool);
+    let elapsed = start.elapsed();
+
+    let findings: Vec<Finding> =
+        variants.iter().flat_map(|&v| findings_under(&reports, v)).collect();
+    let contradictions = closed_channel_findings(&findings);
+    let mismatches: usize = reports.iter().map(|r| r.mismatches.len()).sum();
+
+    if args.csv.is_some() {
+        print!("{}", findings_csv(&findings));
+    } else {
+        print!("{}", summary_table(&reports));
+        eprintln!(
+            "analyzed {} program(s) in {:.1} ms ({} jobs); {} finding(s) across {} variant(s)",
+            reports.len(),
+            elapsed.as_secs_f64() * 1e3,
+            args.pool.jobs(),
+            findings.len(),
+            variants.len(),
+        );
+    }
+    for r in &reports {
+        for m in &r.mismatches {
+            eprintln!("{}: expectation mismatch: {m}", r.name);
+        }
+    }
+    for f in &contradictions {
+        eprintln!(
+            "{}: pc {}: {} on a closed channel under {}",
+            f.program,
+            f.pc,
+            f.kind,
+            f.variant.slug()
+        );
+    }
+
+    let diff = differential_count.map(|count| {
+        let checker = Checker::with_config(args.sim_config(SimConfig::table_i()));
+        let result = differential::run(&checker, args.seed_or_default(), count);
+        eprintln!(
+            "differential: {} spec(s), {} clean claim(s) confirmed, {} skipped, \
+             {} completeness hit(s), {} disagreement(s), {} verdict flip(s)",
+            result.specs,
+            result.confirmed_clean,
+            result.skipped,
+            result.completeness_hits,
+            result.disagreements.len(),
+            result.verdict_flips,
+        );
+        result
+    });
+
+    if let Some(dir) = &report_dir {
+        if let Err(e) = write_report(dir, &findings, diff.as_ref()) {
+            SPEC.runtime_error(&format!("cannot write report under {dir}: {e}"));
+        }
+    }
+    args.write_metrics(&SPEC, &metrics(&reports, &findings, diff.as_ref()));
+
+    let disagreements = diff.as_ref().map_or(0, |d| d.disagreements.len());
+    if mismatches > 0 || !contradictions.is_empty() || disagreements > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Parses each `.s` file into an unannotated [`Target`], printing the
+/// position-rich [`sdo_isa::ParseError`] and exiting 1 on failure.
+fn load_files(files: &[String]) -> Vec<Target> {
+    files
+        .iter()
+        .map(|path| {
+            let source = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| SPEC.runtime_error(&format!("cannot read {path}: {e}")));
+            let program = sdo_isa::parse_asm(&source)
+                .unwrap_or_else(|e| SPEC.runtime_error(&format!("{path}: {e}")));
+            let name = if program.name().is_empty() {
+                path.rsplit('/').next().unwrap_or(path).trim_end_matches(".s").to_string()
+            } else {
+                program.name().to_string()
+            };
+            Target { name, program, expect: None }
+        })
+        .collect()
+}
+
+fn summary_table(reports: &[TargetReport]) -> String {
+    let mut t = TextTable::new(
+        ["program", "insts", "blocks", "roots", "cache", "fp", "training", "dead", "expect"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for r in reports {
+        let a = &r.analysis;
+        t.row(vec![
+            r.name.clone(),
+            a.insts.to_string(),
+            a.blocks.to_string(),
+            a.speculative_accesses.to_string(),
+            a.transmits_via(Channel::Cache).to_string(),
+            a.transmits_via(Channel::FpTiming).to_string(),
+            a.trainings.len().to_string(),
+            a.dead.len().to_string(),
+            if r.mismatches.is_empty() { "ok".into() } else { "MISMATCH".into() },
+        ]);
+    }
+    t.render()
+}
+
+fn write_report(
+    dir: &str,
+    findings: &[Finding],
+    diff: Option<&differential::DifferentialResult>,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let lines: String = findings.iter().map(|f| f.to_jsonl() + "\n").collect();
+    std::fs::write(format!("{dir}/findings.jsonl"), lines)?;
+    if let Some(d) = diff {
+        for cex in &d.disagreements {
+            std::fs::write(format!("{dir}/{}", cex.file_name()), cex.to_jsonl() + "\n")?;
+        }
+    }
+    Ok(())
+}
+
+fn metrics(
+    reports: &[TargetReport],
+    findings: &[Finding],
+    diff: Option<&differential::DifferentialResult>,
+) -> MetricsSnapshot {
+    let mut m = MetricsSnapshot::new();
+    m.add("analyze.programs", reports.len() as u64);
+    for r in reports {
+        let a = &r.analysis;
+        m.add("analyze.insts", a.insts as u64);
+        m.add("analyze.blocks", a.blocks as u64);
+        m.add("analyze.edges", a.edges as u64);
+        m.add("analyze.fixpoint_visits", a.fixpoint_visits as u64);
+        m.add("analyze.speculative_accesses", a.speculative_accesses as u64);
+        m.add("analyze.expect_mismatches", r.mismatches.len() as u64);
+    }
+    for f in findings {
+        m.add(&format!("findings.{}", f.kind), 1);
+    }
+    if let Some(d) = diff {
+        m.add("differential.specs", d.specs as u64);
+        m.add("differential.confirmed_clean", d.confirmed_clean as u64);
+        m.add("differential.skipped", d.skipped as u64);
+        m.add("differential.completeness_hits", d.completeness_hits as u64);
+        m.add("differential.disagreements", d.disagreements.len() as u64);
+        m.add("differential.verdict_flips", d.verdict_flips as u64);
+    }
+    m
+}

@@ -1,0 +1,138 @@
+//! The default analysis target set — the litmus corpus plus every
+//! workload kernel — with pinned expectations and `JobPool` fan-out.
+//!
+//! Each target carries an optional [`StaticExpect`] (from the corpus
+//! annotations in `sdo-workloads`); a mismatch between the pinned and
+//! the computed verdict is itself reported, so regressions in either
+//! the analyzer or the programs turn CI red.
+
+use crate::findings::{findings_for, Finding};
+use crate::taint::{analyze, Analysis};
+use sdo_harness::{JobPool, Variant};
+use sdo_isa::Program;
+use sdo_workloads::litmus::StaticExpect;
+use sdo_workloads::Channel;
+
+/// One program to analyze, with its pinned expectation if any.
+#[derive(Debug)]
+pub struct Target {
+    /// Program name (also the program's own name).
+    pub name: String,
+    /// The instruction stream to analyze.
+    pub program: Program,
+    /// Pinned static verdict, `None` for unannotated targets.
+    pub expect: Option<StaticExpect>,
+}
+
+/// The default target set: the 4-case litmus corpus (secret 0 — the
+/// analysis only reads the instruction stream, so the secret value is
+/// irrelevant) followed by every workload kernel, in suite order.
+#[must_use]
+pub fn default_targets() -> Vec<Target> {
+    let mut out = Vec::new();
+    for case in sdo_workloads::CORPUS {
+        out.push(Target {
+            name: case.name.to_string(),
+            program: (case.build)(0),
+            expect: Some(case.expect),
+        });
+    }
+    for w in sdo_workloads::suite() {
+        let name = w.name().to_string();
+        out.push(Target {
+            name: name.clone(),
+            expect: sdo_workloads::kernels::kernel_expect(&name),
+            program: w.into_program(),
+        });
+    }
+    out
+}
+
+/// The analysis of one target plus its expectation check.
+#[derive(Debug)]
+pub struct TargetReport {
+    /// Target name.
+    pub name: String,
+    /// The variant-independent taint analysis.
+    pub analysis: Analysis,
+    /// Ways the computed verdict contradicts the pinned
+    /// [`StaticExpect`]; empty when unannotated or matching.
+    pub mismatches: Vec<String>,
+}
+
+fn check_expect(analysis: &Analysis, expect: &StaticExpect) -> Vec<String> {
+    let mut out = Vec::new();
+    for ch in [Channel::Cache, Channel::FpTiming] {
+        let want = expect.transmit.contains(&ch);
+        let got = analysis.transmits_via(ch) > 0;
+        if want != got {
+            out.push(format!(
+                "expected transmit[{ch:?}]={want}, analysis says {got}"
+            ));
+        }
+    }
+    let got_training = !analysis.trainings.is_empty();
+    if expect.training != got_training {
+        out.push(format!(
+            "expected training={}, analysis says {got_training}",
+            expect.training
+        ));
+    }
+    let got_dead = !analysis.dead.is_empty();
+    if expect.dead_access != got_dead {
+        out.push(format!(
+            "expected dead_access={}, analysis says {got_dead}",
+            expect.dead_access
+        ));
+    }
+    out
+}
+
+/// Analyzes one target and checks its pinned expectation.
+#[must_use]
+pub fn analyze_target(t: &Target) -> TargetReport {
+    let analysis = analyze(&t.program);
+    let mismatches = t.expect.as_ref().map_or_else(Vec::new, |e| check_expect(&analysis, e));
+    TargetReport { name: t.name.clone(), analysis, mismatches }
+}
+
+/// Analyzes every target through `pool`, preserving target order in
+/// the output regardless of job count — the merged result is
+/// byte-identical for any `--jobs` (asserted by
+/// `tests/parallel.rs`).
+#[must_use]
+pub fn analyze_all(targets: &[Target], pool: &JobPool) -> Vec<TargetReport> {
+    pool.run(targets, |_, t| analyze_target(t))
+}
+
+/// Findings across all reports under one variant, report order.
+#[must_use]
+pub fn findings_under(reports: &[TargetReport], variant: Variant) -> Vec<Finding> {
+    reports.iter().flat_map(|r| findings_for(&r.analysis, variant)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_targets_cover_corpus_and_suite() {
+        let ts = default_targets();
+        assert_eq!(ts.len(), sdo_workloads::CORPUS.len() + sdo_workloads::suite().len());
+        assert_eq!(ts[0].name, "spectre_v1");
+        assert!(ts.iter().all(|t| !t.program.instructions().is_empty()));
+    }
+
+    #[test]
+    fn corpus_expectations_hold() {
+        for t in default_targets() {
+            let report = analyze_target(&t);
+            assert!(
+                report.mismatches.is_empty(),
+                "{}: {:?}",
+                report.name,
+                report.mismatches
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Static STT taint analysis over the mini-ISA.
+//!
+//! `sdo-verify` checks the paper's security argument *dynamically*:
+//! secret-swap differentials, an invariant oracle and fuzzed litmus
+//! campaigns, all over whatever executions the simulator happens to
+//! reach. This crate re-derives the same argument *statically*, without
+//! simulating a cycle:
+//!
+//! 1. [`mod@cfg`] builds a control-flow graph from an [`sdo_isa::Program`]
+//!    and computes immediate post-dominators — the static stand-in for
+//!    the dynamic visibility point at which STT untaints;
+//! 2. [`taint`] runs a fixpoint abstract interpretation of the STT
+//!    taint lattice (pending-branch sets × root-access sets, per
+//!    register and for one coarse memory cell) and classifies every
+//!    instruction as a potential transmitter, a tainted training site,
+//!    or a dead speculative access;
+//! 3. [`findings`] projects that variant-independent analysis through
+//!    each protection variant's channel policy
+//!    (`sdo_verify::policy`) into typed findings with JSONL/CSV
+//!    emission;
+//! 4. [`corpus`] fans the analyzer out over the litmus corpus and all
+//!    workload kernels (optionally through a `JobPool`, with a
+//!    canonical byte-identical merge) and checks pinned expectations;
+//! 5. [`differential`] closes the loop: every fuzzed `LitmusSpec` the
+//!    analyzer calls transmit-free must be dynamically clean under the
+//!    secret-swap checker, and every guaranteed-leak spec must be
+//!    statically flagged — disagreements are minimized and dumped as
+//!    `sdo_verify` counterexamples.
+//!
+//! The analysis is a *may* analysis: it over-taints (coarse memory,
+//! over-approximated indirect targets), so "statically transmit-free"
+//! is the strong claim the differential leans on, while a static
+//! finding is only a *potential* gadget.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cfg;
+pub mod corpus;
+pub mod differential;
+pub mod findings;
+pub mod taint;
+
+pub use cfg::{Block, BlockId, Cfg};
+pub use findings::{findings_csv, findings_for, Finding, FindingKind};
+pub use taint::{analyze, Analysis};

@@ -1,0 +1,647 @@
+//! Fixpoint abstract interpretation of the STT taint lattice.
+//!
+//! The abstract state tracks, per integer register, per FP register
+//! and for one coarse memory cell, a [`Taint`] value: the set of
+//! *pending branch blocks* the value's root accesses are speculative
+//! under, plus the set of root access pcs (for reporting). The lattice
+//! order is pointwise set inclusion; joins are unions; the state space
+//! is finite, so the worklist iteration terminates at the least
+//! fixpoint.
+//!
+//! Dynamics being abstracted (STT, paper §III):
+//!
+//! * a load executed while some conditional branch is unresolved is an
+//!   *access instruction*: its output is tainted. Statically, "some
+//!   branch unresolved" is "the pending set at the load's program
+//!   point is non-empty" — a conditional branch is pending from its
+//!   block until its immediate post-dominator, the static stand-in for
+//!   the dynamic visibility point;
+//! * taint propagates through every value-producing instruction
+//!   (`AluOp`/`FpuOp` dataflow, loads, moves); stores taint the
+//!   abstract memory cell, loads join it back in;
+//! * when a branch resolves (control reaches its immediate
+//!   post-dominator on every path), it is removed from every pending
+//!   set; a value whose pending-branch set empties is untainted.
+//!
+//! Known unsoundness gaps, by design (documented in DESIGN.md §11):
+//! the post-dominator approximation assumes a branch is resolved by
+//! its reconvergence point (dynamically it may still be in flight);
+//! indirect jumps are not treated as speculation sources; memory is
+//! one cell, so aliasing is maximally coarse (an over-taint, but
+//! store-to-load paths through *disjoint* addresses are still merged).
+
+use crate::cfg::{BlockId, Cfg};
+use sdo_isa::{Instruction, Program, Reg, NUM_FREGS, NUM_REGS};
+use sdo_workloads::Channel;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Abstract taint of one value: which pending branches its root
+/// accesses are speculative under, and which access pcs produced it.
+/// Empty `branches` means untainted (and `sources` is kept empty too).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Taint {
+    /// Blocks whose terminating conditional branch the value is
+    /// speculative under.
+    pub branches: BTreeSet<BlockId>,
+    /// Root access-instruction pcs the taint flows from.
+    pub sources: BTreeSet<u64>,
+}
+
+impl Taint {
+    /// Whether the value is tainted at all.
+    #[must_use]
+    pub fn is_tainted(&self) -> bool {
+        !self.branches.is_empty()
+    }
+
+    fn join(&mut self, other: &Taint) {
+        self.branches.extend(other.branches.iter().copied());
+        self.sources.extend(other.sources.iter().copied());
+    }
+
+    /// Removes a resolved branch; an emptied value is fully untainted.
+    fn resolve(&mut self, b: BlockId) {
+        self.branches.remove(&b);
+        if self.branches.is_empty() {
+            self.sources.clear();
+        }
+    }
+}
+
+/// The abstract machine state at one program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsState {
+    /// Conditional-branch blocks not yet resolved on some path here.
+    pub pending: BTreeSet<BlockId>,
+    regs: Vec<Taint>,
+    fregs: Vec<Taint>,
+    mem: Taint,
+}
+
+impl AbsState {
+    fn bottom() -> AbsState {
+        AbsState {
+            pending: BTreeSet::new(),
+            regs: vec![Taint::default(); NUM_REGS],
+            fregs: vec![Taint::default(); NUM_FREGS],
+            mem: Taint::default(),
+        }
+    }
+
+    fn join(&mut self, other: &AbsState) -> bool {
+        let before = self.clone();
+        self.pending.extend(other.pending.iter().copied());
+        for (a, b) in self.regs.iter_mut().zip(&other.regs) {
+            a.join(b);
+        }
+        for (a, b) in self.fregs.iter_mut().zip(&other.fregs) {
+            a.join(b);
+        }
+        self.mem.join(&other.mem);
+        *self != before
+    }
+
+    /// Resolves every pending branch whose immediate post-dominator is
+    /// `block` — the static visibility point.
+    fn resolve_at(&mut self, block: BlockId, cfg: &Cfg) {
+        let resolved: Vec<BlockId> =
+            self.pending.iter().copied().filter(|&p| cfg.ipdom(p) == Some(block)).collect();
+        for p in resolved {
+            self.pending.remove(&p);
+            for t in self.regs.iter_mut().chain(self.fregs.iter_mut()) {
+                t.resolve(p);
+            }
+            self.mem.resolve(p);
+        }
+    }
+
+    fn reg(&self, r: Reg) -> &Taint {
+        &self.regs[r.index()]
+    }
+}
+
+/// A statically detected transmitter: an instruction whose operand the
+/// analysis proves *may* be tainted when it executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransmitSite {
+    /// Instruction index.
+    pub pc: u64,
+    /// The covert channel the instruction transmits through.
+    pub channel: Channel,
+    /// Disassembly of the instruction.
+    pub inst: String,
+    /// Root access pcs whose taint reaches the operand.
+    pub sources: Vec<u64>,
+    /// Terminator pcs of the branches the taint is speculative under.
+    pub branches: Vec<u64>,
+}
+
+/// A statically detected tainted-training site: a conditional branch
+/// or indirect jump steered by a possibly tainted value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainingSite {
+    /// Instruction index.
+    pub pc: u64,
+    /// Disassembly of the instruction.
+    pub inst: String,
+    /// Root access pcs whose taint reaches the operands.
+    pub sources: Vec<u64>,
+    /// Terminator pcs of the branches the taint is speculative under.
+    pub branches: Vec<u64>,
+}
+
+/// A speculative access whose taint never reaches any transmitter,
+/// branch or store — the taint dies in a register (`spectre_v1_dead`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadAccess {
+    /// Instruction index of the access.
+    pub pc: u64,
+    /// Disassembly of the instruction.
+    pub inst: String,
+    /// Terminator pcs of the branches the access is speculative under.
+    pub branches: Vec<u64>,
+}
+
+/// Everything the taint fixpoint derives from one program. Pure
+/// function of the instruction stream (the data image plays no role),
+/// so analyzing the same program twice is identical — and the two
+/// secret-swapped builds of a litmus case analyze identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Analysis {
+    /// Program name.
+    pub program: String,
+    /// Instruction count.
+    pub insts: usize,
+    /// Basic-block count.
+    pub blocks: usize,
+    /// CFG edge count (including edges to the virtual exit).
+    pub edges: usize,
+    /// Conditional-branch count.
+    pub cond_branches: usize,
+    /// Block transfer evaluations until the fixpoint stabilized.
+    pub fixpoint_visits: usize,
+    /// Accesses executed under a non-empty pending set (taint roots).
+    pub speculative_accesses: usize,
+    /// Transmitters with possibly tainted operands, in pc order.
+    pub transmits: Vec<TransmitSite>,
+    /// Control transfers steered by possibly tainted values, pc order.
+    pub trainings: Vec<TrainingSite>,
+    /// Speculative accesses whose taint reaches nothing, pc order.
+    pub dead: Vec<DeadAccess>,
+}
+
+impl Analysis {
+    /// Whether no transmitter (on any channel) was found.
+    #[must_use]
+    pub fn transmit_free(&self) -> bool {
+        self.transmits.is_empty()
+    }
+
+    /// Transmit sites on one channel.
+    #[must_use]
+    pub fn transmits_via(&self, ch: Channel) -> usize {
+        self.transmits.iter().filter(|t| t.channel == ch).count()
+    }
+}
+
+/// What the reporting pass accumulates at each suspicious pc.
+#[derive(Default)]
+struct Sink {
+    transmits: BTreeMap<u64, (Channel, Taint)>,
+    trainings: BTreeMap<u64, Taint>,
+    /// Speculative access roots: pc -> pending set seen there.
+    roots: BTreeMap<u64, BTreeSet<BlockId>>,
+    /// Access pcs whose taint reached a transmitter/branch/store.
+    used: BTreeSet<u64>,
+}
+
+impl Sink {
+    fn transmit(&mut self, pc: u64, channel: Channel, t: &Taint) {
+        self.used.extend(t.sources.iter().copied());
+        let entry = self.transmits.entry(pc).or_insert_with(|| (channel, Taint::default()));
+        entry.1.join(t);
+    }
+
+    fn training(&mut self, pc: u64, t: &Taint) {
+        self.used.extend(t.sources.iter().copied());
+        self.trainings.entry(pc).or_default().join(t);
+    }
+
+    fn escape(&mut self, t: &Taint) {
+        self.used.extend(t.sources.iter().copied());
+    }
+}
+
+/// Runs the taint fixpoint over `program` and classifies every
+/// instruction.
+#[must_use]
+pub fn analyze(program: &Program) -> Analysis {
+    let cfg = Cfg::build(program);
+    let insts = program.instructions();
+    let cond_branches = insts.iter().filter(|i| i.is_cond_branch()).count();
+
+    let nb = cfg.blocks().len();
+    let mut inputs: Vec<Option<AbsState>> = vec![None; nb];
+    let mut visits = 0usize;
+
+    if nb > 0 {
+        inputs[cfg.block_of(0)] = Some(AbsState::bottom());
+        let mut worklist: BTreeSet<BlockId> = BTreeSet::new();
+        worklist.insert(cfg.block_of(0));
+        while let Some(&b) = worklist.iter().next() {
+            worklist.remove(&b);
+            visits += 1;
+            let Some(input) = inputs[b].clone() else { continue };
+            let out = transfer_block(&cfg, insts, b, input, None);
+            for &s in &cfg.blocks()[b].succs {
+                if s == cfg.exit() {
+                    continue;
+                }
+                let changed = match &mut inputs[s] {
+                    Some(existing) => existing.join(&out),
+                    slot @ None => {
+                        *slot = Some(out.clone());
+                        true
+                    }
+                };
+                if changed {
+                    worklist.insert(s);
+                }
+            }
+        }
+    }
+
+    // Reporting pass over the stable per-block input states, in block
+    // order: deterministic by construction.
+    let mut sink = Sink::default();
+    for (b, input) in inputs.iter().enumerate() {
+        if let Some(input) = input.clone() {
+            transfer_block(&cfg, insts, b, input, Some(&mut sink));
+        }
+    }
+
+    let branch_pcs = |blocks: &BTreeSet<BlockId>| -> Vec<u64> {
+        blocks.iter().map(|&bb| cfg.blocks()[bb].terminator_pc()).collect()
+    };
+    let transmits = sink
+        .transmits
+        .iter()
+        .map(|(&pc, (channel, t))| TransmitSite {
+            pc,
+            channel: *channel,
+            inst: insts[pc as usize].to_string(),
+            sources: t.sources.iter().copied().collect(),
+            branches: branch_pcs(&t.branches),
+        })
+        .collect();
+    let trainings = sink
+        .trainings
+        .iter()
+        .map(|(&pc, t)| TrainingSite {
+            pc,
+            inst: insts[pc as usize].to_string(),
+            sources: t.sources.iter().copied().collect(),
+            branches: branch_pcs(&t.branches),
+        })
+        .collect();
+    let dead = sink
+        .roots
+        .iter()
+        .filter(|(pc, _)| !sink.used.contains(pc))
+        .map(|(&pc, pending)| DeadAccess {
+            pc,
+            inst: insts[pc as usize].to_string(),
+            branches: branch_pcs(pending),
+        })
+        .collect();
+
+    Analysis {
+        program: program.name().to_string(),
+        insts: insts.len(),
+        blocks: nb,
+        edges: cfg.edge_count(),
+        cond_branches,
+        fixpoint_visits: visits,
+        speculative_accesses: sink.roots.len(),
+        transmits,
+        trainings,
+        dead,
+    }
+}
+
+/// Applies block `b`'s instructions to `state` (after resolving
+/// branches whose visibility point is `b`'s entry), optionally
+/// reporting suspicious sites into `sink`. Returns the out-state
+/// propagated to every successor.
+fn transfer_block(
+    cfg: &Cfg,
+    insts: &[Instruction],
+    b: BlockId,
+    mut state: AbsState,
+    mut sink: Option<&mut Sink>,
+) -> AbsState {
+    state.resolve_at(b, cfg);
+    let block = &cfg.blocks()[b];
+    for pc in block.start..block.end {
+        let inst = &insts[pc as usize];
+        transfer_inst(inst, pc, b, &mut state, sink.as_deref_mut());
+    }
+    state
+}
+
+fn transfer_inst(
+    inst: &Instruction,
+    pc: u64,
+    block: BlockId,
+    s: &mut AbsState,
+    sink: Option<&mut Sink>,
+) {
+    // Join of the integer source taints (operand taint for most ops).
+    let mut src_taint = Taint::default();
+    for r in inst.int_srcs().into_iter().flatten() {
+        src_taint.join(s.reg(r));
+    }
+
+    match *inst {
+        Instruction::Alu { dst, .. } | Instruction::AluImm { dst, .. } => {
+            set_reg(s, dst, src_taint);
+        }
+        Instruction::Li { dst, .. } => {
+            set_reg(s, dst, Taint::default());
+        }
+        Instruction::Load { dst, base, .. } => {
+            let t = load_result(s, base, pc, block, Channel::Cache, sink);
+            set_reg(s, dst, t);
+        }
+        Instruction::FLoad { dst, base, .. } => {
+            let t = load_result(s, base, pc, block, Channel::Cache, sink);
+            s.fregs[dst.index()] = t;
+        }
+        Instruction::Store { src, base, .. } => {
+            let data = s.reg(src).clone();
+            store_effect(s, base, &data, pc, sink);
+        }
+        Instruction::FStore { src, base, .. } => {
+            let data = s.fregs[src.index()].clone();
+            store_effect(s, base, &data, pc, sink);
+        }
+        Instruction::Branch { .. } => {
+            if let Some(sink) = sink {
+                if src_taint.is_tainted() {
+                    sink.training(pc, &src_taint);
+                }
+            }
+            // The branch itself becomes pending for both successors;
+            // it resolves at its immediate post-dominator.
+            s.pending.insert(block);
+        }
+        Instruction::Jal { dst, .. } => {
+            if !dst.is_zero() {
+                set_reg(s, dst, Taint::default());
+            }
+        }
+        Instruction::Jalr { dst, base, .. } => {
+            // An indirect jump steered by a tainted target trains the
+            // BTB with secret-dependent state.
+            if let Some(sink) = sink {
+                let t = s.reg(base).clone();
+                if t.is_tainted() {
+                    sink.training(pc, &t);
+                }
+            }
+            if !dst.is_zero() {
+                set_reg(s, dst, Taint::default());
+            }
+        }
+        Instruction::Fpu { op, dst, lhs, rhs } => {
+            let mut t = s.fregs[lhs.index()].clone();
+            if !matches!(op, sdo_isa::FpuOp::Sqrt) {
+                t.join(&s.fregs[rhs.index()].clone());
+            }
+            if let Some(sink) = sink {
+                if op.is_transmit() && t.is_tainted() {
+                    sink.transmit(pc, Channel::FpTiming, &t);
+                }
+            }
+            s.fregs[dst.index()] = t;
+        }
+        Instruction::FMvToInt { dst, src } => {
+            let t = s.fregs[src.index()].clone();
+            set_reg(s, dst, t);
+        }
+        Instruction::FMvFromInt { dst, src } => {
+            s.fregs[dst.index()] = s.reg(src).clone();
+        }
+        Instruction::Nop | Instruction::Halt => {}
+    }
+}
+
+fn set_reg(s: &mut AbsState, r: Reg, t: Taint) {
+    if !r.is_zero() {
+        s.regs[r.index()] = t;
+    }
+}
+
+/// Taint of a load's result, with transmitter/root reporting: a load
+/// with a tainted address transmits through the cache; a load under a
+/// non-empty pending set is a new taint root.
+fn load_result(
+    s: &AbsState,
+    base: Reg,
+    pc: u64,
+    _block: BlockId,
+    channel: Channel,
+    sink: Option<&mut Sink>,
+) -> Taint {
+    let base_t = s.reg(base).clone();
+    let mut t = base_t.clone();
+    t.join(&s.mem);
+    let speculative = !s.pending.is_empty();
+    if speculative {
+        t.branches.extend(s.pending.iter().copied());
+        t.sources.insert(pc);
+    }
+    if let Some(sink) = sink {
+        if base_t.is_tainted() {
+            sink.transmit(pc, channel, &base_t);
+            // The access itself reached an observable: whatever happens
+            // to its *result*, it is not dead protection work.
+            sink.used.insert(pc);
+        }
+        if speculative {
+            sink.roots.insert(pc, s.pending.clone());
+        }
+    }
+    t
+}
+
+/// Abstract store: a tainted address transmits through the cache; the
+/// (single-cell) memory joins the stored data's taint; either way the
+/// involved access roots are "used", not dead.
+fn store_effect(s: &mut AbsState, base: Reg, data: &Taint, pc: u64, sink: Option<&mut Sink>) {
+    let addr_t = s.reg(base).clone();
+    if let Some(sink) = sink {
+        if addr_t.is_tainted() {
+            sink.transmit(pc, Channel::Cache, &addr_t);
+        }
+        if data.is_tainted() {
+            sink.escape(data);
+        }
+    }
+    s.mem.join(data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdo_isa::{Assembler, FReg, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    /// Mispredict window: slow bound, branch, speculative load feeding
+    /// a second (transmitting) load.
+    fn spectre_shape(transmit: bool) -> sdo_isa::Program {
+        let mut asm = Assembler::new();
+        let skip = asm.label();
+        asm.li(r(1), 0x4000);
+        asm.divu(r(8), r(6), r(7));
+        asm.blt(r(3), r(8), skip);
+        asm.j(skip); // never: keep shape simple
+        asm.bind(skip);
+        asm.halt();
+        let _ = transmit;
+        asm.finish().unwrap()
+    }
+
+    #[test]
+    fn load_under_branch_is_tainted_and_transmits_through_dependent_load() {
+        let mut asm = Assembler::new();
+        let out = asm.label();
+        asm.li(r(1), 0x4000);
+        asm.blt(r(3), r(8), out);
+        asm.ldb(r(4), r(1), 0); // speculative access
+        asm.slli(r(5), r(4), 6);
+        asm.ld(Reg::ZERO, r(5), 0); // tainted address: cache transmit
+        asm.bind(out);
+        asm.halt();
+        let a = analyze(&asm.finish().unwrap());
+        assert_eq!(a.transmits.len(), 1);
+        assert_eq!(a.transmits[0].channel, Channel::Cache);
+        assert_eq!(a.transmits[0].pc, 4);
+        assert_eq!(a.transmits[0].sources, vec![2]);
+        assert!(a.dead.is_empty());
+        // Both loads execute under the unresolved branch: the access at
+        // pc 2 and the transmitting probe load itself.
+        assert_eq!(a.speculative_accesses, 2);
+    }
+
+    #[test]
+    fn dead_speculative_access_is_flagged() {
+        let mut asm = Assembler::new();
+        let out = asm.label();
+        asm.li(r(1), 0x4000);
+        asm.blt(r(3), r(8), out);
+        asm.ldb(r(4), r(1), 0); // speculative, then dead
+        asm.bind(out);
+        asm.halt();
+        let a = analyze(&asm.finish().unwrap());
+        assert!(a.transmits.is_empty());
+        assert_eq!(a.dead.len(), 1);
+        assert_eq!(a.dead[0].pc, 2);
+        assert_eq!(a.dead[0].branches, vec![1]);
+    }
+
+    #[test]
+    fn taint_clears_at_the_postdominator() {
+        // The load after the join is not speculative under the branch
+        // and its result feeds a load address without a finding.
+        let mut asm = Assembler::new();
+        let join = asm.label();
+        asm.li(r(1), 0x4000);
+        asm.blt(r(3), r(8), join);
+        asm.bind(join);
+        asm.ld(r(4), r(1), 0); // at the visibility point: clean
+        asm.ld(r(5), r(4), 0); // address from a clean value
+        asm.halt();
+        let a = analyze(&asm.finish().unwrap());
+        assert!(a.transmits.is_empty(), "{:?}", a.transmits);
+        assert_eq!(a.speculative_accesses, 0);
+    }
+
+    #[test]
+    fn fp_transmit_with_tainted_operand_is_flagged() {
+        let f = FReg::new;
+        let mut asm = Assembler::new();
+        let out = asm.label();
+        asm.li(r(1), 0x4000);
+        asm.blt(r(3), r(8), out);
+        asm.ldb(r(4), r(1), 0);
+        asm.fmv_from_int(f(3), r(4));
+        asm.fmul(f(4), f(3), f(1)); // tainted FP transmit
+        asm.fadd(f(5), f(3), f(1)); // non-transmit FP op: no finding
+        asm.bind(out);
+        asm.halt();
+        let a = analyze(&asm.finish().unwrap());
+        assert_eq!(a.transmits.len(), 1);
+        assert_eq!(a.transmits[0].channel, Channel::FpTiming);
+        assert_eq!(a.transmits[0].pc, 4);
+    }
+
+    #[test]
+    fn branch_on_tainted_value_is_training() {
+        let mut asm = Assembler::new();
+        let out = asm.label();
+        let out2 = asm.label();
+        asm.li(r(1), 0x4000);
+        asm.blt(r(3), r(8), out);
+        asm.ldb(r(4), r(1), 0);
+        asm.bne(r(4), Reg::ZERO, out2); // steered by tainted value
+        asm.bind(out);
+        asm.bind(out2);
+        asm.halt();
+        let a = analyze(&asm.finish().unwrap());
+        assert_eq!(a.trainings.len(), 1);
+        assert_eq!(a.trainings[0].pc, 3);
+        assert!(a.dead.is_empty(), "taint reaching a branch is used, not dead");
+    }
+
+    #[test]
+    fn store_data_taint_flows_through_memory() {
+        let mut asm = Assembler::new();
+        let out = asm.label();
+        asm.li(r(1), 0x4000);
+        asm.li(r(2), 0x5000);
+        asm.blt(r(3), r(8), out);
+        asm.ldb(r(4), r(1), 0); // tainted
+        asm.st(r(4), r(2), 0); // escapes to memory (clean address)
+        asm.ld(r(5), r(2), 0); // rereads tainted cell
+        asm.ld(Reg::ZERO, r(5), 0); // transmit via reloaded taint
+        asm.bind(out);
+        asm.halt();
+        let a = analyze(&asm.finish().unwrap());
+        assert!(a.transmits.iter().any(|t| t.pc == 6 && t.channel == Channel::Cache));
+        assert!(a.dead.is_empty());
+    }
+
+    #[test]
+    fn straightline_loads_are_clean() {
+        let mut asm = Assembler::new();
+        asm.li(r(1), 0x4000);
+        asm.ld(r(2), r(1), 0);
+        asm.ld(r(3), r(2), 0); // dependent load, but never speculative
+        asm.halt();
+        let a = analyze(&asm.finish().unwrap());
+        assert!(a.transmit_free());
+        assert!(a.trainings.is_empty());
+        assert!(a.dead.is_empty());
+        assert_eq!(a.speculative_accesses, 0);
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let p = spectre_shape(true);
+        assert_eq!(analyze(&p), analyze(&p));
+    }
+}

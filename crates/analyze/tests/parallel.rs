@@ -1,0 +1,33 @@
+//! `--jobs` fan-out regression: analyzing the default target set
+//! through a `JobPool` must merge canonically — byte-identical reports
+//! and rendered artifacts at any worker count (the analyzer-side twin
+//! of `crates/harness/tests/parallel.rs`).
+
+use sdo_analyze::corpus::{analyze_all, default_targets, findings_under};
+use sdo_analyze::findings_csv;
+use sdo_harness::{JobPool, Variant};
+
+#[test]
+fn parallel_analysis_is_byte_identical_to_serial() {
+    let targets = default_targets();
+    let serial = analyze_all(&targets, &JobPool::new(1));
+    for jobs in [2, 3, 8] {
+        let par = analyze_all(&targets, &JobPool::new(jobs));
+        assert_eq!(serial.len(), par.len());
+        for (s, p) in serial.iter().zip(&par) {
+            assert_eq!(s.name, p.name, "target order at {jobs} jobs");
+            assert_eq!(s.analysis, p.analysis, "{}: analysis diverged at {jobs} jobs", s.name);
+            assert_eq!(s.mismatches, p.mismatches);
+        }
+        // The rendered artifact (the CSV the CI gate consumes) must be
+        // byte-identical too, for every variant.
+        for v in Variant::ALL {
+            assert_eq!(
+                findings_csv(&findings_under(&serial, v)),
+                findings_csv(&findings_under(&par, v)),
+                "findings CSV diverged at {jobs} jobs under {}",
+                v.slug()
+            );
+        }
+    }
+}

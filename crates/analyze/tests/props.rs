@@ -1,0 +1,184 @@
+//! Property tests for the taint fixpoint, driven by the in-tree
+//! `sdo-rng`:
+//!
+//! * **determinism** — analyzing the same `Program` twice is
+//!   byte-identical (same `Analysis` value, same rendered findings);
+//! * **prefix monotonicity** — appending an instruction never removes
+//!   a transmit or training finding from the unchanged prefix. The
+//!   analysis is a may-analysis over a join semilattice: new
+//!   instructions (including new back edges) can only add taint and
+//!   delay resolution, so prefix findings are stable. `dead_untaint`
+//!   is deliberately excluded: it is anti-monotone by design (an
+//!   appended use of a dead root un-deads it).
+
+use sdo_analyze::{analyze, findings_csv, findings_for};
+use sdo_harness::Variant;
+use sdo_isa::{Assembler, Program, Reg};
+use sdo_rng::SdoRng;
+use std::collections::BTreeSet;
+
+/// One generated instruction, position-independent except for branch
+/// targets, which always point at an already-emitted pc so that every
+/// prefix of a sequence is a well-formed program.
+#[derive(Debug, Clone, Copy)]
+enum GenInst {
+    Alu(u8, u8, u8, u8),
+    Li(u8, i64),
+    Load(u8, u8, i64),
+    Store(u8, u8, i64),
+    Fpu(u8, u8, u8, u8),
+    Fld(u8, u8),
+    /// Conditional branch back to an absolute earlier pc.
+    Branch(u8, u8, u64),
+}
+
+fn reg(rng: &mut SdoRng, lo: u64) -> u8 {
+    (lo + rng.bounded(8 - lo)) as u8
+}
+
+fn gen_seq(seed: u64, n: usize) -> Vec<GenInst> {
+    let mut rng = SdoRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let roll = rng.bounded(100);
+        out.push(if roll < 30 || i == 0 {
+            GenInst::Alu(rng.bounded(4) as u8, reg(&mut rng, 1), reg(&mut rng, 0), reg(&mut rng, 0))
+        } else if roll < 40 {
+            GenInst::Li(reg(&mut rng, 1), rng.bounded(1 << 12) as i64)
+        } else if roll < 60 {
+            GenInst::Load(reg(&mut rng, 1), reg(&mut rng, 0), (rng.bounded(64) * 8) as i64)
+        } else if roll < 70 {
+            GenInst::Store(reg(&mut rng, 0), reg(&mut rng, 0), (rng.bounded(64) * 8) as i64)
+        } else if roll < 80 {
+            GenInst::Fpu(
+                rng.bounded(3) as u8,
+                reg(&mut rng, 1) % 4,
+                reg(&mut rng, 0) % 4,
+                reg(&mut rng, 0) % 4,
+            )
+        } else if roll < 85 {
+            GenInst::Fld(reg(&mut rng, 1) % 4, reg(&mut rng, 0))
+        } else {
+            GenInst::Branch(reg(&mut rng, 0), reg(&mut rng, 0), rng.bounded(i as u64))
+        });
+    }
+    out
+}
+
+/// Builds the first `k` generated instructions plus a trailing halt.
+fn build(seq: &[GenInst], k: usize) -> Program {
+    let mut asm = Assembler::new();
+    let r = Reg::new;
+    let f = sdo_isa::FReg::new;
+    for inst in &seq[..k] {
+        match *inst {
+            GenInst::Alu(op, d, a, b) => {
+                match op {
+                    0 => asm.add(r(d), r(a), r(b)),
+                    1 => asm.xor(r(d), r(a), r(b)),
+                    2 => asm.sltu(r(d), r(a), r(b)),
+                    _ => asm.sll(r(d), r(a), r(b)),
+                };
+            }
+            GenInst::Li(d, v) => {
+                asm.li(r(d), v);
+            }
+            GenInst::Load(d, base, off) => {
+                asm.ld(r(d), r(base), off);
+            }
+            GenInst::Store(s, base, off) => {
+                asm.st(r(s), r(base), off);
+            }
+            GenInst::Fpu(op, d, a, b) => {
+                match op {
+                    0 => asm.fadd(f(d), f(a), f(b)),
+                    1 => asm.fmul(f(d), f(a), f(b)),
+                    _ => asm.fdiv(f(d), f(a), f(b)),
+                };
+            }
+            GenInst::Fld(d, base) => {
+                asm.fld(f(d), r(base), 0);
+            }
+            GenInst::Branch(a, b, target) => {
+                let label = asm.label();
+                asm.bind_at(label, target);
+                asm.bne(r(a), r(b), label);
+            }
+        }
+    }
+    asm.halt();
+    asm.finish().expect("generated program assembles")
+}
+
+#[test]
+fn fixpoint_is_deterministic() {
+    for seed in 0..25u64 {
+        let seq = gen_seq(seed, 24);
+        let program = build(&seq, seq.len());
+        let a = analyze(&program);
+        let b = analyze(&program);
+        assert_eq!(a, b, "seed {seed}: Analysis value differs across runs");
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed}");
+        for v in Variant::ALL {
+            assert_eq!(
+                findings_csv(&findings_for(&a, v)),
+                findings_csv(&findings_for(&b, v)),
+                "seed {seed}, variant {}",
+                v.slug()
+            );
+        }
+    }
+}
+
+#[test]
+fn prefix_findings_are_monotone_under_append() {
+    for seed in 0..40u64 {
+        let seq = gen_seq(seed, 20);
+        for k in 1..seq.len() {
+            let shorter = analyze(&build(&seq, k));
+            let longer = analyze(&build(&seq, k + 1));
+            // Transmit sites of the prefix (all at pc < k: the halt at
+            // pc k transmits nothing) must survive the append.
+            let t_short: BTreeSet<(u64, &str)> = shorter
+                .transmits
+                .iter()
+                .filter(|t| t.pc < k as u64)
+                .map(|t| (t.pc, sdo_analyze::findings::channel_name(t.channel)))
+                .collect();
+            let t_long: BTreeSet<(u64, &str)> = longer
+                .transmits
+                .iter()
+                .map(|t| (t.pc, sdo_analyze::findings::channel_name(t.channel)))
+                .collect();
+            assert!(
+                t_short.is_subset(&t_long),
+                "seed {seed}, k {k}: transmit sites lost on append: {t_short:?} vs {t_long:?}"
+            );
+            let tr_short: BTreeSet<u64> =
+                shorter.trainings.iter().map(|t| t.pc).filter(|&pc| pc < k as u64).collect();
+            let tr_long: BTreeSet<u64> = longer.trainings.iter().map(|t| t.pc).collect();
+            assert!(
+                tr_short.is_subset(&tr_long),
+                "seed {seed}, k {k}: training sites lost on append"
+            );
+        }
+    }
+}
+
+#[test]
+fn generated_programs_hit_every_shape() {
+    // Sanity on the generator itself: across the seed range the corpus
+    // must contain speculative roots, transmits and trainings, or the
+    // properties above would hold vacuously.
+    let mut roots = 0;
+    let mut transmits = 0;
+    let mut trainings = 0;
+    for seed in 0..40u64 {
+        let seq = gen_seq(seed, 20);
+        let a = analyze(&build(&seq, seq.len()));
+        roots += a.speculative_accesses;
+        transmits += a.transmits.len();
+        trainings += a.trainings.len();
+    }
+    assert!(roots > 0 && transmits > 0 && trainings > 0, "{roots}/{transmits}/{trainings}");
+}

@@ -34,6 +34,8 @@ pub const SEED_ENV: &str = "SDO_SEED";
 pub enum CsvSupport {
     /// No CSV output; `--csv` is a usage error.
     None,
+    /// `--csv` only (a single table); `--csv=runs` is a usage error.
+    FigureOnly,
     /// `--csv` (the figure matrix) and `--csv=runs` (the per-run dump).
     FigureAndRuns,
 }
@@ -89,8 +91,10 @@ impl BinSpec {
                 format!("worker threads (default: ${JOBS_ENV} or all cores)"),
             ));
         }
-        if self.csv == CsvSupport::FigureAndRuns {
+        if self.csv != CsvSupport::None {
             opts.push(("--csv", "print the figure as CSV on stdout".into()));
+        }
+        if self.csv == CsvSupport::FigureAndRuns {
             opts.push(("--csv=runs", "print the full per-run dump as CSV".into()));
         }
         if self.metrics {
@@ -210,6 +214,11 @@ impl CommonArgs {
                 }
                 "--csv=runs" => {
                     require_csv(spec)?;
+                    if spec.csv == CsvSupport::FigureOnly {
+                        return Err(CliError::Usage(
+                            "--csv=runs is not supported here (use --csv)".into(),
+                        ));
+                    }
                     csv = Some(CsvMode::Runs);
                 }
                 "--metrics" => {
@@ -428,6 +437,14 @@ mod tests {
             CommonArgs::try_parse(&no_csv, strings(&["--csv"])),
             Err(CliError::Usage(_))
         ));
+        let figure_only = BinSpec { csv: CsvSupport::FigureOnly, ..SPEC };
+        let a = CommonArgs::try_parse(&figure_only, strings(&["--csv"])).unwrap();
+        assert_eq!(a.csv, Some(CsvMode::Figure));
+        assert!(matches!(
+            CommonArgs::try_parse(&figure_only, strings(&["--csv=runs"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(figure_only.usage().contains("--csv") && !figure_only.usage().contains("--csv=runs"));
         let no_metrics = BinSpec { metrics: false, ..SPEC };
         assert!(matches!(
             CommonArgs::try_parse(&no_metrics, strings(&["--metrics", "m"])),

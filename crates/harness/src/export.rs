@@ -97,15 +97,51 @@ pub fn runs_csv(results: &SuiteResults) -> String {
     out
 }
 
-/// One column of the pentest verdict CSV — same descriptor-table shape
-/// as [`RunColumn`], so header and rows derive from one schema.
-#[derive(Debug, Clone, Copy)]
-pub struct PentestColumn {
+/// One column of a typed CSV table: a stable name paired with the
+/// extractor that renders its cell from one row value. The same
+/// descriptor-table shape as [`RunColumn`] (whose extractor takes an
+/// extra baseline argument and so stays its own type), reusable by any
+/// crate exporting rows of its own type — `sdo-analyze` builds its
+/// findings CSV from `Column<Finding>`.
+pub struct Column<T> {
     /// Column name, exactly as it appears in the CSV header.
     pub name: &'static str,
-    /// Renders the cell for one per-variant pentest outcome.
-    pub extract: fn(o: &PentestOutcome) -> String,
+    /// Renders the cell for one row value.
+    pub extract: fn(row: &T) -> String,
 }
+
+// Manual impls: derives would demand `T: Debug/Clone/Copy`, which the
+// fields (a static str and a fn pointer) never need.
+impl<T> std::fmt::Debug for Column<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Column").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+impl<T> Clone for Column<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Column<T> {}
+
+/// Renders a header + one row per value from a [`Column`] table — the
+/// shared body of every typed CSV export.
+#[must_use]
+pub fn table_csv<T>(columns: &[Column<T>], rows: &[T]) -> String {
+    let mut out = columns.iter().map(|c| c.name).collect::<Vec<_>>().join(",");
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = columns.iter().map(|c| (c.extract)(row)).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// One column of the pentest verdict CSV.
+pub type PentestColumn = Column<PentestOutcome>;
 
 /// The pentest verdict CSV schema, in column order: the per-variant
 /// covert-channel readout plus the victim run's headline numbers.
@@ -128,14 +164,7 @@ pub fn pentest_csv_header() -> String {
 /// Serializes pentest outcomes as CSV, one row per (attack, variant).
 #[must_use]
 pub fn pentest_csv(outcomes: &[PentestOutcome]) -> String {
-    let mut out = pentest_csv_header();
-    out.push('\n');
-    for o in outcomes {
-        let row: Vec<String> = PENTEST_COLUMNS.iter().map(|c| (c.extract)(o)).collect();
-        out.push_str(&row.join(","));
-        out.push('\n');
-    }
-    out
+    table_csv(PENTEST_COLUMNS, outcomes)
 }
 
 /// Serializes the Figure 6 matrix (normalized execution times) as CSV:

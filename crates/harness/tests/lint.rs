@@ -1,0 +1,241 @@
+//! In-tree repo lint: mechanical source checks the compiler does not
+//! enforce, run as a tier-1 test (and in CI next to clippy).
+//!
+//! Two rules, both budgeted by `lint_allowlist.txt`:
+//!
+//! * **no-unwrap** — `.unwrap()` / `.expect(` outside `#[cfg(test)]`
+//!   in the hot-path modules (`uarch::core`, `mem::cache`,
+//!   `mem::mshr`). A panic in the cycle loop takes down a whole
+//!   campaign; recoverable paths must return errors.
+//! * **exhaustive-match** — no `_ =>` arm in a `match` over
+//!   [`sdo_isa`]'s `OpClass` / `Instruction` in security-relevant
+//!   files: a new instruction class silently falling into a wildcard
+//!   arm is exactly how a transmitter escapes taint tracking.
+//!
+//! The allowlist pins the *current* count per (file, rule). The check
+//! is a ratchet in both directions: exceeding the budget fails (fix
+//! the code or consciously raise the budget in review), and beating
+//! it fails too (lower the budget so the improvement sticks).
+
+use std::path::{Path, PathBuf};
+
+/// Hot-path files where panicking helpers are forbidden outside tests.
+const NO_UNWRAP: &[&str] =
+    &["crates/uarch/src/core.rs", "crates/mem/src/cache.rs", "crates/mem/src/mshr.rs"];
+
+/// Security-relevant files where `OpClass`/`Instruction` matches must
+/// be exhaustive (no `_ =>`).
+const EXHAUSTIVE_MATCH: &[&str] = &[
+    "crates/uarch/src/core.rs",
+    "crates/analyze/src/taint.rs",
+    "crates/analyze/src/cfg.rs",
+    "crates/verify/src/oracle.rs",
+    "crates/obs/src/trace.rs",
+];
+
+const ALLOWLIST: &str = include_str!("lint_allowlist.txt");
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).expect("workspace root").into()
+}
+
+/// Budget for (file, rule) from the allowlist; 0 when absent.
+fn budget(path: &str, rule: &str) -> usize {
+    for line in ALLOWLIST.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (p, r, n) = (parts.next(), parts.next(), parts.next());
+        assert!(
+            n.is_some() && parts.next().is_none(),
+            "malformed allowlist line: '{line}' (want '<path> <rule> <count>')"
+        );
+        if p == Some(path) && r == Some(rule) {
+            return n.and_then(|v| v.parse().ok()).expect("numeric budget");
+        }
+    }
+    0
+}
+
+/// The portion of a source file before its `#[cfg(test)]` module, with
+/// comment-only lines dropped.
+fn non_test_lines(text: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let t = line.trim_start();
+        if t.starts_with("//") {
+            continue;
+        }
+        out.push((i + 1, line));
+    }
+    out
+}
+
+fn indent_of(line: &str) -> usize {
+    line.len() - line.trim_start().len()
+}
+
+/// Line numbers of `_ =>` arms whose enclosing `match` has an
+/// `OpClass::` or `Instruction::` arm — i.e. wildcard arms that would
+/// swallow a newly added instruction kind. Relies on rustfmt layout:
+/// arms sit exactly one level deeper than their `match` header.
+fn wildcard_arm_lines(text: &str) -> Vec<usize> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if !line.trim_start().starts_with("_ =>") {
+            continue;
+        }
+        let ind = indent_of(line);
+        // Nearest enclosing construct: first line above with smaller
+        // indentation. For a match arm that is the match header.
+        let Some(header) = (0..i).rev().find(|&j| {
+            !lines[j].trim().is_empty() && indent_of(lines[j]) < ind
+        }) else {
+            continue;
+        };
+        if !lines[header].contains("match ") {
+            continue;
+        }
+        let sibling_arms = (header + 1..i).filter(|&j| indent_of(lines[j]) == ind);
+        let mut arms = sibling_arms.map(|j| lines[j]);
+        if arms.any(|a| a.contains("OpClass::") || a.contains("Instruction::")) {
+            out.push(i + 1);
+        }
+    }
+    out
+}
+
+#[test]
+fn hot_path_modules_do_not_unwrap_beyond_budget() {
+    let root = workspace_root();
+    let mut failures = Vec::new();
+    for path in NO_UNWRAP {
+        let text = std::fs::read_to_string(root.join(path)).expect(path);
+        let count: usize = non_test_lines(&text)
+            .iter()
+            .map(|(_, l)| l.matches(".unwrap()").count() + l.matches(".expect(").count())
+            .sum();
+        let allowed = budget(path, "no-unwrap");
+        if count > allowed {
+            failures.push(format!(
+                "{path}: {count} unwrap()/expect() outside tests exceeds budget {allowed} — \
+                 return an error instead, or raise the budget in lint_allowlist.txt"
+            ));
+        } else if count < allowed {
+            failures.push(format!(
+                "{path}: only {count} unwrap()/expect() but budget is {allowed} — \
+                 lower the budget in lint_allowlist.txt so the improvement sticks"
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn security_relevant_matches_are_exhaustive_within_budget() {
+    let root = workspace_root();
+    let mut failures = Vec::new();
+    for path in EXHAUSTIVE_MATCH {
+        let text = std::fs::read_to_string(root.join(path)).expect(path);
+        let hits = wildcard_arm_lines(&text);
+        let allowed = budget(path, "exhaustive-match");
+        if hits.len() > allowed {
+            failures.push(format!(
+                "{path}: `_ =>` arms on OpClass/Instruction matches at lines {hits:?} \
+                 ({} > budget {allowed}) — enumerate the variants so new instruction \
+                 kinds are a compile error, or raise the budget in lint_allowlist.txt",
+                hits.len()
+            ));
+        } else if hits.len() < allowed {
+            failures.push(format!(
+                "{path}: {} wildcard arms but budget is {allowed} — lower the budget \
+                 in lint_allowlist.txt so the improvement sticks",
+                hits.len()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn allowlist_entries_reference_linted_files() {
+    // Stale allowlist entries (renamed files, rules that no longer
+    // apply) silently re-open the hole they once budgeted.
+    for line in ALLOWLIST.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let path = parts.next().expect("path");
+        let rule = parts.next().expect("rule");
+        match rule {
+            "no-unwrap" => assert!(NO_UNWRAP.contains(&path), "stale entry: {line}"),
+            "exhaustive-match" => {
+                assert!(EXHAUSTIVE_MATCH.contains(&path), "stale entry: {line}");
+            }
+            other => panic!("unknown rule '{other}' in allowlist line: {line}"),
+        }
+        assert!(workspace_root().join(path).exists(), "allowlisted file missing: {path}");
+    }
+}
+
+#[cfg(test)]
+mod detector_tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_detector_flags_opclass_matches_only() {
+        let flagged = "\
+fn f(c: OpClass) {
+    match c {
+        OpClass::Load => a(),
+        _ => b(),
+    }
+}
+";
+        assert_eq!(wildcard_arm_lines(flagged), vec![4]);
+        let benign = "\
+fn f(w: MemWidth) {
+    match w {
+        MemWidth::Byte => a(),
+        _ => b(),
+    }
+}
+";
+        assert!(wildcard_arm_lines(benign).is_empty());
+        let nested = "\
+fn f(i: &Instruction) {
+    match i {
+        Instruction::Load { .. } => match width {
+            MemWidth::Byte => a(),
+            _ => b(),
+        },
+        _ => c(),
+    }
+}
+";
+        // The inner MemWidth wildcard is fine; the outer Instruction
+        // wildcard is flagged.
+        assert_eq!(wildcard_arm_lines(nested), vec![7]);
+    }
+
+    #[test]
+    fn non_test_scan_stops_at_test_module_and_skips_comments() {
+        let text = "\
+fn a() { x.unwrap(); } // real
+// x.unwrap() in a comment
+#[cfg(test)]
+mod tests { fn b() { y.unwrap(); } }
+";
+        let lines = non_test_lines(text);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].0, 1);
+    }
+}

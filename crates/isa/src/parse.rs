@@ -32,25 +32,54 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-/// Error from [`parse_asm`], carrying the 1-based source line.
+/// Error from [`parse_asm`], carrying the 1-based source position and
+/// the offending token.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
-    /// 1-based line number.
+    /// 1-based line number (0 for whole-program errors such as
+    /// unresolved labels).
     pub line: usize,
+    /// 1-based column of [`ParseError::token`] in the source line, or 0
+    /// when the error has no single offending token.
+    pub column: usize,
+    /// The offending token text, if the error blames one.
+    pub token: String,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.column > 0 {
+            write!(f, "line {}:{}: {}", self.line, self.column, self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
     }
 }
 
 impl Error for ParseError {}
 
+impl ParseError {
+    /// Fills in `column` by locating `token` in its source line.
+    fn locate(mut self, source: &str) -> Self {
+        if self.column == 0 && self.line > 0 && !self.token.is_empty() {
+            if let Some(raw) = source.lines().nth(self.line - 1) {
+                if let Some(at) = raw.find(self.token.as_str()) {
+                    self.column = at + 1;
+                }
+            }
+        }
+        self
+    }
+}
+
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, message: message.into() })
+    Err(ParseError { line, column: 0, token: String::new(), message: message.into() })
+}
+
+fn err_tok<T>(line: usize, token: &str, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, column: 0, token: token.to_string(), message: message.into() })
 }
 
 fn parse_int(line: usize, s: &str) -> Result<i64, ParseError> {
@@ -60,15 +89,11 @@ fn parse_int(line: usize, s: &str) -> Result<i64, ParseError> {
         None => (false, s),
     };
     let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
-        u64::from_str_radix(hex, 16).map_err(|e| ParseError {
-            line,
-            message: format!("bad hex literal '{s}': {e}"),
-        })?
+        u64::from_str_radix(hex, 16)
+            .or_else(|e| err_tok(line, s, format!("bad hex literal '{s}': {e}")))?
     } else {
-        body.parse::<u64>().map_err(|e| ParseError {
-            line,
-            message: format!("bad integer literal '{s}': {e}"),
-        })?
+        body.parse::<u64>()
+            .or_else(|e| err_tok(line, s, format!("bad integer literal '{s}': {e}")))?
     };
     Ok(if neg { (value as i64).wrapping_neg() } else { value as i64 })
 }
@@ -76,33 +101,37 @@ fn parse_int(line: usize, s: &str) -> Result<i64, ParseError> {
 fn parse_reg(line: usize, s: &str) -> Result<Reg, ParseError> {
     let s = s.trim();
     let Some(num) = s.strip_prefix('r') else {
-        return err(line, format!("expected integer register (rN), got '{s}'"));
+        return err_tok(line, s, format!("expected integer register (rN), got '{s}'"));
     };
-    let idx: u8 = num
-        .parse()
-        .map_err(|_| ParseError { line, message: format!("bad register '{s}'") })?;
-    Reg::try_new(idx).ok_or(ParseError { line, message: format!("register '{s}' out of range") })
+    let idx: u8 =
+        num.parse().or_else(|_| err_tok(line, s, format!("bad register '{s}'")))?;
+    match Reg::try_new(idx) {
+        Some(r) => Ok(r),
+        None => err_tok(line, s, format!("register '{s}' out of range")),
+    }
 }
 
 fn parse_freg(line: usize, s: &str) -> Result<FReg, ParseError> {
     let s = s.trim();
     let Some(num) = s.strip_prefix('f') else {
-        return err(line, format!("expected fp register (fN), got '{s}'"));
+        return err_tok(line, s, format!("expected fp register (fN), got '{s}'"));
     };
-    let idx: u8 = num
-        .parse()
-        .map_err(|_| ParseError { line, message: format!("bad fp register '{s}'") })?;
-    FReg::try_new(idx).ok_or(ParseError { line, message: format!("register '{s}' out of range") })
+    let idx: u8 =
+        num.parse().or_else(|_| err_tok(line, s, format!("bad fp register '{s}'")))?;
+    match FReg::try_new(idx) {
+        Some(r) => Ok(r),
+        None => err_tok(line, s, format!("register '{s}' out of range")),
+    }
 }
 
 /// Parses `offset(base)`, e.g. `-8(r2)`.
 fn parse_mem(line: usize, s: &str) -> Result<(i64, Reg), ParseError> {
     let s = s.trim();
     let Some(open) = s.find('(') else {
-        return err(line, format!("expected offset(base), got '{s}'"));
+        return err_tok(line, s, format!("expected offset(base), got '{s}'"));
     };
     if !s.ends_with(')') {
-        return err(line, format!("missing ')' in '{s}'"));
+        return err_tok(line, s, format!("missing ')' in '{s}'"));
     }
     let offset = if s[..open].trim().is_empty() { 0 } else { parse_int(line, &s[..open])? };
     let base = parse_reg(line, &s[open + 1..s.len() - 1])?;
@@ -136,6 +165,10 @@ fn split_operands(s: &str) -> Vec<&str> {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
+    parse_inner(source).map_err(|e| e.locate(source))
+}
+
+fn parse_inner(source: &str) -> Result<Program, ParseError> {
     let mut asm = Assembler::new();
     let mut labels: HashMap<String, crate::asm::Label> = HashMap::new();
 
@@ -190,27 +223,36 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
                     }
                     let mut addr = parse_int(line, args[0])? as u64;
                     for v in &args[1..] {
-                        match directive {
+                        let step = match directive {
                             "word" => {
                                 asm.data_mut().set_word(addr, parse_int(line, v)? as u64);
-                                addr += 8;
+                                8
                             }
                             "byte" => {
                                 asm.data_mut().set_byte(addr, parse_int(line, v)? as u8);
-                                addr += 1;
+                                1
                             }
                             _ => {
-                                let x: f64 = v.parse().map_err(|e| ParseError {
-                                    line,
-                                    message: format!("bad f64 '{v}': {e}"),
+                                let x: f64 = v.parse().or_else(|e| {
+                                    err_tok(line, v, format!("bad f64 '{v}': {e}"))
                                 })?;
                                 asm.data_mut().set_f64(addr, x);
-                                addr += 8;
+                                8
                             }
-                        }
+                        };
+                        addr = match addr.checked_add(step) {
+                            Some(next) => next,
+                            None => {
+                                return err_tok(
+                                    line,
+                                    v,
+                                    format!(".{directive} data overflows the address space"),
+                                )
+                            }
+                        };
                     }
                 }
-                other => return err(line, format!("unknown directive '.{other}'")),
+                other => return err_tok(line, other, format!("unknown directive '.{other}'")),
             }
             continue;
         }
@@ -221,7 +263,7 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
             let (name, rest) = text.split_at(colon);
             let name = name.trim();
             if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
-                return err(line, format!("bad label '{name}'"));
+                return err_tok(line, name, format!("bad label '{name}'"));
             }
             let label = label_of(&mut asm, &mut absolute, line, name)?;
             asm.bind(label);
@@ -244,8 +286,9 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
         macro_rules! want {
             ($n:expr) => {
                 if ops.len() != $n {
-                    return err(
+                    return err_tok(
                         line,
+                        mnemonic,
                         format!("'{mnemonic}' expects {} operand(s), got {}", $n, ops.len()),
                     );
                 }
@@ -396,7 +439,7 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
                 want!(0);
                 asm.halt();
             }
-            other => return err(line, format!("unknown mnemonic '{other}'")),
+            other => return err_tok(line, other, format!("unknown mnemonic '{other}'")),
         }
     }
 
@@ -404,7 +447,12 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
     for (&addr, &label) in &absolute {
         asm.bind_at(label, addr);
     }
-    asm.finish().map_err(|e| ParseError { line: 0, message: e.to_string() })
+    asm.finish().map_err(|e| ParseError {
+        line: 0,
+        column: 0,
+        token: String::new(),
+        message: e.to_string(),
+    })
 }
 
 #[cfg(test)]
@@ -519,6 +567,54 @@ mod tests {
 
         let e = parse_asm("ld r1, r2").unwrap_err();
         assert!(e.message.contains("offset(base)"));
+    }
+
+    #[test]
+    fn error_reports_column_and_token() {
+        let e = parse_asm("li r1, 1\nfrobnicate r2\nhalt").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 1));
+        assert_eq!(e.token, "frobnicate");
+        assert_eq!(e.to_string(), "line 2:1: unknown mnemonic 'frobnicate'");
+
+        let e = parse_asm("    li r99, 1").unwrap_err();
+        assert_eq!((e.line, e.column), (1, 8));
+        assert_eq!(e.token, "r99");
+
+        let e = parse_asm("add r1, r2, 5").unwrap_err();
+        assert_eq!(e.column, 13);
+        assert_eq!(e.token, "5");
+
+        let e = parse_asm(".quux 1").unwrap_err();
+        assert_eq!(e.column, 2);
+        assert_eq!(e.token, "quux");
+
+        // Whole-program errors carry no position and keep the short form.
+        let e = parse_asm("j nowhere\nhalt").unwrap_err();
+        assert_eq!(e.column, 0);
+        assert!(e.to_string().starts_with("line 0: "));
+    }
+
+    #[test]
+    fn data_directive_address_overflow_is_an_error() {
+        // Regression: `addr += 8` used to overflow-panic in debug builds.
+        let e = parse_asm(".word 0xffffffffffffffff 1 2\nhalt").unwrap_err();
+        assert!(e.message.contains("overflows"), "{e}");
+        let e = parse_asm(".byte 0xffffffffffffffff 1 2\nhalt").unwrap_err();
+        assert!(e.message.contains("overflows"), "{e}");
+    }
+
+    #[test]
+    fn truncated_input_never_panics() {
+        // Every byte prefix of a valid listing must parse or fail
+        // cleanly — truncation mid-token is the classic panic path.
+        let source = "\
+            .name trunc\n.word 0x100 42 -1\n.byte 0x200 0xab\n.f64 0x300 2.5\n\
+            top: li r1, 0x100\nld r2, 8(r1)\nfld f1, 0(r1)\nfmul f2, f1, f1\n\
+            beq r1, r0, top\njalr r31, 0(r2)\nhalt\n";
+        assert!(source.is_ascii());
+        for cut in 0..=source.len() {
+            let _ = parse_asm(&source[..cut]);
+        }
     }
 
     #[test]

@@ -356,22 +356,49 @@ fn emit_mispredict_window(asm: &mut Assembler, fp_transmit: bool, instance: u64)
 /// passing `fails` check), and is 1-minimal: removing any single
 /// remaining gadget makes the failure disappear.
 pub fn minimize(spec: &LitmusSpec, mut fails: impl FnMut(&LitmusSpec) -> bool) -> LitmusSpec {
+    minimize_with_invariant(spec, &mut fails, |_| true).0
+}
+
+/// [`minimize`] with an extra side condition: a deletion is committed
+/// only if the candidate still `fails` **and** still satisfies
+/// `invariant`. Deleting a gadget rebuilds the program from scratch,
+/// which can change its CFG arbitrarily — so any property derived from
+/// the *original* program (like a static taint verdict) must be
+/// re-established on every candidate, not assumed to survive
+/// shrinking. The second return value counts the single deletions of
+/// the *result* for which `fails` still held but `invariant` flipped —
+/// shrinks that would have silently invalidated the caller's stored
+/// classification (counted in the final, fixpoint pass only, so the
+/// number is a property of the minimized spec rather than of the
+/// search path). Callers minimizing against a static verdict treat a
+/// non-zero count as a finding in its own right.
+pub fn minimize_with_invariant(
+    spec: &LitmusSpec,
+    mut fails: impl FnMut(&LitmusSpec) -> bool,
+    mut invariant: impl FnMut(&LitmusSpec) -> bool,
+) -> (LitmusSpec, usize) {
     let mut cur = spec.clone();
     loop {
         let mut reduced = false;
+        let mut flips = 0;
         let mut i = 0;
         while i < cur.gadgets.len() && cur.gadgets.len() > 1 {
             let mut cand = cur.clone();
             cand.gadgets.remove(i);
             if fails(&cand) {
-                cur = cand;
-                reduced = true;
+                if invariant(&cand) {
+                    cur = cand;
+                    reduced = true;
+                } else {
+                    flips += 1;
+                    i += 1;
+                }
             } else {
                 i += 1;
             }
         }
         if !reduced {
-            return cur;
+            return (cur, flips);
         }
     }
 }
@@ -451,6 +478,42 @@ mod tests {
         };
         let min = minimize(&spec, fails);
         assert_eq!(min.gadgets, vec![Gadget::SpectreCache, Gadget::SpectreFp]);
+    }
+
+    #[test]
+    fn invariant_blocks_shrinks_and_counts_flips() {
+        // Failure: contains the cache gadget. Invariant: the FP gadget
+        // must also survive — a stand-in for "the static verdict is
+        // unchanged". Deleting SpectreFp keeps the failure but flips
+        // the invariant, so the minimizer must refuse that deletion
+        // and count it.
+        let fails = |s: &LitmusSpec| s.gadgets.contains(&Gadget::SpectreCache);
+        let invariant = |s: &LitmusSpec| s.gadgets.contains(&Gadget::SpectreFp);
+        let spec = LitmusSpec {
+            seed: 0,
+            gadgets: vec![
+                Gadget::AluNoise { ops: 2 },
+                Gadget::SpectreCache,
+                Gadget::SpectreFp,
+                Gadget::Contention { divs: 2 },
+            ],
+        };
+        let (min, flips) = minimize_with_invariant(&spec, fails, invariant);
+        assert_eq!(min.gadgets, vec![Gadget::SpectreCache, Gadget::SpectreFp]);
+        assert!(fails(&min) && invariant(&min));
+        assert_eq!(flips, 1, "exactly the SpectreFp deletion kept failing but flipped");
+    }
+
+    #[test]
+    fn trivial_invariant_matches_plain_minimize() {
+        let fails = |s: &LitmusSpec| s.gadgets.contains(&Gadget::SpectreCache);
+        for seed in [1u64, 3, 9] {
+            let spec = LitmusSpec::anchor(seed);
+            let plain = minimize(&spec, fails);
+            let (inv, flips) = minimize_with_invariant(&spec, fails, |_| true);
+            assert_eq!(plain, inv, "seed {seed}");
+            assert_eq!(flips, 0, "seed {seed}");
+        }
     }
 
     #[test]

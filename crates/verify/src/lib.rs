@@ -43,6 +43,6 @@ pub mod report;
 
 pub use campaign::{CampaignConfig, CampaignResult};
 pub use checker::{Capture, Checker, SwapOutcome, SECRET_PAIR};
-pub use fuzz::{minimize, Gadget, LitmusSpec};
+pub use fuzz::{minimize, minimize_with_invariant, Gadget, LitmusSpec};
 pub use oracle::{Invariant, Violation};
 pub use report::{CexKind, Counterexample};

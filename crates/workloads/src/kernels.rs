@@ -687,6 +687,35 @@ pub fn workload_class(name: &str) -> &'static str {
     }
 }
 
+/// The pinned static verdict of a suite kernel under `sdo-analyze`'s
+/// taint fixpoint (`None` for kernels without a pinned expectation).
+/// The verdicts are conservative by nature: a kernel whose loop loads
+/// feed a later load address (pointer chasing, hash probing) is a
+/// *potential* cache transmitter even though no secret is involved —
+/// exactly the access patterns STT pays its overhead delaying.
+#[must_use]
+pub fn kernel_expect(name: &str) -> Option<crate::litmus::StaticExpect> {
+    use crate::litmus::{Channel, StaticExpect};
+    let e = |transmit, training, dead_access| {
+        Some(StaticExpect { transmit, training, dead_access })
+    };
+    const CACHE: &[Channel] = &[Channel::Cache];
+    const FP: &[Channel] = &[Channel::FpTiming];
+    match name {
+        "ptr_chase" => e(CACHE, true, false),
+        "stream" => e(CACHE, true, false),
+        "stride" => e(CACHE, true, false),
+        "mix_branchy" => e(CACHE, true, false),
+        "hash_lookup" => e(CACHE, true, false),
+        "stencil" => e(&[], true, false),
+        "matmul_blocked" => e(FP, false, false),
+        "fp_subnormal" => e(FP, true, false),
+        "phase_shift" => e(CACHE, true, false),
+        "l1_resident" => e(&[], true, false),
+        _ => None,
+    }
+}
+
 /// The full evaluation suite with default sizes (used by Figures 6–8 and
 /// Table III).
 #[must_use]

@@ -47,5 +47,5 @@ pub mod random;
 pub mod spectre;
 
 pub use kernels::{suite, workload_class, Workload, WORKLOAD_CLASSES};
-pub use litmus::{litmus_case, Channel, LitmusCase, CORPUS};
+pub use litmus::{litmus_case, Channel, LitmusCase, StaticExpect, CORPUS};
 pub use spectre::{spectre_fp_victim, spectre_v1_victim, spectre_v1_with_secret, SpectreScenario};

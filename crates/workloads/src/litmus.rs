@@ -33,6 +33,29 @@ pub enum Channel {
     FpTiming,
 }
 
+/// The pinned *static* verdict of a program under `sdo-analyze`'s
+/// taint fixpoint, before any per-variant channel projection. Distinct
+/// from [`LitmusCase::leaks_via`], which is dynamic ground truth: the
+/// static analysis is conservative, so a program can be flagged (e.g.
+/// `benign_branchy`'s public-data loop branch looks like tainted
+/// training) without actually leaking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticExpect {
+    /// Channels with at least one potential transmit site.
+    pub transmit: &'static [Channel],
+    /// Whether some branch/indirect jump is steered by a possibly
+    /// tainted value.
+    pub training: bool,
+    /// Whether some speculative access's taint reaches nothing.
+    pub dead_access: bool,
+}
+
+impl StaticExpect {
+    /// A program with no speculative findings at all.
+    pub const CLEAN: StaticExpect =
+        StaticExpect { transmit: &[], training: false, dead_access: false };
+}
+
 /// One litmus program: a builder plus its expected leakage behaviour.
 #[derive(Debug, Clone, Copy)]
 pub struct LitmusCase {
@@ -44,14 +67,40 @@ pub struct LitmusCase {
     pub leaks_via: Option<Channel>,
     /// Builds the program with the given secret byte planted.
     pub build: fn(u8) -> Program,
+    /// Pinned static verdict (golden value for `sdo-analyze`).
+    pub expect: StaticExpect,
 }
 
 /// The fixed litmus corpus, in canonical order.
 pub const CORPUS: &[LitmusCase] = &[
-    LitmusCase { name: "spectre_v1", leaks_via: Some(Channel::Cache), build: build_spectre_v1 },
-    LitmusCase { name: "spectre_fp", leaks_via: Some(Channel::FpTiming), build: spectre_fp_victim },
-    LitmusCase { name: "spectre_v1_dead", leaks_via: None, build: build_spectre_v1_dead },
-    LitmusCase { name: "benign_branchy", leaks_via: None, build: build_benign_branchy },
+    LitmusCase {
+        name: "spectre_v1",
+        leaks_via: Some(Channel::Cache),
+        build: build_spectre_v1,
+        expect: StaticExpect { transmit: &[Channel::Cache], training: false, dead_access: false },
+    },
+    LitmusCase {
+        name: "spectre_fp",
+        leaks_via: Some(Channel::FpTiming),
+        build: spectre_fp_victim,
+        expect: StaticExpect {
+            transmit: &[Channel::FpTiming],
+            training: false,
+            dead_access: false,
+        },
+    },
+    LitmusCase {
+        name: "spectre_v1_dead",
+        leaks_via: None,
+        build: build_spectre_v1_dead,
+        expect: StaticExpect { transmit: &[], training: false, dead_access: true },
+    },
+    LitmusCase {
+        name: "benign_branchy",
+        leaks_via: None,
+        build: build_benign_branchy,
+        expect: StaticExpect { transmit: &[], training: true, dead_access: false },
+    },
 ];
 
 /// Looks a case up by name.
