@@ -1,0 +1,79 @@
+//! `busy_cycle` — host throughput of the *busy* cycle path.
+//!
+//! Quiescence fast-forward (DESIGN.md §11) already makes stalled cycles
+//! nearly free, so overall wall time is dominated by cycles where the
+//! pipeline actually does work. This bench pins that busy path: the
+//! branchy and cache-resident kernels (the two classes where the skip
+//! ratio collapses to a few percent) simulated with fast-forward **off**,
+//! reported as simulated cycles per host second. Engine-layout changes
+//! (the structure-of-arrays core) move exactly this number.
+//!
+//! Run with `cargo bench --bench busy_cycle`. Honors `--jobs`/`SDO_JOBS`
+//! like the other bench mains (measurement itself is always serial so
+//! numbers are comparable across machines and runs).
+
+use sdo_bench::bench_case;
+use sdo_harness::{SimConfig, Simulator, Variant};
+use sdo_mem::CacheLevel;
+use sdo_uarch::AttackModel;
+use sdo_workloads::kernels::{l1_resident, mix_branchy};
+use sdo_workloads::Workload;
+use std::time::Instant;
+
+/// The measured kernels: one branchy, one cache-resident — the two
+/// classes the skip ratio leaves exposed (`BENCH_suite.json` →
+/// `fast_forward.skip_ratio`).
+fn cases() -> Vec<(&'static str, Workload)> {
+    vec![
+        (
+            "branchy",
+            Workload::new("mix_branchy", mix_branchy(1 << 13, 4000, 4))
+                .warmed(0x30_0000, (1 << 13) * 8, CacheLevel::L2),
+        ),
+        ("cache_resident", Workload::new("l1_resident", l1_resident(8000, 10))),
+    ]
+}
+
+fn main() {
+    println!("busy_cycle: simulated cycles per host second, fast-forward OFF");
+    println!("(branchy + cache-resident kernels; the busy-path engine benchmark)\n");
+    let sim = Simulator::new(SimConfig::table_i().with_fast_forward(false));
+    let variants = [Variant::Unsafe, Variant::SttLd, Variant::Hybrid];
+
+    for (class, w) in cases() {
+        let mut class_cycles = 0u64;
+        let mut class_secs = 0.0f64;
+        for variant in variants {
+            // Warmup run (untimed), then a timed measurement.
+            let r = sim.run_workload(&w, variant, AttackModel::Spectre).expect("kernel completes");
+            assert_eq!(r.skipped_cycles, 0, "busy-cycle bench must not fast-forward");
+            let t0 = Instant::now();
+            let r = sim.run_workload(&w, variant, AttackModel::Spectre).expect("kernel completes");
+            let secs = t0.elapsed().as_secs_f64();
+            class_cycles += r.cycles;
+            class_secs += secs;
+            println!(
+                "{class:>14} {:14} {:>10} cycles  {:>8.1} ms  {:>10.0} cycles/s",
+                format!("{}/{variant}", w.name()),
+                r.cycles,
+                secs * 1e3,
+                r.cycles as f64 / secs
+            );
+        }
+        println!(
+            "{class:>14} {:14} {:>10} cycles  {:>8.1} ms  {:>10.0} cycles/s  <- class aggregate\n",
+            "TOTAL",
+            class_cycles,
+            class_secs * 1e3,
+            class_cycles as f64 / class_secs
+        );
+    }
+
+    // Relative cost sanity: the same work timed end-to-end through
+    // bench_case, for eyeballing run-to-run spread.
+    for (class, w) in cases() {
+        bench_case(&format!("busy_cycle/{class}/unsafe"), 3, || {
+            sim.run_workload(&w, Variant::Unsafe, AttackModel::Spectre).expect("completes").cycles
+        });
+    }
+}

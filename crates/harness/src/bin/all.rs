@@ -11,8 +11,8 @@
 use sdo_harness::cli::{BinSpec, CommonArgs, CsvSupport};
 use sdo_harness::engine::{timed, JobPool, Throughput};
 use sdo_harness::experiments::{
-    fig6_report, fig7_report, fig8_report, pentest_metrics, pentest_report, pentest_with,
-    run_suite_on, run_suite_with, table3_report, SuiteResults,
+    busy_cycle_throughput, fig6_report, fig7_report, fig8_report, pentest_metrics, pentest_report,
+    pentest_with, run_suite_on, run_suite_with, table3_report, SuiteResults,
 };
 use sdo_harness::export::{bench_suite_json, runs_csv, FastForwardBench};
 use sdo_harness::{SimConfig, Simulator, Variant};
@@ -126,13 +126,19 @@ fn main() {
         ratios: serial_results.skip_ratios(),
     };
 
+    // Busy-cycle throughput: every class timed serially with fast-forward
+    // off, so the recorded cycles/s is the raw engine cost per class (the
+    // number the data-oriented core work optimizes and future PRs must
+    // not regress).
+    let busy = busy_cycle_throughput(cfg).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()));
+
     let phases: Vec<(&str, Throughput)> = vec![
         ("suite_serial", serial_tp),
         ("suite_parallel", parallel_tp),
         ("pentest", pentest_tp),
         ("render", render_tp),
     ];
-    let json = bench_suite_json(&phases, Some((serial_tp, parallel_tp)), Some(&ff));
+    let json = bench_suite_json(&phases, Some((serial_tp, parallel_tp)), Some(&ff), Some(&busy));
     eprintln!("suite serial:   {}", serial_tp.report());
     eprintln!("suite parallel: {}", parallel_tp.report());
     eprintln!(
@@ -148,6 +154,9 @@ fn main() {
     );
     for r in &ff.ratios {
         eprintln!("  skip ratio {:14} {:6.2}%", r.class, 100.0 * r.ratio());
+    }
+    for (class, t) in &busy {
+        eprintln!("busy cycle {:14} {:9.0} cycles/s (skip off)", class, t.cycles_per_sec());
     }
     if !bench_out.is_empty() {
         if let Err(e) = std::fs::write(&bench_out, &json) {

@@ -194,6 +194,37 @@ pub fn run_suite_on(
     Ok(SuiteResults { runs, workloads })
 }
 
+/// Per-workload-class busy-cycle throughput: each class of the suite
+/// simulated serially with quiescence fast-forward off, so the numbers
+/// measure the raw per-cycle engine cost (`cycles_per_sec`) rather than
+/// how much of a class fast-forward can skip. Returned in
+/// [`sdo_workloads::WORKLOAD_CLASSES`] order; lands in the `busy_cycle`
+/// section of `BENCH_suite.json`.
+///
+/// # Errors
+///
+/// Returns the first simulation error (hang) encountered.
+pub fn busy_cycle_throughput(
+    cfg: SimConfig,
+) -> Result<Vec<(&'static str, crate::engine::Throughput)>, SimError> {
+    let sim = Simulator::new(cfg.with_fast_forward(false));
+    let kernels = suite();
+    let mut out = Vec::with_capacity(sdo_workloads::WORKLOAD_CLASSES.len());
+    for &class in sdo_workloads::WORKLOAD_CLASSES {
+        let group: Vec<Workload> = kernels
+            .iter()
+            .filter(|w| sdo_workloads::workload_class(w.name()) == class)
+            .cloned()
+            .collect();
+        let start = std::time::Instant::now();
+        let results = run_suite_on(&sim, &group, &JobPool::serial())?;
+        let wall = start.elapsed();
+        let (sims, cycles) = results.counts();
+        out.push((class, crate::engine::Throughput { jobs: 1, sims, cycles, wall }));
+    }
+    Ok(out)
+}
+
 // ----------------------------------------------------------------------
 // Figure 6
 // ----------------------------------------------------------------------

@@ -242,14 +242,16 @@ pub struct FastForwardBench {
 }
 
 /// Serializes a benchmark session — named per-phase [`Throughput`]s, an
-/// optional `--jobs 1` vs `--jobs N` suite speedup, and an optional
-/// fast-forward effectiveness section — as the `BENCH_suite.json`
+/// optional `--jobs 1` vs `--jobs N` suite speedup, an optional
+/// fast-forward effectiveness section, and an optional per-workload-class
+/// busy-cycle (skip-off) throughput section — as the `BENCH_suite.json`
 /// document the `all` binary emits.
 #[must_use]
 pub fn bench_suite_json(
     phases: &[(&str, Throughput)],
     speedup: Option<(Throughput, Throughput)>,
     fast_forward: Option<&FastForwardBench>,
+    busy_cycle: Option<&[(&'static str, Throughput)]>,
 ) -> String {
     let total_wall: f64 = phases.iter().map(|(_, t)| t.wall.as_secs_f64()).sum();
     let total_sims: u64 = phases.iter().map(|(_, t)| t.sims).sum();
@@ -310,6 +312,17 @@ pub fn bench_suite_json(
             ));
         }
         out.push_str("    }\n  }");
+    }
+    if let Some(classes) = busy_cycle {
+        // Skip-off per class: the raw engine cost baseline that the
+        // data-oriented core work targets (and future PRs regress
+        // against) — fast-forward cannot mask a slowdown here.
+        out.push_str(",\n  \"busy_cycle\": {\n");
+        for (i, (class, t)) in classes.iter().enumerate() {
+            let comma = if i + 1 < classes.len() { "," } else { "" };
+            out.push_str(&format!("    \"{class}\": {}{comma}\n", throughput_json(t)));
+        }
+        out.push_str("  }");
     }
     out.push_str("\n}\n");
     out
@@ -423,7 +436,7 @@ mod tests {
     fn bench_suite_json_structure() {
         let t1 = Throughput { jobs: 1, sims: 10, cycles: 100, wall: Duration::from_secs(4) };
         let t4 = Throughput { jobs: 4, sims: 10, cycles: 100, wall: Duration::from_secs(1) };
-        let j = bench_suite_json(&[("suite", t4), ("pentest", t1)], Some((t1, t4)), None);
+        let j = bench_suite_json(&[("suite", t4), ("pentest", t1)], Some((t1, t4)), None, None);
         assert!(j.contains("\"phases\""));
         assert!(j.contains("\"suite\""));
         assert!(j.contains("\"pentest\""));
@@ -449,13 +462,27 @@ mod tests {
                 SkipRatio { class: "cache_resident", skipped: 0, cycles: 50 },
             ],
         };
-        let j = bench_suite_json(&[("suite", t1)], None, Some(&ff));
+        let j = bench_suite_json(&[("suite", t1)], None, Some(&ff), None);
         assert!(j.contains("\"fast_forward\""));
         assert!(j.contains("\"dram_bound_skip\""));
         assert!(j.contains("\"dram_bound_noskip\""));
         assert!(j.contains("\"dram_cycles_per_sec_speedup\": 3.000"));
         assert!(j.contains("\"dram_bound\": {\"skipped\": 75, \"cycles\": 100, \"ratio\": 0.7500}"));
         assert!(j.contains("\"cache_resident\": {\"skipped\": 0, \"cycles\": 50, \"ratio\": 0.0000}"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn bench_suite_json_busy_cycle_section() {
+        let t1 = Throughput { jobs: 1, sims: 10, cycles: 100, wall: Duration::from_secs(4) };
+        let branchy = Throughput { jobs: 1, sims: 32, cycles: 2000, wall: Duration::from_secs(1) };
+        let cache = Throughput { jobs: 1, sims: 48, cycles: 4000, wall: Duration::from_secs(2) };
+        let classes = [("branchy", branchy), ("cache_resident", cache)];
+        let j = bench_suite_json(&[("suite", t1)], None, None, Some(&classes));
+        assert!(j.contains("\"busy_cycle\""));
+        assert!(j.contains("\"branchy\": {\"jobs\": 1, \"sims\": 32"));
+        assert!(j.contains("\"cache_resident\": {\"jobs\": 1, \"sims\": 48"));
+        assert!(j.contains("\"cycles_per_sec\": 2000.0"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 

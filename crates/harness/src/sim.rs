@@ -148,6 +148,23 @@ impl Simulator {
             .map(|(r, _)| r)
     }
 
+    /// Like [`Simulator::run_workload`] but also records and returns the
+    /// committed-PC stream — the basis of cross-layout differential
+    /// testing (the engine-layout golden test pins these streams).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Hang`] if the program exceeds the cycle budget.
+    pub fn run_workload_recorded(
+        &self,
+        workload: &sdo_workloads::Workload,
+        variant: Variant,
+        attack: AttackModel,
+    ) -> Result<(RunResult, Vec<u64>), SimError> {
+        self.run_inner(workload.program(), workload.prewarm_ranges(), variant, attack, true)
+            .map(|(r, _, pcs)| (r, pcs.unwrap_or_default()))
+    }
+
     /// Runs all Table II variants on a workload (with warm-start hints).
     ///
     /// # Errors
@@ -168,6 +185,18 @@ impl Simulator {
         variant: Variant,
         attack: AttackModel,
     ) -> Result<(RunResult, MemorySystem), SimError> {
+        self.run_inner(program, prewarm, variant, attack, false).map(|(r, m, _)| (r, m))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_inner(
+        &self,
+        program: &Program,
+        prewarm: &[(u64, u64, sdo_mem::CacheLevel)],
+        variant: Variant,
+        attack: AttackModel,
+        record_commits: bool,
+    ) -> Result<(RunResult, MemorySystem, Option<Vec<u64>>), SimError> {
         let mut mem = MemorySystem::new(self.cfg.mem, 1);
         mem.load_image(program.data());
         for &(start, bytes, level) in prewarm {
@@ -176,10 +205,14 @@ impl Simulator {
         let mut core = Core::new(0, self.cfg.core, variant.security(attack), program.clone());
         core.enable_obs(self.cfg.obs, self.cfg.mem.l1.mshrs as usize);
         core.set_fast_forward(self.cfg.fast_forward);
+        if record_commits {
+            core.record_commits();
+        }
         core.run(&mut mem, self.cfg.max_cycles).map_err(|_| SimError::Hang {
             max_cycles: self.cfg.max_cycles,
             workload: program.name().to_string(),
         })?;
+        let pcs = core.commit_pcs().map(<[u64]>::to_vec);
         let result = RunResult {
             workload: program.name().to_string(),
             variant,
@@ -190,7 +223,7 @@ impl Simulator {
             obs: core.take_obs(),
             skipped_cycles: core.skipped_cycles(),
         };
-        Ok((result, mem))
+        Ok((result, mem, pcs))
     }
 
     /// Runs one program per core on a shared memory hierarchy (cores are

@@ -1,0 +1,151 @@
+//! Cross-layout differential test: pins the observable behaviour of the
+//! core engine against goldens captured before the structure-of-arrays
+//! refactor, so any layout change that perturbs simulated behaviour —
+//! commit-PC streams, final [`sdo_uarch::CoreStats`], memory counters,
+//! obs occupancy histograms — fails byte-for-byte.
+//!
+//! Coverage: all 10 suite kernels × {Unsafe, STT{ld}, SDO Hybrid,
+//! SDO Perfect} × both attack models × fast-forward on/off. Each run is
+//! summarized as one golden line holding the commit count, an FNV-1a
+//! hash of the full committed-PC stream, the cycle count, and an FNV-1a
+//! hash of the run's complete metric snapshot JSON (every `core.*`,
+//! `mem.*` and `pipeline.*` counter/histogram).
+//!
+//! Regenerate with `SDO_BLESS=1 cargo test -p sdo-harness --test
+//! layout_goldens` — but only ever from a commit whose engine behaviour
+//! is already trusted; the file is the contract this refactor must keep.
+
+use sdo_harness::{SimConfig, Simulator, Variant};
+use sdo_mem::CacheLevel;
+use sdo_uarch::{AttackModel, ObsConfig};
+use sdo_workloads::kernels::{
+    fp_subnormal, hash_lookup, l1_resident, matmul_blocked, mix_branchy, phase_shift, ptr_chase,
+    stencil, stream, stride,
+};
+use sdo_workloads::Workload;
+use std::path::{Path, PathBuf};
+
+const GOLDEN: &str = include_str!("layout_goldens.txt");
+
+/// The four Table II variants the issue pins (insecure baseline, STT,
+/// realistic SDO, oracle SDO).
+const VARIANTS: [Variant; 4] =
+    [Variant::Unsafe, Variant::SttLd, Variant::Hybrid, Variant::Perfect];
+
+/// All 10 evaluation kernels at reduced trip counts — same programs and
+/// warm-start shapes as the full suite, sized so the cross product stays
+/// debug-mode fast. Sizes must never change once goldens are blessed.
+fn mini_suite() -> Vec<Workload> {
+    vec![
+        Workload::new("ptr_chase", ptr_chase(1 << 12, 150, 1))
+            .warmed(0x10_0000, 1 << 12, CacheLevel::L3),
+        Workload::new("stream", stream(512, 1, 2)).warmed(0x20_0000, 512 * 8, CacheLevel::L3),
+        Workload::new("stride", stride(128, 3, 2, 3)).warmed(0x40_0000, 128 * 64, CacheLevel::L3),
+        Workload::new("mix_branchy", mix_branchy(1 << 10, 200, 4))
+            .warmed(0x30_0000, (1 << 10) * 8, CacheLevel::L2),
+        Workload::new("hash_lookup", hash_lookup(1 << 10, 150, 5))
+            .warmed(0x80_0000, (1 << 10) * 8, CacheLevel::L3),
+        Workload::new("stencil", stencil(256, 2, 6)).warmed(0x50_0000, 256 * 8 + 16, CacheLevel::L2),
+        Workload::new("matmul_blocked", matmul_blocked(6, 7)),
+        Workload::new("fp_subnormal", fp_subnormal(200, 16, 8)),
+        Workload::new("phase_shift", phase_shift(60, 3, 9))
+            .warmed(0xB0_0000, (1 << 16) * 8, CacheLevel::L3),
+        Workload::new("l1_resident", l1_resident(400, 10)),
+    ]
+}
+
+/// FNV-1a, 64-bit: stable across platforms and std versions (unlike
+/// `DefaultHasher`), so goldens never rot with a toolchain bump.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn fnv1a_u64s(vals: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in vals {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/layout_goldens.txt")
+}
+
+/// Simulates the full cross product and renders one line per run.
+fn capture() -> String {
+    let mut out = String::from(
+        "# Engine-layout goldens: one line per (kernel, variant, attack, skip) run.\n\
+         # workload variant attack skip cycles commits pc_hash metrics_hash\n\
+         # Regenerate (from a trusted engine only):\n\
+         #   SDO_BLESS=1 cargo test -p sdo-harness --test layout_goldens\n",
+    );
+    for skip in [false, true] {
+        let cfg = SimConfig::table_i().with_obs(ObsConfig::occupancy()).with_fast_forward(skip);
+        let sim = Simulator::new(cfg);
+        for attack in AttackModel::ALL {
+            for w in &mini_suite() {
+                for variant in VARIANTS {
+                    let (r, pcs) = sim
+                        .run_workload_recorded(w, variant, attack)
+                        .expect("mini kernel completes");
+                    out.push_str(&format!(
+                        "{} {} {} {} cycles={} commits={} pc_hash={:016x} metrics_hash={:016x}\n",
+                        w.name(),
+                        variant.slug(),
+                        attack,
+                        if skip { "skip" } else { "step" },
+                        r.cycles,
+                        pcs.len(),
+                        fnv1a_u64s(&pcs),
+                        fnv1a(r.metrics().to_json().as_bytes()),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn engine_layout_matches_blessed_goldens() {
+    let got = capture();
+    if std::env::var_os("SDO_BLESS").is_some() {
+        std::fs::write(golden_path(), &got).expect("write goldens");
+        return;
+    }
+    assert!(
+        !GOLDEN.trim().is_empty(),
+        "no goldens blessed yet — run with SDO_BLESS=1 from a trusted engine"
+    );
+    if got != GOLDEN {
+        // Diff line-by-line so a failure names the exact divergent runs
+        // instead of dumping 320 lines.
+        let mut diffs = Vec::new();
+        for (g, b) in got.lines().zip(GOLDEN.lines()) {
+            if g != b {
+                diffs.push(format!("  golden: {b}\n  got:    {g}"));
+            }
+        }
+        if got.lines().count() != GOLDEN.lines().count() {
+            diffs.push(format!(
+                "  line counts differ: golden {} vs got {}",
+                GOLDEN.lines().count(),
+                got.lines().count()
+            ));
+        }
+        panic!(
+            "engine behaviour diverged from blessed layout goldens in {} run(s):\n{}",
+            diffs.len(),
+            diffs.join("\n")
+        );
+    }
+}

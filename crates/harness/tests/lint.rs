@@ -1,7 +1,7 @@
 //! In-tree repo lint: mechanical source checks the compiler does not
 //! enforce, run as a tier-1 test (and in CI next to clippy).
 //!
-//! Two rules, both budgeted by `lint_allowlist.txt`:
+//! Three rules, all budgeted by `lint_allowlist.txt`:
 //!
 //! * **no-unwrap** — `.unwrap()` / `.expect(` outside `#[cfg(test)]`
 //!   in the hot-path modules (`uarch::core`, `mem::cache`,
@@ -11,6 +11,12 @@
 //!   [`sdo_isa`]'s `OpClass` / `Instruction` in security-relevant
 //!   files: a new instruction class silently falling into a wildcard
 //!   arm is exactly how a transmitter escapes taint tracking.
+//! * **no-percycle-alloc** — no heap-allocating constructs
+//!   (`Vec::new` / `vec![` / `.clone()` / `.collect()` / `Box::new` /
+//!   `to_vec()`) in the per-cycle engine files outside the named
+//!   cold-path functions ([`COLD_FNS`]): the data-oriented engine's
+//!   stages run allocation-free once warm, and a stray `collect()` in
+//!   a stage sweep is exactly the regression this guards against.
 //!
 //! The allowlist pins the *current* count per (file, rule). The check
 //! is a ratchet in both directions: exceeding the budget fails (fix
@@ -32,6 +38,31 @@ const EXHAUSTIVE_MATCH: &[&str] = &[
     "crates/verify/src/oracle.rs",
     "crates/obs/src/trace.rs",
 ];
+
+/// Per-cycle engine files where heap allocation is forbidden outside
+/// the cold-path functions below.
+const NO_PERCYCLE_ALLOC: &[&str] = &[
+    "crates/uarch/src/core.rs",
+    "crates/uarch/src/rob.rs",
+    "crates/uarch/src/sched.rs",
+];
+
+/// Functions exempt from `no-percycle-alloc`: construction/configuration
+/// (run once per core) and diagnostics (never on the cycle loop).
+const COLD_FNS: &[&str] = &[
+    "new",
+    "empty",
+    "identity",
+    "build_predictor",
+    "record_commits",
+    "enable_trace",
+    "enable_obs",
+    "debug_head",
+];
+
+/// Allocation patterns the per-cycle rule looks for.
+const ALLOC_PATTERNS: &[&str] =
+    &["Vec::new", "vec![", ".clone()", ".collect()", "Box::new", "to_vec()"];
 
 const ALLOWLIST: &str = include_str!("lint_allowlist.txt");
 
@@ -111,6 +142,75 @@ fn wildcard_arm_lines(text: &str) -> Vec<usize> {
     out
 }
 
+/// Allocation-pattern hits outside [`COLD_FNS`], as `(line, detail)`.
+/// Lines are attributed to the most recent `fn` item header; rustfmt
+/// layout keeps this exact for the engine files.
+fn percycle_alloc_hits(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut current_fn: Option<String> = None;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let t = line.trim_start();
+        if t.starts_with("//") {
+            continue;
+        }
+        if let Some(pos) = t.find("fn ") {
+            // Function item headers only: `fn` first on the line or
+            // preceded by visibility — not `-> fn(...)` pointer types.
+            let head = t[..pos].trim_end();
+            if head.is_empty() || head == "pub" || head.starts_with("pub(") {
+                let name: String = t[pos + 3..]
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() {
+                    current_fn = Some(name);
+                }
+            }
+        }
+        if current_fn.as_deref().is_some_and(|f| COLD_FNS.contains(&f)) {
+            continue;
+        }
+        for p in ALLOC_PATTERNS {
+            if line.contains(p) {
+                let f = current_fn.as_deref().unwrap_or("<module scope>");
+                out.push((i + 1, format!("`{p}` in {f} (line {})", i + 1)));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn percycle_engine_files_do_not_allocate_beyond_budget() {
+    let root = workspace_root();
+    let mut failures = Vec::new();
+    for path in NO_PERCYCLE_ALLOC {
+        let text = std::fs::read_to_string(root.join(path)).expect(path);
+        let hits = percycle_alloc_hits(&text);
+        let allowed = budget(path, "no-percycle-alloc");
+        if hits.len() > allowed {
+            let details: Vec<&str> = hits.iter().map(|(_, d)| d.as_str()).collect();
+            failures.push(format!(
+                "{path}: heap allocation on the cycle path ({} > budget {allowed}): {} — \
+                 reuse a scratch buffer (see Core::scratch_slots / event_buf), or move \
+                 the work into a cold-path fn listed in COLD_FNS",
+                hits.len(),
+                details.join(", ")
+            ));
+        } else if hits.len() < allowed {
+            failures.push(format!(
+                "{path}: only {} allocation sites but budget is {allowed} — lower the \
+                 budget in lint_allowlist.txt so the improvement sticks",
+                hits.len()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
 #[test]
 fn hot_path_modules_do_not_unwrap_beyond_budget() {
     let root = workspace_root();
@@ -180,6 +280,9 @@ fn allowlist_entries_reference_linted_files() {
             "exhaustive-match" => {
                 assert!(EXHAUSTIVE_MATCH.contains(&path), "stale entry: {line}");
             }
+            "no-percycle-alloc" => {
+                assert!(NO_PERCYCLE_ALLOC.contains(&path), "stale entry: {line}");
+            }
             other => panic!("unknown rule '{other}' in allowlist line: {line}"),
         }
         assert!(workspace_root().join(path).exists(), "allowlisted file missing: {path}");
@@ -224,6 +327,33 @@ fn f(i: &Instruction) {
         // The inner MemWidth wildcard is fine; the outer Instruction
         // wildcard is flagged.
         assert_eq!(wildcard_arm_lines(nested), vec![7]);
+    }
+
+    #[test]
+    fn alloc_detector_exempts_cold_fns_and_flags_stages() {
+        let text = "\
+impl Core {
+    pub fn new() -> Self {
+        let v = Vec::new(); // cold: allowed
+        Self { v }
+    }
+
+    fn issue_stage(&mut self) {
+        let snapshot = self.iq.clone();
+        let seqs: Vec<u64> = snapshot.iter().collect();
+    }
+}
+";
+        let hits = percycle_alloc_hits(text);
+        let lines: Vec<usize> = hits.iter().map(|&(l, _)| l).collect();
+        assert_eq!(lines, vec![8, 9]);
+        // `fn` pointer types must not reset the current function.
+        let ptr = "\
+fn hot(&self) -> fn(&mut B) -> &mut u32 {
+    let x = y.clone();
+}
+";
+        assert_eq!(percycle_alloc_hits(ptr).len(), 1);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Sparse backing store: the architectural contents of memory.
 
 use crate::config::Addr;
+use crate::hash::AddrMap;
 use sdo_isa::DataImage;
-use std::collections::HashMap;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
@@ -25,7 +25,7 @@ const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct BackingStore {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    pages: AddrMap<u64, Box<[u8; PAGE_BYTES]>>,
 }
 
 impl BackingStore {

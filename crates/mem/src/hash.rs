@@ -1,0 +1,61 @@
+//! Multiply-xor hashing for address-keyed maps.
+//!
+//! The directory and the backing store do at least one map lookup per
+//! simulated memory access, and the keys are single `u64` line/page
+//! numbers — SipHash's per-call setup dominates the probe itself there.
+//! This is the standard Fx multiply-xor mix: one wrapping multiply per
+//! word, plenty for non-adversarial address keys.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// One-shot multiply-xor hasher for integer keys.
+#[derive(Debug, Default)]
+pub struct AddrHasher(u64);
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for AddrHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(SEED);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.0 = (self.0 ^ i).wrapping_mul(SEED);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// A `HashMap` using [`AddrHasher`] — for hot, address-keyed tables.
+pub type AddrMap<K, V> = HashMap<K, V, BuildHasherDefault<AddrHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_map_behaves_like_a_map() {
+        let mut m: AddrMap<u64, u32> = AddrMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 64, i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(999 * 64)), Some(&999));
+        assert_eq!(m.get(&1), None);
+        m.remove(&0);
+        assert_eq!(m.get(&0), None);
+    }
+}

@@ -51,6 +51,7 @@
 #![warn(missing_debug_implementations)]
 
 mod backing;
+mod hash;
 mod cache;
 mod config;
 mod dram;

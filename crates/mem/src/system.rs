@@ -11,7 +11,6 @@ use crate::mshr::MshrFile;
 use crate::stats::MemStats;
 use crate::tlb::Tlb;
 use sdo_isa::DataImage;
-use std::collections::HashMap;
 
 /// Which structure ultimately served an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -222,7 +221,7 @@ pub struct MemorySystem {
     l2_mshr: Vec<MshrFile>,
     l3: Vec<CacheArray>,
     l3_mshr: Vec<MshrFile>,
-    dir: HashMap<Addr, DirEntry>,
+    dir: crate::hash::AddrMap<Addr, DirEntry>,
     tlb: Vec<Tlb>,
     dram: Dram,
     mesh: Mesh,
@@ -262,7 +261,7 @@ impl MemorySystem {
             l2_mshr: (0..n_cores).map(|_| MshrFile::new(cfg.l2.mshrs)).collect(),
             l3: (0..tiles).map(|_| CacheArray::new(&slice_params, cfg.bank_occupancy)).collect(),
             l3_mshr: (0..tiles).map(|_| MshrFile::new(cfg.l3.mshrs)).collect(),
-            dir: HashMap::new(),
+            dir: crate::hash::AddrMap::default(),
             tlb: (0..n_cores).map(|_| Tlb::new(&cfg.tlb)).collect(),
             dram: Dram::new(&cfg.dram),
             mesh,

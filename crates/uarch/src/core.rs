@@ -16,10 +16,26 @@
 //!   by the [`sdo_core::oblld::OblLdFsm`]; tainted FP transmit ops execute
 //!   the predict-normal DO variant and squash at untaint on subnormal
 //!   inputs; DRAM predictions revert to STT delay.
+//!
+//! ## Data-oriented engine layout
+//!
+//! The pipeline state is structure-of-arrays (DESIGN.md §12): the ROB is
+//! a circular [`crate::rob::RobSlab`] addressed by `(slot, seq)`
+//! generational handles, with the per-cycle boolean state (`done`,
+//! unresolved-control, load-unperformed, pending-squash, fp-failed, the
+//! resolve-candidate masks) hoisted into packed [`crate::rob::BitSet`]
+//! bitwords. STT visibility is the slab's safe-prefix frontier, making
+//! taint checks a sequence-number compare. Writeback events run through
+//! a calendar-wheel scheduler ([`crate::sched::EventWheel`]), and issue
+//! readiness is event-driven via per-register wakeup lists — each stage
+//! consults an O(words) dirty mask and skips when nothing it owns
+//! changed, instead of sweeping the full ROB.
 
 use crate::branch::{Btb, Ras, TournamentPredictor};
 use crate::config::{AttackModel, CoreConfig, PredictorKind, Protection, SecurityConfig};
-use crate::regfile::{PhysReg, RatSnapshot, RegClass, RegFile};
+use crate::regfile::{PhysReg, RegClass, RegFile};
+use crate::rob::{BitSet, RobSlab, SlotList};
+use crate::sched::{Event, EventWheel};
 use crate::stats::CoreStats;
 use crate::trace::PipelineTrace;
 use sdo_core::oblld::{OblAction, OblEvent, OblLdFsm};
@@ -31,9 +47,11 @@ use sdo_core::{fp_do_execute, DoResult};
 use sdo_isa::{FpuOp, Instruction, OpClass, Program, Reg};
 use sdo_obs::{EventKind as ObsEvent, MemOp, ObsConfig, PipelineObs, QueueCaps, SquashCause};
 use sdo_mem::{line_of, CacheLevel, Cycle, MemorySystem, OblReject, ServedBy};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
+/// Base of the instruction-text address space: instruction index `pc`
+/// occupies bytes `[ITEXT_BASE + pc * 8, ITEXT_BASE + pc * 8 + 8)`.
+/// Keeping text far above any data address lets instructions share the
 /// Base of the instruction-text address space: instruction index `pc`
 /// occupies bytes `[ITEXT_BASE + pc * 8, ITEXT_BASE + pc * 8 + 8)`.
 /// Keeping text far above any data address lets instructions share the
@@ -78,15 +96,16 @@ struct Fetched {
     ready_at: Cycle,
 }
 
+/// Cold per-entry ROB payload, stored in the slab's `body` array. The
+/// hot boolean state lives in the core's per-slot [`BitSet`]s instead
+/// (`done_bits`, `ctrl_unresolved`, `load_unperformed`, `pending_squash`,
+/// `fp_failed`, `resolve_ready`, `obl_unsafe`), and the STT `safe` flag
+/// is the slab's safe-prefix frontier.
 #[derive(Debug)]
 struct DynInst {
-    seq: u64,
     pc: u64,
     inst: Instruction,
     status: Status,
-    done: bool,
-    safe: bool,
-    rat_snap: RatSnapshot,
     pdst: Option<PhysReg>,
     old_pdst: Option<PhysReg>,
     psrcs: [Option<PhysReg>; 4],
@@ -94,7 +113,6 @@ struct DynInst {
     pred_taken: bool,
     pred_target: u64,
     outcome: Option<(bool, u64)>, // (taken, next pc)
-    resolution_applied: bool,
     // Memory.
     addr: Option<u64>,
     store_data: Option<u64>,
@@ -106,13 +124,32 @@ struct DynInst {
     obl_safe_sent: bool,
     obl_first_hit_at: Option<Cycle>,
     sq_forwarded: bool,
-    pending_squash: bool,
-    fp_failed: bool,
 }
 
 impl DynInst {
-    fn is_blocker_ctrl(&self) -> bool {
-        (self.inst.is_cond_branch() || self.inst.is_indirect()) && !self.resolution_applied
+    /// Inert placeholder filling unoccupied slab slots; every field is
+    /// overwritten when the slot is dispatched into.
+    fn empty() -> Self {
+        DynInst {
+            pc: 0,
+            inst: Instruction::Nop,
+            status: Status::Done,
+            pdst: None,
+            old_pdst: None,
+            psrcs: [None; 4],
+            pred_taken: false,
+            pred_target: 0,
+            outcome: None,
+            addr: None,
+            store_data: None,
+            width_bytes: 8,
+            delayed_since: None,
+            delay_counted: false,
+            obl: None,
+            obl_safe_sent: false,
+            obl_first_hit_at: None,
+            sq_forwarded: false,
+        }
     }
 }
 
@@ -126,26 +163,6 @@ enum EvKind {
     OblResp { level: CacheLevel, hit: bool, value: Option<u64> },
     /// Validation access completion.
     ValidationDone { value: u64, matches: bool, level: CacheLevel },
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Event {
-    at: Cycle,
-    order: u64,
-    seq: u64,
-    kind: EvKind,
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.order).cmp(&(other.at, other.order))
-    }
-}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -196,12 +213,52 @@ pub struct Core {
     fetch_pc: u64,
     fetch_halted: bool,
     fetch_q: VecDeque<Fetched>,
-    rob: VecDeque<DynInst>,
-    iq: Vec<u64>,
-    lq: Vec<u64>,
-    sq: Vec<u64>,
+    /// The structure-of-arrays reorder buffer (cold payload + seq array).
+    rob: RobSlab<DynInst>,
+    /// Hot per-slot pipeline state, one bit per ROB slot. `done_bits`
+    /// mirrors the retired-result flag; `ctrl_unresolved` marks control
+    /// instructions whose resolution has not applied (the visibility
+    /// blocker); `load_unperformed` marks loads whose value has not been
+    /// received/forwarded (Futuristic-model blocker); `pending_squash` /
+    /// `fp_failed` are the deferred-action latches. `resolve_ready` and
+    /// `obl_unsafe` are the resolve stage's candidate masks — its
+    /// dirty-set: a zero mask skips the sweep outright.
+    done_bits: BitSet,
+    ctrl_unresolved: BitSet,
+    load_unperformed: BitSet,
+    pending_squash: BitSet,
+    fp_failed: BitSet,
+    resolve_ready: BitSet,
+    obl_unsafe: BitSet,
+    /// Issue/load/store queues as `(slot, seq)` handle lists, purged on
+    /// squash so they only ever hold live entries.
+    iq: SlotList,
+    /// STT-delayed transmitters pulled out of the ready set until the
+    /// visibility frontier passes their taint source: `(slot, seq,
+    /// taint_seq)`. Re-attempting them every cycle would issue nothing
+    /// and touch no architectural or statistical state, so the issue
+    /// stage sweeps them back in only when the frontier moves.
+    parked: Vec<(u32, u64, u64)>,
+    /// Frontier value at the last parked sweep.
+    parked_frontier: u64,
+    lq: Vec<(u32, u64)>,
+    sq: Vec<(u32, u64)>,
+    /// Event-driven issue readiness: `iq_unready[slot]` counts the
+    /// entry's not-yet-produced sources (registered as waiters on their
+    /// registers at dispatch); `iq_ready` + `iq_ready_count` cache the
+    /// zero-count set. `iq_ready_count == 0` is the issue stage's exact
+    /// skip gate.
+    iq_ready: BitSet,
+    iq_unready: Vec<u8>,
+    iq_ready_count: usize,
     regs: RegFile,
-    events: BinaryHeap<Reverse<Event>>,
+    /// Calendar-wheel writeback scheduler (O(1) schedule/drain on the
+    /// common path; see [`crate::sched`]).
+    events: EventWheel<EvKind>,
+    /// Reusable drain buffer for event delivery.
+    event_buf: Vec<Event<EvKind>>,
+    /// Reusable buffer for register-wakeup processing.
+    wake_buf: Vec<(u32, u64)>,
     bp: TournamentPredictor,
     btb: Btb,
     ras: Ras,
@@ -222,10 +279,10 @@ pub struct Core {
     /// is precisely the FP covert channel of Section I-A.
     muldiv_busy: Vec<Cycle>,
     fp_busy: Vec<Cycle>,
-    /// Reusable candidate-sequence buffer for the resolve stage, so the
-    /// per-cycle ROB sweeps never allocate once it reaches steady-state
-    /// capacity.
-    scratch_seqs: Vec<u64>,
+    /// Reusable candidate buffer for the resolve stage's mask snapshots,
+    /// so the per-cycle sweeps never allocate once it reaches
+    /// steady-state capacity.
+    scratch_slots: Vec<(u32, u64)>,
     /// Quiescence fast-forward: when a tick changes nothing, jump the
     /// clock to the event horizon instead of stepping stalled cycles one
     /// at a time. Cycle-exact (see DESIGN.md); off by default, opted in
@@ -268,6 +325,7 @@ impl Core {
             // Unused, but keeps the field total.
             _ => PredictorKind::Static(CacheLevel::L1),
         };
+        let cap = cfg.rob_entries;
         Core {
             id,
             cfg,
@@ -279,12 +337,26 @@ impl Core {
             fetch_pc: 0,
             fetch_halted: false,
             fetch_q: VecDeque::new(),
-            rob: VecDeque::new(),
-            iq: Vec::new(),
+            rob: RobSlab::new(cap, DynInst::empty),
+            done_bits: BitSet::new(cap),
+            ctrl_unresolved: BitSet::new(cap),
+            load_unperformed: BitSet::new(cap),
+            pending_squash: BitSet::new(cap),
+            fp_failed: BitSet::new(cap),
+            resolve_ready: BitSet::new(cap),
+            obl_unsafe: BitSet::new(cap),
+            iq: SlotList::new(cap),
+            parked: Vec::new(),
+            parked_frontier: u64::MAX,
             lq: Vec::new(),
             sq: Vec::new(),
+            iq_ready: BitSet::new(cap),
+            iq_unready: vec![0; cap],
+            iq_ready_count: 0,
             regs: RegFile::new(cfg.phys_int_regs, cfg.phys_fp_regs),
-            events: BinaryHeap::new(),
+            events: EventWheel::new(),
+            event_buf: Vec::new(),
+            wake_buf: Vec::new(),
             bp: TournamentPredictor::new(),
             btb: Btb::new(cfg.btb_entries),
             ras: Ras::new(cfg.ras_entries),
@@ -298,7 +370,7 @@ impl Core {
             last_fetch_line: None,
             muldiv_busy: vec![0; cfg.fus.int_muldiv as usize],
             fp_busy: vec![0; cfg.fus.fp as usize],
-            scratch_seqs: Vec::new(),
+            scratch_slots: Vec::new(),
             fast_forward: false,
             skip_cap: 0,
             skipped_cycles: 0,
@@ -418,15 +490,20 @@ impl Core {
         let mut out = String::new();
         let _ = writeln!(out, "cycle {} rob {} iq {} lq {} sq {} fetch_q {} events {} next_ev {:?}",
             self.now, self.rob.len(), self.iq.len(), self.lq.len(), self.sq.len(), self.fetch_q.len(),
-            self.events.len(), self.events.peek().map(|e| (e.0.at, e.0.seq, e.0.kind)));
-        for e in self.rob.iter().take(n) {
+            self.events.len(), self.events.peek_earliest(self.now).map(|e| (e.at, e.seq, e.kind)));
+        for slot in self.rob.slots().take(n) {
+            let e = self.rob.body(slot);
+            let seq = self.rob.seq_of(slot);
             let _ = writeln!(
                 out,
-                "  seq {} pc {} {:?} st {:?} done {} safe {} res_applied {} obl {:?} fsm_done {:?} safe_sent {} pend_sq {}",
-                e.seq, e.pc, e.inst.class(), e.status, e.done, e.safe, e.resolution_applied,
+                "  seq {} pc {} {:?} st {:?} done {} safe {} iq {} res_applied {} obl {:?} fsm_done {:?} safe_sent {} pend_sq {}",
+                seq, e.pc, e.inst.class(), e.status, self.done_bits.get(slot),
+                self.iq.contains(slot),
+                seq < self.rob.first_unsafe_seq(),
+                !self.ctrl_unresolved.get(slot),
                 e.obl.as_ref().map(|f| f.predicted()),
                 e.obl.as_ref().map(|f| f.is_done()),
-                e.obl_safe_sent, e.pending_squash,
+                e.obl_safe_sent, self.pending_squash.get(slot),
             );
             let _ = writeln!(
                 out,
@@ -525,6 +602,8 @@ impl Core {
     /// counters this tick accrued, which repeat identically while
     /// nothing changes — are applied in bulk. See DESIGN.md
     /// ("Quiescence fast-forward") for the cycle-exactness argument.
+    /// The scheduler's contribution comes from the calendar wheel's
+    /// occupancy bitmap ([`EventWheel::next_at`]).
     fn quiesce_skip(&mut self, mem: &mut MemorySystem, stall0: u64, retry0: u64, reject0: u64) {
         let now = self.now;
         let mut horizon: Option<Cycle> = None;
@@ -534,8 +613,8 @@ impl Core {
                     horizon = Some(horizon.map_or(at, |h| h.min(at)));
                 }
             };
-            if let Some(Reverse(ev)) = self.events.peek() {
-                consider(ev.at);
+            if let Some(at) = self.events.next_at(now) {
+                consider(at);
             }
             if !self.fetch_halted {
                 consider(self.fetch_stall_until);
@@ -586,49 +665,137 @@ impl Core {
     }
 
     // ------------------------------------------------------------------
-    // ROB helpers
+    // Slot helpers
     // ------------------------------------------------------------------
 
-    fn rob_index(&self, seq: u64) -> Option<usize> {
-        // The ROB is seq-sorted but not contiguous: squashes leave gaps in
-        // the sequence-number space (seqs are never reused).
-        self.rob.binary_search_by_key(&seq, |e| e.seq).ok()
-    }
-
-    fn ent(&self, seq: u64) -> Option<&DynInst> {
-        self.rob_index(seq).map(|i| &self.rob[i])
-    }
-
-    fn ent_mut(&mut self, seq: u64) -> Option<&mut DynInst> {
-        self.rob_index(seq).map(move |i| &mut self.rob[i])
-    }
-
-    /// Whether a YRoT still denotes tainted data: true iff the rooted load
-    /// is in flight and has not reached its visibility point.
+    /// Whether a YRoT still denotes tainted data: true iff the rooted
+    /// load has not reached its visibility point. Because visibility is
+    /// a window prefix, this is a compare against the frontier seq — no
+    /// ROB access. (A committed root's seq is below every live seq; a
+    /// squashed root can only be referenced by consumers squashed with
+    /// it, so live queries never see one.)
     fn taint_active(&self, yrot: Option<u64>) -> bool {
-        match yrot {
-            None => false,
-            Some(seq) => self.ent(seq).is_some_and(|e| !e.safe),
-        }
+        yrot.is_some_and(|seq| seq >= self.rob.first_unsafe_seq())
     }
 
-    fn srcs_tainted(&self, seq: u64) -> bool {
-        let e = self.ent(seq).expect("live instruction");
-        e.psrcs
+    fn srcs_tainted(&self, slot: u32) -> bool {
+        self.rob
+            .body(slot)
+            .psrcs
             .iter()
             .flatten()
             .any(|p| self.taint_active(self.regs.yrot(*p)))
     }
 
-    fn addr_operand_tainted(&self, seq: u64) -> bool {
+    fn addr_operand_tainted(&self, slot: u32) -> bool {
         // For loads the address operand is the (single) integer source.
-        self.srcs_tainted(seq)
+        self.srcs_tainted(slot)
     }
 
-    fn schedule(&mut self, at: Cycle, seq: u64, kind: EvKind) {
+    /// Max YRoT over the entry's sources — the sequence number whose
+    /// untainting unblocks an STT-delayed transmitter. `None` means no
+    /// source ever carried taint.
+    fn src_taint_seq(&self, slot: u32) -> Option<u64> {
+        self.rob.body(slot).psrcs.iter().flatten().filter_map(|p| self.regs.yrot(*p)).max()
+    }
+
+    /// Parks an STT-delayed transmitter: out of the ready set until the
+    /// frontier passes its taint source. Exact because the delay arms
+    /// tick no per-attempt counters after the first attempt (which has
+    /// already happened when this is called) and consult nothing that
+    /// can change while the source stays tainted.
+    fn park(&mut self, slot: u32, seq: u64) {
+        let Some(t) = self.src_taint_seq(slot) else {
+            // Callers only park entries they just judged tainted; leaving
+            // an untainted one in the ready set merely re-attempts it.
+            debug_assert!(false, "parked entries have a tainted source");
+            return;
+        };
+        debug_assert!(t >= self.rob.first_unsafe_seq(), "parked entry must be tainted");
+        debug_assert!(self.iq_ready.get(slot));
+        self.iq_ready.clear(slot);
+        self.iq_ready_count -= 1;
+        self.parked.push((slot, seq, t));
+    }
+
+    /// Returns parked transmitters whose taint source has become visible
+    /// to the ready set. Runs only when the frontier moved; entries
+    /// squashed while parked fail the handle check and drop out.
+    fn unpark_visible(&mut self) {
+        let frontier = self.rob.first_unsafe_seq();
+        if frontier == self.parked_frontier {
+            return;
+        }
+        self.parked_frontier = frontier;
+        if self.parked.is_empty() {
+            return;
+        }
+        let mut parked = std::mem::take(&mut self.parked);
+        parked.retain(|&(slot, seq, t)| {
+            if !self.rob.is_live(slot, seq) {
+                return false;
+            }
+            if t < frontier {
+                debug_assert!(!self.iq_ready.get(slot));
+                self.iq_ready.set(slot);
+                self.iq_ready_count += 1;
+                return false;
+            }
+            true
+        });
+        self.parked = parked;
+    }
+
+    /// Resets every per-slot bit for an entry leaving the window, so a
+    /// stale bit can never pollute a sweep mask after the slot is
+    /// reused (or worse, while it is dead).
+    fn clear_slot_state(&mut self, slot: u32) {
+        self.done_bits.clear(slot);
+        self.ctrl_unresolved.clear(slot);
+        self.load_unperformed.clear(slot);
+        self.pending_squash.clear(slot);
+        self.fp_failed.clear(slot);
+        self.resolve_ready.clear(slot);
+        self.obl_unsafe.clear(slot);
+        if self.iq_ready.get(slot) {
+            self.iq_ready.clear(slot);
+            self.iq_ready_count -= 1;
+        }
+        self.iq_unready[slot as usize] = 0;
+        if self.iq.contains(slot) {
+            self.iq.remove(slot);
+        }
+    }
+
+    /// Writeback: produce `p`'s value and wake issue-queue entries
+    /// blocked on it (decrementing their unready counts; a count hitting
+    /// zero marks the entry issue-ready). Stale waiter registrations —
+    /// from squashed consumers — fail the handle check and are dropped.
+    fn write_reg(&mut self, p: PhysReg, v: u64) {
+        self.regs.write(p, v);
+        let mut buf = std::mem::take(&mut self.wake_buf);
+        self.regs.drain_waiters_into(p, &mut buf);
+        for &(slot, seq) in &buf {
+            if self.rob.is_live(slot, seq) && self.iq_unready[slot as usize] > 0 {
+                self.iq_unready[slot as usize] -= 1;
+                if self.iq_unready[slot as usize] == 0 {
+                    self.iq_ready.set(slot);
+                    self.iq_ready_count += 1;
+                }
+            }
+        }
+        buf.clear();
+        self.wake_buf = buf;
+    }
+
+    fn schedule(&mut self, at: Cycle, slot: u32, kind: EvKind) {
         self.next_event_order += 1;
         let order = self.next_event_order;
-        self.events.push(Reverse(Event { at: at.max(self.now + 1), order, seq, kind }));
+        let seq = self.rob.seq_of(slot);
+        self.events.push(
+            self.now,
+            Event { at: at.max(self.now + 1), order, slot, seq, kind },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -636,49 +803,54 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn deliver_events(&mut self, mem: &mut MemorySystem) {
-        while let Some(Reverse(ev)) = self.events.peek().copied() {
-            if ev.at > self.now {
-                break;
-            }
-            self.events.pop();
+        let mut due = std::mem::take(&mut self.event_buf);
+        self.events.drain_due(self.now, &mut due);
+        for ev in due.drain(..) {
             // Even a stale (squashed) delivery counts as progress: it
-            // changes the heap, and the horizon may have pointed here.
+            // changes the scheduler, and the horizon may have pointed
+            // here.
             self.progressed = true;
-            if self.ent(ev.seq).is_none() {
+            if !self.rob.is_live(ev.slot, ev.seq) {
                 continue; // squashed
             }
             match ev.kind {
-                EvKind::Exec { value } => self.on_exec_done(ev.seq, value),
-                EvKind::LoadDone { value } => self.on_load_done(ev.seq, value),
+                EvKind::Exec { value } => self.on_exec_done(ev.slot, value),
+                EvKind::LoadDone { value } => self.on_load_done(ev.slot, value),
                 EvKind::OblResp { level, hit, value } => {
                     if self.obs.is_some() {
-                        let pc = self.ent(ev.seq).expect("live").pc;
+                        let pc = self.rob.body(ev.slot).pc;
                         if let Some(o) = self.obs.as_deref_mut() {
                             o.emit(self.now, ev.seq, pc, ObsEvent::OblTouch { level: level.depth() });
                         }
                     }
-                    self.on_fsm_event(mem, ev.seq, OblEvent::Response { level, hit, value });
+                    self.on_fsm_event(mem, ev.slot, OblEvent::Response { level, hit, value });
                 }
                 EvKind::ValidationDone { value, matches, level } => {
-                    self.on_fsm_event(mem, ev.seq, OblEvent::ValidationDone { value, matches, level });
+                    self.on_fsm_event(mem, ev.slot, OblEvent::ValidationDone { value, matches, level });
                 }
             }
         }
+        self.event_buf = due;
     }
 
-    fn on_exec_done(&mut self, seq: u64, value: Option<u64>) {
-        let e = self.ent_mut(seq).expect("live");
-        if let (Some(v), Some(p)) = (value, e.pdst) {
-            self.regs.write(p, v);
+    fn on_exec_done(&mut self, slot: u32, value: Option<u64>) {
+        if let (Some(v), Some(p)) = (value, self.rob.body(slot).pdst) {
+            self.write_reg(p, v);
         }
-        let e = self.ent_mut(seq).expect("live");
-        e.status = Status::Done;
-        // Control instructions whose resolution is still pending (squash +
-        // predictor update may be deferred by STT until the predicate
-        // untaints) become `done` only when the resolution applies.
-        e.done = e.resolution_applied;
+        self.rob.body_mut(slot).status = Status::Done;
+        if self.ctrl_unresolved.get(slot) {
+            // Control instructions whose resolution is still pending
+            // (squash + predictor update may be deferred by STT until the
+            // predicate untaints) become `done` only when the resolution
+            // applies — but they are resolve candidates from here on.
+            if self.rob.body(slot).outcome.is_some() {
+                self.resolve_ready.set(slot);
+            }
+        } else {
+            self.done_bits.set(slot);
+        }
         if let Some(t) = self.trace.as_mut() {
-            t.complete(seq, self.now);
+            t.complete(self.rob.seq_of(slot), self.now);
         }
     }
 
@@ -689,17 +861,17 @@ impl Core {
         }
     }
 
-    fn on_load_done(&mut self, seq: u64, value: u64) {
-        let e = self.ent_mut(seq).expect("live");
+    fn on_load_done(&mut self, slot: u32, value: u64) {
+        let e = self.rob.body(slot);
         let v = Self::load_value_for_width(value, e.width_bytes);
         if let Some(p) = e.pdst {
-            self.regs.write(p, v);
+            self.write_reg(p, v);
         }
-        let e = self.ent_mut(seq).expect("live");
-        e.status = Status::Done;
-        e.done = true;
+        self.rob.body_mut(slot).status = Status::Done;
+        self.done_bits.set(slot);
+        self.load_unperformed.clear(slot);
         if let Some(t) = self.trace.as_mut() {
-            t.complete(seq, self.now);
+            t.complete(self.rob.seq_of(slot), self.now);
         }
     }
 
@@ -707,9 +879,9 @@ impl Core {
     // Obl-Ld FSM action plumbing
     // ------------------------------------------------------------------
 
-    fn on_fsm_event(&mut self, mem: &mut MemorySystem, seq: u64, event: OblEvent) {
+    fn on_fsm_event(&mut self, mem: &mut MemorySystem, slot: u32, event: OblEvent) {
         let now = self.now;
-        let Some(e) = self.ent_mut(seq) else { return };
+        let e = self.rob.body_mut(slot);
         // Track imprecision: remember when the first success arrived.
         if let OblEvent::Response { hit: true, .. } = event {
             if e.obl_first_hit_at.is_none() {
@@ -719,31 +891,38 @@ impl Core {
         let Some(fsm) = e.obl.as_mut() else { return };
         let actions = fsm.on_event(event);
         let from_validation = matches!(event, OblEvent::ValidationDone { .. });
-        self.apply_obl_actions(mem, seq, &actions, from_validation);
+        self.apply_obl_actions(mem, slot, &actions, from_validation);
     }
 
     fn apply_obl_actions(
         &mut self,
         mem: &mut MemorySystem,
-        seq: u64,
+        slot: u32,
         actions: &[OblAction],
         from_validation: bool,
     ) {
+        // The target entry survives every action below (an Obl squash
+        // only kills *younger* instructions), so `slot` stays live.
+        let seq = self.rob.seq_of(slot);
         for action in actions {
             match *action {
                 OblAction::Forward { value } => {
-                    let e = self.ent_mut(seq).expect("live");
+                    let e = self.rob.body(slot);
                     // Store-queue forwarding overrides the memory value
                     // (Section V-C3): the Obl-Ld executed for timing, the
                     // data comes from the SQ. (Handled before FSM creation
                     // in this implementation; kept for defense in depth.)
                     let v = Self::load_value_for_width(value, e.width_bytes);
                     if let Some(p) = e.pdst {
-                        self.regs.write(p, v);
+                        self.write_reg(p, v);
                     }
+                    // The load's value is now performed: it no longer
+                    // blocks Futuristic visibility (and stays performed
+                    // even if a validation later squashes-and-reissues).
+                    self.load_unperformed.clear(slot);
                     // Imprecision accounting: cycles between the first
                     // success response and this forward.
-                    let e = self.ent(seq).expect("live");
+                    let e = self.rob.body(slot);
                     if !from_validation {
                         if let Some(first) = e.obl_first_hit_at {
                             self.stats.obl.imprecision_cycles += self.now.saturating_sub(first);
@@ -758,7 +937,7 @@ impl Core {
                         self.stats.squashes.obl_fail += 1;
                         SquashCause::OblFail
                     };
-                    let e = self.ent(seq).expect("live");
+                    let e = self.rob.body(slot);
                     let pc = e.pc;
                     let redirect = e.pc + 1;
                     if let Some(p) = e.pdst {
@@ -772,14 +951,14 @@ impl Core {
                     self.fetch_pc = redirect;
                 }
                 OblAction::IssueValidation => {
-                    let e = self.ent(seq).expect("live");
+                    let e = self.rob.body(slot);
                     let pc = e.pc;
                     let addr = e.addr.expect("issued load has an address");
                     let expected = e.obl.as_ref().and_then(OblLdFsm::forwarded_value).unwrap_or(0);
                     self.stats.obl.validations += 1;
                     let (res, matches) = mem.validate(self.id, addr, expected, self.now);
                     if self.obs.is_some() {
-                        let tainted = self.addr_operand_tainted(seq);
+                        let tainted = self.addr_operand_tainted(slot);
                         if let Some(o) = self.obs.as_deref_mut() {
                             o.emit(self.now, seq, pc, ObsEvent::Validate { matched: matches });
                             o.emit(
@@ -792,7 +971,7 @@ impl Core {
                     }
                     self.schedule(
                         res.complete_at,
-                        seq,
+                        slot,
                         EvKind::ValidationDone {
                             value: res.value,
                             matches,
@@ -801,13 +980,13 @@ impl Core {
                     );
                 }
                 OblAction::IssueExposure => {
-                    let e = self.ent(seq).expect("live");
+                    let e = self.rob.body(slot);
                     let pc = e.pc;
                     let addr = e.addr.expect("issued load has an address");
                     self.stats.obl.exposures += 1;
                     mem.expose(self.id, addr, self.now);
                     if self.obs.is_some() {
-                        let tainted = self.addr_operand_tainted(seq);
+                        let tainted = self.addr_operand_tainted(slot);
                         if let Some(o) = self.obs.as_deref_mut() {
                             o.emit(self.now, seq, pc, ObsEvent::Expose);
                             o.emit(
@@ -820,11 +999,11 @@ impl Core {
                     }
                 }
                 OblAction::UpdatePredictor { level } => {
-                    let e = self.ent(seq).expect("live");
+                    let e = self.rob.body(slot);
                     let pc = e.pc;
                     let predicted = e.obl.as_ref().expect("obl load").predicted();
                     if self.obs.is_some() {
-                        let tainted = self.addr_operand_tainted(seq);
+                        let tainted = self.addr_operand_tainted(slot);
                         if let Some(o) = self.obs.as_deref_mut() {
                             o.emit(self.now, seq, pc, ObsEvent::PredictorUpdate { tainted });
                         }
@@ -833,9 +1012,8 @@ impl Core {
                     self.stats.record_prediction(predicted.depth(), level.depth());
                 }
                 OblAction::Complete => {
-                    let e = self.ent_mut(seq).expect("live");
-                    e.status = Status::Done;
-                    e.done = true;
+                    self.rob.body_mut(slot).status = Status::Done;
+                    self.done_bits.set(slot);
                     if let Some(t) = self.trace.as_mut() {
                         t.complete(seq, self.now);
                     }
@@ -858,19 +1036,20 @@ impl Core {
             // Completed-but-unretired loads to this line may violate
             // consistency; mark them. The squash itself is deferred until
             // the load's address is untainted (STT's implicit-channel rule
-            // applied to the consistency check). Index iteration: nothing
-            // here mutates the load queue, so no snapshot clone is needed.
+            // applied to the consistency check). The load queue is purged
+            // on squash, so every entry is live.
             for i in 0..self.lq.len() {
-                let lq_seq = self.lq[i];
-                let Some(e) = self.ent_mut(lq_seq) else { continue };
-                if e.pending_squash || !e.done {
+                let (slot, seq) = self.lq[i];
+                debug_assert!(self.rob.is_live(slot, seq));
+                if self.pending_squash.get(slot) || !self.done_bits.get(slot) {
                     continue;
                 }
+                let e = self.rob.body(slot);
                 if e.sq_forwarded {
                     continue; // data came from our own store queue
                 }
                 if e.addr.is_some_and(|a| line_of(a) == line) {
-                    e.pending_squash = true;
+                    self.pending_squash.set(slot);
                 }
             }
         }
@@ -883,36 +1062,28 @@ impl Core {
     fn update_visibility(&mut self) {
         let futuristic =
             self.sec.attack == AttackModel::Futuristic && self.sec.protection != Protection::Unsafe;
-        let mut blocked = false;
-        for e in &mut self.rob {
-            if !e.safe && !blocked {
-                e.safe = true;
-                // An untaint can enable issue/resolve actions later in
-                // this same tick — but flag it as progress regardless,
-                // so quiescence never hides a visibility advance.
-                self.progressed = true;
-            }
-            if e.is_blocker_ctrl() {
-                blocked = true;
-            }
-            if futuristic && !blocked {
-                // A load stops blocking younger visibility once its result
-                // is *performed* (value received/forwarded). An Obl-Ld
-                // still awaiting its validation no longer blocks: per the
-                // paper's footnote 4, reaching the visibility point in the
-                // Futuristic model implies a consistency violation can no
-                // longer occur — the rare validation-mismatch squash after
-                // this point is a documented approximation (it cannot
-                // happen at all in single-core runs).
-                let load_unperformed = e.inst.is_load()
-                    && match &e.obl {
-                        Some(fsm) => fsm.forwarded_value().is_none(),
-                        None => !e.done,
-                    };
-                if load_unperformed || e.pending_squash || e.fp_failed {
-                    blocked = true;
-                }
-            }
+        // Visibility is the slab's safe-prefix frontier: it advances to
+        // (and including) the first blocker. Spectre-model blockers are
+        // unresolved control; the Futuristic model adds unperformed
+        // loads, pending consistency squashes and failed FP-SDO ops.
+        // (Per the paper's footnote 4 an Obl-Ld awaiting only its
+        // validation no longer blocks — `load_unperformed` clears on
+        // forward, not on validation.)
+        let progressed = if futuristic {
+            self.rob.advance_safe(&[
+                &self.ctrl_unresolved,
+                &self.load_unperformed,
+                &self.pending_squash,
+                &self.fp_failed,
+            ])
+        } else {
+            self.rob.advance_safe(&[&self.ctrl_unresolved])
+        };
+        if progressed {
+            // An untaint can enable issue/resolve actions later in this
+            // same tick — but flag it as progress regardless, so
+            // quiescence never hides a visibility advance.
+            self.progressed = true;
         }
     }
 
@@ -924,128 +1095,131 @@ impl Core {
         // Candidate sweeps reuse one scratch buffer (taken out of `self`
         // so the loop bodies can borrow `self` mutably) — the resolve
         // stage allocates nothing once the buffer reaches ROB capacity.
-        let mut candidates = std::mem::take(&mut self.scratch_seqs);
+        // Each sweep snapshots its candidate mask into `(slot, seq)`
+        // handles oldest-first and re-checks liveness as squashes land;
+        // an empty mask skips the sweep without touching the window.
+        let mut candidates = std::mem::take(&mut self.scratch_slots);
 
         // 1. Branch resolutions (executed) whose predicate is untainted.
-        candidates.clear();
-        candidates.extend(
-            self.rob
-                .iter()
-                .filter(|e| e.outcome.is_some() && e.status == Status::Done && !e.resolution_applied)
-                .map(|e| e.seq),
-        );
-        for &seq in &candidates {
-            if self.ent(seq).is_none() {
-                break; // a prior resolution squashed the rest
-            }
-            if protected && self.srcs_tainted(seq) {
-                continue; // STT: delay resolution until untainted
-            }
-            if self.apply_resolution(seq) {
-                break; // squash: younger candidates are gone
+        if self.resolve_ready.any() {
+            self.rob.collect_mask(&self.resolve_ready, &mut candidates);
+            for &(slot, seq) in &candidates {
+                if !self.rob.is_live(slot, seq) {
+                    break; // a prior resolution squashed the rest
+                }
+                if protected && self.srcs_tainted(slot) {
+                    continue; // STT: delay resolution until untainted
+                }
+                if self.apply_resolution(slot) {
+                    break; // squash: younger candidates are gone
+                }
             }
         }
 
         // 2. Obl-Ld loads whose address operand just untainted: event C.
-        candidates.clear();
-        candidates.extend(
-            self.rob.iter().filter(|e| e.obl.is_some() && !e.obl_safe_sent).map(|e| e.seq),
-        );
-        for &seq in &candidates {
-            if self.ent(seq).is_none() {
-                break;
-            }
-            if self.addr_operand_tainted(seq) {
-                continue;
-            }
-            let e = self.ent_mut(seq).expect("live");
-            e.obl_safe_sent = true;
-            self.progressed = true;
-            if self.obs.is_some() {
-                let pc = self.ent(seq).expect("live").pc;
-                if let Some(o) = self.obs.as_deref_mut() {
-                    // Before the FSM consumes Safe, so that validations /
-                    // exposures / predictor training trace strictly after.
-                    o.emit(self.now, seq, pc, ObsEvent::OblSafe);
+        if self.obl_unsafe.any() {
+            self.rob.collect_mask(&self.obl_unsafe, &mut candidates);
+            for &(slot, seq) in &candidates {
+                if !self.rob.is_live(slot, seq) {
+                    break;
                 }
-            }
-            self.on_fsm_event(mem, seq, OblEvent::Safe);
-            if self.ent(seq).is_some_and(|e| e.obl.as_ref().is_some_and(OblLdFsm::squashed)) {
-                break;
+                if self.addr_operand_tainted(slot) {
+                    continue;
+                }
+                self.rob.body_mut(slot).obl_safe_sent = true;
+                self.obl_unsafe.clear(slot);
+                self.progressed = true;
+                if self.obs.is_some() {
+                    let pc = self.rob.body(slot).pc;
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        // Before the FSM consumes Safe, so that validations /
+                        // exposures / predictor training trace strictly after.
+                        o.emit(self.now, seq, pc, ObsEvent::OblSafe);
+                    }
+                }
+                self.on_fsm_event(mem, slot, OblEvent::Safe);
+                if self.rob.is_live(slot, seq)
+                    && self.rob.body(slot).obl.as_ref().is_some_and(OblLdFsm::squashed)
+                {
+                    break;
+                }
             }
         }
 
         // 3. FP SDO fails whose operands untainted: squash + re-execute.
-        candidates.clear();
-        candidates.extend(
-            self.rob.iter().filter(|e| e.fp_failed && e.status == Status::Done).map(|e| e.seq),
-        );
-        for &seq in &candidates {
-            if self.ent(seq).is_none() {
+        if self.fp_failed.any() {
+            self.rob.collect_mask(&self.fp_failed, &mut candidates);
+            for &(slot, seq) in &candidates {
+                if !self.rob.is_live(slot, seq) {
+                    break;
+                }
+                if self.rob.body(slot).status != Status::Done {
+                    continue; // DO attempt still in flight
+                }
+                if self.srcs_tainted(slot) {
+                    continue;
+                }
+                self.progressed = true;
+                self.stats.squashes.fp_fail += 1;
+                let e = self.rob.body(slot);
+                let pc = e.pc;
+                let redirect = e.pc + 1;
+                if let Some(p) = e.pdst {
+                    self.regs.unwrite(p);
+                }
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.emit(self.now, seq, pc, ObsEvent::Squash { cause: SquashCause::FpFail });
+                }
+                self.squash_after(seq);
+                self.fetch_pc = redirect;
+                // Re-execute on the slow path with the true result.
+                self.fp_failed.clear(slot);
+                self.done_bits.clear(slot);
+                self.rob.body_mut(slot).status = Status::Executing;
+                let (value, lat) = self.exec_fp(slot, true);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.emit(self.now, seq, pc, ObsEvent::FpTransmit { tainted: false, oblivious: false });
+                }
+                // The re-executed slow path occupies an FP unit (structural
+                // contention is safe to reveal: the operands are untainted).
+                let unit = self.fp_busy.iter_mut().min().expect("fp units exist");
+                *unit = (*unit).max(self.now) + lat;
+                self.schedule(self.now + lat, slot, EvKind::Exec { value: Some(value) });
                 break;
             }
-            if self.srcs_tainted(seq) {
-                continue;
-            }
-            self.progressed = true;
-            self.stats.squashes.fp_fail += 1;
-            let e = self.ent(seq).expect("live");
-            let pc = e.pc;
-            let redirect = e.pc + 1;
-            if let Some(p) = e.pdst {
-                self.regs.unwrite(p);
-            }
-            if let Some(o) = self.obs.as_deref_mut() {
-                o.emit(self.now, seq, pc, ObsEvent::Squash { cause: SquashCause::FpFail });
-            }
-            self.squash_after(seq);
-            self.fetch_pc = redirect;
-            // Re-execute on the slow path with the true result.
-            let e = self.ent_mut(seq).expect("live");
-            e.fp_failed = false;
-            e.status = Status::Executing;
-            e.done = false;
-            let (value, lat) = self.exec_fp(seq, true);
-            if let Some(o) = self.obs.as_deref_mut() {
-                o.emit(self.now, seq, pc, ObsEvent::FpTransmit { tainted: false, oblivious: false });
-            }
-            // The re-executed slow path occupies an FP unit (structural
-            // contention is safe to reveal: the operands are untainted).
-            let slot = self.fp_busy.iter_mut().min().expect("fp units exist");
-            *slot = (*slot).max(self.now) + lat;
-            self.schedule(self.now + lat, seq, EvKind::Exec { value: Some(value) });
-            break;
         }
 
         // 4. Deferred consistency squashes whose address untainted.
-        candidates.clear();
-        candidates.extend(self.rob.iter().filter(|e| e.pending_squash).map(|e| e.seq));
-        for &seq in &candidates {
-            if self.ent(seq).is_none() {
+        if self.pending_squash.any() {
+            self.rob.collect_mask(&self.pending_squash, &mut candidates);
+            for &(slot, seq) in &candidates {
+                if !self.rob.is_live(slot, seq) {
+                    break;
+                }
+                if protected && self.addr_operand_tainted(slot) {
+                    continue;
+                }
+                self.progressed = true;
+                self.stats.squashes.consistency += 1;
+                let pc = self.rob.body(slot).pc;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.emit(self.now, seq, pc, ObsEvent::Squash { cause: SquashCause::Consistency });
+                }
+                self.squash_from(seq);
+                self.fetch_pc = pc;
                 break;
             }
-            if protected && self.addr_operand_tainted(seq) {
-                continue;
-            }
-            self.progressed = true;
-            self.stats.squashes.consistency += 1;
-            let pc = self.ent(seq).expect("live").pc;
-            if let Some(o) = self.obs.as_deref_mut() {
-                o.emit(self.now, seq, pc, ObsEvent::Squash { cause: SquashCause::Consistency });
-            }
-            self.squash_from(seq);
-            self.fetch_pc = pc;
-            break;
         }
 
-        self.scratch_seqs = candidates;
+        self.scratch_slots = candidates;
     }
 
     /// Applies a computed branch/jump resolution. Returns `true` if it
     /// squashed.
-    fn apply_resolution(&mut self, seq: u64) -> bool {
+    fn apply_resolution(&mut self, slot: u32) -> bool {
         self.progressed = true;
-        let e = self.ent(seq).expect("live");
+        let seq = self.rob.seq_of(slot);
+        let e = self.rob.body(slot);
         let (taken, next_pc) = e.outcome.expect("resolved");
         let pc = e.pc;
         let pred_taken = e.pred_taken;
@@ -1054,7 +1228,7 @@ impl Core {
         let is_indirect = e.inst.is_indirect();
 
         if (is_cond || is_indirect) && self.obs.is_some() {
-            let tainted = self.srcs_tainted(seq);
+            let tainted = self.srcs_tainted(slot);
             if let Some(o) = self.obs.as_deref_mut() {
                 o.emit(self.now, seq, pc, ObsEvent::PredictorUpdate { tainted });
             }
@@ -1066,9 +1240,13 @@ impl Core {
         if is_indirect {
             self.btb.update(pc, next_pc);
         }
-        let e = self.ent_mut(seq).expect("live");
-        e.resolution_applied = true;
-        e.done = e.status == Status::Done;
+        // Resolution applied: the entry stops blocking visibility and
+        // leaves the resolve-candidate set; done-ness catches up.
+        self.ctrl_unresolved.clear(slot);
+        self.resolve_ready.clear(slot);
+        if self.rob.body(slot).status == Status::Done {
+            self.done_bits.set(slot);
+        }
 
         if next_pc != pred_target {
             self.stats.mispredicts += 1;
@@ -1099,29 +1277,63 @@ impl Core {
     }
 
     fn squash_killing_from(&mut self, first_killed: u64) {
-        let mut snap: Option<RatSnapshot> = None;
-        while let Some(back) = self.rob.back() {
-            if back.seq < first_killed {
+        let old_len = self.rob.len();
+        while let Some(back) = self.rob.back_slot() {
+            let seq = self.rob.seq_of(back);
+            if seq < first_killed {
                 break;
             }
-            let e = self.rob.pop_back().expect("non-empty");
+            let slot = self.rob.pop_back();
+            debug_assert_eq!(slot, back);
+            // Per-slot queue state; the flag bits are shed in bulk below.
+            if self.iq.contains(slot) {
+                self.iq.remove(slot);
+            }
+            self.iq_unready[slot as usize] = 0;
             self.stats.squashed_insts += 1;
             if let Some(t) = self.trace.as_mut() {
-                t.squash(e.seq, self.now);
+                t.squash(seq, self.now);
             }
-            if e.seq == first_killed {
-                snap = Some(e.rat_snap);
+            // Walk-based RAT recovery: the RAT only ever changes at
+            // rename and the killed entries are the youngest suffix, so
+            // undoing each rename youngest-first lands on exactly the
+            // pre-`first_killed` mapping — no per-dispatch snapshot
+            // needed. Multiple killed writers of one arch reg resolve
+            // correctly because the oldest undo is applied last.
+            let e = self.rob.body(slot);
+            if let Some(old) = e.old_pdst {
+                let arch =
+                    e.inst.int_dst().map(|r| r.index()).or_else(|| e.inst.fp_dst().map(|r| r.index()));
+                debug_assert!(arch.is_some(), "old_pdst implies an architectural destination");
+                if let Some(arch) = arch {
+                    self.regs.unrename(old.class, arch, old);
+                }
             }
-            if let Some(p) = e.pdst {
+            if let Some(p) = self.rob.body(slot).pdst {
                 self.regs.release(p);
             }
         }
-        if let Some(snap) = snap {
-            self.regs.restore(&snap);
+        // A dead slot must shed every flag bit immediately — a stale bit
+        // would pollute sweep masks (or the reused slot). The killed
+        // entries are a contiguous window suffix, so clear whole word
+        // ranges instead of 8 read-modify-writes per slot, then restore
+        // the ready-count invariant by popcount.
+        let new_len = self.rob.len();
+        if new_len < old_len {
+            for (a, b) in self.rob.slot_ranges(new_len, old_len) {
+                self.done_bits.clear_range(a, b);
+                self.ctrl_unresolved.clear_range(a, b);
+                self.load_unperformed.clear_range(a, b);
+                self.pending_squash.clear_range(a, b);
+                self.fp_failed.clear_range(a, b);
+                self.resolve_ready.clear_range(a, b);
+                self.obl_unsafe.clear_range(a, b);
+                self.iq_ready.clear_range(a, b);
+            }
+            self.iq_ready_count = self.iq_ready.count();
         }
-        self.iq.retain(|&s| s < first_killed);
-        self.lq.retain(|&s| s < first_killed);
-        self.sq.retain(|&s| s < first_killed);
+        self.lq.retain(|&(_, s)| s < first_killed);
+        self.sq.retain(|&(_, s)| s < first_killed);
         self.fetch_q.clear();
         self.fetch_halted = false;
     }
@@ -1132,59 +1344,69 @@ impl Core {
 
     fn commit_stage(&mut self, mem: &mut MemorySystem) {
         for _ in 0..self.cfg.width {
-            let Some(head) = self.rob.front() else { break };
+            let Some(head) = self.rob.head_slot() else { break };
             // An entry can be `done` yet still owe a deferred action that
             // must run in `resolve_stage` first (same-cycle multi-commit
             // could otherwise retire it together with its taint producer).
-            if head.fp_failed || head.pending_squash {
+            if self.fp_failed.get(head) || self.pending_squash.get(head) {
                 break;
             }
-            if !head.done {
+            if !self.done_bits.get(head) {
                 // Figure 7 accounting: head blocked awaiting validation.
-                if head.obl.as_ref().is_some_and(OblLdFsm::awaiting_validation) {
+                if self.rob.body(head).obl.as_ref().is_some_and(OblLdFsm::awaiting_validation) {
                     self.stats.obl.validation_stall_cycles += 1;
                 }
                 break;
             }
-            let head = self.rob.pop_front().expect("non-empty");
+            let seq = self.rob.seq_of(head);
+            let e = self.rob.body(head);
+            let pc = e.pc;
+            let class = e.inst.class();
+            let addr = e.addr;
+            let store_data = e.store_data;
+            let width_bytes = e.width_bytes;
+            let old_pdst = e.old_pdst;
+            let slot = self.rob.pop_front();
+            debug_assert_eq!(slot, head);
+            self.clear_slot_state(slot);
             self.progressed = true;
             self.stats.committed += 1;
             if let Some(log) = self.commit_pcs.as_mut() {
-                log.push(head.pc);
+                log.push(pc);
             }
             if let Some(t) = self.trace.as_mut() {
-                t.commit(head.seq, self.now);
+                t.commit(seq, self.now);
             }
             if let Some(o) = self.obs.as_deref_mut() {
-                o.emit(self.now, head.seq, head.pc, ObsEvent::Commit);
+                o.emit(self.now, seq, pc, ObsEvent::Commit);
             }
-            match head.inst.class() {
+            match class {
                 OpClass::Halt => {
                     self.halted = true;
                     return;
                 }
                 OpClass::Store => {
                     self.stats.committed_stores += 1;
-                    let addr = head.addr.expect("store address computed");
-                    let data = head.store_data.expect("store data computed");
-                    mem.store(self.id, addr, data, head.width_bytes, self.now);
+                    let addr = addr.expect("store address computed");
+                    let data = store_data.expect("store data computed");
+                    mem.store(self.id, addr, data, width_bytes, self.now);
                     if let Some(o) = self.obs.as_deref_mut() {
                         o.emit(
                             self.now,
-                            head.seq,
-                            head.pc,
+                            seq,
+                            pc,
                             ObsEvent::MemAccess { line: addr / 64, op: MemOp::Store, tainted: false },
                         );
                     }
-                    self.sq.retain(|&s| s != head.seq);
+                    self.sq.retain(|&(_, s)| s != seq);
                 }
                 OpClass::Load => {
                     self.stats.committed_loads += 1;
-                    self.lq.retain(|&s| s != head.seq);
+                    self.lq.retain(|&(_, s)| s != seq);
                 }
                 _ => {}
             }
-            if let Some(old) = head.old_pdst {
+            if let Some(old) = old_pdst {
                 self.regs.release(old);
             }
         }
@@ -1217,6 +1439,23 @@ impl Core {
     }
 
     fn issue_stage(&mut self, mem: &mut MemorySystem) {
+        // Parked STT-delayed transmitters rejoin the ready set the
+        // moment their taint source becomes visible — the frontier only
+        // moves in resolve/commit/squash, all of which ran before this
+        // stage, so an unparked entry issues the same cycle it would
+        // have under per-cycle re-attempts.
+        self.unpark_visible();
+        // Exact skip gate: the IQ holds only live `Waiting` entries
+        // (squashes purge it, issues remove from it), so with no ready
+        // entry the walk below would issue nothing, tick no counter and
+        // leave the queue untouched. Ready-but-retrying entries (busy
+        // unit, SQ conflict, MSHR-full, DRAM-prediction / oracle-driven
+        // SDO probes) keep their ready bit, keeping the stage live so
+        // retry accounting and per-cycle predictor probes still happen
+        // exactly as before.
+        if self.iq_ready_count == 0 {
+            return;
+        }
         let mut budget = FuBudget {
             alu: self.cfg.fus.int_alu,
             muldiv: self.cfg.fus.int_muldiv,
@@ -1224,80 +1463,71 @@ impl Core {
             mem: self.cfg.fus.mem_ports,
         };
         let mut issued_count = 0usize;
-        let iq_before = self.iq.len();
 
-        // Walk the issue queue by index, compacting in place: `kept` is
-        // the write cursor for entries that stay queued. No snapshot
-        // clone, no issued-list membership scans.
-        let mut kept = 0usize;
-        let mut idx = 0usize;
-        while idx < self.iq.len() {
-            let seq = self.iq[idx];
-            idx += 1;
+        // Attempt only the ready entries, oldest-first. `iq_ready` holds
+        // exactly the queued entries whose unready count hit zero, and
+        // `collect_mask` yields them in window (= dispatch = age) order —
+        // the same order and the same attempt set as a walk over the
+        // whole queue that skips unready entries, without touching the
+        // waiting majority. Issue helpers never change other entries'
+        // readiness mid-scan (writebacks happen at event delivery), so a
+        // snapshot of the mask is exact.
+        let mut ready = std::mem::take(&mut self.scratch_slots);
+        self.rob.collect_mask(&self.iq_ready, &mut ready);
+        for &(slot, seq) in &ready {
             if issued_count >= self.cfg.width {
-                // Width exhausted: everything else stays queued.
-                self.iq[kept] = seq;
-                kept += 1;
+                // Width exhausted: the rest stays queued, unattempted.
+                break;
+            }
+            debug_assert!(self.rob.is_live(slot, seq), "IQ holds only live entries");
+            debug_assert_eq!(self.rob.body(slot).status, Status::Waiting);
+            debug_assert!(
+                self.rob.body(slot).psrcs.iter().flatten().all(|p| self.regs.is_ready(*p)),
+                "wakeup-list readiness diverged from the register file"
+            );
+            let class = self.rob.body(slot).inst.class();
+            let fu = Self::fu_for(class);
+            if *fu(&mut budget) == 0 {
                 continue;
             }
-            let Some(e) = self.ent(seq) else {
-                continue; // squashed stragglers leave the queue
+            let issue_ok = match class {
+                OpClass::Load => self.try_issue_load(mem, slot, seq),
+                OpClass::Store => {
+                    self.issue_store(slot);
+                    true
+                }
+                OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt => {
+                    self.try_issue_fp_transmit(slot)
+                }
+                _ => self.issue_simple(slot),
             };
-            if e.status != Status::Waiting {
-                continue; // already executing/done: leave the queue
-            }
-            // Source readiness.
-            let ready = e.psrcs.iter().flatten().all(|p| self.regs.is_ready(*p));
-            let mut issue_ok = false;
-            if ready {
-                let class = e.inst.class();
-                let fu = Self::fu_for(class);
-                if *fu(&mut budget) != 0 {
-                    issue_ok = match class {
-                        OpClass::Load => self.try_issue_load(mem, seq),
-                        OpClass::Store => {
-                            self.issue_store(seq);
-                            true
-                        }
-                        OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt => {
-                            self.try_issue_fp_transmit(seq)
-                        }
-                        _ => self.issue_simple(seq),
-                    };
-                    if issue_ok {
-                        *fu(&mut budget) -= 1;
-                        issued_count += 1;
-                        if let Some(t) = self.trace.as_mut() {
-                            t.issue(seq, self.now);
-                        }
-                        if self.obs.is_some() {
-                            let pc = self.ent(seq).map_or(0, |e| e.pc);
-                            if let Some(o) = self.obs.as_deref_mut() {
-                                o.emit(self.now, seq, pc, ObsEvent::Issue);
-                            }
-                        }
+            if issue_ok {
+                *fu(&mut budget) -= 1;
+                issued_count += 1;
+                self.iq_ready.clear(slot);
+                self.iq_ready_count -= 1;
+                self.iq.remove(slot);
+                self.progressed = true;
+                if let Some(t) = self.trace.as_mut() {
+                    t.issue(seq, self.now);
+                }
+                if self.obs.is_some() {
+                    let pc = self.rob.body(slot).pc;
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.emit(self.now, seq, pc, ObsEvent::Issue);
                     }
                 }
             }
-            if !issue_ok {
-                self.iq[kept] = seq;
-                kept += 1;
-            }
         }
-        self.iq.truncate(kept);
-        // Every issue (and every straggler dropped) shrinks the queue;
-        // retries that stay queued do not.
-        if self.iq.len() != iq_before {
-            self.progressed = true;
-        }
+        self.scratch_slots = ready;
     }
 
-    fn src_value(&self, e: &DynInst, slot: usize) -> u64 {
-        e.psrcs[slot].map_or(0, |p| self.regs.value(p))
+    fn src_value(&self, e: &DynInst, idx: usize) -> u64 {
+        e.psrcs[idx].map_or(0, |p| self.regs.value(p))
     }
 
-    fn issue_simple(&mut self, seq: u64) -> bool {
-        let e = self.ent(seq).expect("live");
+    fn issue_simple(&mut self, slot: u32) -> bool {
+        let e = self.rob.body(slot);
         let pc = e.pc;
         let inst = e.inst;
         let s0 = self.src_value(e, 0);
@@ -1340,10 +1570,10 @@ impl Core {
         {
             return false; // unit busy: stay in the issue queue, retry
         }
-        let e = self.ent_mut(seq).expect("live");
+        let e = self.rob.body_mut(slot);
         e.status = Status::Executing;
         e.outcome = outcome;
-        self.schedule(self.now + latency, seq, EvKind::Exec { value });
+        self.schedule(self.now + latency, slot, EvKind::Exec { value });
         true
     }
 
@@ -1380,8 +1610,8 @@ impl Core {
 
     /// Computes an FP transmit op's true value and (class-dependent)
     /// latency; `force_slow` charges the subnormal path.
-    fn exec_fp(&mut self, seq: u64, force_slow: bool) -> (u64, Cycle) {
-        let e = self.ent(seq).expect("live");
+    fn exec_fp(&self, slot: u32, force_slow: bool) -> (u64, Cycle) {
+        let e = self.rob.body(slot);
         let Instruction::Fpu { op, .. } = e.inst else { unreachable!("fp transmit") };
         let a = f64::from_bits(self.src_value(e, 2));
         let b = f64::from_bits(self.src_value(e, 3));
@@ -1391,15 +1621,15 @@ impl Core {
         (op.eval(a, b).to_bits(), self.fp_latency(op, slow))
     }
 
-    fn try_issue_fp_transmit(&mut self, seq: u64) -> bool {
-        let tainted = self.srcs_tainted(seq);
+    fn try_issue_fp_transmit(&mut self, slot: u32) -> bool {
+        let tainted = self.srcs_tainted(slot);
         let protect = self.sec.protection.protects_fp();
         match (self.sec.protection, tainted && protect) {
             (Protection::Sdo(_), true) => {
                 // FP SDO: execute the predict-normal DO variant (fast
                 // latency and fast-path unit occupancy regardless of
                 // operands — data-oblivious).
-                let e = self.ent(seq).expect("live");
+                let e = self.rob.body(slot);
                 let Instruction::Fpu { op, .. } = e.inst else { unreachable!() };
                 let a = f64::from_bits(self.src_value(e, 2));
                 let b = f64::from_bits(self.src_value(e, 3));
@@ -1415,54 +1645,61 @@ impl Core {
                     Some(v) => (v.to_bits(), false),
                     None => (0u64, true),
                 };
-                let pc = self.ent(seq).expect("live").pc;
-                if let Some(o) = self.obs.as_deref_mut() {
-                    o.emit(self.now, seq, pc, ObsEvent::FpTransmit { tainted: true, oblivious: true });
+                if self.obs.is_some() {
+                    let pc = self.rob.body(slot).pc;
+                    let seq = self.rob.seq_of(slot);
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.emit(self.now, seq, pc, ObsEvent::FpTransmit { tainted: true, oblivious: true });
+                    }
                 }
-                let e = self.ent_mut(seq).expect("live");
-                e.status = Status::Executing;
-                e.fp_failed = failed;
-                self.schedule(self.now + lat, seq, EvKind::Exec { value: Some(value) });
+                self.rob.body_mut(slot).status = Status::Executing;
+                if failed {
+                    self.fp_failed.set(slot);
+                }
+                self.schedule(self.now + lat, slot, EvKind::Exec { value: Some(value) });
                 true
             }
             (Protection::Stt { .. }, true) => {
                 // Delay until operands untaint.
-                let e = self.ent_mut(seq).expect("live");
-                if !e.delay_counted {
-                    e.delay_counted = true;
+                if !self.rob.body(slot).delay_counted {
+                    self.rob.body_mut(slot).delay_counted = true;
                     self.stats.delayed_fp += 1;
                 }
+                let seq = self.rob.seq_of(slot);
+                self.park(slot, seq);
                 false
             }
             _ => {
                 // Unsafe, STT{ld}, or untainted operands: execute with the
                 // operand-dependent latency AND unit occupancy (the
                 // covert channel the configurations above close).
-                let e = self.ent(seq).expect("live");
+                let e = self.rob.body(slot);
                 let Instruction::Fpu { op, .. } = e.inst else { unreachable!() };
                 let a = f64::from_bits(self.src_value(e, 2));
                 let slow = a.is_subnormal()
                     || (op != FpuOp::Sqrt && f64::from_bits(self.src_value(e, 3)).is_subnormal());
-                let (value, lat) = self.exec_fp(seq, false);
+                let (value, lat) = self.exec_fp(slot, false);
                 if self.fp_unit_nonpipelined(op, slow)
                     && !Self::claim_unit(&mut self.fp_busy, self.now, lat)
                 {
                     return false;
                 }
-                let pc = self.ent(seq).expect("live").pc;
-                if let Some(o) = self.obs.as_deref_mut() {
-                    o.emit(self.now, seq, pc, ObsEvent::FpTransmit { tainted, oblivious: false });
+                if self.obs.is_some() {
+                    let pc = self.rob.body(slot).pc;
+                    let seq = self.rob.seq_of(slot);
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.emit(self.now, seq, pc, ObsEvent::FpTransmit { tainted, oblivious: false });
+                    }
                 }
-                let e = self.ent_mut(seq).expect("live");
-                e.status = Status::Executing;
-                self.schedule(self.now + lat, seq, EvKind::Exec { value: Some(value) });
+                self.rob.body_mut(slot).status = Status::Executing;
+                self.schedule(self.now + lat, slot, EvKind::Exec { value: Some(value) });
                 true
             }
         }
     }
 
-    fn issue_store(&mut self, seq: u64) {
-        let e = self.ent(seq).expect("live");
+    fn issue_store(&mut self, slot: u32) {
+        let e = self.rob.body(slot);
         let (base, offset, width) = e.inst.mem_operands().expect("store");
         let _ = base;
         let addr = self.src_value(e, if e.inst.int_srcs()[1].is_some() { 1 } else { 0 })
@@ -1473,23 +1710,23 @@ impl Core {
             Instruction::FStore { .. } => self.src_value(e, 2),
             _ => unreachable!(),
         };
-        let e = self.ent_mut(seq).expect("live");
+        let e = self.rob.body_mut(slot);
         e.addr = Some(addr);
         e.store_data = Some(data);
         e.width_bytes = width.bytes();
         e.status = Status::Executing;
-        self.schedule(self.now + 1, seq, EvKind::Exec { value: None });
+        self.schedule(self.now + 1, slot, EvKind::Exec { value: None });
     }
 
     /// Store-queue search for an older store overlapping `addr`.
     /// `Ok(Some(value))`: full-cover forward. `Ok(None)`: no overlap.
     /// `Err(())`: must wait (unknown older address or partial overlap).
     fn sq_lookup(&self, seq: u64, addr: u64, width: u64) -> Result<Option<u64>, ()> {
-        for &s_seq in self.sq.iter().rev() {
+        for &(s_slot, s_seq) in self.sq.iter().rev() {
             if s_seq >= seq {
                 continue;
             }
-            let Some(s) = self.ent(s_seq) else { continue };
+            let s = self.rob.body(s_slot);
             let Some(s_addr) = s.addr else { return Err(()) };
             let s_width = s.width_bytes;
             let overlap = addr < s_addr + s_width && s_addr < addr + width;
@@ -1506,21 +1743,21 @@ impl Core {
         }
         // Any older store with an unknown address blocks (conservative
         // memory-dependence policy, see DESIGN.md).
-        for &s_seq in &self.sq {
-            if s_seq < seq && self.ent(s_seq).is_some_and(|s| s.addr.is_none()) {
+        for &(s_slot, s_seq) in &self.sq {
+            if s_seq < seq && self.rob.body(s_slot).addr.is_none() {
                 return Err(());
             }
         }
         Ok(None)
     }
 
-    fn try_issue_load(&mut self, mem: &mut MemorySystem, seq: u64) -> bool {
-        let e = self.ent(seq).expect("live");
+    fn try_issue_load(&mut self, mem: &mut MemorySystem, slot: u32, seq: u64) -> bool {
+        let e = self.rob.body(slot);
         let (_, offset, width) = e.inst.mem_operands().expect("load");
         let addr = self.src_value(e, 0).wrapping_add(offset as u64);
         let width_bytes = width.bytes();
         {
-            let e = self.ent_mut(seq).expect("live");
+            let e = self.rob.body_mut(slot);
             e.addr = Some(addr);
             e.width_bytes = width_bytes;
         }
@@ -1531,38 +1768,39 @@ impl Core {
             Ok(f) => f,
         };
 
-        let tainted = self.addr_operand_tainted(seq);
+        let tainted = self.addr_operand_tainted(slot);
         match self.sec.protection {
             Protection::Unsafe => {
-                self.issue_normal_load(mem, seq, addr, forwarded);
+                self.issue_normal_load(mem, slot, addr, forwarded);
                 true
             }
             Protection::Stt { .. } => {
                 if tainted {
-                    self.note_delayed(seq);
+                    self.note_delayed(slot);
+                    self.park(slot, seq);
                     false
                 } else {
-                    self.finish_delay_accounting(seq);
-                    self.issue_normal_load(mem, seq, addr, forwarded);
+                    self.finish_delay_accounting(slot);
+                    self.issue_normal_load(mem, slot, addr, forwarded);
                     true
                 }
             }
             Protection::Sdo(sdo) => {
                 if !tainted {
-                    self.finish_delay_accounting(seq);
-                    self.issue_normal_load(mem, seq, addr, forwarded);
+                    self.finish_delay_accounting(slot);
+                    self.issue_normal_load(mem, slot, addr, forwarded);
                     return true;
                 }
                 // Predict a level from the (public) PC.
                 let oracle = mem.residency(self.id, addr);
-                let mut level = self.predictor.predict(self.ent(seq).expect("live").pc, oracle);
+                let mut level = self.predictor.predict(self.rob.body(slot).pc, oracle);
                 if level == CacheLevel::Dram && !sdo.allow_dram_prediction {
                     level = CacheLevel::L3;
                 }
                 if level == CacheLevel::Dram {
                     // Revert to STT delay (Section VI-B).
                     let now = self.now;
-                    let e = self.ent_mut(seq).expect("live");
+                    let e = self.rob.body_mut(slot);
                     let newly = !e.delay_counted;
                     e.delay_counted = true;
                     if e.delayed_since.is_none() {
@@ -1582,7 +1820,7 @@ impl Core {
                     Ok(lookup) => {
                         self.stats.obl.issued += 1;
                         if self.obs.is_some() {
-                            let pc = self.ent(seq).expect("live").pc;
+                            let pc = self.rob.body(slot).pc;
                             let depth = level.depth();
                             if let Some(o) = self.obs.as_deref_mut() {
                                 o.emit(self.now, seq, pc, ObsEvent::OblProbe { level: depth });
@@ -1601,22 +1839,25 @@ impl Core {
                             // load completes from the SQ at B, no
                             // validation needed (Section V-C3).
                             self.stats.obl.sq_forwarded += 1;
-                            let e = self.ent_mut(seq).expect("live");
+                            let e = self.rob.body_mut(slot);
                             e.sq_forwarded = true;
                             e.status = Status::Executing;
-                            self.schedule(lookup.complete_at, seq, EvKind::LoadDone { value: fwd });
+                            self.schedule(lookup.complete_at, slot, EvKind::LoadDone { value: fwd });
                             return true;
                         }
-                        let pc = self.ent(seq).expect("live").pc;
+                        let pc = self.rob.body(slot).pc;
                         let exposure_eligible = self.exposure_condition(seq);
                         let fsm = OblLdFsm::new(pc, level, exposure_eligible, sdo.early_forward);
-                        let e = self.ent_mut(seq).expect("live");
+                        let e = self.rob.body_mut(slot);
                         e.obl = Some(fsm);
                         e.status = Status::Executing;
+                        // The load enters the resolve stage's Safe-event
+                        // candidate set until its address untaints.
+                        self.obl_unsafe.set(slot);
                         for r in &lookup.responses {
                             self.schedule(
                                 r.at,
-                                seq,
+                                slot,
                                 EvKind::OblResp {
                                     level: r.level,
                                     hit: r.hit,
@@ -1634,18 +1875,18 @@ impl Core {
     /// Approximation of InvisiSpec's exposure condition: the load cannot
     /// be reordered with older memory operations if none are in flight.
     fn exposure_condition(&self, seq: u64) -> bool {
-        let older_store = self.sq.iter().any(|&s| s < seq);
+        let older_store = self.sq.iter().any(|&(_, s)| s < seq);
         let older_load_incomplete = self
             .lq
             .iter()
-            .filter(|&&l| l < seq)
-            .any(|&l| self.ent(l).is_some_and(|e| !e.done));
+            .filter(|&&(_, s)| s < seq)
+            .any(|&(l_slot, _)| !self.done_bits.get(l_slot));
         !older_store && !older_load_incomplete
     }
 
-    fn note_delayed(&mut self, seq: u64) {
+    fn note_delayed(&mut self, slot: u32) {
         let now = self.now;
-        let e = self.ent_mut(seq).expect("live");
+        let e = self.rob.body_mut(slot);
         let newly = !e.delay_counted;
         e.delay_counted = true;
         if e.delayed_since.is_none() {
@@ -1656,29 +1897,28 @@ impl Core {
         }
     }
 
-    fn finish_delay_accounting(&mut self, seq: u64) {
-        let e = self.ent_mut(seq).expect("live");
-        if let Some(since) = e.delayed_since.take() {
+    fn finish_delay_accounting(&mut self, slot: u32) {
+        if let Some(since) = self.rob.body_mut(slot).delayed_since.take() {
             self.stats.delay_cycles += self.now - since;
         }
     }
 
-    fn issue_normal_load(&mut self, mem: &mut MemorySystem, seq: u64, addr: u64, forwarded: Option<u64>) {
-        let e = self.ent_mut(seq).expect("live");
+    fn issue_normal_load(&mut self, mem: &mut MemorySystem, slot: u32, addr: u64, forwarded: Option<u64>) {
+        let e = self.rob.body_mut(slot);
         e.status = Status::Executing;
         let was_dram_predicted = e.delay_counted && matches!(self.sec.protection, Protection::Sdo(_));
         if let Some(value) = forwarded {
-            let e = self.ent_mut(seq).expect("live");
-            e.sq_forwarded = true;
+            self.rob.body_mut(slot).sq_forwarded = true;
             // Store-to-load forwarding latency ≈ L1 hit.
             let at = self.now + self.cfg.lat.int_alu + 1;
-            self.schedule(at, seq, EvKind::LoadDone { value });
+            self.schedule(at, slot, EvKind::LoadDone { value });
             return;
         }
         let res = mem.load(self.id, addr, self.now);
         if self.obs.is_some() {
-            let pc = self.ent(seq).expect("live").pc;
-            let tainted = self.addr_operand_tainted(seq);
+            let pc = self.rob.body(slot).pc;
+            let seq = self.rob.seq_of(slot);
+            let tainted = self.addr_operand_tainted(slot);
             if let Some(o) = self.obs.as_deref_mut() {
                 o.emit(
                     self.now,
@@ -1688,16 +1928,17 @@ impl Core {
                 );
             }
         }
-        self.schedule(res.complete_at, seq, EvKind::LoadDone { value: res.value });
+        self.schedule(res.complete_at, slot, EvKind::LoadDone { value: res.value });
         if was_dram_predicted {
             // The location predictor said DRAM and the load reverted to
             // delayed execution; it is untainted now, so training with the
             // observed level is safe — and necessary, or the predictor
             // would never escape a DRAM rut once the data becomes
             // cache-resident.
-            let pc = self.ent(seq).expect("live").pc;
+            let pc = self.rob.body(slot).pc;
             if self.obs.is_some() {
-                let tainted = self.addr_operand_tainted(seq);
+                let seq = self.rob.seq_of(slot);
+                let tainted = self.addr_operand_tainted(slot);
                 if let Some(o) = self.obs.as_deref_mut() {
                     o.emit(self.now, seq, pc, ObsEvent::PredictorUpdate { tainted });
                 }
@@ -1740,7 +1981,6 @@ impl Core {
             self.progressed = true;
             let seq = self.next_seq;
             self.next_seq += 1;
-            let rat_snap = self.regs.snapshot();
 
             // Rename sources: integer in slots 0-1, FP in slots 2-3.
             let mut psrcs = [None; 4];
@@ -1777,20 +2017,15 @@ impl Core {
             let class = inst.class();
             let trivially_done = matches!(class, OpClass::Nop | OpClass::Halt);
             let entry = DynInst {
-                seq,
                 pc: f.pc,
                 inst,
                 status: if trivially_done { Status::Done } else { Status::Waiting },
-                done: trivially_done,
-                safe: false,
-                rat_snap,
                 pdst,
                 old_pdst,
                 psrcs,
                 pred_taken: f.pred_taken,
                 pred_target: f.pred_target,
                 outcome: None,
-                resolution_applied: !(inst.is_cond_branch() || inst.is_indirect()),
                 addr: None,
                 store_data: None,
                 width_bytes: 8,
@@ -1800,8 +2035,6 @@ impl Core {
                 obl_safe_sent: false,
                 obl_first_hit_at: None,
                 sq_forwarded: false,
-                pending_squash: false,
-                fp_failed: false,
             };
             if let Some(t) = self.trace.as_mut() {
                 t.dispatch(seq, entry.pc, entry.inst, self.now);
@@ -1809,15 +2042,39 @@ impl Core {
             if let Some(o) = self.obs.as_deref_mut() {
                 o.emit(self.now, seq, entry.pc, ObsEvent::Dispatch);
             }
-            self.rob.push_back(entry);
-            if !trivially_done {
-                self.iq.push(seq);
+            let slot = self.rob.push_back(seq, entry);
+            if trivially_done {
+                self.done_bits.set(slot);
+            }
+            if inst.is_cond_branch() || inst.is_indirect() {
+                // Resolution pending: blocks visibility until applied.
+                self.ctrl_unresolved.set(slot);
             }
             if inst.is_load() {
-                self.lq.push(seq);
+                self.load_unperformed.set(slot);
+                self.lq.push((slot, seq));
             }
             if inst.is_store() {
-                self.sq.push(seq);
+                self.sq.push((slot, seq));
+            }
+            if !trivially_done {
+                // Register as a waiter on each not-yet-ready source; the
+                // unready count reaching zero (at the producers' writeback)
+                // marks the entry issue-ready. Duplicate sources register
+                // twice and are decremented twice — the count stays exact.
+                let mut unready: u8 = 0;
+                for p in psrcs.iter().flatten() {
+                    if !self.regs.is_ready(*p) {
+                        self.regs.add_waiter(*p, slot, seq);
+                        unready += 1;
+                    }
+                }
+                self.iq_unready[slot as usize] = unready;
+                if unready == 0 {
+                    self.iq_ready.set(slot);
+                    self.iq_ready_count += 1;
+                }
+                self.iq.push_back(slot);
             }
         }
     }

@@ -22,6 +22,8 @@ pub mod branch;
 pub mod config;
 mod core;
 pub mod regfile;
+mod rob;
+mod sched;
 pub mod stats;
 pub mod trace;
 

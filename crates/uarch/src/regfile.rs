@@ -34,21 +34,48 @@ pub struct PhysReg {
     pub idx: u16,
 }
 
-/// A register-alias-table snapshot taken at rename, used to recover from
-/// squashes.
+/// A whole-RAT copy (diagnostics and differential tests; the pipeline
+/// itself recovers from squashes by walking renames back via
+/// [`RegFile::unrename`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RatSnapshot {
     int: [u16; NUM_REGS],
     fp: [u16; NUM_FREGS],
 }
 
+/// An issue-queue entry waiting on a register: the waiting instruction's
+/// ROB `(slot, seq)` handle. The seq makes stale registrations (from
+/// squashed instructions) self-invalidating — the core drops any waiter
+/// whose seq no longer matches the slot's occupant.
+pub(crate) type Waiter = (u32, u64);
+
 #[derive(Debug, Clone)]
 struct Bank {
     val: Vec<u64>,
-    ready: Vec<bool>,
+    /// Readiness, one bit per physical register (bit i of word i/64).
+    /// Packed so the dispatch-time readiness probe touches one cache
+    /// line for the whole file.
+    ready: Vec<u64>,
     yrot: Vec<Option<u64>>,
+    /// Wakeup lists: issue-queue entries blocked on this register.
+    /// Drained on write; cleared on (re)allocation. The inner vectors
+    /// keep their capacity across reuse, so steady state never
+    /// allocates.
+    waiters: Vec<Vec<Waiter>>,
     free: Vec<u16>,
     rat: [u16; NUM_REGS],
+}
+
+fn bit_get(words: &[u64], i: usize) -> bool {
+    words[i / 64] & (1u64 << (i % 64)) != 0
+}
+
+fn bit_set(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1u64 << (i % 64);
+}
+
+fn bit_clear(words: &mut [u64], i: usize) {
+    words[i / 64] &= !(1u64 << (i % 64));
 }
 
 impl Bank {
@@ -61,11 +88,14 @@ impl Bank {
         Bank {
             val: vec![0; phys],
             ready: {
-                let mut v = vec![false; phys];
-                v[..NUM_REGS].fill(true);
+                let mut v = vec![0u64; phys.div_ceil(64)];
+                for i in 0..NUM_REGS {
+                    bit_set(&mut v, i);
+                }
                 v
             },
             yrot: vec![None; phys],
+            waiters: vec![Vec::new(); phys],
             free: (NUM_REGS as u16..phys as u16).rev().collect(),
             rat,
         }
@@ -128,9 +158,17 @@ impl RegFile {
         let idx = bank.free.pop()?;
         let old = bank.rat[arch];
         bank.rat[arch] = idx;
-        bank.ready[idx as usize] = false;
+        bit_clear(&mut bank.ready, idx as usize);
         bank.yrot[idx as usize] = None;
+        bank.waiters[idx as usize].clear();
         Some((PhysReg { class, idx }, PhysReg { class, idx: old }))
+    }
+
+    /// Rewinds one rename (squash recovery): points `arch` in `class`'s
+    /// RAT back at `old`, the mapping [`RegFile::alloc`] displaced.
+    pub fn unrename(&mut self, class: RegClass, arch: usize, old: PhysReg) {
+        debug_assert_eq!(old.class, class);
+        self.bank_mut(class).rat[arch] = old.idx;
     }
 
     /// Returns a physical register to the free list.
@@ -149,7 +187,19 @@ impl RegFile {
     /// Whether the register's value has been produced.
     #[must_use]
     pub fn is_ready(&self, p: PhysReg) -> bool {
-        self.bank(p.class).ready[p.idx as usize]
+        bit_get(&self.bank(p.class).ready, p.idx as usize)
+    }
+
+    /// Registers an issue-queue entry (by ROB `(slot, seq)` handle) to be
+    /// woken when this register's value is produced.
+    pub(crate) fn add_waiter(&mut self, p: PhysReg, slot: u32, seq: u64) {
+        self.bank_mut(p.class).waiters[p.idx as usize].push((slot, seq));
+    }
+
+    /// Moves this register's pending waiters into `out` (leaving the
+    /// internal list empty but with its capacity intact).
+    pub(crate) fn drain_waiters_into(&mut self, p: PhysReg, out: &mut Vec<Waiter>) {
+        out.append(&mut self.bank_mut(p.class).waiters[p.idx as usize]);
     }
 
     /// The register's value.
@@ -173,17 +223,20 @@ impl RegFile {
         self.bank_mut(p.class).yrot[p.idx as usize] = yrot;
     }
 
-    /// Produces the register's value (writeback), waking dependents.
+    /// Produces the register's value (writeback). Dependent issue-queue
+    /// entries are woken by the core via `RegFile::drain_waiters_into`.
     pub fn write(&mut self, p: PhysReg, value: u64) {
         let bank = self.bank_mut(p.class);
         bank.val[p.idx as usize] = value;
-        bank.ready[p.idx as usize] = true;
+        bit_set(&mut bank.ready, p.idx as usize);
     }
 
     /// Marks a register not-ready again (a squashed producer will
     /// re-execute; used when re-issuing a load after a failed Obl-Ld).
+    /// Only ever applied to a register whose in-queue consumers have all
+    /// been squashed, so no wakeup list needs to be rebuilt.
     pub fn unwrite(&mut self, p: PhysReg) {
-        self.bank_mut(p.class).ready[p.idx as usize] = false;
+        bit_clear(&mut self.bank_mut(p.class).ready, p.idx as usize);
     }
 
     /// Snapshot of both RATs (taken at every rename for squash recovery).
@@ -267,6 +320,18 @@ mod tests {
     }
 
     #[test]
+    fn unrename_rewinds_a_chain_of_allocs_oldest_last() {
+        let mut rf = RegFile::new(80, 80);
+        let before = rf.snapshot();
+        // Two renames of the same arch reg; undo youngest-first.
+        let (_n1, o1) = rf.alloc(RegClass::Int, 3).unwrap();
+        let (_n2, o2) = rf.alloc(RegClass::Int, 3).unwrap();
+        rf.unrename(RegClass::Int, 3, o2);
+        rf.unrename(RegClass::Int, 3, o1);
+        assert_eq!(rf.snapshot(), before);
+    }
+
+    #[test]
     fn snapshot_restore_roundtrip() {
         let mut rf = RegFile::new(64, 64);
         let before = rf.snapshot();
@@ -316,5 +381,27 @@ mod tests {
     #[should_panic(expected = "at least")]
     fn too_few_physical_registers_panics() {
         let _ = RegFile::new(32, 64);
+    }
+
+    #[test]
+    fn waiters_drain_once_and_clear_on_realloc() {
+        let mut rf = RegFile::new(64, 64);
+        let (p, _) = rf.alloc(RegClass::Int, 1).unwrap();
+        rf.add_waiter(p, 7, 100);
+        rf.add_waiter(p, 9, 101);
+        let mut out = Vec::new();
+        rf.drain_waiters_into(p, &mut out);
+        assert_eq!(out, vec![(7, 100), (9, 101)]);
+        out.clear();
+        rf.drain_waiters_into(p, &mut out);
+        assert!(out.is_empty(), "waiters deliver exactly once");
+        // A stale registration must not survive reallocation of the slot.
+        rf.add_waiter(p, 11, 102);
+        rf.release(p);
+        let (p2, _) = rf.alloc(RegClass::Int, 2).unwrap();
+        if p2.idx == p.idx {
+            rf.drain_waiters_into(p2, &mut out);
+            assert!(out.is_empty());
+        }
     }
 }

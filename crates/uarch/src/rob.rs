@@ -1,0 +1,627 @@
+//! Structure-of-arrays reorder buffer slab.
+//!
+//! The ROB is a fixed-capacity circular window over pre-allocated slots.
+//! The fields every per-cycle sweep touches — sequence numbers and the
+//! boolean pipeline state — live in parallel arrays ([`RobSlab::seq`]
+//! plus [`BitSet`] bitwords owned by the core), while the cold per-entry
+//! payload stays in one `body` array indexed by the same slot. Stages
+//! address entries by a generational `(slot, seq)` handle: sequence
+//! numbers are never reused, so comparing the slab's current `seq[slot]`
+//! against a handle's seq detects squashed entries in O(1), replacing
+//! the old seq-keyed binary searches.
+//!
+//! ## Safe-prefix visibility frontier
+//!
+//! STT visibility ("safe"/untainted state) is always a prefix of the
+//! window: entries become safe oldest-first up to the first blocker, and
+//! once safe never revert while live. The slab therefore stores it as a
+//! single `safe_len` counter plus the cached sequence number of the
+//! first unsafe entry — making every taint check (`seq >=
+//! first_unsafe_seq`) a compare instead of a ROB lookup. Invariants:
+//!
+//! * `safe_len <= len`; positions `0..safe_len` are safe.
+//! * `first_unsafe_seq` is `seq` at position `safe_len`, or `u64::MAX`
+//!   when the whole window is safe (or empty).
+//! * `advance_safe` only grows the prefix (per-entry safety is monotone
+//!   while live); commits shrink it from the front in lockstep with the
+//!   window, squashes clamp it from the back.
+
+/// A fixed-capacity bitword set indexed by ROB slot. One bit per slot,
+/// packed 64 per word, so whole-window predicates (sweep candidate
+/// masks, visibility blockers) cost a few word operations.
+#[derive(Debug, Clone)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    pub fn new(cap: usize) -> Self {
+        BitSet { words: vec![0; cap.div_ceil(64).max(1)] }
+    }
+
+    #[inline]
+    pub fn get(&self, i: u32) -> bool {
+        self.words[i as usize / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: u32) {
+        self.words[i as usize / 64] |= 1u64 << (i % 64);
+    }
+
+    #[inline]
+    pub fn clear(&mut self, i: u32) {
+        self.words[i as usize / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether any bit is set. Bits are only ever set on live slots (the
+    /// core clears a slot's bits when the entry leaves the window), so
+    /// this is a valid O(words) stage-skip gate.
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    #[inline]
+    fn word(&self, w: usize) -> u64 {
+        self.words[w]
+    }
+
+    /// Clears every bit in the slot range `[a, b)` with word-masked
+    /// stores — the squash path's bulk alternative to per-slot clears.
+    pub fn clear_range(&mut self, a: u32, b: u32) {
+        if a >= b {
+            return;
+        }
+        let (a, b) = (a as usize, b as usize);
+        let mut w = a / 64;
+        let last = (b - 1) / 64;
+        while w <= last {
+            let lo = (w * 64).max(a) - w * 64;
+            let hi = ((w + 1) * 64).min(b) - w * 64;
+            let mask = if hi - lo == 64 { !0u64 } else { ((1u64 << (hi - lo)) - 1) << lo };
+            self.words[w] &= !mask;
+            w += 1;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// "Not a slot" sentinel for [`SlotList`] links.
+const NIL: u32 = u32::MAX;
+
+/// An intrusive doubly-linked list over ROB slots (the issue queue).
+/// Each slot appears at most once; membership, tail insertion and
+/// removal by slot are all O(1), so the issue stage never walks waiting
+/// entries it cannot issue. List order is insertion order, which for
+/// the IQ is dispatch (age) order. `next[slot] == slot` is the
+/// "absent" sentinel — a queued node's `next` is another slot or
+/// [`NIL`], never itself.
+#[derive(Debug)]
+pub(crate) struct SlotList {
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl SlotList {
+    pub fn new(cap: usize) -> Self {
+        SlotList {
+            next: (0..cap as u32).collect(),
+            prev: vec![NIL; cap],
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn contains(&self, slot: u32) -> bool {
+        self.next[slot as usize] != slot
+    }
+
+    pub fn push_back(&mut self, slot: u32) {
+        debug_assert!(!self.contains(slot), "slot already queued");
+        self.prev[slot as usize] = self.tail;
+        self.next[slot as usize] = NIL;
+        if self.tail == NIL {
+            self.head = slot;
+        } else {
+            self.next[self.tail as usize] = slot;
+        }
+        self.tail = slot;
+        self.len += 1;
+    }
+
+    pub fn remove(&mut self, slot: u32) {
+        debug_assert!(self.contains(slot), "slot not queued");
+        let (p, n) = (self.prev[slot as usize], self.next[slot as usize]);
+        if p == NIL {
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+        self.next[slot as usize] = slot;
+        self.prev[slot as usize] = NIL;
+        self.len -= 1;
+    }
+}
+
+/// The circular slab. `B` is the cold per-entry body (the core's
+/// `InstSlot`); hot flags live outside in [`BitSet`]s sharing the slot
+/// index space.
+#[derive(Debug)]
+pub(crate) struct RobSlab<B> {
+    cap: usize,
+    head: usize,
+    len: usize,
+    seq: Vec<u64>,
+    body: Vec<B>,
+    safe_len: usize,
+    first_unsafe_seq: u64,
+}
+
+impl<B> RobSlab<B> {
+    /// Pre-allocates `cap` slots, filling each with an inert placeholder
+    /// from `fill` (slots are fully overwritten on dispatch).
+    pub fn new(cap: usize, fill: impl FnMut() -> B) -> Self {
+        assert!(cap > 0, "ROB capacity must be positive");
+        RobSlab {
+            cap,
+            head: 0,
+            len: 0,
+            seq: vec![0; cap],
+            body: std::iter::repeat_with(fill).take(cap).collect(),
+            safe_len: 0,
+            first_unsafe_seq: u64::MAX,
+        }
+    }
+
+    /// The youngest entry's slot, if any.
+    #[inline]
+    pub fn back_slot(&self) -> Option<u32> {
+        (self.len > 0).then(|| self.slot_at(self.len - 1))
+    }
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Slot holding the window position `pos` (0 = oldest).
+    #[inline]
+    pub fn slot_at(&self, pos: usize) -> u32 {
+        debug_assert!(pos < self.len);
+        ((self.head + pos) % self.cap) as u32
+    }
+
+    /// The oldest entry's slot, if any.
+    #[inline]
+    pub fn head_slot(&self) -> Option<u32> {
+        (self.len > 0).then_some(self.head as u32)
+    }
+
+    /// Whether `slot` currently holds a live window entry.
+    #[inline]
+    pub fn in_window(&self, slot: u32) -> bool {
+        (slot as usize + self.cap - self.head) % self.cap < self.len
+    }
+
+    /// Whether the `(slot, seq)` handle still names a live entry.
+    #[inline]
+    pub fn is_live(&self, slot: u32, seq: u64) -> bool {
+        self.seq[slot as usize] == seq && self.in_window(slot)
+    }
+
+    /// Sequence number currently stored at `slot` (meaningful only for
+    /// live slots; dead slots retain their last occupant's seq, which is
+    /// exactly what makes handle checks work).
+    #[inline]
+    pub fn seq_of(&self, slot: u32) -> u64 {
+        self.seq[slot as usize]
+    }
+
+    #[inline]
+    pub fn body(&self, slot: u32) -> &B {
+        &self.body[slot as usize]
+    }
+
+    #[inline]
+    pub fn body_mut(&mut self, slot: u32) -> &mut B {
+        &mut self.body[slot as usize]
+    }
+
+    /// Sequence number of the first (oldest) unsafe entry, or
+    /// `u64::MAX` when everything live is safe. A YRoT `seq` denotes
+    /// active taint iff `seq >= first_unsafe_seq`.
+    #[inline]
+    pub fn first_unsafe_seq(&self) -> u64 {
+        self.first_unsafe_seq
+    }
+
+    /// Appends a new youngest entry; returns its slot. The new entry is
+    /// unsafe (visibility advances only in `advance_safe`).
+    pub fn push_back(&mut self, seq: u64, b: B) -> u32 {
+        assert!(self.len < self.cap, "ROB slab overflow");
+        let slot = ((self.head + self.len) % self.cap) as u32;
+        self.seq[slot as usize] = seq;
+        self.body[slot as usize] = b;
+        self.len += 1;
+        if self.safe_len == self.len - 1 {
+            // The new entry sits exactly at the frontier.
+            self.first_unsafe_seq = seq;
+        }
+        slot
+    }
+
+    /// Removes the oldest entry, returning its (now dead) slot. The
+    /// caller copies out whatever it needs first. Commit does not
+    /// consult visibility, so the head may retire while still unsafe
+    /// (e.g. in the same cycle its blocking resolution applied, before
+    /// the next visibility pass): safety is a prefix, so an unsafe head
+    /// means `safe_len == 0` and the frontier moves to the new head.
+    /// Either way a retired seq compares below `first_unsafe_seq`
+    /// afterwards — retirement untaints.
+    pub fn pop_front(&mut self) -> u32 {
+        debug_assert!(self.len > 0);
+        let slot = self.head as u32;
+        self.head = (self.head + 1) % self.cap;
+        self.len -= 1;
+        if self.safe_len > 0 {
+            self.safe_len -= 1;
+        } else {
+            self.first_unsafe_seq =
+                if self.len > 0 { self.seq[self.head] } else { u64::MAX };
+        }
+        slot
+    }
+
+    /// Removes the youngest entry (squash path), returning its dead
+    /// slot. Clamps the safe prefix if it extended past the new end.
+    pub fn pop_back(&mut self) -> u32 {
+        debug_assert!(self.len > 0);
+        self.len -= 1;
+        let slot = ((self.head + self.len) % self.cap) as u32;
+        if self.safe_len >= self.len {
+            // The first unsafe entry (and everything after) is gone:
+            // every remaining live entry is safe.
+            self.safe_len = self.len;
+            self.first_unsafe_seq = u64::MAX;
+        }
+        slot
+    }
+
+    /// Advances the visibility frontier given the combined blocker masks
+    /// (OR of the provided bitsets). The frontier grows to include
+    /// everything up to and including the first blocker — and never
+    /// shrinks: a blocker arising *inside* the already-safe prefix (a
+    /// pending consistency squash on a retired-visibility load) must not
+    /// revoke safety already granted. Returns whether any entry newly
+    /// became safe.
+    pub fn advance_safe(&mut self, blockers: &[&BitSet]) -> bool {
+        let reach = match self.first_blocker_pos(blockers) {
+            Some(pos) => (pos + 1).min(self.len),
+            None => self.len,
+        };
+        let progressed = reach > self.safe_len;
+        if progressed {
+            self.safe_len = reach;
+            self.first_unsafe_seq = if self.safe_len < self.len {
+                self.seq[self.slot_at(self.safe_len) as usize]
+            } else {
+                u64::MAX
+            };
+        }
+        progressed
+    }
+
+    /// Window position of the first entry with a bit set in any of
+    /// `masks`, oldest-first.
+    fn first_blocker_pos(&self, masks: &[&BitSet]) -> Option<usize> {
+        let mut found: Option<u32> = None;
+        self.scan_spans(|word, span_mask| {
+            let mut hit = 0u64;
+            for m in masks {
+                hit |= m.word(word);
+            }
+            hit &= span_mask;
+            if hit != 0 {
+                found = Some((word * 64) as u32 + hit.trailing_zeros());
+                true
+            } else {
+                false
+            }
+        });
+        found.map(|slot| (slot as usize + self.cap - self.head) % self.cap)
+    }
+
+    /// Snapshots every live `(slot, seq)` whose bit is set in `mask`,
+    /// oldest-first, into `out` (cleared first). This is the resolve
+    /// stage's candidate capture: the caller then re-checks each handle
+    /// for liveness as squashes land mid-sweep.
+    pub fn collect_mask(&self, mask: &BitSet, out: &mut Vec<(u32, u64)>) {
+        out.clear();
+        self.scan_spans(|word, span_mask| {
+            let mut hit = mask.word(word) & span_mask;
+            while hit != 0 {
+                let slot = (word * 64) as u32 + hit.trailing_zeros();
+                out.push((slot, self.seq[slot as usize]));
+                hit &= hit - 1;
+            }
+            false
+        });
+    }
+
+    /// Drives `f` over the (up to two) contiguous slot spans of the
+    /// circular window, word by word, passing the word index and a mask
+    /// selecting the in-window bits of that word. `f` returns `true` to
+    /// stop early. Within a span, words run oldest-first; span one
+    /// (head..) precedes span two (the wrap), so visiting order is
+    /// window order — except that a *word-aligned* wrap could interleave
+    /// ages across spans' shared words; spans never share a word because
+    /// they cover disjoint slot ranges.
+    fn scan_spans(&self, mut f: impl FnMut(usize, u64) -> bool) {
+        let end = self.head + self.len;
+        let spans = [(self.head, end.min(self.cap)), (0, end.saturating_sub(self.cap))];
+        for (a, b) in spans {
+            if a >= b {
+                continue;
+            }
+            let mut w = a / 64;
+            let last = (b - 1) / 64;
+            while w <= last {
+                let lo = (w * 64).max(a) - w * 64;
+                let hi = ((w + 1) * 64).min(b) - w * 64;
+                let mask = if hi - lo == 64 { !0u64 } else { ((1u64 << (hi - lo)) - 1) << lo };
+                if f(w, mask) {
+                    return;
+                }
+                w += 1;
+            }
+        }
+    }
+
+    /// The (up to two) contiguous slot ranges `[start, end)` occupied by
+    /// window positions `from..to`. Positions past `len` are legal — the
+    /// squash path asks about the just-popped suffix.
+    pub fn slot_ranges(&self, from: usize, to: usize) -> [(u32, u32); 2] {
+        if from >= to {
+            return [(0, 0), (0, 0)];
+        }
+        let a = self.head + from;
+        let b = self.head + to;
+        let first = (a % self.cap, if b <= self.cap { b } else { self.cap });
+        let second = if b > self.cap { (0, b - self.cap) } else { (0, 0) };
+        // A wrapped `a` means the whole range lives in the low span.
+        if a >= self.cap {
+            return [((a - self.cap) as u32, (b - self.cap) as u32), (0, 0)];
+        }
+        [(first.0 as u32, first.1 as u32), (second.0 as u32, second.1 as u32)]
+    }
+
+    /// Iterates the live slots oldest-first (diagnostics / cold paths).
+    pub fn slots(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len).map(|pos| self.slot_at(pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slab(cap: usize) -> RobSlab<u32> {
+        RobSlab::new(cap, || 0)
+    }
+
+    #[test]
+    fn clear_range_and_count_are_word_mask_exact() {
+        let mut b = BitSet::new(200);
+        for i in [0u32, 63, 64, 127, 128, 199] {
+            b.set(i);
+        }
+        assert_eq!(b.count(), 6);
+        b.clear_range(63, 128); // kills 63, 64, 127
+        assert_eq!(b.count(), 3);
+        assert!(b.get(0) && b.get(128) && b.get(199));
+        assert!(!b.get(63) && !b.get(64) && !b.get(127));
+        b.clear_range(5, 5); // empty range is a no-op
+        assert_eq!(b.count(), 3);
+    }
+
+    #[test]
+    fn slot_ranges_covers_wrap_geometries() {
+        let mut s = slab(8);
+        for i in 0..8 {
+            s.push_back(i, 0);
+        }
+        s.advance_safe(&[]);
+        for _ in 0..6 {
+            s.pop_front();
+        }
+        s.push_back(8, 0);
+        s.push_back(9, 0);
+        s.push_back(10, 0); // head at 6, len 5: slots 6,7,0,1,2
+        assert_eq!(s.slot_ranges(0, 5), [(6, 8), (0, 3)]);
+        assert_eq!(s.slot_ranges(0, 2), [(6, 8), (0, 0)]);
+        assert_eq!(s.slot_ranges(2, 5), [(0, 3), (0, 0)]);
+        assert_eq!(s.slot_ranges(3, 3), [(0, 0), (0, 0)]);
+    }
+
+    #[test]
+    fn slot_list_push_remove_preserves_order_and_membership() {
+        let mut l = SlotList::new(8);
+        for s in [3u32, 5, 1, 7] {
+            l.push_back(s);
+        }
+        assert_eq!(l.len(), 4);
+        assert!(l.contains(5) && !l.contains(0));
+        l.remove(5); // middle
+        l.remove(3); // head
+        l.remove(7); // tail
+        assert_eq!(l.len(), 1);
+        assert!(l.contains(1) && !l.contains(5));
+        l.remove(1);
+        assert_eq!(l.len(), 0);
+        // Reuse after full drain.
+        l.push_back(5);
+        assert!(l.contains(5));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn push_pop_wraps_and_tracks_handles() {
+        let mut s = slab(4);
+        let a = s.push_back(10, 1);
+        let b = s.push_back(11, 2);
+        assert!(s.is_live(a, 10) && s.is_live(b, 11));
+        s.advance_safe(&[]);
+        assert_eq!(s.pop_front(), a);
+        assert!(!s.is_live(a, 10), "popped handle dies");
+        // Wrap around the 4-entry ring several times.
+        for i in 0..10u64 {
+            let sl = s.push_back(12 + i, 0);
+            assert!(s.is_live(sl, 12 + i));
+            s.advance_safe(&[]); // everything safe so pops are legal
+            let h = s.head_slot().unwrap();
+            let hseq = s.seq_of(h);
+            assert_eq!(s.pop_front(), h);
+            assert!(!s.is_live(h, hseq));
+        }
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn slot_reuse_invalidates_old_handles() {
+        let mut s = slab(2);
+        let a = s.push_back(1, 0);
+        s.advance_safe(&[]);
+        s.pop_front();
+        let b = s.push_back(2, 0);
+        // Depending on geometry the slot may be reused; either way the
+        // old handle must be dead and the new one live.
+        assert!(!s.is_live(a, 1));
+        assert!(s.is_live(b, 2));
+    }
+
+    #[test]
+    fn safe_prefix_advances_to_first_blocker_inclusive() {
+        let mut s = slab(8);
+        let mut blk = BitSet::new(8);
+        for i in 0..5 {
+            s.push_back(i, 0);
+        }
+        blk.set(s.slot_at(2));
+        assert!(s.advance_safe(&[&blk]));
+        // Positions 0..=2 safe; first unsafe is seq 3.
+        assert_eq!(s.first_unsafe_seq(), 3);
+        assert!(!s.advance_safe(&[&blk]), "no change, no progress");
+        blk.clear(s.slot_at(2));
+        assert!(s.advance_safe(&[&blk]));
+        assert_eq!(s.first_unsafe_seq(), u64::MAX);
+    }
+
+    #[test]
+    fn frontier_never_regresses_on_blocker_inside_prefix() {
+        let mut s = slab(8);
+        let mut blk = BitSet::new(8);
+        for i in 0..4 {
+            s.push_back(i, 0);
+        }
+        s.advance_safe(&[]);
+        assert_eq!(s.first_unsafe_seq(), u64::MAX);
+        // A late blocker on an already-safe entry must not untaint-revoke.
+        blk.set(s.slot_at(1));
+        assert!(!s.advance_safe(&[&blk]));
+        assert_eq!(s.first_unsafe_seq(), u64::MAX);
+    }
+
+    #[test]
+    fn squash_clamps_frontier_and_commit_slides_it() {
+        let mut s = slab(8);
+        let mut blk = BitSet::new(8);
+        for i in 0..6 {
+            s.push_back(i, 0);
+        }
+        blk.set(s.slot_at(3));
+        s.advance_safe(&[&blk]); // safe 0..=3, first unsafe seq 4
+        assert_eq!(s.first_unsafe_seq(), 4);
+        s.pop_back(); // kill seq 5
+        assert_eq!(s.first_unsafe_seq(), 4, "frontier entry still live");
+        s.pop_back(); // kill seq 4 — the frontier entry itself
+        assert_eq!(s.first_unsafe_seq(), u64::MAX, "all live entries safe");
+        s.pop_front(); // commit seq 0
+        assert_eq!(s.len(), 3);
+        // New push lands exactly at the frontier.
+        s.push_back(6, 0);
+        assert_eq!(s.first_unsafe_seq(), 6);
+    }
+
+    #[test]
+    fn committing_an_unsafe_head_untaints_it() {
+        let mut s = slab(4);
+        for i in 0..3 {
+            s.push_back(i, 0);
+        }
+        assert_eq!(s.first_unsafe_seq(), 0);
+        s.pop_front(); // retire seq 0 while still unsafe
+        assert_eq!(s.first_unsafe_seq(), 1, "frontier follows the head");
+        s.pop_front();
+        s.pop_front();
+        assert_eq!(s.first_unsafe_seq(), u64::MAX);
+    }
+
+    #[test]
+    fn collect_mask_is_window_ordered_across_wrap() {
+        let mut s = slab(4);
+        for i in 0..4 {
+            s.push_back(i, 0);
+        }
+        s.advance_safe(&[]);
+        s.pop_front();
+        s.pop_front();
+        s.push_back(4, 0);
+        s.push_back(5, 0); // window seqs: 2,3,4,5 with head at slot 2
+        let mut m = BitSet::new(4);
+        for sl in s.slots() {
+            m.set(sl);
+        }
+        let mut out = Vec::new();
+        s.collect_mask(&m, &mut out);
+        let seqs: Vec<u64> = out.iter().map(|&(_, q)| q).collect();
+        assert_eq!(seqs, vec![2, 3, 4, 5], "oldest-first despite wrap");
+    }
+
+    #[test]
+    fn first_blocker_respects_window_order_not_slot_order() {
+        let mut s = slab(4);
+        for i in 0..4 {
+            s.push_back(i, 0);
+        }
+        s.advance_safe(&[]);
+        s.pop_front();
+        s.pop_front();
+        s.push_back(4, 0);
+        s.push_back(5, 0); // slots for seq 4,5 are 0,1 — numerically lowest
+        let mut blk = BitSet::new(4);
+        blk.set(s.slot_at(1)); // blocker on seq 3
+        blk.set(s.slot_at(2)); // and on seq 4
+        s.advance_safe(&[&blk]);
+        // Safe must stop at seq 3 (window pos 1), not at the low slot.
+        assert_eq!(s.first_unsafe_seq(), 4);
+    }
+}

@@ -1,0 +1,266 @@
+//! Calendar-wheel event scheduler for the core's writeback events.
+//!
+//! The core schedules every completion (functional-unit writeback, load
+//! data return, Obl-Ld per-level responses, validation results) at an
+//! absolute cycle. A binary heap makes each push/pop `O(log n)`; this
+//! wheel makes the common path `O(1)`:
+//!
+//! * events due within the wheel horizon `W` land in `bucket[at % W]`
+//!   and are popped by draining the current cycle's bucket;
+//! * rarer far-future events (`at - now >= W`) go to a small overflow
+//!   heap, consulted by its min only;
+//! * a per-bucket occupancy bitmap supports `next_at` — the earliest
+//!   pending cycle — in a handful of word scans, which is what the
+//!   quiescence fast-forward horizon (DESIGN.md §11) needs.
+//!
+//! ## Delivery-order equivalence with the heap
+//!
+//! The heap delivered events ordered by `(at, order)` with `order`
+//! globally monotone. The wheel preserves that order exactly:
+//!
+//! * Every event is scheduled strictly in the future (`at > now` at push
+//!   time) and no cycle with a pending bucket event is ever skipped (the
+//!   fast-forward horizon is clamped below `next_at`), so at delivery
+//!   time every due event has `at == now` exactly.
+//! * A bucket holds events for a single cycle (pushes land in a bucket
+//!   only when `at - now < W`, so one rotation's worth), and pushes into
+//!   it happen in increasing `order` — FIFO drain is `(at, order)` order.
+//! * An overflow event due at cycle `c` was pushed at some cycle
+//!   `<= c - W`, while every bucket event for `c` was pushed at a cycle
+//!   `> c - W`; `order` is monotone in push time, so *all* overflow
+//!   events for a cycle precede *all* bucket events for it. Draining the
+//!   overflow heap first, then the bucket, is therefore exact.
+
+use sdo_mem::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Wheel horizon in cycles. Must be a power of two. 1024 comfortably
+/// covers every fixed latency in the model (DRAM row miss ~120 cycles
+/// plus queuing); anything beyond it is MSHR/bank-contention tail and
+/// takes the overflow path.
+const WHEEL_HORIZON: usize = 1024;
+
+/// One scheduled completion, addressed by the target instruction's ROB
+/// `(slot, seq)` handle so delivery needs no sequence-number search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Event<K> {
+    pub at: Cycle,
+    pub order: u64,
+    pub slot: u32,
+    pub seq: u64,
+    pub kind: K,
+}
+
+impl<K: Eq> Ord for Event<K> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.order).cmp(&(other.at, other.order))
+    }
+}
+
+impl<K: Eq> PartialOrd for Event<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The wheel itself. `len` counts all pending events (buckets +
+/// overflow) for diagnostics.
+#[derive(Debug)]
+pub(crate) struct EventWheel<K> {
+    buckets: Vec<Vec<Event<K>>>,
+    /// Bit `i` set iff `buckets[i]` is non-empty.
+    occupied: [u64; WHEEL_HORIZON / 64],
+    overflow: BinaryHeap<Reverse<Event<K>>>,
+    len: usize,
+}
+
+impl<K: Copy + Eq> EventWheel<K> {
+    pub fn new() -> Self {
+        EventWheel {
+            buckets: std::iter::repeat_with(Vec::new).take(WHEEL_HORIZON).collect(),
+            occupied: [0; WHEEL_HORIZON / 64],
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Schedules `ev`; `ev.at` must be strictly after `now`.
+    pub fn push(&mut self, now: Cycle, ev: Event<K>) {
+        debug_assert!(ev.at > now, "events are always scheduled in the future");
+        self.len += 1;
+        if (ev.at - now) < WHEEL_HORIZON as u64 {
+            let idx = (ev.at as usize) & (WHEEL_HORIZON - 1);
+            self.buckets[idx].push(ev);
+            self.occupied[idx / 64] |= 1u64 << (idx % 64);
+        } else {
+            self.overflow.push(Reverse(ev));
+        }
+    }
+
+    /// Appends every event due at `now` to `out`, in exact `(at, order)`
+    /// delivery order (see the module docs for why overflow-then-bucket
+    /// preserves it).
+    pub fn drain_due(&mut self, now: Cycle, out: &mut Vec<Event<K>>) {
+        while let Some(Reverse(ev)) = self.overflow.peek() {
+            if ev.at > now {
+                break;
+            }
+            let Some(Reverse(ev)) = self.overflow.pop() else { unreachable!("peeked") };
+            debug_assert!(ev.at == now, "overflow event missed its cycle");
+            self.len -= 1;
+            out.push(ev);
+        }
+        let idx = (now as usize) & (WHEEL_HORIZON - 1);
+        if self.occupied[idx / 64] & (1u64 << (idx % 64)) != 0 {
+            debug_assert!(self.buckets[idx].iter().all(|e| e.at == now));
+            self.len -= self.buckets[idx].len();
+            out.append(&mut self.buckets[idx]);
+            self.occupied[idx / 64] &= !(1u64 << (idx % 64));
+        }
+    }
+
+    /// The earliest cycle strictly after `now` with a pending event, if
+    /// any — the scheduler's contribution to the fast-forward horizon.
+    /// (No event is ever *due* by `now` when this is consulted; the core
+    /// drains first.)
+    pub fn next_at(&self, now: Cycle) -> Option<Cycle> {
+        let mut best: Option<Cycle> = self.overflow.peek().map(|Reverse(e)| e.at);
+        // Scan the occupancy bitmap for the first set bucket in wheel
+        // order starting just after `now`'s own bucket.
+        let start = ((now + 1) as usize) & (WHEEL_HORIZON - 1);
+        let mut remaining = WHEEL_HORIZON - 1; // exclude now's own bucket
+        let mut pos = start;
+        while remaining > 0 {
+            let word = pos / 64;
+            let bit = pos % 64;
+            let span = (64 - bit).min(remaining);
+            let mask = if span == 64 { !0u64 } else { ((1u64 << span) - 1) << bit };
+            let hit = self.occupied[word] & mask;
+            if hit != 0 {
+                let first = hit.trailing_zeros() as usize; // bit index in word
+                let offset = (word * 64 + first + WHEEL_HORIZON - start) % WHEEL_HORIZON;
+                let at = now + 1 + offset as u64;
+                best = Some(best.map_or(at, |b| b.min(at)));
+                break;
+            }
+            pos = (pos + span) % WHEEL_HORIZON;
+            remaining -= span;
+        }
+        best
+    }
+
+    /// The earliest pending event (for diagnostics only; `O(W/64)`).
+    pub fn peek_earliest(&self, now: Cycle) -> Option<&Event<K>> {
+        let bucket_at = {
+            // Include now's own bucket: diagnostics may run mid-cycle.
+            let idx = (now as usize) & (WHEEL_HORIZON - 1);
+            if self.occupied[idx / 64] & (1u64 << (idx % 64)) != 0 {
+                Some(now)
+            } else {
+                self.next_at(now).filter(|&at| {
+                    let i = (at as usize) & (WHEEL_HORIZON - 1);
+                    self.occupied[i / 64] & (1u64 << (i % 64)) != 0
+                })
+            }
+        };
+        let bucket_ev = bucket_at
+            .and_then(|at| self.buckets[(at as usize) & (WHEEL_HORIZON - 1)].first());
+        match (bucket_ev, self.overflow.peek().map(|Reverse(e)| e)) {
+            (Some(b), Some(o)) => Some(if (b.at, b.order) <= (o.at, o.order) { b } else { o }),
+            (Some(b), None) => Some(b),
+            (None, o) => o,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: Cycle, order: u64) -> Event<u8> {
+        Event { at, order, slot: 0, seq: order, kind: 0 }
+    }
+
+    #[test]
+    fn drains_in_at_then_order() {
+        let mut w = EventWheel::new();
+        w.push(0, ev(5, 3));
+        w.push(0, ev(2, 1));
+        w.push(0, ev(2, 2));
+        let mut out = Vec::new();
+        w.drain_due(1, &mut out);
+        assert!(out.is_empty());
+        w.drain_due(2, &mut out);
+        assert_eq!(out.iter().map(|e| e.order).collect::<Vec<_>>(), vec![1, 2]);
+        out.clear();
+        w.drain_due(5, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn overflow_events_precede_bucket_events_for_same_cycle() {
+        let mut w = EventWheel::new();
+        // Pushed early with a huge latency: overflow path, low order.
+        w.push(0, ev(5000, 1));
+        // Pushed later for the same cycle: bucket path, higher order.
+        w.push(4990, ev(5000, 2));
+        let mut out = Vec::new();
+        w.drain_due(5000, &mut out);
+        assert_eq!(out.iter().map(|e| e.order).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn next_at_sees_buckets_and_overflow() {
+        let mut w = EventWheel::new();
+        assert_eq!(w.next_at(10), None);
+        w.push(10, ev(900, 1));
+        assert_eq!(w.next_at(10), Some(900));
+        w.push(10, ev(40, 2));
+        assert_eq!(w.next_at(10), Some(40));
+        w.push(10, ev(10_000, 3));
+        assert_eq!(w.next_at(10), Some(40));
+        let mut out = Vec::new();
+        w.drain_due(40, &mut out);
+        w.drain_due(900, &mut out);
+        assert_eq!(w.next_at(900), Some(10_000));
+    }
+
+    #[test]
+    fn next_at_handles_wraparound() {
+        let mut w = EventWheel::new();
+        // now near a wheel boundary; target wraps around modulo 1024.
+        w.push(1020, ev(1030, 1));
+        assert_eq!(w.next_at(1020), Some(1030));
+        let mut out = Vec::new();
+        w.drain_due(1030, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(w.next_at(1030), None);
+    }
+
+    #[test]
+    fn horizon_boundary_goes_to_overflow() {
+        let mut w = EventWheel::new();
+        // at - now == WHEEL_HORIZON would collide with now's own bucket;
+        // it must take the overflow path and still deliver on time.
+        w.push(7, ev(7 + WHEEL_HORIZON as u64, 1));
+        assert_eq!(w.next_at(7), Some(7 + WHEEL_HORIZON as u64));
+        let mut out = Vec::new();
+        w.drain_due(7 + WHEEL_HORIZON as u64, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn peek_earliest_matches_min() {
+        let mut w = EventWheel::new();
+        w.push(0, ev(9, 2));
+        w.push(0, ev(3, 1));
+        w.push(0, ev(5000, 3));
+        assert_eq!(w.peek_earliest(0).map(|e| e.at), Some(3));
+    }
+}
