@@ -36,6 +36,9 @@ const SPEC: BinSpec = BinSpec {
     metrics: true,
     seed: true,
     no_skip: false,
+    // Static analysis and checker differentials run no cacheable
+    // simulations (the dynamic side carries the observability probe).
+    client: false,
     extra_options: &[
         ("--variant <name>", "classify under one variant (repeatable; default: all)"),
         ("--report <dir>", "write findings (and counterexamples) as JSONL under <dir>"),

@@ -13,7 +13,7 @@
 //! numbers are comparable across machines and runs).
 
 use sdo_bench::bench_case;
-use sdo_harness::{SimConfig, Simulator, Variant};
+use sdo_harness::{RunRequest, SimConfig, Simulator, Variant};
 use sdo_mem::CacheLevel;
 use sdo_uarch::AttackModel;
 use sdo_workloads::kernels::{l1_resident, mix_branchy};
@@ -45,10 +45,11 @@ fn main() {
         let mut class_secs = 0.0f64;
         for variant in variants {
             // Warmup run (untimed), then a timed measurement.
-            let r = sim.run_workload(&w, variant, AttackModel::Spectre).expect("kernel completes");
+            let req = RunRequest::workload(&w).variant(variant).attack(AttackModel::Spectre);
+            let r = sim.run(&req).expect("kernel completes").into_result();
             assert_eq!(r.skipped_cycles, 0, "busy-cycle bench must not fast-forward");
             let t0 = Instant::now();
-            let r = sim.run_workload(&w, variant, AttackModel::Spectre).expect("kernel completes");
+            let r = sim.run(&req).expect("kernel completes").into_result();
             let secs = t0.elapsed().as_secs_f64();
             class_cycles += r.cycles;
             class_secs += secs;
@@ -72,8 +73,9 @@ fn main() {
     // Relative cost sanity: the same work timed end-to-end through
     // bench_case, for eyeballing run-to-run spread.
     for (class, w) in cases() {
+        let req = RunRequest::workload(&w).variant(Variant::Unsafe).attack(AttackModel::Spectre);
         bench_case(&format!("busy_cycle/{class}/unsafe"), 3, || {
-            sim.run_workload(&w, Variant::Unsafe, AttackModel::Spectre).expect("completes").cycles
+            sim.run(&req).expect("completes").into_result().cycles
         });
     }
 }

@@ -17,6 +17,7 @@ const SPEC: BinSpec = BinSpec {
     metrics: false,
     seed: false,
     no_skip: false,
+    client: false,
     extra_options: &[],
 };
 

@@ -21,7 +21,7 @@
 #![warn(missing_docs)]
 
 use sdo_harness::engine::JobPool;
-use sdo_harness::{SimConfig, Simulator, Variant};
+use sdo_harness::{Runner, RunRequest, SimConfig, Variant};
 use sdo_mem::CacheLevel;
 use sdo_uarch::AttackModel;
 use sdo_workloads::kernels::{
@@ -62,8 +62,8 @@ pub fn quick_results() -> sdo_harness::experiments::SuiteResults {
 /// Byte-identical to the serial path regardless of worker count.
 #[must_use]
 pub fn quick_results_with(pool: &JobPool) -> sdo_harness::experiments::SuiteResults {
-    let sim = Simulator::new(SimConfig::table_i());
-    sdo_harness::experiments::run_suite_on(&sim, &quick_suite(), pool)
+    let runner = Runner::local(SimConfig::table_i());
+    sdo_harness::experiments::run_suite_on(&runner, &quick_suite(), pool)
         .expect("quick suite completes")
 }
 
@@ -71,8 +71,11 @@ pub fn quick_results_with(pool: &JobPool) -> sdo_harness::experiments::SuiteResu
 /// the bench mains time).
 #[must_use]
 pub fn simulate_one(workload: &Workload, variant: Variant, attack: AttackModel) -> u64 {
-    let sim = Simulator::new(SimConfig::table_i());
-    sim.run_workload(workload, variant, attack).expect("kernel completes").cycles
+    let runner = Runner::local(SimConfig::table_i());
+    runner
+        .run_one(&RunRequest::workload(workload).variant(variant).attack(attack))
+        .expect("kernel completes")
+        .cycles
 }
 
 /// Times `f` for `samples` iterations (after one untimed warmup run) and

@@ -14,8 +14,8 @@ use sdo_harness::experiments::{
     busy_cycle_throughput, fig6_report, fig7_report, fig8_report, pentest_metrics, pentest_report,
     pentest_with, run_suite_on, run_suite_with, table3_report, SuiteResults,
 };
-use sdo_harness::export::{bench_suite_json, runs_csv, FastForwardBench};
-use sdo_harness::{SimConfig, Simulator, Variant};
+use sdo_harness::export::{bench_suite_json, runs_csv, FastForwardBench, ServeBench};
+use sdo_harness::{Runner, SimConfig, Variant};
 use sdo_workloads::{suite, workload_class, Workload};
 
 const SPEC: BinSpec = BinSpec {
@@ -27,6 +27,7 @@ const SPEC: BinSpec = BinSpec {
     metrics: true,
     seed: false,
     no_skip: true,
+    client: true,
     extra_options: &[(
         "--bench-out <path>",
         "write BENCH_suite.json here (empty path disables; default: BENCH_suite.json)",
@@ -47,11 +48,11 @@ fn main() {
     let pool = args.pool;
 
     let cfg = args.sim_config(SimConfig::table_i());
-    let sim = Simulator::new(cfg);
+    let runner = args.runner(&SPEC, SimConfig::table_i());
 
     // The suite, serially — the wall-clock baseline for the speedup.
     let (serial_results, serial_tp) = timed(&JobPool::serial(), SuiteResults::counts, |p| {
-        run_suite_with(&sim, p).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
+        run_suite_with(&runner, p).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
     });
     // The suite again, through the pool. Byte-identical by construction;
     // check it every run rather than asserting it in a comment. The
@@ -62,7 +63,7 @@ fn main() {
     let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let bench_pool = JobPool::new(pool.jobs().min(host_cpus));
     let (results, parallel_tp) = timed(&bench_pool, SuiteResults::counts, |p| {
-        run_suite_with(&sim, p).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
+        run_suite_with(&runner, p).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
     });
     assert_eq!(
         fig6_report(&serial_results),
@@ -73,7 +74,10 @@ fn main() {
     let (outcomes, pentest_tp) = timed(
         &pool,
         |o: &Vec<_>| (o.len() as u64, 0),
-        |p| pentest_with(&sim, p).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string())),
+        |p| {
+            pentest_with(runner.simulator(), p)
+                .unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
+        },
     );
 
     let (report, render_tp) = timed(
@@ -106,11 +110,11 @@ fn main() {
     let dram: Vec<Workload> =
         suite().into_iter().filter(|w| workload_class(w.name()) == "dram_bound").collect();
     let (skip_results, dram_skip_tp) = timed(&JobPool::serial(), SuiteResults::counts, |p| {
-        run_suite_on(&Simulator::new(SimConfig::table_i().with_fast_forward(true)), &dram, p)
+        run_suite_on(&Runner::local(SimConfig::table_i().with_fast_forward(true)), &dram, p)
             .unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
     });
     let (noskip_results, dram_noskip_tp) = timed(&JobPool::serial(), SuiteResults::counts, |p| {
-        run_suite_on(&Simulator::new(SimConfig::table_i().with_fast_forward(false)), &dram, p)
+        run_suite_on(&Runner::local(SimConfig::table_i().with_fast_forward(false)), &dram, p)
             .unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
     });
     assert_eq!(
@@ -132,13 +136,49 @@ fn main() {
     // not regress).
     let busy = busy_cycle_throughput(cfg).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()));
 
+    // Result-store effectiveness: the identical suite batch against a
+    // cold content-addressed store (simulate + save) and then against
+    // the warm store it just filled (pure loads, zero simulations).
+    // Byte-identity of the CSV is the cache-soundness check; the
+    // wall-clock ratio is the figure-regeneration win any `--store`
+    // client or sdo-serve daemon gets.
+    let store_dir = std::env::temp_dir().join(format!("sdo-all-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store_path = store_dir.to_string_lossy().into_owned();
+    let cold_runner = Runner::with_store(cfg, &store_path)
+        .unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()));
+    let (cold_results, cold_tp) = timed(&bench_pool, SuiteResults::counts, |p| {
+        run_suite_with(&cold_runner, p).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
+    });
+    let warm_runner = Runner::with_store(cfg, &store_path)
+        .unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()));
+    let (warm_results, warm_tp) = timed(&bench_pool, SuiteResults::counts, |p| {
+        run_suite_with(&warm_runner, p).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
+    });
+    assert_eq!(warm_runner.misses(), 0, "warm-store rerun executed simulations");
+    assert_eq!(
+        runs_csv(&cold_results),
+        runs_csv(&warm_results),
+        "warm-store results diverged from the cold pass"
+    );
+    let serve = ServeBench {
+        cold: cold_tp,
+        warm: warm_tp,
+        warm_hits: warm_runner.hits(),
+        warm_misses: warm_runner.misses(),
+    };
+    let _ = std::fs::remove_dir_all(&store_dir);
+
     let phases: Vec<(&str, Throughput)> = vec![
         ("suite_serial", serial_tp),
         ("suite_parallel", parallel_tp),
         ("pentest", pentest_tp),
         ("render", render_tp),
+        ("store_cold", cold_tp),
+        ("store_warm", warm_tp),
     ];
-    let json = bench_suite_json(&phases, Some((serial_tp, parallel_tp)), Some(&ff), Some(&busy));
+    let json =
+        bench_suite_json(&phases, Some((serial_tp, parallel_tp)), Some(&ff), Some(&busy), Some(&serve));
     eprintln!("suite serial:   {}", serial_tp.report());
     eprintln!("suite parallel: {}", parallel_tp.report());
     eprintln!(
@@ -158,6 +198,14 @@ fn main() {
     for (class, t) in &busy {
         eprintln!("busy cycle {:14} {:9.0} cycles/s (skip off)", class, t.cycles_per_sec());
     }
+    eprintln!(
+        "store: cold {:.2}s -> warm {:.2}s ({:.1}x), warm pass {} hits / {} misses",
+        cold_tp.wall.as_secs_f64(),
+        warm_tp.wall.as_secs_f64(),
+        cold_tp.wall.as_secs_f64() / warm_tp.wall.as_secs_f64().max(1e-9),
+        warm_runner.hits(),
+        warm_runner.misses(),
+    );
     if !bench_out.is_empty() {
         if let Err(e) = std::fs::write(&bench_out, &json) {
             SPEC.runtime_error(&format!("cannot write {bench_out}: {e}"));

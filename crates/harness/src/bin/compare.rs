@@ -10,9 +10,9 @@
 //! Defaults: `hash_lookup STT{ld} Hybrid spectre`. Variant names accept
 //! hyphen/underscore spellings (`stt-ld`, `static_l2`, ...).
 use sdo_harness::cli::{parse_attack, parse_variant, BinSpec, CommonArgs, CsvSupport};
-use sdo_harness::sim::RunResult;
+use sdo_harness::sim::{RunRequest, RunResult};
 use sdo_harness::table::TextTable;
-use sdo_harness::{SimConfig, Simulator, Variant};
+use sdo_harness::{SimConfig, Variant};
 use sdo_uarch::{AttackModel, MetricsSnapshot};
 use sdo_workloads::suite;
 
@@ -25,6 +25,7 @@ const SPEC: BinSpec = BinSpec {
     metrics: true,
     seed: false,
     no_skip: true,
+    client: true,
     extra_options: &[],
 };
 
@@ -49,11 +50,13 @@ fn main() {
         ));
     };
 
-    let sim = Simulator::new(args.sim_config(SimConfig::table_i()));
-    let variants = [Variant::Unsafe, va, vb];
-    let mut runs = args
-        .pool
-        .try_run(&variants, |_, &v| sim.clone().run_workload(w, v, attack))
+    let runner = args.runner(&SPEC, SimConfig::table_i());
+    let reqs: Vec<RunRequest> = [Variant::Unsafe, va, vb]
+        .iter()
+        .map(|&v| RunRequest::workload(w).variant(v).attack(attack))
+        .collect();
+    let mut runs = runner
+        .run_batch(&reqs, &args.pool)
         .unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
         .into_iter();
     let (base, a, b) = (
@@ -96,4 +99,5 @@ fn main() {
         metrics.merge(&r.metrics());
     }
     args.write_metrics(&SPEC, &metrics);
+    args.report_cache(&runner);
 }

@@ -3,13 +3,16 @@
 //! Pass `--csv` to emit machine-readable output (the full per-run dump
 //! with `--csv=runs`), `--metrics <path>` to dump the merged metric
 //! snapshot, and `--jobs N` (or `SDO_JOBS`) to fan the suite out across
-//! worker threads. The throughput summary goes to stderr so it never
-//! perturbs the figure or CSV stream.
+//! worker threads. `--store <dir>` memoizes the sweep in a
+//! content-addressed store (a warm rerun simulates nothing) and
+//! `--server <sock>` submits it to a running `sdo-serve` daemon. The
+//! throughput and cache summaries go to stderr so they never perturb the
+//! figure or CSV stream.
 use sdo_harness::cli::{BinSpec, CommonArgs, CsvMode, CsvSupport};
 use sdo_harness::engine::timed;
 use sdo_harness::experiments::{fig6_report, run_suite_with, SuiteResults};
 use sdo_harness::export::{fig6_csv, runs_csv};
-use sdo_harness::{SimConfig, Simulator};
+use sdo_harness::SimConfig;
 
 const SPEC: BinSpec = BinSpec {
     name: "fig6",
@@ -20,15 +23,16 @@ const SPEC: BinSpec = BinSpec {
     metrics: true,
     seed: false,
     no_skip: true,
+    client: true,
     extra_options: &[],
 };
 
 fn main() {
     let args = CommonArgs::parse(&SPEC);
     args.reject_rest(&SPEC);
-    let sim = Simulator::new(args.sim_config(SimConfig::table_i()));
+    let runner = args.runner(&SPEC, SimConfig::table_i());
     let (results, throughput) = timed(&args.pool, SuiteResults::counts, |pool| {
-        run_suite_with(&sim, pool).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
+        run_suite_with(&runner, pool).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
     });
     match args.csv {
         Some(CsvMode::Figure) => print!("{}", fig6_csv(&results)),
@@ -37,4 +41,5 @@ fn main() {
     }
     args.write_metrics(&SPEC, &results.metrics());
     eprintln!("{}", throughput.report());
+    args.report_cache(&runner);
 }

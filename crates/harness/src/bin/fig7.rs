@@ -2,11 +2,12 @@
 //!
 //! `--jobs N` (or `SDO_JOBS`) fans the suite out across worker threads;
 //! `--metrics <path>` dumps the merged metric snapshot; the throughput
-//! summary goes to stderr.
+//! summary goes to stderr. `--store <dir>` / `--server <sock>` /
+//! `--no-cache` select the cache-backed or daemon-backed runner.
 use sdo_harness::cli::{BinSpec, CommonArgs, CsvSupport};
 use sdo_harness::engine::timed;
 use sdo_harness::experiments::{fig7_report, run_suite_with, SuiteResults};
-use sdo_harness::{SimConfig, Simulator};
+use sdo_harness::SimConfig;
 
 const SPEC: BinSpec = BinSpec {
     name: "fig7",
@@ -17,17 +18,19 @@ const SPEC: BinSpec = BinSpec {
     metrics: true,
     seed: false,
     no_skip: true,
+    client: true,
     extra_options: &[],
 };
 
 fn main() {
     let args = CommonArgs::parse(&SPEC);
     args.reject_rest(&SPEC);
-    let sim = Simulator::new(args.sim_config(SimConfig::table_i()));
+    let runner = args.runner(&SPEC, SimConfig::table_i());
     let (results, throughput) = timed(&args.pool, SuiteResults::counts, |pool| {
-        run_suite_with(&sim, pool).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
+        run_suite_with(&runner, pool).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()))
     });
     println!("{}", fig7_report(&results));
     args.write_metrics(&SPEC, &results.metrics());
     eprintln!("{}", throughput.report());
+    args.report_cache(&runner);
 }

@@ -15,7 +15,7 @@
 
 use sdo_harness::cli::{parse_attack, parse_variant, BinSpec, CommonArgs, CsvSupport};
 use sdo_harness::table::TextTable;
-use sdo_harness::{SimConfig, Simulator, Variant};
+use sdo_harness::{RunRequest, SimConfig, Variant};
 use sdo_isa::parse_asm;
 use sdo_uarch::{AttackModel, MetricsSnapshot};
 
@@ -28,6 +28,7 @@ const SPEC: BinSpec = BinSpec {
     metrics: true,
     seed: false,
     no_skip: true,
+    client: true,
     extra_options: &[
         ("--variant <name>", "Table II variant to simulate (default: Unsafe)"),
         ("--attack <model>", "spectre | futuristic (default: spectre)"),
@@ -77,15 +78,18 @@ fn main() {
         println!("{}", program.disassemble());
     }
 
-    let sim = Simulator::new(args.sim_config(SimConfig::table_i()));
+    let runner = args.runner(&SPEC, SimConfig::table_i());
     let mut metrics = MetricsSnapshot::new();
     if all {
-        // One job per Table II variant; Variant::ALL starts with the
+        // One request per Table II variant; Variant::ALL starts with the
         // Unsafe baseline, so the canonical first result normalizes the
         // rest.
-        let runs = args
-            .pool
-            .try_run(&Variant::ALL, |_, &v| sim.run(&program, v, attack))
+        let reqs: Vec<RunRequest> = Variant::ALL
+            .iter()
+            .map(|&v| RunRequest::program(&program).variant(v).attack(attack))
+            .collect();
+        let runs = runner
+            .run_batch(&reqs, &args.pool)
             .unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()));
         let base = &runs[0];
         let mut t = TextTable::new(vec![
@@ -111,12 +115,13 @@ fn main() {
         }
         println!("{} under the {attack} model:\n{}", program.name(), t.render());
     } else {
-        let r = sim
-            .run(&program, variant, attack)
+        let r = runner
+            .run_one(&RunRequest::program(&program).variant(variant).attack(attack))
             .unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()));
         println!("{} under {} / {attack}:", program.name(), variant.name());
         println!("{}", r.core);
         metrics.merge(&r.metrics());
     }
     args.write_metrics(&SPEC, &metrics);
+    args.report_cache(&runner);
 }

@@ -17,14 +17,17 @@ const SPEC: BinSpec = BinSpec {
     metrics: true,
     seed: false,
     no_skip: true,
+    client: true,
     extra_options: &[],
 };
 
 fn main() {
     let args = CommonArgs::parse(&SPEC);
     args.reject_rest(&SPEC);
-    let (report, metrics) = sensitivity_with_metrics(args.sim_config(SimConfig::table_i()), &args.pool)
+    let runner = args.runner(&SPEC, SimConfig::table_i());
+    let (report, metrics) = sensitivity_with_metrics(&runner, &args.pool)
         .unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()));
     println!("{report}");
     args.write_metrics(&SPEC, &metrics);
+    args.report_cache(&runner);
 }

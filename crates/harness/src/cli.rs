@@ -14,6 +14,11 @@
 //! * `--seed <N>` / `--seed=N` (or the `SDO_SEED` environment variable)
 //!   seeds randomized workloads and fuzz campaigns reproducibly, on
 //!   binaries that declare support;
+//! * `--server <sock>` submits every simulation batch to the
+//!   `sdo-serve` daemon listening on that Unix socket, `--store <dir>`
+//!   memoizes results in a local content-addressed store, and
+//!   `--no-cache` bypasses lookups — the uniform client dialect, on
+//!   every simulating binary;
 //! * `--help` prints a uniform usage page and exits 0;
 //! * usage errors exit 2, runtime errors (I/O, simulation hangs) exit 1.
 //!
@@ -74,6 +79,11 @@ pub struct BinSpec {
     /// disables quiescence fast-forward; outputs are byte-identical
     /// either way, so this is purely a verification escape hatch).
     pub no_skip: bool,
+    /// Whether the client flags (`--server`, `--store`, `--no-cache`)
+    /// are accepted — binaries whose simulations route through a
+    /// [`crate::Runner`] and can therefore run locally, memoized, or as
+    /// a thin client of an `sdo-serve` daemon.
+    pub client: bool,
     /// Binary-specific options as `(flag, help)` pairs, appended to the
     /// options table of `--help`.
     pub extra_options: &'static [(&'static str, &'static str)],
@@ -113,6 +123,20 @@ impl BinSpec {
             opts.push((
                 "--no-skip",
                 "disable quiescence fast-forward (byte-identical output, slower)".into(),
+            ));
+        }
+        if self.client {
+            opts.push((
+                "--server <sock>",
+                "submit simulations to the sdo-serve daemon at this Unix socket".into(),
+            ));
+            opts.push((
+                "--store <dir>",
+                "memoize results in a content-addressed store at this directory".into(),
+            ));
+            opts.push((
+                "--no-cache",
+                "bypass store lookups (fresh results are still saved)".into(),
             ));
         }
         for &(flag, help) in self.extra_options {
@@ -155,6 +179,13 @@ pub struct CommonArgs {
     pub seed: Option<u64>,
     /// `--no-skip`: run with quiescence fast-forward disabled.
     pub no_skip: bool,
+    /// `--server`: Unix-socket path of the `sdo-serve` daemon to submit
+    /// simulations to.
+    pub server: Option<String>,
+    /// `--store`: directory of the content-addressed result store.
+    pub store: Option<String>,
+    /// `--no-cache`: bypass store lookups (fresh results still saved).
+    pub no_cache: bool,
     /// Arguments the common layer did not consume.
     pub rest: Vec<String>,
 }
@@ -197,6 +228,9 @@ impl CommonArgs {
         let mut metrics = None;
         let mut seed: Option<u64> = None;
         let mut no_skip = false;
+        let mut server: Option<String> = None;
+        let mut store: Option<String> = None;
+        let mut no_cache = false;
         let mut rest = Vec::new();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -242,6 +276,25 @@ impl CommonArgs {
                     }
                     no_skip = true;
                 }
+                // The uniform client flags. Bins with `client: false` get
+                // them passed through in `rest` instead: either they
+                // declare their own meaning (the serve daemon's --store)
+                // or `reject_rest` turns them into a usage error.
+                "--server" if spec.client => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::Usage("--server requires a socket path".into()))?;
+                    server = Some(v);
+                }
+                "--store" if spec.client => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::Usage("--store requires a directory".into()))?;
+                    store = Some(v);
+                }
+                "--no-cache" if spec.client => {
+                    no_cache = true;
+                }
                 other => {
                     if let Some(v) = other.strip_prefix("--jobs=") {
                         jobs = Some(parse_jobs(spec, v)?);
@@ -254,6 +307,18 @@ impl CommonArgs {
                         metrics = Some(v.to_string());
                     } else if let Some(v) = other.strip_prefix("--seed=") {
                         seed = Some(parse_seed(spec, v)?);
+                    } else if let Some(v) = other.strip_prefix("--server=") {
+                        if spec.client {
+                            server = Some(v.to_string());
+                        } else {
+                            rest.push(arg);
+                        }
+                    } else if let Some(v) = other.strip_prefix("--store=") {
+                        if spec.client {
+                            store = Some(v.to_string());
+                        } else {
+                            rest.push(arg);
+                        }
                     } else if let Some(v) = other.strip_prefix("--csv=") {
                         require_csv(spec)?;
                         return Err(CliError::Usage(format!(
@@ -265,12 +330,17 @@ impl CommonArgs {
                 }
             }
         }
+        if server.is_some() && store.is_some() {
+            return Err(CliError::Usage(
+                "--store conflicts with --server (the daemon owns its own store)".into(),
+            ));
+        }
         let pool = jobs.map_or_else(JobPool::from_env, JobPool::new);
         if seed.is_none() {
             // Environment fallback, mirroring --jobs / SDO_JOBS.
             seed = std::env::var(SEED_ENV).ok().and_then(|v| v.parse().ok());
         }
-        Ok(CommonArgs { pool, csv, metrics, seed, no_skip, rest })
+        Ok(CommonArgs { pool, csv, metrics, seed, no_skip, server, store, no_cache, rest })
     }
 
     /// The machine configuration after applying `--no-skip`: `base` with
@@ -284,6 +354,41 @@ impl CommonArgs {
     #[must_use]
     pub fn seed_or_default(&self) -> u64 {
         self.seed.unwrap_or(0)
+    }
+
+    /// Builds the [`crate::Runner`] the client flags selected: a thin
+    /// client of the daemon at `--server`, a store-memoized local runner
+    /// for `--store`, and a plain local runner otherwise. `--no-skip`
+    /// applies to `base` first (via [`CommonArgs::sim_config`]).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SimError::Store`] when the `--store` directory cannot be
+    /// opened.
+    pub fn try_runner(&self, base: crate::SimConfig) -> Result<crate::Runner, crate::SimError> {
+        let cfg = self.sim_config(base);
+        let runner = match (&self.server, &self.store) {
+            (Some(path), _) => crate::Runner::server(cfg, path.clone()),
+            (None, Some(dir)) => crate::Runner::with_store(cfg, dir)?,
+            (None, None) => crate::Runner::local(cfg),
+        };
+        Ok(runner.no_cache(self.no_cache))
+    }
+
+    /// [`CommonArgs::try_runner`] with the uniform exit-1 path on store
+    /// failure — the form the binaries call.
+    #[must_use]
+    pub fn runner(&self, spec: &BinSpec, base: crate::SimConfig) -> crate::Runner {
+        self.try_runner(base).unwrap_or_else(|e| spec.runtime_error(&e.to_string()))
+    }
+
+    /// Prints the runner's one-line cache report to stderr, when it has
+    /// one (any store- or server-backed invocation). CI greps this line
+    /// to assert "second pass: 100% cache hits".
+    pub fn report_cache(&self, runner: &crate::Runner) {
+        if let Some(line) = runner.cache_report() {
+            eprintln!("{line}");
+        }
     }
 
     /// Usage-errors (exit 2) if any unconsumed arguments remain — the
@@ -384,6 +489,7 @@ mod tests {
         metrics: true,
         seed: true,
         no_skip: true,
+        client: true,
         extra_options: &[],
     };
 
@@ -484,13 +590,58 @@ mod tests {
             metrics: false,
             seed: false,
             no_skip: false,
+            client: false,
             ..SPEC
         };
         let u = bare.usage();
         assert!(!u.contains("--jobs") && !u.contains("--csv") && !u.contains("--metrics"));
         assert!(!u.contains("--seed"));
         assert!(!u.contains("--no-skip"));
+        assert!(!u.contains("--server") && !u.contains("--store") && !u.contains("--no-cache"));
         assert!(u.contains("--help"));
+    }
+
+    #[test]
+    fn client_flags_parse_and_build_runners() {
+        let u = SPEC.usage();
+        for flag in ["--server <sock>", "--store <dir>", "--no-cache"] {
+            assert!(u.contains(flag), "missing {flag} in:\n{u}");
+        }
+
+        let a = CommonArgs::try_parse(&SPEC, strings(&["--server", "/tmp/sdo.sock"])).unwrap();
+        assert_eq!(a.server.as_deref(), Some("/tmp/sdo.sock"));
+        let a = CommonArgs::try_parse(&SPEC, strings(&["--server=/tmp/s2.sock"])).unwrap();
+        assert_eq!(a.server.as_deref(), Some("/tmp/s2.sock"));
+        let a =
+            CommonArgs::try_parse(&SPEC, strings(&["--store=/tmp/sdo-store", "--no-cache"]))
+                .unwrap();
+        assert_eq!(a.store.as_deref(), Some("/tmp/sdo-store"));
+        assert!(a.no_cache);
+
+        // The flags are mutually exclusive: the daemon owns its store.
+        assert!(matches!(
+            CommonArgs::try_parse(&SPEC, strings(&["--server", "s", "--store", "d"])),
+            Err(CliError::Usage(_))
+        ));
+        // Gated on the spec — but by pass-through, not a hard error:
+        // non-client bins see the raw flags in `rest`, so the serve
+        // daemon can give --store its own meaning while everything else
+        // rejects them via `reject_rest`.
+        let no_client = BinSpec { client: false, ..SPEC };
+        for args in [&["--server", "s"][..], &["--store", "d"], &["--no-cache"], &["--store=d"]] {
+            let a = CommonArgs::try_parse(&no_client, strings(args)).unwrap();
+            assert!(a.server.is_none() && a.store.is_none() && !a.no_cache);
+            assert_eq!(a.rest.len(), args.len(), "flags pass through verbatim: {args:?}");
+        }
+
+        // Flag-to-backend mapping (plain local runner has no report;
+        // store-backed and server-backed runners do).
+        let plain = CommonArgs::try_parse(&SPEC, strings(&[])).unwrap();
+        let runner = plain.try_runner(crate::SimConfig::tiny()).unwrap();
+        assert!(runner.cache_report().is_none());
+        let remote = CommonArgs::try_parse(&SPEC, strings(&["--server=/tmp/nowhere"])).unwrap();
+        let runner = remote.try_runner(crate::SimConfig::tiny()).unwrap();
+        assert!(runner.cache_report().is_some());
     }
 
     #[test]

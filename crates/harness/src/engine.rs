@@ -174,8 +174,10 @@ enum JobOutcome<T, E> {
 }
 
 /// Extracts the human-readable message from a panic payload (`&str` and
-/// `String` cover everything `panic!` produces).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// `String` cover everything `panic!` produces). Public so the
+/// `sdo-serve` daemon can reuse the same `catch_unwind` plumbing to turn
+/// in-flight panics into typed protocol errors instead of dying.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     payload
         .downcast_ref::<&str>()
         .map(|s| (*s).to_string())

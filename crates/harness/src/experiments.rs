@@ -7,7 +7,8 @@
 
 use crate::config::{SimConfig, Variant};
 use crate::engine::JobPool;
-use crate::sim::{RunResult, SimError, Simulator};
+use crate::runner::Runner;
+use crate::sim::{RunRequest, RunResult, SimError, Simulator};
 use crate::table::{norm, pct, BarChart, TextTable};
 use sdo_mem::CacheLevel;
 use sdo_uarch::{AttackModel, MetricsSnapshot};
@@ -140,8 +141,8 @@ impl SuiteResults {
 /// # Errors
 ///
 /// Returns the first simulation error (hang) encountered.
-pub fn run_suite(sim: &Simulator) -> Result<SuiteResults, SimError> {
-    run_suite_with(sim, &JobPool::serial())
+pub fn run_suite(runner: &Runner) -> Result<SuiteResults, SimError> {
+    run_suite_with(runner, &JobPool::serial())
 }
 
 /// Runs the full suite across a [`JobPool`]. Results are byte-identical
@@ -150,21 +151,22 @@ pub fn run_suite(sim: &Simulator) -> Result<SuiteResults, SimError> {
 /// # Errors
 ///
 /// Returns the canonically-first simulation error (hang) encountered.
-pub fn run_suite_with(sim: &Simulator, pool: &JobPool) -> Result<SuiteResults, SimError> {
-    run_suite_on(sim, &suite(), pool)
+pub fn run_suite_with(runner: &Runner, pool: &JobPool) -> Result<SuiteResults, SimError> {
+    run_suite_on(runner, &suite(), pool)
 }
 
-/// Runs `kernels` × [`Variant::ALL`] × [`AttackModel::ALL`] across a
-/// [`JobPool`], fanning out one job per `(workload, variant, attack)`
-/// triple and merging in canonical (attack-major, workload, variant)
-/// order. Each job owns a [`Simulator`] clone, core and memory system, so
-/// the merged output is byte-identical to the serial nested loop.
+/// Runs `kernels` × [`Variant::ALL`] × [`AttackModel::ALL`] through a
+/// [`Runner`], batching one [`RunRequest`] per `(workload, variant,
+/// attack)` triple and merging in canonical (attack-major, workload,
+/// variant) order. Locally each job owns its own core and memory system,
+/// so the merged output is byte-identical to the serial nested loop —
+/// and therefore also to a store hit or a daemon-served result.
 ///
 /// # Errors
 ///
 /// Returns the canonically-first simulation error (hang) encountered.
 pub fn run_suite_on(
-    sim: &Simulator,
+    runner: &Runner,
     kernels: &[Workload],
     pool: &JobPool,
 ) -> Result<SuiteResults, SimError> {
@@ -173,14 +175,11 @@ pub fn run_suite_on(
     for attack in AttackModel::ALL {
         for w in kernels {
             for &variant in &Variant::ALL {
-                jobs.push((attack, w, variant));
+                jobs.push(RunRequest::workload(w).variant(variant).attack(attack));
             }
         }
     }
-    let flat = pool.try_run(&jobs, |_, &(attack, w, variant)| {
-        let sim = sim.clone();
-        sim.run_workload(w, variant, attack)
-    })?;
+    let flat = runner.run_batch(&jobs, pool)?;
 
     let mut flat = flat.into_iter();
     let mut runs = Vec::with_capacity(AttackModel::ALL.len());
@@ -207,7 +206,7 @@ pub fn run_suite_on(
 pub fn busy_cycle_throughput(
     cfg: SimConfig,
 ) -> Result<Vec<(&'static str, crate::engine::Throughput)>, SimError> {
-    let sim = Simulator::new(cfg.with_fast_forward(false));
+    let runner = Runner::local(cfg.with_fast_forward(false));
     let kernels = suite();
     let mut out = Vec::with_capacity(sdo_workloads::WORKLOAD_CLASSES.len());
     for &class in sdo_workloads::WORKLOAD_CLASSES {
@@ -217,7 +216,7 @@ pub fn busy_cycle_throughput(
             .cloned()
             .collect();
         let start = std::time::Instant::now();
-        let results = run_suite_on(&sim, &group, &JobPool::serial())?;
+        let results = run_suite_on(&runner, &group, &JobPool::serial())?;
         let wall = start.elapsed();
         let (sims, cycles) = results.counts();
         out.push((class, crate::engine::Throughput { jobs: 1, sims, cycles, wall }));
@@ -472,24 +471,27 @@ pub fn sensitivity_report(base: SimConfig) -> Result<String, SimError> {
 ///
 /// Returns the canonically-first simulation error encountered.
 pub fn sensitivity_report_with(base: SimConfig, pool: &JobPool) -> Result<String, SimError> {
-    Ok(sensitivity_with_metrics(base, pool)?.0)
+    Ok(sensitivity_with_metrics(&Runner::local(base), pool)?.0)
 }
 
 /// [`sensitivity_report_with`] that also returns the merged metric
 /// snapshot of every sweep run (canonical order, `--jobs`-independent).
+/// Sweep points ride as [`RunRequest::config`] overrides, so a
+/// store-backed or server-backed [`Runner`] caches them like any other
+/// request.
 ///
 /// # Errors
 ///
 /// Returns the canonically-first simulation error encountered.
 pub fn sensitivity_with_metrics(
-    base: SimConfig,
+    runner: &Runner,
     pool: &JobPool,
 ) -> Result<(String, MetricsSnapshot), SimError> {
     use sdo_workloads::kernels::hash_lookup;
 
     let kernel = Workload::new("hash_lookup", hash_lookup(1 << 16, 2000, 5))
         .warmed(0x80_0000, (1 << 16) * 8, CacheLevel::L3);
-    sensitivity_for_with_metrics(base, &kernel, pool)
+    sensitivity_for_with_metrics(runner, &kernel, pool)
 }
 
 /// [`sensitivity_report`] over a caller-chosen kernel (lets tests and
@@ -519,20 +521,22 @@ pub fn sensitivity_report_for_with(
     kernel: &sdo_workloads::Workload,
     pool: &JobPool,
 ) -> Result<String, SimError> {
-    Ok(sensitivity_for_with_metrics(base, kernel, pool)?.0)
+    Ok(sensitivity_for_with_metrics(&Runner::local(base), kernel, pool)?.0)
 }
 
 /// [`sensitivity_report_for_with`] that also returns the merged metric
-/// snapshot of every sweep run.
+/// snapshot of every sweep run. The runner's base configuration anchors
+/// the sweep; each point is a full [`RunRequest::config`] override.
 ///
 /// # Errors
 ///
 /// Returns the canonically-first simulation error encountered.
 pub fn sensitivity_for_with_metrics(
-    base: SimConfig,
+    runner: &Runner,
     kernel: &sdo_workloads::Workload,
     pool: &JobPool,
 ) -> Result<(String, MetricsSnapshot), SimError> {
+    let base = runner.config();
     let mut out = String::from(
         "SENSITIVITY: protection overhead vs. microarchitecture
          (hash_lookup kernel, Spectre model; overhead = normalized time - 1)
@@ -559,13 +563,15 @@ pub fn sensitivity_for_with_metrics(
         points.push(cfg);
     }
 
-    let jobs: Vec<(SimConfig, Variant)> = points
+    let jobs: Vec<RunRequest> = points
         .iter()
-        .flat_map(|&cfg| SENSITIVITY_VARIANTS.iter().map(move |&v| (cfg, v)))
+        .flat_map(|&cfg| {
+            SENSITIVITY_VARIANTS.iter().map(move |&v| {
+                RunRequest::workload(kernel).variant(v).attack(AttackModel::Spectre).config(cfg)
+            })
+        })
         .collect();
-    let flat = pool.try_run(&jobs, |_, &(cfg, variant)| {
-        Simulator::new(cfg).run_workload(kernel, variant, AttackModel::Spectre)
-    })?;
+    let flat = runner.run_batch(&jobs, pool)?;
     let mut metrics = MetricsSnapshot::new();
     for r in &flat {
         metrics.merge(&r.metrics());
@@ -661,18 +667,19 @@ pub fn pentest_with(sim: &Simulator, pool: &JobPool) -> Result<Vec<PentestOutcom
         }
     }
     pool.try_run(&jobs, |_, &(variant, attack)| {
-        let (result, mem) = sim.clone().run_with_memory(&scenario.program, variant, attack)?;
+        let out =
+            sim.run(&RunRequest::program(&scenario.program).variant(variant).attack(attack))?;
         let mut recovered = Vec::new();
         for b in 0..=255u8 {
             if b == scenario.trained_byte {
                 continue;
             }
-            if mem.residency(0, scenario.probe_addr(b)) != CacheLevel::Dram {
+            if out.memory().residency(0, scenario.probe_addr(b)) != CacheLevel::Dram {
                 recovered.push(b);
             }
         }
         let leaked = recovered.contains(&scenario.secret);
-        Ok(PentestOutcome { variant, attack, recovered, leaked, result })
+        Ok(PentestOutcome { variant, attack, recovered, leaked, result: out.into_result() })
     })
 }
 
@@ -739,8 +746,8 @@ pub fn full_report(cfg: SimConfig) -> Result<String, SimError> {
 ///
 /// Returns the canonically-first simulation error encountered.
 pub fn full_report_with(cfg: SimConfig, pool: &JobPool) -> Result<String, SimError> {
-    let sim = Simulator::new(cfg);
-    let results = run_suite_with(&sim, pool)?;
+    let runner = Runner::local(cfg);
+    let results = run_suite_with(&runner, pool)?;
     let mut out = String::new();
     out.push_str(&cfg.render_table_i());
     out.push_str("\n\n");
@@ -751,7 +758,7 @@ pub fn full_report_with(cfg: SimConfig, pool: &JobPool) -> Result<String, SimErr
     out.push_str(&fig8_report(&results));
     out.push_str(&table3_report(&results));
     out.push('\n');
-    out.push_str(&pentest_report(&pentest_with(&sim, pool)?));
+    out.push_str(&pentest_report(&pentest_with(runner.simulator(), pool)?));
     Ok(out)
 }
 
@@ -769,8 +776,19 @@ mod tests {
         let workloads = kernels.iter().map(|k| k.name().to_string()).collect();
         let mut runs = Vec::new();
         for attack in AttackModel::ALL {
-            let per: Vec<Vec<RunResult>> =
-                kernels.iter().map(|k| sim.run_all_variants(k, attack).unwrap()).collect();
+            let per: Vec<Vec<RunResult>> = kernels
+                .iter()
+                .map(|k| {
+                    Variant::ALL
+                        .iter()
+                        .map(|&v| {
+                            sim.run(&RunRequest::program(k).variant(v).attack(attack))
+                                .unwrap()
+                                .into_result()
+                        })
+                        .collect()
+                })
+                .collect();
             runs.push((attack, per));
         }
         SuiteResults { runs, workloads }

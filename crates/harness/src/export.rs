@@ -241,17 +241,36 @@ pub struct FastForwardBench {
     pub ratios: Vec<SkipRatio>,
 }
 
+/// The serve/result-store section of `BENCH_suite.json`: the identical
+/// figure-6 batch timed against a cold store (every run simulated, then
+/// saved) and against the warm store it just filled (every run a cache
+/// hit, zero simulations), plus the warm pass's hit/miss counts so the
+/// speedup can be read against its hit rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBench {
+    /// The batch against an empty store: simulate + save.
+    pub cold: Throughput,
+    /// The same batch against the filled store: load only.
+    pub warm: Throughput,
+    /// Store hits during the warm pass (should equal the batch size).
+    pub warm_hits: u64,
+    /// Store misses during the warm pass (should be zero).
+    pub warm_misses: u64,
+}
+
 /// Serializes a benchmark session — named per-phase [`Throughput`]s, an
 /// optional `--jobs 1` vs `--jobs N` suite speedup, an optional
-/// fast-forward effectiveness section, and an optional per-workload-class
-/// busy-cycle (skip-off) throughput section — as the `BENCH_suite.json`
-/// document the `all` binary emits.
+/// fast-forward effectiveness section, an optional per-workload-class
+/// busy-cycle (skip-off) throughput section, and an optional cold/warm
+/// result-store section — as the `BENCH_suite.json` document the `all`
+/// binary emits.
 #[must_use]
 pub fn bench_suite_json(
     phases: &[(&str, Throughput)],
     speedup: Option<(Throughput, Throughput)>,
     fast_forward: Option<&FastForwardBench>,
     busy_cycle: Option<&[(&'static str, Throughput)]>,
+    serve: Option<&ServeBench>,
 ) -> String {
     let total_wall: f64 = phases.iter().map(|(_, t)| t.wall.as_secs_f64()).sum();
     let total_sims: u64 = phases.iter().map(|(_, t)| t.sims).sum();
@@ -324,6 +343,21 @@ pub fn bench_suite_json(
         }
         out.push_str("  }");
     }
+    if let Some(s) = serve {
+        // Cold fills the content-addressed store; warm replays the same
+        // batch from it. The wall-clock ratio is the figure-regeneration
+        // win a persistent daemon (or any `--store` client) gets.
+        out.push_str(",\n  \"serve\": {\n");
+        out.push_str(&format!("    \"cold\": {},\n", throughput_json(&s.cold)));
+        out.push_str(&format!("    \"warm\": {},\n", throughput_json(&s.warm)));
+        out.push_str(&format!("    \"warm_hits\": {},\n", s.warm_hits));
+        out.push_str(&format!("    \"warm_misses\": {},\n", s.warm_misses));
+        out.push_str(&format!(
+            "    \"warm_speedup\": {:.3}\n",
+            s.cold.wall.as_secs_f64() / s.warm.wall.as_secs_f64().max(1e-9)
+        ));
+        out.push_str("  }");
+    }
     out.push_str("\n}\n");
     out
 }
@@ -332,7 +366,7 @@ pub fn bench_suite_json(
 mod tests {
     use super::*;
     use crate::config::SimConfig;
-    use crate::sim::Simulator;
+    use crate::sim::{RunRequest, Simulator};
     use sdo_uarch::AttackModel;
     use std::time::Duration;
 
@@ -341,7 +375,17 @@ mod tests {
         let prog = sdo_workloads::kernels::l1_resident(200, 1);
         let runs = AttackModel::ALL
             .into_iter()
-            .map(|a| (a, vec![sim.run_all_variants(&prog, a).unwrap()]))
+            .map(|a| {
+                let per: Vec<RunResult> = Variant::ALL
+                    .iter()
+                    .map(|&v| {
+                        sim.run(&RunRequest::program(&prog).variant(v).attack(a))
+                            .unwrap()
+                            .into_result()
+                    })
+                    .collect();
+                (a, vec![per])
+            })
             .collect();
         SuiteResults { runs, workloads: vec!["l1_resident".into()] }
     }
@@ -391,7 +435,10 @@ mod tests {
     fn pentest_csv_rows_match_schema() {
         let sim = Simulator::new(SimConfig::tiny());
         let prog = sdo_workloads::kernels::l1_resident(200, 1);
-        let result = sim.run(&prog, Variant::Unsafe, AttackModel::Spectre).unwrap();
+        let result = sim
+            .run(&RunRequest::program(&prog).variant(Variant::Unsafe).attack(AttackModel::Spectre))
+            .unwrap()
+            .into_result();
         let outcome = PentestOutcome {
             variant: Variant::Unsafe,
             attack: AttackModel::Spectre,
@@ -436,7 +483,7 @@ mod tests {
     fn bench_suite_json_structure() {
         let t1 = Throughput { jobs: 1, sims: 10, cycles: 100, wall: Duration::from_secs(4) };
         let t4 = Throughput { jobs: 4, sims: 10, cycles: 100, wall: Duration::from_secs(1) };
-        let j = bench_suite_json(&[("suite", t4), ("pentest", t1)], Some((t1, t4)), None, None);
+        let j = bench_suite_json(&[("suite", t4), ("pentest", t1)], Some((t1, t4)), None, None, None);
         assert!(j.contains("\"phases\""));
         assert!(j.contains("\"suite\""));
         assert!(j.contains("\"pentest\""));
@@ -462,7 +509,7 @@ mod tests {
                 SkipRatio { class: "cache_resident", skipped: 0, cycles: 50 },
             ],
         };
-        let j = bench_suite_json(&[("suite", t1)], None, Some(&ff), None);
+        let j = bench_suite_json(&[("suite", t1)], None, Some(&ff), None, None);
         assert!(j.contains("\"fast_forward\""));
         assert!(j.contains("\"dram_bound_skip\""));
         assert!(j.contains("\"dram_bound_noskip\""));
@@ -478,11 +525,27 @@ mod tests {
         let branchy = Throughput { jobs: 1, sims: 32, cycles: 2000, wall: Duration::from_secs(1) };
         let cache = Throughput { jobs: 1, sims: 48, cycles: 4000, wall: Duration::from_secs(2) };
         let classes = [("branchy", branchy), ("cache_resident", cache)];
-        let j = bench_suite_json(&[("suite", t1)], None, None, Some(&classes));
+        let j = bench_suite_json(&[("suite", t1)], None, None, Some(&classes), None);
         assert!(j.contains("\"busy_cycle\""));
         assert!(j.contains("\"branchy\": {\"jobs\": 1, \"sims\": 32"));
         assert!(j.contains("\"cache_resident\": {\"jobs\": 1, \"sims\": 48"));
         assert!(j.contains("\"cycles_per_sec\": 2000.0"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn bench_suite_json_serve_section() {
+        let t1 = Throughput { jobs: 1, sims: 10, cycles: 100, wall: Duration::from_secs(4) };
+        let cold = Throughput { jobs: 4, sims: 160, cycles: 8000, wall: Duration::from_secs(8) };
+        let warm = Throughput { jobs: 4, sims: 0, cycles: 8000, wall: Duration::from_secs(1) };
+        let serve = ServeBench { cold, warm, warm_hits: 160, warm_misses: 0 };
+        let j = bench_suite_json(&[("suite", t1)], None, None, None, Some(&serve));
+        assert!(j.contains("\"serve\""));
+        assert!(j.contains("\"cold\": {\"jobs\": 4, \"sims\": 160"));
+        assert!(j.contains("\"warm\": {\"jobs\": 4, \"sims\": 0"));
+        assert!(j.contains("\"warm_hits\": 160"));
+        assert!(j.contains("\"warm_misses\": 0"));
+        assert!(j.contains("\"warm_speedup\": 8.000"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 

@@ -1,0 +1,401 @@
+//! The [`Runner`]: one façade for executing batches of [`RunRequest`]s
+//! locally, memoized through a content-addressed [`ResultStore`], or
+//! submitted to a running `sdo-serve` daemon — selected by the uniform
+//! `--store` / `--server` / `--no-cache` client flags every bin exposes.
+//!
+//! Whatever the backend, a batch returns results in request order and
+//! the hit/miss counters record how many simulations were actually
+//! executed, so callers (and CI) can assert "second pass: 100% cache
+//! hits, zero re-simulations".
+
+use crate::engine::JobPool;
+use crate::proto::{Reply, Request};
+use crate::sim::{RunRequest, RunResult, SimError, Simulator};
+use crate::store::{ResultStore, RunKey};
+use crate::SimConfig;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Debug)]
+enum Backend {
+    /// Simulate on this process's pool, optionally memoizing into a
+    /// store.
+    Local { store: Option<ResultStore> },
+    /// Submit to an `sdo-serve` daemon over its Unix socket.
+    Server { path: String },
+}
+
+/// Executes batches of run requests against a selectable backend. See
+/// the module docs.
+#[derive(Debug)]
+pub struct Runner {
+    sim: Simulator,
+    backend: Backend,
+    no_cache: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Runner {
+    /// A purely local runner (no store, no daemon) — the classic
+    /// in-process harness behavior.
+    #[must_use]
+    pub fn local(cfg: SimConfig) -> Self {
+        Runner {
+            sim: Simulator::new(cfg),
+            backend: Backend::Local { store: None },
+            no_cache: false,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A local runner memoizing through the content-addressed store at
+    /// `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Store`] if the store cannot be opened.
+    pub fn with_store(cfg: SimConfig, dir: &str) -> Result<Self, SimError> {
+        Ok(Runner {
+            sim: Simulator::new(cfg),
+            backend: Backend::Local { store: Some(ResultStore::open(dir)?) },
+            no_cache: false,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// A thin client submitting every batch to the daemon listening on
+    /// the Unix socket at `path`.
+    #[must_use]
+    pub fn server(cfg: SimConfig, path: impl Into<String>) -> Self {
+        Runner {
+            sim: Simulator::new(cfg),
+            backend: Backend::Server { path: path.into() },
+            no_cache: false,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Disables store lookups (results are still saved locally when a
+    /// store is configured; the daemon honors the flag per request).
+    #[must_use]
+    pub fn no_cache(mut self, on: bool) -> Self {
+        self.no_cache = on;
+        self
+    }
+
+    /// The base machine configuration requests run under when they carry
+    /// no override.
+    #[must_use]
+    pub fn config(&self) -> SimConfig {
+        *self.sim.config()
+    }
+
+    /// The underlying local simulator (penetration tests and the
+    /// verifier need raw [`Simulator::run`] access for memory residency
+    /// and observability, which never route through a store).
+    #[must_use]
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Results served from the store (local or daemon-side) so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Results actually simulated so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// A one-line cache report for stderr, or `None` for a plain local
+    /// runner (no store, no server — nothing to report).
+    #[must_use]
+    pub fn cache_report(&self) -> Option<String> {
+        match &self.backend {
+            Backend::Local { store: None } => None,
+            _ => {
+                let hits = self.hits();
+                let misses = self.misses();
+                let total = hits + misses;
+                let pct = if total == 0 { 0.0 } else { 100.0 * hits as f64 / total as f64 };
+                Some(format!("cache: {hits} hits, {misses} misses ({pct:.1}% cached)"))
+            }
+        }
+    }
+
+    /// Runs one request (serially).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's [`SimError`].
+    pub fn run_one(&self, req: &RunRequest) -> Result<RunResult, SimError> {
+        Ok(self
+            .run_batch(std::slice::from_ref(req), &JobPool::serial())?
+            .into_iter()
+            .next()
+            .expect("one request yields one result"))
+    }
+
+    /// Runs a batch, returning one result per request in request order
+    /// (the canonical merge — byte-identical at any `--jobs`).
+    ///
+    /// Requests must be single-program and non-recording; multi-core and
+    /// PC-recording runs need the full [`RunOutput`](crate::RunOutput)
+    /// and go through [`Simulator::run`] directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed failure: a [`SimError::Hang`] from
+    /// simulation, [`SimError::Store`] from the store, or
+    /// [`SimError::Server`] from the daemon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request is multi-program or recording.
+    pub fn run_batch(
+        &self,
+        reqs: &[RunRequest],
+        pool: &JobPool,
+    ) -> Result<Vec<RunResult>, SimError> {
+        for req in reqs {
+            assert_eq!(req.programs.len(), 1, "Runner batches are single-program");
+            assert!(!req.record, "recording runs do not route through a Runner");
+        }
+        match &self.backend {
+            Backend::Local { store } => self.run_local(reqs, store.as_ref(), pool),
+            Backend::Server { path } => self.run_remote(reqs, path),
+        }
+    }
+
+    fn cacheable(&self, req: &RunRequest) -> bool {
+        // Obs-carrying results cannot be serialized (the probe stays
+        // in-process), so they are simulated every time.
+        !req.effective_config(self.config()).obs.enabled()
+    }
+
+    fn run_local(
+        &self,
+        reqs: &[RunRequest],
+        store: Option<&ResultStore>,
+        pool: &JobPool,
+    ) -> Result<Vec<RunResult>, SimError> {
+        let mut slots: Vec<Option<RunResult>> = vec![None; reqs.len()];
+        let mut todo: Vec<usize> = Vec::new();
+        let keys: Vec<Option<RunKey>> = reqs
+            .iter()
+            .map(|req| {
+                (store.is_some() && self.cacheable(req))
+                    .then(|| RunKey::of(req, self.config()))
+            })
+            .collect();
+        if let Some(store) = store {
+            for (i, req) in reqs.iter().enumerate() {
+                match &keys[i] {
+                    Some(key) if !self.no_cache => match store.load(key)? {
+                        Some(result) => {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            slots[i] = Some(result);
+                        }
+                        None => todo.push(i),
+                    },
+                    _ => {
+                        let _ = req;
+                        todo.push(i);
+                    }
+                }
+            }
+        } else {
+            todo.extend(0..reqs.len());
+        }
+
+        let fresh = pool.try_run(&todo, |_, &i| {
+            self.sim.run(&reqs[i]).map(crate::RunOutput::into_result)
+        })?;
+        self.misses.fetch_add(todo.len() as u64, Ordering::Relaxed);
+        for (&i, result) in todo.iter().zip(fresh) {
+            if let (Some(store), Some(key)) = (store, &keys[i]) {
+                store.save(key, &result)?;
+            }
+            slots[i] = Some(result);
+        }
+        Ok(slots.into_iter().map(|s| s.expect("every slot filled")).collect())
+    }
+
+    fn run_remote(&self, reqs: &[RunRequest], path: &str) -> Result<Vec<RunResult>, SimError> {
+        let stream = UnixStream::connect(path)
+            .map_err(|e| SimError::Server(format!("cannot connect to {path}: {e}")))?;
+        let mut reader = BufReader::new(
+            stream.try_clone().map_err(|e| SimError::Server(format!("socket clone: {e}")))?,
+        );
+        let mut stream = stream;
+        let mut slots: Vec<Option<RunResult>> = vec![None; reqs.len()];
+        let mut first_error: Option<(u64, String)> = None;
+        // Submit everything; resubmit whatever the daemon bounced with
+        // `Busy` (its bounded queue is the back-pressure contract) until
+        // every id has a terminal reply.
+        let mut pending: Vec<usize> = (0..reqs.len()).collect();
+        while !pending.is_empty() {
+            let mut batch = String::new();
+            for &i in &pending {
+                let msg = Request::Run {
+                    id: i as u64,
+                    request: reqs[i].clone(),
+                    no_cache: self.no_cache,
+                };
+                batch.push_str(&msg.render());
+                batch.push('\n');
+            }
+            batch.push('\n');
+            stream
+                .write_all(batch.as_bytes())
+                .map_err(|e| SimError::Server(format!("write to {path}: {e}")))?;
+            let expected = pending.len();
+            let mut bounced: Vec<usize> = Vec::new();
+            for _ in 0..expected {
+                let mut line = String::new();
+                let n = reader
+                    .read_line(&mut line)
+                    .map_err(|e| SimError::Server(format!("read from {path}: {e}")))?;
+                if n == 0 {
+                    return Err(SimError::Server(format!(
+                        "daemon at {path} closed the connection mid-batch"
+                    )));
+                }
+                match Reply::parse(line.trim_end()) {
+                    Ok(Reply::Result { id, result, cached }) => {
+                        if cached {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            self.misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                        match slots.get_mut(id as usize) {
+                            Some(slot) => *slot = Some(result),
+                            None => {
+                                return Err(SimError::Server(format!(
+                                    "daemon replied for unknown id {id}"
+                                )))
+                            }
+                        }
+                    }
+                    Ok(Reply::Busy { id }) => bounced.push(id as usize),
+                    Ok(Reply::Error { id, message }) => {
+                        if first_error.as_ref().is_none_or(|&(prev, _)| id < prev) {
+                            first_error = Some((id, message));
+                        }
+                    }
+                    Ok(other) => {
+                        return Err(SimError::Server(format!(
+                            "unexpected reply {other:?} to a run batch"
+                        )))
+                    }
+                    Err(e) => return Err(SimError::Server(format!("bad reply line: {e}"))),
+                }
+            }
+            bounced.sort_unstable();
+            pending = bounced;
+        }
+        if let Some((_, message)) = first_error {
+            return Err(SimError::Server(message));
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                s.ok_or_else(|| SimError::Server(format!("no reply for request {i}")))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Variant;
+    use sdo_workloads::kernels::l1_resident;
+
+    fn temp_dir(tag: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("sdo-runner-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn local_runner_matches_direct_simulation() {
+        let cfg = SimConfig::tiny();
+        let prog = l1_resident(120, 1);
+        let reqs: Vec<RunRequest> = Variant::ALL
+            .iter()
+            .map(|&v| RunRequest::program(&prog).variant(v))
+            .collect();
+        let runner = Runner::local(cfg);
+        let batch = runner.run_batch(&reqs, &JobPool::new(4)).unwrap();
+        let sim = Simulator::new(cfg);
+        for (req, got) in reqs.iter().zip(&batch) {
+            assert_eq!(*got, sim.run(req).unwrap().into_result());
+        }
+        assert_eq!(runner.hits(), 0);
+        assert_eq!(runner.misses(), reqs.len() as u64);
+        assert!(runner.cache_report().is_none(), "plain local runner has nothing to report");
+    }
+
+    #[test]
+    fn warm_store_serves_the_whole_batch_with_zero_simulations() {
+        let dir = temp_dir("warm");
+        let cfg = SimConfig::tiny();
+        let prog = l1_resident(120, 1);
+        let reqs: Vec<RunRequest> = Variant::ALL
+            .iter()
+            .map(|&v| RunRequest::program(&prog).variant(v))
+            .collect();
+
+        let cold = Runner::with_store(cfg, &dir).unwrap();
+        let cold_results = cold.run_batch(&reqs, &JobPool::new(2)).unwrap();
+        assert_eq!(cold.hits(), 0);
+        assert_eq!(cold.misses(), reqs.len() as u64);
+
+        // A fresh runner (fresh process, in spirit) over the same store:
+        // everything is a hit, nothing simulates, bytes are identical.
+        let warm = Runner::with_store(cfg, &dir).unwrap();
+        let warm_results = warm.run_batch(&reqs, &JobPool::new(2)).unwrap();
+        assert_eq!(warm.hits(), reqs.len() as u64);
+        assert_eq!(warm.misses(), 0, "warm rerun must execute zero simulations");
+        assert_eq!(warm_results, cold_results);
+        assert_eq!(
+            warm.cache_report().unwrap(),
+            format!("cache: {} hits, 0 misses (100.0% cached)", reqs.len())
+        );
+
+        // --no-cache forces re-simulation even with a warm store.
+        let bypass = Runner::with_store(cfg, &dir).unwrap().no_cache(true);
+        let bypass_results = bypass.run_batch(&reqs, &JobPool::serial()).unwrap();
+        assert_eq!(bypass.hits(), 0);
+        assert_eq!(bypass_results, cold_results);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hang_errors_propagate_through_the_store_path() {
+        let dir = temp_dir("hang");
+        let mut cfg = SimConfig::tiny();
+        cfg.max_cycles = 500;
+        let mut asm = sdo_isa::Assembler::named("spin");
+        let top = asm.here();
+        asm.j(top);
+        let spin = asm.finish().unwrap();
+        let runner = Runner::with_store(cfg, &dir).unwrap();
+        let err = runner.run_one(&RunRequest::program(&spin)).unwrap_err();
+        assert!(matches!(err, SimError::Hang { .. }));
+        // A failed run must not poison the store.
+        assert!(ResultStore::open(&dir).unwrap().is_empty().unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,14 +1,21 @@
-//! The simulation driver: one program × one Table II variant × one attack
-//! model → statistics.
+//! The simulation driver: one canonical [`RunRequest`] → statistics.
+//!
+//! Every simulation in the workspace — figures, sensitivity sweeps,
+//! verification captures, penetration tests, benches — is expressed as a
+//! [`RunRequest`] and executed through [`Simulator::run`], the single
+//! entry point. One request type keeps the surface hashable (the
+//! content-addressed result store keys off it; see `store.rs`) and
+//! serializable (the `sdo-serve` daemon ships it over a line-delimited
+//! JSON protocol; see `proto.rs`).
 
 use crate::config::{SimConfig, Variant};
 use sdo_isa::Program;
-use sdo_mem::{MemStats, MemorySystem};
+use sdo_mem::{CacheLevel, MemStats, MemorySystem};
 use sdo_uarch::{AttackModel, Core, CoreStats, MetricsSnapshot, PipelineObs};
 use std::error::Error;
 use std::fmt;
 
-/// Error from a simulation run.
+/// Error from a simulation run (local or served).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// The program exceeded the configured cycle budget.
@@ -18,6 +25,11 @@ pub enum SimError {
         /// The workload's name.
         workload: String,
     },
+    /// The content-addressed result store failed (I/O or a corrupt
+    /// cached entry).
+    Store(String),
+    /// The `sdo-serve` transport failed or the daemon reported an error.
+    Server(String),
 }
 
 impl fmt::Display for SimError {
@@ -26,11 +38,147 @@ impl fmt::Display for SimError {
             SimError::Hang { max_cycles, workload } => {
                 write!(f, "workload '{workload}' did not halt within {max_cycles} cycles")
             }
+            SimError::Store(msg) => write!(f, "result store: {msg}"),
+            SimError::Server(msg) => write!(f, "sdo-serve: {msg}"),
         }
     }
 }
 
 impl Error for SimError {}
+
+/// The one canonical description of a simulation: program(s), optional
+/// machine-configuration override, variant, attack model, seed, and
+/// whether to record the committed-PC stream.
+///
+/// Build one with [`RunRequest::program`], [`RunRequest::workload`], or
+/// [`RunRequest::multi`] and chain the setters:
+///
+/// ```
+/// use sdo_harness::{AttackModel, RunRequest, SimConfig, Simulator, Variant};
+/// let prog = sdo_workloads::kernels::l1_resident(100, 1);
+/// let req = RunRequest::program(&prog).variant(Variant::Hybrid).attack(AttackModel::Spectre);
+/// let result = Simulator::new(SimConfig::tiny()).run(&req)?.into_result();
+/// assert!(result.cycles > 0);
+/// # Ok::<(), sdo_harness::SimError>(())
+/// ```
+///
+/// The fields are public so the wire codec and the `RunKey` hash can
+/// destructure the request exhaustively — adding a field without teaching
+/// both is a compile error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRequest {
+    /// Programs to run, one per core (one ⇒ single-core with optional
+    /// fast-forward; several ⇒ lockstep multi-core on a shared hierarchy).
+    pub programs: Vec<Program>,
+    /// Cache warm-start ranges `(start, bytes, level)` installed before
+    /// the run (single-core requests only; the SimPoint-checkpoint
+    /// substitute, DESIGN.md §5).
+    pub prewarm: Vec<(u64, u64, CacheLevel)>,
+    /// The Table II variant to simulate.
+    pub variant: Variant,
+    /// The attack model (untaint timing).
+    pub attack: AttackModel,
+    /// Machine-configuration override; `None` uses the [`Simulator`]'s
+    /// configuration (sensitivity sweeps set this per request so a grid
+    /// of configurations is one batch).
+    pub config: Option<SimConfig>,
+    /// Workload-generation seed. The simulator itself is deterministic —
+    /// the seed never perturbs execution — but it is part of the
+    /// [`RunKey`](crate::store::RunKey) so independently-generated
+    /// programs that happen to collide textually stay distinct in the
+    /// result store.
+    pub seed: u64,
+    /// Record the committed-PC stream (cross-layout differential
+    /// testing). Recording makes a request uncacheable.
+    pub record: bool,
+}
+
+impl RunRequest {
+    fn base(programs: Vec<Program>, prewarm: Vec<(u64, u64, CacheLevel)>) -> Self {
+        RunRequest {
+            programs,
+            prewarm,
+            variant: Variant::Unsafe,
+            attack: AttackModel::Spectre,
+            config: None,
+            seed: 0,
+            record: false,
+        }
+    }
+
+    /// A request for one program with no warm-start hints.
+    #[must_use]
+    pub fn program(program: &Program) -> Self {
+        Self::base(vec![program.clone()], Vec::new())
+    }
+
+    /// A request for a [`Workload`](sdo_workloads::Workload): its program
+    /// plus its cache warm-start hints.
+    #[must_use]
+    pub fn workload(workload: &sdo_workloads::Workload) -> Self {
+        Self::base(vec![workload.program().clone()], workload.prewarm_ranges().to_vec())
+    }
+
+    /// A request for one program per core on a shared memory hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` is empty.
+    #[must_use]
+    pub fn multi(programs: &[Program]) -> Self {
+        assert!(!programs.is_empty(), "need at least one program");
+        Self::base(programs.to_vec(), Vec::new())
+    }
+
+    /// Sets the variant.
+    #[must_use]
+    pub fn variant(mut self, variant: Variant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Sets the attack model.
+    #[must_use]
+    pub fn attack(mut self, attack: AttackModel) -> Self {
+        self.attack = attack;
+        self
+    }
+
+    /// Overrides the machine configuration for this request.
+    #[must_use]
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Sets the workload-generation seed (cache-key disambiguation only).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Requests the committed-PC stream (see [`RunOutput::commit_pcs`]).
+    #[must_use]
+    pub fn record(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
+    /// Adds a cache warm-start range.
+    #[must_use]
+    pub fn warmed(mut self, start: u64, bytes: u64, level: CacheLevel) -> Self {
+        self.prewarm.push((start, bytes, level));
+        self
+    }
+
+    /// The configuration this request runs under, given the simulator's
+    /// base configuration.
+    #[must_use]
+    pub fn effective_config(&self, base: SimConfig) -> SimConfig {
+        self.config.unwrap_or(base)
+    }
+}
 
 /// Results of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +233,60 @@ impl RunResult {
     }
 }
 
+/// Everything a simulation produced: per-core results, the final memory
+/// system (covert-channel receivers inspect cache residency), and the
+/// committed-PC stream when the request asked for it.
+#[derive(Debug)]
+pub struct RunOutput {
+    results: Vec<RunResult>,
+    mem: MemorySystem,
+    commit_pcs: Option<Vec<u64>>,
+}
+
+impl RunOutput {
+    /// The sole result of a single-core run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request ran more than one core.
+    #[must_use]
+    pub fn into_result(self) -> RunResult {
+        assert_eq!(self.results.len(), 1, "into_result on a multi-core output");
+        self.results.into_iter().next().expect("one result")
+    }
+
+    /// Borrows the first (for single-core runs, the only) result.
+    #[must_use]
+    pub fn result(&self) -> &RunResult {
+        &self.results[0]
+    }
+
+    /// Per-core results, in program order.
+    #[must_use]
+    pub fn results(&self) -> &[RunResult] {
+        &self.results
+    }
+
+    /// Consumes the output, returning the per-core results.
+    #[must_use]
+    pub fn into_results(self) -> Vec<RunResult> {
+        self.results
+    }
+
+    /// The memory system as the run left it.
+    #[must_use]
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// The committed-PC stream (`Some` iff the request set
+    /// [`RunRequest::record`] on a single-core run).
+    #[must_use]
+    pub fn commit_pcs(&self) -> Option<&[u64]> {
+        self.commit_pcs.as_deref()
+    }
+}
+
 /// Reusable simulation driver for a fixed machine configuration.
 #[derive(Debug, Clone)]
 pub struct Simulator {
@@ -104,131 +306,13 @@ impl Simulator {
         &self.cfg
     }
 
-    /// Runs `program` to completion under `variant`/`attack`.
+    /// Runs a request to completion. This is the workspace's only
+    /// simulation entry point.
     ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::Hang`] if the program exceeds the cycle budget.
-    pub fn run(
-        &self,
-        program: &Program,
-        variant: Variant,
-        attack: AttackModel,
-    ) -> Result<RunResult, SimError> {
-        let (result, _mem) = self.run_with_memory(program, variant, attack)?;
-        Ok(result)
-    }
-
-    /// Like [`Simulator::run`] but also returns the final memory system —
-    /// needed by the penetration test's covert-channel receiver, which
-    /// inspects cache residency after the victim finishes.
-    pub fn run_with_memory(
-        &self,
-        program: &Program,
-        variant: Variant,
-        attack: AttackModel,
-    ) -> Result<(RunResult, MemorySystem), SimError> {
-        self.run_prewarmed(program, &[], variant, attack)
-    }
-
-    /// Runs a full [`Workload`](sdo_workloads::Workload), applying its
-    /// cache warm-start hints first (the SimPoint-checkpoint substitute;
-    /// DESIGN.md §5).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::Hang`] if the program exceeds the cycle budget.
-    pub fn run_workload(
-        &self,
-        workload: &sdo_workloads::Workload,
-        variant: Variant,
-        attack: AttackModel,
-    ) -> Result<RunResult, SimError> {
-        self.run_prewarmed(workload.program(), workload.prewarm_ranges(), variant, attack)
-            .map(|(r, _)| r)
-    }
-
-    /// Like [`Simulator::run_workload`] but also records and returns the
-    /// committed-PC stream — the basis of cross-layout differential
-    /// testing (the engine-layout golden test pins these streams).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::Hang`] if the program exceeds the cycle budget.
-    pub fn run_workload_recorded(
-        &self,
-        workload: &sdo_workloads::Workload,
-        variant: Variant,
-        attack: AttackModel,
-    ) -> Result<(RunResult, Vec<u64>), SimError> {
-        self.run_inner(workload.program(), workload.prewarm_ranges(), variant, attack, true)
-            .map(|(r, _, pcs)| (r, pcs.unwrap_or_default()))
-    }
-
-    /// Runs all Table II variants on a workload (with warm-start hints).
-    ///
-    /// # Errors
-    ///
-    /// Returns the first [`SimError`] encountered.
-    pub fn run_workload_all_variants(
-        &self,
-        workload: &sdo_workloads::Workload,
-        attack: AttackModel,
-    ) -> Result<Vec<RunResult>, SimError> {
-        Variant::ALL.iter().map(|&v| self.run_workload(workload, v, attack)).collect()
-    }
-
-    fn run_prewarmed(
-        &self,
-        program: &Program,
-        prewarm: &[(u64, u64, sdo_mem::CacheLevel)],
-        variant: Variant,
-        attack: AttackModel,
-    ) -> Result<(RunResult, MemorySystem), SimError> {
-        self.run_inner(program, prewarm, variant, attack, false).map(|(r, m, _)| (r, m))
-    }
-
-    #[allow(clippy::type_complexity)]
-    fn run_inner(
-        &self,
-        program: &Program,
-        prewarm: &[(u64, u64, sdo_mem::CacheLevel)],
-        variant: Variant,
-        attack: AttackModel,
-        record_commits: bool,
-    ) -> Result<(RunResult, MemorySystem, Option<Vec<u64>>), SimError> {
-        let mut mem = MemorySystem::new(self.cfg.mem, 1);
-        mem.load_image(program.data());
-        for &(start, bytes, level) in prewarm {
-            mem.prewarm(0, start, bytes, level);
-        }
-        let mut core = Core::new(0, self.cfg.core, variant.security(attack), program.clone());
-        core.enable_obs(self.cfg.obs, self.cfg.mem.l1.mshrs as usize);
-        core.set_fast_forward(self.cfg.fast_forward);
-        if record_commits {
-            core.record_commits();
-        }
-        core.run(&mut mem, self.cfg.max_cycles).map_err(|_| SimError::Hang {
-            max_cycles: self.cfg.max_cycles,
-            workload: program.name().to_string(),
-        })?;
-        let pcs = core.commit_pcs().map(<[u64]>::to_vec);
-        let result = RunResult {
-            workload: program.name().to_string(),
-            variant,
-            attack,
-            cycles: core.now(),
-            core: *core.stats(),
-            mem: *mem.stats(),
-            obs: core.take_obs(),
-            skipped_cycles: core.skipped_cycles(),
-        };
-        Ok((result, mem, pcs))
-    }
-
-    /// Runs one program per core on a shared memory hierarchy (cores are
-    /// ticked round-robin each cycle) and returns per-core results plus
-    /// the final memory system. All cores use the same variant/attack.
+    /// Single-program requests honor warm-start hints, quiescence
+    /// fast-forward and PC recording; multi-program requests tick one
+    /// core per program round-robin on a shared hierarchy (no
+    /// fast-forward, no recording — lockstep timing is the point).
     ///
     /// # Errors
     ///
@@ -236,34 +320,71 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics if `programs` is empty or exceeds the mesh tile count.
-    pub fn run_multi(
-        &self,
-        programs: &[Program],
-        variant: Variant,
-        attack: AttackModel,
-    ) -> Result<(Vec<RunResult>, MemorySystem), SimError> {
-        assert!(!programs.is_empty(), "need at least one program");
-        let mut mem = MemorySystem::new(self.cfg.mem, programs.len());
+    /// Panics if the request has no programs or more programs than mesh
+    /// tiles.
+    pub fn run(&self, req: &RunRequest) -> Result<RunOutput, SimError> {
+        let cfg = req.effective_config(self.cfg);
+        assert!(!req.programs.is_empty(), "request needs at least one program");
+        if req.programs.len() == 1 {
+            Self::run_single(&cfg, req)
+        } else {
+            Self::run_lockstep(&cfg, req)
+        }
+    }
+
+    fn run_single(cfg: &SimConfig, req: &RunRequest) -> Result<RunOutput, SimError> {
+        let program = &req.programs[0];
+        let mut mem = MemorySystem::new(cfg.mem, 1);
+        mem.load_image(program.data());
+        for &(start, bytes, level) in &req.prewarm {
+            mem.prewarm(0, start, bytes, level);
+        }
+        let mut core = Core::new(0, cfg.core, req.variant.security(req.attack), program.clone());
+        core.enable_obs(cfg.obs, cfg.mem.l1.mshrs as usize);
+        core.set_fast_forward(cfg.fast_forward);
+        if req.record {
+            core.record_commits();
+        }
+        core.run(&mut mem, cfg.max_cycles).map_err(|_| SimError::Hang {
+            max_cycles: cfg.max_cycles,
+            workload: program.name().to_string(),
+        })?;
+        let commit_pcs = core.commit_pcs().map(<[u64]>::to_vec);
+        let result = RunResult {
+            workload: program.name().to_string(),
+            variant: req.variant,
+            attack: req.attack,
+            cycles: core.now(),
+            core: *core.stats(),
+            mem: *mem.stats(),
+            obs: core.take_obs(),
+            skipped_cycles: core.skipped_cycles(),
+        };
+        Ok(RunOutput { results: vec![result], mem, commit_pcs })
+    }
+
+    fn run_lockstep(cfg: &SimConfig, req: &RunRequest) -> Result<RunOutput, SimError> {
+        let programs = &req.programs;
+        let mut mem = MemorySystem::new(cfg.mem, programs.len());
         for p in programs {
             mem.load_image(p.data());
         }
-        let sec = variant.security(attack);
+        let sec = req.variant.security(req.attack);
         let mut cores: Vec<Core> = programs
             .iter()
             .enumerate()
             .map(|(id, p)| {
-                let mut c = Core::new(id, self.cfg.core, sec, p.clone());
-                c.enable_obs(self.cfg.obs, self.cfg.mem.l1.mshrs as usize);
+                let mut c = Core::new(id, cfg.core, sec, p.clone());
+                c.enable_obs(cfg.obs, cfg.mem.l1.mshrs as usize);
                 c
             })
             .collect();
         let mut elapsed = 0u64;
         while cores.iter().any(|c| !c.halted()) {
-            if elapsed >= self.cfg.max_cycles {
+            if elapsed >= cfg.max_cycles {
                 let stuck = cores.iter().position(|c| !c.halted()).expect("someone is stuck");
                 return Err(SimError::Hang {
-                    max_cycles: self.cfg.max_cycles,
+                    max_cycles: cfg.max_cycles,
                     workload: programs[stuck].name().to_string(),
                 });
             }
@@ -277,8 +398,8 @@ impl Simulator {
             .zip(programs)
             .map(|(core, p)| RunResult {
                 workload: p.name().to_string(),
-                variant,
-                attack,
+                variant: req.variant,
+                attack: req.attack,
                 cycles: core.now(),
                 core: *core.stats(),
                 mem: *mem.stats(),
@@ -286,21 +407,7 @@ impl Simulator {
                 skipped_cycles: 0,
             })
             .collect();
-        Ok((results, mem))
-    }
-
-    /// Runs every Table II variant on `program` under one attack model.
-    /// Results are in [`Variant::ALL`] order (`Unsafe` first).
-    ///
-    /// # Errors
-    ///
-    /// Returns the first [`SimError`] encountered.
-    pub fn run_all_variants(
-        &self,
-        program: &Program,
-        attack: AttackModel,
-    ) -> Result<Vec<RunResult>, SimError> {
-        Variant::ALL.iter().map(|&v| self.run(program, v, attack)).collect()
+        Ok(RunOutput { results, mem, commit_pcs: None })
     }
 }
 
@@ -309,11 +416,15 @@ mod tests {
     use super::*;
     use sdo_workloads::kernels::l1_resident;
 
+    fn run_one(sim: &Simulator, prog: &Program, v: Variant, a: AttackModel) -> RunResult {
+        sim.run(&RunRequest::program(prog).variant(v).attack(a)).unwrap().into_result()
+    }
+
     #[test]
     fn run_produces_stats() {
         let sim = Simulator::new(SimConfig::tiny());
         let prog = l1_resident(300, 1);
-        let r = sim.run(&prog, Variant::Unsafe, AttackModel::Spectre).unwrap();
+        let r = run_one(&sim, &prog, Variant::Unsafe, AttackModel::Spectre);
         assert!(r.cycles > 0);
         assert!(r.core.committed > 1000);
         assert!(r.mem.loads() > 0);
@@ -324,8 +435,8 @@ mod tests {
     fn normalization_is_relative() {
         let sim = Simulator::new(SimConfig::tiny());
         let prog = l1_resident(300, 1);
-        let base = sim.run(&prog, Variant::Unsafe, AttackModel::Spectre).unwrap();
-        let stt = sim.run(&prog, Variant::SttLd, AttackModel::Spectre).unwrap();
+        let base = run_one(&sim, &prog, Variant::Unsafe, AttackModel::Spectre);
+        let stt = run_one(&sim, &prog, Variant::SttLd, AttackModel::Spectre);
         assert!(stt.normalized_to(&base) >= 1.0);
         assert!((base.normalized_to(&base) - 1.0).abs() < 1e-12);
     }
@@ -339,9 +450,22 @@ mod tests {
         let mut cfg = SimConfig::tiny();
         cfg.max_cycles = 1000;
         let sim = Simulator::new(cfg);
-        let err = sim.run(&prog, Variant::Unsafe, AttackModel::Spectre).unwrap_err();
+        let err = sim.run(&RunRequest::program(&prog)).unwrap_err();
         assert!(matches!(err, SimError::Hang { max_cycles: 1000, .. }));
         assert!(err.to_string().contains("spin"));
+    }
+
+    #[test]
+    fn config_override_beats_the_simulator_config() {
+        // Same driver, per-request budget override: the tiny budget hangs,
+        // the driver's own budget does not.
+        let sim = Simulator::new(SimConfig::tiny());
+        let prog = l1_resident(300, 1);
+        let mut starved = SimConfig::tiny();
+        starved.max_cycles = 10;
+        let err = sim.run(&RunRequest::program(&prog).config(starved)).unwrap_err();
+        assert!(matches!(err, SimError::Hang { max_cycles: 10, .. }));
+        assert!(sim.run(&RunRequest::program(&prog)).is_ok());
     }
 
     #[test]
@@ -349,20 +473,34 @@ mod tests {
         let sim = Simulator::new(SimConfig::tiny());
         let a = l1_resident(150, 1);
         let b = l1_resident(150, 2);
-        let (results, mem) =
-            sim.run_multi(&[a, b], Variant::Hybrid, AttackModel::Spectre).unwrap();
-        assert_eq!(results.len(), 2);
-        assert!(results.iter().all(|r| r.core.committed > 500));
+        let out = sim
+            .run(&RunRequest::multi(&[a, b]).variant(Variant::Hybrid))
+            .unwrap();
+        assert_eq!(out.results().len(), 2);
+        assert!(out.results().iter().all(|r| r.core.committed > 500));
         // Both cores' traffic landed in one shared memory system.
-        assert!(mem.stats().loads() > 0);
-        assert_eq!(mem.cores(), 2);
+        assert!(out.memory().stats().loads() > 0);
+        assert_eq!(out.memory().cores(), 2);
+    }
+
+    #[test]
+    fn recorded_run_returns_the_commit_stream() {
+        let sim = Simulator::new(SimConfig::tiny());
+        let prog = l1_resident(200, 1);
+        let out = sim.run(&RunRequest::program(&prog).record()).unwrap();
+        let committed = out.result().core.committed;
+        let pcs = out.commit_pcs().expect("recording was requested");
+        assert_eq!(pcs.len() as u64, committed);
+        // Without .record() the stream is absent.
+        let plain = sim.run(&RunRequest::program(&prog)).unwrap();
+        assert!(plain.commit_pcs().is_none());
     }
 
     #[test]
     fn metrics_snapshot_mirrors_stats() {
         let sim = Simulator::new(SimConfig::tiny());
         let prog = l1_resident(300, 1);
-        let r = sim.run(&prog, Variant::Hybrid, AttackModel::Spectre).unwrap();
+        let r = run_one(&sim, &prog, Variant::Hybrid, AttackModel::Spectre);
         assert!(r.obs.is_none(), "default config records no probe");
         let m = r.metrics();
         assert_eq!(m.counter("run.sims"), Some(1));
@@ -377,12 +515,18 @@ mod tests {
     fn obs_enabled_run_is_identical_and_carries_histograms() {
         use sdo_uarch::ObsConfig;
         let prog = l1_resident(300, 1);
-        let plain = Simulator::new(SimConfig::tiny())
-            .run(&prog, Variant::Hybrid, AttackModel::Spectre)
-            .unwrap();
-        let observed = Simulator::new(SimConfig::tiny().with_obs(ObsConfig::occupancy()))
-            .run(&prog, Variant::Hybrid, AttackModel::Spectre)
-            .unwrap();
+        let plain = run_one(
+            &Simulator::new(SimConfig::tiny()),
+            &prog,
+            Variant::Hybrid,
+            AttackModel::Spectre,
+        );
+        let observed = run_one(
+            &Simulator::new(SimConfig::tiny().with_obs(ObsConfig::occupancy())),
+            &prog,
+            Variant::Hybrid,
+            AttackModel::Spectre,
+        );
         assert_eq!(observed.cycles, plain.cycles, "obs must not perturb timing");
         assert_eq!(observed.core, plain.core);
         assert_eq!(observed.mem, plain.mem);
@@ -400,12 +544,18 @@ mod tests {
         use sdo_uarch::ObsConfig;
         let prog = sdo_workloads::kernels::ptr_chase(1 << 16, 400, 7);
         let cfg = SimConfig::tiny().with_obs(ObsConfig::occupancy());
-        let skip = Simulator::new(cfg.with_fast_forward(true))
-            .run(&prog, Variant::Hybrid, AttackModel::Spectre)
-            .unwrap();
-        let step = Simulator::new(cfg.with_fast_forward(false))
-            .run(&prog, Variant::Hybrid, AttackModel::Spectre)
-            .unwrap();
+        let skip = run_one(
+            &Simulator::new(cfg.with_fast_forward(true)),
+            &prog,
+            Variant::Hybrid,
+            AttackModel::Spectre,
+        );
+        let step = run_one(
+            &Simulator::new(cfg.with_fast_forward(false)),
+            &prog,
+            Variant::Hybrid,
+            AttackModel::Spectre,
+        );
         assert_eq!(step.skipped_cycles, 0, "--no-skip must not skip");
         assert!(skip.skipped_cycles > 0, "DRAM-bound kernel should quiesce");
         // Cycle-exactness: everything the run reports except the host-side
@@ -422,7 +572,10 @@ mod tests {
         let sim = Simulator::new(SimConfig::tiny());
         let prog = l1_resident(200, 2);
         for attack in AttackModel::ALL {
-            let results = sim.run_all_variants(&prog, attack).unwrap();
+            let results: Vec<RunResult> = Variant::ALL
+                .iter()
+                .map(|&v| run_one(&sim, &prog, v, attack))
+                .collect();
             assert_eq!(results.len(), Variant::ALL.len());
             // Committed instruction counts are identical across variants:
             // protection changes timing, never function.

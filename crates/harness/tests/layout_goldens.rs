@@ -15,7 +15,7 @@
 //! layout_goldens` — but only ever from a commit whose engine behaviour
 //! is already trusted; the file is the contract this refactor must keep.
 
-use sdo_harness::{SimConfig, Simulator, Variant};
+use sdo_harness::{RunRequest, SimConfig, Simulator, Variant};
 use sdo_mem::CacheLevel;
 use sdo_uarch::{AttackModel, ObsConfig};
 use sdo_workloads::kernels::{
@@ -94,9 +94,11 @@ fn capture() -> String {
         for attack in AttackModel::ALL {
             for w in &mini_suite() {
                 for variant in VARIANTS {
-                    let (r, pcs) = sim
-                        .run_workload_recorded(w, variant, attack)
+                    let out_run = sim
+                        .run(&RunRequest::workload(w).variant(variant).attack(attack).record())
                         .expect("mini kernel completes");
+                    let pcs = out_run.commit_pcs().expect("recording requested").to_vec();
+                    let r = out_run.into_result();
                     out.push_str(&format!(
                         "{} {} {} {} cycles={} commits={} pc_hash={:016x} metrics_hash={:016x}\n",
                         w.name(),

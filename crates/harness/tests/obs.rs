@@ -7,7 +7,7 @@ use sdo_harness::experiments::{
     fig6_report, fig7_report, fig8_report, run_suite_on, table3_report,
 };
 use sdo_harness::export::{fig6_csv, runs_csv, runs_csv_header, RUN_COLUMNS};
-use sdo_harness::{JobPool, SimConfig, Simulator, Variant};
+use sdo_harness::{JobPool, Runner, RunRequest, SimConfig, Simulator, Variant};
 use sdo_mem::CacheLevel;
 use sdo_uarch::{AttackModel, EventTrace, ObsConfig};
 use sdo_workloads::kernels::{hash_lookup, l1_resident, stream};
@@ -27,10 +27,10 @@ fn mini_suite() -> Vec<Workload> {
 fn figures_are_byte_identical_with_obs_on() {
     let kernels = mini_suite();
     let pool = JobPool::new(2);
-    let off = Simulator::new(SimConfig::table_i());
+    let off = Runner::local(SimConfig::table_i());
     // A small trace capacity keeps the retained per-run buffers tiny;
     // dropped events don't perturb timing either.
-    let on = Simulator::new(SimConfig::table_i().with_obs(ObsConfig::full(4096)));
+    let on = Runner::local(SimConfig::table_i().with_obs(ObsConfig::full(4096)));
     let r_off = run_suite_on(&off, &kernels, &pool).expect("suite completes");
     let r_on = run_suite_on(&on, &kernels, &pool).expect("suite completes");
 
@@ -49,10 +49,10 @@ fn figures_are_byte_identical_with_obs_on() {
 #[test]
 fn metrics_are_deterministic_across_worker_counts() {
     let kernels = mini_suite();
-    let sim = Simulator::new(SimConfig::table_i().with_obs(ObsConfig::occupancy()));
-    let m1 = run_suite_on(&sim, &kernels, &JobPool::new(1)).expect("suite completes").metrics();
+    let runner = Runner::local(SimConfig::table_i().with_obs(ObsConfig::occupancy()));
+    let m1 = run_suite_on(&runner, &kernels, &JobPool::new(1)).expect("suite completes").metrics();
     for jobs in [2, 4] {
-        let mj = run_suite_on(&sim, &kernels, &JobPool::new(jobs))
+        let mj = run_suite_on(&runner, &kernels, &JobPool::new(jobs))
             .expect("suite completes")
             .metrics();
         assert_eq!(m1.to_json(), mj.to_json(), "metric snapshot diverged at {jobs} jobs");
@@ -73,8 +73,9 @@ fn event_trace_round_trips_through_a_real_run() {
     let w = Workload::new("hash_lookup", hash_lookup(1 << 10, 120, 5))
         .warmed(0x80_0000, (1 << 10) * 8, CacheLevel::L3);
     let r = sim
-        .run_workload(&w, Variant::Hybrid, AttackModel::Spectre)
-        .expect("run completes");
+        .run(&RunRequest::workload(&w).variant(Variant::Hybrid).attack(AttackModel::Spectre))
+        .expect("run completes")
+        .into_result();
     let obs = r.obs.expect("obs attached");
     let trace = obs.trace().expect("tracing enabled");
     assert!(!trace.events().is_empty(), "no events recorded");
@@ -88,8 +89,8 @@ fn event_trace_round_trips_through_a_real_run() {
 #[test]
 fn csv_exports_are_rectangular() {
     let kernels = mini_suite();
-    let sim = Simulator::new(SimConfig::table_i());
-    let results = run_suite_on(&sim, &kernels, &JobPool::new(4)).expect("suite completes");
+    let runner = Runner::local(SimConfig::table_i());
+    let results = run_suite_on(&runner, &kernels, &JobPool::new(4)).expect("suite completes");
     for (name, csv) in [("runs", runs_csv(&results)), ("fig6", fig6_csv(&results))] {
         let mut lines = csv.lines();
         let header = lines.next().expect("header line");

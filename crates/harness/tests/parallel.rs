@@ -3,7 +3,7 @@
 //! canonical first-error-wins semantics, clean shutdown on failure.
 
 use sdo_harness::experiments::{fig6_report, run_suite_on};
-use sdo_harness::{JobPool, SimConfig, SimError, Simulator, Variant};
+use sdo_harness::{JobPool, Runner, SimConfig, SimError, Variant};
 use sdo_mem::CacheLevel;
 use sdo_uarch::AttackModel;
 use sdo_workloads::kernels::{hash_lookup, l1_resident, stream};
@@ -22,12 +22,12 @@ fn mini_suite() -> Vec<Workload> {
 
 #[test]
 fn parallel_suite_is_byte_identical_to_serial() {
-    let sim = Simulator::new(SimConfig::table_i());
+    let runner = Runner::local(SimConfig::table_i());
     let kernels = mini_suite();
-    let serial = run_suite_on(&sim, &kernels, &JobPool::new(1)).expect("serial suite completes");
+    let serial = run_suite_on(&runner, &kernels, &JobPool::new(1)).expect("serial suite completes");
     for jobs in [2, 3, 8] {
         let par =
-            run_suite_on(&sim, &kernels, &JobPool::new(jobs)).expect("parallel suite completes");
+            run_suite_on(&runner, &kernels, &JobPool::new(jobs)).expect("parallel suite completes");
         assert_eq!(serial.workloads, par.workloads, "workload order at {jobs} jobs");
         // The merged RunResult stream must match field-for-field, in
         // canonical (attack, workload, variant) order.
@@ -53,7 +53,7 @@ fn pool_reports_the_canonically_first_hang() {
     // still be the canonically-first job's, independent of scheduling.
     let mut cfg = SimConfig::table_i();
     cfg.max_cycles = 500;
-    let sim = Simulator::new(cfg);
+    let runner = Runner::local(cfg);
     let kernels = vec![
         Workload::new("hog", hash_lookup(1 << 12, 4000, 7)),
         Workload::new("small", l1_resident(50, 1)),
@@ -62,7 +62,7 @@ fn pool_reports_the_canonically_first_hang() {
     for jobs in [1, 4] {
         // Repeat to give nondeterministic scheduling a chance to slip up.
         for _ in 0..3 {
-            let err = run_suite_on(&sim, &kernels, &JobPool::new(jobs))
+            let err = run_suite_on(&runner, &kernels, &JobPool::new(jobs))
                 .expect_err("the hog workload must exceed the budget");
             assert_eq!(err, expected, "non-canonical error at {jobs} jobs");
         }
@@ -76,12 +76,12 @@ fn pool_survives_an_error_and_runs_again() {
     let pool = JobPool::new(4);
     let mut cfg = SimConfig::table_i();
     cfg.max_cycles = 500;
-    let failing = Simulator::new(cfg);
+    let failing = Runner::local(cfg);
     let kernels = vec![Workload::new("hog", hash_lookup(1 << 12, 4000, 7))];
     assert!(run_suite_on(&failing, &kernels, &pool).is_err());
 
-    let ok_sim = Simulator::new(SimConfig::table_i());
+    let ok_runner = Runner::local(SimConfig::table_i());
     let ok_kernels = vec![Workload::new("small", l1_resident(50, 1))];
-    let results = run_suite_on(&ok_sim, &ok_kernels, &pool).expect("pool reusable after error");
+    let results = run_suite_on(&ok_runner, &ok_kernels, &pool).expect("pool reusable after error");
     assert_eq!(results.sims(), (Variant::ALL.len() * AttackModel::ALL.len()) as u64);
 }

@@ -1,0 +1,361 @@
+//! # sdo-serve — the cache-backed simulation service
+//!
+//! A persistent daemon owning a warm [`JobPool`] and (optionally) a
+//! content-addressed [`ResultStore`], speaking the line-delimited JSON
+//! protocol from `sdo_harness::proto` (DESIGN.md §13) over stdio or a
+//! Unix socket. Every figure, campaign or ad-hoc run submitted to it is
+//! first looked up by [`RunKey`]; repeated requests are cache hits that
+//! return byte-identical [`RunResult`]s without executing a single
+//! simulation.
+//!
+//! ## Batch contract
+//!
+//! A batch is a sequence of request lines terminated by a blank line.
+//! The daemon writes exactly one reply line per request line, in request
+//! order, then flushes. Back-pressure is explicit: run requests beyond
+//! the configured queue bound are answered with `Busy` and must be
+//! resubmitted in a later batch (the [`Runner`](sdo_harness::Runner)
+//! client does this automatically).
+//!
+//! ## Fault containment
+//!
+//! Malformed lines, hangs, store failures and in-flight worker panics
+//! all become typed `Error` replies — the daemon keeps serving. Panics
+//! are caught per simulation with [`std::panic::catch_unwind`] and
+//! rendered through [`sdo_harness::engine::panic_message`], the same
+//! plumbing the in-process pool uses.
+
+#![warn(missing_docs)]
+
+use sdo_harness::engine::{panic_message, JobPool};
+use sdo_harness::proto::{Reply, Request};
+use sdo_harness::store::{ResultStore, RunKey};
+use sdo_harness::{RunRequest, RunResult, SimConfig, SimError, Simulator};
+use sdo_verify::{CampaignConfig, Checker};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Content-addressed store directory (`None` = serve without
+    /// memoization — every run simulates).
+    pub store: Option<String>,
+    /// Maximum run requests accepted per batch; the rest get `Busy`.
+    pub queue: usize,
+    /// Base machine configuration for requests with no override.
+    pub base: SimConfig,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { store: None, queue: 256, base: SimConfig::table_i() }
+    }
+}
+
+/// The daemon: a warm pool, an optional store, and hit/miss counters.
+#[derive(Debug)]
+pub struct Server {
+    sim: Simulator,
+    store: Option<ResultStore>,
+    queue: usize,
+    pool: JobPool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Server {
+    /// Builds a daemon from `opts`, executing simulations on `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Store`] if the store directory cannot be
+    /// opened.
+    pub fn new(opts: ServeOptions, pool: JobPool) -> Result<Self, SimError> {
+        let store = match &opts.store {
+            Some(dir) => Some(ResultStore::open(dir.as_str())?),
+            None => None,
+        };
+        Ok(Server {
+            sim: Simulator::new(opts.base),
+            store,
+            queue: opts.queue.max(1),
+            pool,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// Requests served from the store since startup.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests actually simulated since startup.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Whether a `shutdown` request has been received.
+    #[must_use]
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Serves one stream (stdio or an accepted socket connection) until
+    /// EOF or a `shutdown` request. Between batches — while the daemon
+    /// is otherwise idle — the store manifest is rewritten so
+    /// `manifest.tsv` always reflects the entries on disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error; protocol-level problems never
+    /// surface here (they become typed `Error` replies).
+    pub fn serve<R: BufRead, W: Write>(&self, mut reader: R, mut writer: W) -> std::io::Result<()> {
+        loop {
+            let mut lines = Vec::new();
+            let mut eof = false;
+            loop {
+                let mut line = String::new();
+                if reader.read_line(&mut line)? == 0 {
+                    eof = true;
+                    break;
+                }
+                let trimmed = line.trim_end_matches(['\n', '\r']);
+                if trimmed.is_empty() {
+                    break;
+                }
+                lines.push(trimmed.to_string());
+            }
+            if !lines.is_empty() {
+                for reply in self.handle_batch(&lines) {
+                    writer.write_all(reply.render().as_bytes())?;
+                    writer.write_all(b"\n")?;
+                }
+                writer.flush()?;
+                if let Some(store) = &self.store {
+                    // Idle point: the batch is answered, nothing is
+                    // executing. Failures are non-fatal (the manifest is
+                    // regenerable from the entries).
+                    let _ = store.write_manifest();
+                }
+            }
+            if eof || self.shutting_down() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Binds (replacing any stale socket file) and serves connections
+    /// one at a time until a `shutdown` request arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns bind/accept failures; per-connection I/O errors only end
+    /// that connection.
+    pub fn serve_socket(&self, path: &str) -> std::io::Result<()> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        for conn in listener.incoming() {
+            let stream = conn?;
+            let reader = BufReader::new(stream.try_clone()?);
+            if let Err(e) = self.serve(reader, &stream) {
+                eprintln!("serve: connection error: {e}");
+            }
+            if self.shutting_down() {
+                break;
+            }
+        }
+        let _ = std::fs::remove_file(path);
+        Ok(())
+    }
+
+    /// Answers one batch: exactly one reply per line, in line order
+    /// (`shutdown` lines excepted — they carry no id and get no reply).
+    #[must_use]
+    pub fn handle_batch(&self, lines: &[String]) -> Vec<Reply> {
+        // Parse every line first so the queue bound counts actual run
+        // requests, not malformed lines.
+        let parsed: Vec<Result<Request, String>> =
+            lines.iter().map(|l| Request::parse(l)).collect();
+
+        // Queue bound: the first `queue` run requests are accepted, the
+        // rest bounced with Busy (the client resubmits them).
+        let mut accepted = 0usize;
+        let mut replies: Vec<Option<Reply>> = Vec::with_capacity(lines.len());
+        let mut runs: Vec<AcceptedRun> = Vec::new();
+        for (i, req) in parsed.into_iter().enumerate() {
+            match req {
+                Err(message) => replies.push(Some(Reply::Error { id: 0, message })),
+                Ok(Request::Run { id, request, no_cache }) => {
+                    if let Err(message) = servable(&request) {
+                        replies.push(Some(Reply::Error { id, message }));
+                    } else if accepted >= self.queue {
+                        replies.push(Some(Reply::Busy { id }));
+                    } else {
+                        accepted += 1;
+                        runs.push(AcceptedRun { slot: i, id, request, no_cache });
+                        replies.push(None); // filled after execution
+                    }
+                }
+                Ok(Request::Stats { id }) => replies.push(Some(self.stats_reply(id))),
+                Ok(Request::Campaign { id, seed, quick, fuzz }) => {
+                    replies.push(Some(self.run_campaign(id, seed, quick, fuzz)));
+                }
+                Ok(Request::Shutdown) => {
+                    self.shutdown.store(true, Ordering::Relaxed);
+                    // No id, no reply: the batch contract covers
+                    // id-carrying requests only.
+                }
+            }
+        }
+
+        for (slot, id, outcome) in self.execute_runs(&runs) {
+            replies[slot] = Some(match outcome {
+                Ok((result, cached)) => Reply::Result { id, result, cached },
+                Err(message) => Reply::Error { id, message },
+            });
+        }
+        replies.into_iter().flatten().collect()
+    }
+
+    /// Executes the accepted run requests of one batch: store lookups
+    /// first, then the remainder fanned out on the warm pool (each
+    /// simulation individually panic-guarded), then store writes.
+    /// Returns `(reply slot, request id, result-or-error)` per run.
+    #[allow(clippy::type_complexity)]
+    fn execute_runs(
+        &self,
+        runs: &[AcceptedRun],
+    ) -> Vec<(usize, u64, Result<(RunResult, bool), String>)> {
+        let base = *self.sim.config();
+        let keys: Vec<Option<RunKey>> = runs
+            .iter()
+            .map(|run| cacheable(&run.request, base).then(|| RunKey::of(&run.request, base)))
+            .collect();
+
+        let mut out: Vec<(usize, u64, Result<(RunResult, bool), String>)> = Vec::new();
+        let mut todo: Vec<usize> = Vec::new(); // indices into `runs`
+        for (j, run) in runs.iter().enumerate() {
+            match (&self.store, &keys[j]) {
+                (Some(store), Some(key)) if !run.no_cache => match store.load(key) {
+                    Ok(Some(result)) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        out.push((run.slot, run.id, Ok((result, true))));
+                    }
+                    Ok(None) => todo.push(j),
+                    Err(e) => out.push((run.slot, run.id, Err(e.to_string()))),
+                },
+                _ => todo.push(j),
+            }
+        }
+
+        let fresh: Vec<Result<RunResult, String>> = self
+            .pool
+            .try_run(&todo, |_, &j| {
+                Ok::<_, SimError>(self.run_guarded(&runs[j].request))
+            })
+            .expect("guarded closure never errs");
+        for (&j, outcome) in todo.iter().zip(fresh) {
+            let run = &runs[j];
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let outcome = outcome.and_then(|result| {
+                if let (Some(store), Some(key)) = (&self.store, &keys[j]) {
+                    store.save(key, &result).map_err(|e| e.to_string())?;
+                }
+                Ok((result, false))
+            });
+            out.push((run.slot, run.id, outcome));
+        }
+        out
+    }
+
+    /// One simulation with the panic boundary drawn *inside* the worker
+    /// closure: a panicking run yields an `Err` here instead of
+    /// unwinding across the pool and killing the daemon.
+    fn run_guarded(&self, req: &RunRequest) -> Result<RunResult, String> {
+        match catch_unwind(AssertUnwindSafe(|| self.sim.run(req))) {
+            Ok(Ok(output)) => Ok(output.into_result()),
+            Ok(Err(e)) => Err(e.to_string()),
+            Err(payload) => Err(format!("worker panicked: {}", panic_message(&*payload))),
+        }
+    }
+
+    fn stats_reply(&self, id: u64) -> Reply {
+        let entries = match &self.store {
+            Some(store) => match store.len() {
+                Ok(n) => n,
+                Err(e) => return Reply::Error { id, message: e.to_string() },
+            },
+            None => 0,
+        };
+        Reply::Stats { id, hits: self.hits(), misses: self.misses(), entries }
+    }
+
+    /// Runs a verification campaign on the daemon's warm pool. Campaign
+    /// runs carry in-process observability and never touch the store.
+    fn run_campaign(&self, id: u64, seed: u64, quick: bool, fuzz: u64) -> Reply {
+        let cfg = CampaignConfig {
+            seed,
+            quick,
+            fuzz_count: Some(fuzz as usize),
+            variants: None,
+        };
+        let checker = Checker::with_config(*self.sim.config());
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| cfg.run(&checker, &self.pool)));
+        match outcome {
+            Ok(Ok(result)) => Reply::Campaign {
+                id,
+                passed: result.passed(),
+                checks: result.outcomes.len() as u64,
+                render: result.render(),
+            },
+            Ok(Err(e)) => Reply::Error { id, message: e.to_string() },
+            Err(payload) => Reply::Error {
+                id,
+                message: format!("campaign panicked: {}", panic_message(&*payload)),
+            },
+        }
+    }
+}
+
+/// Why a run request cannot be served, if it cannot: the protocol
+/// carries exactly one result per request, so multi-core and
+/// PC-recording runs (which need the full in-process `RunOutput`) are
+/// rejected with a typed error rather than silently truncated.
+fn servable(req: &RunRequest) -> Result<(), String> {
+    if req.programs.len() != 1 {
+        return Err(format!(
+            "multi-core requests ({} programs) are not servable; run them in-process",
+            req.programs.len()
+        ));
+    }
+    if req.record {
+        return Err("recording runs are not servable; run them in-process".to_string());
+    }
+    Ok(())
+}
+
+/// Whether a request's results may be stored: obs-carrying results
+/// cannot be serialized (the probe stays in-process), so they simulate
+/// every time.
+fn cacheable(req: &RunRequest, base: SimConfig) -> bool {
+    !req.effective_config(base).obs.enabled()
+}
+
+/// A run request admitted past the queue bound, with its reply slot in
+/// the batch and its echoed id.
+#[derive(Debug)]
+struct AcceptedRun {
+    slot: usize,
+    id: u64,
+    request: RunRequest,
+    no_cache: bool,
+}

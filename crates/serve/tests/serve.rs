@@ -1,0 +1,236 @@
+//! End-to-end tests for the daemon: the batch contract (one reply per
+//! request, in order), cache hits with byte-identical results, explicit
+//! `Busy` back-pressure, typed errors for malformed/unservable/hanging
+//! requests with the daemon surviving all of them, and the socket
+//! transport driven by the `Runner` client.
+
+use sdo_harness::proto::{Reply, Request};
+use sdo_harness::{JobPool, Runner, RunRequest, SimConfig, Variant};
+use sdo_serve::{ServeOptions, Server};
+use sdo_workloads::kernels::l1_resident;
+use std::io::Cursor;
+
+fn temp_dir(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("sdo-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.to_string_lossy().into_owned()
+}
+
+fn opts(store: Option<String>, queue: usize) -> ServeOptions {
+    ServeOptions { store, queue, base: SimConfig::tiny() }
+}
+
+/// Feeds `batches` (already newline-framed) through a stdio server and
+/// returns the parsed replies.
+fn drive(server: &Server, input: &str) -> Vec<Reply> {
+    let mut out = Vec::new();
+    server.serve(Cursor::new(input.to_string()), &mut out).expect("stdio serve succeeds");
+    String::from_utf8(out)
+        .expect("replies are UTF-8")
+        .lines()
+        .map(|l| Reply::parse(l).expect("every reply line parses"))
+        .collect()
+}
+
+fn batch(msgs: &[Request]) -> String {
+    let mut s = String::new();
+    for m in msgs {
+        s.push_str(&m.render());
+        s.push('\n');
+    }
+    s.push('\n');
+    s
+}
+
+#[test]
+fn run_requests_hit_the_store_on_the_second_pass() {
+    let dir = temp_dir("hits");
+    let server = Server::new(opts(Some(dir.clone()), 64), JobPool::new(2)).unwrap();
+    let prog = l1_resident(120, 1);
+    let reqs: Vec<Request> = Variant::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| Request::Run {
+            id: i as u64,
+            request: RunRequest::program(&prog).variant(v),
+            no_cache: false,
+        })
+        .collect();
+
+    let cold = drive(&server, &batch(&reqs));
+    assert_eq!(cold.len(), reqs.len(), "one reply per request");
+    for (i, reply) in cold.iter().enumerate() {
+        let Reply::Result { id, cached, .. } = reply else {
+            panic!("expected a result, got {reply:?}");
+        };
+        assert_eq!(*id, i as u64, "replies in request order");
+        assert!(!cached, "first pass simulates");
+    }
+    assert_eq!(server.misses(), reqs.len() as u64);
+
+    let warm = drive(&server, &batch(&reqs));
+    for (c, w) in cold.iter().zip(&warm) {
+        let (Reply::Result { result: rc, .. }, Reply::Result { result: rw, cached, .. }) = (c, w)
+        else {
+            panic!("expected results");
+        };
+        assert!(cached, "second pass is served from the store");
+        assert_eq!(rw, rc, "cached result is byte-identical");
+    }
+    assert_eq!(server.hits(), reqs.len() as u64, "second pass: 100% hits");
+    assert_eq!(server.misses(), reqs.len() as u64, "second pass executed nothing new");
+
+    // The idle-point manifest rewrite happened and covers every entry.
+    let manifest = std::fs::read_to_string(format!("{dir}/manifest.tsv")).unwrap();
+    assert_eq!(manifest.lines().count(), reqs.len());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn queue_bound_bounces_the_overflow_with_busy() {
+    let server = Server::new(opts(None, 2), JobPool::serial()).unwrap();
+    let prog = l1_resident(60, 1);
+    let reqs: Vec<Request> = (0..4)
+        .map(|i| Request::Run {
+            id: i,
+            request: RunRequest::program(&prog),
+            no_cache: false,
+        })
+        .collect();
+    let replies = drive(&server, &batch(&reqs));
+    assert_eq!(replies.len(), 4);
+    assert!(matches!(replies[0], Reply::Result { id: 0, .. }));
+    assert!(matches!(replies[1], Reply::Result { id: 1, .. }));
+    assert!(matches!(replies[2], Reply::Busy { id: 2 }));
+    assert!(matches!(replies[3], Reply::Busy { id: 3 }));
+}
+
+#[test]
+fn faults_become_typed_errors_and_the_daemon_keeps_serving() {
+    let server = Server::new(opts(None, 64), JobPool::serial()).unwrap();
+    let prog = l1_resident(200, 1);
+
+    // Batch 1: a malformed line, an unservable request, and a hang.
+    let mut hang_cfg = SimConfig::tiny();
+    hang_cfg.max_cycles = 10;
+    let multi = Request::Run {
+        id: 7,
+        request: RunRequest::multi(&[prog.clone(), prog.clone()]),
+        no_cache: false,
+    };
+    let hang = Request::Run {
+        id: 8,
+        request: RunRequest::program(&prog).config(hang_cfg),
+        no_cache: false,
+    };
+    let input = format!("{{\"op\":\"launch_missiles\"}}\n{}\n{}\n\n", multi.render(), hang.render());
+    let replies = drive(&server, &input);
+    assert_eq!(replies.len(), 3, "every line gets a reply, even the broken ones");
+    let Reply::Error { id: 0, message } = &replies[0] else {
+        panic!("malformed line must be a typed error, got {:?}", replies[0]);
+    };
+    assert!(message.contains("unknown op"), "got '{message}'");
+    let Reply::Error { id: 7, message } = &replies[1] else {
+        panic!("multi-core request must be rejected, got {:?}", replies[1]);
+    };
+    assert!(message.contains("not servable"), "got '{message}'");
+    let Reply::Error { id: 8, message } = &replies[2] else {
+        panic!("hang must be a typed error, got {:?}", replies[2]);
+    };
+    assert!(message.contains("did not halt"), "got '{message}'");
+
+    // Batch 2: the daemon is still alive and well.
+    let ok = Request::Run { id: 9, request: RunRequest::program(&prog), no_cache: false };
+    let replies = drive(&server, &batch(&[ok]));
+    assert!(matches!(replies[0], Reply::Result { id: 9, cached: false, .. }));
+}
+
+#[test]
+fn stats_and_campaign_requests_are_answered_inline() {
+    // The campaign checker is calibrated for the paper's Table I machine,
+    // so this server runs the full-size base config.
+    let server = Server::new(
+        ServeOptions { store: Some(temp_dir("stats")), queue: 64, base: SimConfig::table_i() },
+        JobPool::new(2),
+    )
+    .unwrap();
+    let prog = l1_resident(100, 1);
+    let run = Request::Run { id: 0, request: RunRequest::program(&prog), no_cache: false };
+    drive(&server, &batch(&[run]));
+
+    let replies = drive(&server, &batch(&[Request::Stats { id: 1 }]));
+    let Reply::Stats { id: 1, hits, misses, entries } = replies[0] else {
+        panic!("expected stats, got {:?}", replies[0]);
+    };
+    assert_eq!((hits, misses, entries), (0, 1, 1));
+
+    // A fuzz-free quick campaign on the daemon's warm pool.
+    let campaign = Request::Campaign { id: 2, seed: 7, quick: true, fuzz: 0 };
+    let replies = drive(&server, &batch(&[campaign]));
+    let Reply::Campaign { id: 2, passed, checks, render } = &replies[0] else {
+        panic!("expected a campaign verdict, got {:?}", replies[0]);
+    };
+    assert!(passed, "quick campaign must pass:\n{render}");
+    assert!(*checks > 0);
+    assert!(render.contains("PASS"));
+}
+
+#[test]
+fn shutdown_ends_the_stream_without_a_reply() {
+    let server = Server::new(opts(None, 64), JobPool::serial()).unwrap();
+    let replies = drive(&server, &format!("{}\n\n", Request::Shutdown.render()));
+    assert!(replies.is_empty(), "shutdown carries no id and gets no reply");
+    assert!(server.shutting_down());
+}
+
+#[test]
+fn socket_transport_serves_the_runner_client() {
+    let dir = temp_dir("socket");
+    let sock = format!("{}/sock", temp_dir("socket-path"));
+    std::fs::create_dir_all(std::path::Path::new(&sock).parent().unwrap()).unwrap();
+    let server = Server::new(opts(Some(dir.clone()), 3), JobPool::new(2)).unwrap();
+
+    std::thread::scope(|scope| {
+        let server = &server;
+        let sock_path = sock.clone();
+        scope.spawn(move || server.serve_socket(&sock_path).expect("socket serve succeeds"));
+        // Wait for the socket to appear.
+        for _ in 0..200 {
+            if std::path::Path::new(&sock).exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        let prog = l1_resident(120, 1);
+        let reqs: Vec<RunRequest> =
+            Variant::ALL.iter().map(|&v| RunRequest::program(&prog).variant(v)).collect();
+
+        // Batch larger than the daemon queue (3): the client must ride
+        // the Busy/resubmit loop transparently.
+        let client = Runner::server(SimConfig::tiny(), &sock);
+        let remote = client.run_batch(&reqs, &JobPool::serial()).unwrap();
+        assert_eq!(client.misses(), reqs.len() as u64);
+
+        let local = Runner::local(SimConfig::tiny());
+        let reference = local.run_batch(&reqs, &JobPool::serial()).unwrap();
+        assert_eq!(remote, reference, "served results match in-process simulation");
+
+        let warm_client = Runner::server(SimConfig::tiny(), &sock);
+        let warm = warm_client.run_batch(&reqs, &JobPool::serial()).unwrap();
+        assert_eq!(warm, reference);
+        assert_eq!(warm_client.hits(), reqs.len() as u64);
+        assert_eq!(warm_client.misses(), 0, "warm pass executed zero simulations");
+        assert_eq!(
+            warm_client.cache_report().unwrap(),
+            format!("cache: {} hits, 0 misses (100.0% cached)", reqs.len())
+        );
+
+        // Shut the daemon down over the wire.
+        use std::io::Write;
+        let mut stream = std::os::unix::net::UnixStream::connect(&sock).unwrap();
+        stream.write_all(format!("{}\n\n", Request::Shutdown.render()).as_bytes()).unwrap();
+    });
+    assert!(!std::path::Path::new(&sock).exists(), "socket file is removed on shutdown");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -94,7 +94,12 @@ impl CampaignConfig {
         }
     }
 
-    fn fuzz_count(&self) -> usize {
+    /// The effective fuzz-spec count: the override, or the mode default
+    /// (2 quick, 8 full). Public so a remote submission (`verify
+    /// --server`) can resolve the default on the client and ship a plain
+    /// count over the wire.
+    #[must_use]
+    pub fn fuzz_total(&self) -> usize {
         self.fuzz_count.unwrap_or(if self.quick { 2 } else { 8 })
     }
 
@@ -103,7 +108,7 @@ impl CampaignConfig {
     /// `(seed, fuzz_count)`.
     #[must_use]
     pub fn fuzz_specs(&self) -> Vec<LitmusSpec> {
-        let n = self.fuzz_count();
+        let n = self.fuzz_total();
         let mut rng = SdoRng::seed_from_u64(self.seed);
         (0..n)
             .map(|i| {

@@ -18,7 +18,7 @@
 
 use crate::oracle::{self, Violation};
 use crate::policy;
-use sdo_harness::{SimConfig, SimError, Simulator, Variant};
+use sdo_harness::{RunRequest, SimConfig, SimError, Simulator, Variant};
 use sdo_isa::Program;
 use sdo_obs::{Divergence, Event, ObsConfig, ObservableTrace};
 use sdo_uarch::AttackModel;
@@ -117,6 +117,10 @@ impl Checker {
 
     /// Runs one program once and captures observables + full events.
     ///
+    /// The run goes through [`Simulator::run`] directly rather than a
+    /// `Runner`: obs-carrying results hold an in-process probe and are
+    /// deliberately never cached or served.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::Hang`] if the program exceeds the cycle
@@ -127,7 +131,10 @@ impl Checker {
         variant: Variant,
         attack: AttackModel,
     ) -> Result<Capture, SimError> {
-        let r = self.sim.run(program, variant, attack)?;
+        let r = self
+            .sim
+            .run(&RunRequest::program(program).variant(variant).attack(attack))?
+            .into_result();
         let obs = r.obs.as_ref().expect("checker always enables the probe");
         let trace = obs.trace().expect("checker always enables the event trace");
         let counters = vec![

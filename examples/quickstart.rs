@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use sdo_sim::harness::{SimConfig, Simulator, Variant};
+use sdo_sim::harness::{RunRequest, SimConfig, Simulator, Variant};
 use sdo_sim::isa::{Assembler, Interpreter, Reg};
 use sdo_sim::uarch::AttackModel;
 
@@ -48,7 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Simulate under three Table II variants.
     let sim = Simulator::new(SimConfig::table_i());
     for variant in [Variant::Unsafe, Variant::SttLd, Variant::Hybrid] {
-        let res = sim.run(&program, variant, AttackModel::Spectre)?;
+        let res = sim
+            .run(&RunRequest::program(&program).variant(variant).attack(AttackModel::Spectre))?
+            .into_result();
         println!(
             "{:10} {:>7} cycles | IPC {:.2} | delayed loads {:>3} | Obl-Ld {:>3} | squashes {}",
             variant.name(),

@@ -8,7 +8,7 @@
 //! ```
 
 use sdo_sim::harness::experiments::{pentest, pentest_report};
-use sdo_sim::harness::{SimConfig, Simulator};
+use sdo_sim::harness::{RunRequest, SimConfig, Simulator};
 use sdo_sim::mem::CacheLevel;
 use sdo_sim::workloads::spectre_v1_victim;
 
@@ -25,14 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", pentest_report(&outcomes));
 
     // Show the receiver's view for the insecure baseline.
-    let (_, mem) = sim.run_with_memory(
-        &scenario.program,
-        sdo_sim::harness::Variant::Unsafe,
-        sdo_sim::uarch::AttackModel::Spectre,
+    let out = sim.run(
+        &RunRequest::program(&scenario.program)
+            .variant(sdo_sim::harness::Variant::Unsafe)
+            .attack(sdo_sim::uarch::AttackModel::Spectre),
     )?;
     println!("Receiver probe of the Unsafe run (byte -> residency):");
     for b in 0..=255u8 {
-        let level = mem.residency(0, scenario.probe_addr(b));
+        let level = out.memory().residency(0, scenario.probe_addr(b));
         if level != CacheLevel::Dram && b != scenario.trained_byte {
             println!("  probe[{b:#04x}] resident in {level}  <-- recovered secret");
         }

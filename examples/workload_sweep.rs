@@ -11,7 +11,7 @@
 //! `stencil`, `matmul_blocked`, `fp_subnormal`, `phase_shift`,
 //! `l1_resident`).
 
-use sdo_sim::harness::{SimConfig, Simulator, Variant};
+use sdo_sim::harness::{RunRequest, SimConfig, Simulator, Variant};
 use sdo_sim::uarch::AttackModel;
 use sdo_sim::workloads::suite;
 
@@ -33,9 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:11} {:>9} {:>6} {:>8} {:>7} {:>6} {:>8} {:>9} {:>8}",
             "variant", "cycles", "norm", "IPC", "delayed", "obl", "obl-fail", "squashes", "val-stall"
         );
-        let base = sim.run_workload(workload, Variant::Unsafe, attack)?;
+        let base = sim
+            .run(&RunRequest::workload(workload).variant(Variant::Unsafe).attack(attack))?
+            .into_result();
         for variant in Variant::ALL {
-            let r = sim.run_workload(workload, variant, attack)?;
+            let r = sim
+                .run(&RunRequest::workload(workload).variant(variant).attack(attack))?
+                .into_result();
             println!(
                 "{:11} {:>9} {:>6.3} {:>8.2} {:>7} {:>6} {:>8} {:>9} {:>8}",
                 variant.name(),

@@ -17,7 +17,7 @@
 //! model, then measure it under the insecure baseline and under STT+SDO:
 //!
 //! ```rust
-//! use sdo_sim::harness::{SimConfig, Simulator, Variant};
+//! use sdo_sim::harness::{RunRequest, SimConfig, Simulator, Variant};
 //! use sdo_sim::isa::{parse_asm, Interpreter, Reg};
 //! use sdo_sim::uarch::AttackModel;
 //!
@@ -39,10 +39,12 @@
 //! let mut golden = Interpreter::new(&program);
 //! golden.run(10_000)?;
 //!
-//! // Timing under two Table II variants.
+//! // Timing under two Table II variants, through the one `RunRequest`
+//! // entry point every figure, campaign and service request shares.
 //! let sim = Simulator::new(SimConfig::table_i());
-//! let base = sim.run(&program, Variant::Unsafe, AttackModel::Spectre)?;
-//! let sdo = sim.run(&program, Variant::Hybrid, AttackModel::Spectre)?;
+//! let spectre = |v: Variant| RunRequest::program(&program).variant(v).attack(AttackModel::Spectre);
+//! let base = sim.run(&spectre(Variant::Unsafe))?.into_result();
+//! let sdo = sim.run(&spectre(Variant::Hybrid))?.into_result();
 //!
 //! // Protection changes timing, never results.
 //! assert_eq!(base.core.committed, golden.executed());

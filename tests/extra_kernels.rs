@@ -2,11 +2,16 @@
 //! functionally transparent under protection and actually exercise the
 //! Obl-Ld machinery.
 
-use sdo_sim::harness::{SimConfig, Simulator, Variant};
+use sdo_sim::harness::{RunRequest, RunResult, SimConfig, Simulator, Variant};
 use sdo_sim::isa::Interpreter;
 use sdo_sim::mem::CacheLevel;
 use sdo_sim::uarch::AttackModel;
 use sdo_sim::workloads::kernels::{bst_search, sparse_matvec, Workload};
+
+/// One simulation through the single `RunRequest` entry point.
+fn run(sim: &Simulator, w: &Workload, variant: Variant, attack: AttackModel) -> RunResult {
+    sim.run(&RunRequest::workload(w).variant(variant).attack(attack)).unwrap().into_result()
+}
 
 #[test]
 fn extra_kernels_match_golden_under_all_variants() {
@@ -18,7 +23,7 @@ fn extra_kernels_match_golden_under_all_variants() {
         golden.run(10_000_000).expect("golden halts");
         for variant in Variant::ALL {
             for attack in AttackModel::ALL {
-                let r = sim.run_workload(w, variant, attack).unwrap();
+                let r = run(&sim, w, variant, attack);
                 assert_eq!(
                     r.core.committed,
                     golden.executed(),
@@ -37,8 +42,8 @@ fn bst_walk_is_transmit_heavy() {
     // the loads down the delay path instead of the Obl-Ld path.
     let w = Workload::new("bst", bst_search(511, 300, 3)).warmed(0xC0_0000, 511 * 64, CacheLevel::L2);
     let sim = Simulator::new(SimConfig::table_i());
-    let stt = sim.run_workload(&w, Variant::SttLd, AttackModel::Spectre).unwrap();
-    let sdo = sim.run_workload(&w, Variant::Hybrid, AttackModel::Spectre).unwrap();
+    let stt = run(&sim, &w, Variant::SttLd, AttackModel::Spectre);
+    let sdo = run(&sim, &w, Variant::Hybrid, AttackModel::Spectre);
     // The tree walk is chains of tainted child-pointer loads: STT delays
     // or SDO issues Obl-Lds — one of the two mechanisms must fire a lot.
     assert!(
@@ -58,7 +63,7 @@ fn spmv_exercises_fp_transmitters() {
     let w = Workload::new("spmv", sparse_matvec(64, 8, 4))
         .warmed(0xE0_0000, 64 * 8, CacheLevel::L2);
     let sim = Simulator::new(SimConfig::table_i());
-    let sdo = sim.run_workload(&w, Variant::Hybrid, AttackModel::Futuristic).unwrap();
+    let sdo = run(&sim, &w, Variant::Hybrid, AttackModel::Futuristic);
     assert!(sdo.core.obl.issued > 50, "gathers must go oblivious: {}", sdo.core.obl.issued);
     assert!(
         sdo.core.fp_sdo_issued > 50,

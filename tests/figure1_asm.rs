@@ -2,7 +2,7 @@
 //! paper's Figure 1) must assemble, run, and exhibit the leak/block
 //! behaviour its comments promise.
 
-use sdo_sim::harness::{SimConfig, Variant};
+use sdo_sim::harness::{RunRequest, SimConfig, Variant};
 use sdo_sim::isa::parse_asm;
 use sdo_sim::mem::CacheLevel;
 use sdo_sim::uarch::AttackModel;
@@ -21,21 +21,21 @@ fn shipped_figure1_leaks_on_unsafe_and_is_blocked_by_sdo() {
     let probe_line_of = |b: u8| 0x100_0000 + u64::from(b) * 64;
     let secret = 42u8;
 
-    let (_, mem) = sim
-        .run_with_memory(&program, Variant::Unsafe, AttackModel::Spectre)
+    let out = sim
+        .run(&RunRequest::program(&program).variant(Variant::Unsafe).attack(AttackModel::Spectre))
         .expect("victim runs");
     assert_ne!(
-        mem.residency(0, probe_line_of(secret)),
+        out.memory().residency(0, probe_line_of(secret)),
         CacheLevel::Dram,
         "Unsafe: the secret-encoding probe line must be cache-resident"
     );
 
     for variant in [Variant::SttLd, Variant::Hybrid, Variant::Perfect] {
-        let (_, mem) = sim
-            .run_with_memory(&program, variant, AttackModel::Spectre)
+        let out = sim
+            .run(&RunRequest::program(&program).variant(variant).attack(AttackModel::Spectre))
             .expect("victim runs");
         assert_eq!(
-            mem.residency(0, probe_line_of(secret)),
+            out.memory().residency(0, probe_line_of(secret)),
             CacheLevel::Dram,
             "{variant} must block the transmit"
         );

@@ -12,15 +12,20 @@
 //! * SDO variants — blocked (predict-normal DO variant: fixed latency
 //!   and fixed occupancy regardless of operands).
 
-use sdo_sim::harness::{SimConfig, Simulator, Variant};
+use sdo_sim::harness::{RunRequest, SimConfig, Simulator, Variant};
 use sdo_sim::uarch::AttackModel;
 use sdo_sim::workloads::spectre_fp_victim;
 
 fn runtime(variant: Variant, secret: u8) -> u64 {
     let sim = Simulator::new(SimConfig::table_i());
-    sim.run(&spectre_fp_victim(secret), variant, AttackModel::Spectre)
-        .expect("victim runs")
-        .cycles
+    sim.run(
+        &RunRequest::program(&spectre_fp_victim(secret))
+            .variant(variant)
+            .attack(AttackModel::Spectre),
+    )
+    .expect("victim runs")
+    .into_result()
+    .cycles
 }
 
 #[test]

@@ -3,10 +3,15 @@
 //! Absolute numbers differ — the substrate is a from-scratch simulator —
 //! but who wins, and why, must match.
 
-use sdo_sim::harness::{SimConfig, Simulator, Variant};
+use sdo_sim::harness::{RunRequest, RunResult, SimConfig, Simulator, Variant};
 use sdo_sim::mem::CacheLevel;
 use sdo_sim::uarch::AttackModel;
 use sdo_sim::workloads::kernels::{hash_lookup, l1_resident, Workload};
+
+/// One simulation through the single `RunRequest` entry point.
+fn run(sim: &Simulator, w: &Workload, variant: Variant, attack: AttackModel) -> RunResult {
+    sim.run(&RunRequest::workload(w).variant(variant).attack(attack)).unwrap().into_result()
+}
 
 /// A reduced hash_lookup: the suite's highest-overhead kernel.
 fn probe_kernel() -> Workload {
@@ -19,10 +24,10 @@ fn stt_pays_and_sdo_recovers() {
     let sim = Simulator::new(SimConfig::table_i());
     let w = probe_kernel();
     for attack in AttackModel::ALL {
-        let unsafe_ = sim.run_workload(&w, Variant::Unsafe, attack).unwrap();
-        let stt = sim.run_workload(&w, Variant::SttLd, attack).unwrap();
-        let hybrid = sim.run_workload(&w, Variant::Hybrid, attack).unwrap();
-        let perfect = sim.run_workload(&w, Variant::Perfect, attack).unwrap();
+        let unsafe_ = run(&sim, &w, Variant::Unsafe, attack);
+        let stt = run(&sim, &w, Variant::SttLd, attack);
+        let hybrid = run(&sim, &w, Variant::Hybrid, attack);
+        let perfect = run(&sim, &w, Variant::Perfect, attack);
         assert!(
             stt.cycles as f64 > 1.5 * unsafe_.cycles as f64,
             "{attack}: STT must pay heavily on the MLP-killer kernel \
@@ -53,8 +58,8 @@ fn static_l1_squashes_most() {
     // it also incurs more frequent squashes".
     let sim = Simulator::new(SimConfig::table_i());
     let w = probe_kernel();
-    let l1 = sim.run_workload(&w, Variant::StaticL1, AttackModel::Futuristic).unwrap();
-    let l3 = sim.run_workload(&w, Variant::StaticL3, AttackModel::Futuristic).unwrap();
+    let l1 = run(&sim, &w, Variant::StaticL1, AttackModel::Futuristic);
+    let l3 = run(&sim, &w, Variant::StaticL3, AttackModel::Futuristic);
     assert!(
         l1.core.squashes.obl_fail > l3.core.squashes.obl_fail,
         "L1 predictions on an L3-resident table must fail more ({} vs {})",
@@ -73,7 +78,7 @@ fn accuracy_orders_static_predictors() {
     let mut accuracies = Vec::new();
     let mut precisions = Vec::new();
     for v in [Variant::StaticL1, Variant::StaticL2, Variant::StaticL3] {
-        let r = sim.run_workload(&w, v, AttackModel::Spectre).unwrap();
+        let r = run(&sim, &w, v, AttackModel::Spectre);
         accuracies.push(r.core.obl.accuracy());
         precisions.push(r.core.obl.precision());
     }
@@ -95,7 +100,7 @@ fn accuracy_orders_static_predictors() {
 fn perfect_predictor_never_fails_cache_predictions() {
     let sim = Simulator::new(SimConfig::table_i());
     let w = probe_kernel();
-    let r = sim.run_workload(&w, Variant::Perfect, AttackModel::Spectre).unwrap();
+    let r = run(&sim, &w, Variant::Perfect, AttackModel::Spectre);
     assert_eq!(
         r.core.obl.fail, 0,
         "the oracle predictor must never produce a failing Obl-Ld"
@@ -109,9 +114,9 @@ fn protection_is_nearly_free_on_l1_resident_code() {
     // overhead under any variant.
     let sim = Simulator::new(SimConfig::table_i());
     let w = Workload::new("l1_resident", l1_resident(2000, 10));
-    let base = sim.run_workload(&w, Variant::Unsafe, AttackModel::Futuristic).unwrap();
+    let base = run(&sim, &w, Variant::Unsafe, AttackModel::Futuristic);
     for variant in Variant::ALL {
-        let r = sim.run_workload(&w, variant, AttackModel::Futuristic).unwrap();
+        let r = run(&sim, &w, variant, AttackModel::Futuristic);
         let norm = r.cycles as f64 / base.cycles as f64;
         assert!(
             norm < 1.05,
@@ -124,8 +129,8 @@ fn protection_is_nearly_free_on_l1_resident_code() {
 fn futuristic_is_at_least_as_expensive_as_spectre_for_stt() {
     let sim = Simulator::new(SimConfig::table_i());
     let w = probe_kernel();
-    let spectre = sim.run_workload(&w, Variant::SttLd, AttackModel::Spectre).unwrap();
-    let futuristic = sim.run_workload(&w, Variant::SttLd, AttackModel::Futuristic).unwrap();
+    let spectre = run(&sim, &w, Variant::SttLd, AttackModel::Spectre);
+    let futuristic = run(&sim, &w, Variant::SttLd, AttackModel::Futuristic);
     assert!(
         futuristic.cycles >= spectre.cycles,
         "the Futuristic model delays longer ({} vs {})",
