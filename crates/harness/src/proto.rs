@@ -18,6 +18,13 @@
 
 use crate::config::{SimConfig, Variant};
 use crate::sim::{RunRequest, RunResult};
+
+/// The reserved reply id for lines too malformed to carry one. Request
+/// ids are client-chosen starting from 0, so a plain 0 would collide
+/// with the first request of every `Runner` batch; `u64::MAX` cannot be
+/// a legal request id (the daemon refuses `run` requests that claim it)
+/// and clients treat an `error` reply carrying it as batch-level.
+pub const BATCH_ERROR_ID: u64 = u64::MAX;
 use sdo_isa::Program;
 use sdo_mem::{
     CacheLevel, CacheParams, DramParams, MemConfig, MemStats, TlbParams,
@@ -191,7 +198,7 @@ fn write_json_string(s: &str, out: &mut String) {
 pub fn parse_json(input: &str) -> Result<Json, String> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing garbage at byte {pos}"));
@@ -205,7 +212,17 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+/// Maximum container nesting the parser accepts. The recursion in
+/// [`parse_value`] is one frame per level, so without a bound a client
+/// line of tens of thousands of `[` would overflow the daemon's stack —
+/// an abort, not the typed error malformed input is contracted to get.
+/// Real messages nest 4 deep.
+const MAX_DEPTH: usize = 128;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", *pos));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err("unexpected end of input".to_string()),
@@ -222,7 +239,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -250,7 +267,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                     return Err(format!("expected ':' at byte {pos}"));
                 }
                 *pos += 1;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 pairs.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -1144,8 +1161,8 @@ pub enum Reply {
     /// A typed error: malformed request, hang, store failure or an
     /// in-flight panic. The daemon keeps serving after sending one.
     Error {
-        /// Echoed request id (0 when the line was too malformed to
-        /// carry one).
+        /// Echoed request id ([`BATCH_ERROR_ID`] when the line was too
+        /// malformed to carry one — clients treat that as batch-level).
         id: u64,
         /// Human-readable cause.
         message: String,
@@ -1291,6 +1308,20 @@ mod tests {
         assert!(parse_json("{\"a\":1} x").unwrap_err().contains("trailing"));
         assert!(parse_json("{\"a\"").is_err());
         assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn parser_bounds_nesting_instead_of_overflowing_the_stack() {
+        // A hostile line of 100k brackets must come back as a typed
+        // error, not recurse once per bracket and abort the process.
+        for hostile in ["[".repeat(100_000), "{\"k\":".repeat(100_000)] {
+            assert!(parse_json(&hostile).unwrap_err().contains("nesting deeper"));
+        }
+        // Nesting at the bound still parses (depth counts containers).
+        let ok = format!("{}0{}", "[".repeat(128), "]".repeat(128));
+        assert!(parse_json(&ok).is_ok());
+        let too_deep = format!("{}0{}", "[".repeat(129), "]".repeat(129));
+        assert!(parse_json(&too_deep).unwrap_err().contains("nesting deeper"));
     }
 
     #[test]

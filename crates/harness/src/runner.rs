@@ -9,7 +9,7 @@
 //! hits, zero re-simulations".
 
 use crate::engine::JobPool;
-use crate::proto::{Reply, Request};
+use crate::proto::{Reply, Request, BATCH_ERROR_ID};
 use crate::sim::{RunRequest, RunResult, SimError, Simulator};
 use crate::store::{ResultStore, RunKey};
 use crate::SimConfig;
@@ -245,11 +245,15 @@ impl Runner {
         while !pending.is_empty() {
             let mut batch = String::new();
             for &i in &pending {
-                let msg = Request::Run {
-                    id: i as u64,
-                    request: reqs[i].clone(),
-                    no_cache: self.no_cache,
-                };
+                // Resolve the config client-side: the daemon's base
+                // config is its own (and not ours), so a request sent
+                // with `config: None` would silently run under whatever
+                // the daemon was started with. Resolving here matches
+                // the RunKey canonicalization (the key hashes the
+                // effective config), so cache behavior is unchanged.
+                let mut request = reqs[i].clone();
+                request.config = Some(request.effective_config(self.config()));
+                let msg = Request::Run { id: i as u64, request, no_cache: self.no_cache };
                 batch.push_str(&msg.render());
                 batch.push('\n');
             }
@@ -286,6 +290,14 @@ impl Runner {
                         }
                     }
                     Ok(Reply::Busy { id }) => bounced.push(id as usize),
+                    Ok(Reply::Error { id, message }) if id == BATCH_ERROR_ID => {
+                        // Batch-level: the daemon could not attribute
+                        // the error to any request we sent, so no slot
+                        // can be filled — fail the whole batch.
+                        return Err(SimError::Server(format!(
+                            "daemon rejected a request line: {message}"
+                        )));
+                    }
                     Ok(Reply::Error { id, message }) => {
                         if first_error.as_ref().is_none_or(|&(prev, _)| id < prev) {
                             first_error = Some((id, message));

@@ -28,7 +28,7 @@
 #![warn(missing_docs)]
 
 use sdo_harness::engine::{panic_message, JobPool};
-use sdo_harness::proto::{Reply, Request};
+use sdo_harness::proto::{Reply, Request, BATCH_ERROR_ID};
 use sdo_harness::store::{ResultStore, RunKey};
 use sdo_harness::{RunRequest, RunResult, SimConfig, SimError, Simulator};
 use sdo_verify::{CampaignConfig, Checker};
@@ -187,14 +187,27 @@ impl Server {
 
         // Queue bound: the first `queue` run requests are accepted, the
         // rest bounced with Busy (the client resubmits them).
+        //
+        // `replies` gets exactly one entry per line — Shutdown lines
+        // (which get no reply) hold a None that the final flatten drops —
+        // so `AcceptedRun.slot` can index by line number.
         let mut accepted = 0usize;
         let mut replies: Vec<Option<Reply>> = Vec::with_capacity(lines.len());
         let mut runs: Vec<AcceptedRun> = Vec::new();
         for (i, req) in parsed.into_iter().enumerate() {
             match req {
-                Err(message) => replies.push(Some(Reply::Error { id: 0, message })),
+                Err(message) => {
+                    replies.push(Some(Reply::Error { id: BATCH_ERROR_ID, message }));
+                }
                 Ok(Request::Run { id, request, no_cache }) => {
-                    if let Err(message) = servable(&request) {
+                    if id == BATCH_ERROR_ID {
+                        replies.push(Some(Reply::Error {
+                            id: BATCH_ERROR_ID,
+                            message: format!(
+                                "request id {id} is reserved for unattributable errors"
+                            ),
+                        }));
+                    } else if let Err(message) = servable(&request) {
                         replies.push(Some(Reply::Error { id, message }));
                     } else if accepted >= self.queue {
                         replies.push(Some(Reply::Busy { id }));
@@ -210,8 +223,9 @@ impl Server {
                 }
                 Ok(Request::Shutdown) => {
                     self.shutdown.store(true, Ordering::Relaxed);
-                    // No id, no reply: the batch contract covers
-                    // id-carrying requests only.
+                    // No id, no reply — but the slot placeholder keeps
+                    // line-number indexing sound for later run replies.
+                    replies.push(None);
                 }
             }
         }

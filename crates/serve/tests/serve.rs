@@ -4,7 +4,7 @@
 //! requests with the daemon surviving all of them, and the socket
 //! transport driven by the `Runner` client.
 
-use sdo_harness::proto::{Reply, Request};
+use sdo_harness::proto::{Reply, Request, BATCH_ERROR_ID};
 use sdo_harness::{JobPool, Runner, RunRequest, SimConfig, Variant};
 use sdo_serve::{ServeOptions, Server};
 use sdo_workloads::kernels::l1_resident;
@@ -126,7 +126,7 @@ fn faults_become_typed_errors_and_the_daemon_keeps_serving() {
     let input = format!("{{\"op\":\"launch_missiles\"}}\n{}\n{}\n\n", multi.render(), hang.render());
     let replies = drive(&server, &input);
     assert_eq!(replies.len(), 3, "every line gets a reply, even the broken ones");
-    let Reply::Error { id: 0, message } = &replies[0] else {
+    let Reply::Error { id: BATCH_ERROR_ID, message } = &replies[0] else {
         panic!("malformed line must be a typed error, got {:?}", replies[0]);
     };
     assert!(message.contains("unknown op"), "got '{message}'");
@@ -139,10 +139,48 @@ fn faults_become_typed_errors_and_the_daemon_keeps_serving() {
     };
     assert!(message.contains("did not halt"), "got '{message}'");
 
-    // Batch 2: the daemon is still alive and well.
+    // Batch 2: a hostile deeply-nested line must be a typed error too —
+    // not a parser recursion blowing the daemon's stack.
+    let hostile = format!("{}\n\n", "[".repeat(100_000));
+    let replies = drive(&server, &hostile);
+    let Reply::Error { id: BATCH_ERROR_ID, message } = &replies[0] else {
+        panic!("deep nesting must be a typed error, got {:?}", replies[0]);
+    };
+    assert!(message.contains("nesting deeper"), "got '{message}'");
+
+    // Batch 3: a run claiming the reserved error id is refused.
+    let reserved =
+        Request::Run { id: BATCH_ERROR_ID, request: RunRequest::program(&prog), no_cache: false };
+    let replies = drive(&server, &batch(&[reserved]));
+    let Reply::Error { id: BATCH_ERROR_ID, message } = &replies[0] else {
+        panic!("reserved id must be refused, got {:?}", replies[0]);
+    };
+    assert!(message.contains("reserved"), "got '{message}'");
+
+    // Batch 4: the daemon is still alive and well.
     let ok = Request::Run { id: 9, request: RunRequest::program(&prog), no_cache: false };
     let replies = drive(&server, &batch(&[ok]));
     assert!(matches!(replies[0], Reply::Result { id: 9, cached: false, .. }));
+}
+
+#[test]
+fn shutdown_line_before_run_lines_keeps_reply_slots_aligned() {
+    // Regression: shutdown lines get no reply, but they must still
+    // occupy a slot internally — a batch of [shutdown, run, run] once
+    // made the run replies index out of bounds (daemon panic) instead
+    // of answering both runs.
+    let server = Server::new(opts(None, 64), JobPool::serial()).unwrap();
+    let prog = l1_resident(60, 1);
+    let msgs = [
+        Request::Shutdown,
+        Request::Run { id: 0, request: RunRequest::program(&prog), no_cache: false },
+        Request::Run { id: 1, request: RunRequest::program(&prog), no_cache: false },
+    ];
+    let replies = drive(&server, &batch(&msgs));
+    assert_eq!(replies.len(), 2, "both runs answered, shutdown silent");
+    assert!(matches!(replies[0], Reply::Result { id: 0, .. }));
+    assert!(matches!(replies[1], Reply::Result { id: 1, .. }));
+    assert!(server.shutting_down());
 }
 
 #[test]
@@ -224,6 +262,29 @@ fn socket_transport_serves_the_runner_client() {
         assert_eq!(
             warm_client.cache_report().unwrap(),
             format!("cache: {} hits, 0 misses (100.0% cached)", reqs.len())
+        );
+
+        // Regression: a client whose base config diverges from the
+        // daemon's (the `--no-skip --server` case, plus a latency bump
+        // that visibly changes cycle counts) must have ITS config
+        // honored — the runner resolves the effective config
+        // client-side before sending, so the daemon's own base never
+        // silently wins.
+        let mut div_cfg = SimConfig::tiny();
+        div_cfg.fast_forward = false;
+        div_cfg.core.lat.int_alu += 2;
+        let div_client = Runner::server(div_cfg, &sock);
+        let remote_div = div_client.run_batch(&reqs, &JobPool::serial()).unwrap();
+        let local_div = Runner::local(div_cfg).run_batch(&reqs, &JobPool::serial()).unwrap();
+        assert_eq!(remote_div, local_div, "client base config must be honored");
+        assert_ne!(
+            remote_div, reference,
+            "divergent client config produced the daemon-base results — the \
+             client's config was silently ignored"
+        );
+        assert!(
+            remote_div.iter().all(|r| r.skipped_cycles == 0),
+            "fast-forward was disabled by the client, yet the daemon skipped cycles"
         );
 
         // Shut the daemon down over the wire.
