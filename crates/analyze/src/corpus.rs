@@ -26,7 +26,8 @@ pub struct Target {
 
 /// The default target set: the 4-case litmus corpus (secret 0 — the
 /// analysis only reads the instruction stream, so the secret value is
-/// irrelevant) followed by every workload kernel, in suite order.
+/// irrelevant) followed by every workload kernel in suite order, then
+/// the translated RV32 corpus (benchmarks plus the compiled gadget).
 #[must_use]
 pub fn default_targets() -> Vec<Target> {
     let mut out = Vec::new();
@@ -43,6 +44,13 @@ pub fn default_targets() -> Vec<Target> {
             name: name.clone(),
             expect: sdo_workloads::kernels::kernel_expect(&name),
             program: w.into_program(),
+        });
+    }
+    for e in sdo_rv32::corpus::CORPUS {
+        out.push(Target {
+            name: e.name.to_string(),
+            program: e.with_secret(0),
+            expect: sdo_workloads::rv32_expect(e.name),
         });
     }
     out
@@ -116,10 +124,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_targets_cover_corpus_and_suite() {
+    fn default_targets_cover_corpus_suite_and_rv32() {
         let ts = default_targets();
-        assert_eq!(ts.len(), sdo_workloads::CORPUS.len() + sdo_workloads::suite().len());
+        assert_eq!(
+            ts.len(),
+            sdo_workloads::CORPUS.len()
+                + sdo_workloads::suite().len()
+                + sdo_rv32::corpus::CORPUS.len()
+        );
         assert_eq!(ts[0].name, "spectre_v1");
+        assert!(ts.iter().any(|t| t.name == "rv32_gadget"));
+        // Every translated RV32 target carries a pinned verdict — the
+        // decoder/lowering path is under the same expectation gate as
+        // the hand-written corpus.
+        assert!(ts.iter().filter(|t| t.name.starts_with("rv32_")).all(|t| t.expect.is_some()));
         assert!(ts.iter().all(|t| !t.program.instructions().is_empty()));
     }
 

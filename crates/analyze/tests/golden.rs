@@ -97,6 +97,35 @@ fn golden_corpus_verdict_matrix() {
 }
 
 #[test]
+fn rv32_gadget_flagged_under_unsafe_and_clean_where_policy_closes() {
+    // The compiled RV32 Spectre gadget goes through decode → lowering
+    // → taint, and must land exactly where the hand-written litmus
+    // does: one cache transmitter under Unsafe, nothing surviving on a
+    // closed channel anywhere.
+    for e in sdo_rv32::corpus::CORPUS {
+        let analysis = analyze(&e.with_secret(0));
+        let unsafe_fs = findings_for(&analysis, Variant::Unsafe);
+        let flagged = unsafe_fs.iter().any(|f| {
+            f.kind == FindingKind::PotentialTransmitGadget && f.channel == Some(Channel::Cache)
+        });
+        assert_eq!(
+            flagged,
+            e.secret_addr.is_some(),
+            "{}: cache transmit flag under Unsafe: {unsafe_fs:?}",
+            e.name
+        );
+        for v in Variant::ALL {
+            assert!(
+                closed_channel_findings(&findings_for(&analysis, v)).is_empty(),
+                "{} under {}",
+                e.name,
+                v.slug()
+            );
+        }
+    }
+}
+
+#[test]
 fn stt_ld_keeps_fp_channel_open() {
     // STT{ld} delays tainted loads but not FP transmitters: the FP
     // litmus must still carry gating findings under it, and none under

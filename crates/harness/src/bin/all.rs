@@ -12,7 +12,8 @@ use sdo_harness::cli::{BinSpec, CommonArgs, CsvSupport};
 use sdo_harness::engine::{timed, JobPool, Throughput};
 use sdo_harness::experiments::{
     busy_cycle_throughput, fig6_report, fig7_report, fig8_report, pentest_metrics, pentest_report,
-    pentest_with, run_suite_on, run_suite_with, table3_report, SuiteResults,
+    pentest_with, run_suite_on, run_suite_with, rv32_busy_cycle_throughput, table3_report,
+    SuiteResults,
 };
 use sdo_harness::export::{bench_suite_json, runs_csv, FastForwardBench, ServeBench};
 use sdo_harness::{Runner, SimConfig, Variant};
@@ -136,6 +137,12 @@ fn main() {
     // not regress).
     let busy = busy_cycle_throughput(cfg).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()));
 
+    // The same skip-off measurement over the translated RV32 corpus:
+    // tracks the frontend's lowering overhead (µops per source
+    // instruction) separately from the mini-ISA kernels.
+    let rv32 =
+        rv32_busy_cycle_throughput(cfg).unwrap_or_else(|e| SPEC.runtime_error(&e.to_string()));
+
     // Result-store effectiveness: the identical suite batch against a
     // cold content-addressed store (simulate + save) and then against
     // the warm store it just filled (pure loads, zero simulations).
@@ -177,8 +184,14 @@ fn main() {
         ("store_cold", cold_tp),
         ("store_warm", warm_tp),
     ];
-    let json =
-        bench_suite_json(&phases, Some((serial_tp, parallel_tp)), Some(&ff), Some(&busy), Some(&serve));
+    let json = bench_suite_json(
+        &phases,
+        Some((serial_tp, parallel_tp)),
+        Some(&ff),
+        Some(&busy),
+        Some(&rv32),
+        Some(&serve),
+    );
     eprintln!("suite serial:   {}", serial_tp.report());
     eprintln!("suite parallel: {}", parallel_tp.report());
     eprintln!(
@@ -197,6 +210,9 @@ fn main() {
     }
     for (class, t) in &busy {
         eprintln!("busy cycle {:14} {:9.0} cycles/s (skip off)", class, t.cycles_per_sec());
+    }
+    for (class, t) in &rv32 {
+        eprintln!("rv32       {:14} {:9.0} cycles/s (skip off)", class, t.cycles_per_sec());
     }
     eprintln!(
         "store: cold {:.2}s -> warm {:.2}s ({:.1}x), warm pass {} hits / {} misses",

@@ -224,6 +224,52 @@ pub fn busy_cycle_throughput(
     Ok(out)
 }
 
+/// The RV32 sweep's workload set: the four compiled benchmark kernels
+/// plus the compiled Spectre gadget (secret 0 — simulation timing is
+/// secret-independent wherever the policy closes the channel, and the
+/// secret-swap campaign in `sdo-verify` owns the divergence question).
+#[must_use]
+pub fn rv32_workloads() -> Vec<Workload> {
+    let mut kernels = sdo_workloads::rv32_suite();
+    for case in sdo_workloads::rv32_litmus_cases() {
+        kernels.push(Workload::new(case.name, (case.build)(0)));
+    }
+    kernels
+}
+
+/// Per-workload-class busy-cycle throughput of the translated RV32
+/// corpus, analogous to [`busy_cycle_throughput`] (serial, quiescence
+/// fast-forward off) but grouped by [`sdo_workloads::rv32_class`] and
+/// skipping classes the corpus doesn't populate. Lands in the `rv32`
+/// section of `BENCH_suite.json`.
+///
+/// # Errors
+///
+/// Returns the first simulation error (hang) encountered.
+pub fn rv32_busy_cycle_throughput(
+    cfg: SimConfig,
+) -> Result<Vec<(&'static str, crate::engine::Throughput)>, SimError> {
+    let runner = Runner::local(cfg.with_fast_forward(false));
+    let kernels = rv32_workloads();
+    let mut out = Vec::new();
+    for &class in sdo_workloads::WORKLOAD_CLASSES {
+        let group: Vec<Workload> = kernels
+            .iter()
+            .filter(|w| sdo_workloads::rv32_class(w.name()) == class)
+            .cloned()
+            .collect();
+        if group.is_empty() {
+            continue;
+        }
+        let start = std::time::Instant::now();
+        let results = run_suite_on(&runner, &group, &JobPool::serial())?;
+        let wall = start.elapsed();
+        let (sims, cycles) = results.counts();
+        out.push((class, crate::engine::Throughput { jobs: 1, sims, cycles, wall }));
+    }
+    Ok(out)
+}
+
 // ----------------------------------------------------------------------
 // Figure 6
 // ----------------------------------------------------------------------
@@ -563,15 +609,12 @@ pub fn sensitivity_for_with_metrics(
         points.push(cfg);
     }
 
-    let jobs: Vec<RunRequest> = points
-        .iter()
-        .flat_map(|&cfg| {
-            SENSITIVITY_VARIANTS.iter().map(move |&v| {
-                RunRequest::workload(kernel).variant(v).attack(AttackModel::Spectre).config(cfg)
-            })
-        })
-        .collect();
-    let flat = runner.run_batch(&jobs, pool)?;
+    // One grid: the whole sweep travels to a daemon as a single request
+    // line (and expands to the identical config-major, variant-minor
+    // request list locally), so the report is byte-identical whichever
+    // backend serves it.
+    let template = RunRequest::workload(kernel).attack(AttackModel::Spectre);
+    let flat = runner.run_grid(&template, &points, &SENSITIVITY_VARIANTS, pool)?;
     let mut metrics = MetricsSnapshot::new();
     for r in &flat {
         metrics.merge(&r.metrics());

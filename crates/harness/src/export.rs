@@ -261,15 +261,17 @@ pub struct ServeBench {
 /// Serializes a benchmark session — named per-phase [`Throughput`]s, an
 /// optional `--jobs 1` vs `--jobs N` suite speedup, an optional
 /// fast-forward effectiveness section, an optional per-workload-class
-/// busy-cycle (skip-off) throughput section, and an optional cold/warm
-/// result-store section — as the `BENCH_suite.json` document the `all`
-/// binary emits.
+/// busy-cycle (skip-off) throughput section, an optional per-class
+/// throughput section for the translated RV32 corpus, and an optional
+/// cold/warm result-store section — as the `BENCH_suite.json` document
+/// the `all` binary emits.
 #[must_use]
 pub fn bench_suite_json(
     phases: &[(&str, Throughput)],
     speedup: Option<(Throughput, Throughput)>,
     fast_forward: Option<&FastForwardBench>,
     busy_cycle: Option<&[(&'static str, Throughput)]>,
+    rv32: Option<&[(&'static str, Throughput)]>,
     serve: Option<&ServeBench>,
 ) -> String {
     let total_wall: f64 = phases.iter().map(|(_, t)| t.wall.as_secs_f64()).sum();
@@ -337,6 +339,19 @@ pub fn bench_suite_json(
         // data-oriented core work targets (and future PRs regress
         // against) — fast-forward cannot mask a slowdown here.
         out.push_str(",\n  \"busy_cycle\": {\n");
+        for (i, (class, t)) in classes.iter().enumerate() {
+            let comma = if i + 1 < classes.len() { "," } else { "" };
+            out.push_str(&format!("    \"{class}\": {}{comma}\n", throughput_json(t)));
+        }
+        out.push_str("  }");
+    }
+    if let Some(classes) = rv32 {
+        // Same skip-off measurement over the translated RV32 corpus:
+        // real compiled programs cost more µops per source instruction
+        // (sign-extension, jalr table hops), so this tracks the
+        // frontend's lowering overhead separately from the mini-ISA
+        // kernels.
+        out.push_str(",\n  \"rv32\": {\n");
         for (i, (class, t)) in classes.iter().enumerate() {
             let comma = if i + 1 < classes.len() { "," } else { "" };
             out.push_str(&format!("    \"{class}\": {}{comma}\n", throughput_json(t)));
@@ -483,7 +498,7 @@ mod tests {
     fn bench_suite_json_structure() {
         let t1 = Throughput { jobs: 1, sims: 10, cycles: 100, wall: Duration::from_secs(4) };
         let t4 = Throughput { jobs: 4, sims: 10, cycles: 100, wall: Duration::from_secs(1) };
-        let j = bench_suite_json(&[("suite", t4), ("pentest", t1)], Some((t1, t4)), None, None, None);
+        let j = bench_suite_json(&[("suite", t4), ("pentest", t1)], Some((t1, t4)), None, None, None, None);
         assert!(j.contains("\"phases\""));
         assert!(j.contains("\"suite\""));
         assert!(j.contains("\"pentest\""));
@@ -509,7 +524,7 @@ mod tests {
                 SkipRatio { class: "cache_resident", skipped: 0, cycles: 50 },
             ],
         };
-        let j = bench_suite_json(&[("suite", t1)], None, Some(&ff), None, None);
+        let j = bench_suite_json(&[("suite", t1)], None, Some(&ff), None, None, None);
         assert!(j.contains("\"fast_forward\""));
         assert!(j.contains("\"dram_bound_skip\""));
         assert!(j.contains("\"dram_bound_noskip\""));
@@ -525,11 +540,26 @@ mod tests {
         let branchy = Throughput { jobs: 1, sims: 32, cycles: 2000, wall: Duration::from_secs(1) };
         let cache = Throughput { jobs: 1, sims: 48, cycles: 4000, wall: Duration::from_secs(2) };
         let classes = [("branchy", branchy), ("cache_resident", cache)];
-        let j = bench_suite_json(&[("suite", t1)], None, None, Some(&classes), None);
+        let j = bench_suite_json(&[("suite", t1)], None, None, Some(&classes), None, None);
         assert!(j.contains("\"busy_cycle\""));
         assert!(j.contains("\"branchy\": {\"jobs\": 1, \"sims\": 32"));
         assert!(j.contains("\"cache_resident\": {\"jobs\": 1, \"sims\": 48"));
         assert!(j.contains("\"cycles_per_sec\": 2000.0"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn bench_suite_json_rv32_section() {
+        let t1 = Throughput { jobs: 1, sims: 10, cycles: 100, wall: Duration::from_secs(4) };
+        let branchy = Throughput { jobs: 1, sims: 48, cycles: 9000, wall: Duration::from_secs(3) };
+        let cache = Throughput { jobs: 1, sims: 32, cycles: 1000, wall: Duration::from_secs(1) };
+        let classes = [("branchy", branchy), ("cache_resident", cache)];
+        let j = bench_suite_json(&[("suite", t1)], None, None, None, Some(&classes), None);
+        assert!(j.contains("\"rv32\""));
+        assert!(!j.contains("\"busy_cycle\""));
+        assert!(j.contains("\"branchy\": {\"jobs\": 1, \"sims\": 48"));
+        assert!(j.contains("\"cache_resident\": {\"jobs\": 1, \"sims\": 32"));
+        assert!(j.contains("\"cycles_per_sec\": 3000.0"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
@@ -539,7 +569,7 @@ mod tests {
         let cold = Throughput { jobs: 4, sims: 160, cycles: 8000, wall: Duration::from_secs(8) };
         let warm = Throughput { jobs: 4, sims: 0, cycles: 8000, wall: Duration::from_secs(1) };
         let serve = ServeBench { cold, warm, warm_hits: 160, warm_misses: 0 };
-        let j = bench_suite_json(&[("suite", t1)], None, None, None, Some(&serve));
+        let j = bench_suite_json(&[("suite", t1)], None, None, None, None, Some(&serve));
         assert!(j.contains("\"serve\""));
         assert!(j.contains("\"cold\": {\"jobs\": 4, \"sims\": 160"));
         assert!(j.contains("\"warm\": {\"jobs\": 4, \"sims\": 0"));

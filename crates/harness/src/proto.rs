@@ -1065,6 +1065,25 @@ pub enum Request {
         /// Skip the store for this request (always simulate).
         no_cache: bool,
     },
+    /// Execute a sensitivity-style grid: one template request expanded
+    /// server-side into `configs.len() × variants.len()` runs
+    /// (config-major, variant-minor). Each expanded point carries the
+    /// same [`RunKey`](crate::store::RunKey) as the equivalent
+    /// individual `run` request, so grids and per-point runs share the
+    /// store.
+    Grid {
+        /// Client-chosen id echoed in the reply.
+        id: u64,
+        /// The template: program, prewarm, attack and seed. Its
+        /// `variant`/`config` fields are overwritten per point.
+        request: RunRequest,
+        /// The sweep's configuration points (outer loop).
+        configs: Vec<SimConfig>,
+        /// The variants simulated at each point (inner loop).
+        variants: Vec<Variant>,
+        /// Skip the store for every expanded run (always simulate).
+        no_cache: bool,
+    },
     /// Report daemon statistics (hits, misses, store entries).
     Stats {
         /// Client-chosen id echoed in the reply.
@@ -1094,6 +1113,19 @@ impl Request {
                 ("op", Json::Str("run".to_string())),
                 ("id", Json::UInt(*id)),
                 ("request", request_to_json(request)),
+                ("no_cache", Json::Bool(*no_cache)),
+            ]),
+            Request::Grid { id, request, configs, variants, no_cache } => obj(vec![
+                ("op", Json::Str("grid".to_string())),
+                ("id", Json::UInt(*id)),
+                ("request", request_to_json(request)),
+                ("configs", Json::Arr(configs.iter().map(config_to_json).collect())),
+                (
+                    "variants",
+                    Json::Arr(
+                        variants.iter().map(|v| Json::Str(v.slug().to_string())).collect(),
+                    ),
+                ),
                 ("no_cache", Json::Bool(*no_cache)),
             ]),
             Request::Stats { id } => obj(vec![
@@ -1130,6 +1162,31 @@ impl Request {
                     Some(_) => return Err("field 'no_cache' is not a bool".to_string()),
                 },
             }),
+            "grid" => {
+                let configs = v
+                    .arr_field("configs")?
+                    .iter()
+                    .map(config_from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                let mut variants = Vec::new();
+                for item in v.arr_field("variants")? {
+                    match item {
+                        Json::Str(slug) => variants.push(variant_from_slug(slug)?),
+                        _ => return Err("variants entry is not a string".to_string()),
+                    }
+                }
+                Ok(Request::Grid {
+                    id: v.u64_field("id")?,
+                    request: request_from_json(v.obj_field("request")?)?,
+                    configs,
+                    variants,
+                    no_cache: match v.get("no_cache") {
+                        Some(Json::Bool(b)) => *b,
+                        None => false,
+                        Some(_) => return Err("field 'no_cache' is not a bool".to_string()),
+                    },
+                })
+            }
             "stats" => Ok(Request::Stats { id: v.u64_field("id")? }),
             "campaign" => Ok(Request::Campaign {
                 id: v.u64_field("id")?,
@@ -1157,6 +1214,15 @@ pub enum Reply {
         result: RunResult,
         /// Whether the result came from the content-addressed store.
         cached: bool,
+    },
+    /// A completed grid: one result per expanded point, in the grid's
+    /// canonical (config-major, variant-minor) order, each with its own
+    /// cached flag.
+    Grid {
+        /// Echoed request id.
+        id: u64,
+        /// `(result, cached)` per expanded point, in expansion order.
+        results: Vec<(RunResult, bool)>,
     },
     /// A typed error: malformed request, hang, store failure or an
     /// in-flight panic. The daemon keeps serving after sending one.
@@ -1206,6 +1272,23 @@ impl Reply {
                 ("id", Json::UInt(*id)),
                 ("result", result_to_json(result)),
                 ("cached", Json::Bool(*cached)),
+            ]),
+            Reply::Grid { id, results } => obj(vec![
+                ("id", Json::UInt(*id)),
+                (
+                    "grid",
+                    Json::Arr(
+                        results
+                            .iter()
+                            .map(|(r, cached)| {
+                                obj(vec![
+                                    ("result", result_to_json(r)),
+                                    ("cached", Json::Bool(*cached)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
             Reply::Error { id, message } => obj(vec![
                 ("id", Json::UInt(*id)),
@@ -1270,6 +1353,21 @@ impl Reply {
                 render: campaign.str_field("render")?.to_string(),
             });
         }
+        if let Some(grid) = v.get("grid") {
+            let Json::Arr(points) = grid else {
+                return Err("grid must be an array".to_string());
+            };
+            let mut results = Vec::with_capacity(points.len());
+            for point in points {
+                results.push((
+                    result_from_json(
+                        point.get("result").ok_or_else(|| "grid point lacks result".to_string())?,
+                    )?,
+                    point.bool_field("cached")?,
+                ));
+            }
+            return Ok(Reply::Grid { id, results });
+        }
         if let Some(result) = v.get("result") {
             return Ok(Reply::Result {
                 id,
@@ -1277,7 +1375,7 @@ impl Reply {
                 cached: v.bool_field("cached")?,
             });
         }
-        Err("reply carries none of result/error/busy/stats/campaign".to_string())
+        Err("reply carries none of result/error/busy/stats/campaign/grid".to_string())
     }
 }
 
@@ -1391,11 +1489,20 @@ mod tests {
         assert_eq!(Request::parse(&stats.render()).unwrap(), stats);
         let campaign = Request::Campaign { id: 1, seed: 0, quick: true, fuzz: 4 };
         assert_eq!(Request::parse(&campaign.render()).unwrap(), campaign);
+        let grid = Request::Grid {
+            id: 8,
+            request: RunRequest::program(&prog),
+            configs: vec![SimConfig::tiny(), SimConfig::table_i()],
+            variants: vec![Variant::Unsafe, Variant::SttLd],
+            no_cache: true,
+        };
+        assert_eq!(Request::parse(&grid.render()).unwrap(), grid);
         assert_eq!(Request::parse(&Request::Shutdown.render()).unwrap(), Request::Shutdown);
 
         let sim = Simulator::new(SimConfig::tiny());
         let result = sim.run(&RunRequest::program(&prog)).unwrap().into_result();
         for reply in [
+            Reply::Grid { id: 8, results: vec![(result.clone(), false), (result.clone(), true)] },
             Reply::Result { id: 3, result, cached: true },
             Reply::Error { id: 4, message: "boom \"quoted\"".to_string() },
             Reply::Busy { id: 5 },

@@ -12,7 +12,7 @@ use crate::engine::JobPool;
 use crate::proto::{Reply, Request, BATCH_ERROR_ID};
 use crate::sim::{RunRequest, RunResult, SimError, Simulator};
 use crate::store::{ResultStore, RunKey};
-use crate::SimConfig;
+use crate::{SimConfig, Variant};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -172,6 +172,123 @@ impl Runner {
         match &self.backend {
             Backend::Local { store } => self.run_local(reqs, store.as_ref(), pool),
             Backend::Server { path } => self.run_remote(reqs, path),
+        }
+    }
+
+    /// Runs a parameter grid — every `configs` × `variants` combination
+    /// of `template` (config-major, variant-minor) — returning one
+    /// result per point in that order.
+    ///
+    /// Against a daemon the whole grid travels as a single `grid`
+    /// request line (one round-trip, one reply line); each expanded
+    /// point carries the same [`RunKey`] as the equivalent individual
+    /// run request, so store entries are shared between the two paths.
+    /// A daemon whose queue cannot absorb the whole grid answers
+    /// `Busy`, and the client transparently falls back to submitting
+    /// the points as an ordinary batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's [`SimError`], exactly like
+    /// [`run_batch`](Self::run_batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `template` is multi-program or recording.
+    pub fn run_grid(
+        &self,
+        template: &RunRequest,
+        configs: &[SimConfig],
+        variants: &[Variant],
+        pool: &JobPool,
+    ) -> Result<Vec<RunResult>, SimError> {
+        assert_eq!(template.programs.len(), 1, "Runner grids are single-program");
+        assert!(!template.record, "recording runs do not route through a Runner");
+        let expand = || -> Vec<RunRequest> {
+            configs
+                .iter()
+                .flat_map(|&cfg| {
+                    variants.iter().map(move |&v| template.clone().variant(v).config(cfg))
+                })
+                .collect()
+        };
+        match &self.backend {
+            Backend::Local { .. } => self.run_batch(&expand(), pool),
+            Backend::Server { path } => {
+                match self.run_grid_remote(template, configs, variants, path)? {
+                    Some(results) => Ok(results),
+                    // The daemon bounced the grid (queue too small for
+                    // its point count): per-point submission chunks
+                    // naturally through the Busy/resubmit protocol.
+                    None => self.run_batch(&expand(), pool),
+                }
+            }
+        }
+    }
+
+    /// One grid request over the socket. `Ok(None)` means the daemon
+    /// answered `Busy` and the caller should fall back to a per-point
+    /// batch.
+    fn run_grid_remote(
+        &self,
+        template: &RunRequest,
+        configs: &[SimConfig],
+        variants: &[Variant],
+        path: &str,
+    ) -> Result<Option<Vec<RunResult>>, SimError> {
+        let stream = UnixStream::connect(path)
+            .map_err(|e| SimError::Server(format!("cannot connect to {path}: {e}")))?;
+        let mut reader = BufReader::new(
+            stream.try_clone().map_err(|e| SimError::Server(format!("socket clone: {e}")))?,
+        );
+        let mut stream = stream;
+        let msg = Request::Grid {
+            id: 0,
+            request: template.clone(),
+            configs: configs.to_vec(),
+            variants: variants.to_vec(),
+            no_cache: self.no_cache,
+        };
+        let mut batch = msg.render();
+        batch.push_str("\n\n");
+        stream
+            .write_all(batch.as_bytes())
+            .map_err(|e| SimError::Server(format!("write to {path}: {e}")))?;
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| SimError::Server(format!("read from {path}: {e}")))?;
+        if n == 0 {
+            return Err(SimError::Server(format!(
+                "daemon at {path} closed the connection mid-batch"
+            )));
+        }
+        match Reply::parse(line.trim_end()) {
+            Ok(Reply::Grid { results, .. }) => {
+                let points = configs.len() * variants.len();
+                if results.len() != points {
+                    return Err(SimError::Server(format!(
+                        "grid reply carries {} points, expected {points}",
+                        results.len()
+                    )));
+                }
+                let mut out = Vec::with_capacity(points);
+                for (result, cached) in results {
+                    if cached {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    out.push(result);
+                }
+                Ok(Some(out))
+            }
+            Ok(Reply::Busy { .. }) => Ok(None),
+            Ok(Reply::Error { message, .. }) => Err(SimError::Server(message)),
+            Ok(other) => {
+                Err(SimError::Server(format!("unexpected reply {other:?} to a grid request")))
+            }
+            Err(e) => Err(SimError::Server(format!("bad reply line: {e}"))),
         }
     }
 

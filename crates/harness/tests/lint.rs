@@ -1,7 +1,7 @@
 //! In-tree repo lint: mechanical source checks the compiler does not
 //! enforce, run as a tier-1 test (and in CI next to clippy).
 //!
-//! Three rules, all budgeted by `lint_allowlist.txt`:
+//! Four rules, all budgeted by `lint_allowlist.txt`:
 //!
 //! * **no-unwrap** — `.unwrap()` / `.expect(` outside `#[cfg(test)]`
 //!   in the hot-path modules (`uarch::core`, `mem::cache`,
@@ -17,6 +17,11 @@
 //!   cold-path functions ([`COLD_FNS`]): the data-oriented engine's
 //!   stages run allocation-free once warm, and a stray `collect()` in
 //!   a stage sweep is exactly the regression this guards against.
+//! * **decoder-wildcard** — no `_ =>` arm at all in the RV32 decoder:
+//!   every encoding must either decode or map to a typed
+//!   `Unsupported` error naming the pc and word. A wildcard arm is how
+//!   an unimplemented encoding silently decodes as something else —
+//!   the budget is 0 and stays 0.
 //!
 //! The allowlist pins the *current* count per (file, rule). The check
 //! is a ratchet in both directions: exceeding the budget fails (fix
@@ -38,6 +43,10 @@ const EXHAUSTIVE_MATCH: &[&str] = &[
     "crates/verify/src/oracle.rs",
     "crates/obs/src/trace.rs",
 ];
+
+/// Decoder files where every `_ =>` arm is forbidden (budget 0): an
+/// encoding either decodes or becomes a typed `Unsupported` error.
+const DECODER_WILDCARD: &[&str] = &["crates/rv32/src/decode.rs"];
 
 /// Per-cycle engine files where heap allocation is forbidden outside
 /// the cold-path functions below.
@@ -264,6 +273,39 @@ fn security_relevant_matches_are_exhaustive_within_budget() {
 }
 
 #[test]
+fn decoder_files_have_no_wildcard_arms_beyond_budget() {
+    // Stricter than `exhaustive-match`: in a decoder, ANY `_ =>` arm
+    // (not just over OpClass/Instruction) can swallow an encoding, so
+    // all of them count.
+    let root = workspace_root();
+    let mut failures = Vec::new();
+    for path in DECODER_WILDCARD {
+        let text = std::fs::read_to_string(root.join(path)).expect(path);
+        let hits: Vec<usize> = non_test_lines(&text)
+            .iter()
+            .filter(|(_, l)| l.trim_start().starts_with("_ =>"))
+            .map(|&(n, _)| n)
+            .collect();
+        let allowed = budget(path, "decoder-wildcard");
+        if hits.len() > allowed {
+            failures.push(format!(
+                "{path}: wildcard arms at lines {hits:?} ({} > budget {allowed}) — decode \
+                 the encoding or return a typed Unsupported error carrying pc and word; \
+                 a decoder wildcard silently mis-decodes future encodings",
+                hits.len()
+            ));
+        } else if hits.len() < allowed {
+            failures.push(format!(
+                "{path}: {} wildcard arms but budget is {allowed} — lower the budget \
+                 in lint_allowlist.txt so the improvement sticks",
+                hits.len()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
 fn allowlist_entries_reference_linted_files() {
     // Stale allowlist entries (renamed files, rules that no longer
     // apply) silently re-open the hole they once budgeted.
@@ -282,6 +324,9 @@ fn allowlist_entries_reference_linted_files() {
             }
             "no-percycle-alloc" => {
                 assert!(NO_PERCYCLE_ALLOC.contains(&path), "stale entry: {line}");
+            }
+            "decoder-wildcard" => {
+                assert!(DECODER_WILDCARD.contains(&path), "stale entry: {line}");
             }
             other => panic!("unknown rule '{other}' in allowlist line: {line}"),
         }

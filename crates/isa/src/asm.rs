@@ -227,6 +227,26 @@ alu_rr! {
     mul => Mul,
     /// `dst = lhs / rhs` unsigned; division by zero yields `u64::MAX`.
     divu => Divu,
+    /// `dst = sext32(lhs + rhs)` (32-bit wrapping, RV64 `addw`).
+    addw => AddW,
+    /// `dst = sext32(lhs - rhs)` (32-bit wrapping).
+    subw => SubW,
+    /// `dst = sext32(lhs << (rhs & 31))` (32-bit logical).
+    sllw => SllW,
+    /// `dst = sext32(lhs32 >> (rhs & 31))` (32-bit logical).
+    srlw => SrlW,
+    /// `dst = sext32(lhs32 >> (rhs & 31))` (32-bit arithmetic).
+    sraw => SraW,
+    /// `dst = sext32(lhs * rhs)` (32-bit wrapping, low half).
+    mulw => MulW,
+    /// `dst = sext32(lhs32 / rhs32)` signed, RISC-V edge rules.
+    divw => DivW,
+    /// `dst = sext32(lhs32 / rhs32)` unsigned; by-zero yields all ones.
+    divuw => DivuW,
+    /// `dst = sext32(lhs32 % rhs32)` signed, RISC-V edge rules.
+    remw => RemW,
+    /// `dst = sext32(lhs32 % rhs32)` unsigned; by-zero yields the dividend.
+    remuw => RemuW,
 }
 
 macro_rules! alu_ri {
@@ -259,6 +279,16 @@ alu_ri! {
     muli => Mul,
     /// `dst = (src < imm) as u64`, signed.
     slti => Slt,
+    /// `dst = src >> (imm & 63)` (arithmetic).
+    srai => Sra,
+    /// `dst = sext32(src + imm)` (32-bit wrapping, RV64 `addiw`).
+    addwi => AddW,
+    /// `dst = sext32(src << (imm & 31))` (32-bit logical).
+    sllwi => SllW,
+    /// `dst = sext32(src32 >> (imm & 31))` (32-bit logical).
+    srlwi => SrlW,
+    /// `dst = sext32(src32 >> (imm & 31))` (32-bit arithmetic).
+    srawi => SraW,
 }
 
 macro_rules! branches {
@@ -330,6 +360,16 @@ impl Assembler {
         self.emit(Instruction::Load { dst, base, offset, width: MemWidth::Byte })
     }
 
+    /// Halfword load (zero-extended): `dst = mem16[base + offset]`.
+    pub fn ldh(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.emit(Instruction::Load { dst, base, offset, width: MemWidth::Half })
+    }
+
+    /// 32-bit load (zero-extended): `dst = mem32[base + offset]`.
+    pub fn ldw(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.emit(Instruction::Load { dst, base, offset, width: MemWidth::Word4 })
+    }
+
     /// Word store: `mem64[base + offset] = src`.
     pub fn st(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
         self.emit(Instruction::Store { src, base, offset, width: MemWidth::Word })
@@ -338,6 +378,16 @@ impl Assembler {
     /// Byte store: `mem8[base + offset] = src & 0xff`.
     pub fn stb(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
         self.emit(Instruction::Store { src, base, offset, width: MemWidth::Byte })
+    }
+
+    /// Halfword store: `mem16[base + offset] = src & 0xffff`.
+    pub fn sth(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.emit(Instruction::Store { src, base, offset, width: MemWidth::Half })
+    }
+
+    /// 32-bit store: `mem32[base + offset] = src & 0xffff_ffff`.
+    pub fn stw(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.emit(Instruction::Store { src, base, offset, width: MemWidth::Word4 })
     }
 
     /// FP word load: `dst = mem64[base + offset]` (bit-exact).

@@ -8,18 +8,36 @@ use std::fmt;
 pub enum MemWidth {
     /// A single byte (zero-extended on load).
     Byte,
+    /// A 16-bit halfword (zero-extended on load).
+    Half,
+    /// A 32-bit word (zero-extended on load); the natural width of the
+    /// RV32 frontend's `lw`/`sw`.
+    Word4,
     /// A 64-bit word. Word accesses must be 8-byte aligned.
     #[default]
     Word,
 }
 
 impl MemWidth {
-    /// The access size in bytes (1 or 8).
+    /// The access size in bytes (1, 2, 4 or 8).
     #[must_use]
     pub fn bytes(self) -> u64 {
         match self {
             MemWidth::Byte => 1,
+            MemWidth::Half => 2,
+            MemWidth::Word4 => 4,
             MemWidth::Word => 8,
+        }
+    }
+
+    /// The load/store mnemonic suffix (`ld`/`ldb`/`ldh`/`ldw`).
+    #[must_use]
+    pub fn suffix(self) -> &'static str {
+        match self {
+            MemWidth::Byte => "b",
+            MemWidth::Half => "h",
+            MemWidth::Word4 => "w",
+            MemWidth::Word => "",
         }
     }
 }
@@ -89,6 +107,38 @@ pub enum AluOp {
     Mul,
     /// Unsigned division; division by zero yields `u64::MAX` (RISC-V rule).
     Divu,
+    /// 32-bit wrapping addition, result sign-extended to 64 bits
+    /// (RV64 `addw`; the RV32 frontend keeps every register value
+    /// sign-extended from 32 bits, see DESIGN.md §14).
+    AddW,
+    /// 32-bit wrapping subtraction, result sign-extended.
+    SubW,
+    /// 32-bit logical shift left by `rhs & 31`, result sign-extended.
+    SllW,
+    /// 32-bit logical shift right by `rhs & 31`, result sign-extended.
+    SrlW,
+    /// 32-bit arithmetic shift right by `rhs & 31`, result sign-extended.
+    SraW,
+    /// 32-bit wrapping multiplication (low half), result sign-extended.
+    MulW,
+    /// 32-bit signed division with the RISC-V edge rules: division by
+    /// zero yields `-1`; `i32::MIN / -1` yields `i32::MIN`.
+    DivW,
+    /// 32-bit unsigned division; division by zero yields `-1` (all
+    /// ones); result sign-extended from 32 bits.
+    DivuW,
+    /// 32-bit signed remainder: remainder by zero yields the dividend;
+    /// `i32::MIN % -1` yields `0`.
+    RemW,
+    /// 32-bit unsigned remainder; remainder by zero yields the dividend;
+    /// result sign-extended from 32 bits.
+    RemuW,
+}
+
+/// Sign-extends the low 32 bits of a value to 64 bits — the result
+/// normalization every `*W` op applies (RV64 register convention).
+fn sext32(x: u32) -> u64 {
+    x as i32 as i64 as u64
 }
 
 impl AluOp {
@@ -108,19 +158,42 @@ impl AluOp {
             AluOp::Sltu => u64::from(lhs < rhs),
             AluOp::Mul => lhs.wrapping_mul(rhs),
             AluOp::Divu => lhs.checked_div(rhs).unwrap_or(u64::MAX),
+            AluOp::AddW => sext32((lhs as u32).wrapping_add(rhs as u32)),
+            AluOp::SubW => sext32((lhs as u32).wrapping_sub(rhs as u32)),
+            AluOp::SllW => sext32((lhs as u32) << (rhs & 31)),
+            AluOp::SrlW => sext32((lhs as u32) >> (rhs & 31)),
+            AluOp::SraW => sext32(((lhs as i32) >> (rhs & 31)) as u32),
+            AluOp::MulW => sext32((lhs as u32).wrapping_mul(rhs as u32)),
+            AluOp::DivW => {
+                // RISC-V: x / 0 = -1; i32::MIN / -1 = i32::MIN.
+                let fallback = if rhs as i32 == 0 { -1 } else { i32::MIN };
+                sext32((lhs as i32).checked_div(rhs as i32).unwrap_or(fallback) as u32)
+            }
+            AluOp::DivuW => sext32((lhs as u32).checked_div(rhs as u32).unwrap_or(u32::MAX)),
+            AluOp::RemW => {
+                // RISC-V: x % 0 = x; i32::MIN % -1 = 0.
+                let fallback = if rhs as i32 == 0 { lhs as i32 } else { 0 };
+                sext32((lhs as i32).checked_rem(rhs as i32).unwrap_or(fallback) as u32)
+            }
+            AluOp::RemuW => {
+                sext32((lhs as u32).checked_rem(rhs as u32).unwrap_or(lhs as u32))
+            }
         }
     }
 
     /// Whether the op uses the long-latency multiply unit.
     #[must_use]
     pub fn is_mul(self) -> bool {
-        matches!(self, AluOp::Mul)
+        matches!(self, AluOp::Mul | AluOp::MulW)
     }
 
     /// Whether the op uses the long-latency divide unit.
     #[must_use]
     pub fn is_div(self) -> bool {
-        matches!(self, AluOp::Divu)
+        matches!(
+            self,
+            AluOp::Divu | AluOp::DivW | AluOp::DivuW | AluOp::RemW | AluOp::RemuW
+        )
     }
 }
 
@@ -506,12 +579,10 @@ impl fmt::Display for Instruction {
             }
             Instruction::Li { dst, imm } => write!(f, "li {dst}, {imm}"),
             Instruction::Load { dst, base, offset, width } => {
-                let suffix = if *width == MemWidth::Byte { "b" } else { "" };
-                write!(f, "ld{suffix} {dst}, {offset}({base})")
+                write!(f, "ld{} {dst}, {offset}({base})", width.suffix())
             }
             Instruction::Store { src, base, offset, width } => {
-                let suffix = if *width == MemWidth::Byte { "b" } else { "" };
-                write!(f, "st{suffix} {src}, {offset}({base})")
+                write!(f, "st{} {src}, {offset}({base})", width.suffix())
             }
             Instruction::FLoad { dst, base, offset } => write!(f, "fld {dst}, {offset}({base})"),
             Instruction::FStore { src, base, offset } => write!(f, "fst {src}, {offset}({base})"),
@@ -688,7 +759,73 @@ mod tests {
     #[test]
     fn mem_width_bytes() {
         assert_eq!(MemWidth::Byte.bytes(), 1);
+        assert_eq!(MemWidth::Half.bytes(), 2);
+        assert_eq!(MemWidth::Word4.bytes(), 4);
         assert_eq!(MemWidth::Word.bytes(), 8);
         assert_eq!(MemWidth::default(), MemWidth::Word);
+        assert_eq!(MemWidth::Half.suffix(), "h");
+        assert_eq!(MemWidth::Word4.suffix(), "w");
+    }
+
+    /// The `*W` ops keep every result sign-extended from 32 bits — the
+    /// register invariant the RV32 frontend relies on (DESIGN.md §14).
+    #[test]
+    fn w_ops_sign_extend_results() {
+        // 0x7fffffff + 1 overflows to i32::MIN, sign-extended.
+        assert_eq!(AluOp::AddW.eval(0x7fff_ffff, 1), 0xffff_ffff_8000_0000);
+        assert_eq!(AluOp::SubW.eval(0, 1), u64::MAX); // -1 as sext32
+        assert_eq!(AluOp::SllW.eval(1, 31), 0xffff_ffff_8000_0000);
+        // Srl/Sra mask the shift amount to 5 bits and operate on 32 bits.
+        assert_eq!(AluOp::SrlW.eval(0xffff_ffff_8000_0000, 31), 1);
+        assert_eq!(AluOp::SraW.eval(0xffff_ffff_8000_0000, 31), u64::MAX);
+        assert_eq!(AluOp::SllW.eval(1, 32), 1); // shift masked &31
+        assert_eq!(AluOp::MulW.eval(0x10000, 0x10000), 0); // low 32 bits only
+        assert_eq!(AluOp::MulW.eval(0xffff_ffff_ffff_ffff, 1), u64::MAX);
+    }
+
+    /// RISC-V division edge rules: div by zero, overflow, rem by zero.
+    #[test]
+    fn w_division_edge_cases() {
+        assert_eq!(AluOp::DivW.eval(7, 0), u64::MAX); // x/0 = -1
+        let int_min = 0xffff_ffff_8000_0000u64; // i32::MIN sext
+        assert_eq!(AluOp::DivW.eval(int_min, u64::MAX), int_min); // MIN/-1 = MIN
+        assert_eq!(AluOp::DivW.eval(u64::MAX, 1), u64::MAX); // -1/1 = -1
+        assert_eq!(AluOp::DivW.eval(42, 6), 7);
+        assert_eq!(AluOp::DivuW.eval(7, 0), u64::MAX); // divu by 0 = all ones
+        assert_eq!(AluOp::DivuW.eval(0xffff_ffff_ffff_fffe, 1), 0xffff_ffff_ffff_fffe);
+        assert_eq!(AluOp::RemW.eval(7, 0), 7); // x%0 = x
+        assert_eq!(AluOp::RemW.eval(int_min, u64::MAX), 0); // MIN%-1 = 0
+        assert_eq!(AluOp::RemW.eval(u64::MAX, 2), u64::MAX); // -1 % 2 = -1
+        assert_eq!(AluOp::RemuW.eval(9, 0), 9);
+        assert_eq!(AluOp::RemuW.eval(0xffff_ffff_0000_0009, 4), 1);
+    }
+
+    /// Every `*W` result is a fixed point of sign-extension from 32 bits.
+    #[test]
+    fn w_ops_results_are_canonical_sext32() {
+        let ops = [
+            AluOp::AddW, AluOp::SubW, AluOp::SllW, AluOp::SrlW, AluOp::SraW,
+            AluOp::MulW, AluOp::DivW, AluOp::DivuW, AluOp::RemW, AluOp::RemuW,
+        ];
+        let samples = [0u64, 1, 5, 31, 42, u64::MAX, 0x7fff_ffff, 0xffff_ffff_8000_0000];
+        for op in ops {
+            for &a in &samples {
+                for &b in &samples {
+                    let v = op.eval(a, b);
+                    assert_eq!(v, v as i32 as i64 as u64, "{op:?}({a:#x}, {b:#x})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn w_ops_unit_classification() {
+        assert!(AluOp::MulW.is_mul() && !AluOp::MulW.is_div());
+        for op in [AluOp::DivW, AluOp::DivuW, AluOp::RemW, AluOp::RemuW] {
+            assert!(op.is_div() && !op.is_mul(), "{op:?}");
+        }
+        for op in [AluOp::AddW, AluOp::SubW, AluOp::SllW, AluOp::SrlW, AluOp::SraW] {
+            assert!(!op.is_div() && !op.is_mul(), "{op:?}");
+        }
     }
 }

@@ -298,7 +298,8 @@ fn parse_inner(source: &str) -> Result<Program, ParseError> {
         match mnemonic {
             // Register-register ALU.
             "add" | "sub" | "and" | "or" | "xor" | "sll" | "srl" | "sra" | "slt" | "sltu"
-            | "mul" | "divu" => {
+            | "mul" | "divu" | "addw" | "subw" | "sllw" | "srlw" | "sraw" | "mulw" | "divw"
+            | "divuw" | "remw" | "remuw" => {
                 want!(3);
                 let d = parse_reg(line, ops[0])?;
                 let a = parse_reg(line, ops[1])?;
@@ -315,11 +316,22 @@ fn parse_inner(source: &str) -> Result<Program, ParseError> {
                     "slt" => asm.slt(d, a, b),
                     "sltu" => asm.sltu(d, a, b),
                     "mul" => asm.mul(d, a, b),
-                    _ => asm.divu(d, a, b),
+                    "divu" => asm.divu(d, a, b),
+                    "addw" => asm.addw(d, a, b),
+                    "subw" => asm.subw(d, a, b),
+                    "sllw" => asm.sllw(d, a, b),
+                    "srlw" => asm.srlw(d, a, b),
+                    "sraw" => asm.sraw(d, a, b),
+                    "mulw" => asm.mulw(d, a, b),
+                    "divw" => asm.divw(d, a, b),
+                    "divuw" => asm.divuw(d, a, b),
+                    "remw" => asm.remw(d, a, b),
+                    _ => asm.remuw(d, a, b),
                 };
             }
             // Register-immediate ALU.
-            "addi" | "andi" | "ori" | "xori" | "slli" | "srli" | "muli" | "slti" => {
+            "addi" | "andi" | "ori" | "xori" | "slli" | "srli" | "srai" | "muli" | "slti"
+            | "addwi" | "sllwi" | "srlwi" | "srawi" => {
                 want!(3);
                 let d = parse_reg(line, ops[0])?;
                 let a = parse_reg(line, ops[1])?;
@@ -331,7 +343,12 @@ fn parse_inner(source: &str) -> Result<Program, ParseError> {
                     "xori" => asm.xori(d, a, imm),
                     "slli" => asm.slli(d, a, imm),
                     "srli" => asm.srli(d, a, imm),
+                    "srai" => asm.srai(d, a, imm),
                     "muli" => asm.muli(d, a, imm),
+                    "addwi" => asm.addwi(d, a, imm),
+                    "sllwi" => asm.sllwi(d, a, imm),
+                    "srlwi" => asm.srlwi(d, a, imm),
+                    "srawi" => asm.srawi(d, a, imm),
                     _ => asm.slti(d, a, imm),
                 };
             }
@@ -341,17 +358,21 @@ fn parse_inner(source: &str) -> Result<Program, ParseError> {
                 asm.li(d, parse_int(line, ops[1])?);
             }
             // Memory.
-            "ld" | "ldb" | "st" | "stb" => {
+            "ld" | "ldb" | "ldh" | "ldw" | "st" | "stb" | "sth" | "stw" => {
                 want!(2);
                 let r0 = parse_reg(line, ops[0])?;
                 let (offset, base) = parse_mem(line, ops[1])?;
-                let width = if mnemonic.ends_with('b') { MemWidth::Byte } else { MemWidth::Word };
-                match (mnemonic.starts_with("ld"), width) {
-                    (true, MemWidth::Word) => asm.ld(r0, base, offset),
-                    (true, MemWidth::Byte) => asm.ldb(r0, base, offset),
-                    (false, MemWidth::Word) => asm.st(r0, base, offset),
-                    (false, MemWidth::Byte) => asm.stb(r0, base, offset),
+                let width = match mnemonic {
+                    "ldb" | "stb" => MemWidth::Byte,
+                    "ldh" | "sth" => MemWidth::Half,
+                    "ldw" | "stw" => MemWidth::Word4,
+                    _ => MemWidth::Word,
                 };
+                if mnemonic.starts_with("ld") {
+                    asm.emit(crate::inst::Instruction::Load { dst: r0, base, offset, width });
+                } else {
+                    asm.emit(crate::inst::Instruction::Store { src: r0, base, offset, width });
+                }
             }
             "fld" | "fst" => {
                 want!(2);
@@ -635,6 +656,38 @@ mod tests {
     fn name_after_code_rejected() {
         let e = parse_asm("nop\n.name late").unwrap_err();
         assert!(e.message.contains("before any code"));
+    }
+
+    #[test]
+    fn w_ops_and_new_widths_round_trip() {
+        // 0x100..0x104 = 0xfffffffe little-endian.
+        let source = r"
+            .byte 0x100 0xfe 0xff 0xff 0xff
+            li r1, 0x100
+            ldw r2, 0(r1)
+            ldh r3, 0(r1)
+            addwi r4, r2, 0
+            addw r5, r2, r2
+            srawi r6, r4, 1
+            remuw r7, r2, r3
+            stw r4, 8(r1)
+            sth r4, 16(r1)
+            halt
+        ";
+        let prog = parse_asm(source).unwrap();
+        let mut it = Interpreter::new(&prog);
+        it.run(100).unwrap();
+        assert_eq!(it.reg(Reg::new(2)), 0xffff_fffe); // ldw zero-extends
+        assert_eq!(it.reg(Reg::new(3)), 0xfffe); // ldh zero-extends
+        assert_eq!(it.reg(Reg::new(4)), 0xffff_ffff_ffff_fffe); // addwi sign-extends
+        assert_eq!(it.reg(Reg::new(5)), 0xffff_ffff_ffff_fffc);
+        assert_eq!(it.reg(Reg::new(6)), u64::MAX); // -2 >> 1 = -1
+        assert_eq!(it.reg(Reg::new(7)), 2); // 0xfffffffe % 0xfffe
+        assert_eq!(it.mem_word(0x108) & 0xffff_ffff, 0xffff_fffe); // stw low 32
+        assert_eq!(it.mem_word(0x110) & 0xffff, 0xfffe); // sth low 16
+        // Display → parse is the wire format; it must round-trip exactly.
+        let reparsed = parse_asm(&prog.disassemble()).unwrap();
+        assert_eq!(prog.instructions(), reparsed.instructions());
     }
 
     #[test]

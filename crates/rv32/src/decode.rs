@@ -1,0 +1,422 @@
+//! RV32I+M instruction decoder.
+//!
+//! [`decode`] turns a raw little-endian 32-bit instruction word into a
+//! [`Rv32Inst`]. Every encoding outside the supported RV32I+M subset is
+//! a *typed* [`DecodeError`] carrying the faulting pc and raw word —
+//! the decoder never panics, whatever the input bits (pinned by the
+//! every-word-prefix fuzz tests in `tests/fuzz.rs`).
+//!
+//! The decoder is deliberately written without wildcard match arms over
+//! opcode/funct fields: unknown encodings flow through named-binding
+//! catch-alls that construct the error, so the lint ratchet
+//! (`decoder-wildcard` in `crates/harness/tests/lint.rs`) can hold the
+//! wildcard count at zero.
+
+use sdo_isa::BranchCond;
+
+/// Why an instruction word is outside the supported RV32I+M subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unsupported {
+    /// The major opcode (bits 6:0) is not one we implement.
+    Opcode {
+        /// The 7-bit major opcode field.
+        opcode: u8,
+    },
+    /// The opcode is known but the funct3/funct7 minor selector is not.
+    Funct {
+        /// The 7-bit major opcode field.
+        opcode: u8,
+        /// The 3-bit funct3 field.
+        funct3: u8,
+        /// The 7-bit funct7 field (0 for formats without one).
+        funct7: u8,
+    },
+    /// `ecall` — there is no environment to call into.
+    Ecall,
+    /// A Zicsr instruction (`csrrw`/`csrrs`/... — funct3 selects which).
+    Csr {
+        /// The 3-bit funct3 field naming the CSR op.
+        funct3: u8,
+    },
+    /// A MISC-MEM encoding other than a plain `fence` (e.g. `fence.i`).
+    Fence {
+        /// The 3-bit funct3 field.
+        funct3: u8,
+    },
+}
+
+/// A typed decode failure: the faulting byte pc, the raw word, and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte address of the instruction.
+    pub pc: u32,
+    /// The raw little-endian instruction word.
+    pub word: u32,
+    /// The classified reason.
+    pub kind: Unsupported,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pc {:#010x}: word {:#010x}: ", self.pc, self.word)?;
+        match self.kind {
+            Unsupported::Opcode { opcode } => write!(f, "unsupported opcode {opcode:#04x}"),
+            Unsupported::Funct { opcode, funct3, funct7 } => write!(
+                f,
+                "unsupported funct3={funct3}/funct7={funct7:#04x} for opcode {opcode:#04x}"
+            ),
+            Unsupported::Ecall => write!(f, "ecall has no environment here"),
+            Unsupported::Csr { funct3 } => write!(f, "CSR instruction (funct3={funct3})"),
+            Unsupported::Fence { funct3 } => write!(f, "non-plain fence (funct3={funct3})"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// RV32I load flavour (funct3 of the LOAD opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadKind {
+    /// `lb`: load byte, sign-extend.
+    Lb,
+    /// `lh`: load halfword, sign-extend.
+    Lh,
+    /// `lw`: load word.
+    Lw,
+    /// `lbu`: load byte, zero-extend.
+    Lbu,
+    /// `lhu`: load halfword, zero-extend.
+    Lhu,
+}
+
+/// RV32I store flavour (funct3 of the STORE opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// `sb`: store low byte.
+    Sb,
+    /// `sh`: store low halfword.
+    Sh,
+    /// `sw`: store word.
+    Sw,
+}
+
+/// Register-register ALU op (OP opcode, funct3 × funct7), including the
+/// M extension (funct7 = 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // the variants are the RV32 mnemonics themselves
+pub enum OpKind {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+}
+
+/// Register-immediate ALU op (OP-IMM opcode, funct3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // the variants are the RV32 mnemonics themselves
+pub enum OpImmKind {
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+}
+
+/// One decoded RV32I+M instruction. Registers are the raw 5-bit indices
+/// (`x0`..`x31`); immediates and offsets are fully sign-extended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rv32Inst {
+    /// `lui rd, imm`: `imm` holds the already-shifted 32-bit value.
+    Lui {
+        /// Destination register.
+        rd: u8,
+        /// The U-immediate, already shifted left by 12.
+        imm: i32,
+    },
+    /// `auipc rd, imm`: `imm` holds the already-shifted 32-bit value.
+    Auipc {
+        /// Destination register.
+        rd: u8,
+        /// The U-immediate, already shifted left by 12.
+        imm: i32,
+    },
+    /// `jal rd, offset` (offset relative to this instruction's pc).
+    Jal {
+        /// Link register (x0 for a plain jump).
+        rd: u8,
+        /// Signed byte offset from this instruction.
+        offset: i32,
+    },
+    /// `jalr rd, offset(rs1)`.
+    Jalr {
+        /// Link register (x0 for a plain indirect jump).
+        rd: u8,
+        /// Base register holding the target address.
+        rs1: u8,
+        /// Signed byte offset added to `rs1`.
+        offset: i32,
+    },
+    /// A conditional branch (`beq`/`bne`/`blt`/`bge`/`bltu`/`bgeu`).
+    Branch {
+        /// The comparison, reused directly from the SDO mini-ISA.
+        cond: BranchCond,
+        /// Left comparison operand.
+        rs1: u8,
+        /// Right comparison operand.
+        rs2: u8,
+        /// Signed byte offset from this instruction.
+        offset: i32,
+    },
+    /// A load (`lb`/`lh`/`lw`/`lbu`/`lhu`).
+    Load {
+        /// Width and extension flavour.
+        kind: LoadKind,
+        /// Destination register.
+        rd: u8,
+        /// Base address register.
+        rs1: u8,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// A store (`sb`/`sh`/`sw`).
+    Store {
+        /// Width flavour.
+        kind: StoreKind,
+        /// Base address register.
+        rs1: u8,
+        /// Data register.
+        rs2: u8,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// A register-immediate ALU op.
+    OpImm {
+        /// Which op.
+        kind: OpImmKind,
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rs1: u8,
+        /// Sign-extended 12-bit immediate (shift amount for
+        /// `slli`/`srli`/`srai`).
+        imm: i32,
+    },
+    /// A register-register ALU op (including M-extension multiply/divide).
+    Op {
+        /// Which op.
+        kind: OpKind,
+        /// Destination register.
+        rd: u8,
+        /// Left source register.
+        rs1: u8,
+        /// Right source register.
+        rs2: u8,
+    },
+    /// A plain `fence` (a no-op on this single-hart model).
+    Fence,
+    /// `ebreak` — the corpus termination convention (lowers to `halt`).
+    Ebreak,
+}
+
+// ---------------------------------------------------------------------
+// Field extraction
+// ---------------------------------------------------------------------
+
+fn rd(word: u32) -> u8 {
+    ((word >> 7) & 0x1f) as u8
+}
+
+fn rs1(word: u32) -> u8 {
+    ((word >> 15) & 0x1f) as u8
+}
+
+fn rs2(word: u32) -> u8 {
+    ((word >> 20) & 0x1f) as u8
+}
+
+fn funct3(word: u32) -> u8 {
+    ((word >> 12) & 0x7) as u8
+}
+
+fn funct7(word: u32) -> u8 {
+    ((word >> 25) & 0x7f) as u8
+}
+
+/// I-type immediate: bits 31:20, sign-extended.
+fn imm_i(word: u32) -> i32 {
+    (word as i32) >> 20
+}
+
+/// S-type immediate: bits 31:25 ++ 11:7, sign-extended.
+fn imm_s(word: u32) -> i32 {
+    (((word & 0xfe00_0000) as i32) >> 20) | (((word >> 7) & 0x1f) as i32)
+}
+
+/// B-type immediate: bit 31 ++ bit 7 ++ bits 30:25 ++ bits 11:8 ++ 0.
+fn imm_b(word: u32) -> i32 {
+    (((word & 0x8000_0000) as i32) >> 19)
+        | (((word >> 7) & 0x1) as i32) << 11
+        | (((word >> 25) & 0x3f) as i32) << 5
+        | (((word >> 8) & 0xf) as i32) << 1
+}
+
+/// U-type immediate: bits 31:12, already in position.
+fn imm_u(word: u32) -> i32 {
+    (word & 0xffff_f000) as i32
+}
+
+/// J-type immediate: bit 31 ++ bits 19:12 ++ bit 20 ++ bits 30:21 ++ 0.
+fn imm_j(word: u32) -> i32 {
+    (((word & 0x8000_0000) as i32) >> 11)
+        | ((word & 0x000f_f000) as i32)
+        | (((word >> 20) & 0x1) as i32) << 11
+        | (((word >> 21) & 0x3ff) as i32) << 1
+}
+
+// ---------------------------------------------------------------------
+// Decode
+// ---------------------------------------------------------------------
+
+/// Decodes one little-endian RV32 instruction word fetched from `pc`.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] (carrying `pc` and `word`) for any
+/// encoding outside the supported RV32I+M subset — never panics.
+pub fn decode(pc: u32, word: u32) -> Result<Rv32Inst, DecodeError> {
+    let opcode = (word & 0x7f) as u8;
+    let err = |kind| Err(DecodeError { pc, word, kind });
+    match opcode {
+        0x37 => Ok(Rv32Inst::Lui { rd: rd(word), imm: imm_u(word) }),
+        0x17 => Ok(Rv32Inst::Auipc { rd: rd(word), imm: imm_u(word) }),
+        0x6f => Ok(Rv32Inst::Jal { rd: rd(word), offset: imm_j(word) }),
+        0x67 => match funct3(word) {
+            0 => Ok(Rv32Inst::Jalr { rd: rd(word), rs1: rs1(word), offset: imm_i(word) }),
+            f3 => err(Unsupported::Funct { opcode, funct3: f3, funct7: 0 }),
+        },
+        0x63 => {
+            let cond = match funct3(word) {
+                0 => BranchCond::Eq,
+                1 => BranchCond::Ne,
+                4 => BranchCond::Lt,
+                5 => BranchCond::Ge,
+                6 => BranchCond::LtU,
+                7 => BranchCond::GeU,
+                f3 => {
+                    return err(Unsupported::Funct { opcode, funct3: f3, funct7: 0 });
+                }
+            };
+            Ok(Rv32Inst::Branch { cond, rs1: rs1(word), rs2: rs2(word), offset: imm_b(word) })
+        }
+        0x03 => {
+            let kind = match funct3(word) {
+                0 => LoadKind::Lb,
+                1 => LoadKind::Lh,
+                2 => LoadKind::Lw,
+                4 => LoadKind::Lbu,
+                5 => LoadKind::Lhu,
+                f3 => {
+                    return err(Unsupported::Funct { opcode, funct3: f3, funct7: 0 });
+                }
+            };
+            Ok(Rv32Inst::Load { kind, rd: rd(word), rs1: rs1(word), offset: imm_i(word) })
+        }
+        0x23 => {
+            let kind = match funct3(word) {
+                0 => StoreKind::Sb,
+                1 => StoreKind::Sh,
+                2 => StoreKind::Sw,
+                f3 => {
+                    return err(Unsupported::Funct { opcode, funct3: f3, funct7: 0 });
+                }
+            };
+            Ok(Rv32Inst::Store { kind, rs1: rs1(word), rs2: rs2(word), offset: imm_s(word) })
+        }
+        0x13 => {
+            // For non-shift ops funct7 is part of the immediate; only
+            // the shifts constrain it.
+            let (kind, imm) = match funct3(word) {
+                0 => (OpImmKind::Addi, imm_i(word)),
+                2 => (OpImmKind::Slti, imm_i(word)),
+                3 => (OpImmKind::Sltiu, imm_i(word)),
+                4 => (OpImmKind::Xori, imm_i(word)),
+                6 => (OpImmKind::Ori, imm_i(word)),
+                7 => (OpImmKind::Andi, imm_i(word)),
+                1 => match funct7(word) {
+                    0x00 => (OpImmKind::Slli, imm_i(word) & 0x1f),
+                    f7 => {
+                        return err(Unsupported::Funct { opcode, funct3: 1, funct7: f7 });
+                    }
+                },
+                5 => match funct7(word) {
+                    0x00 => (OpImmKind::Srli, imm_i(word) & 0x1f),
+                    0x20 => (OpImmKind::Srai, imm_i(word) & 0x1f),
+                    f7 => {
+                        return err(Unsupported::Funct { opcode, funct3: 5, funct7: f7 });
+                    }
+                },
+                f3 => {
+                    return err(Unsupported::Funct { opcode, funct3: f3, funct7: 0 });
+                }
+            };
+            Ok(Rv32Inst::OpImm { kind, rd: rd(word), rs1: rs1(word), imm })
+        }
+        0x33 => {
+            let kind = match (funct3(word), funct7(word)) {
+                (0, 0x00) => OpKind::Add,
+                (0, 0x20) => OpKind::Sub,
+                (1, 0x00) => OpKind::Sll,
+                (2, 0x00) => OpKind::Slt,
+                (3, 0x00) => OpKind::Sltu,
+                (4, 0x00) => OpKind::Xor,
+                (5, 0x00) => OpKind::Srl,
+                (5, 0x20) => OpKind::Sra,
+                (6, 0x00) => OpKind::Or,
+                (7, 0x00) => OpKind::And,
+                (0, 0x01) => OpKind::Mul,
+                (1, 0x01) => OpKind::Mulh,
+                (2, 0x01) => OpKind::Mulhsu,
+                (3, 0x01) => OpKind::Mulhu,
+                (4, 0x01) => OpKind::Div,
+                (5, 0x01) => OpKind::Divu,
+                (6, 0x01) => OpKind::Rem,
+                (7, 0x01) => OpKind::Remu,
+                (f3, f7) => {
+                    return err(Unsupported::Funct { opcode, funct3: f3, funct7: f7 });
+                }
+            };
+            Ok(Rv32Inst::Op { kind, rd: rd(word), rs1: rs1(word), rs2: rs2(word) })
+        }
+        0x0f => match funct3(word) {
+            0 => Ok(Rv32Inst::Fence),
+            f3 => err(Unsupported::Fence { funct3: f3 }),
+        },
+        0x73 => match word {
+            0x0010_0073 => Ok(Rv32Inst::Ebreak),
+            0x0000_0073 => err(Unsupported::Ecall),
+            w => match funct3(w) {
+                0 => err(Unsupported::Funct { opcode, funct3: 0, funct7: funct7(w) }),
+                f3 => err(Unsupported::Csr { funct3: f3 }),
+            },
+        },
+        other => err(Unsupported::Opcode { opcode: other }),
+    }
+}

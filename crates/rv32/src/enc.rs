@@ -1,0 +1,283 @@
+//! RV32I+M instruction *encoders* — the inverse of [`mod@crate::decode`].
+//!
+//! These exist so the corpus and the decoder can check each other: the
+//! checked-in corpus word arrays are pinned equal to programs built
+//! with these encoders (see `corpus::gen`), and the decode golden tests
+//! assert `decode(enc(..)) == inst` for every op. They take natural
+//! assembly operands (`rd, rs1, rs2` / `rd, offset(rs1)` / branch byte
+//! offsets) and debug-assert the operands are encodable.
+
+// -- format-level encoders --------------------------------------------
+
+fn reg(r: u8) -> u32 {
+    debug_assert!(r < 32, "register index {r} out of range");
+    u32::from(r & 0x1f)
+}
+
+fn r_type(opcode: u32, rd: u8, funct3: u32, rs1: u8, rs2: u8, funct7: u32) -> u32 {
+    opcode | reg(rd) << 7 | funct3 << 12 | reg(rs1) << 15 | reg(rs2) << 20 | funct7 << 25
+}
+
+fn i_type(opcode: u32, rd: u8, funct3: u32, rs1: u8, imm: i32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "I-immediate {imm} out of range");
+    opcode | reg(rd) << 7 | funct3 << 12 | reg(rs1) << 15 | ((imm as u32) & 0xfff) << 20
+}
+
+fn s_type(opcode: u32, funct3: u32, rs1: u8, rs2: u8, imm: i32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "S-immediate {imm} out of range");
+    let imm = imm as u32;
+    opcode
+        | (imm & 0x1f) << 7
+        | funct3 << 12
+        | reg(rs1) << 15
+        | reg(rs2) << 20
+        | ((imm >> 5) & 0x7f) << 25
+}
+
+fn b_type(opcode: u32, funct3: u32, rs1: u8, rs2: u8, offset: i32) -> u32 {
+    debug_assert!(offset % 2 == 0, "B-offset {offset} must be even");
+    debug_assert!((-4096..=4094).contains(&offset), "B-offset {offset} out of range");
+    let imm = offset as u32;
+    opcode
+        | ((imm >> 11) & 0x1) << 7
+        | ((imm >> 1) & 0xf) << 8
+        | funct3 << 12
+        | reg(rs1) << 15
+        | reg(rs2) << 20
+        | ((imm >> 5) & 0x3f) << 25
+        | ((imm >> 12) & 0x1) << 31
+}
+
+fn u_type(opcode: u32, rd: u8, imm: u32) -> u32 {
+    debug_assert!(imm & 0xfff == 0, "U-immediate {imm:#x} has low bits set");
+    opcode | reg(rd) << 7 | imm
+}
+
+fn j_type(opcode: u32, rd: u8, offset: i32) -> u32 {
+    debug_assert!(offset % 2 == 0, "J-offset {offset} must be even");
+    debug_assert!((-(1 << 20)..(1 << 20)).contains(&offset), "J-offset {offset} out of range");
+    let imm = offset as u32;
+    opcode
+        | reg(rd) << 7
+        | (imm & 0xf_f000)
+        | ((imm >> 11) & 0x1) << 20
+        | ((imm >> 1) & 0x3ff) << 21
+        | ((imm >> 20) & 0x1) << 31
+}
+
+// -- mnemonic helpers -------------------------------------------------
+
+/// `lui rd, imm` — `imm` is the full 32-bit value (low 12 bits zero).
+#[must_use]
+pub fn lui(rd: u8, imm: u32) -> u32 {
+    u_type(0x37, rd, imm)
+}
+
+/// `auipc rd, imm` — `imm` is the full 32-bit value (low 12 bits zero).
+#[must_use]
+pub fn auipc(rd: u8, imm: u32) -> u32 {
+    u_type(0x17, rd, imm)
+}
+
+/// `jal rd, offset` (byte offset from this instruction).
+#[must_use]
+pub fn jal(rd: u8, offset: i32) -> u32 {
+    j_type(0x6f, rd, offset)
+}
+
+/// `jalr rd, offset(rs1)`.
+#[must_use]
+pub fn jalr(rd: u8, rs1: u8, offset: i32) -> u32 {
+    i_type(0x67, rd, 0, rs1, offset)
+}
+
+macro_rules! branches {
+    ($($(#[$doc:meta])* $name:ident => $f3:expr;)*) => {$(
+        $(#[$doc])*
+        #[must_use]
+        pub fn $name(rs1: u8, rs2: u8, offset: i32) -> u32 {
+            b_type(0x63, $f3, rs1, rs2, offset)
+        }
+    )*};
+}
+
+branches! {
+    /// `beq rs1, rs2, offset`.
+    beq => 0;
+    /// `bne rs1, rs2, offset`.
+    bne => 1;
+    /// `blt rs1, rs2, offset`.
+    blt => 4;
+    /// `bge rs1, rs2, offset`.
+    bge => 5;
+    /// `bltu rs1, rs2, offset`.
+    bltu => 6;
+    /// `bgeu rs1, rs2, offset`.
+    bgeu => 7;
+}
+
+macro_rules! loads {
+    ($($(#[$doc:meta])* $name:ident => $f3:expr;)*) => {$(
+        $(#[$doc])*
+        #[must_use]
+        pub fn $name(rd: u8, offset: i32, rs1: u8) -> u32 {
+            i_type(0x03, rd, $f3, rs1, offset)
+        }
+    )*};
+}
+
+loads! {
+    /// `lb rd, offset(rs1)`.
+    lb => 0;
+    /// `lh rd, offset(rs1)`.
+    lh => 1;
+    /// `lw rd, offset(rs1)`.
+    lw => 2;
+    /// `lbu rd, offset(rs1)`.
+    lbu => 4;
+    /// `lhu rd, offset(rs1)`.
+    lhu => 5;
+}
+
+macro_rules! stores {
+    ($($(#[$doc:meta])* $name:ident => $f3:expr;)*) => {$(
+        $(#[$doc])*
+        #[must_use]
+        pub fn $name(rs2: u8, offset: i32, rs1: u8) -> u32 {
+            s_type(0x23, $f3, rs1, rs2, offset)
+        }
+    )*};
+}
+
+stores! {
+    /// `sb rs2, offset(rs1)`.
+    sb => 0;
+    /// `sh rs2, offset(rs1)`.
+    sh => 1;
+    /// `sw rs2, offset(rs1)`.
+    sw => 2;
+}
+
+macro_rules! op_imms {
+    ($($(#[$doc:meta])* $name:ident => $f3:expr;)*) => {$(
+        $(#[$doc])*
+        #[must_use]
+        pub fn $name(rd: u8, rs1: u8, imm: i32) -> u32 {
+            i_type(0x13, rd, $f3, rs1, imm)
+        }
+    )*};
+}
+
+op_imms! {
+    /// `addi rd, rs1, imm`.
+    addi => 0;
+    /// `slti rd, rs1, imm`.
+    slti => 2;
+    /// `sltiu rd, rs1, imm`.
+    sltiu => 3;
+    /// `xori rd, rs1, imm`.
+    xori => 4;
+    /// `ori rd, rs1, imm`.
+    ori => 6;
+    /// `andi rd, rs1, imm`.
+    andi => 7;
+}
+
+macro_rules! shift_imms {
+    ($($(#[$doc:meta])* $name:ident => ($f3:expr, $f7:expr);)*) => {$(
+        $(#[$doc])*
+        #[must_use]
+        pub fn $name(rd: u8, rs1: u8, shamt: u8) -> u32 {
+            debug_assert!(shamt < 32, "shift amount {shamt} out of range");
+            r_type(0x13, rd, $f3, rs1, shamt, $f7)
+        }
+    )*};
+}
+
+shift_imms! {
+    /// `slli rd, rs1, shamt`.
+    slli => (1, 0x00);
+    /// `srli rd, rs1, shamt`.
+    srli => (5, 0x00);
+    /// `srai rd, rs1, shamt`.
+    srai => (5, 0x20);
+}
+
+macro_rules! ops {
+    ($($(#[$doc:meta])* $name:ident => ($f3:expr, $f7:expr);)*) => {$(
+        $(#[$doc])*
+        #[must_use]
+        pub fn $name(rd: u8, rs1: u8, rs2: u8) -> u32 {
+            r_type(0x33, rd, $f3, rs1, rs2, $f7)
+        }
+    )*};
+}
+
+ops! {
+    /// `add rd, rs1, rs2`.
+    add => (0, 0x00);
+    /// `sub rd, rs1, rs2`.
+    sub => (0, 0x20);
+    /// `sll rd, rs1, rs2`.
+    sll => (1, 0x00);
+    /// `slt rd, rs1, rs2`.
+    slt => (2, 0x00);
+    /// `sltu rd, rs1, rs2`.
+    sltu => (3, 0x00);
+    /// `xor rd, rs1, rs2`.
+    xor => (4, 0x00);
+    /// `srl rd, rs1, rs2`.
+    srl => (5, 0x00);
+    /// `sra rd, rs1, rs2`.
+    sra => (5, 0x20);
+    /// `or rd, rs1, rs2`.
+    or => (6, 0x00);
+    /// `and rd, rs1, rs2`.
+    and => (7, 0x00);
+    /// `mul rd, rs1, rs2` (M extension).
+    mul => (0, 0x01);
+    /// `mulh rd, rs1, rs2` (M extension).
+    mulh => (1, 0x01);
+    /// `mulhsu rd, rs1, rs2` (M extension).
+    mulhsu => (2, 0x01);
+    /// `mulhu rd, rs1, rs2` (M extension).
+    mulhu => (3, 0x01);
+    /// `div rd, rs1, rs2` (M extension).
+    div => (4, 0x01);
+    /// `divu rd, rs1, rs2` (M extension).
+    divu => (5, 0x01);
+    /// `rem rd, rs1, rs2` (M extension).
+    rem => (6, 0x01);
+    /// `remu rd, rs1, rs2` (M extension).
+    remu => (7, 0x01);
+}
+
+/// A plain `fence` (pred/succ = iorw,iorw as GCC emits it).
+#[must_use]
+pub fn fence() -> u32 {
+    0x0ff0_000f
+}
+
+/// `ebreak`.
+#[must_use]
+pub fn ebreak() -> u32 {
+    0x0010_0073
+}
+
+/// `li rd, value` expanded exactly as the assembler does: `addi` when
+/// the value fits 12 signed bits, else `lui` (+ `addi` when the low
+/// bits are non-zero), with the carry into the upper immediate that the
+/// sign-extending `addi` requires.
+#[must_use]
+pub fn li(rd: u8, value: i32) -> Vec<u32> {
+    if (-2048..=2047).contains(&value) {
+        return vec![addi(rd, 0, value)];
+    }
+    let low = (value << 20) >> 20; // sign-extended low 12 bits
+    let high = (value.wrapping_sub(low)) as u32; // upper 20 bits + carry
+    if low == 0 {
+        vec![lui(rd, high)]
+    } else {
+        vec![lui(rd, high), addi(rd, rd, low)]
+    }
+}

@@ -1,0 +1,48 @@
+//! # sdo-rv32 — an RV32I+M frontend for the SDO simulator
+//!
+//! This crate lets the simulator run *real compiled programs*: raw
+//! RV32I+M machine code is decoded, loaded and lowered onto the SDO
+//! mini-ISA, then executed cycle-exactly by `sdo-uarch` under any of
+//! the Unsafe/STT/SDO protection variants. It provides:
+//!
+//! * [`mod@decode`] — an RV32I+M decoder where every unsupported encoding
+//!   is a typed [`DecodeError`] carrying pc + raw word (never a panic),
+//! * [`loader`] — flat-binary and minimal static ELF32 loaders
+//!   producing an [`Rv32Image`],
+//! * [`lower`] — a two-pass translator from an image to an
+//!   `sdo_isa::Program`, keeping every register sign-extended from 32
+//!   to 64 bits and resolving `jalr` through a translation table in
+//!   data memory (see [`lower::TABLE_BASE`]),
+//! * [`corpus`] — an in-tree corpus of compiled C benchmark kernels
+//!   checked in as raw instruction words with pinned expected outputs,
+//!   plus a Spectre-v1 gadget with an annotated secret byte for the
+//!   `sdo-verify` secret-swap checker.
+//!
+//! The decode/lowering rules, register mapping and the unsupported
+//! subset are documented in `DESIGN.md` §14.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use sdo_isa::Interpreter;
+//!
+//! // Run a corpus kernel through the reference interpreter.
+//! let entry = &sdo_rv32::corpus::CORPUS[0];
+//! let program = entry.program();
+//! let mut interp = Interpreter::new(&program);
+//! interp.run(10_000_000).expect("corpus kernel halts");
+//! assert_eq!(sdo_rv32::corpus::read_result(&interp), entry.expected_result);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod decode;
+pub mod enc;
+pub mod loader;
+pub mod lower;
+
+pub use corpus::CorpusEntry;
+pub use decode::{decode, DecodeError, Rv32Inst, Unsupported};
+pub use loader::{load_elf32, load_flat, to_elf32, LoadError, Rv32Image};
+pub use lower::{translate, LowerError, LowerErrorKind, TranslateError, TABLE_BASE};

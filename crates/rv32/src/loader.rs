@@ -1,0 +1,249 @@
+//! Binary loaders: flat RV32 images and a minimal ELF32 subset.
+//!
+//! Both loaders produce an [`Rv32Image`] — the neutral "text words +
+//! data segments" form that [`crate::lower::translate`] consumes. All
+//! malformed inputs are *typed* [`LoadError`]s; the parsers never
+//! panic, whatever the bytes (pinned by the every-byte-prefix fuzz
+//! tests in `tests/fuzz.rs`).
+
+/// A loaded RV32 program image, before decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rv32Image {
+    /// Entry point (byte address; must land inside the text segment).
+    pub entry: u32,
+    /// Byte address of the first text word.
+    pub text_base: u32,
+    /// The executable words, in address order from `text_base`.
+    pub text: Vec<u32>,
+    /// Initialised data segments as `(base address, bytes)` pairs.
+    pub data: Vec<(u32, Vec<u8>)>,
+}
+
+/// Why a byte blob failed to load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadError {
+    /// The text segment's byte length is not a multiple of 4.
+    TruncatedText {
+        /// Length in bytes of the offending segment.
+        len: usize,
+    },
+    /// A segment base (or the entry point) is not 4-byte aligned.
+    Misaligned {
+        /// The offending address.
+        addr: u32,
+    },
+    /// The image has no executable segment.
+    NoText,
+    /// The image has more than one executable segment.
+    MultipleText,
+    /// The entry point is outside the text segment.
+    EntryOutsideText {
+        /// The offending entry address.
+        entry: u32,
+    },
+    /// The blob is too short to hold the ELF header.
+    ElfTooShort {
+        /// Actual length in bytes.
+        len: usize,
+    },
+    /// The blob does not start with `\x7fELF`.
+    NotElf,
+    /// `e_ident[EI_CLASS]` is not ELFCLASS32.
+    BadClass(u8),
+    /// `e_ident[EI_DATA]` is not little-endian.
+    BadEndian(u8),
+    /// `e_machine` is not EM_RISCV (0xf3).
+    BadMachine(u16),
+    /// A program header or segment lies outside the blob.
+    BadSegment {
+        /// Index of the offending program header.
+        index: u16,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::TruncatedText { len } => {
+                write!(f, "text length {len} is not a multiple of 4")
+            }
+            LoadError::Misaligned { addr } => write!(f, "address {addr:#010x} is not 4-aligned"),
+            LoadError::NoText => write!(f, "image has no executable segment"),
+            LoadError::MultipleText => write!(f, "image has more than one executable segment"),
+            LoadError::EntryOutsideText { entry } => {
+                write!(f, "entry {entry:#010x} is outside the text segment")
+            }
+            LoadError::ElfTooShort { len } => write!(f, "{len} bytes is too short for ELF32"),
+            LoadError::NotElf => write!(f, "missing \\x7fELF magic"),
+            LoadError::BadClass(c) => write!(f, "ELF class {c} is not ELFCLASS32"),
+            LoadError::BadEndian(d) => write!(f, "ELF data encoding {d} is not little-endian"),
+            LoadError::BadMachine(m) => write!(f, "ELF machine {m:#06x} is not EM_RISCV"),
+            LoadError::BadSegment { index } => {
+                write!(f, "program header {index} lies outside the file")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+fn words_of(bytes: &[u8]) -> Result<Vec<u32>, LoadError> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(LoadError::TruncatedText { len: bytes.len() });
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Loads a flat binary: the whole blob is the text segment, mapped at
+/// `base` with the entry at `base`.
+///
+/// # Errors
+///
+/// [`LoadError::Misaligned`] if `base` is not 4-aligned,
+/// [`LoadError::TruncatedText`] if the blob length is not a multiple
+/// of 4, [`LoadError::NoText`] if it is empty.
+pub fn load_flat(bytes: &[u8], base: u32) -> Result<Rv32Image, LoadError> {
+    if !base.is_multiple_of(4) {
+        return Err(LoadError::Misaligned { addr: base });
+    }
+    let text = words_of(bytes)?;
+    if text.is_empty() {
+        return Err(LoadError::NoText);
+    }
+    Ok(Rv32Image { entry: base, text_base: base, text, data: Vec::new() })
+}
+
+// -- minimal ELF32 ----------------------------------------------------
+
+const EHDR_LEN: usize = 52;
+const PHDR_LEN: usize = 32;
+const PT_LOAD: u32 = 1;
+const PF_X: u32 = 1;
+const EM_RISCV: u16 = 0xf3;
+
+fn u16_at(b: &[u8], off: usize) -> Option<u16> {
+    Some(u16::from_le_bytes([*b.get(off)?, *b.get(off + 1)?]))
+}
+
+fn u32_at(b: &[u8], off: usize) -> Option<u32> {
+    Some(u32::from_le_bytes([*b.get(off)?, *b.get(off + 1)?, *b.get(off + 2)?, *b.get(off + 3)?]))
+}
+
+/// Loads a minimal static ELF32 executable: little-endian, EM_RISCV,
+/// `PT_LOAD` segments only. The unique segment with `PF_X` becomes
+/// text; the others become initialised data (any `memsz > filesz` BSS
+/// tail is implicit — the simulator's memory is zero by default).
+///
+/// # Errors
+///
+/// A typed [`LoadError`] for any blob this subset cannot represent;
+/// never panics, whatever the bytes.
+pub fn load_elf32(bytes: &[u8]) -> Result<Rv32Image, LoadError> {
+    if bytes.len() < EHDR_LEN {
+        return Err(LoadError::ElfTooShort { len: bytes.len() });
+    }
+    if &bytes[0..4] != b"\x7fELF" {
+        return Err(LoadError::NotElf);
+    }
+    if bytes[4] != 1 {
+        return Err(LoadError::BadClass(bytes[4]));
+    }
+    if bytes[5] != 1 {
+        return Err(LoadError::BadEndian(bytes[5]));
+    }
+    let machine = u16_at(bytes, 18).ok_or(LoadError::ElfTooShort { len: bytes.len() })?;
+    if machine != EM_RISCV {
+        return Err(LoadError::BadMachine(machine));
+    }
+    let entry = u32_at(bytes, 24).ok_or(LoadError::ElfTooShort { len: bytes.len() })?;
+    let phoff = u32_at(bytes, 28).ok_or(LoadError::ElfTooShort { len: bytes.len() })? as usize;
+    let phnum = u16_at(bytes, 44).ok_or(LoadError::ElfTooShort { len: bytes.len() })?;
+
+    let mut text: Option<(u32, Vec<u32>)> = None;
+    let mut data = Vec::new();
+    for i in 0..phnum {
+        let ph = phoff + usize::from(i) * PHDR_LEN;
+        let p_type = u32_at(bytes, ph).ok_or(LoadError::BadSegment { index: i })?;
+        if p_type != PT_LOAD {
+            continue;
+        }
+        let p_offset = u32_at(bytes, ph + 4).ok_or(LoadError::BadSegment { index: i })? as usize;
+        let p_vaddr = u32_at(bytes, ph + 8).ok_or(LoadError::BadSegment { index: i })?;
+        let p_filesz = u32_at(bytes, ph + 16).ok_or(LoadError::BadSegment { index: i })? as usize;
+        let p_flags = u32_at(bytes, ph + 24).ok_or(LoadError::BadSegment { index: i })?;
+        let contents = p_offset
+            .checked_add(p_filesz)
+            .and_then(|end| bytes.get(p_offset..end))
+            .ok_or(LoadError::BadSegment { index: i })?;
+        if p_flags & PF_X != 0 {
+            if p_vaddr % 4 != 0 {
+                return Err(LoadError::Misaligned { addr: p_vaddr });
+            }
+            if text.is_some() {
+                return Err(LoadError::MultipleText);
+            }
+            text = Some((p_vaddr, words_of(contents)?));
+        } else if p_filesz > 0 {
+            data.push((p_vaddr, contents.to_vec()));
+        }
+    }
+    let (text_base, text) = text.ok_or(LoadError::NoText)?;
+    if text.is_empty() {
+        return Err(LoadError::NoText);
+    }
+    if entry % 4 != 0 {
+        return Err(LoadError::Misaligned { addr: entry });
+    }
+    let text_len = u32::try_from(text.len() * 4).map_err(|_| LoadError::NoText)?;
+    let in_text = entry >= text_base && entry.wrapping_sub(text_base) < text_len;
+    if !in_text {
+        return Err(LoadError::EntryOutsideText { entry });
+    }
+    Ok(Rv32Image { entry, text_base, text, data })
+}
+
+/// Serialises an [`Rv32Image`] back into a minimal ELF32 executable —
+/// the round-trip partner of [`load_elf32`], used by the corpus tests
+/// and handy for exporting corpus entries to real tooling.
+#[must_use]
+pub fn to_elf32(image: &Rv32Image) -> Vec<u8> {
+    let phnum = 1 + image.data.len();
+    let mut out = vec![0u8; EHDR_LEN + phnum * PHDR_LEN];
+    out[0..4].copy_from_slice(b"\x7fELF");
+    out[4] = 1; // ELFCLASS32
+    out[5] = 1; // little-endian
+    out[6] = 1; // EV_CURRENT
+    out[16..18].copy_from_slice(&2u16.to_le_bytes()); // ET_EXEC
+    out[18..20].copy_from_slice(&EM_RISCV.to_le_bytes());
+    out[20..24].copy_from_slice(&1u32.to_le_bytes()); // e_version
+    out[24..28].copy_from_slice(&image.entry.to_le_bytes());
+    out[28..32].copy_from_slice(&(EHDR_LEN as u32).to_le_bytes()); // e_phoff
+    out[40..42].copy_from_slice(&(EHDR_LEN as u16).to_le_bytes()); // e_ehsize
+    out[42..44].copy_from_slice(&(PHDR_LEN as u16).to_le_bytes()); // e_phentsize
+    out[44..46].copy_from_slice(&(phnum as u16).to_le_bytes()); // e_phnum
+
+    let mut segments: Vec<(u32, Vec<u8>, u32)> = Vec::with_capacity(phnum);
+    let text_bytes: Vec<u8> = image.text.iter().flat_map(|w| w.to_le_bytes()).collect();
+    segments.push((image.text_base, text_bytes, PF_X | 4)); // R+X
+    for (base, bytes) in &image.data {
+        segments.push((*base, bytes.clone(), 4 | 2)); // R+W
+    }
+
+    for (i, (vaddr, bytes, flags)) in segments.iter().enumerate() {
+        let off = out.len() as u32;
+        let ph = EHDR_LEN + i * PHDR_LEN;
+        out[ph..ph + 4].copy_from_slice(&PT_LOAD.to_le_bytes());
+        out[ph + 4..ph + 8].copy_from_slice(&off.to_le_bytes());
+        out[ph + 8..ph + 12].copy_from_slice(&vaddr.to_le_bytes());
+        out[ph + 12..ph + 16].copy_from_slice(&vaddr.to_le_bytes()); // p_paddr
+        out[ph + 16..ph + 20].copy_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out[ph + 20..ph + 24].copy_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out[ph + 24..ph + 28].copy_from_slice(&flags.to_le_bytes());
+        out[ph + 28..ph + 32].copy_from_slice(&4u32.to_le_bytes()); // p_align
+        out.extend_from_slice(bytes);
+    }
+    out
+}

@@ -1,0 +1,454 @@
+//! Lowering: decoded RV32I+M → `sdo_isa::Program` µops.
+//!
+//! # Register mapping and the sext32 invariant
+//!
+//! RV32 registers map identically onto the mini-ISA's 32 integer
+//! registers (`x5` → `r5`), except that **`x3` (gp) and `x4` (tp) are
+//! reserved as lowering scratch** — programs that touch them are
+//! rejected with a typed [`LowerError`]. Every architectural value is
+//! kept *sign-extended from 32 to 64 bits* ("sext32"). That invariant
+//! makes most ops single µops: sext32 preserves both the signed order
+//! (as i64) and the unsigned 32-bit order (as u64), so `slt`/`sltu`
+//! and all six branch conditions work natively, and bitwise ops of two
+//! sext32 values stay sext32. Width-sensitive arithmetic uses the
+//! dedicated `*W` ALU ops which re-sign-extend their 32-bit result.
+//!
+//! # Control flow
+//!
+//! Direct branches and `jal` resolve at translation time: pass 1
+//! decodes every word and lays out each instruction's µop start index,
+//! pass 2 emits with byte targets patched to µop indices. `jalr` is
+//! resolved at *run* time through a translation table materialised in
+//! the data image at [`TABLE_BASE`]: for every text byte address `A`,
+//! `mem64[TABLE_BASE + 2*A]` holds the µop start index of the
+//! instruction at `A` (8-aligned because `A` is 4-aligned). The lowered
+//! `jalr` clears bit 0, doubles the address and loads the entry — an
+//! address outside the decoded text reads the image default `0` and
+//! lands on µop 0, which only ever happens on wrong paths or in broken
+//! programs (architecturally valid code jumps to real instructions).
+
+use crate::decode::{self, DecodeError, LoadKind, OpImmKind, OpKind, Rv32Inst, StoreKind};
+use crate::loader::Rv32Image;
+use sdo_isa::{AluOp, DataImage, Instruction, MemWidth, Program, Reg};
+
+/// Base of the `jalr` translation table in data memory: `mem64[TABLE_BASE +
+/// 2*A]` is the µop index of the RV32 instruction at byte address `A`. Sits
+/// at 4 GiB, far above any RV32-reachable data address.
+pub const TABLE_BASE: u64 = 1 << 32;
+
+/// The two mini-ISA registers reserved as lowering scratch (`x3`/gp and
+/// `x4`/tp in RV32 terms).
+#[must_use]
+pub fn scratch_regs() -> [Reg; 2] {
+    [Reg::new(3), Reg::new(4)]
+}
+
+/// Why a decoded instruction cannot be lowered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LowerErrorKind {
+    /// The instruction reads or writes a reserved scratch register.
+    ReservedReg {
+        /// The offending RV32 register index (3 or 4).
+        reg: u8,
+    },
+    /// A branch/jal target is not 4-byte aligned.
+    MisalignedTarget {
+        /// The offending byte target.
+        target: u32,
+    },
+    /// A branch/jal target lies outside the text segment.
+    TargetOutsideText {
+        /// The offending byte target.
+        target: u32,
+    },
+}
+
+/// A typed lowering failure, carrying the faulting pc and raw word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowerError {
+    /// Byte address of the instruction.
+    pub pc: u32,
+    /// The raw instruction word.
+    pub word: u32,
+    /// The classified reason.
+    pub kind: LowerErrorKind,
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pc {:#010x}: word {:#010x}: ", self.pc, self.word)?;
+        match self.kind {
+            LowerErrorKind::ReservedReg { reg } => {
+                write!(f, "x{reg} is reserved as lowering scratch")
+            }
+            LowerErrorKind::MisalignedTarget { target } => {
+                write!(f, "branch target {target:#010x} is not 4-aligned")
+            }
+            LowerErrorKind::TargetOutsideText { target } => {
+                write!(f, "branch target {target:#010x} is outside the text segment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Either stage of [`translate`] failing, as one error type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The word did not decode as RV32I+M.
+    Decode(DecodeError),
+    /// The instruction decoded but cannot be expressed as µops.
+    Lower(LowerError),
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslateError::Decode(e) => write!(f, "decode: {e}"),
+            TranslateError::Lower(e) => write!(f, "lower: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+impl From<DecodeError> for TranslateError {
+    fn from(e: DecodeError) -> Self {
+        TranslateError::Decode(e)
+    }
+}
+
+impl From<LowerError> for TranslateError {
+    fn from(e: LowerError) -> Self {
+        TranslateError::Lower(e)
+    }
+}
+
+fn sext32(x: u32) -> i64 {
+    i64::from(x as i32)
+}
+
+/// Maps an RV32 register index to a mini-ISA register, rejecting the
+/// reserved scratch registers.
+fn map_reg(pc: u32, word: u32, x: u8) -> Result<Reg, LowerError> {
+    if x == 3 || x == 4 {
+        return Err(LowerError { pc, word, kind: LowerErrorKind::ReservedReg { reg: x } });
+    }
+    Ok(Reg::new(x))
+}
+
+/// The number of µops [`emit`] produces for `inst` — pass 1 uses this
+/// to lay out µop start indices, and `debug_assert`s in pass 2 keep the
+/// two in lockstep.
+fn cost(inst: &Rv32Inst) -> u64 {
+    match inst {
+        Rv32Inst::Lui { .. } | Rv32Inst::Auipc { .. } => 1,
+        Rv32Inst::Jal { rd, .. } => {
+            if *rd == 0 {
+                1
+            } else {
+                2
+            }
+        }
+        Rv32Inst::Jalr { rd, .. } => {
+            if *rd == 0 {
+                5
+            } else {
+                6
+            }
+        }
+        Rv32Inst::Branch { .. } => 1,
+        Rv32Inst::Load { kind, .. } => match kind {
+            LoadKind::Lbu | LoadKind::Lhu => 1,
+            LoadKind::Lw => 2,
+            LoadKind::Lb | LoadKind::Lh => 3,
+        },
+        Rv32Inst::Store { .. } => 1,
+        Rv32Inst::OpImm { .. } => 1,
+        Rv32Inst::Op { kind, .. } => match kind {
+            OpKind::Mulh => 2,
+            OpKind::Mulhsu => 3,
+            OpKind::Mulhu => 5,
+            OpKind::Add
+            | OpKind::Sub
+            | OpKind::Sll
+            | OpKind::Slt
+            | OpKind::Sltu
+            | OpKind::Xor
+            | OpKind::Srl
+            | OpKind::Sra
+            | OpKind::Or
+            | OpKind::And
+            | OpKind::Mul
+            | OpKind::Div
+            | OpKind::Divu
+            | OpKind::Rem
+            | OpKind::Remu => 1,
+        },
+        Rv32Inst::Fence | Rv32Inst::Ebreak => 1,
+    }
+}
+
+/// Resolves a pc-relative byte target to the µop start index of the
+/// targeted instruction.
+fn resolve_target(
+    pc: u32,
+    word: u32,
+    offset: i32,
+    text_base: u32,
+    starts: &[u64],
+) -> Result<u64, LowerError> {
+    let target = pc.wrapping_add(offset as u32);
+    if !target.is_multiple_of(4) {
+        return Err(LowerError { pc, word, kind: LowerErrorKind::MisalignedTarget { target } });
+    }
+    let idx = target.wrapping_sub(text_base) / 4;
+    starts
+        .get(idx as usize)
+        .copied()
+        .filter(|_| target >= text_base)
+        .ok_or(LowerError { pc, word, kind: LowerErrorKind::TargetOutsideText { target } })
+}
+
+/// Emits the µop sequence for one decoded instruction.
+#[allow(clippy::too_many_lines)] // one arm per RV32 instruction shape
+fn emit(
+    out: &mut Vec<Instruction>,
+    inst: &Rv32Inst,
+    pc: u32,
+    word: u32,
+    text_base: u32,
+    starts: &[u64],
+) -> Result<(), LowerError> {
+    let before = out.len();
+    let link = sext32(pc.wrapping_add(4));
+    let [s0, s1] = scratch_regs();
+    match *inst {
+        Rv32Inst::Lui { rd, imm } => {
+            let rd = map_reg(pc, word, rd)?;
+            out.push(Instruction::Li { dst: rd, imm: i64::from(imm) });
+        }
+        Rv32Inst::Auipc { rd, imm } => {
+            let rd = map_reg(pc, word, rd)?;
+            out.push(Instruction::Li { dst: rd, imm: sext32(pc.wrapping_add(imm as u32)) });
+        }
+        Rv32Inst::Jal { rd, offset } => {
+            let target = resolve_target(pc, word, offset, text_base, starts)?;
+            if rd != 0 {
+                let rd = map_reg(pc, word, rd)?;
+                out.push(Instruction::Li { dst: rd, imm: link });
+            }
+            out.push(Instruction::Jal { dst: Reg::ZERO, target });
+        }
+        Rv32Inst::Jalr { rd, rs1, offset } => {
+            let rs1 = map_reg(pc, word, rs1)?;
+            // Compute the 32-bit target, clear bit 0 (which also
+            // zero-extends a negative sext32 address), double it and
+            // look up the µop index in the translation table.
+            out.push(Instruction::AluImm {
+                op: AluOp::AddW,
+                dst: s0,
+                src: rs1,
+                imm: i64::from(offset),
+            });
+            out.push(Instruction::AluImm { op: AluOp::And, dst: s0, src: s0, imm: 0xffff_fffe });
+            out.push(Instruction::AluImm { op: AluOp::Sll, dst: s0, src: s0, imm: 1 });
+            out.push(Instruction::Load {
+                dst: s0,
+                base: s0,
+                offset: TABLE_BASE as i64,
+                width: MemWidth::Word,
+            });
+            if rd != 0 {
+                let rd = map_reg(pc, word, rd)?;
+                out.push(Instruction::Li { dst: rd, imm: link });
+            }
+            out.push(Instruction::Jalr { dst: Reg::ZERO, base: s0, offset: 0 });
+        }
+        Rv32Inst::Branch { cond, rs1, rs2, offset } => {
+            let lhs = map_reg(pc, word, rs1)?;
+            let rhs = map_reg(pc, word, rs2)?;
+            let target = resolve_target(pc, word, offset, text_base, starts)?;
+            out.push(Instruction::Branch { cond, lhs, rhs, target });
+        }
+        Rv32Inst::Load { kind, rd, rs1, offset } => {
+            let rd = map_reg(pc, word, rd)?;
+            let base = map_reg(pc, word, rs1)?;
+            let offset = i64::from(offset);
+            let (width, shift) = match kind {
+                LoadKind::Lbu => (MemWidth::Byte, None),
+                LoadKind::Lhu => (MemWidth::Half, None),
+                LoadKind::Lw => (MemWidth::Word4, None),
+                LoadKind::Lb => (MemWidth::Byte, Some(56)),
+                LoadKind::Lh => (MemWidth::Half, Some(48)),
+            };
+            out.push(Instruction::Load { dst: rd, base, offset, width });
+            if let Some(n) = shift {
+                out.push(Instruction::AluImm { op: AluOp::Sll, dst: rd, src: rd, imm: n });
+                out.push(Instruction::AluImm { op: AluOp::Sra, dst: rd, src: rd, imm: n });
+            } else if kind == LoadKind::Lw {
+                // Loaded zero-extended; re-establish the sext32 invariant.
+                out.push(Instruction::AluImm { op: AluOp::AddW, dst: rd, src: rd, imm: 0 });
+            }
+        }
+        Rv32Inst::Store { kind, rs1, rs2, offset } => {
+            let base = map_reg(pc, word, rs1)?;
+            let src = map_reg(pc, word, rs2)?;
+            let width = match kind {
+                StoreKind::Sb => MemWidth::Byte,
+                StoreKind::Sh => MemWidth::Half,
+                StoreKind::Sw => MemWidth::Word4,
+            };
+            out.push(Instruction::Store { src, base, offset: i64::from(offset), width });
+        }
+        Rv32Inst::OpImm { kind, rd, rs1, imm } => {
+            let dst = map_reg(pc, word, rd)?;
+            let src = map_reg(pc, word, rs1)?;
+            let op = match kind {
+                OpImmKind::Addi => AluOp::AddW,
+                OpImmKind::Slti => AluOp::Slt,
+                OpImmKind::Sltiu => AluOp::Sltu,
+                OpImmKind::Xori => AluOp::Xor,
+                OpImmKind::Ori => AluOp::Or,
+                OpImmKind::Andi => AluOp::And,
+                OpImmKind::Slli => AluOp::SllW,
+                OpImmKind::Srli => AluOp::SrlW,
+                OpImmKind::Srai => AluOp::SraW,
+            };
+            out.push(Instruction::AluImm { op, dst, src, imm: i64::from(imm) });
+        }
+        Rv32Inst::Op { kind, rd, rs1, rs2 } => {
+            let dst = map_reg(pc, word, rd)?;
+            let lhs = map_reg(pc, word, rs1)?;
+            let rhs = map_reg(pc, word, rs2)?;
+            match kind {
+                OpKind::Mulh => {
+                    // Exact in i64: both operands are sext32.
+                    out.push(Instruction::Alu { op: AluOp::Mul, dst: s0, lhs, rhs });
+                    out.push(Instruction::AluImm { op: AluOp::Sra, dst, src: s0, imm: 32 });
+                }
+                OpKind::Mulhsu => {
+                    // Zero-extend rhs; sext(rs1) * zext(rs2) fits i64.
+                    out.push(Instruction::AluImm {
+                        op: AluOp::And,
+                        dst: s0,
+                        src: rhs,
+                        imm: 0xffff_ffff,
+                    });
+                    out.push(Instruction::Alu { op: AluOp::Mul, dst: s0, lhs, rhs: s0 });
+                    out.push(Instruction::AluImm { op: AluOp::Sra, dst, src: s0, imm: 32 });
+                }
+                OpKind::Mulhu => {
+                    // Zero-extend both; the u64 product is exact, take
+                    // its high word and re-sign-extend.
+                    out.push(Instruction::AluImm {
+                        op: AluOp::And,
+                        dst: s0,
+                        src: lhs,
+                        imm: 0xffff_ffff,
+                    });
+                    out.push(Instruction::AluImm {
+                        op: AluOp::And,
+                        dst: s1,
+                        src: rhs,
+                        imm: 0xffff_ffff,
+                    });
+                    out.push(Instruction::Alu { op: AluOp::Mul, dst: s0, lhs: s0, rhs: s1 });
+                    out.push(Instruction::AluImm { op: AluOp::Srl, dst: s0, src: s0, imm: 32 });
+                    out.push(Instruction::AluImm { op: AluOp::AddW, dst, src: s0, imm: 0 });
+                }
+                OpKind::Add => out.push(Instruction::Alu { op: AluOp::AddW, dst, lhs, rhs }),
+                OpKind::Sub => out.push(Instruction::Alu { op: AluOp::SubW, dst, lhs, rhs }),
+                OpKind::Sll => out.push(Instruction::Alu { op: AluOp::SllW, dst, lhs, rhs }),
+                OpKind::Slt => out.push(Instruction::Alu { op: AluOp::Slt, dst, lhs, rhs }),
+                OpKind::Sltu => out.push(Instruction::Alu { op: AluOp::Sltu, dst, lhs, rhs }),
+                OpKind::Xor => out.push(Instruction::Alu { op: AluOp::Xor, dst, lhs, rhs }),
+                OpKind::Srl => out.push(Instruction::Alu { op: AluOp::SrlW, dst, lhs, rhs }),
+                OpKind::Sra => out.push(Instruction::Alu { op: AluOp::SraW, dst, lhs, rhs }),
+                OpKind::Or => out.push(Instruction::Alu { op: AluOp::Or, dst, lhs, rhs }),
+                OpKind::And => out.push(Instruction::Alu { op: AluOp::And, dst, lhs, rhs }),
+                OpKind::Mul => out.push(Instruction::Alu { op: AluOp::MulW, dst, lhs, rhs }),
+                OpKind::Div => out.push(Instruction::Alu { op: AluOp::DivW, dst, lhs, rhs }),
+                OpKind::Divu => out.push(Instruction::Alu { op: AluOp::DivuW, dst, lhs, rhs }),
+                OpKind::Rem => out.push(Instruction::Alu { op: AluOp::RemW, dst, lhs, rhs }),
+                OpKind::Remu => out.push(Instruction::Alu { op: AluOp::RemuW, dst, lhs, rhs }),
+            }
+        }
+        Rv32Inst::Fence => out.push(Instruction::Nop),
+        Rv32Inst::Ebreak => out.push(Instruction::Halt),
+    }
+    debug_assert_eq!(
+        (out.len() - before) as u64,
+        cost(inst),
+        "cost() out of sync with emit() at pc {pc:#010x}"
+    );
+    Ok(())
+}
+
+/// Translates a loaded RV32 image into an `sdo_isa::Program` named
+/// `name`.
+///
+/// Data segments land verbatim in the program's [`DataImage`]; the
+/// `jalr` translation table is materialised at [`TABLE_BASE`]. When the
+/// image's entry point is not the first text instruction, µop 0 is a
+/// jump to the entry's µop sequence.
+///
+/// # Errors
+///
+/// A typed [`TranslateError`] for any word that does not decode as
+/// RV32I+M or cannot be lowered (reserved register, bad branch target).
+pub fn translate(image: &Rv32Image, name: &str) -> Result<Program, TranslateError> {
+    // Pass 1: decode every word and lay out µop start indices.
+    let mut decoded = Vec::with_capacity(image.text.len());
+    for (i, &word) in image.text.iter().enumerate() {
+        let pc = image.text_base.wrapping_add(4 * i as u32);
+        decoded.push(decode::decode(pc, word)?);
+    }
+    if !image.entry.is_multiple_of(4) {
+        return Err(LowerError {
+            pc: image.entry,
+            word: 0,
+            kind: LowerErrorKind::MisalignedTarget { target: image.entry },
+        }
+        .into());
+    }
+    let entry_idx = image.entry.wrapping_sub(image.text_base) / 4;
+    if image.entry < image.text_base || entry_idx as usize >= decoded.len() {
+        return Err(LowerError {
+            pc: image.entry,
+            word: 0,
+            kind: LowerErrorKind::TargetOutsideText { target: image.entry },
+        }
+        .into());
+    }
+    let prologue = u64::from(entry_idx != 0);
+    let mut starts = Vec::with_capacity(decoded.len());
+    let mut at = prologue;
+    for inst in &decoded {
+        starts.push(at);
+        at += cost(inst);
+    }
+
+    // Pass 2: emit, with byte targets patched to µop indices.
+    let mut insts = Vec::with_capacity(at as usize);
+    if prologue == 1 {
+        insts.push(Instruction::Jal { dst: Reg::ZERO, target: starts[entry_idx as usize] });
+    }
+    for (i, (inst, &word)) in decoded.iter().zip(&image.text).enumerate() {
+        let pc = image.text_base.wrapping_add(4 * i as u32);
+        emit(&mut insts, inst, pc, word, image.text_base, &starts)?;
+    }
+
+    let mut data = DataImage::new();
+    for (base, bytes) in &image.data {
+        for (j, &b) in bytes.iter().enumerate() {
+            data.set_byte(u64::from(*base) + j as u64, b);
+        }
+    }
+    for (i, &start) in starts.iter().enumerate() {
+        let addr = u64::from(image.text_base) + 4 * i as u64;
+        data.set_word(TABLE_BASE + 2 * addr, start);
+    }
+    Ok(Program::new(name, insts, data))
+}

@@ -1,0 +1,317 @@
+//! Exhaustive per-opcode decode golden tests: every supported RV32I+M
+//! instruction shape decodes from its `enc` word to the expected
+//! [`Rv32Inst`], immediates round-trip at their extremes, and every
+//! unsupported encoding is the expected *typed* error carrying pc and
+//! raw word.
+
+use sdo_isa::BranchCond;
+use sdo_rv32::enc;
+use sdo_rv32::{decode, DecodeError, Rv32Inst, Unsupported};
+use sdo_rv32::decode::{LoadKind, OpImmKind, OpKind, StoreKind};
+
+const PC: u32 = 0x1000;
+
+fn ok(word: u32) -> Rv32Inst {
+    decode(PC, word).unwrap_or_else(|e| panic!("{word:#010x} should decode: {e}"))
+}
+
+#[test]
+fn u_and_j_types_decode() {
+    assert_eq!(ok(enc::lui(7, 0xdead_b000)), Rv32Inst::Lui { rd: 7, imm: 0xdead_b000u32 as i32 });
+    assert_eq!(ok(enc::auipc(31, 0x1000)), Rv32Inst::Auipc { rd: 31, imm: 0x1000 });
+    assert_eq!(ok(enc::jal(1, 2048)), Rv32Inst::Jal { rd: 1, offset: 2048 });
+    assert_eq!(ok(enc::jal(0, -4)), Rv32Inst::Jal { rd: 0, offset: -4 });
+    assert_eq!(
+        ok(enc::jal(5, (1 << 20) - 2)),
+        Rv32Inst::Jal { rd: 5, offset: (1 << 20) - 2 },
+        "max positive J-offset"
+    );
+    assert_eq!(ok(enc::jal(5, -(1 << 20))), Rv32Inst::Jal { rd: 5, offset: -(1 << 20) });
+    assert_eq!(ok(enc::jalr(1, 2, -16)), Rv32Inst::Jalr { rd: 1, rs1: 2, offset: -16 });
+}
+
+#[test]
+fn every_branch_decodes() {
+    let cases = [
+        (enc::beq as fn(u8, u8, i32) -> u32, BranchCond::Eq),
+        (enc::bne, BranchCond::Ne),
+        (enc::blt, BranchCond::Lt),
+        (enc::bge, BranchCond::Ge),
+        (enc::bltu, BranchCond::LtU),
+        (enc::bgeu, BranchCond::GeU),
+    ];
+    for (f, cond) in cases {
+        for offset in [-4096, -2, 0, 2, 64, 4094] {
+            assert_eq!(
+                ok(f(3, 9, offset)),
+                Rv32Inst::Branch { cond, rs1: 3, rs2: 9, offset },
+                "{cond:?} offset {offset}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_load_and_store_decodes() {
+    let loads = [
+        (enc::lb as fn(u8, i32, u8) -> u32, LoadKind::Lb),
+        (enc::lh, LoadKind::Lh),
+        (enc::lw, LoadKind::Lw),
+        (enc::lbu, LoadKind::Lbu),
+        (enc::lhu, LoadKind::Lhu),
+    ];
+    for (f, kind) in loads {
+        for offset in [-2048, -1, 0, 4, 2047] {
+            assert_eq!(
+                ok(f(8, offset, 2)),
+                Rv32Inst::Load { kind, rd: 8, rs1: 2, offset },
+                "{kind:?} offset {offset}"
+            );
+        }
+    }
+    let stores = [
+        (enc::sb as fn(u8, i32, u8) -> u32, StoreKind::Sb),
+        (enc::sh, StoreKind::Sh),
+        (enc::sw, StoreKind::Sw),
+    ];
+    for (f, kind) in stores {
+        for offset in [-2048, -1, 0, 4, 2047] {
+            assert_eq!(
+                ok(f(9, offset, 2)),
+                Rv32Inst::Store { kind, rs1: 2, rs2: 9, offset },
+                "{kind:?} offset {offset}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_op_imm_decodes() {
+    let cases = [
+        (enc::addi as fn(u8, u8, i32) -> u32, OpImmKind::Addi),
+        (enc::slti, OpImmKind::Slti),
+        (enc::sltiu, OpImmKind::Sltiu),
+        (enc::xori, OpImmKind::Xori),
+        (enc::ori, OpImmKind::Ori),
+        (enc::andi, OpImmKind::Andi),
+    ];
+    for (f, kind) in cases {
+        for imm in [-2048, -1, 0, 1, 2047] {
+            assert_eq!(
+                ok(f(6, 7, imm)),
+                Rv32Inst::OpImm { kind, rd: 6, rs1: 7, imm },
+                "{kind:?} imm {imm}"
+            );
+        }
+    }
+    let shifts = [
+        (enc::slli as fn(u8, u8, u8) -> u32, OpImmKind::Slli),
+        (enc::srli, OpImmKind::Srli),
+        (enc::srai, OpImmKind::Srai),
+    ];
+    for (f, kind) in shifts {
+        for shamt in [0u8, 1, 15, 31] {
+            assert_eq!(
+                ok(f(6, 7, shamt)),
+                Rv32Inst::OpImm { kind, rd: 6, rs1: 7, imm: i32::from(shamt) },
+                "{kind:?} shamt {shamt}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_op_decodes() {
+    let cases = [
+        (enc::add as fn(u8, u8, u8) -> u32, OpKind::Add),
+        (enc::sub, OpKind::Sub),
+        (enc::sll, OpKind::Sll),
+        (enc::slt, OpKind::Slt),
+        (enc::sltu, OpKind::Sltu),
+        (enc::xor, OpKind::Xor),
+        (enc::srl, OpKind::Srl),
+        (enc::sra, OpKind::Sra),
+        (enc::or, OpKind::Or),
+        (enc::and, OpKind::And),
+        (enc::mul, OpKind::Mul),
+        (enc::mulh, OpKind::Mulh),
+        (enc::mulhsu, OpKind::Mulhsu),
+        (enc::mulhu, OpKind::Mulhu),
+        (enc::div, OpKind::Div),
+        (enc::divu, OpKind::Divu),
+        (enc::rem, OpKind::Rem),
+        (enc::remu, OpKind::Remu),
+    ];
+    for (f, kind) in cases {
+        assert_eq!(
+            ok(f(10, 20, 30)),
+            Rv32Inst::Op { kind, rd: 10, rs1: 20, rs2: 30 },
+            "{kind:?}"
+        );
+    }
+}
+
+#[test]
+fn system_and_fence_decode() {
+    assert_eq!(ok(enc::fence()), Rv32Inst::Fence);
+    // Any pred/succ combination is still a plain fence.
+    assert_eq!(ok(0x0330_000f), Rv32Inst::Fence);
+    assert_eq!(ok(enc::ebreak()), Rv32Inst::Ebreak);
+}
+
+// -- typed errors -----------------------------------------------------
+
+fn expect_err(word: u32, kind: Unsupported) {
+    assert_eq!(
+        decode(PC, word),
+        Err(DecodeError { pc: PC, word, kind }),
+        "{word:#010x} should be a typed error"
+    );
+}
+
+#[test]
+fn unsupported_encodings_are_typed_errors() {
+    expect_err(0x0000_0073, Unsupported::Ecall);
+    // csrrw x0, mstatus, x1 and csrrs (Zicsr).
+    expect_err(0x3000_9073, Unsupported::Csr { funct3: 1 });
+    expect_err(0x3000_2073, Unsupported::Csr { funct3: 2 });
+    // fence.i (Zifencei).
+    expect_err(0x0000_100f, Unsupported::Fence { funct3: 1 });
+    // ld (RV64-only load, funct3 = 3).
+    expect_err(0x0000_3003, Unsupported::Funct { opcode: 0x03, funct3: 3, funct7: 0 });
+    // sd (RV64-only store, funct3 = 3).
+    expect_err(0x0000_3023, Unsupported::Funct { opcode: 0x23, funct3: 3, funct7: 0 });
+    // Branch funct3 gaps (2 and 3).
+    expect_err(0x0000_2063, Unsupported::Funct { opcode: 0x63, funct3: 2, funct7: 0 });
+    expect_err(0x0000_3063, Unsupported::Funct { opcode: 0x63, funct3: 3, funct7: 0 });
+    // jalr with funct3 != 0.
+    expect_err(0x0000_1067, Unsupported::Funct { opcode: 0x67, funct3: 1, funct7: 0 });
+    // slli with a bad funct7.
+    expect_err(enc::slli(1, 1, 1) | 0x4000_0000, Unsupported::Funct {
+        opcode: 0x13,
+        funct3: 1,
+        funct7: 0x20,
+    });
+    // srxi with a bad funct7.
+    expect_err(enc::srli(1, 1, 1) | 0x0200_0000, Unsupported::Funct {
+        opcode: 0x13,
+        funct3: 5,
+        funct7: 0x01,
+    });
+    // OP with a bad funct7.
+    expect_err(enc::add(1, 2, 3) | 0x0400_0000, Unsupported::Funct {
+        opcode: 0x33,
+        funct3: 0,
+        funct7: 0x02,
+    });
+    // Compressed-looking and plainly unknown opcodes.
+    expect_err(0x0000_0000, Unsupported::Opcode { opcode: 0x00 });
+    expect_err(0xffff_ffff, Unsupported::Opcode { opcode: 0x7f });
+    expect_err(0x0000_002f, Unsupported::Opcode { opcode: 0x2f }); // AMO
+    expect_err(0x0000_0007, Unsupported::Opcode { opcode: 0x07 }); // FLW
+    expect_err(0x0000_0053, Unsupported::Opcode { opcode: 0x53 }); // OP-FP
+}
+
+#[test]
+fn error_carries_faulting_pc_and_word() {
+    let word = 0x0000_0073; // ecall
+    for pc in [0u32, 0x1000, 0xffff_fffc] {
+        let err = decode(pc, word).expect_err("ecall is unsupported");
+        assert_eq!((err.pc, err.word), (pc, word));
+        let msg = err.to_string();
+        assert!(msg.contains(&format!("{pc:#010x}")), "message {msg:?} names the pc");
+        assert!(msg.contains(&format!("{word:#010x}")), "message {msg:?} names the word");
+    }
+}
+
+// -- re-encode round trip ---------------------------------------------
+
+/// Re-encodes a decoded instruction; `None` for shapes whose source
+/// word is not canonical (`fence` ignores pred/succ bits).
+fn reencode(inst: &Rv32Inst) -> Option<u32> {
+    Some(match *inst {
+        Rv32Inst::Lui { rd, imm } => enc::lui(rd, imm as u32),
+        Rv32Inst::Auipc { rd, imm } => enc::auipc(rd, imm as u32),
+        Rv32Inst::Jal { rd, offset } => enc::jal(rd, offset),
+        Rv32Inst::Jalr { rd, rs1, offset } => enc::jalr(rd, rs1, offset),
+        Rv32Inst::Branch { cond, rs1, rs2, offset } => {
+            let f = match cond {
+                BranchCond::Eq => enc::beq,
+                BranchCond::Ne => enc::bne,
+                BranchCond::Lt => enc::blt,
+                BranchCond::Ge => enc::bge,
+                BranchCond::LtU => enc::bltu,
+                BranchCond::GeU => enc::bgeu,
+            };
+            f(rs1, rs2, offset)
+        }
+        Rv32Inst::Load { kind, rd, rs1, offset } => {
+            let f = match kind {
+                LoadKind::Lb => enc::lb,
+                LoadKind::Lh => enc::lh,
+                LoadKind::Lw => enc::lw,
+                LoadKind::Lbu => enc::lbu,
+                LoadKind::Lhu => enc::lhu,
+            };
+            f(rd, offset, rs1)
+        }
+        Rv32Inst::Store { kind, rs1, rs2, offset } => {
+            let f = match kind {
+                StoreKind::Sb => enc::sb,
+                StoreKind::Sh => enc::sh,
+                StoreKind::Sw => enc::sw,
+            };
+            f(rs2, offset, rs1)
+        }
+        Rv32Inst::OpImm { kind, rd, rs1, imm } => match kind {
+            OpImmKind::Addi => enc::addi(rd, rs1, imm),
+            OpImmKind::Slti => enc::slti(rd, rs1, imm),
+            OpImmKind::Sltiu => enc::sltiu(rd, rs1, imm),
+            OpImmKind::Xori => enc::xori(rd, rs1, imm),
+            OpImmKind::Ori => enc::ori(rd, rs1, imm),
+            OpImmKind::Andi => enc::andi(rd, rs1, imm),
+            OpImmKind::Slli => enc::slli(rd, rs1, imm as u8),
+            OpImmKind::Srli => enc::srli(rd, rs1, imm as u8),
+            OpImmKind::Srai => enc::srai(rd, rs1, imm as u8),
+        },
+        Rv32Inst::Op { kind, rd, rs1, rs2 } => {
+            let f = match kind {
+                OpKind::Add => enc::add,
+                OpKind::Sub => enc::sub,
+                OpKind::Sll => enc::sll,
+                OpKind::Slt => enc::slt,
+                OpKind::Sltu => enc::sltu,
+                OpKind::Xor => enc::xor,
+                OpKind::Srl => enc::srl,
+                OpKind::Sra => enc::sra,
+                OpKind::Or => enc::or,
+                OpKind::And => enc::and,
+                OpKind::Mul => enc::mul,
+                OpKind::Mulh => enc::mulh,
+                OpKind::Mulhsu => enc::mulhsu,
+                OpKind::Mulhu => enc::mulhu,
+                OpKind::Div => enc::div,
+                OpKind::Divu => enc::divu,
+                OpKind::Rem => enc::rem,
+                OpKind::Remu => enc::remu,
+            };
+            f(rd, rs1, rs2)
+        }
+        Rv32Inst::Fence => return None,
+        Rv32Inst::Ebreak => enc::ebreak(),
+    })
+}
+
+#[test]
+fn corpus_words_round_trip_through_decode_and_encode() {
+    for entry in sdo_rv32::corpus::CORPUS {
+        for (i, &word) in entry.words.iter().enumerate() {
+            let pc = sdo_rv32::corpus::TEXT_BASE + 4 * i as u32;
+            let inst = decode(pc, word)
+                .unwrap_or_else(|e| panic!("{}: corpus word fails decode: {e}", entry.name));
+            if let Some(back) = reencode(&inst) {
+                assert_eq!(back, word, "{}: {inst:?} re-encodes differently", entry.name);
+            }
+        }
+    }
+}

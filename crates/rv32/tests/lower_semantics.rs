@@ -1,0 +1,274 @@
+//! RV32 semantics through the full decode → lower → interpret chain:
+//! width/sign edge cases of every ALU op, the M-extension division
+//! corner cases the spec pins, `jalr` through the translation table,
+//! and the typed lowering errors.
+
+use sdo_isa::Interpreter;
+use sdo_rv32::enc;
+use sdo_rv32::lower::{translate, LowerErrorKind, TranslateError};
+use sdo_rv32::Rv32Image;
+
+const BASE: u32 = 0x1000;
+const RESULT: u32 = 0x2_0000;
+
+/// An R-type word encoder from `enc`: `(rd, rs1, rs2) -> word`.
+type RTypeEnc = fn(u8, u8, u8) -> u32;
+/// A load word encoder from `enc`: `(rd, offset, rs1) -> word`.
+type LoadEnc = fn(u8, i32, u8) -> u32;
+
+fn image(text: Vec<u32>) -> Rv32Image {
+    Rv32Image { entry: BASE, text_base: BASE, text, data: Vec::new() }
+}
+
+/// Runs `op(a2, a0, a1)` on 32-bit inputs `x`, `y` and returns the
+/// 32-bit result, going through the full chain.
+fn run_op(op: impl Fn(u8, u8, u8) -> u32, x: i32, y: i32) -> u32 {
+    let mut text = Vec::new();
+    text.extend(enc::li(10, x));
+    text.extend(enc::li(11, y));
+    text.push(op(12, 10, 11));
+    text.extend(enc::li(15, RESULT as i32));
+    text.push(enc::sw(12, 0, 15));
+    text.push(enc::ebreak());
+    let program = translate(&image(text), "op_test").expect("tiny program translates");
+    let mut interp = Interpreter::new(&program);
+    interp.run(100).expect("tiny program halts");
+    let a = u64::from(RESULT);
+    u32::from_le_bytes([
+        interp.mem_byte(a),
+        interp.mem_byte(a + 1),
+        interp.mem_byte(a + 2),
+        interp.mem_byte(a + 3),
+    ])
+}
+
+/// RV32 `div` semantics (never traps).
+fn rv_div(x: i32, y: i32) -> i32 {
+    if y == 0 {
+        -1
+    } else if x == i32::MIN && y == -1 {
+        i32::MIN
+    } else {
+        x / y
+    }
+}
+
+/// RV32 `rem` semantics (never traps).
+fn rv_rem(x: i32, y: i32) -> i32 {
+    if y == 0 {
+        x
+    } else if x == i32::MIN && y == -1 {
+        0
+    } else {
+        x % y
+    }
+}
+
+const SAMPLES: &[i32] = &[0, 1, -1, 2, 3, -7, 42, 255, 0x7fff, -0x8000, i32::MAX, i32::MIN];
+
+#[test]
+fn alu_ops_match_rv32_semantics_on_sample_grid() {
+    for &x in SAMPLES {
+        for &y in SAMPLES {
+            let ux = x as u32;
+            let uy = y as u32;
+            let sh = uy & 31;
+            let cases: &[(&str, RTypeEnc, u32)] = &[
+                ("add", enc::add, ux.wrapping_add(uy)),
+                ("sub", enc::sub, ux.wrapping_sub(uy)),
+                ("sll", enc::sll, ux.wrapping_shl(sh)),
+                ("srl", enc::srl, ux.wrapping_shr(sh)),
+                ("sra", enc::sra, (x >> sh) as u32),
+                ("slt", enc::slt, u32::from(x < y)),
+                ("sltu", enc::sltu, u32::from(ux < uy)),
+                ("xor", enc::xor, ux ^ uy),
+                ("or", enc::or, ux | uy),
+                ("and", enc::and, ux & uy),
+                ("mul", enc::mul, ux.wrapping_mul(uy)),
+                ("mulh", enc::mulh, ((i64::from(x) * i64::from(y)) >> 32) as u32),
+                ("mulhsu", enc::mulhsu, ((i64::from(x) * i64::from(uy)) >> 32) as u32),
+                ("mulhu", enc::mulhu, ((u64::from(ux) * u64::from(uy)) >> 32) as u32),
+                ("div", enc::div, rv_div(x, y) as u32),
+                ("rem", enc::rem, rv_rem(x, y) as u32),
+            ];
+            for (name, f, want) in cases {
+                assert_eq!(run_op(f, x, y), *want, "{name}({x}, {y})");
+            }
+            let divu = ux.checked_div(uy).unwrap_or(u32::MAX);
+            assert_eq!(run_op(enc::divu, x, y), divu, "divu({ux}, {uy})");
+            let remu = ux.checked_rem(uy).unwrap_or(ux);
+            assert_eq!(run_op(enc::remu, x, y), remu, "remu({ux}, {uy})");
+        }
+    }
+}
+
+#[test]
+fn division_corner_cases_are_pinned() {
+    assert_eq!(run_op(enc::div, i32::MIN, -1), i32::MIN as u32, "signed overflow");
+    assert_eq!(run_op(enc::rem, i32::MIN, -1), 0);
+    assert_eq!(run_op(enc::div, 7, 0), u32::MAX, "div by zero is -1");
+    assert_eq!(run_op(enc::rem, 7, 0), 7, "rem by zero is the dividend");
+    assert_eq!(run_op(enc::divu, 7, 0), u32::MAX);
+    assert_eq!(run_op(enc::remu, 7, 0), 7);
+}
+
+#[test]
+fn loads_sign_and_zero_extend() {
+    // data: 0xfe at byte 0x10000, 0x8001 halfword at 0x10002,
+    // 0xffff_fffe word at 0x10004.
+    let data = vec![(0x1_0000, vec![0xfe, 0x00, 0x01, 0x80, 0xfe, 0xff, 0xff, 0xff])];
+    let cases: &[(LoadEnc, i32, u32)] = &[
+        (enc::lb, 0, 0xffff_fffe),  // sign-extended byte
+        (enc::lbu, 0, 0xfe),        // zero-extended byte
+        (enc::lh, 2, 0xffff_8001),  // sign-extended halfword
+        (enc::lhu, 2, 0x8001),      // zero-extended halfword
+        (enc::lw, 4, 0xffff_fffe),  // word
+    ];
+    for (f, offset, want) in cases {
+        let mut text = Vec::new();
+        text.extend(enc::li(10, 0x1_0000));
+        text.push(f(12, *offset, 10));
+        text.extend(enc::li(15, RESULT as i32));
+        text.push(enc::sw(12, 0, 15));
+        text.push(enc::ebreak());
+        let mut img = image(text);
+        img.data.clone_from(&data);
+        let program = translate(&img, "load_test").expect("translates");
+        let mut interp = Interpreter::new(&program);
+        interp.run(100).expect("halts");
+        let a = u64::from(RESULT);
+        let got = u32::from_le_bytes([
+            interp.mem_byte(a),
+            interp.mem_byte(a + 1),
+            interp.mem_byte(a + 2),
+            interp.mem_byte(a + 3),
+        ]);
+        assert_eq!(got, *want, "load offset {offset}");
+    }
+}
+
+#[test]
+fn narrow_stores_leave_neighbours_alone() {
+    let mut text = Vec::new();
+    text.extend(enc::li(10, RESULT as i32));
+    text.extend(enc::li(11, -1)); // 0xffffffff
+    text.push(enc::sw(11, 0, 10));
+    text.extend(enc::li(12, 0x42));
+    text.push(enc::sb(12, 1, 10)); // overwrite byte 1 only
+    text.push(enc::ebreak());
+    let program = translate(&image(text), "store_test").expect("translates");
+    let mut interp = Interpreter::new(&program);
+    interp.run(100).expect("halts");
+    let a = u64::from(RESULT);
+    let got = u32::from_le_bytes([
+        interp.mem_byte(a),
+        interp.mem_byte(a + 1),
+        interp.mem_byte(a + 2),
+        interp.mem_byte(a + 3),
+    ]);
+    assert_eq!(got, 0xffff_42ff);
+}
+
+#[test]
+fn jalr_resolves_through_the_translation_table() {
+    // Compute a function pointer with auipc/addi, call through it, and
+    // return: four distinct jalr-table lookups (two calls, two rets).
+    let mut text = Vec::new();
+    text.extend(enc::li(2, 0x8_0000)); // sp
+    text.push(enc::auipc(5, 0)); // t0 = pc (word 1)
+    text.push(enc::addi(5, 5, 24)); // &callee (word 7 = pc + 24)
+    text.push(enc::jalr(1, 5, 0)); // call through the pointer
+    text.extend(enc::li(15, RESULT as i32));
+    text.push(enc::sw(10, 0, 15));
+    text.push(enc::ebreak());
+    // callee: a0 = 0x1234
+    text.extend(enc::li(10, 0x1234));
+    text.push(enc::jalr(0, 1, 0)); // ret
+    let program = translate(&image(text), "jalr_test").expect("translates");
+    let mut interp = Interpreter::new(&program);
+    interp.run(200).expect("halts");
+    let a = u64::from(RESULT);
+    let got = u32::from_le_bytes([
+        interp.mem_byte(a),
+        interp.mem_byte(a + 1),
+        interp.mem_byte(a + 2),
+        interp.mem_byte(a + 3),
+    ]);
+    assert_eq!(got, 0x1234);
+}
+
+#[test]
+fn entry_not_at_text_base_gets_a_prologue_jump() {
+    // Word 0 would clobber a0; the entry skips it.
+    let text = vec![
+        enc::addi(10, 0, 99), // skipped
+        enc::addi(10, 0, 7),
+        enc::ebreak(),
+    ];
+    let img = Rv32Image { entry: BASE + 4, text_base: BASE, text, data: Vec::new() };
+    let program = translate(&img, "entry_test").expect("translates");
+    let mut interp = Interpreter::new(&program);
+    interp.run(100).expect("halts");
+    assert_eq!(interp.reg(sdo_isa::Reg::new(10)), 7);
+}
+
+// -- typed lowering errors --------------------------------------------
+
+fn lower_err(text: Vec<u32>) -> TranslateError {
+    translate(&image(text), "err_test").expect_err("should not translate")
+}
+
+#[test]
+fn reserved_registers_are_rejected_with_pc_and_word() {
+    for (word, reg) in [
+        (enc::addi(3, 0, 1), 3),  // writes x3 (gp)
+        (enc::addi(5, 4, 1), 4),  // reads x4 (tp)
+        (enc::sw(3, 0, 10), 3),   // stores x3
+        (enc::jalr(0, 3, 0), 3),  // jumps through x3
+    ] {
+        let text = vec![enc::addi(0, 0, 0), word, enc::ebreak()];
+        match lower_err(text) {
+            TranslateError::Lower(e) => {
+                assert_eq!(e.kind, LowerErrorKind::ReservedReg { reg });
+                assert_eq!(e.pc, BASE + 4, "faulting pc");
+                assert_eq!(e.word, word, "faulting word");
+            }
+            TranslateError::Decode(e) => panic!("unexpected decode error: {e}"),
+        }
+    }
+}
+
+#[test]
+fn bad_branch_targets_are_rejected() {
+    // Misaligned: a 2-byte branch offset (no C extension here).
+    match lower_err(vec![enc::beq(0, 0, 2), enc::ebreak()]) {
+        TranslateError::Lower(e) => {
+            assert_eq!(e.kind, LowerErrorKind::MisalignedTarget { target: BASE + 2 });
+        }
+        TranslateError::Decode(e) => panic!("unexpected decode error: {e}"),
+    }
+    // Out of text, both directions.
+    match lower_err(vec![enc::jal(0, -8), enc::ebreak()]) {
+        TranslateError::Lower(e) => {
+            assert_eq!(e.kind, LowerErrorKind::TargetOutsideText { target: BASE - 8 });
+        }
+        TranslateError::Decode(e) => panic!("unexpected decode error: {e}"),
+    }
+    match lower_err(vec![enc::bne(1, 2, 1024), enc::ebreak()]) {
+        TranslateError::Lower(e) => {
+            assert_eq!(e.kind, LowerErrorKind::TargetOutsideText { target: BASE + 1024 });
+        }
+        TranslateError::Decode(e) => panic!("unexpected decode error: {e}"),
+    }
+}
+
+#[test]
+fn decode_errors_surface_through_translate() {
+    match lower_err(vec![enc::addi(1, 0, 1), 0x0000_0073, enc::ebreak()]) {
+        TranslateError::Decode(e) => {
+            assert_eq!(e.pc, BASE + 4);
+            assert_eq!(e.word, 0x0000_0073);
+        }
+        TranslateError::Lower(e) => panic!("unexpected lower error: {e}"),
+    }
+}

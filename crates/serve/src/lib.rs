@@ -194,6 +194,7 @@ impl Server {
         let mut accepted = 0usize;
         let mut replies: Vec<Option<Reply>> = Vec::with_capacity(lines.len());
         let mut runs: Vec<AcceptedRun> = Vec::new();
+        let mut grids: Vec<AcceptedGrid> = Vec::new();
         for (i, req) in parsed.into_iter().enumerate() {
             match req {
                 Err(message) => {
@@ -213,7 +214,51 @@ impl Server {
                         replies.push(Some(Reply::Busy { id }));
                     } else {
                         accepted += 1;
-                        runs.push(AcceptedRun { slot: i, id, request, no_cache });
+                        runs.push(AcceptedRun { slot: i, id, request, no_cache, grid: None });
+                        replies.push(None); // filled after execution
+                    }
+                }
+                Ok(Request::Grid { id, request, configs, variants, no_cache }) => {
+                    let points = configs.len() * variants.len();
+                    if id == BATCH_ERROR_ID {
+                        replies.push(Some(Reply::Error {
+                            id: BATCH_ERROR_ID,
+                            message: format!(
+                                "request id {id} is reserved for unattributable errors"
+                            ),
+                        }));
+                    } else if let Err(message) = servable(&request) {
+                        replies.push(Some(Reply::Error { id, message }));
+                    } else if points == 0 {
+                        replies.push(Some(Reply::Error {
+                            id,
+                            message: "grid has no points (empty configs or variants)".to_string(),
+                        }));
+                    } else if accepted + points > self.queue {
+                        // The whole grid counts against the queue bound;
+                        // it is accepted or bounced atomically so a Busy
+                        // grid never half-executes.
+                        replies.push(Some(Reply::Busy { id }));
+                    } else {
+                        accepted += points;
+                        // Expand config-major, variant-minor. Each point
+                        // is the same RunRequest a client would send
+                        // individually (config resolved into the
+                        // request), so its RunKey — and therefore its
+                        // store entry — is identical to the per-point
+                        // equivalent.
+                        for cfg in &configs {
+                            for &v in &variants {
+                                runs.push(AcceptedRun {
+                                    slot: i,
+                                    id,
+                                    request: request.clone().variant(v).config(*cfg),
+                                    no_cache,
+                                    grid: Some(grids.len()),
+                                });
+                            }
+                        }
+                        grids.push(AcceptedGrid { slot: i, id, points });
                         replies.push(None); // filled after execution
                     }
                 }
@@ -230,10 +275,40 @@ impl Server {
             }
         }
 
-        for (slot, id, outcome) in self.execute_runs(&runs) {
-            replies[slot] = Some(match outcome {
-                Ok((result, cached)) => Reply::Result { id, result, cached },
-                Err(message) => Reply::Error { id, message },
+        // Outcomes come back aligned with `runs`: plain runs fill their
+        // reply slot directly, grid points accumulate per grid (the
+        // expansion pushed them contiguously in point order, and the
+        // alignment preserves that order).
+        let mut acc: Vec<Vec<Result<(RunResult, bool), String>>> =
+            grids.iter().map(|g| Vec::with_capacity(g.points)).collect();
+        for (run, outcome) in runs.iter().zip(self.execute_runs(&runs)) {
+            match run.grid {
+                None => {
+                    replies[run.slot] = Some(match outcome {
+                        Ok((result, cached)) => Reply::Result { id: run.id, result, cached },
+                        Err(message) => Reply::Error { id: run.id, message },
+                    });
+                }
+                Some(g) => acc[g].push(outcome),
+            }
+        }
+        for (grid, points) in grids.iter().zip(acc) {
+            let mut results = Vec::with_capacity(points.len());
+            let mut failed = None;
+            for point in points {
+                match point {
+                    Ok(pair) => results.push(pair),
+                    Err(message) => {
+                        // First failing point wins; a grid is all-or-
+                        // nothing so the client can fall back cleanly.
+                        failed = Some(message);
+                        break;
+                    }
+                }
+            }
+            replies[grid.slot] = Some(match failed {
+                Some(message) => Reply::Error { id: grid.id, message },
+                None => Reply::Grid { id: grid.id, results },
             });
         }
         replies.into_iter().flatten().collect()
@@ -242,42 +317,61 @@ impl Server {
     /// Executes the accepted run requests of one batch: store lookups
     /// first, then the remainder fanned out on the warm pool (each
     /// simulation individually panic-guarded), then store writes.
-    /// Returns `(reply slot, request id, result-or-error)` per run.
-    #[allow(clippy::type_complexity)]
-    fn execute_runs(
-        &self,
-        runs: &[AcceptedRun],
-    ) -> Vec<(usize, u64, Result<(RunResult, bool), String>)> {
+    /// Returns one result-or-error per run, aligned with `runs`.
+    fn execute_runs(&self, runs: &[AcceptedRun]) -> Vec<Result<(RunResult, bool), String>> {
         let base = *self.sim.config();
         let keys: Vec<Option<RunKey>> = runs
             .iter()
             .map(|run| cacheable(&run.request, base).then(|| RunKey::of(&run.request, base)))
             .collect();
 
-        let mut out: Vec<(usize, u64, Result<(RunResult, bool), String>)> = Vec::new();
+        let mut out: Vec<Option<Result<(RunResult, bool), String>>> = vec![None; runs.len()];
         let mut todo: Vec<usize> = Vec::new(); // indices into `runs`
         for (j, run) in runs.iter().enumerate() {
             match (&self.store, &keys[j]) {
                 (Some(store), Some(key)) if !run.no_cache => match store.load(key) {
                     Ok(Some(result)) => {
                         self.hits.fetch_add(1, Ordering::Relaxed);
-                        out.push((run.slot, run.id, Ok((result, true))));
+                        out[j] = Some(Ok((result, true)));
                     }
                     Ok(None) => todo.push(j),
-                    Err(e) => out.push((run.slot, run.id, Err(e.to_string()))),
+                    Err(e) => out[j] = Some(Err(e.to_string())),
                 },
                 _ => todo.push(j),
             }
         }
 
+        // Coalesce in-flight duplicates: requests with the same RunKey
+        // in one batch simulate once — the representative runs (and
+        // saves), the duplicates clone its result and count as hits.
+        // `--no-cache` requests opt out and simulate individually, and
+        // uncacheable requests (no key) are never coalesced.
+        let mut unique: Vec<usize> = Vec::new(); // indices into `runs`
+        let mut assign: Vec<(usize, usize)> = Vec::new(); // (runs idx, unique pos)
+        {
+            let mut seen: Vec<(&RunKey, usize)> = Vec::new();
+            for &j in &todo {
+                if let (false, Some(key)) = (runs[j].no_cache, &keys[j]) {
+                    if let Some(&(_, pos)) = seen.iter().find(|(k, _)| *k == key) {
+                        assign.push((j, pos));
+                        continue;
+                    }
+                    seen.push((key, unique.len()));
+                }
+                assign.push((j, unique.len()));
+                unique.push(j);
+            }
+        }
+
         let fresh: Vec<Result<RunResult, String>> = self
             .pool
-            .try_run(&todo, |_, &j| {
+            .try_run(&unique, |_, &j| {
                 Ok::<_, SimError>(self.run_guarded(&runs[j].request))
             })
             .expect("guarded closure never errs");
-        for (&j, outcome) in todo.iter().zip(fresh) {
-            let run = &runs[j];
+        let mut results: Vec<Result<(RunResult, bool), String>> =
+            Vec::with_capacity(unique.len());
+        for (&j, outcome) in unique.iter().zip(fresh) {
             self.misses.fetch_add(1, Ordering::Relaxed);
             let outcome = outcome.and_then(|result| {
                 if let (Some(store), Some(key)) = (&self.store, &keys[j]) {
@@ -285,9 +379,22 @@ impl Server {
                 }
                 Ok((result, false))
             });
-            out.push((run.slot, run.id, outcome));
+            results.push(outcome);
         }
-        out
+        for (j, pos) in assign {
+            let outcome = if unique[pos] == j {
+                results[pos].clone()
+            } else {
+                // Served from the in-flight representative, not the
+                // simulator — a hit, and flagged `cached` like one.
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                results[pos].clone().map(|(result, _)| (result, true))
+            };
+            out[j] = Some(outcome);
+        }
+        out.into_iter()
+            .map(|o| o.expect("every accepted run resolves to exactly one outcome"))
+            .collect()
     }
 
     /// One simulation with the panic boundary drawn *inside* the worker
@@ -365,11 +472,23 @@ fn cacheable(req: &RunRequest, base: SimConfig) -> bool {
 }
 
 /// A run request admitted past the queue bound, with its reply slot in
-/// the batch and its echoed id.
+/// the batch and its echoed id. Grid points carry the index of their
+/// [`AcceptedGrid`] so outcomes accumulate into one `Grid` reply
+/// instead of filling the slot directly.
 #[derive(Debug)]
 struct AcceptedRun {
     slot: usize,
     id: u64,
     request: RunRequest,
     no_cache: bool,
+    grid: Option<usize>,
+}
+
+/// An accepted grid request: one reply slot collecting `points`
+/// expanded runs.
+#[derive(Debug)]
+struct AcceptedGrid {
+    slot: usize,
+    id: u64,
+    points: usize,
 }

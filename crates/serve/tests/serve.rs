@@ -87,6 +87,143 @@ fn run_requests_hit_the_store_on_the_second_pass() {
 }
 
 #[test]
+fn identical_in_flight_requests_simulate_once() {
+    // In-flight coalescing: N identical requests in one batch must cost
+    // exactly one simulation — the duplicates clone the representative's
+    // result (flagged `cached`, counted as hits), even with no store.
+    let server = Server::new(opts(None, 64), JobPool::new(2)).unwrap();
+    let prog = l1_resident(120, 1);
+    let reqs: Vec<Request> = (0..6)
+        .map(|i| Request::Run { id: i, request: RunRequest::program(&prog), no_cache: false })
+        .collect();
+    let replies = drive(&server, &batch(&reqs));
+    assert_eq!(replies.len(), 6, "one reply per request");
+    let Reply::Result { id: 0, cached: false, result: first } = &replies[0] else {
+        panic!("representative simulates, got {:?}", replies[0]);
+    };
+    for (i, reply) in replies.iter().enumerate().skip(1) {
+        let Reply::Result { id, cached, result } = reply else {
+            panic!("expected a result, got {reply:?}");
+        };
+        assert_eq!(*id, i as u64, "replies in request order");
+        assert!(cached, "duplicate is served from the in-flight representative");
+        assert_eq!(result, first, "coalesced result is byte-identical");
+    }
+    assert_eq!(server.misses(), 1, "6 identical requests => 1 simulation");
+    assert_eq!(server.hits(), 5, "the 5 duplicates count as hits");
+
+    // Distinct keys in the same batch still simulate individually...
+    let mut mixed: Vec<Request> = Vec::new();
+    for (i, &v) in Variant::ALL.iter().enumerate() {
+        for k in 0..2 {
+            mixed.push(Request::Run {
+                id: 100 + 2 * i as u64 + k,
+                request: RunRequest::program(&prog).variant(v),
+                no_cache: false,
+            });
+        }
+    }
+    let replies = drive(&server, &batch(&mixed));
+    assert_eq!(replies.len(), mixed.len());
+    assert_eq!(
+        server.misses(),
+        1 + Variant::ALL.len() as u64,
+        "one simulation per distinct variant"
+    );
+
+    // ...and `no_cache` opts a request out of coalescing entirely.
+    let fresh: Vec<Request> = (0..3)
+        .map(|i| Request::Run { id: 200 + i, request: RunRequest::program(&prog), no_cache: true })
+        .collect();
+    let before = server.misses();
+    drive(&server, &batch(&fresh));
+    assert_eq!(server.misses(), before + 3, "no_cache duplicates each simulate");
+}
+
+#[test]
+fn grid_requests_expand_server_side_and_share_the_store() {
+    let dir = temp_dir("grid");
+    let server = Server::new(opts(Some(dir.clone()), 64), JobPool::new(2)).unwrap();
+    let prog = l1_resident(120, 1);
+    let mut wide = SimConfig::tiny();
+    wide.core.rob_entries *= 2;
+    let configs = vec![SimConfig::tiny(), wide];
+    let variants = vec![Variant::Unsafe, Variant::SttLd];
+
+    // One grid line; one Grid reply carrying configs × variants results
+    // in config-major, variant-minor order — every point simulated.
+    let grid = Request::Grid {
+        id: 0,
+        request: RunRequest::program(&prog),
+        configs: configs.clone(),
+        variants: variants.clone(),
+        no_cache: false,
+    };
+    let replies = drive(&server, &batch(&[grid]));
+    assert_eq!(replies.len(), 1, "a grid is one request, one reply");
+    let Reply::Grid { id: 0, results } = &replies[0] else {
+        panic!("expected a grid reply, got {:?}", replies[0]);
+    };
+    assert_eq!(results.len(), configs.len() * variants.len());
+    assert!(results.iter().all(|(_, cached)| !cached), "cold grid simulates every point");
+    assert_eq!(server.misses(), results.len() as u64);
+
+    // Each expanded point carries the RunKey of the equivalent
+    // individual request, so per-point runs are now pure store hits.
+    let mut points: Vec<Request> = Vec::new();
+    for &cfg in &configs {
+        for &v in &variants {
+            points.push(Request::Run {
+                id: points.len() as u64,
+                request: RunRequest::program(&prog).variant(v).config(cfg),
+                no_cache: false,
+            });
+        }
+    }
+    let replies = drive(&server, &batch(&points));
+    for ((grid_result, _), reply) in results.iter().zip(&replies) {
+        let Reply::Result { cached: true, result, .. } = reply else {
+            panic!("per-point rerun must hit the grid's store entry, got {reply:?}");
+        };
+        assert_eq!(result, grid_result, "store round-trip is byte-identical");
+    }
+    assert_eq!(server.hits(), points.len() as u64);
+
+    // A pointless grid is a typed error, not a zero-length reply.
+    let empty = Request::Grid {
+        id: 9,
+        request: RunRequest::program(&prog),
+        configs: vec![],
+        variants: variants.clone(),
+        no_cache: false,
+    };
+    let replies = drive(&server, &batch(&[empty]));
+    let Reply::Error { id: 9, message } = &replies[0] else {
+        panic!("empty grid must be refused, got {:?}", replies[0]);
+    };
+    assert!(message.contains("no points"), "got '{message}'");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn grid_wider_than_the_queue_is_bounced_whole() {
+    // queue = 3 but the grid expands to 4 points: accepted atomically or
+    // not at all, so the client can fall back to per-point submission.
+    let server = Server::new(opts(None, 3), JobPool::serial()).unwrap();
+    let prog = l1_resident(60, 1);
+    let grid = Request::Grid {
+        id: 5,
+        request: RunRequest::program(&prog),
+        configs: vec![SimConfig::tiny(), SimConfig::tiny()],
+        variants: vec![Variant::Unsafe, Variant::SttLd],
+        no_cache: false,
+    };
+    let replies = drive(&server, &batch(&[grid]));
+    assert!(matches!(replies[0], Reply::Busy { id: 5 }), "got {:?}", replies[0]);
+    assert_eq!(server.misses(), 0, "a bounced grid executes nothing");
+}
+
+#[test]
 fn queue_bound_bounces_the_overflow_with_busy() {
     let server = Server::new(opts(None, 2), JobPool::serial()).unwrap();
     let prog = l1_resident(60, 1);
@@ -293,5 +430,63 @@ fn socket_transport_serves_the_runner_client() {
         stream.write_all(format!("{}\n\n", Request::Shutdown.render()).as_bytes()).unwrap();
     });
     assert!(!std::path::Path::new(&sock).exists(), "socket file is removed on shutdown");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sensitivity_sweep_through_the_daemon_is_byte_identical() {
+    use sdo_harness::experiments::sensitivity_for_with_metrics;
+    use sdo_workloads::Workload;
+
+    let dir = temp_dir("grid-sweep");
+    let sock = format!("{}/sock", temp_dir("grid-sweep-path"));
+    std::fs::create_dir_all(std::path::Path::new(&sock).parent().unwrap()).unwrap();
+    // Daemon base deliberately differs from the client's: the grid's
+    // points carry explicit configs built from the CLIENT base, so the
+    // daemon base must never leak into the sweep.
+    let server =
+        Server::new(ServeOptions { store: Some(dir.clone()), queue: 64, base: SimConfig::table_i() }, JobPool::new(2))
+            .unwrap();
+
+    std::thread::scope(|scope| {
+        let server = &server;
+        let sock_path = sock.clone();
+        scope.spawn(move || server.serve_socket(&sock_path).expect("socket serve succeeds"));
+        for _ in 0..200 {
+            if std::path::Path::new(&sock).exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        let kernel = Workload::new("l1_resident", l1_resident(120, 1));
+        let local = Runner::local(SimConfig::tiny());
+        let (reference, ref_metrics) =
+            sensitivity_for_with_metrics(&local, &kernel, &JobPool::serial()).unwrap();
+
+        // The whole sweep rides ONE grid request line: every point
+        // simulates daemon-side, and the rendered report is
+        // byte-identical to the in-process one.
+        let client = Runner::server(SimConfig::tiny(), &sock);
+        let (remote, remote_metrics) =
+            sensitivity_for_with_metrics(&client, &kernel, &JobPool::serial()).unwrap();
+        assert_eq!(remote, reference, "daemon-served sensitivity report diverged");
+        assert_eq!(remote_metrics.to_json(), ref_metrics.to_json());
+        let points = client.hits() + client.misses();
+        assert_eq!(server.misses(), points, "cold sweep simulated every grid point");
+        assert!(points > 0);
+
+        // A warm rerun is a pure cache pass: zero daemon simulations,
+        // still byte-identical.
+        let warm = Runner::server(SimConfig::tiny(), &sock);
+        let (rewarm, _) = sensitivity_for_with_metrics(&warm, &kernel, &JobPool::serial()).unwrap();
+        assert_eq!(rewarm, reference);
+        assert_eq!(warm.misses(), 0, "warm sweep executed zero simulations");
+        assert_eq!(warm.hits(), points);
+
+        use std::io::Write;
+        let mut stream = std::os::unix::net::UnixStream::connect(&sock).unwrap();
+        stream.write_all(format!("{}\n\n", Request::Shutdown.render()).as_bytes()).unwrap();
+    });
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -857,6 +857,8 @@ impl Core {
     fn load_value_for_width(word: u64, width: u64) -> u64 {
         match width {
             1 => word & 0xff,
+            2 => word & 0xffff,
+            4 => word & 0xffff_ffff,
             _ => word,
         }
     }

@@ -1,0 +1,30 @@
+//! Secret-swap checking of the RV32 corpus gadget: a *compiled*
+//! Spectre-v1 victim (translated from real RV32 machine code) must
+//! leak through the cache on the unprotected core and be secret-swap
+//! indistinguishable under every variant whose policy closes the cache
+//! channel.
+
+use sdo_harness::Variant;
+use sdo_uarch::AttackModel;
+use sdo_verify::Checker;
+use sdo_workloads::rv32_litmus_cases;
+
+#[test]
+fn rv32_gadget_leaks_on_unsafe_and_is_closed_where_policy_says_so() {
+    let checker = Checker::new();
+    let cases = rv32_litmus_cases();
+    let case = cases.iter().find(|c| c.name == "rv32_gadget").expect("gadget case");
+
+    let unsafe_o = checker.check_case(case, Variant::Unsafe, AttackModel::Spectre).unwrap();
+    assert!(unsafe_o.expected_divergence, "policy: cache is open under Unsafe");
+    assert!(unsafe_o.divergence.is_some(), "the compiled gadget must actually leak");
+    assert!(unsafe_o.passed(), "{}", unsafe_o.describe());
+
+    for variant in [Variant::SttLd, Variant::Hybrid] {
+        let o = checker.check_case(case, variant, AttackModel::Spectre).unwrap();
+        assert!(!o.expected_divergence, "{variant:?}: policy closes the cache channel");
+        assert!(o.divergence.is_none(), "{variant:?}: secret must be indistinguishable");
+        assert!(o.violations.is_empty(), "{variant:?}: oracle clean: {}", o.describe());
+        assert!(o.passed(), "{variant:?}: {}", o.describe());
+    }
+}

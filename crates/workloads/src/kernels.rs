@@ -683,6 +683,7 @@ pub fn workload_class(name: &str) -> &'static str {
         "ptr_chase" | "hash_lookup" | "phase_shift" => "dram_bound",
         "mix_branchy" => "branchy",
         "fp_subnormal" => "fp",
+        n if n.starts_with("rv32_") => crate::rv32::rv32_class(n),
         _ => "cache_resident",
     }
 }
