@@ -9,19 +9,38 @@
 //! analyzer's "clean" verdicts against the dynamic secret-swap checker
 //! over `N` fuzzed litmus specs.
 //!
+//! `--scan` switches to the binary-scanner mode: positional arguments
+//! are RV32 images (flat binaries at the corpus text base, or static
+//! ELF32 — sniffed by magic), defaulting to the in-tree corpus. Each
+//! image is lowered with provenance, scanned interprocedurally
+//! ([`sdo_analyze::scan_program`]), and every gadget chain is reported
+//! with RV32 addresses, projected per variant through the shared
+//! suppression table. Corpus entries with an annotated secret are
+//! replayed under the dynamic secret-swap checker: each reported
+//! gadget is classified CONFIRMED or OVER-APPROX, and a statically
+//! clean (entry, variant) that diverges dynamically is an *unsound*
+//! disagreement. `--bench-out <path>` updates the `scan` section of a
+//! `BENCH_suite.json` with the measured insts/s.
+//!
 //! Exit status is 1 when the static view contradicts itself or the
 //! dynamic ground truth: a pinned corpus expectation mismatch, a gating
 //! finding on a channel the policy says the variant closes, or a
-//! static↔dynamic differential disagreement.
+//! static↔dynamic differential disagreement (fuzzed-spec or gadget
+//! replay).
 
 use sdo_analyze::corpus::{analyze_all, default_targets, findings_under, Target, TargetReport};
 use sdo_analyze::differential;
 use sdo_analyze::findings::{closed_channel_findings, findings_csv};
+use sdo_analyze::scan::{gadgets_csv, scan_program, Gadget, ScanResult};
 use sdo_analyze::Finding;
 use sdo_harness::cli::{parse_variant, BinSpec, CommonArgs, CsvSupport};
+use sdo_harness::export::{with_scan_section, ScanBench};
 use sdo_harness::table::TextTable;
 use sdo_harness::{SimConfig, Variant};
-use sdo_uarch::MetricsSnapshot;
+use sdo_isa::Program;
+use sdo_rv32::{load_elf32, load_flat, translate_with_provenance, Provenance};
+use sdo_uarch::{AttackModel, MetricsSnapshot};
+use sdo_verify::replay::{classify_gadget, replay_divergence};
 use sdo_verify::Checker;
 use sdo_workloads::Channel;
 
@@ -43,6 +62,13 @@ const SPEC: BinSpec = BinSpec {
         ("--variant <name>", "classify under one variant (repeatable; default: all)"),
         ("--report <dir>", "write findings (and counterexamples) as JSONL under <dir>"),
         ("--differential <N>", "cross-check N fuzzed specs against the dynamic checker"),
+        (
+            "--scan",
+            "binary-scanner mode: positional args are RV32 images (flat or ELF32; \
+             default: the in-tree corpus); reports gadget chains with RV32 addresses \
+             and replays annotated gadgets dynamically",
+        ),
+        ("--bench-out <path>", "(scan mode) update the scan section of a BENCH_suite.json"),
     ],
 };
 
@@ -52,6 +78,8 @@ fn main() {
     let mut report_dir: Option<String> = None;
     let mut differential_count: Option<usize> = None;
     let mut files: Vec<String> = Vec::new();
+    let mut scan_mode = false;
+    let mut bench_out: Option<String> = None;
 
     let mut it = args.rest.iter();
     while let Some(arg) = it.next() {
@@ -65,6 +93,8 @@ fn main() {
                 variants.push(parse_variant(&v).unwrap_or_else(|e| SPEC.usage_error(&e)));
             }
             "--report" => report_dir = Some(value("--report")),
+            "--scan" => scan_mode = true,
+            "--bench-out" => bench_out = Some(value("--bench-out")),
             "--differential" => {
                 let v = value("--differential");
                 differential_count =
@@ -77,6 +107,8 @@ fn main() {
                     variants.push(parse_variant(v).unwrap_or_else(|e| SPEC.usage_error(&e)));
                 } else if let Some(v) = other.strip_prefix("--report=") {
                     report_dir = Some(v.to_string());
+                } else if let Some(v) = other.strip_prefix("--bench-out=") {
+                    bench_out = Some(v.to_string());
                 } else if let Some(v) = other.strip_prefix("--differential=") {
                     differential_count = Some(v.parse().unwrap_or_else(|_| {
                         SPEC.usage_error(&format!("--differential expects a count, got '{v}'"))
@@ -91,6 +123,14 @@ fn main() {
     }
     if variants.is_empty() {
         variants = Variant::ALL.to_vec();
+    }
+
+    if scan_mode {
+        run_scan(&args, &variants, &files, report_dir.as_deref(), bench_out.as_deref());
+        return;
+    }
+    if bench_out.is_some() {
+        SPEC.usage_error("--bench-out requires --scan");
     }
 
     let targets = if files.is_empty() { default_targets() } else { load_files(&files) };
@@ -160,6 +200,228 @@ fn main() {
     }
 }
 
+/// One binary to scan: a lowered program plus its provenance.
+struct ScanTarget {
+    name: String,
+    program: Program,
+    prov: Provenance,
+}
+
+/// Loads the scan target set: the given image files (ELF32 by magic,
+/// flat binaries at the corpus text base otherwise) or, with none, the
+/// whole in-tree RV32 corpus.
+fn load_scan_targets(files: &[String]) -> Vec<ScanTarget> {
+    if files.is_empty() {
+        return sdo_rv32::corpus::CORPUS
+            .iter()
+            .map(|e| {
+                let (program, prov) = translate_with_provenance(&e.image(), e.name)
+                    .expect("corpus entries are pinned translatable");
+                ScanTarget { name: e.name.to_string(), program, prov }
+            })
+            .collect();
+    }
+    files
+        .iter()
+        .map(|path| {
+            let bytes = std::fs::read(path)
+                .unwrap_or_else(|e| SPEC.runtime_error(&format!("cannot read {path}: {e}")));
+            let image = if bytes.starts_with(b"\x7fELF") {
+                load_elf32(&bytes)
+            } else {
+                load_flat(&bytes, sdo_rv32::corpus::TEXT_BASE)
+            }
+            .unwrap_or_else(|e| SPEC.runtime_error(&format!("{path}: {e}")));
+            let name =
+                path.rsplit('/').next().unwrap_or(path).trim_end_matches(".bin").to_string();
+            let (program, prov) = translate_with_provenance(&image, &name)
+                .unwrap_or_else(|e| SPEC.runtime_error(&format!("{path}: {e}")));
+            ScanTarget { name, program, prov }
+        })
+        .collect()
+}
+
+/// The binary-scanner mode: scan every target, report gadget chains
+/// per variant, replay annotated corpus gadgets dynamically, and exit
+/// 1 on any unsound (statically clean, dynamically divergent)
+/// disagreement.
+fn run_scan(
+    args: &CommonArgs,
+    variants: &[Variant],
+    files: &[String],
+    report_dir: Option<&str>,
+    bench_out: Option<&str>,
+) {
+    let targets = load_scan_targets(files);
+    let start = std::time::Instant::now();
+    let scans: Vec<ScanResult> =
+        args.pool.run(&targets, |_, t| scan_program(&t.program, &t.prov));
+    let elapsed = start.elapsed();
+
+    let gadgets: Vec<Gadget> = scans
+        .iter()
+        .flat_map(|s| variants.iter().flat_map(|&v| s.gadgets_for(v)))
+        .collect();
+    let total_insts: usize = scans.iter().map(|s| s.analysis.insts).sum();
+    let total_chains: usize = scans.iter().map(ScanResult::chain_count).sum();
+
+    if args.csv.is_some() {
+        print!("{}", gadgets_csv(&gadgets));
+    } else {
+        print!("{}", scan_table(&targets, &scans));
+        eprintln!(
+            "scanned {} binarie(s), {} insts in {:.1} ms ({} jobs): {} chain(s), \
+             {} projected gadget(s) across {} variant(s)",
+            scans.len(),
+            total_insts,
+            elapsed.as_secs_f64() * 1e3,
+            args.pool.jobs(),
+            total_chains,
+            gadgets.len(),
+            variants.len(),
+        );
+    }
+
+    // Static↔dynamic gadget differential over the annotated corpus
+    // cases present in the target set. The secretless kernels cannot
+    // be replayed (nothing to swap) — their zero-chain claim is
+    // covered by the pinned expectations in litmus mode instead.
+    let cases = sdo_workloads::rv32_litmus_cases();
+    let mut confirmed = 0usize;
+    let mut overapprox = 0usize;
+    let mut unsound: Vec<String> = Vec::new();
+    let checker = Checker::with_config(args.sim_config(SimConfig::table_i()));
+    for (t, scan) in targets.iter().zip(&scans) {
+        let Some(case) = cases.iter().find(|c| c.name == t.name) else { continue };
+        for &v in variants {
+            let statically_flagged = !scan.gadgets_for(v).is_empty();
+            if statically_flagged {
+                match classify_gadget(&checker, case, v, AttackModel::Spectre) {
+                    Ok(r) => {
+                        eprintln!(
+                            "scan-differential: {} under {}: {}",
+                            t.name,
+                            v.slug(),
+                            r.verdict.wire_name()
+                        );
+                        match r.verdict {
+                            sdo_verify::GadgetVerdict::Confirmed => confirmed += 1,
+                            sdo_verify::GadgetVerdict::OverApprox => overapprox += 1,
+                        }
+                    }
+                    Err(e) => eprintln!(
+                        "scan-differential: {} under {}: replay failed: {e}",
+                        t.name,
+                        v.slug()
+                    ),
+                }
+            } else {
+                match replay_divergence(&checker, case, v, AttackModel::Spectre) {
+                    Ok(true) => unsound.push(format!(
+                        "{} under {}: statically clean but secret-swap divergent",
+                        t.name,
+                        v.slug()
+                    )),
+                    Ok(false) => {}
+                    Err(e) => eprintln!(
+                        "scan-differential: {} under {}: replay failed: {e}",
+                        t.name,
+                        v.slug()
+                    ),
+                }
+            }
+        }
+    }
+    eprintln!(
+        "scan-differential: {confirmed} CONFIRMED, {overapprox} OVER-APPROX, {} unsound \
+         disagreement(s)",
+        unsound.len()
+    );
+    for u in &unsound {
+        eprintln!("scan-differential: UNSOUND: {u}");
+    }
+
+    if let Some(dir) = report_dir {
+        if let Err(e) = write_scan_report(dir, &gadgets) {
+            SPEC.runtime_error(&format!("cannot write report under {dir}: {e}"));
+        }
+    }
+    if let Some(path) = bench_out {
+        let bench = ScanBench {
+            programs: scans.len() as u64,
+            insts: total_insts as u64,
+            chains: total_chains as u64,
+            wall: elapsed,
+        };
+        let existing = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
+        if let Err(e) = std::fs::write(path, with_scan_section(&existing, &bench)) {
+            SPEC.runtime_error(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!(
+            "scan bench: {} insts in {:.1} ms = {:.0} insts/s -> {path}",
+            bench.insts,
+            bench.wall.as_secs_f64() * 1e3,
+            bench.insts_per_sec(),
+        );
+    }
+
+    args.write_metrics(&SPEC, &scan_metrics(&scans, &gadgets, confirmed, overapprox, &unsound));
+    if !unsound.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+fn scan_table(targets: &[ScanTarget], scans: &[ScanResult]) -> String {
+    let mut t = TextTable::new(
+        ["program", "insts", "blocks", "functions", "calls", "chains", "cache", "fp"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for (target, s) in targets.iter().zip(scans) {
+        t.row(vec![
+            target.name.clone(),
+            s.analysis.insts.to_string(),
+            s.analysis.blocks.to_string(),
+            s.functions.to_string(),
+            s.call_sites.to_string(),
+            s.chain_count().to_string(),
+            s.analysis.transmits_via(Channel::Cache).to_string(),
+            s.analysis.transmits_via(Channel::FpTiming).to_string(),
+        ]);
+    }
+    t.render()
+}
+
+fn write_scan_report(dir: &str, gadgets: &[Gadget]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let lines: String = gadgets.iter().map(|g| g.to_jsonl() + "\n").collect();
+    std::fs::write(format!("{dir}/gadgets.jsonl"), lines)?;
+    std::fs::write(format!("{dir}/gadgets.csv"), gadgets_csv(gadgets))?;
+    Ok(())
+}
+
+fn scan_metrics(
+    scans: &[ScanResult],
+    gadgets: &[Gadget],
+    confirmed: usize,
+    overapprox: usize,
+    unsound: &[String],
+) -> MetricsSnapshot {
+    let mut m = MetricsSnapshot::new();
+    m.add("scan.programs", scans.len() as u64);
+    for s in scans {
+        m.add("scan.insts", s.analysis.insts as u64);
+        m.add("scan.functions", s.functions as u64);
+        m.add("scan.call_sites", s.call_sites as u64);
+        m.add("scan.chains", s.chain_count() as u64);
+    }
+    m.add("scan.gadgets", gadgets.len() as u64);
+    m.add("scan.confirmed", confirmed as u64);
+    m.add("scan.overapprox", overapprox as u64);
+    m.add("scan.unsound", unsound.len() as u64);
+    m
+}
+
 /// Parses each `.s` file into an unannotated [`Target`], printing the
 /// position-rich [`sdo_isa::ParseError`] and exiting 1 on failure.
 fn load_files(files: &[String]) -> Vec<Target> {
@@ -175,7 +437,7 @@ fn load_files(files: &[String]) -> Vec<Target> {
             } else {
                 program.name().to_string()
             };
-            Target { name, program, expect: None }
+            Target { name, program, expect: None, prov: None }
         })
         .collect()
 }

@@ -29,7 +29,7 @@
 //! direction.
 
 use sdo_isa::{Instruction, Program};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Identifies a basic block; the virtual exit node is [`Cfg::exit`]
 /// (one past the last real block).
@@ -72,9 +72,28 @@ pub struct Cfg {
 }
 
 impl Cfg {
-    /// Builds the CFG (blocks, edges, post-dominators) of `program`.
+    /// Builds the CFG (blocks, edges, post-dominators) of `program`,
+    /// with every indirect jump over-approximated by the return-point
+    /// table.
     #[must_use]
     pub fn build(program: &Program) -> Cfg {
+        Cfg::build_inner(program, None)
+    }
+
+    /// [`Cfg::build`] with *resolved* indirect-jump successors: for
+    /// every `Jalr` pc present in `jalr_succs`, its successor set is
+    /// exactly the given instruction indices instead of the global
+    /// return-point heuristic. The binary scanner derives this map
+    /// from the RV32 call graph ([`crate::callgraph`]): a return
+    /// `jalr` edges to its callers' return points, an indirect call
+    /// edges to the known function entries. `Jalr`s absent from the
+    /// map keep the conservative fallback.
+    #[must_use]
+    pub fn build_with_jalr_targets(program: &Program, jalr_succs: &BTreeMap<u64, Vec<u64>>) -> Cfg {
+        Cfg::build_inner(program, Some(jalr_succs))
+    }
+
+    fn build_inner(program: &Program, jalr_succs: Option<&BTreeMap<u64, Vec<u64>>>) -> Cfg {
         let insts = program.instructions();
         let n = insts.len();
         if n == 0 {
@@ -112,6 +131,13 @@ impl Cfg {
                 leaders.insert(t);
             }
         }
+        if let Some(map) = jalr_succs {
+            for t in map.values().flatten() {
+                if *t < n as u64 {
+                    leaders.insert(*t);
+                }
+            }
+        }
 
         let starts: Vec<u64> = leaders.into_iter().collect();
         let nb = starts.len();
@@ -144,7 +170,11 @@ impl Cfg {
                     succs.insert(block_or_exit(target));
                 }
                 Instruction::Jalr { .. } => {
-                    if ret_points.is_empty() {
+                    if let Some(targets) = jalr_succs.and_then(|m| m.get(&term)) {
+                        for &t in targets {
+                            succs.insert(block_or_exit(t));
+                        }
+                    } else if ret_points.is_empty() {
                         succs.extend(0..nb);
                     } else {
                         for &t in &ret_points {

@@ -7,9 +7,11 @@
 //! the analyzer or the programs turn CI red.
 
 use crate::findings::{findings_for, Finding};
+use crate::scan::scan_program;
 use crate::taint::{analyze, Analysis};
 use sdo_harness::{JobPool, Variant};
 use sdo_isa::Program;
+use sdo_rv32::Provenance;
 use sdo_workloads::litmus::StaticExpect;
 use sdo_workloads::Channel;
 
@@ -22,6 +24,11 @@ pub struct Target {
     pub program: Program,
     /// Pinned static verdict, `None` for unannotated targets.
     pub expect: Option<StaticExpect>,
+    /// Lowering provenance for translated RV32 targets: present means
+    /// the target is analyzed in the binary-scanner configuration
+    /// (interprocedural CFG + region memory) instead of the litmus
+    /// one.
+    pub prov: Option<Provenance>,
 }
 
 /// The default target set: the 4-case litmus corpus (secret 0 — the
@@ -36,6 +43,7 @@ pub fn default_targets() -> Vec<Target> {
             name: case.name.to_string(),
             program: (case.build)(0),
             expect: Some(case.expect),
+            prov: None,
         });
     }
     for w in sdo_workloads::suite() {
@@ -44,13 +52,17 @@ pub fn default_targets() -> Vec<Target> {
             name: name.clone(),
             expect: sdo_workloads::kernels::kernel_expect(&name),
             program: w.into_program(),
+            prov: None,
         });
     }
     for e in sdo_rv32::corpus::CORPUS {
+        let (program, prov) = sdo_rv32::translate_with_provenance(&e.image(), e.name)
+            .expect("corpus entries are pinned translatable");
         out.push(Target {
             name: e.name.to_string(),
-            program: e.with_secret(0),
+            program,
             expect: sdo_workloads::rv32_expect(e.name),
+            prov: Some(prov),
         });
     }
     out
@@ -96,10 +108,15 @@ fn check_expect(analysis: &Analysis, expect: &StaticExpect) -> Vec<String> {
     out
 }
 
-/// Analyzes one target and checks its pinned expectation.
+/// Analyzes one target and checks its pinned expectation. Targets
+/// carrying lowering provenance go through the binary-scanner
+/// configuration ([`scan_program`]); the rest keep the litmus one.
 #[must_use]
 pub fn analyze_target(t: &Target) -> TargetReport {
-    let analysis = analyze(&t.program);
+    let analysis = match &t.prov {
+        Some(prov) => scan_program(&t.program, prov).analysis,
+        None => analyze(&t.program),
+    };
     let mismatches = t.expect.as_ref().map_or_else(Vec::new, |e| check_expect(&analysis, e));
     TargetReport { name: t.name.clone(), analysis, mismatches }
 }

@@ -98,14 +98,111 @@ impl Finding {
             join_u64(&self.branches, ","),
         )
     }
+
+    /// Parses one line produced by [`Finding::to_jsonl`] — the same
+    /// round-trip contract `sdo_verify::Counterexample` has had since
+    /// PR 3, so report files are machine-consumable, not write-only.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    pub fn parse_jsonl(line: &str) -> Result<Finding, String> {
+        let program = str_field(line, "program")?;
+        let variant = parse_variant(&str_field(line, "variant")?)?;
+        let kind_s = str_field(line, "kind")?;
+        let kind = [
+            FindingKind::PotentialTransmitGadget,
+            FindingKind::TaintedTraining,
+            FindingKind::DeadUntaint,
+        ]
+        .into_iter()
+        .find(|k| k.wire_name() == kind_s)
+        .ok_or_else(|| format!("unknown kind {kind_s:?}"))?;
+        let pc = int_field(line, "pc")?;
+        let channel = opt_channel_field(line)?;
+        let inst = str_field(line, "inst")?;
+        let sources = int_list_field(line, "sources")?;
+        let branches = int_list_field(line, "branches")?;
+        Ok(Finding { program, variant, kind, pc, channel, inst, sources, branches })
+    }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn join_u64(xs: &[u64], sep: &str) -> String {
+pub(crate) fn join_u64(xs: &[u64], sep: &str) -> String {
     xs.iter().map(u64::to_string).collect::<Vec<_>>().join(sep)
+}
+
+/// Extracts and unescapes a `"key":"value"` string field, honoring
+/// backslash escapes in the value (so fields before the last are safe
+/// even when the disassembly ever grows a quote).
+pub(crate) fn str_field(line: &str, key: &str) -> Result<String, String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat).ok_or_else(|| format!("missing field {key:?}"))? + pat.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next() {
+                Some(e) => out.push(e),
+                None => return Err(format!("dangling escape in field {key:?}")),
+            },
+            '"' => return Ok(out),
+            _ => out.push(c),
+        }
+    }
+    Err(format!("unterminated field {key:?}"))
+}
+
+/// Extracts a bare-integer `"key":N` field.
+pub(crate) fn int_field(line: &str, key: &str) -> Result<u64, String> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat).ok_or_else(|| format!("missing field {key:?}"))? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).ok_or_else(|| format!("unterminated field {key:?}"))?;
+    rest[..end].trim().parse().map_err(|e| format!("bad integer for {key:?}: {e}"))
+}
+
+/// Extracts a `"key":[1,2,...]` integer-array field.
+pub(crate) fn int_list_field(line: &str, key: &str) -> Result<Vec<u64>, String> {
+    let pat = format!("\"{key}\":[");
+    let start = line.find(&pat).ok_or_else(|| format!("missing field {key:?}"))? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find(']').ok_or_else(|| format!("unterminated field {key:?}"))?;
+    let body = &rest[..end];
+    if body.is_empty() {
+        return Ok(Vec::new());
+    }
+    body.split(',')
+        .map(|x| x.trim().parse().map_err(|e| format!("bad integer in {key:?}: {e}")))
+        .collect()
+}
+
+/// Parses a variant slug back into a [`Variant`].
+pub(crate) fn parse_variant(s: &str) -> Result<Variant, String> {
+    Variant::ALL
+        .into_iter()
+        .find(|v| v.slug() == s)
+        .ok_or_else(|| format!("unknown variant {s:?}"))
+}
+
+/// Parses a channel wire name back into a [`Channel`].
+pub(crate) fn parse_channel(s: &str) -> Result<Channel, String> {
+    [Channel::Cache, Channel::FpTiming]
+        .into_iter()
+        .find(|c| channel_name(*c) == s)
+        .ok_or_else(|| format!("unknown channel {s:?}"))
+}
+
+/// Extracts the nullable `"channel":` field (string wire name or
+/// `null`).
+pub(crate) fn opt_channel_field(line: &str) -> Result<Option<Channel>, String> {
+    if line.contains("\"channel\":null") {
+        return Ok(None);
+    }
+    parse_channel(&str_field(line, "channel")?).map(Some)
 }
 
 /// Stable channel wire name shared by JSONL and CSV.
@@ -118,9 +215,11 @@ pub fn channel_name(ch: Channel) -> &'static str {
 }
 
 /// Whether `variant`'s protection mechanism suppresses transmissions
-/// on `channel` — the static mirror of `sdo_verify::policy::closes`
-/// (a channel is suppressed exactly when the policy calls it closed;
-/// asserted for every pair in tests).
+/// on `channel`. This is `sdo_verify::policy::closes` — the shared,
+/// exhaustively-matched suppression table — not a hand-mirrored copy:
+/// the static and dynamic layers consume one table, so adding a
+/// variant breaks the build in `policy.rs` rather than silently
+/// desynchronizing the two.
 ///
 /// * `SttLd`/`SttLdFp` delay tainted loads until the visibility
 ///   point, so a tainted address never reaches the cache. `SttLdFp`
@@ -132,10 +231,7 @@ pub fn channel_name(ch: Channel) -> &'static str {
 ///   access is secret-dependent — so cache findings are kept.
 #[must_use]
 pub fn mechanism_suppresses(variant: Variant, channel: Channel) -> bool {
-    match channel {
-        Channel::Cache => !matches!(variant, Variant::Unsafe | Variant::Perfect),
-        Channel::FpTiming => !matches!(variant, Variant::Unsafe | Variant::SttLd),
-    }
+    sdo_verify::policy::closes(variant, channel)
 }
 
 /// Classifies a taint [`Analysis`] under one protection variant.
@@ -284,5 +380,54 @@ mod tests {
         assert!(line.contains("\"sources\":[3,4]"));
         let none = Finding { channel: None, ..f };
         assert!(none.to_jsonl().contains("\"channel\":null"));
+    }
+
+    #[test]
+    fn jsonl_round_trips_byte_identical() {
+        // The PR 3 counterexample contract, applied to findings: parse
+        // then re-serialize must reproduce the input byte-for-byte.
+        let analysis = crate::taint::analyze(&(sdo_workloads::CORPUS[0].build)(0));
+        let mut seen = 0;
+        for v in Variant::ALL {
+            for f in findings_for(&analysis, v) {
+                let line = f.to_jsonl();
+                let parsed = Finding::parse_jsonl(&line).expect("parse");
+                assert_eq!(parsed, f);
+                assert_eq!(parsed.to_jsonl(), line);
+                seen += 1;
+            }
+        }
+        assert!(seen > 0, "corpus produced no findings to round-trip");
+    }
+
+    #[test]
+    fn jsonl_parse_handles_escapes_and_empty_lists() {
+        let f = Finding {
+            program: "a\"b\\c".into(),
+            variant: Variant::Hybrid,
+            kind: FindingKind::DeadUntaint,
+            pc: 0,
+            channel: None,
+            inst: "ld \"r1\"".into(),
+            sources: Vec::new(),
+            branches: Vec::new(),
+        };
+        let parsed = Finding::parse_jsonl(&f.to_jsonl()).expect("parse");
+        assert_eq!(parsed, f);
+        assert!(Finding::parse_jsonl("{}").is_err());
+        assert!(Finding::parse_jsonl("{\"type\":\"finding\",\"program\":\"p\"").is_err());
+    }
+
+    #[test]
+    fn jsonl_serialization_is_deterministic() {
+        let analysis = crate::taint::analyze(&(sdo_workloads::CORPUS[0].build)(0));
+        let render = || {
+            findings_for(&analysis, Variant::Unsafe)
+                .iter()
+                .map(Finding::to_jsonl)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(render(), render());
     }
 }

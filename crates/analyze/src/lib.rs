@@ -35,12 +35,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod callgraph;
 pub mod cfg;
 pub mod corpus;
 pub mod differential;
 pub mod findings;
+pub mod memory;
+pub mod scan;
 pub mod taint;
 
 pub use cfg::{Block, BlockId, Cfg};
 pub use findings::{findings_csv, findings_for, Finding, FindingKind};
-pub use taint::{analyze, Analysis};
+pub use memory::{AbsMem, MemModel, Val};
+pub use scan::{scan_program, Gadget, ScanResult};
+pub use taint::{analyze, analyze_with, Analysis};

@@ -31,9 +31,15 @@
 //! store-to-load paths through *disjoint* addresses are still merged).
 
 use crate::cfg::{BlockId, Cfg};
+use crate::memory::{fold_alu, AbsMem, MemModel, Val};
 use sdo_isa::{Instruction, Program, Reg, NUM_FREGS, NUM_REGS};
 use sdo_workloads::Channel;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Load offsets at or above this are reads of the `jalr` translation
+/// table the RV32 frontend materializes ([`sdo_rv32::TABLE_BASE`]):
+/// a lowering artifact, not a program memory access.
+const TABLE_OFFSET: i64 = sdo_rv32::TABLE_BASE as i64;
 
 /// Abstract taint of one value: which pending branches its root
 /// accesses are speculative under, and which access pcs produced it.
@@ -54,13 +60,13 @@ impl Taint {
         !self.branches.is_empty()
     }
 
-    fn join(&mut self, other: &Taint) {
+    pub(crate) fn join(&mut self, other: &Taint) {
         self.branches.extend(other.branches.iter().copied());
         self.sources.extend(other.sources.iter().copied());
     }
 
     /// Removes a resolved branch; an emptied value is fully untainted.
-    fn resolve(&mut self, b: BlockId) {
+    pub(crate) fn resolve(&mut self, b: BlockId) {
         self.branches.remove(&b);
         if self.branches.is_empty() {
             self.sources.clear();
@@ -75,16 +81,28 @@ pub struct AbsState {
     pub pending: BTreeSet<BlockId>,
     regs: Vec<Taint>,
     fregs: Vec<Taint>,
-    mem: Taint,
+    mem: AbsMem,
+    /// Abstract register values, for address classification. Tracked
+    /// only under [`MemModel::Regions`]; stays all-bottom under
+    /// `OneCell` so the old lattice's fixpoint is bit-identical.
+    vals: Vec<Val>,
 }
 
 impl AbsState {
-    fn bottom() -> AbsState {
+    fn bottom(model: MemModel) -> AbsState {
+        let mut vals = vec![if model == MemModel::Regions { Val::Top } else { Val::Bot }; NUM_REGS];
+        if model == MemModel::Regions {
+            // x0 is hardwired zero; x2 is the RV32 stack pointer — its
+            // entry value anchors the sp-relative region.
+            vals[0] = Val::Cst(0);
+            vals[2] = Val::SpRel(0);
+        }
         AbsState {
             pending: BTreeSet::new(),
             regs: vec![Taint::default(); NUM_REGS],
             fregs: vec![Taint::default(); NUM_FREGS],
-            mem: Taint::default(),
+            mem: AbsMem::bottom(model),
+            vals,
         }
     }
 
@@ -98,6 +116,9 @@ impl AbsState {
             a.join(b);
         }
         self.mem.join(&other.mem);
+        for (a, &b) in self.vals.iter_mut().zip(&other.vals) {
+            *a = a.join(b);
+        }
         *self != before
     }
 
@@ -117,6 +138,21 @@ impl AbsState {
 
     fn reg(&self, r: Reg) -> &Taint {
         &self.regs[r.index()]
+    }
+
+    /// Abstract value of `r` (`x0` is always exactly zero).
+    fn val(&self, r: Reg) -> Val {
+        if r.is_zero() {
+            Val::Cst(0)
+        } else {
+            self.vals[r.index()]
+        }
+    }
+
+    fn set_val(&mut self, r: Reg, v: Val) {
+        if !r.is_zero() {
+            self.vals[r.index()] = v;
+        }
     }
 }
 
@@ -233,10 +269,18 @@ impl Sink {
 }
 
 /// Runs the taint fixpoint over `program` and classifies every
-/// instruction.
+/// instruction, under PR 5's one-cell memory lattice and the
+/// intraprocedural CFG — the litmus-checker configuration.
 #[must_use]
 pub fn analyze(program: &Program) -> Analysis {
-    let cfg = Cfg::build(program);
+    analyze_with(program, &Cfg::build(program), MemModel::OneCell)
+}
+
+/// Runs the taint fixpoint over `program` with an explicit CFG (the
+/// binary scanner passes the interprocedural one built over the `jalr`
+/// translation table) and memory model.
+#[must_use]
+pub fn analyze_with(program: &Program, cfg: &Cfg, model: MemModel) -> Analysis {
     let insts = program.instructions();
     let cond_branches = insts.iter().filter(|i| i.is_cond_branch()).count();
 
@@ -245,14 +289,14 @@ pub fn analyze(program: &Program) -> Analysis {
     let mut visits = 0usize;
 
     if nb > 0 {
-        inputs[cfg.block_of(0)] = Some(AbsState::bottom());
+        inputs[cfg.block_of(0)] = Some(AbsState::bottom(model));
         let mut worklist: BTreeSet<BlockId> = BTreeSet::new();
         worklist.insert(cfg.block_of(0));
         while let Some(&b) = worklist.iter().next() {
             worklist.remove(&b);
             visits += 1;
             let Some(input) = inputs[b].clone() else { continue };
-            let out = transfer_block(&cfg, insts, b, input, None);
+            let out = transfer_block(cfg, insts, b, input, None);
             for &s in &cfg.blocks()[b].succs {
                 if s == cfg.exit() {
                     continue;
@@ -276,7 +320,7 @@ pub fn analyze(program: &Program) -> Analysis {
     let mut sink = Sink::default();
     for (b, input) in inputs.iter().enumerate() {
         if let Some(input) = input.clone() {
-            transfer_block(&cfg, insts, b, input, Some(&mut sink));
+            transfer_block(cfg, insts, b, input, Some(&mut sink));
         }
     }
 
@@ -362,28 +406,46 @@ fn transfer_inst(
         src_taint.join(s.reg(r));
     }
 
+    let track_vals = s.mem.model() == MemModel::Regions;
     match *inst {
-        Instruction::Alu { dst, .. } | Instruction::AluImm { dst, .. } => {
+        Instruction::Alu { op, dst, lhs, rhs } => {
+            if track_vals {
+                let v = fold_alu(op, s.val(lhs), s.val(rhs));
+                s.set_val(dst, v);
+            }
             set_reg(s, dst, src_taint);
         }
-        Instruction::Li { dst, .. } => {
+        Instruction::AluImm { op, dst, src, imm } => {
+            if track_vals {
+                let v = fold_alu(op, s.val(src), Val::Cst(imm));
+                s.set_val(dst, v);
+            }
+            set_reg(s, dst, src_taint);
+        }
+        Instruction::Li { dst, imm } => {
+            if track_vals {
+                s.set_val(dst, Val::Cst(imm));
+            }
             set_reg(s, dst, Taint::default());
         }
-        Instruction::Load { dst, base, .. } => {
-            let t = load_result(s, base, pc, block, Channel::Cache, sink);
+        Instruction::Load { dst, base, offset, .. } => {
+            let t = load_result(s, base, offset, pc, block, Channel::Cache, sink);
+            if track_vals {
+                s.set_val(dst, Val::Top);
+            }
             set_reg(s, dst, t);
         }
-        Instruction::FLoad { dst, base, .. } => {
-            let t = load_result(s, base, pc, block, Channel::Cache, sink);
+        Instruction::FLoad { dst, base, offset, .. } => {
+            let t = load_result(s, base, offset, pc, block, Channel::Cache, sink);
             s.fregs[dst.index()] = t;
         }
-        Instruction::Store { src, base, .. } => {
+        Instruction::Store { src, base, offset, .. } => {
             let data = s.reg(src).clone();
-            store_effect(s, base, &data, pc, sink);
+            store_effect(s, base, offset, &data, pc, sink);
         }
-        Instruction::FStore { src, base, .. } => {
+        Instruction::FStore { src, base, offset, .. } => {
             let data = s.fregs[src.index()].clone();
-            store_effect(s, base, &data, pc, sink);
+            store_effect(s, base, offset, &data, pc, sink);
         }
         Instruction::Branch { .. } => {
             if let Some(sink) = sink {
@@ -397,6 +459,9 @@ fn transfer_inst(
         }
         Instruction::Jal { dst, .. } => {
             if !dst.is_zero() {
+                if track_vals {
+                    s.set_val(dst, Val::Top);
+                }
                 set_reg(s, dst, Taint::default());
             }
         }
@@ -410,6 +475,9 @@ fn transfer_inst(
                 }
             }
             if !dst.is_zero() {
+                if track_vals {
+                    s.set_val(dst, Val::Top);
+                }
                 set_reg(s, dst, Taint::default());
             }
         }
@@ -427,6 +495,9 @@ fn transfer_inst(
         }
         Instruction::FMvToInt { dst, src } => {
             let t = s.fregs[src.index()].clone();
+            if track_vals {
+                s.set_val(dst, Val::Top);
+            }
             set_reg(s, dst, t);
         }
         Instruction::FMvFromInt { dst, src } => {
@@ -444,25 +515,34 @@ fn set_reg(s: &mut AbsState, r: Reg, t: Taint) {
 
 /// Taint of a load's result, with transmitter/root reporting: a load
 /// with a tainted address transmits through the cache; a load under a
-/// non-empty pending set is a new taint root.
+/// non-empty pending set is a new taint root. Loads of the `jalr`
+/// translation table (offset at or above [`TABLE_OFFSET`]) read a
+/// static lowering artifact: their result carries only the address
+/// operand's taint and they are never roots.
 fn load_result(
     s: &AbsState,
     base: Reg,
+    offset: i64,
     pc: u64,
     _block: BlockId,
     channel: Channel,
     sink: Option<&mut Sink>,
 ) -> Taint {
     let base_t = s.reg(base).clone();
+    let table = offset >= TABLE_OFFSET;
     let mut t = base_t.clone();
-    t.join(&s.mem);
-    let speculative = !s.pending.is_empty();
+    if !table {
+        t.join(&s.mem.load(s.val(base).offset(offset)));
+    }
+    let speculative = !table && !s.pending.is_empty();
     if speculative {
         t.branches.extend(s.pending.iter().copied());
         t.sources.insert(pc);
     }
     if let Some(sink) = sink {
         if base_t.is_tainted() {
+            // Even a table load with a tainted index is a real cache
+            // transmitter: the accessed table line depends on the data.
             sink.transmit(pc, channel, &base_t);
             // The access itself reached an observable: whatever happens
             // to its *result*, it is not dead protection work.
@@ -476,9 +556,16 @@ fn load_result(
 }
 
 /// Abstract store: a tainted address transmits through the cache; the
-/// (single-cell) memory joins the stored data's taint; either way the
-/// involved access roots are "used", not dead.
-fn store_effect(s: &mut AbsState, base: Reg, data: &Taint, pc: u64, sink: Option<&mut Sink>) {
+/// region the effective address falls in joins the stored data's
+/// taint; either way the involved access roots are "used", not dead.
+fn store_effect(
+    s: &mut AbsState,
+    base: Reg,
+    offset: i64,
+    data: &Taint,
+    pc: u64,
+    sink: Option<&mut Sink>,
+) {
     let addr_t = s.reg(base).clone();
     if let Some(sink) = sink {
         if addr_t.is_tainted() {
@@ -488,7 +575,8 @@ fn store_effect(s: &mut AbsState, base: Reg, data: &Taint, pc: u64, sink: Option
             sink.escape(data);
         }
     }
-    s.mem.join(data);
+    let addr = s.val(base).offset(offset);
+    s.mem.store(addr, data);
 }
 
 #[cfg(test)]

@@ -1,0 +1,102 @@
+//! Region-memory refinement property: the region-partitioned abstract
+//! memory ([`MemModel::Regions`]) must never report taint the one-cell
+//! lattice misses — it is a *refinement* (fewer false positives, no
+//! new reachability), so soundness relative to the PR 5 lattice is
+//! machine-checked rather than argued.
+//!
+//! Checked over the fuzzed `LitmusSpec` population (the same generator
+//! the dynamic campaign uses) and the translated RV32 corpus, under
+//! the *same* CFG for both models so the comparison isolates the
+//! memory lattice.
+
+use sdo_analyze::cfg::Cfg;
+use sdo_analyze::{analyze_with, Analysis, MemModel};
+use sdo_verify::fuzz::LitmusSpec;
+use std::collections::BTreeSet;
+
+const SEEDS: u64 = 40;
+
+/// Site sets of an analysis, as comparable pc sets.
+fn sites(a: &Analysis) -> (BTreeSet<u64>, BTreeSet<u64>, BTreeSet<u64>) {
+    (
+        a.transmits.iter().map(|t| t.pc).collect(),
+        a.trainings.iter().map(|t| t.pc).collect(),
+        a.dead.iter().map(|d| d.pc).collect(),
+    )
+}
+
+fn assert_refines(name: &str, refined: &Analysis, coarse: &Analysis) {
+    let (rt, rr, _) = sites(refined);
+    let (ct, cr, _) = sites(coarse);
+    assert!(
+        rt.is_subset(&ct),
+        "{name}: regions reports transmit pcs {:?} the one-cell lattice misses",
+        rt.difference(&ct).collect::<Vec<_>>()
+    );
+    assert!(
+        rr.is_subset(&cr),
+        "{name}: regions reports training pcs {:?} the one-cell lattice misses",
+        rr.difference(&cr).collect::<Vec<_>>()
+    );
+    // Speculative roots depend on pending sets, not memory: identical.
+    assert_eq!(
+        refined.speculative_accesses, coarse.speculative_accesses,
+        "{name}: root count must not depend on the memory model"
+    );
+    // Per-site taint provenance is also a subset: on sites both models
+    // flag, every source/branch the refined model blames must be one
+    // the coarse model blames too.
+    for r in &refined.transmits {
+        if let Some(c) = coarse.transmits.iter().find(|c| c.pc == r.pc) {
+            let rs: BTreeSet<u64> = r.sources.iter().copied().collect();
+            let cs: BTreeSet<u64> = c.sources.iter().copied().collect();
+            assert!(rs.is_subset(&cs), "{name}: pc {}: sources {rs:?} ⊄ {cs:?}", r.pc);
+            let rb: BTreeSet<u64> = r.branches.iter().copied().collect();
+            let cb: BTreeSet<u64> = c.branches.iter().copied().collect();
+            assert!(rb.is_subset(&cb), "{name}: pc {}: branches {rb:?} ⊄ {cb:?}", r.pc);
+        }
+    }
+}
+
+#[test]
+fn regions_refine_one_cell_on_fuzzed_litmus_specs() {
+    let mut checked = 0u64;
+    for seed in 0..SEEDS {
+        let spec = LitmusSpec::generate(seed);
+        let program = spec.build(0);
+        let cfg = Cfg::build(&program);
+        let refined = analyze_with(&program, &cfg, MemModel::Regions);
+        let coarse = analyze_with(&program, &cfg, MemModel::OneCell);
+        assert_refines(&spec.name(), &refined, &coarse);
+        checked += 1;
+    }
+    assert!(checked >= 25, "property needs at least 25 seeds, ran {checked}");
+}
+
+#[test]
+fn regions_refine_one_cell_on_the_rv32_corpus() {
+    for entry in sdo_rv32::corpus::CORPUS {
+        let (program, prov) =
+            sdo_rv32::translate_with_provenance(&entry.image(), entry.name).expect("translates");
+        let cg = sdo_analyze::callgraph::build(&program, &prov);
+        let cfg = Cfg::build_with_jalr_targets(&program, &cg.jalr_succs);
+        let refined = analyze_with(&program, &cfg, MemModel::Regions);
+        let coarse = analyze_with(&program, &cfg, MemModel::OneCell);
+        assert_refines(entry.name, &refined, &coarse);
+    }
+}
+
+#[test]
+fn one_cell_path_is_bit_identical_to_the_litmus_configuration() {
+    // `analyze` (the litmus checker) and `analyze_with(OneCell)` over
+    // the default CFG must agree exactly: the scanner refactor may not
+    // perturb the pinned PR 5 behaviour.
+    for seed in 0..5 {
+        let program = LitmusSpec::generate(seed).build(0);
+        let cfg = Cfg::build(&program);
+        assert_eq!(
+            sdo_analyze::analyze(&program),
+            analyze_with(&program, &cfg, MemModel::OneCell)
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Decode→lower→scan goldens: the full binary pipeline — raw RV32
+//! words through the translator, callgraph recovery, region-memory
+//! taint, and chain extraction — pinned byte-for-byte at the report
+//! layer. Any drift in instruction lowering, provenance mapping, or
+//! chain extraction shows up here as a changed RV32 address.
+
+use sdo_analyze::scan::{gadgets_csv, scan_program};
+use sdo_harness::Variant;
+
+/// The exact gadget line the scanner must emit for the compiled
+/// Spectre-v1 binary under the Unsafe variant.
+const GADGET_JSONL: &str = concat!(
+    r#"{"type":"gadget","program":"rv32_gadget","variant":"unsafe","channel":"cache","#,
+    r#""access_pc":4248,"transmit_pc":4260,"pending_branch":4240,"witness_path":[4248,4260]}"#
+);
+
+fn scan(name: &str) -> sdo_analyze::ScanResult {
+    let entry = sdo_rv32::corpus::entry(name).expect("corpus entry");
+    let (program, prov) =
+        sdo_rv32::translate_with_provenance(&entry.image(), entry.name).expect("translates");
+    scan_program(&program, &prov)
+}
+
+#[test]
+fn gadget_binary_jsonl_is_pinned_byte_for_byte() {
+    let result = scan("rv32_gadget");
+    let gadgets = result.gadgets_for(Variant::Unsafe);
+    assert_eq!(gadgets.len(), 1, "exactly one chain under Unsafe");
+    assert_eq!(gadgets[0].to_jsonl(), GADGET_JSONL);
+    // And the pinned line survives its own parser.
+    let parsed = sdo_analyze::Gadget::parse_jsonl(GADGET_JSONL).expect("parses");
+    assert_eq!(parsed.to_jsonl(), GADGET_JSONL);
+}
+
+#[test]
+fn gadget_binary_csv_is_pinned() {
+    let result = scan("rv32_gadget");
+    let csv = gadgets_csv(&result.gadgets_for(Variant::Unsafe));
+    assert_eq!(
+        csv,
+        "program,variant,channel,access_pc,transmit_pc,pending_branch,witness\n\
+         rv32_gadget,unsafe,cache,4248,4260,4240,4248+4260\n"
+    );
+}
+
+#[test]
+fn gadget_addresses_decode_to_the_expected_instructions() {
+    // The pinned addresses must point at the instructions the chain
+    // claims: both loads and the bounds check, straight from the
+    // corpus words.
+    let entry = sdo_rv32::corpus::entry("rv32_gadget").expect("corpus entry");
+    let base = sdo_rv32::corpus::TEXT_BASE;
+    let word_at = |pc: u64| {
+        let idx = (u32::try_from(pc).expect("fits") - base) / 4;
+        entry.words[idx as usize]
+    };
+    // 0x1098 / 0x10a4: lbu (opcode 0x03, funct3 0b100).
+    for pc in [4248u64, 4260] {
+        let w = word_at(pc);
+        assert_eq!(w & 0x7f, 0x03, "pc {pc:#x} is a load");
+        assert_eq!((w >> 12) & 0x7, 0b100, "pc {pc:#x} is lbu");
+    }
+    // 0x1090: bgeu (opcode 0x63, funct3 0b111) — the bounds check.
+    let w = word_at(4240);
+    assert_eq!(w & 0x7f, 0x63, "pc 0x1090 is a branch");
+    assert_eq!((w >> 12) & 0x7, 0b111, "pc 0x1090 is bgeu");
+}
+
+#[test]
+fn kernel_binaries_scan_clean_across_all_variants() {
+    for name in ["rv32_crc32", "rv32_matmul", "rv32_sort", "rv32_strsearch"] {
+        let result = scan(name);
+        assert_eq!(result.chain_count(), 0, "{name} must have no gadget chains");
+        assert!(result.gadgets_all_variants().is_empty(), "{name} reports gadgets");
+    }
+}

@@ -22,6 +22,12 @@
 //!   `Unsupported` error naming the pc and word. A wildcard arm is how
 //!   an unimplemented encoding silently decodes as something else —
 //!   the budget is 0 and stays 0.
+//! * **no-trunc-cast** — no truncating `as` casts (`as u8`/`u16`/
+//!   `u32`/`i8`/`i16`/`i32`) in the RV32 lowering pass or the
+//!   analyzer's abstract-memory module: width discipline (the sext32
+//!   invariant, `i64` effective addresses) is exactly where a silent
+//!   truncation breaks soundness. Use the from_le_bytes helpers or
+//!   `i64::from` widenings instead — the budget is 0 and stays 0.
 //!
 //! The allowlist pins the *current* count per (file, rule). The check
 //! is a ratchet in both directions: exceeding the budget fails (fix
@@ -47,6 +53,18 @@ const EXHAUSTIVE_MATCH: &[&str] = &[
 /// Decoder files where every `_ =>` arm is forbidden (budget 0): an
 /// encoding either decodes or becomes a typed `Unsupported` error.
 const DECODER_WILDCARD: &[&str] = &["crates/rv32/src/decode.rs"];
+
+/// Width-discipline files where truncating `as` casts are forbidden
+/// (budget 0): the lowering pass keeps every RV32 register
+/// sign-extended to 64 bits and the abstract memory keys regions off
+/// exact `i64` offsets — one silent `as u32` breaks either invariant.
+const NO_TRUNC_CAST: &[&str] =
+    &["crates/rv32/src/lower.rs", "crates/analyze/src/memory.rs"];
+
+/// Truncating cast patterns (64-bit and pointer-width targets are
+/// fine; narrowing ones are not).
+const TRUNC_CAST_PATTERNS: &[&str] =
+    &["as u8", "as u16", "as u32", "as i8", "as i16", "as i32"];
 
 /// Per-cycle engine files where heap allocation is forbidden outside
 /// the cold-path functions below.
@@ -192,6 +210,52 @@ fn percycle_alloc_hits(text: &str) -> Vec<(usize, String)> {
     out
 }
 
+/// Truncating-cast hits in non-test, non-comment lines, word-bounded
+/// on both sides (so `bias u8` or `as usize` never match).
+fn trunc_cast_hits(text: &str) -> Vec<usize> {
+    let boundary = |c: Option<char>| !c.is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let mut out = Vec::new();
+    for (n, line) in non_test_lines(text) {
+        for p in TRUNC_CAST_PATTERNS {
+            for (idx, _) in line.match_indices(p) {
+                let before = line[..idx].chars().next_back();
+                let after = line[idx + p.len()..].chars().next();
+                if boundary(before) && boundary(after) {
+                    out.push(n);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn width_discipline_files_have_no_truncating_casts_beyond_budget() {
+    let root = workspace_root();
+    let mut failures = Vec::new();
+    for path in NO_TRUNC_CAST {
+        let text = std::fs::read_to_string(root.join(path)).expect(path);
+        let hits = trunc_cast_hits(&text);
+        let allowed = budget(path, "no-trunc-cast");
+        if hits.len() > allowed {
+            failures.push(format!(
+                "{path}: truncating casts at lines {hits:?} ({} > budget {allowed}) — \
+                 use the as_signed/as_unsigned/sext32 from_le_bytes helpers or an \
+                 infallible From widening; a silent truncation here breaks the \
+                 sext32 / region-offset invariant",
+                hits.len()
+            ));
+        } else if hits.len() < allowed {
+            failures.push(format!(
+                "{path}: {} truncating casts but budget is {allowed} — lower the budget \
+                 in lint_allowlist.txt so the improvement sticks",
+                hits.len()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
 #[test]
 fn percycle_engine_files_do_not_allocate_beyond_budget() {
     let root = workspace_root();
@@ -328,6 +392,9 @@ fn allowlist_entries_reference_linted_files() {
             "decoder-wildcard" => {
                 assert!(DECODER_WILDCARD.contains(&path), "stale entry: {line}");
             }
+            "no-trunc-cast" => {
+                assert!(NO_TRUNC_CAST.contains(&path), "stale entry: {line}");
+            }
             other => panic!("unknown rule '{other}' in allowlist line: {line}"),
         }
         assert!(workspace_root().join(path).exists(), "allowlisted file missing: {path}");
@@ -399,6 +466,22 @@ fn hot(&self) -> fn(&mut B) -> &mut u32 {
 }
 ";
         assert_eq!(percycle_alloc_hits(ptr).len(), 1);
+    }
+
+    #[test]
+    fn trunc_cast_detector_is_word_bounded() {
+        let text = "\
+fn f(x: u64) -> u32 {
+    let a = x as u32; // flagged
+    let b = x as u64; // widening target: fine
+    let c = x as usize; // pointer width: fine
+    let d = alias_u8(x); // identifier containing the letters: fine
+}
+";
+        assert_eq!(trunc_cast_hits(text), vec![2]);
+        // Comment-only lines are dropped before matching.
+        let commented = "// let a = x as u32;\nlet b = y as i16;\n";
+        assert_eq!(trunc_cast_hits(commented), vec![2]);
     }
 
     #[test]

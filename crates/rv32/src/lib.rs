@@ -45,4 +45,7 @@ pub mod lower;
 pub use corpus::CorpusEntry;
 pub use decode::{decode, DecodeError, Rv32Inst, Unsupported};
 pub use loader::{load_elf32, load_flat, to_elf32, LoadError, Rv32Image};
-pub use lower::{translate, LowerError, LowerErrorKind, TranslateError, TABLE_BASE};
+pub use lower::{
+    translate, translate_with_provenance, CallSite, LowerError, LowerErrorKind, Provenance,
+    TranslateError, TABLE_BASE,
+};

@@ -125,8 +125,22 @@ impl From<LowerError> for TranslateError {
     }
 }
 
+/// Bit-exact `u32` → `i32` reinterpretation. The lint ratchet bans
+/// truncating `as` casts in this file (width discipline is exactly
+/// where a silent `as u32` breaks the sext32 invariant), so the two
+/// reinterpretations are spelled as byte-level round-trips, which are
+/// lossless by construction.
+fn as_signed(x: u32) -> i32 {
+    i32::from_le_bytes(x.to_le_bytes())
+}
+
+/// Bit-exact `i32` → `u32` reinterpretation (see [`as_signed`]).
+fn as_unsigned(x: i32) -> u32 {
+    u32::from_le_bytes(x.to_le_bytes())
+}
+
 fn sext32(x: u32) -> i64 {
-    i64::from(x as i32)
+    i64::from(as_signed(x))
 }
 
 /// Maps an RV32 register index to a mini-ISA register, rejecting the
@@ -199,7 +213,7 @@ fn resolve_target(
     text_base: u32,
     starts: &[u64],
 ) -> Result<u64, LowerError> {
-    let target = pc.wrapping_add(offset as u32);
+    let target = pc.wrapping_add(as_unsigned(offset));
     if !target.is_multiple_of(4) {
         return Err(LowerError { pc, word, kind: LowerErrorKind::MisalignedTarget { target } });
     }
@@ -231,7 +245,7 @@ fn emit(
         }
         Rv32Inst::Auipc { rd, imm } => {
             let rd = map_reg(pc, word, rd)?;
-            out.push(Instruction::Li { dst: rd, imm: sext32(pc.wrapping_add(imm as u32)) });
+            out.push(Instruction::Li { dst: rd, imm: sext32(pc.wrapping_add(as_unsigned(imm))) });
         }
         Rv32Inst::Jal { rd, offset } => {
             let target = resolve_target(pc, word, offset, text_base, starts)?;
@@ -386,6 +400,66 @@ fn emit(
     Ok(())
 }
 
+/// One RV32 call site in a translated program, as seen at the µop
+/// level. Calls are recognised by the standard RISC-V link convention:
+/// any `jal`/`jalr` that writes a non-zero link register is a call, and
+/// execution resumes at the instruction after it when the callee
+/// returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    /// µop index of the transfer itself (the `Jal`/`Jalr` µop, not the
+    /// first µop of the lowered sequence).
+    pub uop: u64,
+    /// µop index execution resumes at after the callee returns (the
+    /// value the link register holds, translated to µop space).
+    pub return_to: u64,
+    /// Callee entry µop for direct calls (`jal ra, f`); `None` for
+    /// indirect calls through `jalr`.
+    pub target: Option<u64>,
+    /// RV32 byte address of the call instruction.
+    pub pc: u32,
+}
+
+/// The pc-provenance side table of a translation: enough structure for
+/// a consumer (the `sdo-analyze` binary scanner) to map µop findings
+/// back to *original RV32 addresses* and to rebuild the program's call
+/// graph without re-decoding the image.
+///
+/// Contract: `pc_of.len() == program.instructions().len()`; every µop
+/// emitted for the RV32 instruction at byte address `A` maps to `A`
+/// (the entry-prologue jump, which has no source instruction, maps to
+/// the entry address it jumps to). `calls`, `returns` and
+/// `table_loads` are strictly increasing µop indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// RV32 byte address of the source instruction, per µop.
+    pub pc_of: Vec<u32>,
+    /// µop start index of each RV32 instruction, in text order
+    /// (the translation-table payload, kept here for direct lookup).
+    pub starts: Vec<u64>,
+    /// Base byte address of the text segment.
+    pub text_base: u32,
+    /// Every call site, in µop order.
+    pub calls: Vec<CallSite>,
+    /// µop indices of return `Jalr`s (`jalr x0, 0(ra)`), in µop order.
+    pub returns: Vec<u64>,
+    /// µop indices of the translation-table `Load`s emitted by `jalr`
+    /// lowering. These read the static table at [`TABLE_BASE`] — a
+    /// translation artifact, not a program memory access.
+    pub table_loads: Vec<u64>,
+    /// µop index of the image entry point.
+    pub entry: u64,
+}
+
+impl Provenance {
+    /// RV32 byte address of the instruction that produced µop `uop`
+    /// (`None` for out-of-range indices).
+    #[must_use]
+    pub fn rv32_pc(&self, uop: u64) -> Option<u32> {
+        usize::try_from(uop).ok().and_then(|i| self.pc_of.get(i)).copied()
+    }
+}
+
 /// Translates a loaded RV32 image into an `sdo_isa::Program` named
 /// `name`.
 ///
@@ -399,11 +473,26 @@ fn emit(
 /// A typed [`TranslateError`] for any word that does not decode as
 /// RV32I+M or cannot be lowered (reserved register, bad branch target).
 pub fn translate(image: &Rv32Image, name: &str) -> Result<Program, TranslateError> {
+    translate_with_provenance(image, name).map(|(p, _)| p)
+}
+
+/// [`translate`], additionally returning the [`Provenance`] side table
+/// that maps µops back to RV32 byte addresses and records the
+/// program's call/return structure.
+///
+/// # Errors
+///
+/// Same as [`translate`].
+pub fn translate_with_provenance(
+    image: &Rv32Image,
+    name: &str,
+) -> Result<(Program, Provenance), TranslateError> {
     // Pass 1: decode every word and lay out µop start indices.
     let mut decoded = Vec::with_capacity(image.text.len());
-    for (i, &word) in image.text.iter().enumerate() {
-        let pc = image.text_base.wrapping_add(4 * i as u32);
+    let mut pc = image.text_base;
+    for &word in &image.text {
         decoded.push(decode::decode(pc, word)?);
+        pc = pc.wrapping_add(4);
     }
     if !image.entry.is_multiple_of(4) {
         return Err(LowerError {
@@ -429,16 +518,52 @@ pub fn translate(image: &Rv32Image, name: &str) -> Result<Program, TranslateErro
         starts.push(at);
         at += cost(inst);
     }
+    let entry_uop = starts[entry_idx as usize];
 
-    // Pass 2: emit, with byte targets patched to µop indices.
+    // Pass 2: emit, with byte targets patched to µop indices, recording
+    // the provenance rows as each instruction lands.
     let mut insts = Vec::with_capacity(at as usize);
+    let mut pc_of = Vec::with_capacity(at as usize);
+    let mut calls = Vec::new();
+    let mut returns = Vec::new();
+    let mut table_loads = Vec::new();
     if prologue == 1 {
-        insts.push(Instruction::Jal { dst: Reg::ZERO, target: starts[entry_idx as usize] });
+        insts.push(Instruction::Jal { dst: Reg::ZERO, target: entry_uop });
+        // The prologue jump has no source instruction; attribute it to
+        // the entry it realises.
+        pc_of.push(image.entry);
     }
+    let mut pc = image.text_base;
     for (i, (inst, &word)) in decoded.iter().zip(&image.text).enumerate() {
-        let pc = image.text_base.wrapping_add(4 * i as u32);
         emit(&mut insts, inst, pc, word, image.text_base, &starts)?;
+        let n = cost(inst);
+        for _ in 0..n {
+            pc_of.push(pc);
+        }
+        // The transfer µop is always the last of its lowered sequence,
+        // and the link value (pc+4) is the next instruction's start.
+        let last = starts[i] + n - 1;
+        let return_to = starts[i] + n;
+        match *inst {
+            Rv32Inst::Jal { rd, offset } if rd != 0 => {
+                let target = resolve_target(pc, word, offset, image.text_base, &starts)?;
+                calls.push(CallSite { uop: last, return_to, target: Some(target), pc });
+            }
+            Rv32Inst::Jalr { rd, rs1, offset } => {
+                table_loads.push(starts[i] + 3);
+                if rd != 0 {
+                    calls.push(CallSite { uop: last, return_to, target: None, pc });
+                } else if rs1 == 1 && offset == 0 {
+                    returns.push(last);
+                }
+                // `jalr x0` through a non-link register with an offset
+                // is a computed jump — neither a call nor a return.
+            }
+            _ => {}
+        }
+        pc = pc.wrapping_add(4);
     }
+    debug_assert_eq!(pc_of.len(), insts.len());
 
     let mut data = DataImage::new();
     for (base, bytes) in &image.data {
@@ -450,5 +575,14 @@ pub fn translate(image: &Rv32Image, name: &str) -> Result<Program, TranslateErro
         let addr = u64::from(image.text_base) + 4 * i as u64;
         data.set_word(TABLE_BASE + 2 * addr, start);
     }
-    Ok(Program::new(name, insts, data))
+    let prov = Provenance {
+        pc_of,
+        starts,
+        text_base: image.text_base,
+        calls,
+        returns,
+        table_loads,
+        entry: if prologue == 1 { 0 } else { entry_uop },
+    };
+    Ok((Program::new(name, insts, data), prov))
 }

@@ -272,3 +272,45 @@ fn decode_errors_surface_through_translate() {
         TranslateError::Lower(e) => panic!("unexpected lower error: {e}"),
     }
 }
+
+// -- pc provenance ----------------------------------------------------
+
+#[test]
+fn provenance_maps_every_uop_and_records_call_structure() {
+    use sdo_rv32::lower::translate_with_provenance;
+    // main: call f directly, then f returns via a ret-shaped jalr.
+    let mut text = Vec::new();
+    text.extend(enc::li(2, 0x8_0000)); // sp
+    let call_word = text.len();
+    text.push(0); // patched below: jal ra, f
+    text.push(enc::ebreak());
+    let f_word = text.len();
+    text.extend(enc::li(10, 5));
+    let ret_word = text.len();
+    text.push(enc::jalr(0, 1, 0)); // ret
+    let off = i32::try_from(4 * (f_word - call_word)).expect("small");
+    text[call_word] = enc::jal(1, off);
+    let call_pc = BASE + 4 * u32::try_from(call_word).expect("small");
+    let ret_pc = BASE + 4 * u32::try_from(ret_word).expect("small");
+    let (program, prov) = translate_with_provenance(&image(text), "prov").expect("translates");
+    assert_eq!(prov.pc_of.len(), program.instructions().len());
+    assert_eq!(prov.text_base, BASE);
+    assert_eq!(prov.entry, 0);
+    // Addresses never decrease along the uop stream.
+    for w in prov.pc_of.windows(2) {
+        assert!(w[0] <= w[1]);
+    }
+    // The direct call: transfer uop points at f's start and resumes at
+    // the word after the call.
+    assert_eq!(prov.calls.len(), 1);
+    let call = prov.calls[0];
+    assert_eq!(call.pc, call_pc);
+    assert_eq!(call.target, Some(prov.starts[f_word]));
+    assert_eq!(call.return_to, prov.starts[call_word + 1]);
+    assert_eq!(prov.rv32_pc(call.uop), Some(call_pc));
+    // The ret: one return jalr, whose table load is recorded.
+    assert_eq!(prov.returns.len(), 1);
+    assert_eq!(prov.rv32_pc(prov.returns[0]), Some(ret_pc));
+    assert_eq!(prov.table_loads.len(), 1);
+    assert!(prov.table_loads[0] < prov.returns[0]);
+}

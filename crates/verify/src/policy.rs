@@ -39,13 +39,31 @@ use sdo_workloads::Channel;
 /// Whether `variant` closes `channel` under the strict secret-swap
 /// notion: every attacker observable is independent of a secret
 /// transmitted through that channel.
+///
+/// This is THE suppression table: `sdo-analyze` projects its static
+/// findings per variant through this same function, so the static and
+/// dynamic layers can never disagree about policy by construction.
+/// Every `(channel, variant)` pairing is listed explicitly — adding a
+/// Table II variant is a compile error here, not a silent default.
 #[must_use]
 pub fn closes(variant: Variant, channel: Channel) -> bool {
-    match channel {
+    match (channel, variant) {
+        // The baseline closes nothing.
+        (Channel::Cache | Channel::FpTiming, Variant::Unsafe) => false,
         // Perfect's oracle prediction depends on actual residency,
         // which depends on the secret: not data-oblivious.
-        Channel::Cache => !matches!(variant, Variant::Unsafe | Variant::Perfect),
-        Channel::FpTiming => !matches!(variant, Variant::Unsafe | Variant::SttLd),
+        (Channel::Cache, Variant::Perfect) => false,
+        (Channel::FpTiming, Variant::Perfect) => true,
+        // STT{ld} taints only load results into the cache channel's
+        // transmitters; FP latency is deliberately out of scope.
+        (Channel::Cache, Variant::SttLd) => true,
+        (Channel::FpTiming, Variant::SttLd) => false,
+        (Channel::Cache | Channel::FpTiming, Variant::SttLdFp) => true,
+        // Every realizable STT+SDO variant closes both channels.
+        (
+            Channel::Cache | Channel::FpTiming,
+            Variant::StaticL1 | Variant::StaticL2 | Variant::StaticL3 | Variant::Hybrid,
+        ) => true,
     }
 }
 
@@ -53,12 +71,20 @@ pub fn closes(variant: Variant, channel: Channel) -> bool {
 /// measurable observable divergence under `variant` — the positive
 /// controls. Stronger than `!closes`: `Perfect` leaves the cache
 /// channel open but only diverges when the swapped secrets happen to
-/// select lines of different residency.
+/// select lines of different residency. Exhaustive over the same
+/// `(channel, variant)` grid as [`closes`].
 #[must_use]
 pub fn guaranteed_divergence(variant: Variant, channel: Channel) -> bool {
-    match channel {
-        Channel::Cache => variant == Variant::Unsafe,
-        Channel::FpTiming => matches!(variant, Variant::Unsafe | Variant::SttLd),
+    match (channel, variant) {
+        (Channel::Cache | Channel::FpTiming, Variant::Unsafe) => true,
+        (Channel::FpTiming, Variant::SttLd) => true,
+        (Channel::Cache, Variant::SttLd) => false,
+        (Channel::Cache | Channel::FpTiming, Variant::SttLdFp) => false,
+        (Channel::Cache | Channel::FpTiming, Variant::Perfect) => false,
+        (
+            Channel::Cache | Channel::FpTiming,
+            Variant::StaticL1 | Variant::StaticL2 | Variant::StaticL3 | Variant::Hybrid,
+        ) => false,
     }
 }
 
@@ -80,10 +106,20 @@ pub fn expectation(variant: Variant, leaks_via: Option<Channel>) -> Option<bool>
 
 /// Whether the dynamic invariant oracle's load-side invariants apply:
 /// any protection (STT or STT+SDO) must never issue a tainted demand
-/// load or train a predictor from tainted state.
+/// load or train a predictor from tainted state. Exhaustive for the
+/// same reason as [`closes`]: a new variant must pick a row here.
 #[must_use]
 pub fn protects_loads(variant: Variant) -> bool {
-    variant != Variant::Unsafe
+    match variant {
+        Variant::Unsafe => false,
+        Variant::SttLd
+        | Variant::SttLdFp
+        | Variant::StaticL1
+        | Variant::StaticL2
+        | Variant::StaticL3
+        | Variant::Hybrid
+        | Variant::Perfect => true,
+    }
 }
 
 #[cfg(test)]
@@ -136,6 +172,19 @@ mod tests {
     fn nonleaking_programs_always_expect_indistinguishable() {
         for v in Variant::ALL {
             assert_eq!(expectation(v, None), Some(false), "{v}");
+        }
+    }
+
+    #[test]
+    fn guaranteed_divergence_implies_open_channel() {
+        // The two tables are exhaustive matches over the same grid;
+        // check their one cross-table invariant on every cell.
+        for v in Variant::ALL {
+            for ch in [Channel::Cache, Channel::FpTiming] {
+                if guaranteed_divergence(v, ch) {
+                    assert!(!closes(v, ch), "{v} guarantees divergence on a closed channel");
+                }
+            }
         }
     }
 }

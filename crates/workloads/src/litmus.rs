@@ -23,7 +23,7 @@ use sdo_isa::{Assembler, Program, Reg};
 
 /// The covert channel a litmus case transmits through on an
 /// unprotected core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Channel {
     /// Cache state: a speculative load whose address depends on the
     /// secret warms a secret-indexed line (Spectre V1, Figure 1).
